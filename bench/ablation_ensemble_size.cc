@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: how EQC throughput and accuracy scale with ensemble size.
+ * Devices are added fastest-first, so the marginal member is always
+ * slower than the pool average — throughput grows sub-linearly while
+ * asynchronous staleness grows with concurrency.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/eqc.h"
+#include "device/catalog.h"
+#include "hamiltonian/exact.h"
+#include "vqa/problem.h"
+
+int
+main()
+{
+    using namespace eqc;
+    bench::banner("Ablation: ensemble size scaling (VQE, 80 epochs)");
+
+    VqaProblem problem = makeHeisenbergVqe();
+    // Fastest-first ordering by median queue wait.
+    const std::vector<const char *> order = {
+        "ibmqx2",       "ibmq_bogota",     "ibmq_casablanca",
+        "ibmq_belem",   "ibmq_quito",      "ibmq_manila",
+        "ibmq_lima",    "ibm_lagos",       "ibmq_santiago",
+        "ibmq_toronto"};
+
+    std::printf("%-6s %14s %12s %14s %12s\n", "size", "epochs/hour",
+                "staleness", "final(ideal)", "runtime(h)");
+    for (std::size_t size : {1u, 2u, 4u, 6u, 8u, 10u}) {
+        std::vector<Device> devices;
+        for (std::size_t i = 0; i < size; ++i)
+            devices.push_back(deviceByName(order[i]));
+        EqcOptions o;
+        o.master.epochs = 80;
+        o.seed = 3;
+        EqcTrace t = runEqcVirtual(problem, devices, o);
+        std::printf("%-6zu %14.2f %12.2f %14.3f %12.2f\n", size,
+                    t.epochsPerHour, t.staleness.mean(),
+                    finalIdealEnergy(t, 15), t.totalHours);
+    }
+    std::printf("\n(Throughput should rise with size; staleness rises "
+                "with concurrency;\nfinal energy stays near the ansatz "
+                "minimum — the appendix's bounded-delay\nconvergence in "
+                "action.)\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: the Eq. 2 decay term as printed in the paper (PaperLiteral,
+ * exp(-CD*mu/(T1*T2))) versus the dimensionally consistent form
+ * (Physical, exp(-CD*mu*(1/T1+1/T2)/2)). DESIGN.md flags the printed
+ * formula as a likely typo; this bench shows both produce the same
+ * device ordering (which is all the weight normalizer consumes) and
+ * nearly identical VQE outcomes.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/eqc.h"
+#include "device/catalog.h"
+#include "vqa/problem.h"
+
+int
+main()
+{
+    using namespace eqc;
+    bench::banner("Ablation: Eq. 2 decay-term convention");
+
+    VqaProblem problem = makeHeisenbergVqe();
+    ExpectationEstimator est(problem.hamiltonian, problem.ansatz);
+
+    bench::heading("raw P_correct per device (fresh calibration)");
+    std::printf("%-18s %12s %14s\n", "device", "physical",
+                "paper-literal");
+    std::vector<std::pair<double, double>> scores;
+    for (const Device &d : evaluationEnsemble()) {
+        auto compiled = est.compileFor(d.coupling);
+        double phys = 0.0, lit = 0.0;
+        for (const TranspiledCircuit &tc : compiled) {
+            phys += pCorrect(circuitQuality(tc), d.baseCalibration,
+                             PCorrectMode::Physical);
+            lit += pCorrect(circuitQuality(tc), d.baseCalibration,
+                            PCorrectMode::PaperLiteral);
+        }
+        phys /= compiled.size();
+        lit /= compiled.size();
+        scores.push_back({phys, lit});
+        std::printf("%-18s %12.4f %14.4f\n", d.name.c_str(), phys, lit);
+    }
+
+    // Rank agreement between the two conventions.
+    int agree = 0, total = 0;
+    for (std::size_t a = 0; a < scores.size(); ++a) {
+        for (std::size_t b = a + 1; b < scores.size(); ++b) {
+            ++total;
+            bool physOrder = scores[a].first < scores[b].first;
+            bool litOrder = scores[a].second < scores[b].second;
+            if (physOrder == litOrder)
+                ++agree;
+        }
+    }
+    std::printf("\npairwise rank agreement: %d/%d\n", agree, total);
+
+    bench::heading("VQE outcome under each convention (weights 0.5-1.5,"
+                   " 120 epochs)");
+    for (PCorrectMode mode :
+         {PCorrectMode::Physical, PCorrectMode::PaperLiteral}) {
+        EqcOptions o;
+        o.master.epochs = 120;
+        o.master.weightBounds = {0.5, 1.5};
+        o.client.pCorrectMode = mode;
+        o.seed = 1;
+        EqcTrace t = runEqcVirtual(problem, evaluationEnsemble(), o);
+        std::printf("%-14s final(dev) %8.3f  final(ideal-eval) %8.3f\n",
+                    mode == PCorrectMode::Physical ? "physical"
+                                                   : "paper-literal",
+                    finalEnergy(t, 15), finalIdealEnergy(t, 15));
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: whole-parameter shift (what the paper's client does) versus
+ * exact per-occurrence shift for QAOA, where both parameters are shared
+ * across several gates and the whole-parameter rule is only an
+ * approximation of the true gradient.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/eqc.h"
+#include "device/catalog.h"
+#include "vqa/parameter_shift.h"
+#include "vqa/problem.h"
+
+int
+main()
+{
+    using namespace eqc;
+    bench::banner("Ablation: parameter-shift mode on shared QAOA "
+                  "parameters");
+
+    VqaProblem problem = makeRingMaxCutQaoa();
+
+    bench::heading("gradient accuracy at random points (ideal backend)");
+    Device ideal = makeIdealDevice(4);
+    SimulatedQpu backend(ideal, 1);
+    ExpectationEstimator est(problem.hamiltonian, problem.ansatz);
+    auto compiled = est.compileFor(ideal.coupling);
+    Rng rng(31);
+    std::printf("%-10s %12s %12s %12s %12s\n", "point", "true-grad",
+                "whole", "per-occ", "whole-err");
+    for (int trial = 0; trial < 6; ++trial) {
+        std::vector<double> params = {rng.uniform(-1.5, 1.5),
+                                      rng.uniform(-1.5, 1.5)};
+        int i = trial % 2;
+        double truth =
+            idealGradient(problem.ansatz, problem.hamiltonian, params, i);
+        GradientEstimate whole = gradientParamShift(
+            est, backend, compiled, params, i, 0, 0.0, rng,
+            ShotMode::Exact, ShiftMode::WholeParameter);
+        GradientEstimate perOcc = gradientParamShift(
+            est, backend, compiled, params, i, 0, 0.0, rng,
+            ShotMode::Exact, ShiftMode::PerOccurrence);
+        std::printf("theta%-5d %12.5f %12.5f %12.5f %12.5f\n", i, truth,
+                    whole.gradient, perOcc.gradient,
+                    std::abs(whole.gradient - truth));
+    }
+
+    bench::heading("end-to-end QAOA training under each mode "
+                   "(8-device ensemble, 50 iterations)");
+    const std::vector<const char *> names = {
+        "ibmq_belem",  "ibmq_bogota", "ibmq_casablanca", "ibmq_lima",
+        "ibmq_manila", "ibmq_quito",  "ibmq_santiago",   "ibmq_toronto"};
+    std::vector<Device> ensemble;
+    for (const char *n : names)
+        ensemble.push_back(deviceByName(n));
+    for (ShiftMode mode :
+         {ShiftMode::WholeParameter, ShiftMode::PerOccurrence}) {
+        EqcOptions o;
+        o.master.epochs = 50;
+        o.client.shiftMode = mode;
+        o.seed = 1;
+        EqcTrace t = runEqcVirtual(problem, ensemble, o);
+        std::printf("%-16s final-cost/edge %8.4f  iters/hour %8.2f\n",
+                    mode == ShiftMode::WholeParameter ? "whole-param"
+                                                      : "per-occurrence",
+                    finalEnergy(t, 10) / 4.0, t.epochsPerHour);
+    }
+    std::printf("\n(Per-occurrence costs 4x the circuits per gradient "
+                "on this ansatz but\nfollows the exact gradient; "
+                "whole-parameter is the paper's client rule.)\n");
+    return 0;
+}

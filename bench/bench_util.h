@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared output helpers for the figure/table reproduction benches.
+ */
+
+#ifndef EQC_BENCH_BENCH_UTIL_H
+#define EQC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eqc::bench {
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================"
+                "====================\n%s\n"
+                "================================================"
+                "====================\n",
+                title.c_str());
+}
+
+/** Print a sub-section heading. */
+inline void
+heading(const std::string &title)
+{
+    std::printf("\n-- %s --\n", title.c_str());
+}
+
+/** Print one CSV-ish row of doubles with a leading label column. */
+inline void
+row(const std::string &label, const std::vector<double> &values,
+    const char *fmt = "%10.4f")
+{
+    std::printf("%-22s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+} // namespace eqc::bench
+
+#endif // EQC_BENCH_BENCH_UTIL_H

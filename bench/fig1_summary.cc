@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Fig. 1: the motivating comparison — VQE error rate and
+ * training run time for three individual IBMQ devices (Casablanca, x2,
+ * Bogota) against EQC. A condensed version of the Fig. 6 campaign.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/eqc.h"
+#include "device/catalog.h"
+#include "hamiltonian/exact.h"
+#include "vqa/problem.h"
+
+int
+main()
+{
+    using namespace eqc;
+    bench::banner("Fig. 1: VQE error rate and run time (motivation)");
+
+    VqaProblem problem = makeHeisenbergVqe();
+    const int epochs = 250;
+    // Our Pauli-unit Hamiltonian has a larger energy scale than the
+    // paper's plotted -4.0 curve; alpha = 0.05 keeps the effective step
+    // size (alpha * |gradient|) on the paper's convergence horizon.
+    const double kBenchLr = 0.05;
+
+    // Ansatz-reachable reference energy from the ideal baseline.
+    TrainerOptions idealOpts;
+    idealOpts.epochs = epochs;
+    idealOpts.learningRate = kBenchLr;
+    idealOpts.seed = 1;
+    TrainingTrace ideal =
+        trainSingleDevice(problem, makeIdealDevice(4), idealOpts);
+    (void)ideal;
+    const double reference = estimateAnsatzMinimum(problem);
+
+    struct Row
+    {
+        std::string label;
+        double errorPct;
+        double runtimeH;
+    };
+    std::vector<Row> rows;
+
+    for (const char *name :
+         {"ibmq_casablanca", "ibmqx2", "ibmq_bogota"}) {
+        TrainerOptions o;
+        o.epochs = epochs;
+        o.learningRate = kBenchLr;
+        o.seed = 1;
+        TrainingTrace t =
+            trainSingleDevice(problem, deviceByName(name), o);
+        rows.push_back({name,
+                        errorVsReference(finalIdealEnergy(t, 20),
+                                         reference),
+                        t.totalHours});
+    }
+    {
+        EqcOptions o;
+        o.master.epochs = epochs;
+        o.master.learningRate = kBenchLr;
+        // The paper's headline EQC numbers use the weighting system.
+        o.master.weightBounds = {0.5, 1.5};
+        o.seed = 1;
+        EqcTrace t = runEqcVirtual(problem, evaluationEnsemble(), o);
+        rows.push_back({"EQC",
+                        errorVsReference(finalIdealEnergy(t, 20),
+                                         reference),
+                        t.totalHours});
+    }
+
+    bench::heading("error rate (%) and run time (hours)");
+    std::printf("%-18s %12s %14s\n", "system", "error(%)",
+                "run time(h)");
+    for (const Row &r : rows)
+        std::printf("%-18s %12.3f %14.1f\n", r.label.c_str(),
+                    r.errorPct, r.runtimeH);
+    std::printf("\n(Paper: Casablanca 4.6%%, x2 1.798%%, Bogota "
+                "0.865%%, EQC 0.379%%; run times tens of hours on "
+                "single devices.)\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Fig. 9: EQC VQE under different weight bounds — none,
+ * [0.75,1.25], [0.5,1.5], [0.25,1.75]. The paper finds that moderate
+ * bounds converge faster than unweighted and closer to the ground
+ * energy, while the aggressive [0.25,1.75] bound converges fastest but
+ * overshoots slightly (larger effective steps).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/eqc.h"
+#include "device/catalog.h"
+#include "hamiltonian/exact.h"
+#include "vqa/problem.h"
+
+int
+main()
+{
+    using namespace eqc;
+    bench::banner("Fig. 9: 4-qubit Heisenberg, weighted QPU ensembles");
+
+    VqaProblem problem = makeHeisenbergVqe();
+    const int epochs = 250;
+    // Our Pauli-unit Hamiltonian has a larger energy scale than the
+    // paper's plotted -4.0 curve; alpha = 0.05 keeps the effective step
+    // size (alpha * |gradient|) on the paper's convergence horizon.
+    const double kBenchLr = 0.05;
+
+    TrainerOptions idealOpts;
+    idealOpts.epochs = epochs;
+    idealOpts.learningRate = kBenchLr;
+    idealOpts.seed = 1;
+    TrainingTrace ideal =
+        trainSingleDevice(problem, makeIdealDevice(4), idealOpts);
+    const double reference = estimateAnsatzMinimum(problem);
+    std::printf("Ideal Solution reference (ansatz minimum): %.4f a.u.\n",
+                reference);
+
+    struct Config
+    {
+        const char *label;
+        WeightBounds bounds;
+    };
+    const std::vector<Config> configs = {
+        {"no-weighting", {1.0, 1.0}},
+        {"weights-0.75-1.25", {0.75, 1.25}},
+        {"weights-0.50-1.50", {0.5, 1.5}},
+        {"weights-0.25-1.75", {0.25, 1.75}},
+    };
+
+    std::vector<EqcTrace> traces;
+    for (const Config &c : configs) {
+        EqcOptions o;
+        o.master.epochs = epochs;
+        o.master.weightBounds = c.bounds;
+        o.master.learningRate = kBenchLr;
+        o.seed = 1;
+        traces.push_back(
+            runEqcVirtual(problem, evaluationEnsemble(), o));
+    }
+
+    bench::heading("energy vs epoch (every 10 epochs)");
+    std::printf("%-8s", "epoch");
+    for (const Config &c : configs)
+        std::printf(" %18s", c.label);
+    std::printf("\n");
+    for (int e = 0; e < epochs; e += 10) {
+        std::printf("%-8d", e);
+        for (const EqcTrace &t : traces)
+            std::printf(" %18.3f", t.epochs[e].energyDevice);
+        std::printf("\n");
+    }
+
+    bench::heading("summary (paper: 0.25-1.75 converges fastest; "
+                   "0.5-1.5 most accurate)");
+    const double tol = 0.04 * std::fabs(reference);
+    std::printf("%-20s %8s %10s %12s\n", "config", "conv@", "final",
+                "err(%)");
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        double fin = finalIdealEnergy(traces[i], 20);
+        std::printf("%-20s %8d %10.3f %11.3f%%\n", configs[i].label,
+                    convergenceEpoch(traces[i].idealEnergySeries(),
+                                     reference, tol),
+                    fin, errorVsReference(fin, reference));
+    }
+    return 0;
+}

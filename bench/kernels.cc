@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Google-benchmark micro-kernels for the simulation substrate: gate
+ * application, noise channels, transpilation, Eq. 2 evaluation and one
+ * full gradient job — the unit costs behind every figure bench.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/ansatz.h"
+#include "core/weighting.h"
+#include "device/backend.h"
+#include "device/catalog.h"
+#include "quantum/density_matrix.h"
+#include "vqa/parameter_shift.h"
+#include "vqa/problem.h"
+
+namespace {
+
+using namespace eqc;
+
+void
+BM_StatevectorGate1q(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Statevector sv(n);
+    CMatrix h = gateMatrix(GateType::H);
+    int q = 0;
+    for (auto _ : state) {
+        sv.applyGate(h, {q});
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatevectorGate1q)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_StatevectorGate2q(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Statevector sv(n);
+    CMatrix cx = gateMatrix(GateType::CX);
+    int q = 0;
+    for (auto _ : state) {
+        sv.applyGate(cx, {q, (q + 1) % n});
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatevectorGate2q)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_DensityMatrixUnitary(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    DensityMatrix dm(n);
+    CMatrix cx = gateMatrix(GateType::CX);
+    int q = 0;
+    for (auto _ : state) {
+        dm.applyUnitary(cx, {q, (q + 1) % n});
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DensityMatrixUnitary)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_DepolarizingKrausPath(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    DensityMatrix dm(n);
+    KrausChannel ch = depolarizing2q(0.01);
+    for (auto _ : state)
+        dm.applyChannel(ch, {0, 1});
+}
+BENCHMARK(BM_DepolarizingKrausPath)->Arg(4)->Arg(6);
+
+void
+BM_DepolarizingFastPath(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    DensityMatrix dm(n);
+    for (auto _ : state)
+        dm.applyDepolarizing2q(0.01, 0, 1);
+}
+BENCHMARK(BM_DepolarizingFastPath)->Arg(4)->Arg(6);
+
+void
+BM_ThermalRelaxationFastPath(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    DensityMatrix dm(n);
+    for (auto _ : state)
+        dm.applyThermalRelaxation(0, 0.001, 0.999);
+}
+BENCHMARK(BM_ThermalRelaxationFastPath)->Arg(4)->Arg(6);
+
+void
+BM_TranspileAnsatz(benchmark::State &state)
+{
+    QuantumCircuit c = hardwareEfficientAnsatz(4);
+    Device d = (state.range(0) == 0) ? deviceByName("ibmq_manila")
+                                     : deviceByName("ibmq_toronto");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transpile(c, d.coupling));
+}
+BENCHMARK(BM_TranspileAnsatz)->Arg(0)->Arg(1);
+
+void
+BM_PCorrectEvaluation(benchmark::State &state)
+{
+    Device d = deviceByName("ibmq_bogota");
+    TranspiledCircuit tc =
+        transpile(hardwareEfficientAnsatz(4), d.coupling);
+    CircuitQuality q = circuitQuality(tc);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pCorrect(q, d.baseCalibration));
+}
+BENCHMARK(BM_PCorrectEvaluation);
+
+void
+BM_NoisyCircuitExecution(benchmark::State &state)
+{
+    VqaProblem p = makeHeisenbergVqe();
+    Device d = deviceByName("ibmq_bogota");
+    SimulatedQpu qpu(d, 1);
+    ExpectationEstimator est(p.hamiltonian, p.ansatz);
+    auto compiled = est.compileFor(d.coupling);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qpu.execute(
+            compiled[0], p.initialParams, 0, 1.0, rng, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NoisyCircuitExecution);
+
+void
+BM_FullGradientJob(benchmark::State &state)
+{
+    VqaProblem p = makeHeisenbergVqe();
+    Device d = deviceByName("ibmq_bogota");
+    SimulatedQpu qpu(d, 1);
+    ExpectationEstimator est(p.hamiltonian, p.ansatz);
+    auto compiled = est.compileFor(d.coupling);
+    Rng rng(1);
+    int i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gradientParamShift(
+            est, qpu, compiled, p.initialParams, i, 8192, 1.0, rng,
+            ShotMode::Gaussian, ShiftMode::WholeParameter));
+        i = (i + 1) % p.numParams();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullGradientJob);
+
+} // namespace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Systems example: the Ray-style deployment — one real std::thread per
+ * client node, a mutex-guarded master, gradients arriving whenever
+ * their thread finishes. This is the same MasterNode/ClientNode logic
+ * the deterministic benches use, driven by actual OS concurrency.
+ *
+ * Build & run:  ./build/examples/threaded_ensemble
+ */
+
+#include <cstdio>
+
+#include "core/eqc.h"
+#include "device/catalog.h"
+#include "vqa/problem.h"
+
+int
+main()
+{
+    using namespace eqc;
+
+    VqaProblem problem = makeHeisenbergVqe();
+    std::vector<Device> devices = {
+        deviceByName("ibmq_bogota"), deviceByName("ibmq_manila"),
+        deviceByName("ibmq_quito"), deviceByName("ibmqx2"),
+        deviceByName("ibmq_belem"), deviceByName("ibmq_lima"),
+    };
+
+    EqcOptions opts;
+    opts.master.epochs = 30;
+    opts.master.weightBounds = {0.5, 1.5};
+    opts.maxHours = 1e9; // wall-clock compute counts as virtual time
+    opts.seed = 9;
+
+    std::printf("launching %zu client threads (1 virtual hour = 1 ms "
+                "wall)...\n",
+                devices.size());
+    EqcTrace trace =
+        runEqcThreaded(problem, devices, opts,
+                       /*hoursPerWallSecond=*/1000.0);
+
+    std::printf("done: %zu epochs, final energy %.3f a.u.\n",
+                trace.epochs.size(), finalEnergy(trace, 5));
+    std::printf("gradient staleness: mean %.1f, max %.0f master "
+                "updates\n",
+                trace.staleness.mean(), trace.staleness.max());
+    std::printf("jobs per device (thread-scheduling dependent):\n");
+    for (const auto &[name, jobs] : trace.jobsPerDevice)
+        std::printf("  %-18s %5d\n", name.c_str(), jobs);
+    std::printf("\nRe-run this example: job counts will differ (real "
+                "concurrency),\nbut the energy must converge every "
+                "time — the paper's appendix proof\nin action.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Domain example: estimating the ground energy of a quantum-magnetism
+ * model (the paper's Sec. V-B workload) on an adaptive, weighted EQC
+ * ensemble — including live handling of a device that degrades
+ * mid-training, the scenario that motivates ensemble weighting.
+ *
+ * Build & run:  ./build/examples/vqe_heisenberg
+ */
+
+#include <cstdio>
+
+#include "core/eqc.h"
+#include "device/catalog.h"
+#include "hamiltonian/exact.h"
+#include "hamiltonian/heisenberg.h"
+#include "vqa/problem.h"
+
+int
+main()
+{
+    using namespace eqc;
+
+    VqaProblem problem = makeHeisenbergVqe();
+    double ground = minEigenvalue(problem.hamiltonian);
+    std::printf("4-qubit Heisenberg square lattice, J = B = 1\n");
+    std::printf("exact ground energy: %.4f a.u.; Hamiltonian has %zu "
+                "Pauli terms in %zu measurement groups\n\n",
+                ground, problem.hamiltonian.size(),
+                groupQubitwiseCommuting(problem.hamiltonian).size());
+
+    // An ensemble where one member (Casablanca) is drifting badly:
+    // exactly the situation the adaptive weighting is built for.
+    std::vector<Device> devices = {
+        deviceByName("ibmq_bogota"), deviceByName("ibmq_manila"),
+        deviceByName("ibmq_quito"), deviceByName("ibmq_belem"),
+        deviceByName("ibmq_casablanca"),
+    };
+
+    for (bool weighted : {false, true}) {
+        EqcOptions opts;
+        opts.master.epochs = 60;
+        opts.master.weightBounds =
+            weighted ? WeightBounds{0.5, 1.5} : WeightBounds{1.0, 1.0};
+        opts.adaptive.enabled = weighted; // cool down unstable members
+        opts.seed = 11;
+        EqcTrace trace = runEqcVirtual(problem, devices, opts);
+
+        std::printf("== %s ensemble ==\n",
+                    weighted ? "weighted [0.5,1.5] + adaptive"
+                             : "unweighted");
+        std::printf("  final energy (ideal-eval of learned params): "
+                    "%.4f a.u. (%.3f%% off the ansatz optimum)\n",
+                    finalIdealEnergy(trace, 10),
+                    errorVsReference(finalIdealEnergy(trace, 10),
+                                     -6.5715));
+        std::printf("  speed: %.1f epochs/hour over %.2f hours\n",
+                    trace.epochsPerHour, trace.totalHours);
+        if (weighted) {
+            std::printf("  adaptive cooldowns triggered: %d\n",
+                        trace.cooldowns);
+            // Show the weight range each device ended up with.
+            std::printf("  last recorded weight per client:\n");
+            std::vector<double> last(devices.size(), 0.0);
+            for (const WeightRecord &w : trace.weights)
+                last[w.clientId] = w.weight;
+            for (std::size_t i = 0; i < devices.size(); ++i)
+                std::printf("    %-18s %.3f\n", devices[i].name.c_str(),
+                            last[i]);
+        }
+        std::printf("\n");
+    }
+    std::printf("Takeaway: the weighting system discounts the drifting "
+                "member's gradients\nand the ensemble converges closer "
+                "to the optimum than the unweighted mix.\n");
+    return 0;
+}

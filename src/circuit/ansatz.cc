@@ -1,0 +1,59 @@
+#include "circuit/ansatz.h"
+
+#include "common/logging.h"
+
+namespace eqc {
+
+QuantumCircuit
+hardwareEfficientAnsatz(int numQubits)
+{
+    if (numQubits < 2)
+        fatal("hardwareEfficientAnsatz: need at least 2 qubits");
+    QuantumCircuit c(numQubits, 4 * numQubits);
+    for (int q = 0; q < numQubits; ++q)
+        c.ry(q, ParamExpr::symbol(q));
+    for (int q = 0; q < numQubits; ++q)
+        c.rz(q, ParamExpr::symbol(numQubits + q));
+    for (int q = 0; q + 1 < numQubits; ++q)
+        c.cx(q, q + 1);
+    for (int q = 0; q < numQubits; ++q)
+        c.ry(q, ParamExpr::symbol(2 * numQubits + q));
+    for (int q = 0; q < numQubits; ++q)
+        c.rz(q, ParamExpr::symbol(3 * numQubits + q));
+    c.measureAll();
+    return c;
+}
+
+QuantumCircuit
+qaoaAnsatz(int numQubits, const std::vector<std::pair<int, int>> &edges,
+           int layers)
+{
+    if (layers < 1)
+        fatal("qaoaAnsatz: need at least one layer");
+    QuantumCircuit c(numQubits, 2 * layers);
+    for (int q = 0; q < numQubits; ++q)
+        c.h(q);
+    for (int l = 0; l < layers; ++l) {
+        int beta = 2 * l;
+        int alpha = 2 * l + 1;
+        for (const auto &[i, j] : edges)
+            c.rzz(i, j, ParamExpr::symbol(beta));
+        for (int q = 0; q < numQubits; ++q)
+            c.rx(q, ParamExpr::symbol(alpha));
+    }
+    c.measureAll();
+    return c;
+}
+
+QuantumCircuit
+ghzCircuit(int numQubits)
+{
+    QuantumCircuit c(numQubits, 0);
+    c.h(0);
+    for (int q = 0; q + 1 < numQubits; ++q)
+        c.cx(q, q + 1);
+    c.measureAll();
+    return c;
+}
+
+} // namespace eqc

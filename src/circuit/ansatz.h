@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ansatz library: the three circuit families used in the paper's
+ * evaluation — the hardware-efficient VQE ansatz (Fig. 8), the QAOA
+ * MaxCut ansatz (Fig. 10), and the GHZ validation circuit (Fig. 4).
+ */
+
+#ifndef EQC_CIRCUIT_ANSATZ_H
+#define EQC_CIRCUIT_ANSATZ_H
+
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace eqc {
+
+/**
+ * Hardware-efficient ansatz of Fig. 8: a full-Bloch-sphere rotation layer
+ * (RY then RZ on every qubit), a linear CNOT entangling chain, a second
+ * RY+RZ layer, then measurement of every qubit. Parameter count is
+ * 4 * numQubits (16 for the paper's 4-qubit experiments).
+ *
+ * Parameter table layout: [RY layer 0 | RZ layer 0 | RY layer 1 |
+ * RZ layer 1], each block indexed by qubit.
+ */
+QuantumCircuit hardwareEfficientAnsatz(int numQubits);
+
+/**
+ * QAOA ansatz of Fig. 10 for a MaxCut instance: Hadamards on all qubits,
+ * then for each of the @p layers rounds one ZZ interaction per edge
+ * (parameter beta_l) followed by RX mixers on every qubit (parameter
+ * alpha_l), then measurement. Parameter count is 2 * layers; the paper
+ * uses layers = 1 (2 parameters).
+ *
+ * @param numQubits one qubit per graph node
+ * @param edges undirected edge list of the MaxCut graph
+ * @param layers number of QAOA rounds (p)
+ */
+QuantumCircuit qaoaAnsatz(int numQubits,
+                          const std::vector<std::pair<int, int>> &edges,
+                          int layers = 1);
+
+/** N-qubit GHZ preparation (H + CX chain) with full measurement. */
+QuantumCircuit ghzCircuit(int numQubits);
+
+} // namespace eqc
+
+#endif // EQC_CIRCUIT_ANSATZ_H

@@ -1,0 +1,277 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+ParamExpr
+ParamExpr::constant(double value)
+{
+    ParamExpr e;
+    e.index = -1;
+    e.scale = 0.0;
+    e.offset = value;
+    return e;
+}
+
+ParamExpr
+ParamExpr::symbol(int idx, double scale, double offset)
+{
+    if (idx < 0)
+        panic("ParamExpr::symbol: negative parameter index");
+    ParamExpr e;
+    e.index = idx;
+    e.scale = scale;
+    e.offset = offset;
+    return e;
+}
+
+double
+ParamExpr::evaluate(const std::vector<double> &params) const
+{
+    if (index < 0)
+        return offset;
+    if (index >= static_cast<int>(params.size()))
+        panic("ParamExpr::evaluate: parameter index out of range");
+    return scale * params[index] + offset;
+}
+
+QuantumCircuit::QuantumCircuit(int numQubits, int numParams)
+    : numQubits_(numQubits), numParams_(numParams)
+{
+    if (numQubits < 1)
+        fatal("QuantumCircuit: need at least one qubit");
+    if (numParams < 0)
+        fatal("QuantumCircuit: negative parameter count");
+}
+
+void
+QuantumCircuit::addGate(GateType type, std::vector<int> qubits,
+                        std::vector<ParamExpr> params)
+{
+    int arity = gateArity(type);
+    if (static_cast<int>(qubits.size()) != arity)
+        panic("QuantumCircuit::addGate: wrong qubit count for " +
+              gateName(type));
+    if (static_cast<int>(params.size()) != gateParamCount(type))
+        panic("QuantumCircuit::addGate: wrong param count for " +
+              gateName(type));
+    GateOp op;
+    op.type = type;
+    for (int i = 0; i < arity; ++i) {
+        if (qubits[i] < 0 || qubits[i] >= numQubits_)
+            panic("QuantumCircuit::addGate: qubit index out of range");
+        op.qubits[i] = qubits[i];
+    }
+    if (arity == 2 && qubits[0] == qubits[1])
+        panic("QuantumCircuit::addGate: duplicate qubit operand");
+    for (const ParamExpr &p : params)
+        if (p.index >= numParams_)
+            panic("QuantumCircuit::addGate: parameter index exceeds table");
+    op.params = std::move(params);
+    ops_.push_back(std::move(op));
+}
+
+void
+QuantumCircuit::barrier()
+{
+    GateOp op;
+    op.type = GateType::BARRIER;
+    op.qubits = {0, -1};
+    ops_.push_back(op);
+}
+
+void
+QuantumCircuit::measureAll()
+{
+    for (int q = 0; q < numQubits_; ++q)
+        measure(q);
+}
+
+void
+QuantumCircuit::append(const QuantumCircuit &other)
+{
+    if (other.numQubits_ != numQubits_)
+        panic("QuantumCircuit::append: width mismatch");
+    if (other.numParams_ > numParams_)
+        panic("QuantumCircuit::append: parameter table too small");
+    for (const GateOp &op : other.ops_)
+        ops_.push_back(op);
+}
+
+GateCounts
+QuantumCircuit::counts() const
+{
+    GateCounts c;
+    for (const GateOp &op : ops_) {
+        switch (op.type) {
+          case GateType::MEASURE:
+            ++c.measurements;
+            break;
+          case GateType::BARRIER:
+            break;
+          case GateType::RZ:
+            ++c.rz;
+            break;
+          case GateType::SWAP:
+            ++c.swaps;
+            ++c.g2;
+            break;
+          default:
+            if (op.arity() == 2)
+                ++c.g2;
+            else
+                ++c.g1;
+        }
+    }
+    return c;
+}
+
+namespace {
+
+int
+layeredDepth(const std::vector<GateOp> &ops, int numQubits,
+             bool physicalOnly)
+{
+    std::vector<int> level(numQubits, 0);
+    int maxLevel = 0;
+    for (const GateOp &op : ops) {
+        if (op.type == GateType::BARRIER) {
+            // Barriers synchronize all qubits.
+            int m = *std::max_element(level.begin(), level.end());
+            std::fill(level.begin(), level.end(), m);
+            continue;
+        }
+        bool counts = true;
+        if (physicalOnly &&
+            (isVirtualGate(op.type) || op.type == GateType::MEASURE)) {
+            counts = false;
+        }
+        int start = level[op.qubits[0]];
+        if (op.arity() == 2)
+            start = std::max(start, level[op.qubits[1]]);
+        int end = start + (counts ? 1 : 0);
+        level[op.qubits[0]] = end;
+        if (op.arity() == 2)
+            level[op.qubits[1]] = end;
+        maxLevel = std::max(maxLevel, end);
+    }
+    return maxLevel;
+}
+
+} // namespace
+
+int
+QuantumCircuit::depth() const
+{
+    return layeredDepth(ops_, numQubits_, false);
+}
+
+int
+QuantumCircuit::criticalDepth() const
+{
+    return layeredDepth(ops_, numQubits_, true);
+}
+
+std::vector<std::size_t>
+QuantumCircuit::paramOccurrences(int paramIndex) const
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < ops_.size(); ++i)
+        for (const ParamExpr &p : ops_[i].params)
+            if (p.index == paramIndex) {
+                idx.push_back(i);
+                break;
+            }
+    return idx;
+}
+
+std::vector<int>
+QuantumCircuit::usedQubits() const
+{
+    std::set<int> used;
+    for (const GateOp &op : ops_) {
+        if (op.type == GateType::BARRIER)
+            continue;
+        used.insert(op.qubits[0]);
+        if (op.arity() == 2)
+            used.insert(op.qubits[1]);
+    }
+    return {used.begin(), used.end()};
+}
+
+QuantumCircuit
+QuantumCircuit::remapQubits(const std::vector<int> &mapping,
+                            int newNumQubits) const
+{
+    QuantumCircuit out(newNumQubits, numParams_);
+    for (const GateOp &op : ops_) {
+        if (op.type == GateType::BARRIER) {
+            out.barrier();
+            continue;
+        }
+        GateOp mapped = op;
+        for (int i = 0; i < op.arity(); ++i) {
+            int q = op.qubits[i];
+            if (q < 0 || q >= static_cast<int>(mapping.size()) ||
+                mapping[q] < 0 || mapping[q] >= newNumQubits) {
+                panic("QuantumCircuit::remapQubits: invalid mapping");
+            }
+            mapped.qubits[i] = mapping[q];
+        }
+        out.ops_.push_back(std::move(mapped));
+    }
+    return out;
+}
+
+std::string
+QuantumCircuit::toString() const
+{
+    std::ostringstream os;
+    os << "circuit(" << numQubits_ << " qubits, " << numParams_
+       << " params, " << ops_.size() << " ops)\n";
+    for (const GateOp &op : ops_) {
+        os << "  " << gateName(op.type) << " q" << op.qubits[0];
+        if (op.arity() == 2)
+            os << ", q" << op.qubits[1];
+        for (const ParamExpr &p : op.params) {
+            if (p.isSymbolic()) {
+                os << " [" << p.scale << "*t" << p.index;
+                if (p.offset != 0.0)
+                    os << (p.offset > 0 ? "+" : "") << p.offset;
+                os << "]";
+            } else {
+                os << " [" << p.offset << "]";
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+Statevector
+simulateIdeal(const QuantumCircuit &circuit,
+              const std::vector<double> &params)
+{
+    Statevector sv(circuit.numQubits());
+    for (const GateOp &op : circuit.ops()) {
+        if (op.type == GateType::MEASURE || op.type == GateType::BARRIER ||
+            op.type == GateType::ID) {
+            continue;
+        }
+        std::vector<double> angles;
+        angles.reserve(op.params.size());
+        for (const ParamExpr &p : op.params)
+            angles.push_back(p.evaluate(params));
+        std::vector<int> qubits(op.qubits.begin(),
+                                op.qubits.begin() + op.arity());
+        sv.applyGate(gateMatrix(op.type, angles), qubits);
+    }
+    return sv;
+}
+
+} // namespace eqc

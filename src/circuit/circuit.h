@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Circuit intermediate representation.
+ *
+ * A QuantumCircuit is a list of GateOps over a fixed qubit count and a
+ * parameter table theta[0..numParams). Rotation angles are affine
+ * expressions `scale * theta[index] + offset`, which lets the transpiler
+ * rewrite parameterized gates (e.g. RY(theta) into RZ/SX sequences) while
+ * keeping the circuit symbolically parameterized — client nodes transpile
+ * once per device and re-bind angles on every iteration for free.
+ */
+
+#ifndef EQC_CIRCUIT_CIRCUIT_H
+#define EQC_CIRCUIT_CIRCUIT_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quantum/gates.h"
+#include "quantum/statevector.h"
+
+namespace eqc {
+
+/** Affine angle expression: scale * theta[index] + offset. */
+struct ParamExpr
+{
+    /** Parameter-table index; -1 means a constant angle. */
+    int index = -1;
+    double scale = 1.0;
+    double offset = 0.0;
+
+    /** A constant angle. */
+    static ParamExpr constant(double value);
+
+    /** A symbolic angle scale*theta[idx]+offset. */
+    static ParamExpr symbol(int idx, double scale = 1.0,
+                            double offset = 0.0);
+
+    /** true when the expression references the parameter table. */
+    bool isSymbolic() const { return index >= 0; }
+
+    /** Evaluate against a bound parameter vector. */
+    double evaluate(const std::vector<double> &params) const;
+};
+
+/** One gate instance in a circuit. */
+struct GateOp
+{
+    GateType type = GateType::ID;
+    /** Target qubits; entry 1 unused for 1q gates. */
+    std::array<int, 2> qubits = {-1, -1};
+    /** Rotation angles, length gateParamCount(type). */
+    std::vector<ParamExpr> params;
+
+    /** Number of qubits this op touches. */
+    int arity() const { return gateArity(type); }
+};
+
+/** Gate census of a circuit; the inputs G1/G2/M of the Eq. 2 model. */
+struct GateCounts
+{
+    int g1 = 0;       ///< physical single-qubit gates (excludes RZ/barrier)
+    int g2 = 0;       ///< two-qubit gates
+    int rz = 0;       ///< virtual RZ count (zero cost on IBMQ)
+    int measurements = 0;
+    int swaps = 0;    ///< SWAPs present before decomposition
+};
+
+/** A parameterized quantum circuit. */
+class QuantumCircuit
+{
+  public:
+    QuantumCircuit() = default;
+
+    /**
+     * @param numQubits width of the circuit
+     * @param numParams size of the symbolic parameter table
+     */
+    explicit QuantumCircuit(int numQubits, int numParams = 0);
+
+    int numQubits() const { return numQubits_; }
+    int numParams() const { return numParams_; }
+    const std::vector<GateOp> &ops() const { return ops_; }
+
+    /** Append an arbitrary gate. */
+    void addGate(GateType type, std::vector<int> qubits,
+                 std::vector<ParamExpr> params = {});
+
+    /// @name Builder shorthands
+    /// @{
+    void id(int q) { addGate(GateType::ID, {q}); }
+    void x(int q) { addGate(GateType::X, {q}); }
+    void y(int q) { addGate(GateType::Y, {q}); }
+    void z(int q) { addGate(GateType::Z, {q}); }
+    void h(int q) { addGate(GateType::H, {q}); }
+    void s(int q) { addGate(GateType::S, {q}); }
+    void sdg(int q) { addGate(GateType::SDG, {q}); }
+    void sx(int q) { addGate(GateType::SX, {q}); }
+    void rx(int q, ParamExpr a) { addGate(GateType::RX, {q}, {a}); }
+    void ry(int q, ParamExpr a) { addGate(GateType::RY, {q}, {a}); }
+    void rz(int q, ParamExpr a) { addGate(GateType::RZ, {q}, {a}); }
+    void cx(int c, int t) { addGate(GateType::CX, {c, t}); }
+    void cz(int a, int b) { addGate(GateType::CZ, {a, b}); }
+    void swap(int a, int b) { addGate(GateType::SWAP, {a, b}); }
+    void rzz(int a, int b, ParamExpr p)
+    {
+        addGate(GateType::RZZ, {a, b}, {p});
+    }
+    void measure(int q) { addGate(GateType::MEASURE, {q}); }
+    void barrier();
+    /// @}
+
+    /** Measure every qubit. */
+    void measureAll();
+
+    /** Append all ops of @p other (same width; params share the table). */
+    void append(const QuantumCircuit &other);
+
+    /** Gate census. */
+    GateCounts counts() const;
+
+    /** Circuit depth in layers (excluding barriers). */
+    int depth() const;
+
+    /**
+     * Critical depth: depth over physical (non-virtual, non-measure)
+     * gates only — the CD input of the Eq. 2 quality model.
+     */
+    int criticalDepth() const;
+
+    /** Indices of ops whose angle references parameter @p paramIndex. */
+    std::vector<std::size_t> paramOccurrences(int paramIndex) const;
+
+    /** Qubits touched by at least one op, ascending. */
+    std::vector<int> usedQubits() const;
+
+    /**
+     * Rewrite qubit indices through @p mapping (old index -> new index)
+     * onto a circuit of width @p newNumQubits. Entries must be valid for
+     * every used qubit.
+     */
+    QuantumCircuit remapQubits(const std::vector<int> &mapping,
+                               int newNumQubits) const;
+
+    /** Human-readable multi-line dump (for debugging and examples). */
+    std::string toString() const;
+
+  private:
+    int numQubits_ = 0;
+    int numParams_ = 0;
+    std::vector<GateOp> ops_;
+};
+
+/**
+ * Run a circuit on the ideal state-vector simulator.
+ * MEASURE and BARRIER ops are skipped (measurement is handled by the
+ * caller via Statevector::probabilities / sample).
+ *
+ * @param circuit circuit to execute
+ * @param params bound values for the parameter table
+ */
+Statevector simulateIdeal(const QuantumCircuit &circuit,
+                          const std::vector<double> &params = {});
+
+} // namespace eqc
+
+#endif // EQC_CIRCUIT_CIRCUIT_H

@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eqc {
+
+namespace {
+LogLevel globalLevel = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+        return;
+    std::fprintf(stderr, "[eqc:%s] %s\n", tag.c_str(), msg.c_str());
+}
+
+} // namespace detail
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "[eqc:fatal] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "[eqc:panic] %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace eqc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lightweight status/error reporting, modelled on gem5's logging.hh.
+ *
+ * inform() / warn() print status messages; fatal() reports unrecoverable
+ * user-level errors (bad configuration) and exits; panic() reports internal
+ * invariant violations (library bugs) and aborts.
+ */
+
+#ifndef EQC_COMMON_LOGGING_H
+#define EQC_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace eqc {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global verbosity; messages above the level are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** @return the current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+/** Emit one formatted log line to stderr if @p level is enabled. */
+void emit(LogLevel level, const std::string &tag, const std::string &msg);
+} // namespace detail
+
+/** Informative message for normal operation; never indicates a problem. */
+inline void
+inform(const std::string &msg)
+{
+    detail::emit(LogLevel::Inform, "info", msg);
+}
+
+/** Something looks suspicious but execution can continue. */
+inline void
+warn(const std::string &msg)
+{
+    detail::emit(LogLevel::Warn, "warn", msg);
+}
+
+/** Debug chatter, disabled by default. */
+inline void
+debug(const std::string &msg)
+{
+    detail::emit(LogLevel::Debug, "debug", msg);
+}
+
+/**
+ * Unrecoverable error caused by the caller (invalid arguments or
+ * configuration). Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Internal invariant violation: an EQC bug, not a user error.
+ * Prints the message and aborts (so a core/backtrace is produced).
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace eqc
+
+#endif // EQC_COMMON_LOGGING_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The EQC client node (paper Alg. 2).
+ *
+ * One client fronts one QPU. At construction it transpiles the problem's
+ * measurement-group circuits for its device topology once (circuits stay
+ * symbolically parameterized, so every subsequent iteration only
+ * re-binds angles). For each task it:
+ *   1. samples its device's queue latency,
+ *   2. computes P_correct from the transpiled circuit census and the
+ *      device's *reported* calibration at induction time (Eq. 2),
+ *   3. runs the forward/backward parameter-shift circuits on the
+ *      backend (which applies the *actual*, drifted noise),
+ *   4. hands the gradient and P_correct back to the master.
+ */
+
+#ifndef EQC_CORE_CLIENT_H
+#define EQC_CORE_CLIENT_H
+
+#include <memory>
+
+#include "core/master.h"
+#include "device/backend.h"
+#include "vqa/parameter_shift.h"
+
+namespace eqc {
+
+/** Per-client execution configuration. */
+struct ClientConfig
+{
+    int shots = 8192;
+    ShotMode shotMode = ShotMode::Gaussian;
+    ShiftMode shiftMode = ShiftMode::WholeParameter;
+    PCorrectMode pCorrectMode = PCorrectMode::Physical;
+    /** Reported-calibration measurement-error mitigation. */
+    bool readoutMitigation = true;
+};
+
+/** One QPU-attached worker. */
+class ClientNode
+{
+  public:
+    /**
+     * @param id stable client identifier (index in the ensemble)
+     * @param device catalog device this client manages
+     * @param problem the VQA under optimization
+     * @param seed experiment seed (forked per client)
+     * @param config execution knobs
+     */
+    ClientNode(int id, Device device, const VqaProblem &problem,
+               uint64_t seed, const ClientConfig &config);
+
+    /** Outcome of processing one task. */
+    struct Processed
+    {
+        GradientResult result;
+        /** Sampled job latency in hours (queue + execution). */
+        double latencyH = 0.0;
+    };
+
+    /**
+     * Process a gradient task submitted at @p atTimeH. The returned
+     * result's completion time is atTimeH + latencyH; the circuits are
+     * executed under the device's noise at completion time.
+     */
+    Processed process(const GradientTask &task, double atTimeH);
+
+    /**
+     * Evaluate the energy of @p params on this device at @p atTimeH
+     * (diagnostic; does not consume queue time).
+     */
+    double evaluateEnergy(const std::vector<double> &params,
+                          double atTimeH);
+
+    /** Eq. 2 score against the reported calibration at time t. */
+    double computePCorrect(double atTimeH) const;
+
+    int id() const { return id_; }
+    const Device &device() const { return device_; }
+    SimulatedQpu &backend() { return backend_; }
+    const std::vector<TranspiledCircuit> &compiled() const
+    {
+        return compiled_;
+    }
+
+  private:
+    int id_;
+    Device device_;
+    ClientConfig config_;
+    SimulatedQpu backend_;
+    ExpectationEstimator estimator_;
+    std::vector<TranspiledCircuit> compiled_;
+    Rng rng_;
+    double durUs_;
+};
+
+} // namespace eqc
+
+#endif // EQC_CORE_CLIENT_H

@@ -1,0 +1,36 @@
+#include "core/ensemble.h"
+
+#include "common/logging.h"
+
+namespace eqc {
+
+Ensemble::Ensemble(const VqaProblem &problem,
+                   const std::vector<Device> &devices, uint64_t seed,
+                   const ClientConfig &config)
+{
+    int id = 0;
+    for (const Device &d : devices) {
+        if (!d.canRun(problem.ansatz.numQubits())) {
+            warn("Ensemble: skipping '" + d.name +
+                 "' (insufficient qubits)");
+            continue;
+        }
+        clients_.push_back(std::make_unique<ClientNode>(
+            id, d, problem, seed, config));
+        ++id;
+    }
+    if (clients_.empty())
+        fatal("Ensemble: no eligible devices");
+}
+
+std::vector<Device>
+Ensemble::eligible(const std::vector<Device> &devices, int circuitQubits)
+{
+    std::vector<Device> out;
+    for (const Device &d : devices)
+        if (d.canRun(circuitQubits))
+            out.push_back(d);
+    return out;
+}
+
+} // namespace eqc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ensemble formation and online management.
+ *
+ * The master "queries the quantum computing service provider(s)" and
+ * admits every device with enough active qubits (paper Sec. III-C1);
+ * heterogeneous ensembles are first-class. The optional adaptive policy
+ * implements the paper's "online adjustment of the quantum ensemble
+ * based on the runtime condition of the backend devices": clients whose
+ * normalized weight pins the lower bound repeatedly are cooled down for
+ * a while (typically until their next calibration rescues them).
+ */
+
+#ifndef EQC_CORE_ENSEMBLE_H
+#define EQC_CORE_ENSEMBLE_H
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+
+namespace eqc {
+
+/** Adaptive ensemble-management policy knobs. */
+struct AdaptivePolicy
+{
+    /** Enable cooldown of persistently worst-weighted clients. */
+    bool enabled = false;
+    /** Consecutive bottom-weight results before cooling down. */
+    int unstableStreak = 4;
+    /** Hours a cooled-down client sits out. */
+    double cooldownH = 6.0;
+    /** Weight margin above lo counting as "pinned at the bottom". */
+    double margin = 0.05;
+};
+
+/** The set of client nodes serving one EQC optimization. */
+class Ensemble
+{
+  public:
+    /**
+     * Build clients for every eligible device.
+     * @param problem the VQA under optimization
+     * @param devices candidate devices (ineligible ones are skipped
+     *        with a warning)
+     * @param seed experiment seed
+     * @param config per-client execution knobs
+     */
+    Ensemble(const VqaProblem &problem,
+             const std::vector<Device> &devices, uint64_t seed,
+             const ClientConfig &config);
+
+    std::vector<std::unique_ptr<ClientNode>> &clients()
+    {
+        return clients_;
+    }
+
+    std::size_t size() const { return clients_.size(); }
+
+    ClientNode &client(std::size_t i) { return *clients_[i]; }
+
+    /** Devices from @p devices that can run @p circuitQubits qubits. */
+    static std::vector<Device>
+    eligible(const std::vector<Device> &devices, int circuitQubits);
+
+  private:
+    std::vector<std::unique_ptr<ClientNode>> clients_;
+};
+
+} // namespace eqc
+
+#endif // EQC_CORE_ENSEMBLE_H

@@ -1,0 +1,86 @@
+#include "core/eqc.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+int
+convergenceEpoch(const std::vector<double> &series, double target,
+                 double tolAbs, int window)
+{
+    const int n = static_cast<int>(series.size());
+    if (n == 0 || window < 1)
+        return -1;
+
+    // Trailing-window rolling mean at each index.
+    std::vector<double> rolling(n, 0.0);
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+        acc += series[i];
+        if (i >= window)
+            acc -= series[i - window];
+        int count = std::min(i + 1, window);
+        rolling[i] = acc / count;
+    }
+    // First index from which the rolling mean stays within tolerance.
+    for (int start = 0; start < n; ++start) {
+        bool ok = true;
+        for (int i = start; i < n; ++i) {
+            if (std::fabs(rolling[i] - target) > tolAbs) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return start;
+    }
+    return -1;
+}
+
+int
+convergenceEpoch(const TrainingTrace &trace, double target, double tolAbs,
+                 int window)
+{
+    return convergenceEpoch(trace.deviceEnergySeries(), target, tolAbs,
+                            window);
+}
+
+double
+finalEnergy(const TrainingTrace &trace, int lastK)
+{
+    const auto &epochs = trace.epochs;
+    if (epochs.empty())
+        return 0.0;
+    int k = std::min<int>(lastK, static_cast<int>(epochs.size()));
+    double s = 0.0;
+    for (int i = static_cast<int>(epochs.size()) - k;
+         i < static_cast<int>(epochs.size()); ++i)
+        s += epochs[i].energyDevice;
+    return s / k;
+}
+
+double
+finalIdealEnergy(const TrainingTrace &trace, int lastK)
+{
+    const auto &epochs = trace.epochs;
+    if (epochs.empty())
+        return 0.0;
+    int k = std::min<int>(lastK, static_cast<int>(epochs.size()));
+    double s = 0.0;
+    for (int i = static_cast<int>(epochs.size()) - k;
+         i < static_cast<int>(epochs.size()); ++i)
+        s += epochs[i].energyIdeal;
+    return s / k;
+}
+
+double
+errorVsReference(double energy, double reference)
+{
+    if (reference == 0.0)
+        panic("errorVsReference: zero reference energy");
+    return std::fabs(energy - reference) / std::fabs(reference) * 100.0;
+}
+
+} // namespace eqc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Threaded EQC executor: the Ray-style deployment with one std::thread
+ * per client node and a mutex-guarded master, demonstrating that
+ * MasterNode/ClientNode carry the full asynchronous protocol without
+ * any DES support. Virtual queue latencies are scaled down to
+ * wall-clock sleeps; the run is intentionally non-deterministic (thread
+ * interleaving decides gradient arrival order), which is what the real
+ * system looks like.
+ */
+
+#include "core/eqc.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+EqcTrace
+runEqcThreaded(const VqaProblem &problem,
+               const std::vector<Device> &devices,
+               const EqcOptions &options, double hoursPerWallSecond)
+{
+    if (hoursPerWallSecond <= 0.0)
+        fatal("runEqcThreaded: time scale must be positive");
+
+    EqcTrace trace;
+    trace.label = "EQC-threaded";
+
+    Ensemble ensemble(problem, devices, options.seed, options.client);
+    MasterNode master(problem, options.master);
+    std::mutex masterMutex;
+    std::atomic<bool> stop{false};
+    std::size_t rrEval = 0;
+    double lastCompletionH = 0.0;
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    auto virtualNow = [&]() {
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - wallStart;
+        return dt.count() * hoursPerWallSecond;
+    };
+
+    // Caller must hold masterMutex.
+    auto recordEpochsLocked = [&](double tH, ClientNode &evalClient) {
+        while (static_cast<int>(trace.epochs.size()) <
+                   master.epochsCompleted() &&
+               static_cast<int>(trace.epochs.size()) <
+                   options.master.epochs) {
+            EpochRecord rec;
+            rec.epoch = static_cast<int>(trace.epochs.size());
+            rec.timeH = tH;
+            rec.energyDevice =
+                evalClient.evaluateEnergy(master.params(), tH);
+            rec.energyIdeal =
+                options.recordIdealEnergy
+                    ? idealEnergy(problem.ansatz, problem.hamiltonian,
+                                  master.params())
+                    : 0.0;
+            trace.epochs.push_back(rec);
+            ++rrEval;
+        }
+    };
+
+    auto worker = [&](std::size_t ci) {
+        ClientNode &client = ensemble.client(ci);
+        while (!stop.load()) {
+            GradientTask task;
+            {
+                std::lock_guard<std::mutex> lock(masterMutex);
+                if (master.done())
+                    break;
+                task = master.nextTask();
+            }
+            double submitH = virtualNow();
+            if (submitH > options.maxHours) {
+                std::lock_guard<std::mutex> lock(masterMutex);
+                trace.terminated = true;
+                break;
+            }
+            ClientNode::Processed processed =
+                client.process(task, submitH);
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                processed.latencyH / hoursPerWallSecond));
+            {
+                std::lock_guard<std::mutex> lock(masterMutex);
+                if (master.done())
+                    break;
+                double weight = master.onResult(processed.result);
+                double nowH = virtualNow();
+                lastCompletionH = std::max(lastCompletionH, nowH);
+                trace.circuitEvaluations +=
+                    processed.result.circuitsRun;
+                ++trace.jobsPerDevice[client.device().name];
+                if (options.recordWeights) {
+                    trace.weights.push_back(
+                        {nowH, static_cast<int>(ci),
+                         processed.result.pCorrect, weight});
+                }
+                recordEpochsLocked(nowH, client);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(ensemble.size());
+    for (std::size_t ci = 0; ci < ensemble.size(); ++ci)
+        threads.emplace_back(worker, ci);
+    for (std::thread &t : threads)
+        t.join();
+    stop.store(true);
+
+    trace.terminated = trace.terminated || !master.done();
+    trace.finalParams = master.params();
+    trace.staleness = master.stalenessStats();
+    trace.totalHours = lastCompletionH;
+    trace.epochsPerHour =
+        trace.totalHours > 0.0
+            ? static_cast<double>(trace.epochs.size()) / trace.totalHours
+            : 0.0;
+    return trace;
+}
+
+} // namespace eqc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Discrete-event EQC executor.
+ *
+ * Each client is an actor on the virtual clock: it pulls the next
+ * cyclic task from the master, samples its device's queue latency, and
+ * schedules the gradient delivery at completion time. Because clients
+ * complete at wildly different rates, gradients arrive stale — computed
+ * against parameter snapshots several master updates old — which is
+ * exactly the partially-asynchronous SGD regime of the paper's
+ * convergence proof. Determinism: same seed, same trace.
+ */
+
+#include "core/eqc.h"
+
+#include <functional>
+
+#include "common/logging.h"
+#include "sim/event_queue.h"
+
+namespace eqc {
+
+EqcTrace
+runEqcVirtual(const VqaProblem &problem,
+              const std::vector<Device> &devices,
+              const EqcOptions &options)
+{
+    EqcTrace trace;
+    trace.label = "EQC";
+
+    Ensemble ensemble(problem, devices, options.seed, options.client);
+    MasterNode master(problem, options.master);
+    Simulation sim;
+
+    const std::size_t n = ensemble.size();
+    std::vector<int> bottomStreak(n, 0);
+    std::vector<double> cooldownUntil(n, 0.0);
+    std::size_t rrEval = 0;
+    double lastCompletionH = 0.0;
+
+    // Pull epoch records as soon as the master's epoch counter advances.
+    auto recordEpochs = [&](double tH) {
+        while (static_cast<int>(trace.epochs.size()) <
+                   master.epochsCompleted() &&
+               static_cast<int>(trace.epochs.size()) <
+                   options.master.epochs) {
+            EpochRecord rec;
+            rec.epoch = static_cast<int>(trace.epochs.size());
+            rec.timeH = tH;
+            // Diagnostic energy on a round-robin ensemble member, so the
+            // plotted curve carries the mixture's measurement noise.
+            ClientNode &ev = ensemble.client(rrEval % n);
+            ++rrEval;
+            rec.energyDevice = ev.evaluateEnergy(master.params(), tH);
+            rec.energyIdeal =
+                options.recordIdealEnergy
+                    ? idealEnergy(problem.ansatz, problem.hamiltonian,
+                                  master.params())
+                    : 0.0;
+            trace.epochs.push_back(rec);
+        }
+    };
+
+    std::function<void(std::size_t)> startClient =
+        [&](std::size_t ci) {
+        if (master.done())
+            return;
+        double now = sim.now();
+        if (now > options.maxHours)
+            return;
+        if (options.adaptive.enabled && cooldownUntil[ci] > now) {
+            sim.scheduleAt(cooldownUntil[ci],
+                           [&, ci] { startClient(ci); });
+            return;
+        }
+        ClientNode &client = ensemble.client(ci);
+        GradientTask task = master.nextTask();
+        ClientNode::Processed processed = client.process(task, now);
+        sim.schedule(processed.latencyH, [&, ci, processed] {
+            if (master.done())
+                return;
+            double weight = master.onResult(processed.result);
+            lastCompletionH = sim.now();
+            trace.circuitEvaluations += processed.result.circuitsRun;
+            ++trace.jobsPerDevice[ensemble.client(ci).device().name];
+            if (options.recordWeights) {
+                trace.weights.push_back({sim.now(),
+                                         static_cast<int>(ci),
+                                         processed.result.pCorrect,
+                                         weight});
+            }
+            // Adaptive management: cool down clients pinned at the
+            // bottom of the weight range.
+            const WeightBounds &b = master.options().weightBounds;
+            if (options.adaptive.enabled && b.enabled()) {
+                if (weight <= b.lo + options.adaptive.margin *
+                                         (b.hi - b.lo)) {
+                    if (++bottomStreak[ci] >=
+                        options.adaptive.unstableStreak) {
+                        cooldownUntil[ci] =
+                            sim.now() + options.adaptive.cooldownH;
+                        bottomStreak[ci] = 0;
+                        ++trace.cooldowns;
+                    }
+                } else {
+                    bottomStreak[ci] = 0;
+                }
+            }
+            recordEpochs(sim.now());
+            startClient(ci);
+        });
+    };
+
+    for (std::size_t ci = 0; ci < n; ++ci)
+        sim.scheduleAt(0.0, [&, ci] { startClient(ci); });
+    sim.run();
+
+    trace.terminated = !master.done();
+    trace.finalParams = master.params();
+    trace.staleness = master.stalenessStats();
+    trace.totalHours = lastCompletionH;
+    trace.epochsPerHour =
+        trace.totalHours > 0.0
+            ? static_cast<double>(trace.epochs.size()) / trace.totalHours
+            : 0.0;
+    return trace;
+}
+
+} // namespace eqc

@@ -1,0 +1,87 @@
+#include "core/weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+CircuitQuality
+circuitQuality(const TranspiledCircuit &tc)
+{
+    CircuitQuality q;
+    q.criticalDepth = tc.criticalDepth;
+    q.g1 = tc.counts.g1;
+    q.g2 = tc.counts.g2;
+    q.measurements = tc.counts.measurements;
+    return q;
+}
+
+double
+pCorrect(const CircuitQuality &quality, const CalibrationSnapshot &cal,
+         PCorrectMode mode)
+{
+    const double t1 = cal.avgT1Us();
+    const double t2 = cal.avgT2Us();
+    const double gamma = cal.avgGate1qError();
+    const double beta = cal.avgCxError();
+    const double omega = cal.avgReadoutError();
+    // Average of 1q and 2q gate durations in micro-seconds (the
+    // mu_{t-G1}, mu_{t-G2} of Eq. 2).
+    const double muUs =
+        0.5 * (cal.gate1qTimeNs + cal.avgCxTimeNs()) / 1000.0;
+
+    if (t1 <= 0.0 || t2 <= 0.0)
+        panic("pCorrect: non-positive coherence times");
+
+    double decayExp;
+    if (mode == PCorrectMode::PaperLiteral) {
+        decayExp = quality.criticalDepth * muUs / (t1 * t2);
+    } else {
+        decayExp =
+            quality.criticalDepth * muUs * 0.5 * (1.0 / t1 + 1.0 / t2);
+    }
+    double p = std::exp(-decayExp);
+    p *= std::pow(std::clamp(1.0 - gamma, 0.0, 1.0), quality.g1);
+    p *= std::pow(std::clamp(1.0 - beta, 0.0, 1.0), quality.g2);
+    p *= std::pow(std::clamp(1.0 - omega, 0.0, 1.0),
+                  quality.measurements);
+    return std::clamp(p, 0.0, 1.0);
+}
+
+void
+WeightNormalizer::update(int clientId, double pCorrectValue)
+{
+    latest_[clientId] = std::clamp(pCorrectValue, 0.0, 1.0);
+}
+
+double
+WeightNormalizer::rawFor(int clientId) const
+{
+    auto it = latest_.find(clientId);
+    return it == latest_.end() ? 0.0 : it->second;
+}
+
+double
+WeightNormalizer::weightFor(int clientId) const
+{
+    const double mid = 0.5 * (bounds_.lo + bounds_.hi);
+    if (!bounds_.enabled())
+        return mid;
+    auto it = latest_.find(clientId);
+    if (it == latest_.end() || latest_.size() < 2)
+        return mid;
+    double pmin = latest_.begin()->second;
+    double pmax = pmin;
+    for (const auto &[id, p] : latest_) {
+        pmin = std::min(pmin, p);
+        pmax = std::max(pmax, p);
+    }
+    if (pmax - pmin < 1e-12)
+        return mid;
+    double u = (it->second - pmin) / (pmax - pmin);
+    return bounds_.lo + u * (bounds_.hi - bounds_.lo);
+}
+
+} // namespace eqc

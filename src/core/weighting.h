@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The worker-QPU quality model of paper Sec. IV (Eq. 2) and the bounded
+ * linear weight normalization of Sec. V-D.
+ *
+ *   P_correct = exp(-CD * mu / f(T1,T2)) *
+ *               (1-gamma)^G1 * (1-beta)^G2 * (1-omega)^M
+ *
+ * where CD is the transpiled circuit's critical depth, mu the average
+ * gate duration, gamma/beta/omega the 1q/CX/readout error rates and
+ * G1/G2/M the gate/measurement counts. The decay term is implemented in
+ * two flavours:
+ *  - PaperLiteral: exp(-CD * mu / (T1*T2)) exactly as printed in Eq. 2
+ *    (dimensionally odd — micro-seconds over squared micro-seconds);
+ *  - Physical (default): exp(-CD * mu * (1/T1 + 1/T2) / 2), the
+ *    dimensionally consistent combined-relaxation form.
+ * Only the relative ordering of devices matters for weighting; the
+ * ablation bench compares both.
+ */
+
+#ifndef EQC_CORE_WEIGHTING_H
+#define EQC_CORE_WEIGHTING_H
+
+#include <map>
+
+#include "device/calibration.h"
+#include "transpile/transpiler.h"
+
+namespace eqc {
+
+/** Decay-term convention for Eq. 2. */
+enum class PCorrectMode { Physical, PaperLiteral };
+
+/** Circuit-side inputs of Eq. 2, extracted from a transpiled circuit. */
+struct CircuitQuality
+{
+    int criticalDepth = 0; ///< CD
+    int g1 = 0;            ///< physical 1q gate count
+    int g2 = 0;            ///< 2q gate count
+    int measurements = 0;  ///< M
+};
+
+/** Extract Eq. 2 inputs from a transpilation result. */
+CircuitQuality circuitQuality(const TranspiledCircuit &tc);
+
+/**
+ * Evaluate Eq. 2.
+ *
+ * @param quality transpiled-circuit census
+ * @param cal calibration snapshot (the *reported* one at induction time)
+ * @param mode decay-term convention
+ * @return probability-like score clamped to [0, 1]
+ */
+double pCorrect(const CircuitQuality &quality,
+                const CalibrationSnapshot &cal,
+                PCorrectMode mode = PCorrectMode::Physical);
+
+/** Weight bounds for the Sec. V-D normalization ([1,1] = unweighted). */
+struct WeightBounds
+{
+    double lo = 1.0;
+    double hi = 1.0;
+
+    /** true when weighting actually varies. */
+    bool enabled() const { return hi > lo; }
+};
+
+/**
+ * Linear min/max rescaling of the ensemble's latest P_correct values
+ * into [lo, hi] (paper Sec. V-D): the best device gets hi, the worst lo,
+ * everyone else interpolates. With one client or all-equal values the
+ * weight is the midpoint.
+ */
+class WeightNormalizer
+{
+  public:
+    explicit WeightNormalizer(WeightBounds bounds) : bounds_(bounds) {}
+
+    /** Record the latest P_correct reported by a client. */
+    void update(int clientId, double pCorrectValue);
+
+    /** Current normalized weight of a client (midpoint if unknown). */
+    double weightFor(int clientId) const;
+
+    /** Latest raw P_correct of a client (0 if unknown). */
+    double rawFor(int clientId) const;
+
+    const WeightBounds &bounds() const { return bounds_; }
+
+    /** Number of clients with a recorded P_correct. */
+    std::size_t knownClients() const { return latest_.size(); }
+
+  private:
+    WeightBounds bounds_;
+    std::map<int, double> latest_;
+};
+
+} // namespace eqc
+
+#endif // EQC_CORE_WEIGHTING_H

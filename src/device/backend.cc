@@ -1,0 +1,216 @@
+#include "device/backend.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "quantum/density_matrix.h"
+#include "quantum/statevector.h"
+
+namespace eqc {
+
+SimulatedQpu::SimulatedQpu(Device dev, uint64_t seed)
+    : dev_(std::move(dev)),
+      tracker_(dev_.baseCalibration, dev_.drift,
+               Rng(seed).fork("drift:" + dev_.name)),
+      queue_(dev_.queue)
+{
+}
+
+CalibrationSnapshot
+SimulatedQpu::reportedCalibration(double tH) const
+{
+    return tracker_.reported(tH);
+}
+
+namespace {
+
+/** Apply thermal relaxation over @p timeUs via the analytic fast path. */
+void
+applyThermal(DensityMatrix &dm, int qubit, const QubitCalibration &qc,
+             double timeUs)
+{
+    double t2 = std::min(qc.t2Us, 2.0 * qc.t1Us);
+    double gamma = 1.0 - std::exp(-timeUs / qc.t1Us);
+    double coherence = std::exp(-timeUs / t2);
+    dm.applyThermalRelaxation(qubit, gamma, coherence);
+}
+
+/** true when the calibration carries effectively no noise. */
+bool
+isNoiseless(const CalibrationSnapshot &cal)
+{
+    for (const auto &q : cal.qubits) {
+        if (q.gate1qError > 0.0 || q.readout.p01 > 0.0 ||
+            q.readout.p10 > 0.0 || q.t1Us < 1e7) {
+            return false;
+        }
+    }
+    for (const auto &[k, v] : cal.cxError)
+        if (v > 0.0)
+            return false;
+    return true;
+}
+
+} // namespace
+
+JobResult
+SimulatedQpu::execute(const TranspiledCircuit &tc,
+                      const std::vector<double> &params, int shots,
+                      double atTimeH, Rng &rng, bool sampleCounts)
+{
+    const QuantumCircuit &circuit = tc.compact;
+    const CalibrationSnapshot cal = tracker_.actual(atTimeH);
+    const int n = circuit.numQubits();
+    if (n < 1)
+        panic("SimulatedQpu::execute: empty circuit");
+
+    auto physId = [&](int q) { return tc.compactToPhysical[q]; };
+
+    JobResult result;
+    result.shots = shots;
+    result.circuitDurationUs =
+        circuitDurationUs(circuit, cal, tc.compactToPhysical);
+
+    std::vector<int> measured;
+    const bool noiseless = isNoiseless(cal);
+
+    if (noiseless) {
+        // Pure-state fast path for the ideal baseline.
+        Statevector sv(n);
+        for (const GateOp &op : circuit.ops()) {
+            if (op.type == GateType::MEASURE) {
+                measured.push_back(op.qubits[0]);
+                continue;
+            }
+            if (op.type == GateType::BARRIER || op.type == GateType::ID)
+                continue;
+            std::vector<double> angles;
+            for (const ParamExpr &p : op.params)
+                angles.push_back(p.evaluate(params));
+            std::vector<int> qs(op.qubits.begin(),
+                                op.qubits.begin() + op.arity());
+            sv.applyGate(gateMatrix(op.type, angles), qs);
+        }
+        result.probabilities = sv.probabilities();
+    } else {
+        DensityMatrix dm(n);
+        const double t1qUs = cal.gate1qTimeNs / 1000.0;
+        for (const GateOp &op : circuit.ops()) {
+            if (op.type == GateType::MEASURE) {
+                measured.push_back(op.qubits[0]);
+                continue;
+            }
+            if (op.type == GateType::BARRIER)
+                continue;
+            std::vector<double> angles;
+            for (const ParamExpr &p : op.params)
+                angles.push_back(p.evaluate(params));
+            std::vector<int> qs(op.qubits.begin(),
+                                op.qubits.begin() + op.arity());
+
+            if (op.type != GateType::ID)
+                dm.applyUnitary(gateMatrix(op.type, angles), qs);
+
+            switch (op.type) {
+              case GateType::RZ:
+                // Virtual: implemented in software, no noise.
+                break;
+              case GateType::ID:
+              case GateType::SX:
+              case GateType::X: {
+                const QubitCalibration &qc = cal.qubits[physId(qs[0])];
+                if (op.type != GateType::ID &&
+                    qc.coherentRxRad != 0.0) {
+                    // Coherent miscalibration: every physical X-axis
+                    // pulse over/under-rotates by a signed angle.
+                    dm.applyUnitary(
+                        gateMatrix(GateType::RX, {qc.coherentRxRad}),
+                        qs);
+                }
+                applyThermal(dm, qs[0], qc, t1qUs);
+                if (op.type != GateType::ID && qc.gate1qError > 0.0)
+                    dm.applyDepolarizing1q(qc.gate1qError, qs[0]);
+                break;
+              }
+              case GateType::CX: {
+                int pa = physId(qs[0]), pb = physId(qs[1]);
+                double err = cal.cxErrorFor(pa, pb);
+                double durUs = cal.cxTimeFor(pa, pb) / 1000.0;
+                double phase = cal.cxPhaseFor(pa, pb);
+                if (phase != 0.0) {
+                    // Residual ZZ phase accompanying the CX pulse.
+                    dm.applyUnitary(gateMatrix(GateType::RZZ, {phase}),
+                                    qs);
+                }
+                if (err > 0.0)
+                    dm.applyDepolarizing2q(err, qs[0], qs[1]);
+                applyThermal(dm, qs[0], cal.qubits[pa], durUs);
+                applyThermal(dm, qs[1], cal.qubits[pb], durUs);
+                break;
+              }
+              default:
+                panic("SimulatedQpu: non-basis gate '" +
+                      gateName(op.type) + "' reached the backend");
+            }
+        }
+        result.probabilities = dm.probabilities();
+        // SPAM: per-qubit readout confusion on the measured qubits.
+        for (int q : measured) {
+            const QubitCalibration &qc = cal.qubits[physId(q)];
+            applyReadoutError(result.probabilities, q, qc.readout);
+        }
+    }
+
+    if (sampleCounts && shots > 0)
+        result.counts = rng.multinomial(result.probabilities,
+                                        static_cast<uint64_t>(shots));
+    return result;
+}
+
+Device
+makeIdealDevice(int numQubits, const std::string &name)
+{
+    Device d;
+    d.name = name;
+    d.numQubits = numQubits;
+    d.processor = "ideal-simulator";
+    d.quantumVolume = 1 << numQubits;
+    d.topologyName = "All-to-all";
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < numQubits; ++a)
+        for (int b = a + 1; b < numQubits; ++b)
+            edges.push_back({a, b});
+    d.coupling = CouplingMap(numQubits, std::move(edges));
+
+    CalibrationSnapshot cal;
+    for (int q = 0; q < numQubits; ++q) {
+        QubitCalibration qc;
+        qc.t1Us = 1e9;
+        qc.t2Us = 1e9;
+        qc.gate1qError = 0.0;
+        qc.readout = {0.0, 0.0};
+        cal.qubits.push_back(qc);
+    }
+    for (const auto &[a, b] : d.coupling.edges()) {
+        cal.cxError[{a, b}] = 0.0;
+        cal.cxTimeNs[{a, b}] = 300.0;
+    }
+    d.baseCalibration = cal;
+
+    DriftParams drift;
+    drift.errorDriftPerHour = 0.0;
+    drift.coherenceDriftPerHour = 0.0;
+    drift.calQualitySigma = 0.0;
+    drift.latentSigma = 0.0;
+    d.drift = drift;
+
+    QueueParams q;
+    q.baseWaitS = 0.5;
+    q.waitLogSigma = 0.1;
+    q.congestionAmplitude = 0.0;
+    q.jobOverheadS = 0.5;
+    d.queue = q;
+    return d;
+}
+
+} // namespace eqc

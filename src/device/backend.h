@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Quantum backend interface and the simulated QPU.
+ *
+ * SimulatedQpu is the substitution for a physical IBMQ device: it runs
+ * the transpiled circuit on the density-matrix simulator with Kraus
+ * noise derived from the device's *actual* (drifted) calibration at the
+ * submission time, applies per-qubit readout confusion, and samples
+ * shots. Client nodes, however, only ever see the *reported* calibration
+ * — exactly the information asymmetry real EQC deployments face.
+ */
+
+#ifndef EQC_DEVICE_BACKEND_H
+#define EQC_DEVICE_BACKEND_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "transpile/transpiler.h"
+
+namespace eqc {
+
+/** Result of one batch execution on a backend. */
+struct JobResult
+{
+    /**
+     * Outcome distribution over the compact circuit's qubits with
+     * readout error applied (exact, before shot sampling).
+     */
+    std::vector<double> probabilities;
+    /** Sampled counts per outcome (empty when sampling was disabled). */
+    std::vector<uint64_t> counts;
+    /** Shots requested. */
+    int shots = 0;
+    /** Wall-clock duration of one circuit execution (microseconds). */
+    double circuitDurationUs = 0.0;
+};
+
+/** Abstract execution target for transpiled circuits. */
+class QuantumBackend
+{
+  public:
+    virtual ~QuantumBackend() = default;
+
+    /**
+     * Execute a bound circuit.
+     *
+     * @param tc transpiled circuit (compact form is executed)
+     * @param params values for the circuit's parameter table
+     * @param shots number of measurement shots
+     * @param atTimeH virtual submission time (selects the noise state)
+     * @param rng stream for shot sampling
+     * @param sampleCounts also draw multinomial counts (exact
+     *        distribution is always returned)
+     */
+    virtual JobResult execute(const TranspiledCircuit &tc,
+                              const std::vector<double> &params, int shots,
+                              double atTimeH, Rng &rng,
+                              bool sampleCounts) = 0;
+
+    /** Device this backend fronts. */
+    virtual const Device &device() const = 0;
+
+    /**
+     * Calibration the provider advertises at time t. Clients use it for
+     * Eq. 2 weighting and readout-error mitigation; it lags the true
+     * noise by up to one calibration cycle.
+     */
+    virtual CalibrationSnapshot reportedCalibration(double tH) const = 0;
+};
+
+/** Density-matrix-simulated QPU with drifting calibration. */
+class SimulatedQpu : public QuantumBackend
+{
+  public:
+    /**
+     * @param dev device description (catalog entry)
+     * @param seed experiment seed; forked per device for determinism
+     */
+    SimulatedQpu(Device dev, uint64_t seed);
+
+    JobResult execute(const TranspiledCircuit &tc,
+                      const std::vector<double> &params, int shots,
+                      double atTimeH, Rng &rng,
+                      bool sampleCounts) override;
+
+    const Device &device() const override { return dev_; }
+
+    /** Calibration the provider advertises at time t (no drift). */
+    CalibrationSnapshot reportedCalibration(double tH) const override;
+
+    /** Access to the underlying drift timeline (for benches/tests). */
+    const CalibrationTracker &tracker() const { return tracker_; }
+
+    /** Queue model of this device. */
+    const QueueModel &queue() const { return queue_; }
+
+  private:
+    Device dev_;
+    CalibrationTracker tracker_;
+    QueueModel queue_;
+};
+
+/**
+ * A perfect device: all-to-all coupling, no noise, negligible queue.
+ * Used for the paper's "Ideal Solution" baseline curves.
+ */
+Device makeIdealDevice(int numQubits, const std::string &name = "ideal");
+
+} // namespace eqc
+
+#endif // EQC_DEVICE_BACKEND_H

@@ -1,0 +1,146 @@
+#include "device/calibration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+namespace {
+
+std::pair<int, int>
+orderedPair(int a, int b)
+{
+    return {std::min(a, b), std::max(a, b)};
+}
+
+} // namespace
+
+double
+CalibrationSnapshot::cxErrorFor(int a, int b) const
+{
+    auto it = cxError.find(orderedPair(a, b));
+    if (it == cxError.end())
+        panic("CalibrationSnapshot::cxErrorFor: unknown pair");
+    return it->second;
+}
+
+double
+CalibrationSnapshot::cxTimeFor(int a, int b) const
+{
+    auto it = cxTimeNs.find(orderedPair(a, b));
+    if (it == cxTimeNs.end())
+        panic("CalibrationSnapshot::cxTimeFor: unknown pair");
+    return it->second;
+}
+
+double
+CalibrationSnapshot::cxPhaseFor(int a, int b) const
+{
+    auto it = cxPhaseRad.find(orderedPair(a, b));
+    return it == cxPhaseRad.end() ? 0.0 : it->second;
+}
+
+double
+CalibrationSnapshot::avgT1Us() const
+{
+    double s = 0.0;
+    for (const auto &q : qubits)
+        s += q.t1Us;
+    return qubits.empty() ? 0.0 : s / qubits.size();
+}
+
+double
+CalibrationSnapshot::avgT2Us() const
+{
+    double s = 0.0;
+    for (const auto &q : qubits)
+        s += q.t2Us;
+    return qubits.empty() ? 0.0 : s / qubits.size();
+}
+
+double
+CalibrationSnapshot::avgGate1qError() const
+{
+    double s = 0.0;
+    for (const auto &q : qubits)
+        s += q.gate1qError;
+    return qubits.empty() ? 0.0 : s / qubits.size();
+}
+
+double
+CalibrationSnapshot::avgCxError() const
+{
+    if (cxError.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &[k, v] : cxError)
+        s += v;
+    return s / cxError.size();
+}
+
+double
+CalibrationSnapshot::avgReadoutError() const
+{
+    double s = 0.0;
+    for (const auto &q : qubits)
+        s += 0.5 * (q.readout.p01 + q.readout.p10);
+    return qubits.empty() ? 0.0 : s / qubits.size();
+}
+
+double
+CalibrationSnapshot::avgCxTimeNs() const
+{
+    if (cxTimeNs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &[k, v] : cxTimeNs)
+        s += v;
+    return s / cxTimeNs.size();
+}
+
+double
+circuitDurationUs(const QuantumCircuit &circuit,
+                  const CalibrationSnapshot &cal,
+                  const std::vector<int> &qubitIds)
+{
+    auto physId = [&](int q) {
+        if (qubitIds.empty())
+            return q;
+        return qubitIds[q];
+    };
+    std::vector<double> readyNs(circuit.numQubits(), 0.0);
+    double endNs = 0.0;
+    for (const GateOp &op : circuit.ops()) {
+        double dur = 0.0;
+        switch (op.type) {
+          case GateType::BARRIER: {
+            double m = *std::max_element(readyNs.begin(), readyNs.end());
+            std::fill(readyNs.begin(), readyNs.end(), m);
+            continue;
+          }
+          case GateType::RZ:
+            dur = 0.0;
+            break;
+          case GateType::MEASURE:
+            dur = cal.readoutTimeNs;
+            break;
+          case GateType::CX:
+            dur = cal.cxTimeFor(physId(op.qubits[0]), physId(op.qubits[1]));
+            break;
+          default:
+            dur = cal.gate1qTimeNs;
+        }
+        double start = readyNs[op.qubits[0]];
+        if (op.arity() == 2)
+            start = std::max(start, readyNs[op.qubits[1]]);
+        double end = start + dur;
+        readyNs[op.qubits[0]] = end;
+        if (op.arity() == 2)
+            readyNs[op.qubits[1]] = end;
+        endNs = std::max(endNs, end);
+    }
+    return endNs / 1000.0;
+}
+
+} // namespace eqc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Calibration data: what a QPU reports about itself after each
+ * calibration cycle — T1/T2 per qubit, gate fidelities, gate times and
+ * readout error. These are exactly the quantities the paper's Eq. 2
+ * quality model consumes, and the quantities our noise builder turns
+ * into Kraus channels.
+ */
+
+#ifndef EQC_DEVICE_CALIBRATION_H
+#define EQC_DEVICE_CALIBRATION_H
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "quantum/kraus.h"
+
+namespace eqc {
+
+/** Per-qubit calibration record. */
+struct QubitCalibration
+{
+    double t1Us = 100.0;       ///< relaxation time
+    double t2Us = 80.0;        ///< dephasing time
+    double gate1qError = 3e-4; ///< SX/X depolarizing error
+    ReadoutError readout;      ///< measurement confusion probabilities
+    /**
+     * Coherent over/under-rotation (radians) applied with every SX/X
+     * pulse. Signed and device-specific: this is the miscalibration
+     * that *biases* learned VQA parameters (the device-specific bias of
+     * paper Sec. I), unlike depolarizing noise which merely attenuates
+     * gradients. Not part of what providers report.
+     */
+    double coherentRxRad = 0.0;
+};
+
+/** Full device calibration snapshot at one point in time. */
+struct CalibrationSnapshot
+{
+    /** Time (hours) the snapshot was taken. */
+    double timeH = 0.0;
+
+    std::vector<QubitCalibration> qubits;
+
+    /** CX error per coupled pair, keyed by (min, max) qubit index. */
+    std::map<std::pair<int, int>, double> cxError;
+
+    /** CX duration per coupled pair in nanoseconds. */
+    std::map<std::pair<int, int>, double> cxTimeNs;
+
+    /**
+     * Coherent ZZ-phase error (radians) accompanying each CX, per
+     * coupled pair. Signed; unreported (see coherentRxRad).
+     */
+    std::map<std::pair<int, int>, double> cxPhaseRad;
+
+    /** Duration of SX/X gates in nanoseconds. */
+    double gate1qTimeNs = 35.0;
+
+    /** Measurement duration in nanoseconds. */
+    double readoutTimeNs = 4000.0;
+
+    /** CX error for an (unordered) pair; panics on unknown pairs. */
+    double cxErrorFor(int a, int b) const;
+
+    /** CX duration for an (unordered) pair in nanoseconds. */
+    double cxTimeFor(int a, int b) const;
+
+    /** Coherent CX phase error for a pair (0 when absent). */
+    double cxPhaseFor(int a, int b) const;
+
+    /// @name Aggregates used by the Eq. 2 quality model
+    /// @{
+    double avgT1Us() const;
+    double avgT2Us() const;
+    double avgGate1qError() const;
+    double avgCxError() const;
+    double avgReadoutError() const;
+    double avgCxTimeNs() const;
+    /// @}
+};
+
+/**
+ * Estimated wall-clock duration of one execution of @p circuit in
+ * microseconds, using ASAP scheduling with per-gate durations from
+ * @p cal (RZ is virtual and free; measurement costs readoutTimeNs).
+ *
+ * @param circuit compacted physical circuit
+ * @param qubitIds physical qubit id of each circuit qubit (for per-pair
+ *        CX durations); empty means identity
+ */
+double circuitDurationUs(const QuantumCircuit &circuit,
+                         const CalibrationSnapshot &cal,
+                         const std::vector<int> &qubitIds = {});
+
+} // namespace eqc
+
+#endif // EQC_DEVICE_CALIBRATION_H

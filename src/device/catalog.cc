@@ -1,0 +1,168 @@
+#include "device/catalog.h"
+
+#include "common/logging.h"
+
+namespace eqc {
+
+namespace {
+
+/** Noise/behaviour personality used to synthesize one device. */
+struct Personality
+{
+    const char *name;
+    const char *processor;
+    int qv;
+    const char *topologyName;
+    CouplingMap (*topology)();
+    // Noise means.
+    double t1Us;
+    double t2Ratio;
+    double err1q;
+    double cxErr;
+    double readout;
+    double crosstalk;
+    // Coherent (signed, unreported) error scales in radians.
+    double coh1q;
+    double coh2q;
+    // Queue.
+    QueueParams queue;
+    // Drift.
+    DriftParams drift;
+};
+
+CouplingMap
+line5()
+{
+    return CouplingMap::line(5);
+}
+
+QueueParams
+queueOf(double baseWaitS, double sigma, double congestion = 0.3,
+        double phaseH = 0.0, double maintPeriodH = 0.0)
+{
+    QueueParams q;
+    q.baseWaitS = baseWaitS;
+    q.waitLogSigma = sigma;
+    q.congestionAmplitude = congestion;
+    q.congestionPhaseH = phaseH;
+    q.maintenancePeriodH = maintPeriodH;
+    q.maintenanceDurationH = 3.0;
+    return q;
+}
+
+DriftParams
+driftOf(double errPerHour, double incidentRate = 0.0,
+        double severity = 4.0, double meanDurH = 6.0)
+{
+    DriftParams d;
+    d.errorDriftPerHour = errPerHour;
+    d.incidentRatePerHour = incidentRate;
+    d.incidentSeverity = severity;
+    d.incidentMeanDurationH = meanDurH;
+    return d;
+}
+
+std::vector<Personality>
+personalities()
+{
+    // Queue medians are calibrated so single-device VQE throughput
+    // lands on the paper's Fig. 6 epochs/hour scale (x2 ~9/h,
+    // Casablanca ~6.8/h, Santiago ~0.5/h, Manhattan ~0.05/h) with one
+    // gradient job = 6 circuits of 8192 shots, 17 jobs per epoch.
+    return {
+        // name, processor, QV, topo-name, topo, T1, T2/T1, e1q, eCX,
+        // eRO, xtalk, queue, drift
+        {"ibmq_lima", "Falcon r4T", 8, "T-shape", CouplingMap::tShape,
+         70.0, 0.85, 5.0e-4, 1.30e-2, 2.8e-2, 0.05, 0.012, 0.030,
+         queueOf(40.0, 0.6), driftOf(0.012)},
+        {"ibmqx2", "Falcon r4T", 8, "Fully-connected",
+         CouplingMap::bowtie, 45.0, 0.70, 1.2e-3, 2.40e-2, 4.5e-2, 0.12,
+         0.035, 0.080, queueOf(15.0, 0.5), driftOf(0.020)},
+        {"ibmq_belem", "Falcon r4T", 16, "T-shape", CouplingMap::tShape,
+         85.0, 0.90, 4.0e-4, 1.10e-2, 2.2e-2, 0.05, 0.010, 0.026,
+         queueOf(28.0, 0.6), driftOf(0.010)},
+        {"ibmq_quito", "Falcon r4T", 16, "T-shape", CouplingMap::tShape,
+         90.0, 0.95, 3.0e-4, 0.80e-2, 1.6e-2, 0.05, 0.008, 0.020,
+         queueOf(31.0, 0.6), driftOf(0.008)},
+        {"ibmq_manila", "Falcon r5.11L", 32, "Line", line5, 120.0, 1.00,
+         2.5e-4, 0.70e-2, 1.8e-2, 0.04, 0.007, 0.018,
+         queueOf(35.0, 0.6), driftOf(0.008)},
+        {"ibmq_santiago", "Falcon r4L", 16, "Line", line5, 95.0, 0.95,
+         3.5e-4, 0.85e-2, 1.7e-2, 0.04, 0.009, 0.022,
+         queueOf(380.0, 0.7, 0.8), driftOf(0.010)},
+        {"ibmq_bogota", "Falcon r4L", 32, "Line", line5, 110.0, 1.00,
+         3.0e-4, 0.75e-2, 1.5e-2, 0.04, 0.007, 0.017,
+         queueOf(17.0, 0.5), driftOf(0.007)},
+        {"ibm_lagos", "Falcon r5.11H", 32, "H-shape",
+         CouplingMap::hShape, 115.0, 1.00, 2.5e-4, 0.75e-2, 1.4e-2, 0.05,
+         0.008, 0.019, queueOf(52.0, 0.6), driftOf(0.008)},
+        // Casablanca: fast queue but violently drifting — the paper's
+        // running example of time-dependent machine degradation.
+        {"ibmq_casablanca", "Falcon r4H", 32, "H-shape",
+         CouplingMap::hShape, 90.0, 0.90, 4.0e-4, 0.90e-2, 1.9e-2, 0.05,
+         0.012, 0.032,
+         queueOf(20.0, 0.5), driftOf(0.030, 0.010, 2.8, 8.0)},
+        // Toronto: decent fabric, wildly swinging queue (6.5 -> 0.03
+        // epochs/hour in the paper) plus periodic maintenance.
+        {"ibmq_toronto", "Falcon r4", 32, "Honeycomb",
+         CouplingMap::heavyHex27, 100.0, 0.95, 3.5e-4, 1.00e-2, 2.4e-2,
+         0.03, 0.010, 0.025, queueOf(460.0, 0.9, 2.2, 6.0, 72.0),
+         driftOf(0.012, 0.008, 3.0, 6.0)},
+        // Manhattan: months-per-training-run queue.
+        {"ibmq_manhattan", "Falcon r4", 32, "Honeycomb",
+         CouplingMap::heavyHex65, 95.0, 0.90, 4.0e-4, 1.10e-2, 2.6e-2,
+         0.03, 0.011, 0.028, queueOf(2800.0, 0.9, 1.0, 15.0),
+         driftOf(0.012)},
+    };
+}
+
+Device
+build(const Personality &p, uint64_t seed)
+{
+    Device d;
+    d.name = p.name;
+    d.processor = p.processor;
+    d.quantumVolume = p.qv;
+    d.topologyName = p.topologyName;
+    d.coupling = p.topology();
+    d.numQubits = d.coupling.numQubits();
+    Rng rng = Rng(seed).fork(d.name);
+    d.baseCalibration = synthesizeCalibration(
+        d.coupling, rng.fork("cal"), p.t1Us, p.t2Ratio, p.err1q, p.cxErr,
+        p.readout, p.crosstalk, p.coh1q, p.coh2q);
+    d.drift = p.drift;
+    d.queue = p.queue;
+    return d;
+}
+
+} // namespace
+
+std::vector<Device>
+ibmqCatalog(uint64_t seed)
+{
+    std::vector<Device> out;
+    for (const Personality &p : personalities())
+        out.push_back(build(p, seed));
+    return out;
+}
+
+Device
+deviceByName(const std::string &name, uint64_t seed)
+{
+    for (const Personality &p : personalities())
+        if (name == p.name)
+            return build(p, seed);
+    fatal("deviceByName: unknown device '" + name + "'");
+}
+
+std::vector<Device>
+evaluationEnsemble(uint64_t seed)
+{
+    std::vector<Device> out;
+    for (Device &d : ibmqCatalog(seed))
+        if (d.name != "ibmq_manhattan")
+            out.push_back(std::move(d));
+    return out;
+}
+
+} // namespace eqc

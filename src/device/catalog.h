@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The device catalog: all 11 IBMQ platforms of the paper's Table I with
+ * synthetic-but-shaped calibrations, drift personalities and queue
+ * personalities (see DESIGN.md "Substitutions" for how the numbers were
+ * chosen to reproduce the paper's relative device behaviour).
+ */
+
+#ifndef EQC_DEVICE_CATALOG_H
+#define EQC_DEVICE_CATALOG_H
+
+#include <vector>
+
+#include "device/device.h"
+
+namespace eqc {
+
+/**
+ * Build the full Table I catalog. Deterministic for a given seed; the
+ * default seed reproduces the numbers quoted in EXPERIMENTS.md.
+ */
+std::vector<Device> ibmqCatalog(uint64_t seed = 2022);
+
+/** Look up a catalog device by name; fatals on unknown names. */
+Device deviceByName(const std::string &name, uint64_t seed = 2022);
+
+/**
+ * The ensemble used in the paper's evaluation: all Table I devices
+ * except Manhattan (the paper deploys EQC on 10 IBMQ machines and only
+ * reports Manhattan as a single-device training casualty).
+ */
+std::vector<Device> evaluationEnsemble(uint64_t seed = 2022);
+
+} // namespace eqc
+
+#endif // EQC_DEVICE_CATALOG_H

@@ -1,0 +1,52 @@
+#include "device/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eqc {
+
+CalibrationSnapshot
+synthesizeCalibration(const CouplingMap &coupling, Rng rng,
+                      double t1MeanUs, double t2Ratio, double err1qMean,
+                      double cxErrMean, double readoutMean,
+                      double crosstalk, double coherent1qSigma,
+                      double coherent2qSigma)
+{
+    CalibrationSnapshot cal;
+    cal.timeH = 0.0;
+    Rng qubitRng = rng.fork("qubits");
+    for (int q = 0; q < coupling.numQubits(); ++q) {
+        QubitCalibration qc;
+        qc.t1Us = t1MeanUs * qubitRng.lognormal(0.0, 0.15);
+        qc.t2Us = std::min(qc.t1Us * t2Ratio *
+                               qubitRng.lognormal(0.0, 0.15),
+                           2.0 * qc.t1Us);
+        qc.gate1qError = err1qMean * qubitRng.lognormal(0.0, 0.2);
+        double ro = readoutMean * qubitRng.lognormal(0.0, 0.2);
+        // Readout is asymmetric on hardware: |1> readout is worse.
+        qc.readout.p01 = 0.8 * ro;
+        qc.readout.p10 = 1.2 * ro;
+        qc.coherentRxRad = coherent1qSigma > 0.0
+                               ? qubitRng.normal(0.0, coherent1qSigma)
+                               : 0.0;
+        cal.qubits.push_back(qc);
+    }
+    Rng edgeRng = rng.fork("edges");
+    for (const auto &[a, b] : coupling.edges()) {
+        // Crosstalk penalty: busier neighborhoods couple worse.
+        int extraDeg = coupling.degree(a) + coupling.degree(b) - 2;
+        double penalty = 1.0 + crosstalk * std::max(0, extraDeg - 2);
+        double err = cxErrMean * penalty * edgeRng.lognormal(0.0, 0.2);
+        auto key = std::minmax(a, b);
+        cal.cxError[{key.first, key.second}] = err;
+        cal.cxTimeNs[{key.first, key.second}] =
+            edgeRng.uniform(280.0, 520.0);
+        cal.cxPhaseRad[{key.first, key.second}] =
+            coherent2qSigma > 0.0
+                ? edgeRng.normal(0.0, coherent2qSigma)
+                : 0.0;
+    }
+    return cal;
+}
+
+} // namespace eqc

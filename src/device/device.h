@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static description of one QPU: identity (Table I row), connectivity,
+ * factory calibration and the behavioural personalities (drift, queue).
+ */
+
+#ifndef EQC_DEVICE_DEVICE_H
+#define EQC_DEVICE_DEVICE_H
+
+#include <string>
+
+#include "device/calibration.h"
+#include "device/drift.h"
+#include "device/queue_model.h"
+#include "transpile/coupling_map.h"
+
+namespace eqc {
+
+/** One quantum processing unit, as the master node sees it. */
+struct Device
+{
+    std::string name;          ///< e.g. "ibmq_bogota"
+    int numQubits = 0;
+    std::string processor;     ///< e.g. "Falcon r4L"
+    int quantumVolume = 0;     ///< QV per Cross et al.
+    std::string topologyName;  ///< "Line", "T-shape", ...
+    CouplingMap coupling;
+    CalibrationSnapshot baseCalibration;
+    DriftParams drift;
+    QueueParams queue;
+
+    /**
+     * Eligibility check used by the master when forming the ensemble
+     * (paper Sec. III-C1: "active qubits larger than the number of
+     * qubits required by the parameterized circuit").
+     */
+    bool canRun(int circuitQubits) const
+    {
+        return circuitQubits <= numQubits;
+    }
+};
+
+/**
+ * Synthesize a plausible calibration snapshot for a coupling map.
+ *
+ * Per-qubit T1/T2, 1q error and readout error are drawn around the given
+ * means with small relative jitter; per-edge CX errors additionally pick
+ * up a connectivity (crosstalk) penalty proportional to the endpoint
+ * degrees — highly connected topologies such as the x2 bowtie pay for
+ * their density exactly as Sec. III-C3 describes.
+ *
+ * @param coupling device connectivity
+ * @param rng deterministic generator (fork of the catalog seed)
+ * @param t1MeanUs mean T1
+ * @param t2Ratio mean T2/T1 ratio
+ * @param err1qMean mean SX/X error
+ * @param cxErrMean mean CX error before the crosstalk penalty
+ * @param readoutMean mean readout assignment error
+ * @param crosstalk strength of the degree-based CX penalty
+ * @param coherent1qSigma std-dev (radians) of per-qubit signed coherent
+ *        SX/X over-rotation
+ * @param coherent2qSigma std-dev (radians) of per-edge signed coherent
+ *        CX ZZ-phase error
+ */
+CalibrationSnapshot synthesizeCalibration(const CouplingMap &coupling,
+                                          Rng rng, double t1MeanUs,
+                                          double t2Ratio,
+                                          double err1qMean,
+                                          double cxErrMean,
+                                          double readoutMean,
+                                          double crosstalk,
+                                          double coherent1qSigma = 0.0,
+                                          double coherent2qSigma = 0.0);
+
+} // namespace eqc
+
+#endif // EQC_DEVICE_DEVICE_H

@@ -1,0 +1,63 @@
+#include "device/queue_model.h"
+
+#include <cmath>
+
+#include "quantum/types.h"
+
+namespace eqc {
+
+double
+QueueModel::congestionFactor(double tH) const
+{
+    if (params_.congestionAmplitude <= 0.0)
+        return 1.0;
+    double phase = 2.0 * kPi * (tH + params_.congestionPhaseH) /
+                   params_.congestionPeriodH;
+    return std::exp(params_.congestionAmplitude * std::sin(phase));
+}
+
+bool
+QueueModel::inMaintenance(double tH) const
+{
+    return maintenanceRemainingH(tH) > 0.0;
+}
+
+double
+QueueModel::maintenanceRemainingH(double tH) const
+{
+    if (params_.maintenancePeriodH <= 0.0)
+        return 0.0;
+    double local = std::fmod(tH - params_.maintenanceOffsetH,
+                             params_.maintenancePeriodH);
+    if (local < 0)
+        local += params_.maintenancePeriodH;
+    if (local < params_.maintenanceDurationH)
+        return params_.maintenanceDurationH - local;
+    return 0.0;
+}
+
+double
+QueueModel::sampleWaitS(double tH, Rng &rng) const
+{
+    double jitter = rng.lognormal(0.0, params_.waitLogSigma);
+    return params_.baseWaitS * congestionFactor(tH) * jitter;
+}
+
+double
+QueueModel::executionTimeS(double circuitDurationUs, int shots,
+                           int numCircuits) const
+{
+    double perShotUs = circuitDurationUs + params_.resetTimeUs;
+    return numCircuits * shots * perShotUs / 1e6 + params_.jobOverheadS;
+}
+
+double
+QueueModel::jobLatencyS(double tH, double circuitDurationUs, int shots,
+                        int numCircuits, Rng &rng) const
+{
+    double hold = maintenanceRemainingH(tH) * 3600.0;
+    return hold + sampleWaitS(tH, rng) +
+           executionTimeS(circuitDurationUs, shots, numCircuits);
+}
+
+} // namespace eqc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cloud job-latency model.
+ *
+ * Shared IBMQ backends impose queue waits that dwarf circuit execution
+ * and vary by orders of magnitude between devices and across the day
+ * (the paper reports Toronto swinging from 6.5 to 0.03 epochs/hour and a
+ * Manhattan VQE projected at 193 days). We model per-job latency as
+ *
+ *   latency = maintenance_hold + base_wait * diurnal_congestion *
+ *             lognormal_jitter + execution + overhead
+ *
+ * with per-device parameters calibrated so single-device training
+ * throughput reproduces the epochs/hour scale of the paper's Fig. 6.
+ */
+
+#ifndef EQC_DEVICE_QUEUE_MODEL_H
+#define EQC_DEVICE_QUEUE_MODEL_H
+
+#include "common/rng.h"
+
+namespace eqc {
+
+/** Queue/latency knobs (per device personality). */
+struct QueueParams
+{
+    /** Median queue wait in seconds. */
+    double baseWaitS = 60.0;
+    /** Lognormal sigma of the wait jitter. */
+    double waitLogSigma = 0.6;
+    /** ln-scale amplitude of the diurnal congestion wave. */
+    double congestionAmplitude = 0.0;
+    /** Congestion period in hours. */
+    double congestionPeriodH = 24.0;
+    /** Congestion phase offset in hours. */
+    double congestionPhaseH = 0.0;
+    /** Fixed classical per-job overhead in seconds. */
+    double jobOverheadS = 2.0;
+    /** Per-shot qubit reset time in microseconds. */
+    double resetTimeUs = 250.0;
+    /** Hours between maintenance windows (0 disables). */
+    double maintenancePeriodH = 0.0;
+    /** Maintenance window length in hours. */
+    double maintenanceDurationH = 2.0;
+    /** Offset of the first maintenance window. */
+    double maintenanceOffsetH = 12.0;
+};
+
+/** Samples job latencies for one device. */
+class QueueModel
+{
+  public:
+    QueueModel() = default;
+    explicit QueueModel(QueueParams params) : params_(params) {}
+
+    /** Deterministic diurnal congestion multiplier at time t. */
+    double congestionFactor(double tH) const;
+
+    /** true while the device is in a maintenance window. */
+    bool inMaintenance(double tH) const;
+
+    /** Hours until the current maintenance window ends (0 if none). */
+    double maintenanceRemainingH(double tH) const;
+
+    /** Sample the queue wait (seconds) for a job submitted at t. */
+    double sampleWaitS(double tH, Rng &rng) const;
+
+    /**
+     * Deterministic execution time in seconds for a batch.
+     * @param circuitDurationUs duration of one circuit execution
+     * @param shots shots per circuit
+     * @param numCircuits circuits in the batch
+     */
+    double executionTimeS(double circuitDurationUs, int shots,
+                          int numCircuits) const;
+
+    /** Full sampled latency (hold + wait + execution) in seconds. */
+    double jobLatencyS(double tH, double circuitDurationUs, int shots,
+                       int numCircuits, Rng &rng) const;
+
+    const QueueParams &params() const { return params_; }
+
+  private:
+    QueueParams params_;
+};
+
+} // namespace eqc
+
+#endif // EQC_DEVICE_QUEUE_MODEL_H

@@ -1,0 +1,102 @@
+#include "hamiltonian/exact.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace eqc {
+
+CVector
+applyPauliSum(const PauliSum &h, const CVector &x)
+{
+    const uint64_t dim = x.size();
+    CVector y(dim, Complex(0, 0));
+    static const Complex iPow[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    for (const PauliTerm &t : h.terms()) {
+        const uint64_t xmask = t.pauli.xMask();
+        const uint64_t zmask = t.pauli.zMask();
+        const int yCount =
+            static_cast<int>(__builtin_popcountll(xmask & zmask));
+        const Complex global = iPow[yCount & 3] * Complex(t.coefficient, 0);
+        for (uint64_t b = 0; b < dim; ++b) {
+            if (x[b] == Complex(0, 0))
+                continue;
+            int par = __builtin_popcountll(b & zmask) & 1;
+            Complex lambda = par ? -global : global;
+            // P|b> = lambda |b ^ xmask>.
+            y[b ^ xmask] += lambda * x[b];
+        }
+    }
+    return y;
+}
+
+namespace {
+
+double
+extremalEigenvalue(const PauliSum &h, bool minimum, int maxIter,
+                   double tol)
+{
+    const int n = h.numQubits();
+    if (n < 1 || n > 20)
+        fatal("extremalEigenvalue: unsupported qubit count");
+    const uint64_t dim = uint64_t{1} << n;
+    const double sigma = h.coefficientNorm() + 1.0;
+
+    // Power iteration on (sigma I -+ H); dominant eigenvector is the
+    // ground (resp. top) state of H.
+    Rng rng(0xE19C);
+    CVector v(dim);
+    double norm = 0.0;
+    for (auto &a : v) {
+        a = Complex(rng.normal(), rng.normal());
+        norm += std::norm(a);
+    }
+    norm = std::sqrt(norm);
+    for (auto &a : v)
+        a /= norm;
+
+    double prev = 0.0;
+    for (int it = 0; it < maxIter; ++it) {
+        CVector hv = applyPauliSum(h, v);
+        CVector w(dim);
+        for (uint64_t i = 0; i < dim; ++i)
+            w[i] = minimum ? sigma * v[i] - hv[i]
+                           : sigma * v[i] + hv[i];
+        double wn = 0.0;
+        for (const auto &a : w)
+            wn += std::norm(a);
+        wn = std::sqrt(wn);
+        if (wn <= 0.0)
+            panic("extremalEigenvalue: vector annihilated");
+        for (auto &a : w)
+            a /= wn;
+        // Rayleigh quotient of H on the current iterate.
+        CVector hw = applyPauliSum(h, w);
+        Complex num(0, 0);
+        for (uint64_t i = 0; i < dim; ++i)
+            num += std::conj(w[i]) * hw[i];
+        double lambda = num.real();
+        if (it > 0 && std::fabs(lambda - prev) < tol)
+            return lambda;
+        prev = lambda;
+        v = std::move(w);
+    }
+    return prev;
+}
+
+} // namespace
+
+double
+minEigenvalue(const PauliSum &h, int maxIter, double tol)
+{
+    return extremalEigenvalue(h, true, maxIter, tol);
+}
+
+double
+maxEigenvalue(const PauliSum &h, int maxIter, double tol)
+{
+    return extremalEigenvalue(h, false, maxIter, tol);
+}
+
+} // namespace eqc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Exact reference energies for small Hamiltonians: sparse Pauli-sum
+ * application plus a shifted power iteration for the minimum eigenvalue
+ * (the "Ground Energy" lines of the paper's Figs. 6 and 9).
+ */
+
+#ifndef EQC_HAMILTONIAN_EXACT_H
+#define EQC_HAMILTONIAN_EXACT_H
+
+#include "quantum/pauli.h"
+
+namespace eqc {
+
+/**
+ * y = H x for a Pauli-sum Hamiltonian without building the dense matrix.
+ * @param h Hamiltonian
+ * @param x input vector of dimension 2^n
+ */
+CVector applyPauliSum(const PauliSum &h, const CVector &x);
+
+/**
+ * Minimum eigenvalue of @p h via power iteration on (sigma I - H) with
+ * sigma = sum |coefficients| (a Gershgorin-style spectral bound).
+ *
+ * @param h Hamiltonian (n <= 20)
+ * @param maxIter iteration cap
+ * @param tol Rayleigh-quotient convergence tolerance
+ */
+double minEigenvalue(const PauliSum &h, int maxIter = 5000,
+                     double tol = 1e-12);
+
+/** Maximum eigenvalue (same method on H - sigma I negated). */
+double maxEigenvalue(const PauliSum &h, int maxIter = 5000,
+                     double tol = 1e-12);
+
+} // namespace eqc
+
+#endif // EQC_HAMILTONIAN_EXACT_H

@@ -1,0 +1,36 @@
+#include "hamiltonian/heisenberg.h"
+
+#include "common/logging.h"
+
+namespace eqc {
+
+PauliSum
+heisenbergHamiltonian(int numQubits,
+                      const std::vector<std::pair<int, int>> &edges,
+                      double j, double b)
+{
+    PauliSum h(numQubits);
+    for (const auto &[a, c] : edges) {
+        if (a < 0 || c < 0 || a >= numQubits || c >= numQubits || a == c)
+            fatal("heisenbergHamiltonian: invalid edge");
+        for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+            PauliString s(numQubits);
+            s.set(a, p);
+            s.set(c, p);
+            h.add(j, s);
+        }
+    }
+    if (b != 0.0) {
+        for (int q = 0; q < numQubits; ++q)
+            h.add(b, PauliString::single(numQubits, q, Pauli::Z));
+    }
+    return h;
+}
+
+std::vector<std::pair<int, int>>
+squareLattice4()
+{
+    return {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+}
+
+} // namespace eqc

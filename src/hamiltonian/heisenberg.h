@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Heisenberg-model Hamiltonian builder (paper Eq. 3):
+ *   H = J * sum_{(i,j) in E} (XiXj + YiYj + ZiZj) + B * sum_i Zi
+ * The paper's VQE workload uses the 4-qubit square lattice (a 4-cycle)
+ * with J = B = 1, following Kandala et al. (Nature 549, 2017).
+ */
+
+#ifndef EQC_HAMILTONIAN_HEISENBERG_H
+#define EQC_HAMILTONIAN_HEISENBERG_H
+
+#include <utility>
+#include <vector>
+
+#include "quantum/pauli.h"
+
+namespace eqc {
+
+/**
+ * Build the Heisenberg Hamiltonian on an arbitrary interaction graph.
+ *
+ * @param numQubits number of spins
+ * @param edges exchange-coupled pairs
+ * @param j spin-spin coupling strength
+ * @param b Z-field strength
+ */
+PauliSum heisenbergHamiltonian(
+    int numQubits, const std::vector<std::pair<int, int>> &edges,
+    double j = 1.0, double b = 1.0);
+
+/** The paper's 4-node square lattice: V=[0..3], E = 4-cycle. */
+std::vector<std::pair<int, int>> squareLattice4();
+
+} // namespace eqc
+
+#endif // EQC_HAMILTONIAN_HEISENBERG_H

@@ -1,0 +1,58 @@
+#include "hamiltonian/maxcut.h"
+
+#include "common/logging.h"
+
+namespace eqc {
+
+MaxCutInstance
+ringMaxCut4()
+{
+    return {4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}}};
+}
+
+PauliSum
+maxcutHamiltonian(const MaxCutInstance &instance)
+{
+    if (instance.numNodes < 2)
+        fatal("maxcutHamiltonian: need at least two nodes");
+    PauliSum h(instance.numNodes);
+    for (const auto &[a, b] : instance.edges) {
+        if (a < 0 || b < 0 || a >= instance.numNodes ||
+            b >= instance.numNodes || a == b) {
+            fatal("maxcutHamiltonian: invalid edge");
+        }
+        h.add(-0.5, PauliString(instance.numNodes)); // identity offset
+        PauliString zz(instance.numNodes);
+        zz.set(a, Pauli::Z);
+        zz.set(b, Pauli::Z);
+        h.add(0.5, zz);
+    }
+    return h;
+}
+
+int
+cutValue(const MaxCutInstance &instance, uint64_t assignment)
+{
+    int cut = 0;
+    for (const auto &[a, b] : instance.edges) {
+        bool sa = (assignment >> a) & 1;
+        bool sb = (assignment >> b) & 1;
+        if (sa != sb)
+            ++cut;
+    }
+    return cut;
+}
+
+int
+bruteForceMaxCut(const MaxCutInstance &instance)
+{
+    if (instance.numNodes > 24)
+        fatal("bruteForceMaxCut: instance too large");
+    int best = 0;
+    uint64_t limit = uint64_t{1} << instance.numNodes;
+    for (uint64_t a = 0; a < limit; ++a)
+        best = std::max(best, cutValue(instance, a));
+    return best;
+}
+
+} // namespace eqc

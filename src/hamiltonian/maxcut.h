@@ -1,0 +1,44 @@
+/**
+ * @file
+ * MaxCut -> Ising Hamiltonian mapping (paper Eqs. 5-7):
+ *   H = - sum_{(j,k) in E} 1/2 (1 - Zj Zk)
+ * minimizing <H> maximizes the cut. Includes a brute-force classical
+ * solver for ground-truth cut values on small instances.
+ */
+
+#ifndef EQC_HAMILTONIAN_MAXCUT_H
+#define EQC_HAMILTONIAN_MAXCUT_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "quantum/pauli.h"
+
+namespace eqc {
+
+/** An undirected MaxCut instance with unit edge weights. */
+struct MaxCutInstance
+{
+    int numNodes = 0;
+    std::vector<std::pair<int, int>> edges;
+};
+
+/** The paper's 4-node unweighted ring instance. */
+MaxCutInstance ringMaxCut4();
+
+/**
+ * Ising form of Eq. 7: per edge a -1/2 identity offset and a +1/2 ZjZk
+ * term, so <H> in [-|E|, 0] and min <H> = -maxcut.
+ */
+PauliSum maxcutHamiltonian(const MaxCutInstance &instance);
+
+/** Cut value of one partition assignment (bit q = side of node q). */
+int cutValue(const MaxCutInstance &instance, uint64_t assignment);
+
+/** Exhaustive optimum (instances up to ~24 nodes). */
+int bruteForceMaxCut(const MaxCutInstance &instance);
+
+} // namespace eqc
+
+#endif // EQC_HAMILTONIAN_MAXCUT_H

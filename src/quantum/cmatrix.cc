@@ -1,0 +1,197 @@
+#include "quantum/cmatrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex(0.0, 0.0))
+{
+}
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols,
+                 std::initializer_list<Complex> values)
+    : rows_(rows), cols_(cols), data_(values)
+{
+    if (data_.size() != rows * cols)
+        panic("CMatrix: initializer size does not match shape");
+}
+
+CMatrix
+CMatrix::identity(std::size_t n)
+{
+    CMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Complex &
+CMatrix::operator()(std::size_t r, std::size_t c)
+{
+    return data_[r * cols_ + c];
+}
+
+Complex
+CMatrix::operator()(std::size_t r, std::size_t c) const
+{
+    return data_[r * cols_ + c];
+}
+
+CMatrix
+CMatrix::operator*(const CMatrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        panic("CMatrix::operator*: shape mismatch");
+    CMatrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            Complex a = (*this)(i, k);
+            if (a == Complex(0.0, 0.0))
+                continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                out(i, j) += a * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+CMatrix
+CMatrix::operator+(const CMatrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        panic("CMatrix::operator+: shape mismatch");
+    CMatrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + rhs.data_[i];
+    return out;
+}
+
+CMatrix
+CMatrix::operator*(Complex s) const
+{
+    CMatrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * s;
+    return out;
+}
+
+CMatrix
+CMatrix::dagger() const
+{
+    CMatrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = std::conj((*this)(r, c));
+    return out;
+}
+
+CMatrix
+CMatrix::conjugate() const
+{
+    CMatrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = std::conj(data_[i]);
+    return out;
+}
+
+CMatrix
+CMatrix::kron(const CMatrix &rhs) const
+{
+    CMatrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+    for (std::size_t r1 = 0; r1 < rows_; ++r1)
+        for (std::size_t c1 = 0; c1 < cols_; ++c1) {
+            Complex a = (*this)(r1, c1);
+            if (a == Complex(0.0, 0.0))
+                continue;
+            for (std::size_t r2 = 0; r2 < rhs.rows_; ++r2)
+                for (std::size_t c2 = 0; c2 < rhs.cols_; ++c2)
+                    out(r1 * rhs.rows_ + r2, c1 * rhs.cols_ + c2) =
+                        a * rhs(r2, c2);
+        }
+    return out;
+}
+
+CVector
+CMatrix::apply(const CVector &v) const
+{
+    if (v.size() != cols_)
+        panic("CMatrix::apply: vector length mismatch");
+    CVector out(rows_, Complex(0.0, 0.0));
+    for (std::size_t r = 0; r < rows_; ++r) {
+        Complex acc(0.0, 0.0);
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Complex
+CMatrix::trace() const
+{
+    if (rows_ != cols_)
+        panic("CMatrix::trace: matrix not square");
+    Complex t(0.0, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+double
+CMatrix::distance(const CMatrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        panic("CMatrix::distance: shape mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        s += std::norm(data_[i] - rhs.data_[i]);
+    return std::sqrt(s);
+}
+
+bool
+CMatrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    CMatrix prod = dagger() * (*this);
+    return prod.distance(identity(rows_)) < tol * static_cast<double>(rows_);
+}
+
+bool
+CMatrix::isHermitian(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    return distance(dagger()) < tol * static_cast<double>(rows_);
+}
+
+bool
+CMatrix::equalsUpToPhase(const CMatrix &rhs, double tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        return false;
+    // Find the largest-magnitude entry of *this and derive the phase.
+    std::size_t best = 0;
+    double bestMag = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (std::abs(data_[i]) > bestMag) {
+            bestMag = std::abs(data_[i]);
+            best = i;
+        }
+    }
+    if (bestMag < tol)
+        return distance(rhs) < tol;
+    if (std::abs(rhs.data_[best]) < tol)
+        return false;
+    Complex phase = rhs.data_[best] / data_[best];
+    double mag = std::abs(phase);
+    if (std::fabs(mag - 1.0) > tol)
+        return false;
+    return ((*this) * phase).distance(rhs) < tol * std::sqrt(
+        static_cast<double>(data_.size()));
+}
+
+} // namespace eqc

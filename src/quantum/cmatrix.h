@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small dense complex matrix used for gate unitaries, Kraus operators and
+ * exact-diagonalization references. Not meant for large linear algebra:
+ * everything in EQC that is performance-sensitive operates directly on
+ * state vectors / density matrices with specialized kernels.
+ */
+
+#ifndef EQC_QUANTUM_CMATRIX_H
+#define EQC_QUANTUM_CMATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+
+#include "quantum/types.h"
+
+namespace eqc {
+
+/** Row-major dense complex matrix. */
+class CMatrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    CMatrix() = default;
+
+    /** Zero matrix of the given shape. */
+    CMatrix(std::size_t rows, std::size_t cols);
+
+    /** Build from a row-major initializer list; size must be rows*cols. */
+    CMatrix(std::size_t rows, std::size_t cols,
+            std::initializer_list<Complex> values);
+
+    /** Identity of dimension n. */
+    static CMatrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Element access (row, col). */
+    Complex &operator()(std::size_t r, std::size_t c);
+    Complex operator()(std::size_t r, std::size_t c) const;
+
+    /** Matrix product this * rhs. */
+    CMatrix operator*(const CMatrix &rhs) const;
+
+    /** Element-wise sum. */
+    CMatrix operator+(const CMatrix &rhs) const;
+
+    /** Scalar product. */
+    CMatrix operator*(Complex s) const;
+
+    /** Conjugate transpose. */
+    CMatrix dagger() const;
+
+    /** Element-wise complex conjugate (no transpose). */
+    CMatrix conjugate() const;
+
+    /** Kronecker product this (x) rhs. */
+    CMatrix kron(const CMatrix &rhs) const;
+
+    /** Matrix-vector product. @p v must have cols() entries. */
+    CVector apply(const CVector &v) const;
+
+    /** Trace (must be square). */
+    Complex trace() const;
+
+    /** Frobenius norm of (this - rhs). */
+    double distance(const CMatrix &rhs) const;
+
+    /** true if this^dagger * this == I within @p tol. */
+    bool isUnitary(double tol = kTol) const;
+
+    /** true if equal to own conjugate transpose within @p tol. */
+    bool isHermitian(double tol = kTol) const;
+
+    /**
+     * true if the two matrices are equal up to a global phase factor
+     * within @p tol (used to validate basis-gate decompositions).
+     */
+    bool equalsUpToPhase(const CMatrix &rhs, double tol = 1e-8) const;
+
+    /** Raw storage (row-major). */
+    const CVector &data() const { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    CVector data_;
+};
+
+} // namespace eqc
+
+#endif // EQC_QUANTUM_CMATRIX_H

@@ -1,0 +1,249 @@
+#include "quantum/density_matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "quantum/kernel.h"
+#include "quantum/pauli.h"
+#include "quantum/statevector.h"
+
+namespace eqc {
+
+DensityMatrix::DensityMatrix(int numQubits)
+    : numQubits_(numQubits),
+      rho_(uint64_t{1} << (2 * numQubits), Complex(0, 0))
+{
+    if (numQubits < 1 || numQubits > 13)
+        fatal("DensityMatrix: qubit count out of supported range [1,13]");
+    rho_[0] = 1.0;
+}
+
+DensityMatrix
+DensityMatrix::fromStatevector(const Statevector &sv)
+{
+    DensityMatrix dm(sv.numQubits());
+    uint64_t d = dm.dim();
+    for (uint64_t r = 0; r < d; ++r)
+        for (uint64_t c = 0; c < d; ++c)
+            dm.rho_[r + d * c] =
+                sv.amplitude(r) * std::conj(sv.amplitude(c));
+    return dm;
+}
+
+void
+DensityMatrix::reset()
+{
+    std::fill(rho_.begin(), rho_.end(), Complex(0, 0));
+    rho_[0] = 1.0;
+}
+
+void
+DensityMatrix::applyUnitary(const CMatrix &u, const std::vector<int> &qubits)
+{
+    for (int q : qubits)
+        if (q < 0 || q >= numQubits_)
+            panic("DensityMatrix::applyUnitary: qubit out of range");
+    const uint64_t full = uint64_t{1} << (2 * numQubits_);
+    // Ket bank.
+    detail::applyOperatorKernel(rho_, full, u, qubits);
+    // Bra bank: conj(U) on the column bits.
+    std::vector<int> bra(qubits.size());
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        bra[i] = qubits[i] + numQubits_;
+    detail::applyOperatorKernel(rho_, full, u.conjugate(), bra);
+}
+
+void
+DensityMatrix::applyChannel(const KrausChannel &ch,
+                            const std::vector<int> &qubits)
+{
+    if (static_cast<int>(qubits.size()) != ch.arity)
+        panic("DensityMatrix::applyChannel: arity mismatch");
+    if (ch.ops.size() == 1) {
+        // Single Kraus operator: apply in place (may be non-unitary).
+        const uint64_t full = uint64_t{1} << (2 * numQubits_);
+        std::vector<int> bra(qubits.size());
+        for (std::size_t i = 0; i < qubits.size(); ++i)
+            bra[i] = qubits[i] + numQubits_;
+        detail::applyOperatorKernel(rho_, full, ch.ops[0], qubits);
+        detail::applyOperatorKernel(rho_, full, ch.ops[0].conjugate(), bra);
+        return;
+    }
+    const uint64_t full = uint64_t{1} << (2 * numQubits_);
+    std::vector<int> bra(qubits.size());
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        bra[i] = qubits[i] + numQubits_;
+    CVector acc(rho_.size(), Complex(0, 0));
+    for (const CMatrix &k : ch.ops) {
+        CVector tmp = rho_;
+        detail::applyOperatorKernel(tmp, full, k, qubits);
+        detail::applyOperatorKernel(tmp, full, k.conjugate(), bra);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += tmp[i];
+    }
+    rho_ = std::move(acc);
+}
+
+void
+DensityMatrix::applyDepolarizing1q(double lambda, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("applyDepolarizing1q: qubit out of range");
+    if (lambda <= 0.0)
+        return;
+    const uint64_t d = dim();
+    const uint64_t kBit = uint64_t{1} << qubit;           // ket bank
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits_); // bra bank
+    const double keep = 1.0 - lambda;
+    const uint64_t full = d * d;
+    for (uint64_t i = 0; i < full; ++i) {
+        if (i & (kBit | bBit))
+            continue; // enumerate block anchors only
+        // Block elements: (ket bit, bra bit) in {0,1}^2.
+        uint64_t i00 = i;
+        uint64_t i10 = i | kBit;
+        uint64_t i01 = i | bBit;
+        uint64_t i11 = i | kBit | bBit;
+        Complex d0 = rho_[i00], d1 = rho_[i11];
+        Complex avg = 0.5 * (d0 + d1);
+        rho_[i00] = keep * d0 + lambda * avg;
+        rho_[i11] = keep * d1 + lambda * avg;
+        rho_[i10] *= keep;
+        rho_[i01] *= keep;
+    }
+}
+
+void
+DensityMatrix::applyDepolarizing2q(double lambda, int qubitA, int qubitB)
+{
+    if (qubitA < 0 || qubitB < 0 || qubitA >= numQubits_ ||
+        qubitB >= numQubits_ || qubitA == qubitB) {
+        panic("applyDepolarizing2q: invalid qubits");
+    }
+    if (lambda <= 0.0)
+        return;
+    const uint64_t d = dim();
+    const uint64_t kA = uint64_t{1} << qubitA;
+    const uint64_t kB = uint64_t{1} << qubitB;
+    const uint64_t bA = uint64_t{1} << (qubitA + numQubits_);
+    const uint64_t bB = uint64_t{1} << (qubitB + numQubits_);
+    const uint64_t blockMask = kA | kB | bA | bB;
+    const double keep = 1.0 - lambda;
+    const uint64_t full = d * d;
+    for (uint64_t i = 0; i < full; ++i) {
+        if (i & blockMask)
+            continue;
+        // Gather the 4x4 sub-block over (ket sub-index, bra sub-index).
+        uint64_t idx[4][4];
+        for (int ks = 0; ks < 4; ++ks) {
+            for (int bs = 0; bs < 4; ++bs) {
+                uint64_t j = i;
+                if (ks & 1)
+                    j |= kA;
+                if (ks & 2)
+                    j |= kB;
+                if (bs & 1)
+                    j |= bA;
+                if (bs & 2)
+                    j |= bB;
+                idx[ks][bs] = j;
+            }
+        }
+        Complex tr(0, 0);
+        for (int s = 0; s < 4; ++s)
+            tr += rho_[idx[s][s]];
+        Complex mix = 0.25 * lambda * tr;
+        for (int ks = 0; ks < 4; ++ks) {
+            for (int bs = 0; bs < 4; ++bs) {
+                Complex &v = rho_[idx[ks][bs]];
+                v *= keep;
+                if (ks == bs)
+                    v += mix;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyThermalRelaxation(int qubit, double gamma,
+                                      double coherence)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("applyThermalRelaxation: qubit out of range");
+    const uint64_t d = dim();
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits_);
+    const uint64_t full = d * d;
+    const double keepPop = 1.0 - gamma;
+    for (uint64_t i = 0; i < full; ++i) {
+        if (i & (kBit | bBit))
+            continue;
+        uint64_t i00 = i;
+        uint64_t i10 = i | kBit;
+        uint64_t i01 = i | bBit;
+        uint64_t i11 = i | kBit | bBit;
+        rho_[i00] += gamma * rho_[i11];
+        rho_[i11] *= keepPop;
+        rho_[i10] *= coherence;
+        rho_[i01] *= coherence;
+    }
+}
+
+Complex
+DensityMatrix::element(uint64_t row, uint64_t col) const
+{
+    return rho_[row + dim() * col];
+}
+
+std::vector<double>
+DensityMatrix::probabilities() const
+{
+    const uint64_t d = dim();
+    std::vector<double> p(d);
+    for (uint64_t b = 0; b < d; ++b)
+        p[b] = std::max(0.0, rho_[b + d * b].real());
+    return p;
+}
+
+double
+DensityMatrix::expectation(const PauliString &pauli) const
+{
+    // Tr(P rho) = sum_c lambda(c) <c| rho |c ^ xmask>.
+    const uint64_t xmask = pauli.xMask();
+    const uint64_t zmask = pauli.zMask();
+    const int yCount =
+        static_cast<int>(__builtin_popcountll(xmask & zmask));
+    static const Complex iPow[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    const Complex global = iPow[yCount & 3];
+    const uint64_t d = dim();
+    Complex acc(0, 0);
+    for (uint64_t c = 0; c < d; ++c) {
+        int par = __builtin_popcountll(c & zmask) & 1;
+        Complex lambda = par ? -global : global;
+        acc += lambda * rho_[c + d * (c ^ xmask)];
+    }
+    return acc.real();
+}
+
+double
+DensityMatrix::trace() const
+{
+    const uint64_t d = dim();
+    double t = 0.0;
+    for (uint64_t b = 0; b < d; ++b)
+        t += rho_[b + d * b].real();
+    return t;
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum_{r,c} rho[r,c] * rho[c,r] = sum |rho[r,c]|^2 for
+    // Hermitian rho.
+    double s = 0.0;
+    for (const Complex &v : rho_)
+        s += std::norm(v);
+    return s;
+}
+
+} // namespace eqc

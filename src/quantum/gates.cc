@@ -1,0 +1,235 @@
+#include "quantum/gates.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+int
+gateArity(GateType type)
+{
+    switch (type) {
+      case GateType::CX:
+      case GateType::CZ:
+      case GateType::SWAP:
+      case GateType::RZZ:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+int
+gateParamCount(GateType type)
+{
+    switch (type) {
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::RZZ:
+        return 1;
+      case GateType::U3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+std::string
+gateName(GateType type)
+{
+    switch (type) {
+      case GateType::ID: return "id";
+      case GateType::X: return "x";
+      case GateType::Y: return "y";
+      case GateType::Z: return "z";
+      case GateType::H: return "h";
+      case GateType::S: return "s";
+      case GateType::SDG: return "sdg";
+      case GateType::T: return "t";
+      case GateType::TDG: return "tdg";
+      case GateType::SX: return "sx";
+      case GateType::RX: return "rx";
+      case GateType::RY: return "ry";
+      case GateType::RZ: return "rz";
+      case GateType::U3: return "u3";
+      case GateType::CX: return "cx";
+      case GateType::CZ: return "cz";
+      case GateType::SWAP: return "swap";
+      case GateType::RZZ: return "rzz";
+      case GateType::MEASURE: return "measure";
+      case GateType::BARRIER: return "barrier";
+    }
+    panic("gateName: unknown gate type");
+}
+
+GateType
+gateFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, GateType> table = {
+        {"id", GateType::ID},       {"x", GateType::X},
+        {"y", GateType::Y},         {"z", GateType::Z},
+        {"h", GateType::H},         {"s", GateType::S},
+        {"sdg", GateType::SDG},     {"t", GateType::T},
+        {"tdg", GateType::TDG},     {"sx", GateType::SX},
+        {"rx", GateType::RX},       {"ry", GateType::RY},
+        {"rz", GateType::RZ},       {"u3", GateType::U3},
+        {"cx", GateType::CX},       {"cz", GateType::CZ},
+        {"swap", GateType::SWAP},   {"rzz", GateType::RZZ},
+        {"measure", GateType::MEASURE},
+        {"barrier", GateType::BARRIER},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        fatal("gateFromName: unknown gate '" + name + "'");
+    return it->second;
+}
+
+namespace {
+
+const Complex kI(0.0, 1.0);
+
+CMatrix
+rx(double theta)
+{
+    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+    return CMatrix(2, 2, {c, -kI * s, -kI * s, c});
+}
+
+CMatrix
+ry(double theta)
+{
+    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+    return CMatrix(2, 2, {c, -s, s, c});
+}
+
+CMatrix
+rz(double theta)
+{
+    Complex em = std::exp(-kI * (theta / 2.0));
+    Complex ep = std::exp(kI * (theta / 2.0));
+    return CMatrix(2, 2, {em, 0.0, 0.0, ep});
+}
+
+CMatrix
+u3(double theta, double phi, double lambda)
+{
+    // U3(theta, phi, lambda) = RZ(phi) RY(theta) RZ(lambda) up to global
+    // phase; we use the OpenQASM convention with u3(0,0,0) == I.
+    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+    return CMatrix(2, 2,
+                   {c, -std::exp(kI * lambda) * s,
+                    std::exp(kI * phi) * s,
+                    std::exp(kI * (phi + lambda)) * c});
+}
+
+} // namespace
+
+CMatrix
+gateMatrix(GateType type, const std::vector<double> &params)
+{
+    int want = gateParamCount(type);
+    if (static_cast<int>(params.size()) != want)
+        panic("gateMatrix: wrong parameter count for gate " +
+              gateName(type));
+    switch (type) {
+      case GateType::ID:
+        return CMatrix::identity(2);
+      case GateType::X:
+        return CMatrix(2, 2, {0.0, 1.0, 1.0, 0.0});
+      case GateType::Y:
+        return CMatrix(2, 2, {0.0, -kI, kI, 0.0});
+      case GateType::Z:
+        return CMatrix(2, 2, {1.0, 0.0, 0.0, -1.0});
+      case GateType::H: {
+        double r = 1.0 / std::sqrt(2.0);
+        return CMatrix(2, 2, {r, r, r, -r});
+      }
+      case GateType::S:
+        return CMatrix(2, 2, {1.0, 0.0, 0.0, kI});
+      case GateType::SDG:
+        return CMatrix(2, 2, {1.0, 0.0, 0.0, -kI});
+      case GateType::T:
+        return CMatrix(2, 2, {1.0, 0.0, 0.0, std::exp(kI * (kPi / 4.0))});
+      case GateType::TDG:
+        return CMatrix(2, 2, {1.0, 0.0, 0.0, std::exp(-kI * (kPi / 4.0))});
+      case GateType::SX: {
+        // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+        Complex a(0.5, 0.5), b(0.5, -0.5);
+        return CMatrix(2, 2, {a, b, b, a});
+      }
+      case GateType::RX:
+        return rx(params[0]);
+      case GateType::RY:
+        return ry(params[0]);
+      case GateType::RZ:
+        return rz(params[0]);
+      case GateType::U3:
+        return u3(params[0], params[1], params[2]);
+      case GateType::CX: {
+        // Sub-index j = control + 2*target: control set flips target.
+        // j=1 (c=1,t=0) <-> j=3 (c=1,t=1).
+        CMatrix m(4, 4);
+        m(0, 0) = 1.0;
+        m(2, 2) = 1.0;
+        m(1, 3) = 1.0;
+        m(3, 1) = 1.0;
+        return m;
+      }
+      case GateType::CZ: {
+        CMatrix m = CMatrix::identity(4);
+        m(3, 3) = -1.0;
+        return m;
+      }
+      case GateType::SWAP: {
+        CMatrix m(4, 4);
+        m(0, 0) = 1.0;
+        m(3, 3) = 1.0;
+        m(1, 2) = 1.0;
+        m(2, 1) = 1.0;
+        return m;
+      }
+      case GateType::RZZ: {
+        // exp(-i theta/2 Z(x)Z): diagonal phases by parity of the two bits.
+        Complex em = std::exp(-kI * (params[0] / 2.0));
+        Complex ep = std::exp(kI * (params[0] / 2.0));
+        CMatrix m(4, 4);
+        m(0, 0) = em;
+        m(1, 1) = ep;
+        m(2, 2) = ep;
+        m(3, 3) = em;
+        return m;
+      }
+      case GateType::MEASURE:
+      case GateType::BARRIER:
+        panic("gateMatrix: " + gateName(type) + " has no unitary");
+    }
+    panic("gateMatrix: unknown gate type");
+}
+
+bool
+isBasisGate(GateType type)
+{
+    switch (type) {
+      case GateType::CX:
+      case GateType::ID:
+      case GateType::RZ:
+      case GateType::SX:
+      case GateType::X:
+      case GateType::MEASURE:
+      case GateType::BARRIER:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isVirtualGate(GateType type)
+{
+    return type == GateType::RZ || type == GateType::BARRIER;
+}
+
+} // namespace eqc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Gate vocabulary: every gate type EQC's circuits can contain, together
+ * with its unitary, arity and metadata. The IBMQ native basis used by the
+ * transpiler is {CX, ID, RZ, SX, X} (plus MEASURE), matching the basis
+ * gate set the paper describes for IBMQ backends.
+ */
+
+#ifndef EQC_QUANTUM_GATES_H
+#define EQC_QUANTUM_GATES_H
+
+#include <string>
+
+#include "quantum/cmatrix.h"
+
+namespace eqc {
+
+/** All gate types understood by the simulators and transpiler. */
+enum class GateType {
+    ID,      ///< identity (explicit idle)
+    X,       ///< Pauli-X
+    Y,       ///< Pauli-Y
+    Z,       ///< Pauli-Z
+    H,       ///< Hadamard
+    S,       ///< sqrt(Z)
+    SDG,     ///< S-dagger
+    T,       ///< fourth root of Z
+    TDG,     ///< T-dagger
+    SX,      ///< sqrt(X) (IBMQ native)
+    RX,      ///< X-axis rotation, one parameter
+    RY,      ///< Y-axis rotation, one parameter
+    RZ,      ///< Z-axis rotation, one parameter (virtual on IBMQ)
+    U3,      ///< generic 1q rotation, used internally by the transpiler
+    CX,      ///< controlled-X; qubit order (control, target)
+    CZ,      ///< controlled-Z
+    SWAP,    ///< swap two qubits
+    RZZ,     ///< exp(-i theta/2 Z(x)Z), one parameter
+    MEASURE, ///< Z-basis measurement marker
+    BARRIER, ///< scheduling barrier (no-op for simulation)
+};
+
+/** Number of qubits the gate acts on (MEASURE/BARRIER report 1). */
+int gateArity(GateType type);
+
+/** Number of rotation parameters the gate takes (0, 1, or 3 for U3). */
+int gateParamCount(GateType type);
+
+/** Lower-case mnemonic, e.g. "cx", "rz". */
+std::string gateName(GateType type);
+
+/** Parse a mnemonic back to a GateType; panics on unknown names. */
+GateType gateFromName(const std::string &name);
+
+/**
+ * Unitary matrix of a gate.
+ *
+ * For two-qubit gates the convention is: sub-index bit 0 corresponds to
+ * the FIRST qubit argument and bit 1 to the SECOND. E.g. for CX(control,
+ * target), basis states are |target control> ordered c + 2t... concretely
+ * index j = control_bit + 2 * target_bit.
+ *
+ * @param type gate type (MEASURE/BARRIER are not valid here)
+ * @param params rotation angles; length must equal gateParamCount()
+ */
+CMatrix gateMatrix(GateType type, const std::vector<double> &params = {});
+
+/** True for gates in the IBMQ native basis {CX, ID, RZ, SX, X}. */
+bool isBasisGate(GateType type);
+
+/** True for RZ — implemented in software on IBMQ: zero duration/error. */
+bool isVirtualGate(GateType type);
+
+} // namespace eqc
+
+#endif // EQC_QUANTUM_GATES_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared gather/scatter kernel applying a k-qubit linear operator to a
+ * dense amplitude vector. Used by both the state-vector simulator (on a
+ * 2^n vector) and the density-matrix simulator (on a 4^n vectorized rho,
+ * where ket and bra indices act as two banks of n qubits each).
+ */
+
+#ifndef EQC_QUANTUM_KERNEL_H
+#define EQC_QUANTUM_KERNEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "quantum/cmatrix.h"
+
+namespace eqc {
+namespace detail {
+
+/**
+ * Apply a 2^k x 2^k operator to @p amp over bit positions @p qubits.
+ * Sub-index bit m of the operator corresponds to qubits[m]. The operator
+ * need not be unitary (Kraus operators are applied this way too).
+ */
+inline void
+applyOperatorKernel(CVector &amp, uint64_t dim, const CMatrix &u,
+                    const std::vector<int> &qubits)
+{
+    const std::size_t k = qubits.size();
+    const std::size_t sub = std::size_t{1} << k;
+    if (u.rows() != sub || u.cols() != sub)
+        panic("applyOperatorKernel: matrix does not match qubit count");
+
+    if (k == 1) {
+        const uint64_t step = uint64_t{1} << qubits[0];
+        const Complex u00 = u(0, 0), u01 = u(0, 1);
+        const Complex u10 = u(1, 0), u11 = u(1, 1);
+        for (uint64_t base = 0; base < dim; base += 2 * step) {
+            for (uint64_t off = 0; off < step; ++off) {
+                uint64_t i0 = base + off;
+                uint64_t i1 = i0 + step;
+                Complex a0 = amp[i0], a1 = amp[i1];
+                amp[i0] = u00 * a0 + u01 * a1;
+                amp[i1] = u10 * a0 + u11 * a1;
+            }
+        }
+        return;
+    }
+
+    std::vector<uint64_t> masks(k);
+    for (std::size_t m = 0; m < k; ++m)
+        masks[m] = uint64_t{1} << qubits[m];
+    uint64_t targetMask = 0;
+    for (uint64_t m : masks)
+        targetMask |= m;
+
+    std::vector<Complex> gathered(sub);
+    for (uint64_t i = 0; i < dim; ++i) {
+        if (i & targetMask)
+            continue;
+        for (std::size_t j = 0; j < sub; ++j) {
+            uint64_t idx = i;
+            for (std::size_t m = 0; m < k; ++m)
+                if (j & (std::size_t{1} << m))
+                    idx |= masks[m];
+            gathered[j] = amp[idx];
+        }
+        for (std::size_t r = 0; r < sub; ++r) {
+            Complex acc(0, 0);
+            for (std::size_t c = 0; c < sub; ++c)
+                acc += u(r, c) * gathered[c];
+            uint64_t idx = i;
+            for (std::size_t m = 0; m < k; ++m)
+                if (r & (std::size_t{1} << m))
+                    idx |= masks[m];
+            amp[idx] = acc;
+        }
+    }
+}
+
+} // namespace detail
+} // namespace eqc
+
+#endif // EQC_QUANTUM_KERNEL_H

@@ -1,0 +1,177 @@
+#include "quantum/kraus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "quantum/gates.h"
+
+namespace eqc {
+
+bool
+KrausChannel::isCPTP(double tol) const
+{
+    if (ops.empty())
+        return false;
+    std::size_t dim = ops.front().rows();
+    CMatrix acc(dim, dim);
+    for (const CMatrix &k : ops)
+        acc = acc + k.dagger() * k;
+    return acc.distance(CMatrix::identity(dim)) <
+           tol * static_cast<double>(dim);
+}
+
+KrausChannel
+KrausChannel::composeWith(const KrausChannel &after) const
+{
+    if (after.arity != arity)
+        panic("KrausChannel::composeWith: arity mismatch");
+    KrausChannel out;
+    out.arity = arity;
+    for (const CMatrix &b : after.ops)
+        for (const CMatrix &a : ops)
+            out.ops.push_back(b * a);
+    return out;
+}
+
+KrausChannel
+depolarizing1q(double lambda)
+{
+    if (lambda < 0.0)
+        lambda = 0.0;
+    KrausChannel ch;
+    ch.arity = 1;
+    double pId = 1.0 - 3.0 * lambda / 4.0;
+    double pP = lambda / 4.0;
+    ch.ops.push_back(CMatrix::identity(2) * Complex(std::sqrt(pId), 0));
+    if (pP > 0.0) {
+        ch.ops.push_back(gateMatrix(GateType::X) *
+                         Complex(std::sqrt(pP), 0));
+        ch.ops.push_back(gateMatrix(GateType::Y) *
+                         Complex(std::sqrt(pP), 0));
+        ch.ops.push_back(gateMatrix(GateType::Z) *
+                         Complex(std::sqrt(pP), 0));
+    }
+    return ch;
+}
+
+KrausChannel
+depolarizing2q(double lambda)
+{
+    if (lambda < 0.0)
+        lambda = 0.0;
+    KrausChannel ch;
+    ch.arity = 2;
+    double pId = 1.0 - 15.0 * lambda / 16.0;
+    double pP = lambda / 16.0;
+    const CMatrix paulis[4] = {
+        CMatrix::identity(2),
+        gateMatrix(GateType::X),
+        gateMatrix(GateType::Y),
+        gateMatrix(GateType::Z),
+    };
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            double w = (a == 0 && b == 0) ? pId : pP;
+            if (w <= 0.0)
+                continue;
+            // Sub-index bit 0 = first qubit: kron(second, first).
+            ch.ops.push_back(paulis[b].kron(paulis[a]) *
+                             Complex(std::sqrt(w), 0));
+        }
+    }
+    return ch;
+}
+
+KrausChannel
+amplitudeDamping(double gamma)
+{
+    gamma = std::clamp(gamma, 0.0, 1.0);
+    KrausChannel ch;
+    ch.arity = 1;
+    ch.ops.push_back(
+        CMatrix(2, 2, {1.0, 0.0, 0.0, std::sqrt(1.0 - gamma)}));
+    if (gamma > 0.0)
+        ch.ops.push_back(CMatrix(2, 2, {0.0, std::sqrt(gamma), 0.0, 0.0}));
+    return ch;
+}
+
+KrausChannel
+phaseDamping(double lambda)
+{
+    lambda = std::clamp(lambda, 0.0, 1.0);
+    KrausChannel ch;
+    ch.arity = 1;
+    ch.ops.push_back(
+        CMatrix(2, 2, {1.0, 0.0, 0.0, std::sqrt(1.0 - lambda)}));
+    if (lambda > 0.0)
+        ch.ops.push_back(
+            CMatrix(2, 2, {0.0, 0.0, 0.0, std::sqrt(lambda)}));
+    return ch;
+}
+
+KrausChannel
+thermalRelaxation(double t1Us, double t2Us, double timeUs)
+{
+    if (t1Us <= 0.0 || t2Us <= 0.0)
+        panic("thermalRelaxation: T1/T2 must be positive");
+    // Physically T2 <= 2*T1; clamp silently (calibration jitter can
+    // produce slight violations).
+    t2Us = std::min(t2Us, 2.0 * t1Us);
+    double gamma = 1.0 - std::exp(-timeUs / t1Us);
+    // Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1). Phase damping with
+    // parameter l scales coherences by sqrt(1-l), and amplitude damping
+    // already contributes exp(-t/(2 T1)); choosing l = 1 - exp(-2 t/Tphi)
+    // makes the combined coherence decay exactly exp(-t/T2).
+    double invTphi = 1.0 / t2Us - 1.0 / (2.0 * t1Us);
+    double lambda = invTphi > 0.0
+                        ? 1.0 - std::exp(-2.0 * timeUs * invTphi)
+                        : 0.0;
+    return amplitudeDamping(gamma).composeWith(phaseDamping(lambda));
+}
+
+void
+applyReadoutError(std::vector<double> &probs, int qubit,
+                  const ReadoutError &err)
+{
+    const std::size_t dim = probs.size();
+    const std::size_t step = std::size_t{1} << qubit;
+    if (step >= dim)
+        panic("applyReadoutError: qubit out of range");
+    for (std::size_t base = 0; base < dim; base += 2 * step) {
+        for (std::size_t off = 0; off < step; ++off) {
+            std::size_t i0 = base + off;
+            std::size_t i1 = i0 + step;
+            double p0 = probs[i0], p1 = probs[i1];
+            probs[i0] = (1.0 - err.p01) * p0 + err.p10 * p1;
+            probs[i1] = err.p01 * p0 + (1.0 - err.p10) * p1;
+        }
+    }
+}
+
+void
+applyReadoutMitigation(std::vector<double> &probs, int qubit,
+                       const ReadoutError &err)
+{
+    const std::size_t dim = probs.size();
+    const std::size_t step = std::size_t{1} << qubit;
+    if (step >= dim)
+        panic("applyReadoutMitigation: qubit out of range");
+    double det = 1.0 - err.p01 - err.p10;
+    if (det < 0.1)
+        panic("applyReadoutMitigation: confusion matrix near-singular");
+    // Inverse of [[1-p01, p10], [p01, 1-p10]].
+    double a = (1.0 - err.p10) / det, b = -err.p10 / det;
+    double c = -err.p01 / det, d = (1.0 - err.p01) / det;
+    for (std::size_t base = 0; base < dim; base += 2 * step) {
+        for (std::size_t off = 0; off < step; ++off) {
+            std::size_t i0 = base + off;
+            std::size_t i1 = i0 + step;
+            double p0 = probs[i0], p1 = probs[i1];
+            probs[i0] = a * p0 + b * p1;
+            probs[i1] = c * p0 + d * p1;
+        }
+    }
+}
+
+} // namespace eqc

@@ -1,0 +1,223 @@
+#include "quantum/pauli.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+PauliString::PauliString(int numQubits) : numQubits_(numQubits)
+{
+    if (numQubits < 0 || numQubits > 63)
+        fatal("PauliString: qubit count out of range [0,63]");
+}
+
+PauliString::PauliString(const std::string &label)
+    : numQubits_(static_cast<int>(label.size()))
+{
+    if (numQubits_ > 63)
+        fatal("PauliString: label too long");
+    for (int q = 0; q < numQubits_; ++q) {
+        switch (label[q]) {
+          case 'I': break;
+          case 'X': set(q, Pauli::X); break;
+          case 'Y': set(q, Pauli::Y); break;
+          case 'Z': set(q, Pauli::Z); break;
+          default:
+            fatal(std::string("PauliString: bad label character '") +
+                  label[q] + "'");
+        }
+    }
+}
+
+PauliString
+PauliString::single(int numQubits, int qubit, Pauli p)
+{
+    PauliString s(numQubits);
+    s.set(qubit, p);
+    return s;
+}
+
+Pauli
+PauliString::at(int qubit) const
+{
+    bool x = (x_ >> qubit) & 1;
+    bool z = (z_ >> qubit) & 1;
+    if (x && z)
+        return Pauli::Y;
+    if (x)
+        return Pauli::X;
+    if (z)
+        return Pauli::Z;
+    return Pauli::I;
+}
+
+void
+PauliString::set(int qubit, Pauli p)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("PauliString::set: qubit out of range");
+    uint64_t bit = uint64_t{1} << qubit;
+    x_ &= ~bit;
+    z_ &= ~bit;
+    if (p == Pauli::X || p == Pauli::Y)
+        x_ |= bit;
+    if (p == Pauli::Z || p == Pauli::Y)
+        z_ |= bit;
+}
+
+int
+PauliString::weight() const
+{
+    return __builtin_popcountll(x_ | z_);
+}
+
+std::string
+PauliString::label() const
+{
+    std::string s(numQubits_, 'I');
+    for (int q = 0; q < numQubits_; ++q) {
+        switch (at(q)) {
+          case Pauli::I: break;
+          case Pauli::X: s[q] = 'X'; break;
+          case Pauli::Y: s[q] = 'Y'; break;
+          case Pauli::Z: s[q] = 'Z'; break;
+        }
+    }
+    return s;
+}
+
+bool
+PauliString::qubitwiseCommutes(const PauliString &other) const
+{
+    if (other.numQubits_ != numQubits_)
+        panic("PauliString::qubitwiseCommutes: size mismatch");
+    for (int q = 0; q < numQubits_; ++q) {
+        Pauli a = at(q), b = other.at(q);
+        if (a != Pauli::I && b != Pauli::I && a != b)
+            return false;
+    }
+    return true;
+}
+
+bool
+PauliString::commutes(const PauliString &other) const
+{
+    if (other.numQubits_ != numQubits_)
+        panic("PauliString::commutes: size mismatch");
+    // Symplectic product: strings anticommute iff the product is odd.
+    int anti = __builtin_popcountll(x_ & other.z_) +
+               __builtin_popcountll(z_ & other.x_);
+    return (anti & 1) == 0;
+}
+
+CMatrix
+PauliString::matrix() const
+{
+    if (numQubits_ > 12)
+        fatal("PauliString::matrix: too many qubits for dense expansion");
+    static const Complex kI(0.0, 1.0);
+    CMatrix id = CMatrix::identity(1);
+    CMatrix out = id;
+    // Build kron from the most significant qubit down so that qubit 0 is
+    // the least significant bit of the final index.
+    for (int q = numQubits_ - 1; q >= 0; --q) {
+        CMatrix f(2, 2);
+        switch (at(q)) {
+          case Pauli::I: f = CMatrix::identity(2); break;
+          case Pauli::X: f = CMatrix(2, 2, {0.0, 1.0, 1.0, 0.0}); break;
+          case Pauli::Y: f = CMatrix(2, 2, {0.0, -kI, kI, 0.0}); break;
+          case Pauli::Z: f = CMatrix(2, 2, {1.0, 0.0, 0.0, -1.0}); break;
+        }
+        out = out.kron(f);
+    }
+    return out;
+}
+
+bool
+PauliString::operator==(const PauliString &other) const
+{
+    return numQubits_ == other.numQubits_ && x_ == other.x_ &&
+           z_ == other.z_;
+}
+
+void
+PauliSum::add(double coefficient, const PauliString &p)
+{
+    if (numQubits_ == 0)
+        numQubits_ = p.numQubits();
+    if (p.numQubits() != numQubits_)
+        panic("PauliSum::add: term qubit count mismatch");
+    for (PauliTerm &t : terms_) {
+        if (t.pauli == p) {
+            t.coefficient += coefficient;
+            return;
+        }
+    }
+    terms_.push_back({coefficient, p});
+}
+
+void
+PauliSum::add(double coefficient, const std::string &label)
+{
+    add(coefficient, PauliString(label));
+}
+
+double
+PauliSum::coefficientNorm() const
+{
+    double s = 0.0;
+    for (const PauliTerm &t : terms_)
+        s += std::fabs(t.coefficient);
+    return s;
+}
+
+double
+PauliSum::identityOffset() const
+{
+    for (const PauliTerm &t : terms_)
+        if (t.pauli.weight() == 0)
+            return t.coefficient;
+    return 0.0;
+}
+
+CMatrix
+PauliSum::matrix() const
+{
+    if (numQubits_ > 12)
+        fatal("PauliSum::matrix: too many qubits for dense expansion");
+    std::size_t dim = std::size_t{1} << numQubits_;
+    CMatrix out(dim, dim);
+    for (const PauliTerm &t : terms_)
+        out = out + t.pauli.matrix() * Complex(t.coefficient, 0.0);
+    return out;
+}
+
+std::vector<std::vector<std::size_t>>
+groupQubitwiseCommuting(const PauliSum &sum)
+{
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < sum.terms().size(); ++i) {
+        const PauliString &p = sum.terms()[i].pauli;
+        bool placed = false;
+        for (auto &group : groups) {
+            bool fits = true;
+            for (std::size_t j : group) {
+                if (!p.qubitwiseCommutes(sum.terms()[j].pauli)) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits) {
+                group.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({i});
+    }
+    return groups;
+}
+
+} // namespace eqc

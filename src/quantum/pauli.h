@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Pauli-string algebra: the representation used for Hamiltonians (linear
+ * combinations of Pauli strings, as produced by e.g. a Jordan-Wigner
+ * decomposition) and for grouping observables into simultaneously
+ * measurable sets (qubit-wise commuting groups).
+ */
+
+#ifndef EQC_QUANTUM_PAULI_H
+#define EQC_QUANTUM_PAULI_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quantum/cmatrix.h"
+
+namespace eqc {
+
+/** Single-qubit Pauli factors. */
+enum class Pauli : uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/**
+ * An n-qubit Pauli string, e.g. "XXIZ".
+ *
+ * Stored as X/Z bit masks (Y = X and Z both set). Qubit q corresponds to
+ * bit q of the masks and to character position q of label strings, i.e.
+ * labels are written least-significant-qubit FIRST ("XY" means X on
+ * qubit 0, Y on qubit 1).
+ */
+class PauliString
+{
+  public:
+    /** Identity string over @p numQubits qubits. */
+    explicit PauliString(int numQubits = 0);
+
+    /**
+     * Build from a label such as "XXIZ" (qubit 0 first).
+     * @param label one of I/X/Y/Z per qubit
+     */
+    explicit PauliString(const std::string &label);
+
+    /** Build with a single non-identity factor at @p qubit. */
+    static PauliString single(int numQubits, int qubit, Pauli p);
+
+    /** Factor acting on @p qubit. */
+    Pauli at(int qubit) const;
+
+    /** Set the factor on @p qubit. */
+    void set(int qubit, Pauli p);
+
+    int numQubits() const { return numQubits_; }
+
+    /** Bit mask of qubits with an X or Y factor. */
+    uint64_t xMask() const { return x_; }
+
+    /** Bit mask of qubits with a Z or Y factor. */
+    uint64_t zMask() const { return z_; }
+
+    /** Number of non-identity factors. */
+    int weight() const;
+
+    /** Label string, qubit 0 first. */
+    std::string label() const;
+
+    /**
+     * Qubit-wise commutation: on every qubit the factors are equal or at
+     * least one is I. Strings that qubit-wise commute can be measured
+     * from the same shots after a shared basis rotation.
+     */
+    bool qubitwiseCommutes(const PauliString &other) const;
+
+    /** Full (symplectic) commutation test. */
+    bool commutes(const PauliString &other) const;
+
+    /** Dense 2^n x 2^n matrix (small n only; for tests and exact diag). */
+    CMatrix matrix() const;
+
+    bool operator==(const PauliString &other) const;
+
+  private:
+    int numQubits_;
+    uint64_t x_ = 0;
+    uint64_t z_ = 0;
+};
+
+/** One weighted term of a Hamiltonian. */
+struct PauliTerm
+{
+    double coefficient = 0.0;
+    PauliString pauli;
+};
+
+/**
+ * Real-weighted sum of Pauli strings; the Hamiltonian representation used
+ * across EQC (Heisenberg model, MaxCut Ising Hamiltonian, ...).
+ */
+class PauliSum
+{
+  public:
+    PauliSum() = default;
+
+    /** Empty sum over a fixed qubit count. */
+    explicit PauliSum(int numQubits) : numQubits_(numQubits) {}
+
+    /** Append a term; merges with an existing equal string. */
+    void add(double coefficient, const PauliString &p);
+
+    /** Append a term given by label, e.g. add(0.5, "ZZII"). */
+    void add(double coefficient, const std::string &label);
+
+    const std::vector<PauliTerm> &terms() const { return terms_; }
+
+    int numQubits() const { return numQubits_; }
+
+    /** Number of stored terms. */
+    std::size_t size() const { return terms_.size(); }
+
+    /** Sum of |coefficients| (useful for spectral bounds). */
+    double coefficientNorm() const;
+
+    /** Constant (identity-string) part of the sum. */
+    double identityOffset() const;
+
+    /** Dense matrix (small n; for exact diagonalization). */
+    CMatrix matrix() const;
+
+  private:
+    int numQubits_ = 0;
+    std::vector<PauliTerm> terms_;
+};
+
+/**
+ * Partition term indices into qubit-wise commuting groups (greedy
+ * first-fit). Every group can be measured with one basis-rotated circuit;
+ * the identity term (weight 0) is placed in the first group it fits.
+ *
+ * @return list of groups, each a list of indices into sum.terms()
+ */
+std::vector<std::vector<std::size_t>>
+groupQubitwiseCommuting(const PauliSum &sum);
+
+} // namespace eqc
+
+#endif // EQC_QUANTUM_PAULI_H

@@ -1,0 +1,106 @@
+#include "quantum/statevector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "quantum/kernel.h"
+#include "quantum/pauli.h"
+
+namespace eqc {
+
+Statevector::Statevector(int numQubits)
+    : numQubits_(numQubits), amp_(uint64_t{1} << numQubits, Complex(0, 0))
+{
+    if (numQubits < 1 || numQubits > 26)
+        fatal("Statevector: qubit count out of supported range [1,26]");
+    amp_[0] = 1.0;
+}
+
+void
+Statevector::reset()
+{
+    std::fill(amp_.begin(), amp_.end(), Complex(0, 0));
+    amp_[0] = 1.0;
+}
+
+void
+Statevector::applyGate(const CMatrix &u, const std::vector<int> &qubits)
+{
+    for (int q : qubits)
+        if (q < 0 || q >= numQubits_)
+            panic("Statevector::applyGate: qubit index out of range");
+    detail::applyOperatorKernel(amp_, dim(), u, qubits);
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> p(amp_.size());
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        p[i] = std::norm(amp_[i]);
+    return p;
+}
+
+double
+Statevector::expectation(const PauliString &pauli) const
+{
+    // P|b> = lambda(b) |b ^ xmask>; <psi|P|psi> =
+    //   sum_b conj(psi[b ^ xmask]) * lambda(b) * psi[b].
+    const uint64_t xmask = pauli.xMask();
+    const uint64_t zmask = pauli.zMask();
+    const uint64_t ymask = xmask & zmask;
+    const int yCount = static_cast<int>(__builtin_popcountll(ymask));
+    // i^yCount global factor from the Y = i*X*Z decomposition.
+    static const Complex iPow[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    const Complex global = iPow[yCount & 3];
+
+    Complex acc(0, 0);
+    for (uint64_t b = 0; b < dim(); ++b) {
+        if (amp_[b] == Complex(0, 0))
+            continue;
+        // Sign from Z-type factors: (-1)^{popcount(b & zmask)}.
+        int par = __builtin_popcountll(b & zmask) & 1;
+        Complex lambda = par ? -global : global;
+        acc += std::conj(amp_[b ^ xmask]) * lambda * amp_[b];
+    }
+    return acc.real();
+}
+
+double
+Statevector::norm() const
+{
+    double s = 0.0;
+    for (const Complex &a : amp_)
+        s += std::norm(a);
+    return s;
+}
+
+void
+Statevector::normalize()
+{
+    double n = std::sqrt(norm());
+    if (n <= 0.0)
+        panic("Statevector::normalize: zero state");
+    for (Complex &a : amp_)
+        a /= n;
+}
+
+Complex
+Statevector::inner(const Statevector &other) const
+{
+    if (other.numQubits_ != numQubits_)
+        panic("Statevector::inner: qubit count mismatch");
+    Complex acc(0, 0);
+    for (std::size_t i = 0; i < amp_.size(); ++i)
+        acc += std::conj(other.amp_[i]) * amp_[i];
+    return acc;
+}
+
+std::vector<uint64_t>
+Statevector::sample(uint64_t shots, Rng &rng) const
+{
+    return rng.multinomial(probabilities(), shots);
+}
+
+} // namespace eqc

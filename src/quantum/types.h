@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared scalar types for the quantum simulation substrate.
+ */
+
+#ifndef EQC_QUANTUM_TYPES_H
+#define EQC_QUANTUM_TYPES_H
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace eqc {
+
+/** Complex amplitude type used throughout the simulators. */
+using Complex = std::complex<double>;
+
+/** Dense vector of complex amplitudes. */
+using CVector = std::vector<Complex>;
+
+/** Pi to double precision. */
+inline constexpr double kPi = 3.14159265358979323846;
+
+/** Tolerance used for unitarity/trace checks. */
+inline constexpr double kTol = 1e-9;
+
+} // namespace eqc
+
+#endif // EQC_QUANTUM_TYPES_H

@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace eqc {
+
+void
+Simulation::schedule(double delayH, Handler fn)
+{
+    if (delayH < 0.0)
+        panic("Simulation::schedule: negative delay");
+    scheduleAt(now_ + delayH, std::move(fn));
+}
+
+void
+Simulation::scheduleAt(double timeH, Handler fn)
+{
+    if (timeH < now_)
+        panic("Simulation::scheduleAt: time in the past");
+    queue_.push(Event{timeH, nextSeq_++, std::move(fn)});
+}
+
+void
+Simulation::run()
+{
+    while (!queue_.empty()) {
+        Event e = queue_.top();
+        queue_.pop();
+        now_ = e.time;
+        ++processed_;
+        e.fn();
+    }
+}
+
+void
+Simulation::runUntil(double limitH)
+{
+    while (!queue_.empty() && queue_.top().time <= limitH) {
+        Event e = queue_.top();
+        queue_.pop();
+        now_ = e.time;
+        ++processed_;
+        e.fn();
+    }
+    if (now_ < limitH && queue_.empty())
+        now_ = limitH;
+}
+
+} // namespace eqc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel.
+ *
+ * EQC's virtual executor runs master/client interactions on this kernel:
+ * queue waits, circuit execution times and calibration cycles advance a
+ * virtual clock, so a "40-hour" training campaign replays in seconds and
+ * bit-identically for a fixed seed. Events at equal timestamps fire in
+ * scheduling order (a monotonically increasing sequence number breaks
+ * ties), which keeps asynchronous-SGD traces deterministic.
+ */
+
+#ifndef EQC_SIM_EVENT_QUEUE_H
+#define EQC_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace eqc {
+
+/** Virtual-time event loop. Time unit: hours (matching the paper). */
+class Simulation
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Current virtual time in hours. */
+    double now() const { return now_; }
+
+    /** Schedule @p fn to run @p delayH hours from now (>= 0). */
+    void schedule(double delayH, Handler fn);
+
+    /** Schedule @p fn at absolute time @p timeH (>= now). */
+    void scheduleAt(double timeH, Handler fn);
+
+    /** Run until the event queue drains. */
+    void run();
+
+    /**
+     * Run until the event queue drains or virtual time would pass
+     * @p limitH; events beyond the limit stay queued.
+     */
+    void runUntil(double limitH);
+
+    /** Number of events executed so far. */
+    uint64_t processed() const { return processed_; }
+
+    /** true when no events are pending. */
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    struct Event
+    {
+        double time;
+        uint64_t seq;
+        Handler fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    double now_ = 0.0;
+    uint64_t nextSeq_ = 0;
+    uint64_t processed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace eqc
+
+#endif // EQC_SIM_EVENT_QUEUE_H

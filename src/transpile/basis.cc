@@ -1,0 +1,227 @@
+#include "transpile/basis.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+namespace {
+
+/** Fold a constant angle into [0, 2pi) and test for (near) zero. */
+bool
+isZeroAngle(const ParamExpr &p)
+{
+    if (p.isSymbolic())
+        return false;
+    double a = std::fmod(p.offset, 2.0 * kPi);
+    if (a < 0)
+        a += 2.0 * kPi;
+    return a < 1e-12 || (2.0 * kPi - a) < 1e-12;
+}
+
+/** Emit the ZSX synthesis of U3(theta, phi, lambda) onto @p out. */
+void
+emitZsx(QuantumCircuit &out, int q, const ParamExpr &theta, double phi,
+        double lambda)
+{
+    // Constant theta == 0 collapses to a single RZ(phi + lambda).
+    if (!theta.isSymbolic()) {
+        double t = theta.offset;
+        if (std::fabs(std::remainder(t, 2.0 * kPi)) < 1e-12) {
+            ParamExpr merged = ParamExpr::constant(phi + lambda);
+            if (!isZeroAngle(merged))
+                out.rz(q, merged);
+            return;
+        }
+    }
+    // Applied first to last: RZ(lambda), SX, RZ(theta+pi), SX, RZ(phi+pi).
+    ParamExpr lam = ParamExpr::constant(lambda);
+    if (!isZeroAngle(lam))
+        out.rz(q, lam);
+    out.sx(q);
+    ParamExpr mid = theta;
+    mid.offset += kPi;
+    out.rz(q, mid);
+    out.sx(q);
+    ParamExpr ph = ParamExpr::constant(phi + kPi);
+    if (!isZeroAngle(ph))
+        out.rz(q, ph);
+}
+
+void
+decomposeOp(QuantumCircuit &out, const GateOp &op)
+{
+    const int q0 = op.qubits[0];
+    const int q1 = op.qubits[1];
+    switch (op.type) {
+      case GateType::ID:
+      case GateType::X:
+      case GateType::SX:
+      case GateType::CX:
+      case GateType::MEASURE:
+        out.addGate(op.type, op.arity() == 2
+                                 ? std::vector<int>{q0, q1}
+                                 : std::vector<int>{q0},
+                    op.params);
+        return;
+      case GateType::BARRIER:
+        out.barrier();
+        return;
+      case GateType::RZ:
+        if (!isZeroAngle(op.params[0]))
+            out.rz(q0, op.params[0]);
+        return;
+      case GateType::Z:
+        out.rz(q0, ParamExpr::constant(kPi));
+        return;
+      case GateType::S:
+        out.rz(q0, ParamExpr::constant(kPi / 2));
+        return;
+      case GateType::SDG:
+        out.rz(q0, ParamExpr::constant(-kPi / 2));
+        return;
+      case GateType::T:
+        out.rz(q0, ParamExpr::constant(kPi / 4));
+        return;
+      case GateType::TDG:
+        out.rz(q0, ParamExpr::constant(-kPi / 4));
+        return;
+      case GateType::Y:
+        // Y ~ X . Z up to global phase: apply Z then X.
+        out.rz(q0, ParamExpr::constant(kPi));
+        out.x(q0);
+        return;
+      case GateType::H:
+        emitZsx(out, q0, ParamExpr::constant(kPi / 2), 0.0, kPi);
+        return;
+      case GateType::RY:
+        emitZsx(out, q0, op.params[0], 0.0, 0.0);
+        return;
+      case GateType::RX:
+        emitZsx(out, q0, op.params[0], -kPi / 2, kPi / 2);
+        return;
+      case GateType::U3: {
+        // Phi and lambda must be constant; theta may be symbolic.
+        if (op.params[1].isSymbolic() || op.params[2].isSymbolic())
+            panic("decomposeToBasis: symbolic U3 phi/lambda unsupported");
+        emitZsx(out, q0, op.params[0], op.params[1].offset,
+                op.params[2].offset);
+        return;
+      }
+      case GateType::CZ:
+        // CZ = (I (x) H) CX (I (x) H) on the target.
+        emitZsx(out, q1, ParamExpr::constant(kPi / 2), 0.0, kPi);
+        out.cx(q0, q1);
+        emitZsx(out, q1, ParamExpr::constant(kPi / 2), 0.0, kPi);
+        return;
+      case GateType::SWAP:
+        out.cx(q0, q1);
+        out.cx(q1, q0);
+        out.cx(q0, q1);
+        return;
+      case GateType::RZZ:
+        // exp(-i t/2 ZZ) = CX . (I (x) RZ(t)) . CX.
+        out.cx(q0, q1);
+        out.rz(q1, op.params[0]);
+        out.cx(q0, q1);
+        return;
+    }
+    panic("decomposeToBasis: unhandled gate " + gateName(op.type));
+}
+
+/**
+ * Peephole cleanup: merge adjacent RZ gates on the same qubit and drop
+ * RZ gates with constant zero angle.
+ */
+QuantumCircuit
+mergeRz(const QuantumCircuit &in)
+{
+    QuantumCircuit out(in.numQubits(), in.numParams());
+    // Index into out.ops() of the trailing RZ per qubit, or -1.
+    std::vector<long> lastRz(in.numQubits(), -1);
+    std::vector<GateOp> ops;
+
+    auto flushQubit = [&](int q) { lastRz[q] = -1; };
+
+    for (const GateOp &op : in.ops()) {
+        if (op.type == GateType::BARRIER) {
+            for (auto &v : lastRz)
+                v = -1;
+            ops.push_back(op);
+            continue;
+        }
+        if (op.type == GateType::RZ) {
+            int q = op.qubits[0];
+            long prev = lastRz[q];
+            if (prev >= 0) {
+                ParamExpr &a = ops[prev].params[0];
+                const ParamExpr &b = op.params[0];
+                if (!a.isSymbolic() && !b.isSymbolic()) {
+                    a.offset += b.offset;
+                    continue;
+                }
+                if (a.isSymbolic() && !b.isSymbolic()) {
+                    a.offset += b.offset;
+                    continue;
+                }
+                if (!a.isSymbolic() && b.isSymbolic()) {
+                    ParamExpr merged = b;
+                    merged.offset += a.offset;
+                    ops[prev].params[0] = merged;
+                    continue;
+                }
+                if (a.index == b.index) {
+                    a.scale += b.scale;
+                    a.offset += b.offset;
+                    continue;
+                }
+            }
+            ops.push_back(op);
+            lastRz[q] = static_cast<long>(ops.size()) - 1;
+            continue;
+        }
+        // Any other op invalidates pending RZ merges on its qubits.
+        flushQubit(op.qubits[0]);
+        if (op.arity() == 2)
+            flushQubit(op.qubits[1]);
+        ops.push_back(op);
+    }
+
+    for (const GateOp &op : ops) {
+        if (op.type == GateType::RZ && isZeroAngle(op.params[0]))
+            continue;
+        if (op.type == GateType::BARRIER) {
+            out.barrier();
+            continue;
+        }
+        out.addGate(op.type,
+                    op.arity() == 2
+                        ? std::vector<int>{op.qubits[0], op.qubits[1]}
+                        : std::vector<int>{op.qubits[0]},
+                    op.params);
+    }
+    return out;
+}
+
+} // namespace
+
+QuantumCircuit
+decomposeToBasis(const QuantumCircuit &circuit)
+{
+    QuantumCircuit out(circuit.numQubits(), circuit.numParams());
+    for (const GateOp &op : circuit.ops())
+        decomposeOp(out, op);
+    return mergeRz(out);
+}
+
+bool
+isInBasis(const QuantumCircuit &circuit)
+{
+    for (const GateOp &op : circuit.ops())
+        if (!isBasisGate(op.type))
+            return false;
+    return true;
+}
+
+} // namespace eqc

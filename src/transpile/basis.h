@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Basis translation into the IBMQ native gate set {CX, ID, RZ, SX, X}.
+ *
+ * Single-qubit rotations are synthesized with the ZSX rule
+ *   U3(theta, phi, lambda) ~ RZ(phi+pi) . SX . RZ(theta+pi) . SX . RZ(lambda)
+ * (equality up to global phase). Because the middle RZ angle is affine in
+ * theta, parameterized RX/RY gates stay symbolically parameterized after
+ * translation — the transpiled circuit can be re-bound without
+ * re-transpiling, which is what lets EQC client nodes cache their
+ * transpilation per device.
+ */
+
+#ifndef EQC_TRANSPILE_BASIS_H
+#define EQC_TRANSPILE_BASIS_H
+
+#include "circuit/circuit.h"
+
+namespace eqc {
+
+/**
+ * Rewrite @p circuit using only {CX, ID, RZ, SX, X} plus MEASURE/BARRIER.
+ * SWAPs become 3 CX, CZ becomes H-conjugated CX, RZZ becomes CX-RZ-CX,
+ * and all 1q gates are ZSX-synthesized. A peephole pass then merges and
+ * prunes adjacent RZ gates.
+ */
+QuantumCircuit decomposeToBasis(const QuantumCircuit &circuit);
+
+/** true when every op of @p circuit is a native basis gate. */
+bool isInBasis(const QuantumCircuit &circuit);
+
+} // namespace eqc
+
+#endif // EQC_TRANSPILE_BASIS_H

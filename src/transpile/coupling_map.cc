@@ -1,0 +1,193 @@
+#include "transpile/coupling_map.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+CouplingMap::CouplingMap(int numQubits,
+                         std::vector<std::pair<int, int>> edges)
+    : numQubits_(numQubits), edges_(std::move(edges)),
+      adj_(numQubits)
+{
+    if (numQubits < 1)
+        fatal("CouplingMap: need at least one qubit");
+    for (auto &[a, b] : edges_) {
+        if (a < 0 || b < 0 || a >= numQubits || b >= numQubits || a == b)
+            fatal("CouplingMap: invalid edge");
+        adj_[a].push_back(b);
+        adj_[b].push_back(a);
+    }
+    for (auto &n : adj_) {
+        std::sort(n.begin(), n.end());
+        n.erase(std::unique(n.begin(), n.end()), n.end());
+    }
+    buildDistances();
+}
+
+void
+CouplingMap::buildDistances()
+{
+    dist_.assign(numQubits_, std::vector<int>(numQubits_, -1));
+    for (int s = 0; s < numQubits_; ++s) {
+        std::queue<int> q;
+        dist_[s][s] = 0;
+        q.push(s);
+        while (!q.empty()) {
+            int u = q.front();
+            q.pop();
+            for (int v : adj_[u]) {
+                if (dist_[s][v] < 0) {
+                    dist_[s][v] = dist_[s][u] + 1;
+                    q.push(v);
+                }
+            }
+        }
+    }
+}
+
+CouplingMap
+CouplingMap::line(int numQubits)
+{
+    std::vector<std::pair<int, int>> e;
+    for (int i = 0; i + 1 < numQubits; ++i)
+        e.push_back({i, i + 1});
+    return {numQubits, std::move(e)};
+}
+
+CouplingMap
+CouplingMap::ring(int numQubits)
+{
+    std::vector<std::pair<int, int>> e;
+    for (int i = 0; i + 1 < numQubits; ++i)
+        e.push_back({i, i + 1});
+    if (numQubits > 2)
+        e.push_back({0, numQubits - 1});
+    return {numQubits, std::move(e)};
+}
+
+CouplingMap
+CouplingMap::tShape()
+{
+    return {5, {{0, 1}, {1, 2}, {1, 3}, {3, 4}}};
+}
+
+CouplingMap
+CouplingMap::bowtie()
+{
+    return {5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}}};
+}
+
+CouplingMap
+CouplingMap::hShape()
+{
+    return {7, {{0, 1}, {1, 2}, {1, 3}, {3, 5}, {4, 5}, {5, 6}}};
+}
+
+CouplingMap
+CouplingMap::heavyHex27()
+{
+    // IBM Falcon r4 27-qubit heavy-hex lattice (ibmq_toronto).
+    return {27,
+            {{0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},
+             {5, 8},   {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12},
+             {11, 14}, {12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18},
+             {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23},
+             {22, 25}, {23, 24}, {24, 25}, {25, 26}}};
+}
+
+CouplingMap
+CouplingMap::heavyHex65()
+{
+    // IBM Hummingbird r2 65-qubit heavy-hex lattice (ibmq_manhattan):
+    // five rows of ten connected by bridge qubits.
+    std::vector<std::pair<int, int>> e = {
+        {0, 1},   {1, 2},   {2, 3},   {3, 4},   {4, 5},   {5, 6},
+        {6, 7},   {7, 8},   {8, 9},
+        {0, 10},  {4, 11},  {8, 12},
+        {10, 13}, {11, 17}, {12, 21},
+        {13, 14}, {14, 15}, {15, 16}, {16, 17}, {17, 18}, {18, 19},
+        {19, 20}, {20, 21}, {21, 22}, {22, 23},
+        {15, 24}, {19, 25}, {23, 26},
+        {24, 29}, {25, 33}, {26, 37},
+        {27, 28}, {28, 29}, {29, 30}, {30, 31}, {31, 32}, {32, 33},
+        {33, 34}, {34, 35}, {35, 36}, {36, 37},
+        {27, 38}, {31, 39}, {35, 40},
+        {38, 41}, {39, 45}, {40, 49},
+        {41, 42}, {42, 43}, {43, 44}, {44, 45}, {45, 46}, {46, 47},
+        {47, 48}, {48, 49}, {49, 50}, {50, 51},
+        {43, 52}, {47, 53}, {51, 54},
+        {52, 56}, {53, 60}, {54, 64},
+        {55, 56}, {56, 57}, {57, 58}, {58, 59}, {59, 60}, {60, 61},
+        {61, 62}, {62, 63}, {63, 64}};
+    return {65, std::move(e)};
+}
+
+bool
+CouplingMap::connected(int a, int b) const
+{
+    return distance(a, b) == 1;
+}
+
+const std::vector<int> &
+CouplingMap::neighbors(int q) const
+{
+    if (q < 0 || q >= numQubits_)
+        panic("CouplingMap::neighbors: qubit out of range");
+    return adj_[q];
+}
+
+int
+CouplingMap::distance(int a, int b) const
+{
+    if (a < 0 || b < 0 || a >= numQubits_ || b >= numQubits_)
+        panic("CouplingMap::distance: qubit out of range");
+    return dist_[a][b];
+}
+
+std::vector<int>
+CouplingMap::shortestPath(int a, int b) const
+{
+    if (distance(a, b) < 0)
+        return {};
+    std::vector<int> path = {a};
+    int cur = a;
+    while (cur != b) {
+        // Greedy descent on the distance field; ties broken by index so
+        // routing is deterministic.
+        int next = -1;
+        for (int v : adj_[cur]) {
+            if (dist_[v][b] == dist_[cur][b] - 1) {
+                next = v;
+                break;
+            }
+        }
+        if (next < 0)
+            panic("CouplingMap::shortestPath: inconsistent distances");
+        path.push_back(next);
+        cur = next;
+    }
+    return path;
+}
+
+bool
+CouplingMap::isConnectedGraph() const
+{
+    for (int q = 1; q < numQubits_; ++q)
+        if (dist_[0][q] < 0)
+            return false;
+    return true;
+}
+
+double
+CouplingMap::averageDegree() const
+{
+    double s = 0.0;
+    for (int q = 0; q < numQubits_; ++q)
+        s += degree(q);
+    return s / numQubits_;
+}
+
+} // namespace eqc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Device connectivity graphs. Provides the topology families of the
+ * paper's Table I / Fig. 3: line, T-shape, fully-connected bowtie
+ * (IBMQ x2), H-shape (7-qubit Falcon) and the 27/65-qubit heavy-hex
+ * lattices (Toronto / Manhattan).
+ */
+
+#ifndef EQC_TRANSPILE_COUPLING_MAP_H
+#define EQC_TRANSPILE_COUPLING_MAP_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eqc {
+
+/** Undirected qubit-connectivity graph with precomputed BFS distances. */
+class CouplingMap
+{
+  public:
+    CouplingMap() = default;
+
+    /**
+     * @param numQubits number of physical qubits
+     * @param edges undirected edge list (each pair counted once)
+     */
+    CouplingMap(int numQubits, std::vector<std::pair<int, int>> edges);
+
+    /// @name Topology factories (paper Table I / Fig. 3)
+    /// @{
+    /** Linear chain 0-1-...-(n-1) (Manila, Santiago, Bogota). */
+    static CouplingMap line(int numQubits);
+    /** Ring of n qubits. */
+    static CouplingMap ring(int numQubits);
+    /** 5-qubit T-shape (Lima, Belem, Quito): 0-1-2, 1-3, 3-4. */
+    static CouplingMap tShape();
+    /**
+     * 5-qubit bowtie of IBMQ x2 ("fully-connected" in Table I): two
+     * triangles sharing the center qubit 2.
+     */
+    static CouplingMap bowtie();
+    /** 7-qubit H-shape (Lagos, Casablanca). */
+    static CouplingMap hShape();
+    /** 27-qubit Falcon heavy-hex (Toronto). */
+    static CouplingMap heavyHex27();
+    /** 65-qubit Hummingbird heavy-hex (Manhattan). */
+    static CouplingMap heavyHex65();
+    /// @}
+
+    int numQubits() const { return numQubits_; }
+
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+
+    /** true when a and b share an edge. */
+    bool connected(int a, int b) const;
+
+    /** Adjacent qubits of q, ascending. */
+    const std::vector<int> &neighbors(int q) const;
+
+    /** Degree of q. */
+    int degree(int q) const { return static_cast<int>(neighbors(q).size()); }
+
+    /** Hop distance between two qubits (-1 if disconnected). */
+    int distance(int a, int b) const;
+
+    /** One shortest path a..b inclusive (empty if disconnected). */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    /** true when every qubit can reach every other. */
+    bool isConnectedGraph() const;
+
+    /** Mean vertex degree. */
+    double averageDegree() const;
+
+  private:
+    int numQubits_ = 0;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::vector<int>> dist_;
+
+    void buildDistances();
+};
+
+} // namespace eqc
+
+#endif // EQC_TRANSPILE_COUPLING_MAP_H

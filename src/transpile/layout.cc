@@ -1,0 +1,165 @@
+#include "transpile/layout.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+Layout
+trivialLayout(int numLogical)
+{
+    Layout l(numLogical);
+    for (int i = 0; i < numLogical; ++i)
+        l[i] = i;
+    return l;
+}
+
+namespace {
+
+/** Pairwise 2q-gate interaction counts of a circuit. */
+std::vector<std::vector<double>>
+interactionMatrix(const QuantumCircuit &circuit)
+{
+    int n = circuit.numQubits();
+    std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+    for (const GateOp &op : circuit.ops()) {
+        if (op.arity() == 2) {
+            w[op.qubits[0]][op.qubits[1]] += 1.0;
+            w[op.qubits[1]][op.qubits[0]] += 1.0;
+        }
+    }
+    return w;
+}
+
+} // namespace
+
+Layout
+greedyLayout(const QuantumCircuit &circuit, const CouplingMap &map)
+{
+    const int nl = circuit.numQubits();
+    const int np = map.numQubits();
+    if (nl > np)
+        fatal("greedyLayout: circuit wider than device");
+
+    auto w = interactionMatrix(circuit);
+    std::vector<double> totalW(nl, 0.0);
+    for (int i = 0; i < nl; ++i)
+        for (int j = 0; j < nl; ++j)
+            totalW[i] += w[i][j];
+
+    // Logical order: heaviest interactions first (stable by index).
+    std::vector<int> order(nl);
+    for (int i = 0; i < nl; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return totalW[a] > totalW[b];
+    });
+
+    Layout layout(nl, -1);
+    std::vector<bool> taken(np, false);
+
+    for (int k = 0; k < nl; ++k) {
+        int logical = order[k];
+        int best = -1;
+        double bestCost = std::numeric_limits<double>::infinity();
+        for (int phys = 0; phys < np; ++phys) {
+            if (taken[phys])
+                continue;
+            // Cost: distance-weighted interaction to already placed
+            // partners; prefer high degree as a tie break so the first
+            // placements grab well-connected centers.
+            double cost = 0.0;
+            bool reachable = true;
+            for (int other = 0; other < nl; ++other) {
+                if (layout[other] < 0 || w[logical][other] == 0.0)
+                    continue;
+                int d = map.distance(phys, layout[other]);
+                if (d < 0) {
+                    reachable = false;
+                    break;
+                }
+                cost += w[logical][other] * d;
+            }
+            if (!reachable)
+                continue;
+            cost -= 1e-3 * map.degree(phys);
+            if (cost < bestCost) {
+                bestCost = cost;
+                best = phys;
+            }
+        }
+        if (best < 0)
+            fatal("greedyLayout: no feasible placement (disconnected map?)");
+        layout[logical] = best;
+        taken[best] = true;
+    }
+
+    // Local-search refinement: greedy placement can strand the last
+    // qubits (e.g. a 4-chain on the x2 bowtie); try exchanging pairs of
+    // assignments and relocating onto free physical qubits until no
+    // single move lowers the interaction cost.
+    double cost = layoutCost(circuit, map, layout);
+    bool improved = true;
+    for (int round = 0; round < 32 && improved && cost > 0.0; ++round) {
+        improved = false;
+        // Swap two placed logicals.
+        for (int a = 0; a < nl; ++a) {
+            for (int b = a + 1; b < nl; ++b) {
+                std::swap(layout[a], layout[b]);
+                double c = layoutCost(circuit, map, layout);
+                if (c < cost) {
+                    cost = c;
+                    improved = true;
+                } else {
+                    std::swap(layout[a], layout[b]);
+                }
+            }
+        }
+        // Relocate a logical onto a free physical qubit.
+        std::vector<bool> used(np, false);
+        for (int l = 0; l < nl; ++l)
+            used[layout[l]] = true;
+        for (int l = 0; l < nl; ++l) {
+            for (int phys = 0; phys < np; ++phys) {
+                if (used[phys])
+                    continue;
+                int old = layout[l];
+                layout[l] = phys;
+                double c = layoutCost(circuit, map, layout);
+                if (c < cost) {
+                    cost = c;
+                    improved = true;
+                    used[old] = false;
+                    used[phys] = true;
+                } else {
+                    layout[l] = old;
+                }
+            }
+        }
+    }
+    return layout;
+}
+
+double
+layoutCost(const QuantumCircuit &circuit, const CouplingMap &map,
+           const Layout &layout)
+{
+    auto w = interactionMatrix(circuit);
+    double cost = 0.0;
+    int n = circuit.numQubits();
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            if (w[i][j] == 0.0)
+                continue;
+            int d = map.distance(layout[i], layout[j]);
+            if (d < 0)
+                return std::numeric_limits<double>::infinity();
+            cost += w[i][j] * (d - 1);
+        }
+    }
+    return cost;
+}
+
+} // namespace eqc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Initial placement of logical qubits onto physical qubits.
+ */
+
+#ifndef EQC_TRANSPILE_LAYOUT_H
+#define EQC_TRANSPILE_LAYOUT_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "transpile/coupling_map.h"
+
+namespace eqc {
+
+/** Logical-to-physical qubit assignment: layout[logical] = physical. */
+using Layout = std::vector<int>;
+
+/** Identity placement: logical i on physical i. */
+Layout trivialLayout(int numLogical);
+
+/**
+ * Interaction-weighted greedy placement.
+ *
+ * Orders logical qubits by how often they participate in two-qubit gates
+ * and places them one at a time, choosing for each the free physical
+ * qubit that minimizes the distance-weighted interaction cost to the
+ * qubits already placed (the first qubit goes to the highest-degree
+ * physical node). This finds zero-SWAP embeddings for chain-shaped
+ * circuits on line/T/H topologies, mirroring what a dense layout pass
+ * does in production transpilers.
+ *
+ * @param circuit logical circuit (only 2q-gate structure is used)
+ * @param map target device connectivity
+ */
+Layout greedyLayout(const QuantumCircuit &circuit, const CouplingMap &map);
+
+/**
+ * Distance-weighted interaction cost of a layout (lower is better);
+ * exposed for tests and for layout-quality diagnostics.
+ */
+double layoutCost(const QuantumCircuit &circuit, const CouplingMap &map,
+                  const Layout &layout);
+
+} // namespace eqc
+
+#endif // EQC_TRANSPILE_LAYOUT_H

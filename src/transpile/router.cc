@@ -1,0 +1,80 @@
+#include "transpile/router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+RoutingResult
+routeCircuit(const QuantumCircuit &logical, const CouplingMap &map,
+             const Layout &initial)
+{
+    const int nl = logical.numQubits();
+    const int np = map.numQubits();
+    if (static_cast<int>(initial.size()) != nl)
+        fatal("routeCircuit: layout size does not match circuit width");
+    for (int p : initial)
+        if (p < 0 || p >= np)
+            fatal("routeCircuit: layout entry out of device range");
+
+    RoutingResult result;
+    result.routed = QuantumCircuit(np, logical.numParams());
+    Layout l2p = initial;            // logical -> physical
+    std::vector<int> p2l(np, -1);    // physical -> logical (or -1)
+    for (int l = 0; l < nl; ++l)
+        p2l[l2p[l]] = l;
+
+    auto swapPhysical = [&](int pa, int pb) {
+        result.routed.swap(pa, pb);
+        ++result.swapCount;
+        int la = p2l[pa], lb = p2l[pb];
+        if (la >= 0)
+            l2p[la] = pb;
+        if (lb >= 0)
+            l2p[lb] = pa;
+        std::swap(p2l[pa], p2l[pb]);
+    };
+
+    for (const GateOp &op : logical.ops()) {
+        if (op.type == GateType::BARRIER) {
+            result.routed.barrier();
+            continue;
+        }
+        if (op.arity() == 1) {
+            GateOp mapped = op;
+            mapped.qubits[0] = l2p[op.qubits[0]];
+            result.routed.addGate(mapped.type, {mapped.qubits[0]},
+                                  mapped.params);
+            continue;
+        }
+        // Two-qubit gate: bring operands together along a shortest path.
+        int pa = l2p[op.qubits[0]];
+        int pb = l2p[op.qubits[1]];
+        if (map.distance(pa, pb) < 0)
+            fatal("routeCircuit: operands in disconnected components");
+        while (map.distance(pa, pb) > 1) {
+            auto path = map.shortestPath(pa, pb);
+            swapPhysical(path[0], path[1]);
+            pa = l2p[op.qubits[0]];
+            pb = l2p[op.qubits[1]];
+        }
+        result.routed.addGate(op.type, {pa, pb}, op.params);
+    }
+    result.finalMapping = l2p;
+    return result;
+}
+
+bool
+respectsCoupling(const QuantumCircuit &physical, const CouplingMap &map)
+{
+    for (const GateOp &op : physical.ops()) {
+        if (op.arity() != 2)
+            continue;
+        if (!map.connected(op.qubits[0], op.qubits[1]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace eqc

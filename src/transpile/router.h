@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SWAP-insertion routing: rewrites a logical circuit onto physical
+ * qubits, inserting SWAP chains whenever a two-qubit gate targets
+ * non-adjacent qubits. This is what makes topology computationally
+ * consequential in EQC: the extra SWAPs inflate G2 and critical depth
+ * and thereby lower a device's P_correct weight (paper Sec. IV).
+ */
+
+#ifndef EQC_TRANSPILE_ROUTER_H
+#define EQC_TRANSPILE_ROUTER_H
+
+#include "circuit/circuit.h"
+#include "transpile/coupling_map.h"
+#include "transpile/layout.h"
+
+namespace eqc {
+
+/** Output of the routing pass. */
+struct RoutingResult
+{
+    /** Circuit over physical qubits; 2q gates only on coupled pairs. */
+    QuantumCircuit routed;
+    /** Final logical-to-physical mapping after all inserted SWAPs. */
+    Layout finalMapping;
+    /** Number of SWAP gates inserted. */
+    int swapCount = 0;
+};
+
+/**
+ * Route @p logical onto the device graph starting from @p initial.
+ *
+ * Uses greedy shortest-path routing: for a distant 2q gate the first
+ * operand is swapped along a shortest path until adjacent to the second.
+ * Deterministic (ties broken by qubit index).
+ */
+RoutingResult routeCircuit(const QuantumCircuit &logical,
+                           const CouplingMap &map, const Layout &initial);
+
+/**
+ * Verify that every 2q gate of @p physical acts on coupled qubits.
+ * @return true when the circuit respects the coupling constraints
+ */
+bool respectsCoupling(const QuantumCircuit &physical,
+                      const CouplingMap &map);
+
+} // namespace eqc
+
+#endif // EQC_TRANSPILE_ROUTER_H

@@ -1,0 +1,51 @@
+#include "transpile/transpiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+TranspiledCircuit
+transpile(const QuantumCircuit &logical, const CouplingMap &map,
+          const TranspileOptions &opts)
+{
+    if (logical.numQubits() > map.numQubits())
+        fatal("transpile: circuit needs more qubits than the device has");
+
+    TranspiledCircuit out;
+    out.initialLayout = opts.useGreedyLayout
+                            ? greedyLayout(logical, map)
+                            : trivialLayout(logical.numQubits());
+
+    RoutingResult routed = routeCircuit(logical, map, out.initialLayout);
+    out.finalMapping = routed.finalMapping;
+    out.swapCount = routed.swapCount;
+
+    out.physical = opts.toBasis ? decomposeToBasis(routed.routed)
+                                : routed.routed;
+
+    // Compact to the used region for simulation.
+    std::vector<int> used = out.physical.usedQubits();
+    out.compactToPhysical = used;
+    std::vector<int> physToCompact(map.numQubits(), -1);
+    for (std::size_t i = 0; i < used.size(); ++i)
+        physToCompact[used[i]] = static_cast<int>(i);
+    out.compact = out.physical.remapQubits(
+        physToCompact, static_cast<int>(used.size()));
+
+    out.logicalToCompact.assign(logical.numQubits(), -1);
+    for (int l = 0; l < logical.numQubits(); ++l) {
+        int phys = out.finalMapping[l];
+        if (phys < 0 || physToCompact[phys] < 0)
+            panic("transpile: logical qubit lost during compaction");
+        out.logicalToCompact[l] = physToCompact[phys];
+    }
+
+    out.counts = out.physical.counts();
+    out.depth = out.physical.depth();
+    out.criticalDepth = out.physical.criticalDepth();
+    return out;
+}
+
+} // namespace eqc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Full transpilation pipeline: layout -> SWAP routing -> basis
+ * translation -> compaction. The resulting structural metrics (G1, G2,
+ * measurement count, critical depth) are the circuit-side inputs of the
+ * paper's Eq. 2 quality model.
+ */
+
+#ifndef EQC_TRANSPILE_TRANSPILER_H
+#define EQC_TRANSPILE_TRANSPILER_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "transpile/basis.h"
+#include "transpile/coupling_map.h"
+#include "transpile/layout.h"
+#include "transpile/router.h"
+
+namespace eqc {
+
+/** Knobs of the transpilation pipeline. */
+struct TranspileOptions
+{
+    /** Use interaction-aware placement (false: trivial layout). */
+    bool useGreedyLayout = true;
+    /** Translate to the native basis (false: keep logical gate set). */
+    bool toBasis = true;
+};
+
+/** Result of transpiling one logical circuit for one device topology. */
+struct TranspiledCircuit
+{
+    /** Device-wide circuit (width = device qubit count). */
+    QuantumCircuit physical;
+    /**
+     * Same circuit compacted to the qubits it actually touches, for
+     * simulation (simulating all 65 Manhattan qubits for a 4-qubit job
+     * would be absurd — exactly like running on hardware only engages
+     * the mapped region).
+     */
+    QuantumCircuit compact;
+    /** Initial placement logical -> physical. */
+    Layout initialLayout;
+    /** Placement after routing (SWAPs permute it). */
+    Layout finalMapping;
+    /** compact qubit index -> physical qubit id (for calibration). */
+    std::vector<int> compactToPhysical;
+    /** logical qubit -> compact qubit index (for readout decoding). */
+    std::vector<int> logicalToCompact;
+    /** SWAPs inserted by routing. */
+    int swapCount = 0;
+    /** Gate census of the final physical circuit. */
+    GateCounts counts;
+    /** Layered depth of the final physical circuit. */
+    int depth = 0;
+    /** Physical-gate critical depth (the CD of Eq. 2). */
+    int criticalDepth = 0;
+};
+
+/**
+ * Transpile @p logical for a device with connectivity @p map.
+ *
+ * @param logical logical circuit (any gate vocabulary)
+ * @param map device coupling graph; must have >= logical qubits
+ * @param opts pipeline options
+ */
+TranspiledCircuit transpile(const QuantumCircuit &logical,
+                            const CouplingMap &map,
+                            const TranspileOptions &opts = {});
+
+} // namespace eqc
+
+#endif // EQC_TRANSPILE_TRANSPILER_H

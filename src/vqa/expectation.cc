@@ -1,0 +1,178 @@
+#include "vqa/expectation.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+QuantumCircuit
+stripMeasurements(const QuantumCircuit &circuit)
+{
+    QuantumCircuit out(circuit.numQubits(), circuit.numParams());
+    for (const GateOp &op : circuit.ops()) {
+        if (op.type == GateType::MEASURE)
+            continue;
+        if (op.type == GateType::BARRIER) {
+            out.barrier();
+            continue;
+        }
+        out.addGate(op.type,
+                    op.arity() == 2
+                        ? std::vector<int>{op.qubits[0], op.qubits[1]}
+                        : std::vector<int>{op.qubits[0]},
+                    op.params);
+    }
+    return out;
+}
+
+double
+idealEnergy(const QuantumCircuit &ansatz, const PauliSum &h,
+            const std::vector<double> &params)
+{
+    Statevector sv = simulateIdeal(stripMeasurements(ansatz), params);
+    double e = 0.0;
+    for (const PauliTerm &t : h.terms())
+        e += t.coefficient * sv.expectation(t.pauli);
+    return e;
+}
+
+ExpectationEstimator::ExpectationEstimator(PauliSum hamiltonian,
+                                           const QuantumCircuit &ansatz)
+    : hamiltonian_(std::move(hamiltonian)),
+      identityOffset_(hamiltonian_.identityOffset())
+{
+    if (hamiltonian_.numQubits() != ansatz.numQubits())
+        fatal("ExpectationEstimator: Hamiltonian/ansatz width mismatch");
+
+    QuantumCircuit prep = stripMeasurements(ansatz);
+    const int n = prep.numQubits();
+
+    // Group all non-identity terms; identity contributes a constant.
+    PauliSum nonId(n);
+    std::vector<std::size_t> nonIdIndex;
+    for (std::size_t i = 0; i < hamiltonian_.terms().size(); ++i) {
+        const PauliTerm &t = hamiltonian_.terms()[i];
+        if (t.pauli.weight() == 0)
+            continue;
+        nonId.add(t.coefficient, t.pauli);
+        nonIdIndex.push_back(i);
+    }
+
+    for (const auto &group : groupQubitwiseCommuting(nonId)) {
+        MeasurementGroup mg;
+        mg.circuit = prep;
+        // Shared basis per qubit: the unique non-I factor in the group.
+        std::vector<Pauli> basis(n, Pauli::I);
+        for (std::size_t gi : group) {
+            const PauliString &p = nonId.terms()[gi].pauli;
+            for (int q = 0; q < n; ++q)
+                if (p.at(q) != Pauli::I)
+                    basis[q] = p.at(q);
+            mg.termIndices.push_back(nonIdIndex[gi]);
+        }
+        // Rotate X/Y bases to Z: X -> H; Y -> Sdg then H.
+        for (int q = 0; q < n; ++q) {
+            if (basis[q] == Pauli::X) {
+                mg.circuit.h(q);
+            } else if (basis[q] == Pauli::Y) {
+                mg.circuit.sdg(q);
+                mg.circuit.h(q);
+            }
+        }
+        mg.circuit.measureAll();
+        groups_.push_back(std::move(mg));
+    }
+}
+
+std::vector<TranspiledCircuit>
+ExpectationEstimator::compileFor(const CouplingMap &map,
+                                 const TranspileOptions &opts) const
+{
+    std::vector<TranspiledCircuit> out;
+    out.reserve(groups_.size());
+    for (const MeasurementGroup &g : groups_)
+        out.push_back(transpile(g.circuit, map, opts));
+    return out;
+}
+
+EnergyEstimate
+ExpectationEstimator::estimate(
+    QuantumBackend &backend,
+    const std::vector<TranspiledCircuit> &compiled,
+    const std::vector<double> &params, int shots, double atTimeH,
+    Rng &rng, ShotMode mode, bool mitigateReadout) const
+{
+    if (compiled.size() != groups_.size())
+        panic("ExpectationEstimator::estimate: compilation mismatch");
+
+    EnergyEstimate out;
+    out.energy = identityOffset_;
+
+    CalibrationSnapshot reported;
+    if (mitigateReadout)
+        reported = backend.reportedCalibration(atTimeH);
+
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        const MeasurementGroup &g = groups_[gi];
+        const TranspiledCircuit &tc = compiled[gi];
+        JobResult job = backend.execute(tc, params, shots, atTimeH, rng,
+                                        mode == ShotMode::Multinomial);
+        ++out.circuitsRun;
+        out.measurements += tc.counts.measurements;
+        out.totalDurationUs += job.circuitDurationUs;
+
+        // The (quasi-)distribution expectations are computed from:
+        // sampled counts in Multinomial mode, exact probabilities
+        // otherwise; mitigated through the *reported* confusion.
+        std::vector<double> dist;
+        if (mode == ShotMode::Multinomial) {
+            dist.assign(job.counts.size(), 0.0);
+            double total = 0.0;
+            for (uint64_t c : job.counts)
+                total += static_cast<double>(c);
+            if (total > 0.0)
+                for (std::size_t o = 0; o < job.counts.size(); ++o)
+                    dist[o] = static_cast<double>(job.counts[o]) / total;
+        } else {
+            dist = job.probabilities;
+        }
+        if (mitigateReadout) {
+            for (const GateOp &op : tc.compact.ops()) {
+                if (op.type != GateType::MEASURE)
+                    continue;
+                int q = op.qubits[0];
+                int phys = tc.compactToPhysical[q];
+                applyReadoutMitigation(dist, q,
+                                       reported.qubits[phys].readout);
+            }
+        }
+
+        for (std::size_t ti : g.termIndices) {
+            const PauliTerm &term = hamiltonian_.terms()[ti];
+            // Parity mask over compact qubits for this term's support.
+            uint64_t mask = 0;
+            for (int q = 0; q < term.pauli.numQubits(); ++q) {
+                if (term.pauli.at(q) != Pauli::I)
+                    mask |= uint64_t{1} << tc.logicalToCompact[q];
+            }
+            double exp = 0.0;
+            for (std::size_t o = 0; o < dist.size(); ++o) {
+                int par = __builtin_popcountll(o & mask) & 1;
+                exp += par ? -dist[o] : dist[o];
+            }
+            if (mode == ShotMode::Gaussian && shots > 0) {
+                double var = std::max(0.0, 1.0 - exp * exp) / shots;
+                exp += rng.normal(0.0, std::sqrt(var));
+            }
+            out.energy += term.coefficient * exp;
+            if (shots > 0) {
+                double var = std::max(0.0, 1.0 - exp * exp) / shots;
+                out.variance += term.coefficient * term.coefficient * var;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace eqc

@@ -1,0 +1,28 @@
+#include "vqa/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+AsgdOptimizer::AsgdOptimizer(double learningRate)
+    : learningRate_(learningRate)
+{
+    if (learningRate <= 0.0)
+        fatal("AsgdOptimizer: learning rate must be positive");
+}
+
+void
+AsgdOptimizer::apply(std::vector<double> &params, int index,
+                     double gradient, double weight)
+{
+    if (index < 0 || index >= static_cast<int>(params.size()))
+        panic("AsgdOptimizer::apply: index out of range");
+    double step = weight * learningRate_ * gradient;
+    params[index] -= step;
+    ++updates_;
+    maxStep_ = std::max(maxStep_, std::fabs(step));
+}
+
+} // namespace eqc

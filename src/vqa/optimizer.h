@@ -1,0 +1,55 @@
+/**
+ * @file
+ * (Asynchronous) stochastic gradient descent update rule.
+ *
+ * Paper Eq. 12 (plain ASGD):      theta_i <- theta_i - a * g(theta_i)
+ * Paper Eq. 4 (weighted, EQC):    theta_i <- theta_i - P_correct * a * g
+ *
+ * The optimizer is deliberately stateless beyond counters: gradients may
+ * arrive out of order and stale (computed against old parameters), which
+ * is precisely the partially-asynchronous regime the paper's appendix
+ * proves convergent for bounded delay.
+ */
+
+#ifndef EQC_VQA_OPTIMIZER_H
+#define EQC_VQA_OPTIMIZER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace eqc {
+
+/** ASGD with per-update confidence weights. */
+class AsgdOptimizer
+{
+  public:
+    /** @param learningRate the alpha of Eqs. 4/12 (paper uses 0.1). */
+    explicit AsgdOptimizer(double learningRate = 0.1);
+
+    /**
+     * Apply one weighted gradient step to parameter @p index.
+     * @param params parameter vector (updated in place)
+     * @param index coordinate to update
+     * @param gradient gradient estimate for that coordinate
+     * @param weight confidence weight (1.0 = unweighted, Eq. 12)
+     */
+    void apply(std::vector<double> &params, int index, double gradient,
+               double weight = 1.0);
+
+    double learningRate() const { return learningRate_; }
+
+    /** Total updates applied. */
+    uint64_t updates() const { return updates_; }
+
+    /** Largest |weight * lr * gradient| step applied so far. */
+    double maxStep() const { return maxStep_; }
+
+  private:
+    double learningRate_;
+    uint64_t updates_ = 0;
+    double maxStep_ = 0.0;
+};
+
+} // namespace eqc
+
+#endif // EQC_VQA_OPTIMIZER_H

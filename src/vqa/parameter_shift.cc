@@ -1,0 +1,175 @@
+#include "vqa/parameter_shift.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eqc {
+
+namespace {
+
+/** Accumulate an estimate's bookkeeping into a gradient record. */
+void
+absorb(GradientEstimate &g, const EnergyEstimate &e)
+{
+    g.circuitsRun += e.circuitsRun;
+    g.measurements += e.measurements;
+    g.totalDurationUs += e.totalDurationUs;
+}
+
+/**
+ * Copy @p compiled with the angle expression of occurrence @p occ of
+ * parameter @p paramIndex shifted by @p delta. Occurrences are counted
+ * per compiled group circuit in op order.
+ */
+std::vector<TranspiledCircuit>
+shiftOccurrence(const std::vector<TranspiledCircuit> &compiled,
+                int paramIndex, int occ, double delta)
+{
+    std::vector<TranspiledCircuit> out = compiled;
+    for (TranspiledCircuit &tc : out) {
+        int seen = 0;
+        QuantumCircuit shifted(tc.compact.numQubits(),
+                               tc.compact.numParams());
+        for (const GateOp &op : tc.compact.ops()) {
+            GateOp copy = op;
+            for (ParamExpr &p : copy.params) {
+                if (p.index == paramIndex) {
+                    if (seen == occ)
+                        p.offset += delta;
+                    ++seen;
+                }
+            }
+            if (copy.type == GateType::BARRIER) {
+                shifted.barrier();
+                continue;
+            }
+            shifted.addGate(
+                copy.type,
+                copy.arity() == 2
+                    ? std::vector<int>{copy.qubits[0], copy.qubits[1]}
+                    : std::vector<int>{copy.qubits[0]},
+                copy.params);
+        }
+        tc.compact = std::move(shifted);
+    }
+    return out;
+}
+
+/** Count occurrences of a parameter across the compiled groups. */
+int
+countOccurrences(const std::vector<TranspiledCircuit> &compiled,
+                 int paramIndex)
+{
+    // All group circuits share the ansatz, so occurrences per group are
+    // identical; count in the first group.
+    if (compiled.empty())
+        return 0;
+    int count = 0;
+    for (const GateOp &op : compiled[0].compact.ops())
+        for (const ParamExpr &p : op.params)
+            if (p.index == paramIndex)
+                ++count;
+    return count;
+}
+
+} // namespace
+
+GradientEstimate
+gradientParamShift(const ExpectationEstimator &estimator,
+                   QuantumBackend &backend,
+                   const std::vector<TranspiledCircuit> &compiled,
+                   const std::vector<double> &params, int paramIndex,
+                   int shots, double atTimeH, Rng &rng, ShotMode shotMode,
+                   ShiftMode shiftMode, bool mitigateReadout)
+{
+    if (paramIndex < 0 ||
+        paramIndex >= static_cast<int>(params.size())) {
+        panic("gradientParamShift: parameter index out of range");
+    }
+    GradientEstimate g;
+    const double shift = kPi / 2.0;
+
+    if (shiftMode == ShiftMode::WholeParameter) {
+        std::vector<double> fwd = params, bck = params;
+        fwd[paramIndex] += shift;
+        bck[paramIndex] -= shift;
+        EnergyEstimate ef = estimator.estimate(backend, compiled, fwd,
+                                               shots, atTimeH, rng,
+                                               shotMode,
+                                               mitigateReadout);
+        EnergyEstimate eb = estimator.estimate(backend, compiled, bck,
+                                               shots, atTimeH, rng,
+                                               shotMode,
+                                               mitigateReadout);
+        absorb(g, ef);
+        absorb(g, eb);
+        g.gradient = (ef.energy - eb.energy) / 2.0;
+        return g;
+    }
+
+    // PerOccurrence: sum of single-occurrence shift gradients.
+    int occurrences = countOccurrences(compiled, paramIndex);
+    for (int occ = 0; occ < occurrences; ++occ) {
+        auto fwd = shiftOccurrence(compiled, paramIndex, occ, shift);
+        auto bck = shiftOccurrence(compiled, paramIndex, occ, -shift);
+        EnergyEstimate ef = estimator.estimate(backend, fwd, params,
+                                               shots, atTimeH, rng,
+                                               shotMode,
+                                               mitigateReadout);
+        EnergyEstimate eb = estimator.estimate(backend, bck, params,
+                                               shots, atTimeH, rng,
+                                               shotMode,
+                                               mitigateReadout);
+        absorb(g, ef);
+        absorb(g, eb);
+        g.gradient += (ef.energy - eb.energy) / 2.0;
+    }
+    return g;
+}
+
+double
+idealGradient(const QuantumCircuit &ansatz, const PauliSum &h,
+              const std::vector<double> &params, int paramIndex)
+{
+    QuantumCircuit prep = stripMeasurements(ansatz);
+    auto occurrences = prep.paramOccurrences(paramIndex);
+    const double shift = kPi / 2.0;
+    double grad = 0.0;
+
+    for (std::size_t opIdx : occurrences) {
+        auto evalShifted = [&](double delta) {
+            QuantumCircuit shifted(prep.numQubits(), prep.numParams());
+            std::size_t i = 0;
+            for (const GateOp &op : prep.ops()) {
+                GateOp copy = op;
+                if (i == opIdx) {
+                    for (ParamExpr &p : copy.params)
+                        if (p.index == paramIndex)
+                            p.offset += delta;
+                }
+                if (copy.type == GateType::BARRIER) {
+                    shifted.barrier();
+                } else {
+                    shifted.addGate(
+                        copy.type,
+                        copy.arity() == 2
+                            ? std::vector<int>{copy.qubits[0],
+                                               copy.qubits[1]}
+                            : std::vector<int>{copy.qubits[0]},
+                        copy.params);
+                }
+                ++i;
+            }
+            Statevector sv = simulateIdeal(shifted, params);
+            double e = 0.0;
+            for (const PauliTerm &t : h.terms())
+                e += t.coefficient * sv.expectation(t.pauli);
+            return e;
+        };
+        grad += (evalShifted(shift) - evalShifted(-shift)) / 2.0;
+    }
+    return grad;
+}
+
+} // namespace eqc

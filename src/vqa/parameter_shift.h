@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parameter-shift gradients (paper Alg. 2: the client node "generates
+ * the forward and backward pass from the parameter shift rule").
+ *
+ * Two modes:
+ *  - WholeParameter: shift theta_i by +-pi/2 everywhere it appears and
+ *    take (L+ - L-)/2. This is what the paper's client does; it is
+ *    exact when a parameter feeds a single rotation gate (the VQE
+ *    ansatz) and an approximation when shared (QAOA).
+ *  - PerOccurrence: exact gradient for shared parameters — sum of
+ *    single-occurrence shifts, costing 2 evaluations per occurrence.
+ */
+
+#ifndef EQC_VQA_PARAMETER_SHIFT_H
+#define EQC_VQA_PARAMETER_SHIFT_H
+
+#include <vector>
+
+#include "vqa/expectation.h"
+
+namespace eqc {
+
+/** Gradient estimation strategy. */
+enum class ShiftMode {
+    WholeParameter, ///< paper-faithful: one +- shift of the parameter
+    PerOccurrence,  ///< exact for shared parameters
+};
+
+/** A gradient value plus its execution bookkeeping. */
+struct GradientEstimate
+{
+    double gradient = 0.0;
+    /** Circuits executed across all evaluations. */
+    int circuitsRun = 0;
+    /** Total measurements performed. */
+    int measurements = 0;
+    /** Summed circuit durations (microseconds). */
+    double totalDurationUs = 0.0;
+};
+
+/**
+ * Estimate d<H>/d(theta_i) on a backend via the parameter-shift rule.
+ *
+ * @param estimator grouped expectation estimator
+ * @param backend execution target
+ * @param compiled estimator.compileFor(backend device) result
+ * @param params current parameter vector
+ * @param paramIndex index i of the parameter to differentiate
+ * @param shots shots per circuit execution
+ * @param atTimeH virtual submission time
+ * @param rng randomness for shot noise
+ * @param shotMode shot-noise model
+ * @param shiftMode gradient strategy (see ShiftMode)
+ * @param mitigateReadout apply reported-calibration readout mitigation
+ */
+GradientEstimate gradientParamShift(
+    const ExpectationEstimator &estimator, QuantumBackend &backend,
+    const std::vector<TranspiledCircuit> &compiled,
+    const std::vector<double> &params, int paramIndex, int shots,
+    double atTimeH, Rng &rng, ShotMode shotMode = ShotMode::Gaussian,
+    ShiftMode shiftMode = ShiftMode::WholeParameter,
+    bool mitigateReadout = true);
+
+/**
+ * Ideal (noise-free, infinite-shot) gradient by per-occurrence shifts
+ * on the state-vector simulator; reference for tests.
+ */
+double idealGradient(const QuantumCircuit &ansatz, const PauliSum &h,
+                     const std::vector<double> &params, int paramIndex);
+
+} // namespace eqc
+
+#endif // EQC_VQA_PARAMETER_SHIFT_H

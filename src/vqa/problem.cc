@@ -1,0 +1,42 @@
+#include "vqa/problem.h"
+
+#include "circuit/ansatz.h"
+#include "common/rng.h"
+#include "hamiltonian/heisenberg.h"
+#include "hamiltonian/maxcut.h"
+#include "quantum/types.h"
+
+namespace eqc {
+
+VqaProblem
+makeHeisenbergVqe(uint64_t initSeed)
+{
+    VqaProblem p;
+    p.name = "heisenberg-vqe-4q";
+    p.ansatz = hardwareEfficientAnsatz(4);
+    p.hamiltonian = heisenbergHamiltonian(4, squareLattice4(), 1.0, 1.0);
+    Rng rng = Rng(initSeed).fork("vqe-init");
+    p.initialParams.resize(p.ansatz.numParams());
+    for (double &v : p.initialParams)
+        v = rng.uniform(-kPi, kPi);
+    p.shots = 8192;
+    return p;
+}
+
+VqaProblem
+makeRingMaxCutQaoa(uint64_t initSeed)
+{
+    VqaProblem p;
+    p.name = "maxcut-qaoa-ring4";
+    MaxCutInstance inst = ringMaxCut4();
+    p.ansatz = qaoaAnsatz(inst.numNodes, inst.edges, 1);
+    p.hamiltonian = maxcutHamiltonian(inst);
+    Rng rng = Rng(initSeed).fork("qaoa-init");
+    p.initialParams.resize(p.ansatz.numParams());
+    for (double &v : p.initialParams)
+        v = rng.uniform(0.1, 0.6);
+    p.shots = 8192;
+    return p;
+}
+
+} // namespace eqc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * VQA problem bundles: ansatz + Hamiltonian + initial parameters. The
+ * two factories reproduce the paper's evaluation workloads (Sec. V):
+ * the 4-qubit Heisenberg VQE of Fig. 8 and the 4-node ring MaxCut QAOA
+ * of Fig. 10.
+ */
+
+#ifndef EQC_VQA_PROBLEM_H
+#define EQC_VQA_PROBLEM_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "quantum/pauli.h"
+
+namespace eqc {
+
+/** One variational optimization problem instance. */
+struct VqaProblem
+{
+    std::string name;
+    QuantumCircuit ansatz;   ///< parameterized circuit with measurements
+    PauliSum hamiltonian;    ///< objective observable
+    std::vector<double> initialParams;
+    int shots = 8192;        ///< the paper's shot count
+
+    /** Number of trainable parameters. */
+    int numParams() const { return ansatz.numParams(); }
+};
+
+/**
+ * 4-qubit Heisenberg VQE (paper Sec. V-B): hardware-efficient 16-param
+ * ansatz, square-lattice J=B=1 Hamiltonian, 8192 shots. Initial
+ * parameters are drawn uniformly from [-pi/4, pi/4) with the given seed.
+ */
+VqaProblem makeHeisenbergVqe(uint64_t initSeed = 7);
+
+/**
+ * 4-node ring MaxCut QAOA (paper Sec. V-E): p=1, 2 parameters, 8192
+ * shots. Initial parameters drawn uniformly from [0.1, 0.6).
+ */
+VqaProblem makeRingMaxCutQaoa(uint64_t initSeed = 7);
+
+} // namespace eqc
+
+#endif // EQC_VQA_PROBLEM_H

@@ -1,0 +1,80 @@
+#include "vqa/qnn.h"
+
+#include <cmath>
+
+#include "circuit/ansatz.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "vqa/expectation.h"
+
+namespace eqc {
+
+QuantumCircuit
+QnnProblem::circuitFor(const QnnSample &sample) const
+{
+    if (static_cast<int>(sample.features.size()) != numQubits)
+        fatal("QnnProblem::circuitFor: feature count != qubit count");
+    QuantumCircuit c(numQubits, numParams());
+    for (int q = 0; q < numQubits; ++q)
+        c.ry(q, ParamExpr::constant(sample.features[q]));
+    c.append(stripMeasurements(ansatz));
+    c.measureAll();
+    return c;
+}
+
+QnnProblem
+makeSineClassifier(int numSamples, uint64_t seed)
+{
+    QnnProblem p;
+    p.name = "qnn-sine-classifier";
+    p.numQubits = 2;
+    p.ansatz = stripMeasurements(hardwareEfficientAnsatz(2));
+    p.observable = PauliSum(2);
+    p.observable.add(1.0, PauliString::single(2, 0, Pauli::Z));
+
+    Rng rng = Rng(seed).fork("qnn-data");
+    for (int i = 0; i < numSamples; ++i) {
+        double x = -kPi + (2.0 * kPi) * (i + 0.5) / numSamples;
+        QnnSample s;
+        // Feature on both qubits (redundant encoding helps the small
+        // ansatz); labels are the sign of sin(x), shrunk to +-0.8 so
+        // the target is representable without saturating rotations.
+        s.features = {x, x / 2.0};
+        s.label = std::sin(x) >= 0.0 ? 0.8 : -0.8;
+        p.dataset.push_back(s);
+    }
+
+    Rng init = Rng(seed).fork("qnn-init");
+    p.initialParams.resize(p.ansatz.numParams());
+    for (double &v : p.initialParams)
+        v = init.uniform(-0.5, 0.5);
+    p.shots = 8192;
+    return p;
+}
+
+double
+qnnPredictIdeal(const QnnProblem &problem, const QnnSample &sample,
+                const std::vector<double> &params)
+{
+    QuantumCircuit c = problem.circuitFor(sample);
+    Statevector sv = simulateIdeal(stripMeasurements(c), params);
+    double v = 0.0;
+    for (const PauliTerm &t : problem.observable.terms())
+        v += t.coefficient * sv.expectation(t.pauli);
+    return v;
+}
+
+double
+qnnMseIdeal(const QnnProblem &problem, const std::vector<double> &params)
+{
+    if (problem.dataset.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const QnnSample &s : problem.dataset) {
+        double d = qnnPredictIdeal(problem, s, params) - s.label;
+        acc += d * d;
+    }
+    return acc / static_cast<double>(problem.dataset.size());
+}
+
+} // namespace eqc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quantum neural network (QNN) workload: the third VQA family of paper
+ * Sec. III-A, where EQC parallelizes *at the dataset level* — each
+ * client computes the gradient of one (parameter, data point) pair and
+ * the master averages contributions asynchronously:
+ *
+ *   dL/dtheta = (1/n) sum_i dl(x_i; theta)/dtheta
+ *
+ * The model is an angle-encoding regressor/classifier: RY(x_j) feature
+ * encoding, a hardware-efficient trainable circuit, and a Pauli
+ * observable read out as the prediction in [-1, 1]; the loss is MSE.
+ */
+
+#ifndef EQC_VQA_QNN_H
+#define EQC_VQA_QNN_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "quantum/pauli.h"
+
+namespace eqc {
+
+/** One labelled sample. */
+struct QnnSample
+{
+    /** Feature vector; one angle per qubit. */
+    std::vector<double> features;
+    /** Target value in [-1, 1]. */
+    double label = 0.0;
+};
+
+/** A QNN learning problem. */
+struct QnnProblem
+{
+    std::string name;
+    int numQubits = 0;
+    /** Trainable circuit (no measurements; appended after encoding). */
+    QuantumCircuit ansatz;
+    /** Readout observable; prediction = <observable>. */
+    PauliSum observable;
+    std::vector<QnnSample> dataset;
+    std::vector<double> initialParams;
+    int shots = 8192;
+
+    int numParams() const { return ansatz.numParams(); }
+
+    /**
+     * Full circuit for one sample: RY(feature_j) encoding on qubit j,
+     * the trainable ansatz, and measurement of every qubit.
+     */
+    QuantumCircuit circuitFor(const QnnSample &sample) const;
+};
+
+/**
+ * A small 1-feature binary classification task: x in [-pi, pi] labelled
+ * by the sign of sin(x), scaled to +-0.8. Learnable to near-zero MSE by
+ * the 2-qubit hardware-efficient ansatz.
+ *
+ * @param numSamples dataset size
+ * @param seed dataset + init-parameter seed
+ */
+QnnProblem makeSineClassifier(int numSamples = 12, uint64_t seed = 5);
+
+/** Prediction <O>(x; theta) on the ideal simulator. */
+double qnnPredictIdeal(const QnnProblem &problem, const QnnSample &sample,
+                       const std::vector<double> &params);
+
+/** Dataset MSE on the ideal simulator. */
+double qnnMseIdeal(const QnnProblem &problem,
+                   const std::vector<double> &params);
+
+} // namespace eqc
+
+#endif // EQC_VQA_QNN_H

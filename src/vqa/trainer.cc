@@ -1,0 +1,125 @@
+#include "vqa/trainer.h"
+
+#include "common/logging.h"
+
+namespace eqc {
+
+std::vector<double>
+TrainingTrace::deviceEnergySeries() const
+{
+    std::vector<double> out;
+    out.reserve(epochs.size());
+    for (const EpochRecord &r : epochs)
+        out.push_back(r.energyDevice);
+    return out;
+}
+
+std::vector<double>
+TrainingTrace::idealEnergySeries() const
+{
+    std::vector<double> out;
+    out.reserve(epochs.size());
+    for (const EpochRecord &r : epochs)
+        out.push_back(r.energyIdeal);
+    return out;
+}
+
+TrainingTrace
+trainSingleDevice(const VqaProblem &problem, const Device &device,
+                  const TrainerOptions &options)
+{
+    if (!device.canRun(problem.ansatz.numQubits()))
+        fatal("trainSingleDevice: device too small for the circuit");
+
+    TrainingTrace trace;
+    trace.label = device.name;
+
+    SimulatedQpu backend(device, options.seed);
+    ExpectationEstimator estimator(problem.hamiltonian, problem.ansatz);
+    auto compiled = estimator.compileFor(device.coupling);
+    const int groupCount = static_cast<int>(compiled.size());
+
+    Rng rng = Rng(options.seed).fork("train:" + device.name);
+    AsgdOptimizer opt(options.learningRate);
+    std::vector<double> params = problem.initialParams;
+
+    // Representative circuit duration for latency estimation (uses the
+    // base calibration; per-job durations barely move with drift).
+    double durUs = circuitDurationUs(compiled[0].compact,
+                                     device.baseCalibration,
+                                     compiled[0].compactToPhysical);
+
+    double tH = 0.0;
+    const int numParams = problem.numParams();
+
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        for (int i = 0; i < numParams; ++i) {
+            // One gradient job: forward+backward circuits per group.
+            double latencyS = backend.queue().jobLatencyS(
+                tH, durUs, problem.shots, 2 * groupCount, rng);
+            tH += latencyS / 3600.0;
+            GradientEstimate g = gradientParamShift(
+                estimator, backend, compiled, params, i, problem.shots,
+                tH, rng, options.shotMode, options.shiftMode,
+                options.readoutMitigation);
+            trace.circuitEvaluations += g.circuitsRun;
+            opt.apply(params, i, g.gradient);
+        }
+        // Epoch-end diagnostic evaluation on the same device (does not
+        // consume queue time, matching the EQC executor's policy so the
+        // epochs/hour comparison is apples-to-apples).
+        EnergyEstimate e = estimator.estimate(
+            backend, compiled, params, problem.shots, tH, rng,
+            options.shotMode, options.readoutMitigation);
+        trace.circuitEvaluations += e.circuitsRun;
+
+        EpochRecord rec;
+        rec.epoch = epoch;
+        rec.timeH = tH;
+        rec.energyDevice = e.energy;
+        rec.energyIdeal =
+            options.recordIdealEnergy
+                ? idealEnergy(problem.ansatz, problem.hamiltonian, params)
+                : 0.0;
+        trace.epochs.push_back(rec);
+
+        if (tH > options.maxHours) {
+            trace.terminated = true;
+            break;
+        }
+    }
+
+    trace.finalParams = params;
+    trace.totalHours = tH;
+    trace.epochsPerHour =
+        tH > 0.0 ? static_cast<double>(trace.epochs.size()) / tH : 0.0;
+    return trace;
+}
+
+double
+estimateAnsatzMinimum(const VqaProblem &problem, uint64_t seed)
+{
+    TrainerOptions coarse;
+    coarse.epochs = 350;
+    coarse.learningRate = 0.05;
+    coarse.shotMode = ShotMode::Exact;
+    coarse.seed = seed;
+    coarse.maxHours = 1e9;
+    coarse.recordIdealEnergy = false;
+    TrainingTrace t1 =
+        trainSingleDevice(problem, makeIdealDevice(
+                              problem.ansatz.numQubits()), coarse);
+
+    VqaProblem refinedProblem = problem;
+    refinedProblem.initialParams = t1.finalParams;
+    TrainerOptions fine = coarse;
+    fine.epochs = 200;
+    fine.learningRate = 0.01;
+    TrainingTrace t2 =
+        trainSingleDevice(refinedProblem, makeIdealDevice(
+                              problem.ansatz.numQubits()), fine);
+    return idealEnergy(problem.ansatz, problem.hamiltonian,
+                       t2.finalParams);
+}
+
+} // namespace eqc

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ansatz.h"
+#include "quantum/pauli.h"
+
+namespace eqc {
+namespace {
+
+TEST(Ansatz, HardwareEfficientShape)
+{
+    QuantumCircuit c = hardwareEfficientAnsatz(4);
+    EXPECT_EQ(c.numQubits(), 4);
+    EXPECT_EQ(c.numParams(), 16); // the paper's 16-parameter VQE circuit
+    GateCounts g = c.counts();
+    EXPECT_EQ(g.g2, 3);           // linear CNOT chain
+    EXPECT_EQ(g.measurements, 4);
+    // Two RY layers of 4.
+    int ryCount = 0;
+    for (const GateOp &op : c.ops())
+        if (op.type == GateType::RY)
+            ++ryCount;
+    EXPECT_EQ(ryCount, 8);
+}
+
+TEST(Ansatz, HardwareEfficientEveryParamUsedOnce)
+{
+    QuantumCircuit c = hardwareEfficientAnsatz(4);
+    for (int p = 0; p < c.numParams(); ++p)
+        EXPECT_EQ(c.paramOccurrences(p).size(), 1u) << p;
+}
+
+TEST(Ansatz, HardwareEfficientZeroParamsGiveZeroState)
+{
+    QuantumCircuit c = hardwareEfficientAnsatz(3);
+    std::vector<double> zeros(c.numParams(), 0.0);
+    Statevector sv = simulateIdeal(c, zeros);
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-10);
+}
+
+TEST(Ansatz, QaoaShape)
+{
+    std::vector<std::pair<int, int>> ring = {
+        {0, 1}, {1, 2}, {2, 3}, {0, 3}};
+    QuantumCircuit c = qaoaAnsatz(4, ring, 1);
+    EXPECT_EQ(c.numParams(), 2); // the paper's 2-parameter QAOA
+    int h = 0, rzz = 0, rx = 0;
+    for (const GateOp &op : c.ops()) {
+        if (op.type == GateType::H)
+            ++h;
+        if (op.type == GateType::RZZ)
+            ++rzz;
+        if (op.type == GateType::RX)
+            ++rx;
+    }
+    EXPECT_EQ(h, 4);
+    EXPECT_EQ(rzz, 4);
+    EXPECT_EQ(rx, 4);
+}
+
+TEST(Ansatz, QaoaSharedParameters)
+{
+    std::vector<std::pair<int, int>> ring = {
+        {0, 1}, {1, 2}, {2, 3}, {0, 3}};
+    QuantumCircuit c = qaoaAnsatz(4, ring, 1);
+    // beta (param 0) appears on every edge, alpha (param 1) on every qubit.
+    EXPECT_EQ(c.paramOccurrences(0).size(), 4u);
+    EXPECT_EQ(c.paramOccurrences(1).size(), 4u);
+}
+
+TEST(Ansatz, QaoaMultiLayer)
+{
+    std::vector<std::pair<int, int>> edges = {{0, 1}};
+    QuantumCircuit c = qaoaAnsatz(2, edges, 3);
+    EXPECT_EQ(c.numParams(), 6);
+}
+
+TEST(Ansatz, QaoaZeroAnglesGiveUniformSuperposition)
+{
+    std::vector<std::pair<int, int>> ring = {
+        {0, 1}, {1, 2}, {2, 3}, {0, 3}};
+    QuantumCircuit c = qaoaAnsatz(4, ring, 1);
+    Statevector sv = simulateIdeal(c, {0.0, 0.0});
+    auto p = sv.probabilities();
+    for (double v : p)
+        EXPECT_NEAR(v, 1.0 / 16.0, 1e-12);
+}
+
+TEST(Ansatz, GhzStateIsGhz)
+{
+    QuantumCircuit c = ghzCircuit(5);
+    Statevector sv = simulateIdeal(c);
+    EXPECT_NEAR(std::norm(sv.amplitude(0)), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amplitude(31)), 0.5, 1e-12);
+    double other = 0.0;
+    auto probs = sv.probabilities();
+    for (uint64_t i = 1; i < 31; ++i)
+        other += probs[i];
+    EXPECT_NEAR(other, 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "quantum/pauli.h"
+
+namespace eqc {
+namespace {
+
+TEST(ParamExpr, ConstantAndSymbolEvaluation)
+{
+    ParamExpr c = ParamExpr::constant(1.5);
+    EXPECT_FALSE(c.isSymbolic());
+    EXPECT_DOUBLE_EQ(c.evaluate({}), 1.5);
+
+    ParamExpr s = ParamExpr::symbol(1, 2.0, 0.5);
+    EXPECT_TRUE(s.isSymbolic());
+    EXPECT_DOUBLE_EQ(s.evaluate({9.0, 3.0}), 6.5);
+}
+
+TEST(Circuit, BuilderAndCounts)
+{
+    QuantumCircuit c(3, 2);
+    c.h(0);
+    c.sx(1);
+    c.rz(2, ParamExpr::symbol(0));
+    c.cx(0, 1);
+    c.swap(1, 2);
+    c.measureAll();
+    GateCounts g = c.counts();
+    EXPECT_EQ(g.g1, 2);        // h, sx
+    EXPECT_EQ(g.rz, 1);        // rz is virtual
+    EXPECT_EQ(g.g2, 2);        // cx + swap
+    EXPECT_EQ(g.swaps, 1);
+    EXPECT_EQ(g.measurements, 3);
+}
+
+TEST(Circuit, DepthComputation)
+{
+    QuantumCircuit c(3, 0);
+    c.h(0);       // layer 1 on q0
+    c.h(1);       // layer 1 on q1
+    c.cx(0, 1);   // layer 2
+    c.h(2);       // layer 1 on q2
+    c.cx(1, 2);   // layer 3
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, CriticalDepthExcludesVirtualGates)
+{
+    QuantumCircuit c(2, 1);
+    c.rz(0, ParamExpr::symbol(0));
+    c.rz(0, ParamExpr::constant(0.5));
+    c.sx(0);
+    c.cx(0, 1);
+    c.measureAll();
+    // Physical layers: sx then cx.
+    EXPECT_EQ(c.criticalDepth(), 2);
+    EXPECT_GE(c.depth(), 4);
+}
+
+TEST(Circuit, BarrierSynchronizesLayers)
+{
+    QuantumCircuit c(2, 0);
+    c.h(0);
+    c.barrier();
+    c.h(1); // starts after the barrier level
+    EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(Circuit, ParamOccurrences)
+{
+    QuantumCircuit c(2, 2);
+    c.ry(0, ParamExpr::symbol(0));
+    c.ry(1, ParamExpr::symbol(1));
+    c.rz(0, ParamExpr::symbol(0));
+    auto occ0 = c.paramOccurrences(0);
+    ASSERT_EQ(occ0.size(), 2u);
+    EXPECT_EQ(occ0[0], 0u);
+    EXPECT_EQ(occ0[1], 2u);
+    EXPECT_EQ(c.paramOccurrences(1).size(), 1u);
+}
+
+TEST(Circuit, UsedQubits)
+{
+    QuantumCircuit c(5, 0);
+    c.h(1);
+    c.cx(1, 3);
+    auto used = c.usedQubits();
+    ASSERT_EQ(used.size(), 2u);
+    EXPECT_EQ(used[0], 1);
+    EXPECT_EQ(used[1], 3);
+}
+
+TEST(Circuit, RemapQubits)
+{
+    QuantumCircuit c(2, 0);
+    c.x(0);
+    c.cx(0, 1);
+    // Map onto a wider register: 0->2, 1->0.
+    QuantumCircuit wide = c.remapQubits({2, 0}, 3);
+    EXPECT_EQ(wide.numQubits(), 3);
+    EXPECT_EQ(wide.ops()[0].qubits[0], 2);
+    EXPECT_EQ(wide.ops()[1].qubits[0], 2);
+    EXPECT_EQ(wide.ops()[1].qubits[1], 0);
+}
+
+TEST(Circuit, AppendSharesParameterTable)
+{
+    QuantumCircuit a(2, 1);
+    a.ry(0, ParamExpr::symbol(0));
+    QuantumCircuit b(2, 0);
+    b.h(1);
+    b.measureAll();
+    a.append(b);
+    EXPECT_EQ(a.ops().size(), 4u);
+}
+
+TEST(Circuit, SimulateIdealBindsParameters)
+{
+    QuantumCircuit c(1, 1);
+    c.ry(0, ParamExpr::symbol(0));
+    // theta = pi: |0> -> |1>.
+    Statevector sv = simulateIdeal(c, {kPi});
+    EXPECT_NEAR(std::abs(sv.amplitude(1)), 1.0, 1e-12);
+    // Scaled symbol: angle = 0.5 * pi -> equal superposition.
+    QuantumCircuit c2(1, 1);
+    c2.ry(0, ParamExpr::symbol(0, 0.5));
+    Statevector sv2 = simulateIdeal(c2, {kPi});
+    EXPECT_NEAR(std::norm(sv2.amplitude(0)), 0.5, 1e-12);
+}
+
+TEST(Circuit, SimulateIdealSkipsMeasure)
+{
+    QuantumCircuit c(2, 0);
+    c.h(0);
+    c.cx(0, 1);
+    c.measureAll();
+    Statevector sv = simulateIdeal(c);
+    EXPECT_NEAR(sv.expectation(PauliString("ZZ")), 1.0, 1e-12);
+}
+
+TEST(Circuit, ToStringContainsGateNames)
+{
+    QuantumCircuit c(2, 1);
+    c.h(0);
+    c.ry(1, ParamExpr::symbol(0));
+    std::string s = c.toString();
+    EXPECT_NE(s.find("h q0"), std::string::npos);
+    EXPECT_NE(s.find("ry q1"), std::string::npos);
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "quantum/cmatrix.h"
+#include "quantum/gates.h"
+
+namespace eqc {
+namespace {
+
+TEST(CMatrix, IdentityAndElementAccess)
+{
+    CMatrix m = CMatrix::identity(3);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m(0, 0), Complex(1, 0));
+    EXPECT_EQ(m(0, 1), Complex(0, 0));
+}
+
+TEST(CMatrix, Multiply)
+{
+    CMatrix a(2, 2, {1, 2, 3, 4});
+    CMatrix b(2, 2, {5, 6, 7, 8});
+    CMatrix c = a * b;
+    EXPECT_EQ(c(0, 0), Complex(19, 0));
+    EXPECT_EQ(c(0, 1), Complex(22, 0));
+    EXPECT_EQ(c(1, 0), Complex(43, 0));
+    EXPECT_EQ(c(1, 1), Complex(50, 0));
+}
+
+TEST(CMatrix, DaggerConjugatesAndTransposes)
+{
+    CMatrix a(2, 2, {Complex(1, 1), Complex(0, 2),
+                     Complex(3, 0), Complex(0, -4)});
+    CMatrix d = a.dagger();
+    EXPECT_EQ(d(0, 0), Complex(1, -1));
+    EXPECT_EQ(d(0, 1), Complex(3, 0));
+    EXPECT_EQ(d(1, 0), Complex(0, -2));
+    EXPECT_EQ(d(1, 1), Complex(0, 4));
+}
+
+TEST(CMatrix, KroneckerProduct)
+{
+    CMatrix x = gateMatrix(GateType::X);
+    CMatrix z = gateMatrix(GateType::Z);
+    CMatrix k = z.kron(x); // Z on high bit, X on low bit
+    EXPECT_EQ(k.rows(), 4u);
+    // |00> -> |01> with +1 (Z on 0 of high bit).
+    EXPECT_EQ(k(1, 0), Complex(1, 0));
+    // |10> -> |11> with -1.
+    EXPECT_EQ(k(3, 2), Complex(-1, 0));
+}
+
+TEST(CMatrix, ApplyVector)
+{
+    CMatrix h = gateMatrix(GateType::H);
+    CVector v = {1.0, 0.0};
+    CVector out = h.apply(v);
+    EXPECT_NEAR(out[0].real(), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(out[1].real(), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CMatrix, TraceAndDistance)
+{
+    CMatrix a(2, 2, {1, 0, 0, Complex(0, 1)});
+    EXPECT_EQ(a.trace(), Complex(1, 1));
+    CMatrix b = CMatrix::identity(2);
+    EXPECT_NEAR(a.distance(b), std::sqrt(std::norm(Complex(0, 1) -
+                                                   Complex(1, 0))),
+                1e-12);
+}
+
+TEST(CMatrix, UnitarityChecks)
+{
+    EXPECT_TRUE(gateMatrix(GateType::H).isUnitary());
+    EXPECT_TRUE(gateMatrix(GateType::SX).isUnitary());
+    EXPECT_TRUE(gateMatrix(GateType::CX).isUnitary());
+    CMatrix notU(2, 2, {1, 0, 0, 2});
+    EXPECT_FALSE(notU.isUnitary());
+}
+
+TEST(CMatrix, HermiticityChecks)
+{
+    EXPECT_TRUE(gateMatrix(GateType::X).isHermitian());
+    EXPECT_TRUE(gateMatrix(GateType::Y).isHermitian());
+    EXPECT_FALSE(gateMatrix(GateType::S).isHermitian());
+}
+
+TEST(CMatrix, EqualsUpToPhase)
+{
+    CMatrix h = gateMatrix(GateType::H);
+    Complex phase = std::exp(Complex(0, 1) * 0.7);
+    CMatrix hp = h * phase;
+    EXPECT_TRUE(h.equalsUpToPhase(hp));
+    EXPECT_FALSE(h.equalsUpToPhase(gateMatrix(GateType::X)));
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "transpile/coupling_map.h"
+
+namespace eqc {
+namespace {
+
+TEST(CouplingMap, LineTopology)
+{
+    CouplingMap m = CouplingMap::line(5);
+    EXPECT_EQ(m.numQubits(), 5);
+    EXPECT_TRUE(m.connected(0, 1));
+    EXPECT_TRUE(m.connected(3, 4));
+    EXPECT_FALSE(m.connected(0, 2));
+    EXPECT_EQ(m.distance(0, 4), 4);
+    EXPECT_TRUE(m.isConnectedGraph());
+}
+
+TEST(CouplingMap, RingTopology)
+{
+    CouplingMap m = CouplingMap::ring(4);
+    EXPECT_TRUE(m.connected(0, 3));
+    EXPECT_EQ(m.distance(0, 2), 2);
+    EXPECT_EQ(m.degree(0), 2);
+}
+
+TEST(CouplingMap, TShapeMatchesFig3)
+{
+    CouplingMap m = CouplingMap::tShape();
+    EXPECT_EQ(m.numQubits(), 5);
+    EXPECT_TRUE(m.connected(0, 1));
+    EXPECT_TRUE(m.connected(1, 2));
+    EXPECT_TRUE(m.connected(1, 3));
+    EXPECT_TRUE(m.connected(3, 4));
+    EXPECT_FALSE(m.connected(2, 3));
+    EXPECT_EQ(m.distance(2, 4), 3);
+}
+
+TEST(CouplingMap, BowtieIsDenser)
+{
+    CouplingMap bow = CouplingMap::bowtie();
+    CouplingMap line = CouplingMap::line(5);
+    EXPECT_GT(bow.averageDegree(), line.averageDegree());
+    // Center qubit connects both triangles.
+    EXPECT_EQ(bow.degree(2), 4);
+    // Max distance in the bowtie is 2.
+    for (int a = 0; a < 5; ++a)
+        for (int b = 0; b < 5; ++b)
+            EXPECT_LE(bow.distance(a, b), 2);
+}
+
+TEST(CouplingMap, HShape)
+{
+    CouplingMap m = CouplingMap::hShape();
+    EXPECT_EQ(m.numQubits(), 7);
+    EXPECT_TRUE(m.isConnectedGraph());
+    EXPECT_EQ(m.degree(1), 3);
+    EXPECT_EQ(m.degree(5), 3);
+}
+
+TEST(CouplingMap, HeavyHex27IsConnectedAndSparse)
+{
+    CouplingMap m = CouplingMap::heavyHex27();
+    EXPECT_EQ(m.numQubits(), 27);
+    EXPECT_TRUE(m.isConnectedGraph());
+    EXPECT_EQ(m.edges().size(), 28u);
+    // Heavy-hex degree never exceeds 3.
+    for (int q = 0; q < 27; ++q)
+        EXPECT_LE(m.degree(q), 3) << q;
+}
+
+TEST(CouplingMap, HeavyHex65IsConnectedAndSparse)
+{
+    CouplingMap m = CouplingMap::heavyHex65();
+    EXPECT_EQ(m.numQubits(), 65);
+    EXPECT_TRUE(m.isConnectedGraph());
+    for (int q = 0; q < 65; ++q)
+        EXPECT_LE(m.degree(q), 3) << q;
+}
+
+TEST(CouplingMap, ShortestPathEndpointsAndAdjacency)
+{
+    CouplingMap m = CouplingMap::heavyHex27();
+    auto path = m.shortestPath(0, 26);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 26);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1, m.distance(0, 26));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(m.connected(path[i], path[i + 1]));
+}
+
+TEST(CouplingMap, DistanceSymmetry)
+{
+    CouplingMap m = CouplingMap::heavyHex27();
+    for (int a = 0; a < 27; a += 3)
+        for (int b = 0; b < 27; b += 5)
+            EXPECT_EQ(m.distance(a, b), m.distance(b, a));
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/density_matrix.h"
+#include "quantum/gates.h"
+#include "quantum/pauli.h"
+#include "quantum/statevector.h"
+
+namespace eqc {
+namespace {
+
+TEST(DensityMatrix, InitialStatePure)
+{
+    DensityMatrix dm(2);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(dm.purity(), 1.0, 1e-12);
+    EXPECT_EQ(dm.element(0, 0), Complex(1, 0));
+}
+
+TEST(DensityMatrix, UnitaryMatchesStatevector)
+{
+    DensityMatrix dm(3);
+    Statevector sv(3);
+    auto apply = [&](GateType t, std::vector<int> qs,
+                     std::vector<double> ps = {}) {
+        CMatrix m = gateMatrix(t, ps);
+        dm.applyUnitary(m, qs);
+        sv.applyGate(m, qs);
+    };
+    apply(GateType::H, {0});
+    apply(GateType::CX, {0, 1});
+    apply(GateType::RY, {2}, {0.83});
+    apply(GateType::CX, {2, 0});
+    apply(GateType::RZ, {1}, {1.31});
+
+    auto pSv = sv.probabilities();
+    auto pDm = dm.probabilities();
+    for (std::size_t i = 0; i < pSv.size(); ++i)
+        EXPECT_NEAR(pDm[i], pSv[i], 1e-10);
+    EXPECT_NEAR(dm.purity(), 1.0, 1e-10);
+
+    for (const char *label : {"ZZI", "XIX", "IYZ", "XXX"}) {
+        PauliString p(label);
+        EXPECT_NEAR(dm.expectation(p), sv.expectation(p), 1e-10) << label;
+    }
+}
+
+TEST(DensityMatrix, FromStatevector)
+{
+    Statevector sv(2);
+    sv.applyGate(gateMatrix(GateType::H), {0});
+    sv.applyGate(gateMatrix(GateType::CX), {0, 1});
+    DensityMatrix dm = DensityMatrix::fromStatevector(sv);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(dm.purity(), 1.0, 1e-12);
+    EXPECT_NEAR(dm.expectation(PauliString("ZZ")), 1.0, 1e-12);
+    EXPECT_NEAR(dm.element(0, 3).real(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingShrinksBloch)
+{
+    DensityMatrix dm(1);
+    dm.applyUnitary(gateMatrix(GateType::H), {0});
+    EXPECT_NEAR(dm.expectation(PauliString("X")), 1.0, 1e-12);
+    double lambda = 0.2;
+    dm.applyChannel(depolarizing1q(lambda), {0});
+    // rho -> (1-l) rho + l I/2: Bloch vector scales by (1-l).
+    EXPECT_NEAR(dm.expectation(PauliString("X")), 1.0 - lambda, 1e-12);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, FullDepolarizationIsMaximallyMixed)
+{
+    DensityMatrix dm(1);
+    dm.applyUnitary(gateMatrix(GateType::H), {0});
+    dm.applyChannel(depolarizing1q(1.0), {0});
+    EXPECT_NEAR(dm.purity(), 0.5, 1e-12);
+    EXPECT_NEAR(dm.expectation(PauliString("X")), 0.0, 1e-12);
+    EXPECT_NEAR(dm.expectation(PauliString("Z")), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizing)
+{
+    DensityMatrix dm(2);
+    dm.applyUnitary(gateMatrix(GateType::H), {0});
+    dm.applyUnitary(gateMatrix(GateType::CX), {0, 1});
+    double lambda = 0.1;
+    dm.applyChannel(depolarizing2q(lambda), {0, 1});
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(dm.expectation(PauliString("ZZ")), 1.0 - lambda, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDecaysExcitedState)
+{
+    DensityMatrix dm(1);
+    dm.applyUnitary(gateMatrix(GateType::X), {0});
+    EXPECT_NEAR(dm.expectation(PauliString("Z")), -1.0, 1e-12);
+    dm.applyChannel(amplitudeDamping(0.3), {0});
+    // P(1) = 0.7 -> <Z> = 0.3 - 0.7 = -0.4.
+    EXPECT_NEAR(dm.expectation(PauliString("Z")), -0.4, 1e-12);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, ChannelOnSubsetOfQubits)
+{
+    DensityMatrix dm(3);
+    dm.applyUnitary(gateMatrix(GateType::X), {1});
+    dm.applyChannel(amplitudeDamping(1.0), {1});
+    // Full decay returns qubit 1 to |0>.
+    EXPECT_NEAR(dm.expectation(PauliString("IZI")), 1.0, 1e-12);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, ThermalRelaxationConvergesToGround)
+{
+    DensityMatrix dm(1);
+    dm.applyUnitary(gateMatrix(GateType::X), {0});
+    // Gate time >> T1: state decays to |0>.
+    dm.applyChannel(thermalRelaxation(50.0, 70.0, 5000.0), {0});
+    EXPECT_NEAR(dm.expectation(PauliString("Z")), 1.0, 1e-3);
+}
+
+TEST(DensityMatrix, ThermalRelaxationDephasesCoherence)
+{
+    DensityMatrix dm(1);
+    dm.applyUnitary(gateMatrix(GateType::H), {0});
+    double t1 = 100.0, t2 = 60.0, t = 10.0;
+    dm.applyChannel(thermalRelaxation(t1, t2, t), {0});
+    // Coherence decays with exp(-t/T2); population with exp(-t/T1).
+    EXPECT_NEAR(dm.expectation(PauliString("X")), std::exp(-t / t2), 1e-9);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+namespace {
+
+/** Random-ish 3-qubit mixed state shared by the fast-path tests. */
+DensityMatrix
+testState()
+{
+    DensityMatrix dm(3);
+    dm.applyUnitary(gateMatrix(GateType::H), {0});
+    dm.applyUnitary(gateMatrix(GateType::RY, {0.7}), {1});
+    dm.applyUnitary(gateMatrix(GateType::CX), {0, 2});
+    dm.applyUnitary(gateMatrix(GateType::RX, {1.3}), {2});
+    dm.applyChannel(depolarizing1q(0.05), {1}); // slightly mixed
+    return dm;
+}
+
+void
+expectSameState(const DensityMatrix &a, const DensityMatrix &b)
+{
+    for (const char *label :
+         {"XII", "IYI", "IIZ", "XYI", "IZX", "ZIZ", "XYZ", "ZZZ"}) {
+        PauliString p(label);
+        EXPECT_NEAR(a.expectation(p), b.expectation(p), 1e-12) << label;
+    }
+    auto pa = a.probabilities();
+    auto pb = b.probabilities();
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+} // namespace
+
+TEST(DensityMatrix, FastDepolarizing1qMatchesKraus)
+{
+    for (double lambda : {0.01, 0.1, 0.5}) {
+        DensityMatrix viaKraus = testState();
+        DensityMatrix viaFast = testState();
+        viaKraus.applyChannel(depolarizing1q(lambda), {1});
+        viaFast.applyDepolarizing1q(lambda, 1);
+        expectSameState(viaKraus, viaFast);
+    }
+}
+
+TEST(DensityMatrix, FastDepolarizing2qMatchesKraus)
+{
+    for (double lambda : {0.02, 0.15}) {
+        DensityMatrix viaKraus = testState();
+        DensityMatrix viaFast = testState();
+        viaKraus.applyChannel(depolarizing2q(lambda), {0, 2});
+        viaFast.applyDepolarizing2q(lambda, 0, 2);
+        expectSameState(viaKraus, viaFast);
+    }
+}
+
+TEST(DensityMatrix, FastThermalMatchesKraus)
+{
+    double t1 = 80.0, t2 = 60.0, t = 7.0;
+    DensityMatrix viaKraus = testState();
+    DensityMatrix viaFast = testState();
+    viaKraus.applyChannel(thermalRelaxation(t1, t2, t), {2});
+    viaFast.applyThermalRelaxation(2, 1.0 - std::exp(-t / t1),
+                                   std::exp(-t / t2));
+    expectSameState(viaKraus, viaFast);
+}
+
+TEST(DensityMatrix, PurityDecreasesUnderNoise)
+{
+    DensityMatrix dm(2);
+    dm.applyUnitary(gateMatrix(GateType::H), {0});
+    dm.applyUnitary(gateMatrix(GateType::CX), {0, 1});
+    double before = dm.purity();
+    dm.applyChannel(depolarizing1q(0.05), {0});
+    double after = dm.purity();
+    EXPECT_LT(after, before);
+    dm.applyChannel(depolarizing2q(0.05), {0, 1});
+    EXPECT_LT(dm.purity(), after);
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "device/backend.h"
+#include "device/catalog.h"
+
+namespace eqc {
+namespace {
+
+TEST(Catalog, ContainsAllTableIDevices)
+{
+    auto devices = ibmqCatalog();
+    ASSERT_EQ(devices.size(), 11u);
+    std::set<std::string> names;
+    for (const Device &d : devices)
+        names.insert(d.name);
+    for (const char *want :
+         {"ibmq_lima", "ibmqx2", "ibmq_belem", "ibmq_quito",
+          "ibmq_manila", "ibmq_santiago", "ibmq_bogota", "ibm_lagos",
+          "ibmq_casablanca", "ibmq_toronto", "ibmq_manhattan"}) {
+        EXPECT_TRUE(names.count(want)) << want;
+    }
+}
+
+TEST(Catalog, QubitCountsMatchTableI)
+{
+    EXPECT_EQ(deviceByName("ibmq_lima").numQubits, 5);
+    EXPECT_EQ(deviceByName("ibmqx2").numQubits, 5);
+    EXPECT_EQ(deviceByName("ibm_lagos").numQubits, 7);
+    EXPECT_EQ(deviceByName("ibmq_casablanca").numQubits, 7);
+    EXPECT_EQ(deviceByName("ibmq_toronto").numQubits, 27);
+    EXPECT_EQ(deviceByName("ibmq_manhattan").numQubits, 65);
+}
+
+TEST(Catalog, QuantumVolumesMatchTableI)
+{
+    EXPECT_EQ(deviceByName("ibmq_lima").quantumVolume, 8);
+    EXPECT_EQ(deviceByName("ibmqx2").quantumVolume, 8);
+    EXPECT_EQ(deviceByName("ibmq_belem").quantumVolume, 16);
+    EXPECT_EQ(deviceByName("ibmq_bogota").quantumVolume, 32);
+}
+
+TEST(Catalog, DeterministicForSameSeed)
+{
+    Device a = deviceByName("ibmq_bogota", 99);
+    Device b = deviceByName("ibmq_bogota", 99);
+    EXPECT_DOUBLE_EQ(a.baseCalibration.qubits[0].t1Us,
+                     b.baseCalibration.qubits[0].t1Us);
+    EXPECT_DOUBLE_EQ(a.baseCalibration.avgCxError(),
+                     b.baseCalibration.avgCxError());
+}
+
+TEST(Catalog, X2IsNoisiestSmallDevice)
+{
+    Device x2 = deviceByName("ibmqx2");
+    Device bogota = deviceByName("ibmq_bogota");
+    EXPECT_GT(x2.baseCalibration.avgCxError(),
+              bogota.baseCalibration.avgCxError());
+    EXPECT_GT(x2.baseCalibration.avgReadoutError(),
+              bogota.baseCalibration.avgReadoutError());
+}
+
+TEST(Catalog, EvaluationEnsembleExcludesManhattan)
+{
+    auto ens = evaluationEnsemble();
+    EXPECT_EQ(ens.size(), 10u);
+    for (const Device &d : ens)
+        EXPECT_NE(d.name, "ibmq_manhattan");
+}
+
+TEST(Catalog, CalibrationCoversTopology)
+{
+    for (const Device &d : ibmqCatalog()) {
+        EXPECT_EQ(d.baseCalibration.qubits.size(),
+                  static_cast<std::size_t>(d.numQubits))
+            << d.name;
+        EXPECT_EQ(d.baseCalibration.cxError.size(),
+                  d.coupling.edges().size())
+            << d.name;
+        for (const auto &[a, b] : d.coupling.edges()) {
+            EXPECT_GT(d.baseCalibration.cxErrorFor(a, b), 0.0);
+            EXPECT_GT(d.baseCalibration.cxTimeFor(a, b), 0.0);
+        }
+    }
+}
+
+TEST(Calibration, CrosstalkPenalizesDenseTopologies)
+{
+    // Same base parameters, denser graph -> higher mean CX error.
+    Rng rng(5);
+    auto sparse = synthesizeCalibration(CouplingMap::line(5), rng, 100,
+                                        1.0, 3e-4, 1e-2, 2e-2, 0.1);
+    auto dense = synthesizeCalibration(CouplingMap::bowtie(), rng, 100,
+                                       1.0, 3e-4, 1e-2, 2e-2, 0.1);
+    EXPECT_GT(dense.avgCxError(), sparse.avgCxError());
+}
+
+TEST(Calibration, CircuitDurationAsapSchedule)
+{
+    CalibrationSnapshot cal;
+    cal.qubits.resize(2);
+    cal.gate1qTimeNs = 40.0;
+    cal.readoutTimeNs = 4000.0;
+    cal.cxError[{0, 1}] = 1e-2;
+    cal.cxTimeNs[{0, 1}] = 400.0;
+
+    QuantumCircuit c(2, 0);
+    c.sx(0);       // 40ns on q0
+    c.sx(1);       // 40ns on q1 (parallel)
+    c.cx(0, 1);    // 400ns, starts at 40
+    c.measure(0);  // 4000ns, starts at 440
+    c.measure(1);
+    EXPECT_NEAR(circuitDurationUs(c, cal), (40 + 400 + 4000) / 1000.0,
+                1e-9);
+}
+
+TEST(Drift, ErrorsGrowSinceCalibration)
+{
+    Device d = deviceByName("ibmq_bogota");
+    CalibrationTracker tracker(d.baseCalibration, d.drift, Rng(3));
+    double e0 = tracker.actual(0.1).avgCxError();
+    double e12 = tracker.actual(12.0).avgCxError();
+    EXPECT_GT(e12, e0);
+    EXPECT_GT(tracker.errorInflation(12.0),
+              tracker.errorInflation(0.1));
+}
+
+TEST(Drift, ReportedStaysFrozenBetweenCalibrations)
+{
+    Device d = deviceByName("ibmq_bogota");
+    CalibrationTracker tracker(d.baseCalibration, d.drift, Rng(3));
+    auto r1 = tracker.reported(1.0);
+    auto r2 = tracker.reported(10.0);
+    // Same calibration interval: identical reported values.
+    EXPECT_DOUBLE_EQ(r1.avgCxError(), r2.avgCxError());
+    EXPECT_DOUBLE_EQ(r1.timeH, r2.timeH);
+}
+
+TEST(Drift, RecalibrationResetsInflation)
+{
+    Device d = deviceByName("ibmq_bogota");
+    // Disable latent noise to isolate the pure staleness ramp.
+    d.drift.latentSigma = 0.0;
+    CalibrationTracker tracker(d.baseCalibration, d.drift, Rng(3));
+    // Just before vs just after the second calibration.
+    double calTime = -1.0;
+    for (double t = 1.0; t < 100.0; t += 0.25) {
+        if (tracker.lastCalibrationTime(t) > 0.0) {
+            calTime = tracker.lastCalibrationTime(t);
+            break;
+        }
+    }
+    ASSERT_GT(calTime, 0.0);
+    EXPECT_GT(tracker.errorInflation(calTime - 0.1), 1.05);
+    EXPECT_LT(tracker.errorInflation(calTime + 0.1), 1.05);
+}
+
+TEST(Drift, IncidentsMultiplyErrors)
+{
+    Device d = deviceByName("ibmq_casablanca");
+    DriftParams p = d.drift;
+    p.incidentRatePerHour = 0.05; // force frequent incidents
+    CalibrationTracker tracker(d.baseCalibration, p, Rng(11));
+    bool sawIncident = false;
+    for (double t = 0.0; t < 300.0; t += 0.5) {
+        if (tracker.inIncident(t)) {
+            sawIncident = true;
+            EXPECT_GT(tracker.errorInflation(t), 2.0);
+            break;
+        }
+    }
+    EXPECT_TRUE(sawIncident);
+}
+
+TEST(Drift, DeterministicTimeline)
+{
+    Device d = deviceByName("ibmq_toronto");
+    CalibrationTracker a(d.baseCalibration, d.drift, Rng(7));
+    CalibrationTracker b(d.baseCalibration, d.drift, Rng(7));
+    for (double t : {0.5, 13.0, 77.7, 200.0})
+        EXPECT_DOUBLE_EQ(a.actual(t).avgCxError(),
+                         b.actual(t).avgCxError());
+}
+
+TEST(QueueModel, CongestionIsPeriodic)
+{
+    QueueParams p;
+    p.congestionAmplitude = 1.0;
+    p.congestionPeriodH = 24.0;
+    QueueModel q(p);
+    EXPECT_NEAR(q.congestionFactor(0.0), q.congestionFactor(24.0), 1e-9);
+    EXPECT_GT(q.congestionFactor(6.0), q.congestionFactor(18.0));
+}
+
+TEST(QueueModel, MaintenanceWindows)
+{
+    QueueParams p;
+    p.maintenancePeriodH = 10.0;
+    p.maintenanceDurationH = 2.0;
+    p.maintenanceOffsetH = 0.0;
+    QueueModel q(p);
+    EXPECT_TRUE(q.inMaintenance(0.5));
+    EXPECT_FALSE(q.inMaintenance(3.0));
+    EXPECT_TRUE(q.inMaintenance(10.5));
+    EXPECT_NEAR(q.maintenanceRemainingH(0.5), 1.5, 1e-9);
+}
+
+TEST(QueueModel, ExecutionTimeScalesWithShotsAndCircuits)
+{
+    QueueParams p;
+    p.jobOverheadS = 1.0;
+    p.resetTimeUs = 250.0;
+    QueueModel q(p);
+    double e1 = q.executionTimeS(10.0, 8192, 1);
+    double e2 = q.executionTimeS(10.0, 8192, 2);
+    EXPECT_NEAR(e2 - e1, e1 - 1.0, 1e-9); // linear in circuits
+    EXPECT_GT(q.executionTimeS(10.0, 16384, 1), e1);
+}
+
+TEST(QueueModel, LatencyOrderingAcrossDevices)
+{
+    // Manhattan's sampled latency dwarfs x2's.
+    Device x2 = deviceByName("ibmqx2");
+    Device man = deviceByName("ibmq_manhattan");
+    QueueModel qx(x2.queue), qm(man.queue);
+    Rng r1(5), r2(5);
+    double sx = 0, sm = 0;
+    for (int i = 0; i < 50; ++i) {
+        sx += qx.jobLatencyS(i * 0.3, 10.0, 8192, 6, r1);
+        sm += qm.jobLatencyS(i * 0.3, 10.0, 8192, 6, r2);
+    }
+    EXPECT_GT(sm, 20.0 * sx);
+}
+
+TEST(Backend, IdealDeviceGivesExactDistribution)
+{
+    Device ideal = makeIdealDevice(2);
+    SimulatedQpu qpu(ideal, 1);
+    QuantumCircuit bell(2, 0);
+    bell.h(0);
+    bell.cx(0, 1);
+    bell.measureAll();
+    TranspiledCircuit tc = transpile(bell, ideal.coupling);
+    Rng rng(2);
+    JobResult r = qpu.execute(tc, {}, 8192, 0.0, rng, true);
+    ASSERT_EQ(r.probabilities.size(), 4u);
+    EXPECT_NEAR(r.probabilities[0], 0.5, 1e-12);
+    EXPECT_NEAR(r.probabilities[3], 0.5, 1e-12);
+    uint64_t total = 0;
+    for (uint64_t c : r.counts)
+        total += c;
+    EXPECT_EQ(total, 8192u);
+}
+
+TEST(Backend, NoisyDeviceDegradesGhz)
+{
+    Device dev = deviceByName("ibmqx2");
+    SimulatedQpu qpu(dev, 1);
+    QuantumCircuit ghz(4, 0);
+    ghz.h(0);
+    for (int q = 0; q + 1 < 4; ++q)
+        ghz.cx(q, q + 1);
+    ghz.measureAll();
+    TranspiledCircuit tc = transpile(ghz, dev.coupling);
+    Rng rng(2);
+    JobResult r = qpu.execute(tc, {}, 8192, 0.0, rng, false);
+    // Success probability strictly below 1 but far above uniform.
+    int n = tc.compact.numQubits();
+    uint64_t all1 = 0;
+    for (int l = 0; l < 4; ++l)
+        all1 |= uint64_t{1} << tc.logicalToCompact[l];
+    double pGood = r.probabilities[0] + r.probabilities[all1];
+    EXPECT_LT(pGood, 0.995);
+    EXPECT_GT(pGood, 2.0 / (1 << n));
+    double totalP = 0;
+    for (double p : r.probabilities)
+        totalP += p;
+    EXPECT_NEAR(totalP, 1.0, 1e-9);
+}
+
+TEST(Backend, NoiseWorsensWithStaleness)
+{
+    Device dev = deviceByName("ibmq_casablanca");
+    // Remove incidents so only smooth drift is at play.
+    dev.drift.incidentRatePerHour = 0.0;
+    SimulatedQpu qpu(dev, 1);
+    QuantumCircuit ghz(4, 0);
+    ghz.h(0);
+    for (int q = 0; q + 1 < 4; ++q)
+        ghz.cx(q, q + 1);
+    ghz.measureAll();
+    TranspiledCircuit tc = transpile(ghz, dev.coupling);
+    Rng rng(2);
+    double calTime = qpu.tracker().lastCalibrationTime(10.0);
+    JobResult fresh =
+        qpu.execute(tc, {}, 0, calTime + 0.1, rng, false);
+    JobResult stale =
+        qpu.execute(tc, {}, 0, calTime + 15.0, rng, false);
+    uint64_t all1 = 0;
+    for (int l = 0; l < 4; ++l)
+        all1 |= uint64_t{1} << tc.logicalToCompact[l];
+    double pFresh = fresh.probabilities[0] + fresh.probabilities[all1];
+    double pStale = stale.probabilities[0] + stale.probabilities[all1];
+    EXPECT_GT(pFresh, pStale);
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace eqc {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder)
+{
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, EqualTimesFifoBySequence)
+{
+    Simulation sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(1.0, [&, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, HandlersCanScheduleMoreEvents)
+{
+    Simulation sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            sim.schedule(0.5, chain);
+    };
+    sim.schedule(0.0, chain);
+    sim.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+    EXPECT_EQ(sim.processed(), 10u);
+}
+
+TEST(Simulation, RunUntilLeavesLaterEventsQueued)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(5.0, [&] { ++fired; });
+    sim.runUntil(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(sim.empty());
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, ScheduleAtAbsoluteTime)
+{
+    Simulation sim;
+    double seen = -1.0;
+    sim.scheduleAt(7.25, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen, 7.25);
+}
+
+} // namespace
+} // namespace eqc

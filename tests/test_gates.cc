@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/gates.h"
+
+namespace eqc {
+namespace {
+
+TEST(Gates, ArityAndParamCounts)
+{
+    EXPECT_EQ(gateArity(GateType::H), 1);
+    EXPECT_EQ(gateArity(GateType::CX), 2);
+    EXPECT_EQ(gateArity(GateType::RZZ), 2);
+    EXPECT_EQ(gateParamCount(GateType::RY), 1);
+    EXPECT_EQ(gateParamCount(GateType::U3), 3);
+    EXPECT_EQ(gateParamCount(GateType::CX), 0);
+}
+
+TEST(Gates, NameRoundTrip)
+{
+    for (GateType t :
+         {GateType::ID, GateType::X, GateType::H, GateType::SX,
+          GateType::RZ, GateType::CX, GateType::SWAP, GateType::RZZ,
+          GateType::MEASURE}) {
+        EXPECT_EQ(gateFromName(gateName(t)), t);
+    }
+}
+
+TEST(Gates, AllUnitariesAreUnitary)
+{
+    for (GateType t :
+         {GateType::ID, GateType::X, GateType::Y, GateType::Z, GateType::H,
+          GateType::S, GateType::SDG, GateType::T, GateType::TDG,
+          GateType::SX, GateType::CX, GateType::CZ, GateType::SWAP}) {
+        EXPECT_TRUE(gateMatrix(t).isUnitary()) << gateName(t);
+    }
+    EXPECT_TRUE(gateMatrix(GateType::RX, {0.37}).isUnitary());
+    EXPECT_TRUE(gateMatrix(GateType::RY, {1.2}).isUnitary());
+    EXPECT_TRUE(gateMatrix(GateType::RZ, {-2.1}).isUnitary());
+    EXPECT_TRUE(gateMatrix(GateType::RZZ, {0.9}).isUnitary());
+    EXPECT_TRUE(gateMatrix(GateType::U3, {0.3, 1.1, -0.7}).isUnitary());
+}
+
+TEST(Gates, SxSquaredIsX)
+{
+    CMatrix sx = gateMatrix(GateType::SX);
+    EXPECT_TRUE((sx * sx).equalsUpToPhase(gateMatrix(GateType::X)));
+}
+
+TEST(Gates, SIsSqrtZ)
+{
+    CMatrix s = gateMatrix(GateType::S);
+    EXPECT_TRUE((s * s).equalsUpToPhase(gateMatrix(GateType::Z)));
+    EXPECT_TRUE((s * gateMatrix(GateType::SDG))
+                    .equalsUpToPhase(CMatrix::identity(2)));
+}
+
+TEST(Gates, RotationComposition)
+{
+    CMatrix a = gateMatrix(GateType::RY, {0.4});
+    CMatrix b = gateMatrix(GateType::RY, {0.6});
+    EXPECT_LT((a * b).distance(gateMatrix(GateType::RY, {1.0})), 1e-12);
+}
+
+TEST(Gates, RxPiIsX)
+{
+    EXPECT_TRUE(gateMatrix(GateType::RX, {kPi})
+                    .equalsUpToPhase(gateMatrix(GateType::X)));
+}
+
+TEST(Gates, RzPiIsZ)
+{
+    EXPECT_TRUE(gateMatrix(GateType::RZ, {kPi})
+                    .equalsUpToPhase(gateMatrix(GateType::Z)));
+}
+
+TEST(Gates, U3MatchesEulerForm)
+{
+    double theta = 0.8, phi = 0.3, lambda = -1.1;
+    CMatrix u = gateMatrix(GateType::U3, {theta, phi, lambda});
+    CMatrix rzphi = gateMatrix(GateType::RZ, {phi});
+    CMatrix rytheta = gateMatrix(GateType::RY, {theta});
+    CMatrix rzlambda = gateMatrix(GateType::RZ, {lambda});
+    EXPECT_TRUE(u.equalsUpToPhase(rzphi * rytheta * rzlambda));
+}
+
+TEST(Gates, CxTruthTable)
+{
+    // Sub-index j = control + 2*target.
+    CMatrix cx = gateMatrix(GateType::CX);
+    // control=0: identity on target.
+    EXPECT_EQ(cx(0, 0), Complex(1, 0)); // |c0 t0> stays
+    EXPECT_EQ(cx(2, 2), Complex(1, 0)); // |c0 t1> stays
+    // control=1: target flips.
+    EXPECT_EQ(cx(3, 1), Complex(1, 0)); // |c1 t0> -> |c1 t1>
+    EXPECT_EQ(cx(1, 3), Complex(1, 0));
+}
+
+TEST(Gates, RzzDiagonalSigns)
+{
+    CMatrix m = gateMatrix(GateType::RZZ, {kPi / 2});
+    Complex em = std::exp(Complex(0, -kPi / 4));
+    Complex ep = std::exp(Complex(0, kPi / 4));
+    EXPECT_NEAR(std::abs(m(0, 0) - em), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m(1, 1) - ep), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m(2, 2) - ep), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m(3, 3) - em), 0.0, 1e-12);
+}
+
+TEST(Gates, BasisGatePredicate)
+{
+    EXPECT_TRUE(isBasisGate(GateType::CX));
+    EXPECT_TRUE(isBasisGate(GateType::RZ));
+    EXPECT_TRUE(isBasisGate(GateType::SX));
+    EXPECT_TRUE(isBasisGate(GateType::X));
+    EXPECT_TRUE(isBasisGate(GateType::ID));
+    EXPECT_FALSE(isBasisGate(GateType::H));
+    EXPECT_FALSE(isBasisGate(GateType::RY));
+    EXPECT_FALSE(isBasisGate(GateType::SWAP));
+}
+
+TEST(Gates, VirtualGatePredicate)
+{
+    EXPECT_TRUE(isVirtualGate(GateType::RZ));
+    EXPECT_FALSE(isVirtualGate(GateType::SX));
+    EXPECT_FALSE(isVirtualGate(GateType::CX));
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamiltonian/exact.h"
+#include "hamiltonian/heisenberg.h"
+#include "hamiltonian/maxcut.h"
+
+namespace eqc {
+namespace {
+
+TEST(Heisenberg, TermCount)
+{
+    PauliSum h = heisenbergHamiltonian(4, squareLattice4(), 1.0, 1.0);
+    // 4 edges x 3 couplings + 4 field terms.
+    EXPECT_EQ(h.size(), 16u);
+    PauliSum noField = heisenbergHamiltonian(4, squareLattice4(), 1.0,
+                                             0.0);
+    EXPECT_EQ(noField.size(), 12u);
+}
+
+TEST(Heisenberg, MatrixIsHermitian)
+{
+    PauliSum h = heisenbergHamiltonian(4, squareLattice4(), 1.0, 1.0);
+    EXPECT_TRUE(h.matrix().isHermitian());
+}
+
+TEST(Heisenberg, TwoSiteGroundEnergy)
+{
+    // Two-spin XXX singlet: E0 of XX+YY+ZZ is -3 (Pauli units);
+    // adding B*(Z1+Z2) does not lower the singlet.
+    PauliSum h = heisenbergHamiltonian(2, {{0, 1}}, 1.0, 0.0);
+    EXPECT_NEAR(minEigenvalue(h), -3.0, 1e-8);
+}
+
+TEST(Heisenberg, RingGroundEnergyMatchesDense)
+{
+    PauliSum h = heisenbergHamiltonian(4, squareLattice4(), 1.0, 1.0);
+    double viaPower = minEigenvalue(h);
+    // Reference: dense matrix diagonal dominance check via Rayleigh
+    // quotients on all basis vectors only bounds, so instead verify
+    // H v = lambda v residual for the power-iteration state by
+    // re-deriving from the dense matrix trace bounds.
+    CMatrix m = h.matrix();
+    // lambda_min <= min diagonal element.
+    double minDiag = 1e9;
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        minDiag = std::min(minDiag, m(i, i).real());
+    EXPECT_LE(viaPower, minDiag + 1e-9);
+    // And must be >= -sum|coeff|.
+    EXPECT_GE(viaPower, -h.coefficientNorm() - 1e-9);
+}
+
+TEST(Exact, ApplyPauliSumMatchesDense)
+{
+    PauliSum h(3);
+    h.add(0.7, "XYZ");
+    h.add(-1.2, "ZZI");
+    h.add(0.3, "IIX");
+    CMatrix m = h.matrix();
+    CVector x(8);
+    for (int i = 0; i < 8; ++i)
+        x[i] = Complex(0.1 * i, -0.05 * i);
+    CVector viaSparse = applyPauliSum(h, x);
+    CVector viaDense = m.apply(x);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NEAR(std::abs(viaSparse[i] - viaDense[i]), 0.0, 1e-12);
+}
+
+TEST(Exact, MinMaxEigenvaluesOfZ)
+{
+    PauliSum h(1);
+    h.add(1.0, "Z");
+    EXPECT_NEAR(minEigenvalue(h), -1.0, 1e-9);
+    EXPECT_NEAR(maxEigenvalue(h), 1.0, 1e-9);
+}
+
+TEST(Exact, IdentityOffsetShiftsSpectrum)
+{
+    PauliSum h(2);
+    h.add(1.0, "ZZ");
+    h.add(-2.0, "II");
+    EXPECT_NEAR(minEigenvalue(h), -3.0, 1e-9);
+    EXPECT_NEAR(maxEigenvalue(h), -1.0, 1e-9);
+}
+
+TEST(MaxCut, RingInstanceBasics)
+{
+    MaxCutInstance inst = ringMaxCut4();
+    EXPECT_EQ(inst.numNodes, 4);
+    EXPECT_EQ(inst.edges.size(), 4u);
+    // Alternating partition 0101 cuts all 4 edges.
+    EXPECT_EQ(cutValue(inst, 0b0101), 4);
+    EXPECT_EQ(cutValue(inst, 0b0000), 0);
+    EXPECT_EQ(cutValue(inst, 0b0001), 2);
+    EXPECT_EQ(bruteForceMaxCut(inst), 4);
+}
+
+TEST(MaxCut, HamiltonianGroundEqualsNegMaxCut)
+{
+    MaxCutInstance inst = ringMaxCut4();
+    PauliSum h = maxcutHamiltonian(inst);
+    EXPECT_NEAR(minEigenvalue(h),
+                -static_cast<double>(bruteForceMaxCut(inst)), 1e-9);
+}
+
+TEST(MaxCut, HamiltonianDiagonalMatchesCutValues)
+{
+    MaxCutInstance inst = ringMaxCut4();
+    PauliSum h = maxcutHamiltonian(inst);
+    CMatrix m = h.matrix();
+    for (uint64_t a = 0; a < 16; ++a)
+        EXPECT_NEAR(m(a, a).real(), -cutValue(inst, a), 1e-12) << a;
+}
+
+TEST(MaxCut, PentagonOptimum)
+{
+    MaxCutInstance pent{5,
+                        {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}};
+    EXPECT_EQ(bruteForceMaxCut(pent), 4); // odd ring: n-1
+    PauliSum h = maxcutHamiltonian(pent);
+    EXPECT_NEAR(minEigenvalue(h), -4.0, 1e-8);
+}
+
+} // namespace
+} // namespace eqc

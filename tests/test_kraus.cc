@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/kraus.h"
+
+namespace eqc {
+namespace {
+
+TEST(Kraus, DepolarizingIsCPTP)
+{
+    for (double l : {0.0, 0.01, 0.2, 1.0})
+        EXPECT_TRUE(depolarizing1q(l).isCPTP()) << l;
+    for (double l : {0.0, 0.01, 0.2, 1.0})
+        EXPECT_TRUE(depolarizing2q(l).isCPTP()) << l;
+}
+
+TEST(Kraus, DampingChannelsAreCPTP)
+{
+    for (double g : {0.0, 0.1, 0.5, 1.0}) {
+        EXPECT_TRUE(amplitudeDamping(g).isCPTP()) << g;
+        EXPECT_TRUE(phaseDamping(g).isCPTP()) << g;
+    }
+}
+
+TEST(Kraus, ThermalRelaxationIsCPTP)
+{
+    EXPECT_TRUE(thermalRelaxation(100.0, 80.0, 0.1).isCPTP());
+    EXPECT_TRUE(thermalRelaxation(50.0, 100.0, 1.0).isCPTP());
+    // T2 > 2*T1 must be clamped, still CPTP.
+    EXPECT_TRUE(thermalRelaxation(10.0, 50.0, 1.0).isCPTP());
+}
+
+TEST(Kraus, CompositionIsCPTP)
+{
+    KrausChannel c =
+        amplitudeDamping(0.2).composeWith(phaseDamping(0.3));
+    EXPECT_TRUE(c.isCPTP());
+    EXPECT_EQ(c.arity, 1);
+}
+
+TEST(Kraus, ZeroNoiseIsIdentityChannel)
+{
+    KrausChannel c = depolarizing1q(0.0);
+    ASSERT_EQ(c.ops.size(), 1u);
+    EXPECT_LT(c.ops[0].distance(CMatrix::identity(2)), 1e-12);
+}
+
+TEST(Kraus, ReadoutErrorMixesDistribution)
+{
+    std::vector<double> p = {1.0, 0.0}; // 1 qubit, certainly |0>
+    applyReadoutError(p, 0, {0.02, 0.05});
+    EXPECT_NEAR(p[0], 0.98, 1e-12);
+    EXPECT_NEAR(p[1], 0.02, 1e-12);
+
+    std::vector<double> q = {0.0, 1.0};
+    applyReadoutError(q, 0, {0.02, 0.05});
+    EXPECT_NEAR(q[0], 0.05, 1e-12);
+    EXPECT_NEAR(q[1], 0.95, 1e-12);
+}
+
+TEST(Kraus, ReadoutErrorPreservesTotalProbability)
+{
+    std::vector<double> p = {0.1, 0.2, 0.3, 0.4};
+    applyReadoutError(p, 0, {0.03, 0.07});
+    applyReadoutError(p, 1, {0.05, 0.01});
+    double total = 0;
+    for (double v : p)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Kraus, ReadoutErrorTargetsCorrectQubit)
+{
+    // State |01> (qubit0=1, qubit1=0); flip error only on qubit 1.
+    std::vector<double> p = {0.0, 1.0, 0.0, 0.0};
+    applyReadoutError(p, 1, {0.5, 0.0});
+    EXPECT_NEAR(p[1], 0.5, 1e-12);
+    EXPECT_NEAR(p[3], 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "quantum/pauli.h"
+
+namespace eqc {
+namespace {
+
+TEST(PauliString, LabelRoundTrip)
+{
+    for (const char *label : {"IXYZ", "ZZZZ", "IIII", "XYIZ"}) {
+        PauliString p(label);
+        EXPECT_EQ(p.label(), label);
+    }
+}
+
+TEST(PauliString, SetAndAt)
+{
+    PauliString p(4);
+    p.set(2, Pauli::Y);
+    EXPECT_EQ(p.at(2), Pauli::Y);
+    EXPECT_EQ(p.at(0), Pauli::I);
+    p.set(2, Pauli::I);
+    EXPECT_EQ(p.at(2), Pauli::I);
+}
+
+TEST(PauliString, Masks)
+{
+    PauliString p("XYZI");
+    EXPECT_EQ(p.xMask(), 0b0011u); // X on q0, Y on q1
+    EXPECT_EQ(p.zMask(), 0b0110u); // Y on q1, Z on q2
+}
+
+TEST(PauliString, Weight)
+{
+    EXPECT_EQ(PauliString("IIII").weight(), 0);
+    EXPECT_EQ(PauliString("XIZI").weight(), 2);
+    EXPECT_EQ(PauliString("YYYY").weight(), 4);
+}
+
+TEST(PauliString, QubitwiseCommutation)
+{
+    EXPECT_TRUE(PauliString("XX").qubitwiseCommutes(PauliString("XI")));
+    EXPECT_TRUE(PauliString("XX").qubitwiseCommutes(PauliString("II")));
+    EXPECT_FALSE(PauliString("XX").qubitwiseCommutes(PauliString("ZI")));
+    EXPECT_FALSE(PauliString("XY").qubitwiseCommutes(PauliString("XZ")));
+}
+
+TEST(PauliString, FullCommutation)
+{
+    // XX and ZZ commute globally though not qubit-wise.
+    EXPECT_TRUE(PauliString("XX").commutes(PauliString("ZZ")));
+    EXPECT_FALSE(PauliString("XX").qubitwiseCommutes(PauliString("ZZ")));
+    EXPECT_FALSE(PauliString("XI").commutes(PauliString("ZI")));
+    EXPECT_TRUE(PauliString("XI").commutes(PauliString("IZ")));
+}
+
+TEST(PauliString, MatrixSmallCases)
+{
+    CMatrix z = PauliString("Z").matrix();
+    EXPECT_EQ(z(0, 0), Complex(1, 0));
+    EXPECT_EQ(z(1, 1), Complex(-1, 0));
+    // "XI" means X on qubit 0: |00> -> |01> (index 0 -> 1).
+    CMatrix xi = PauliString("XI").matrix();
+    EXPECT_EQ(xi(1, 0), Complex(1, 0));
+    // "IX" means X on qubit 1: |00> -> |10> (index 0 -> 2).
+    CMatrix ix = PauliString("IX").matrix();
+    EXPECT_EQ(ix(2, 0), Complex(1, 0));
+}
+
+TEST(PauliString, MatrixIsHermitianAndUnitary)
+{
+    for (const char *label : {"XY", "YZ", "ZZ", "XYZ"}) {
+        CMatrix m = PauliString(label).matrix();
+        EXPECT_TRUE(m.isHermitian()) << label;
+        EXPECT_TRUE(m.isUnitary()) << label;
+    }
+}
+
+TEST(PauliSum, AddMergesDuplicates)
+{
+    PauliSum h(2);
+    h.add(0.5, "ZZ");
+    h.add(0.25, "ZZ");
+    h.add(1.0, "XI");
+    EXPECT_EQ(h.size(), 2u);
+    EXPECT_NEAR(h.coefficientNorm(), 1.75, 1e-12);
+}
+
+TEST(PauliSum, IdentityOffset)
+{
+    PauliSum h(2);
+    h.add(-2.0, "II");
+    h.add(0.5, "ZZ");
+    EXPECT_DOUBLE_EQ(h.identityOffset(), -2.0);
+}
+
+TEST(PauliSum, MatrixMatchesTermSum)
+{
+    PauliSum h(2);
+    h.add(1.0, "XX");
+    h.add(-0.5, "ZI");
+    CMatrix m = h.matrix();
+    CMatrix expect =
+        PauliString("XX").matrix() * Complex(1.0, 0) +
+        PauliString("ZI").matrix() * Complex(-0.5, 0);
+    EXPECT_LT(m.distance(expect), 1e-12);
+    EXPECT_TRUE(m.isHermitian());
+}
+
+TEST(PauliGrouping, HeisenbergStyleGroupsIntoThree)
+{
+    // XX+YY+ZZ terms on a ring plus a Z field: 3 qubit-wise groups
+    // (all-X, all-Y, all-Z with the field terms).
+    PauliSum h(4);
+    const int edges[4][2] = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+    for (auto &e : edges) {
+        for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+            PauliString s(4);
+            s.set(e[0], p);
+            s.set(e[1], p);
+            h.add(1.0, s);
+        }
+    }
+    for (int q = 0; q < 4; ++q)
+        h.add(1.0, PauliString::single(4, q, Pauli::Z));
+    auto groups = groupQubitwiseCommuting(h);
+    EXPECT_EQ(groups.size(), 3u);
+    std::size_t total = 0;
+    for (const auto &g : groups)
+        total += g.size();
+    EXPECT_EQ(total, h.size());
+}
+
+TEST(PauliGrouping, MembersActuallyCommute)
+{
+    PauliSum h(3);
+    h.add(1.0, "XXI");
+    h.add(1.0, "IXX");
+    h.add(1.0, "ZZI");
+    h.add(1.0, "IZZ");
+    h.add(1.0, "XZI");
+    auto groups = groupQubitwiseCommuting(h);
+    for (const auto &g : groups)
+        for (std::size_t a = 0; a < g.size(); ++a)
+            for (std::size_t b = a + 1; b < g.size(); ++b)
+                EXPECT_TRUE(h.terms()[g[a]].pauli.qubitwiseCommutes(
+                    h.terms()[g[b]].pauli));
+}
+
+} // namespace
+} // namespace eqc

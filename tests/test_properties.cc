@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Parameterized property tests: invariants swept across parameter
+ * grids, random circuits and the whole device catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ansatz.h"
+#include "common/rng.h"
+#include "core/weighting.h"
+#include "device/backend.h"
+#include "device/catalog.h"
+#include "quantum/density_matrix.h"
+#include "vqa/expectation.h"
+#include "vqa/problem.h"
+
+namespace eqc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Channel CPTP sweeps.
+// ---------------------------------------------------------------------
+
+class ChannelCptpSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ChannelCptpSweep, AllChannelsArePhysical)
+{
+    double p = GetParam();
+    EXPECT_TRUE(depolarizing1q(p).isCPTP()) << p;
+    EXPECT_TRUE(depolarizing2q(p).isCPTP()) << p;
+    EXPECT_TRUE(amplitudeDamping(p).isCPTP()) << p;
+    EXPECT_TRUE(phaseDamping(p).isCPTP()) << p;
+}
+
+TEST_P(ChannelCptpSweep, DepolarizingContractsTracelessPart)
+{
+    double p = GetParam();
+    if (p > 1.0)
+        return;
+    DensityMatrix dm(1);
+    dm.applyUnitary(gateMatrix(GateType::RY, {0.7}), {0});
+    double zBefore = dm.expectation(PauliString("Z"));
+    dm.applyDepolarizing1q(p, 0);
+    EXPECT_NEAR(dm.expectation(PauliString("Z")), (1.0 - p) * zBefore,
+                1e-12);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, ChannelCptpSweep,
+                         ::testing::Values(0.0, 1e-4, 1e-3, 0.01, 0.05,
+                                           0.1, 0.3, 0.7, 1.0));
+
+// ---------------------------------------------------------------------
+// Thermal-relaxation physics across T1/T2/time grids.
+// ---------------------------------------------------------------------
+
+struct ThermalCase
+{
+    double t1, t2, time;
+};
+
+class ThermalSweep : public ::testing::TestWithParam<ThermalCase>
+{
+};
+
+TEST_P(ThermalSweep, CoherenceAndPopulationDecayExactly)
+{
+    auto [t1, t2, time] = GetParam();
+    DensityMatrix dm(1);
+    dm.applyUnitary(gateMatrix(GateType::H), {0});
+    dm.applyChannel(thermalRelaxation(t1, t2, time), {0});
+    double t2eff = std::min(t2, 2.0 * t1);
+    EXPECT_NEAR(dm.expectation(PauliString("X")),
+                std::exp(-time / t2eff), 1e-9);
+
+    DensityMatrix excited(1);
+    excited.applyUnitary(gateMatrix(GateType::X), {0});
+    excited.applyChannel(thermalRelaxation(t1, t2, time), {0});
+    // P(1) = exp(-t/T1).
+    EXPECT_NEAR(excited.probabilities()[1], std::exp(-time / t1), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThermalSweep,
+    ::testing::Values(ThermalCase{100, 80, 0.1}, ThermalCase{100, 80, 5},
+                      ThermalCase{50, 90, 1}, ThermalCase{30, 60, 10},
+                      ThermalCase{200, 150, 0.035},
+                      ThermalCase{40, 20, 2}));
+
+// ---------------------------------------------------------------------
+// Basis decomposition over random single-qubit unitaries.
+// ---------------------------------------------------------------------
+
+class ZsxDecomposition : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ZsxDecomposition, RandomRotationSequencesSurviveTranslation)
+{
+    Rng rng(1000 + GetParam());
+    QuantumCircuit c(2, 0);
+    for (int g = 0; g < 12; ++g) {
+        int q = rng.uniformInt(0, 1);
+        switch (rng.uniformInt(0, 4)) {
+          case 0:
+            c.rx(q, ParamExpr::constant(rng.uniform(-3.1, 3.1)));
+            break;
+          case 1:
+            c.ry(q, ParamExpr::constant(rng.uniform(-3.1, 3.1)));
+            break;
+          case 2:
+            c.rz(q, ParamExpr::constant(rng.uniform(-3.1, 3.1)));
+            break;
+          case 3:
+            c.h(q);
+            break;
+          default:
+            c.cx(q, 1 - q);
+        }
+    }
+    QuantumCircuit d = decomposeToBasis(c);
+    EXPECT_TRUE(isInBasis(d));
+    Statevector s1 = simulateIdeal(c);
+    Statevector s2 = simulateIdeal(d);
+    EXPECT_NEAR(std::abs(s1.inner(s2)), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZsxDecomposition, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------
+// Readout error and its mitigation are exact inverses.
+// ---------------------------------------------------------------------
+
+class ReadoutRoundTrip
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(ReadoutRoundTrip, MitigationInvertsConfusion)
+{
+    auto [p01, p10] = GetParam();
+    Rng rng(7);
+    std::vector<double> probs(8);
+    double total = 0;
+    for (double &p : probs) {
+        p = rng.uniform();
+        total += p;
+    }
+    for (double &p : probs)
+        p /= total;
+    std::vector<double> original = probs;
+    for (int q = 0; q < 3; ++q)
+        applyReadoutError(probs, q, {p01, p10});
+    for (int q = 0; q < 3; ++q)
+        applyReadoutMitigation(probs, q, {p01, p10});
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NEAR(probs[i], original[i], 1e-10) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Confusions, ReadoutRoundTrip,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{0.01, 0.02},
+                      std::pair{0.05, 0.08}, std::pair{0.1, 0.05},
+                      std::pair{0.2, 0.25}));
+
+// ---------------------------------------------------------------------
+// Whole-catalog sweeps: every device hosts the paper workloads.
+// ---------------------------------------------------------------------
+
+class CatalogSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CatalogSweep, Fig8AnsatzTranspilesAndRuns)
+{
+    Device d = deviceByName(GetParam());
+    VqaProblem p = makeHeisenbergVqe();
+    ExpectationEstimator est(p.hamiltonian, p.ansatz);
+    auto compiled = est.compileFor(d.coupling);
+    ASSERT_EQ(compiled.size(), 3u);
+    for (const TranspiledCircuit &tc : compiled) {
+        EXPECT_TRUE(respectsCoupling(tc.physical, d.coupling));
+        EXPECT_TRUE(isInBasis(tc.physical));
+        double pc = pCorrect(circuitQuality(tc), d.baseCalibration);
+        EXPECT_GT(pc, 0.0);
+        EXPECT_LT(pc, 1.0);
+    }
+    SimulatedQpu qpu(d, 3);
+    Rng rng(3);
+    EnergyEstimate e = est.estimate(qpu, compiled, p.initialParams,
+                                    8192, 1.0, rng, ShotMode::Exact);
+    // Noisy estimate is bounded by the Hamiltonian's spectral range.
+    EXPECT_LT(std::fabs(e.energy), p.hamiltonian.coefficientNorm());
+    EXPECT_EQ(e.circuitsRun, 3);
+}
+
+TEST_P(CatalogSweep, ProbabilitiesStayNormalizedUnderNoise)
+{
+    Device d = deviceByName(GetParam());
+    QuantumCircuit ghz = ghzCircuit(std::min(5, d.numQubits));
+    TranspiledCircuit tc = transpile(ghz, d.coupling);
+    SimulatedQpu qpu(d, 3);
+    Rng rng(3);
+    for (double t : {0.5, 20.0, 100.0}) {
+        JobResult r = qpu.execute(tc, {}, 0, t, rng, false);
+        double total = 0;
+        for (double p : r.probabilities) {
+            EXPECT_GE(p, -1e-12);
+            total += p;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9) << "t=" << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevices, CatalogSweep,
+    ::testing::Values("ibmq_lima", "ibmqx2", "ibmq_belem", "ibmq_quito",
+                      "ibmq_manila", "ibmq_santiago", "ibmq_bogota",
+                      "ibm_lagos", "ibmq_casablanca", "ibmq_toronto",
+                      "ibmq_manhattan"));
+
+// ---------------------------------------------------------------------
+// Weight normalizer properties across bounds.
+// ---------------------------------------------------------------------
+
+class BoundsSweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(BoundsSweep, WeightsCoverAndRespectBounds)
+{
+    auto [lo, hi] = GetParam();
+    WeightNormalizer n({lo, hi});
+    Rng rng(4);
+    for (int c = 0; c < 8; ++c)
+        n.update(c, rng.uniform(0.1, 0.9));
+    double seenLo = 1e9, seenHi = -1e9;
+    for (int c = 0; c < 8; ++c) {
+        double w = n.weightFor(c);
+        EXPECT_GE(w, lo - 1e-12);
+        EXPECT_LE(w, hi + 1e-12);
+        seenLo = std::min(seenLo, w);
+        seenHi = std::max(seenHi, w);
+    }
+    // Min/max rescaling pins both ends of the range.
+    EXPECT_NEAR(seenLo, lo, 1e-12);
+    EXPECT_NEAR(seenHi, hi, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, BoundsSweep,
+                         ::testing::Values(std::pair{0.75, 1.25},
+                                           std::pair{0.5, 1.5},
+                                           std::pair{0.25, 1.75},
+                                           std::pair{0.9, 1.1}));
+
+// ---------------------------------------------------------------------
+// Readout mitigation leaves exactly the stale-calibration residual.
+// ---------------------------------------------------------------------
+
+TEST(Mitigation, ExactWhenCalibrationFresh)
+{
+    // A device with readout error but no drift: reported == actual, so
+    // mitigation must fully remove the readout bias.
+    Device d = deviceByName("ibmq_quito");
+    d.drift.errorDriftPerHour = 0.0;
+    d.drift.latentSigma = 0.0;
+    d.drift.calQualitySigma = 0.0;
+    // Kill every non-readout noise source so the only bias is SPAM.
+    for (auto &q : d.baseCalibration.qubits) {
+        q.gate1qError = 0.0;
+        q.coherentRxRad = 0.0;
+        q.t1Us = 1e9;
+        q.t2Us = 1e9;
+    }
+    for (auto &[k, v] : d.baseCalibration.cxError)
+        v = 0.0;
+    for (auto &[k, v] : d.baseCalibration.cxPhaseRad)
+        v = 0.0;
+
+    VqaProblem p = makeHeisenbergVqe();
+    ExpectationEstimator est(p.hamiltonian, p.ansatz);
+    SimulatedQpu qpu(d, 1);
+    auto compiled = est.compileFor(d.coupling);
+    Rng rng(1);
+    double truth = idealEnergy(p.ansatz, p.hamiltonian, p.initialParams);
+    EnergyEstimate raw =
+        est.estimate(qpu, compiled, p.initialParams, 0, 1.0, rng,
+                     ShotMode::Exact, /*mitigateReadout=*/false);
+    EnergyEstimate fixed =
+        est.estimate(qpu, compiled, p.initialParams, 0, 1.0, rng,
+                     ShotMode::Exact, /*mitigateReadout=*/true);
+    EXPECT_GT(std::fabs(raw.energy - truth), 0.02);
+    EXPECT_NEAR(fixed.energy, truth, 1e-9);
+}
+
+TEST(Mitigation, ResidualRemainsWhenCalibrationStale)
+{
+    Device d = deviceByName("ibmq_casablanca");
+    VqaProblem p = makeHeisenbergVqe();
+    ExpectationEstimator est(p.hamiltonian, p.ansatz);
+    SimulatedQpu qpu(d, 1);
+    auto compiled = est.compileFor(d.coupling);
+    Rng rng(1);
+    // Late in a calibration cycle the actual readout has drifted away
+    // from the reported one: mitigation helps but cannot be exact.
+    double calTime = qpu.tracker().lastCalibrationTime(30.0);
+    double truth = idealEnergy(p.ansatz, p.hamiltonian, p.initialParams);
+    EnergyEstimate raw =
+        est.estimate(qpu, compiled, p.initialParams, 0, calTime + 20.0,
+                     rng, ShotMode::Exact, false);
+    EnergyEstimate fixed =
+        est.estimate(qpu, compiled, p.initialParams, 0, calTime + 20.0,
+                     rng, ShotMode::Exact, true);
+    EXPECT_LT(std::fabs(fixed.energy - truth),
+              std::fabs(raw.energy - truth));
+    // But a residual persists (drifted readout + depolarization).
+    EXPECT_GT(std::fabs(fixed.energy - truth), 1e-4);
+}
+
+} // namespace
+} // namespace eqc

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quantum/gates.h"
+#include "quantum/pauli.h"
+#include "quantum/statevector.h"
+
+namespace eqc {
+namespace {
+
+TEST(Statevector, InitialState)
+{
+    Statevector sv(3);
+    EXPECT_EQ(sv.dim(), 8u);
+    EXPECT_EQ(sv.amplitude(0), Complex(1, 0));
+    for (uint64_t i = 1; i < 8; ++i)
+        EXPECT_EQ(sv.amplitude(i), Complex(0, 0));
+}
+
+TEST(Statevector, XFlipsQubit)
+{
+    Statevector sv(2);
+    sv.applyGate(gateMatrix(GateType::X), {1});
+    EXPECT_NEAR(std::abs(sv.amplitude(2)), 1.0, 1e-12);
+}
+
+TEST(Statevector, HadamardSuperposition)
+{
+    Statevector sv(1);
+    sv.applyGate(gateMatrix(GateType::H), {0});
+    EXPECT_NEAR(sv.amplitude(0).real(), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(sv.amplitude(1).real(), 1 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Statevector, BellState)
+{
+    Statevector sv(2);
+    sv.applyGate(gateMatrix(GateType::H), {0});
+    sv.applyGate(gateMatrix(GateType::CX), {0, 1});
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitude(3)), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitude(1)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitude(2)), 0.0, 1e-12);
+}
+
+TEST(Statevector, CxControlTargetOrder)
+{
+    // X on qubit 0 (control), then CX(0->1): both end up 1.
+    Statevector sv(2);
+    sv.applyGate(gateMatrix(GateType::X), {0});
+    sv.applyGate(gateMatrix(GateType::CX), {0, 1});
+    EXPECT_NEAR(std::abs(sv.amplitude(3)), 1.0, 1e-12);
+
+    // X on qubit 1 (target position), CX(0->1) should do nothing.
+    Statevector sv2(2);
+    sv2.applyGate(gateMatrix(GateType::X), {1});
+    sv2.applyGate(gateMatrix(GateType::CX), {0, 1});
+    EXPECT_NEAR(std::abs(sv2.amplitude(2)), 1.0, 1e-12);
+}
+
+TEST(Statevector, TwoQubitGateOnNonAdjacentQubits)
+{
+    // CX(control=2, target=0) in a 3-qubit register.
+    Statevector sv(3);
+    sv.applyGate(gateMatrix(GateType::X), {2});
+    sv.applyGate(gateMatrix(GateType::CX), {2, 0});
+    EXPECT_NEAR(std::abs(sv.amplitude(0b101)), 1.0, 1e-12);
+}
+
+TEST(Statevector, SwapGate)
+{
+    Statevector sv(2);
+    sv.applyGate(gateMatrix(GateType::X), {0});
+    sv.applyGate(gateMatrix(GateType::SWAP), {0, 1});
+    EXPECT_NEAR(std::abs(sv.amplitude(2)), 1.0, 1e-12);
+}
+
+TEST(Statevector, NormPreservedByUnitaries)
+{
+    Rng rng(5);
+    Statevector sv(4);
+    for (int i = 0; i < 50; ++i) {
+        int q = rng.uniformInt(0, 3);
+        sv.applyGate(gateMatrix(GateType::RY, {rng.uniform(0, 6.28)}), {q});
+        int q2 = (q + 1) % 4;
+        sv.applyGate(gateMatrix(GateType::CX), {q, q2});
+    }
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}
+
+TEST(Statevector, ProbabilitiesSumToOne)
+{
+    Statevector sv(3);
+    sv.applyGate(gateMatrix(GateType::H), {0});
+    sv.applyGate(gateMatrix(GateType::RY, {0.7}), {1});
+    auto p = sv.probabilities();
+    double total = 0;
+    for (double v : p)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Statevector, PauliExpectationZ)
+{
+    Statevector sv(2);
+    // |00>: <Z0> = +1.
+    EXPECT_NEAR(sv.expectation(PauliString("ZI")), 1.0, 1e-12);
+    sv.applyGate(gateMatrix(GateType::X), {0});
+    EXPECT_NEAR(sv.expectation(PauliString("ZI")), -1.0, 1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString("IZ")), 1.0, 1e-12);
+}
+
+TEST(Statevector, PauliExpectationXY)
+{
+    Statevector sv(1);
+    sv.applyGate(gateMatrix(GateType::H), {0});
+    EXPECT_NEAR(sv.expectation(PauliString("X")), 1.0, 1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString("Y")), 0.0, 1e-12);
+    // |+i> state: H then S gives <Y> = +1.
+    sv.applyGate(gateMatrix(GateType::S), {0});
+    EXPECT_NEAR(sv.expectation(PauliString("Y")), 1.0, 1e-12);
+}
+
+TEST(Statevector, BellCorrelations)
+{
+    Statevector sv(2);
+    sv.applyGate(gateMatrix(GateType::H), {0});
+    sv.applyGate(gateMatrix(GateType::CX), {0, 1});
+    EXPECT_NEAR(sv.expectation(PauliString("ZZ")), 1.0, 1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString("XX")), 1.0, 1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString("YY")), -1.0, 1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString("ZI")), 0.0, 1e-12);
+}
+
+TEST(Statevector, ExpectationMatchesDenseMatrix)
+{
+    // Random-ish state against dense Pauli matrix contraction.
+    Statevector sv(3);
+    sv.applyGate(gateMatrix(GateType::RY, {0.3}), {0});
+    sv.applyGate(gateMatrix(GateType::RX, {1.1}), {1});
+    sv.applyGate(gateMatrix(GateType::CX), {0, 2});
+    sv.applyGate(gateMatrix(GateType::RZ, {0.5}), {2});
+    for (const char *label : {"XYZ", "ZZX", "YIX", "IZI"}) {
+        PauliString p(label);
+        CMatrix m = p.matrix();
+        CVector v(sv.amplitudes());
+        CVector mv = m.apply(v);
+        Complex acc(0, 0);
+        for (std::size_t i = 0; i < v.size(); ++i)
+            acc += std::conj(v[i]) * mv[i];
+        EXPECT_NEAR(sv.expectation(p), acc.real(), 1e-10) << label;
+    }
+}
+
+TEST(Statevector, InnerProduct)
+{
+    Statevector a(1), b(1);
+    a.applyGate(gateMatrix(GateType::H), {0});
+    EXPECT_NEAR(std::abs(a.inner(b)), 1 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Statevector, SamplingMatchesProbabilities)
+{
+    Statevector sv(2);
+    sv.applyGate(gateMatrix(GateType::RY, {1.0}), {0});
+    Rng rng(99);
+    auto counts = sv.sample(20000, rng);
+    auto probs = sv.probabilities();
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        EXPECT_NEAR(static_cast<double>(counts[i]) / 20000.0, probs[i],
+                    0.02);
+}
+
+} // namespace
+} // namespace eqc

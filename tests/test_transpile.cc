@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ansatz.h"
+#include "common/rng.h"
+#include "quantum/pauli.h"
+#include "transpile/transpiler.h"
+
+namespace eqc {
+namespace {
+
+TEST(Layout, TrivialIsIdentity)
+{
+    Layout l = trivialLayout(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(l[i], i);
+}
+
+TEST(Layout, GreedyFindsZeroSwapChainOnLine)
+{
+    // The Fig. 8 ansatz uses a linear CNOT chain; on a line device the
+    // greedy layout must embed it with zero routing cost.
+    QuantumCircuit c = hardwareEfficientAnsatz(4);
+    CouplingMap line = CouplingMap::line(5);
+    Layout l = greedyLayout(c, line);
+    EXPECT_EQ(layoutCost(c, line, l), 0.0);
+}
+
+TEST(Layout, GreedyFindsChainInTShape)
+{
+    // T-shape contains the path 0-1-3-4; a 4-qubit chain embeds freely.
+    QuantumCircuit c = hardwareEfficientAnsatz(4);
+    CouplingMap t = CouplingMap::tShape();
+    Layout l = greedyLayout(c, t);
+    EXPECT_EQ(layoutCost(c, t, l), 0.0);
+}
+
+TEST(Layout, GreedyBeatsTrivialOnHeavyHex)
+{
+    QuantumCircuit c = hardwareEfficientAnsatz(5);
+    CouplingMap hh = CouplingMap::heavyHex27();
+    Layout greedy = greedyLayout(c, hh);
+    Layout trivial = trivialLayout(5);
+    EXPECT_LE(layoutCost(c, hh, greedy), layoutCost(c, hh, trivial));
+}
+
+TEST(Router, AdjacentGateNeedsNoSwap)
+{
+    QuantumCircuit c(2, 0);
+    c.cx(0, 1);
+    CouplingMap line = CouplingMap::line(2);
+    RoutingResult r = routeCircuit(c, line, trivialLayout(2));
+    EXPECT_EQ(r.swapCount, 0);
+    EXPECT_TRUE(respectsCoupling(r.routed, line));
+}
+
+TEST(Router, DistantGateInsertsSwaps)
+{
+    QuantumCircuit c(3, 0);
+    c.cx(0, 2);
+    CouplingMap line = CouplingMap::line(3);
+    RoutingResult r = routeCircuit(c, line, trivialLayout(3));
+    EXPECT_EQ(r.swapCount, 1);
+    EXPECT_TRUE(respectsCoupling(r.routed, line));
+    // Logical 0 moved to physical 1.
+    EXPECT_EQ(r.finalMapping[0], 1);
+}
+
+TEST(Router, RoutedCircuitPreservesSemantics)
+{
+    // Compare routed circuit (with swaps) against the logical one by
+    // tracking the final mapping.
+    QuantumCircuit c(3, 0);
+    c.h(0);
+    c.cx(0, 2); // needs routing on a line
+    CouplingMap line = CouplingMap::line(3);
+    RoutingResult r = routeCircuit(c, line, trivialLayout(3));
+
+    Statevector logical = simulateIdeal(c);
+    Statevector routed = simulateIdeal(r.routed);
+    // Expectation of Z on logical qubit q equals Z on finalMapping[q].
+    for (int q = 0; q < 3; ++q) {
+        PauliString pl(3), pr(3);
+        pl.set(q, Pauli::Z);
+        pr.set(r.finalMapping[q], Pauli::Z);
+        EXPECT_NEAR(logical.expectation(pl), routed.expectation(pr),
+                    1e-10);
+    }
+    // And the ZZ correlator between logical 0 and 2.
+    PauliString zz(3), zzr(3);
+    zz.set(0, Pauli::Z);
+    zz.set(2, Pauli::Z);
+    zzr.set(r.finalMapping[0], Pauli::Z);
+    zzr.set(r.finalMapping[2], Pauli::Z);
+    EXPECT_NEAR(logical.expectation(zz), routed.expectation(zzr), 1e-10);
+}
+
+TEST(Basis, DecompositionsMatchUnitaries)
+{
+    // Every non-basis 1q gate decomposes to an equivalent circuit.
+    for (GateType t : {GateType::H, GateType::Y, GateType::Z, GateType::S,
+                       GateType::SDG, GateType::T, GateType::TDG}) {
+        QuantumCircuit c(1, 0);
+        c.addGate(t, {0});
+        QuantumCircuit d = decomposeToBasis(c);
+        EXPECT_TRUE(isInBasis(d)) << gateName(t);
+        // Compare action on two states (|0> and |+>) up to global phase.
+        Statevector s1 = simulateIdeal(c);
+        Statevector s2 = simulateIdeal(d);
+        EXPECT_NEAR(std::abs(s1.inner(s2)), 1.0, 1e-10) << gateName(t);
+    }
+}
+
+TEST(Basis, RotationsDecomposeForAllAngles)
+{
+    for (GateType t : {GateType::RX, GateType::RY}) {
+        for (double angle : {-2.5, -0.7, 0.0, 0.3, 1.57, 3.14159, 5.9}) {
+            QuantumCircuit c(1, 1);
+            c.addGate(t, {0}, {ParamExpr::symbol(0)});
+            c.h(0); // make the state sensitive to phases
+            QuantumCircuit d = decomposeToBasis(c);
+            EXPECT_TRUE(isInBasis(d));
+            Statevector s1 = simulateIdeal(c, {angle});
+            Statevector s2 = simulateIdeal(d, {angle});
+            EXPECT_NEAR(std::abs(s1.inner(s2)), 1.0, 1e-9)
+                << gateName(t) << " angle " << angle;
+        }
+    }
+}
+
+TEST(Basis, TwoQubitDecompositions)
+{
+    Rng rng(31);
+    for (GateType t : {GateType::CZ, GateType::SWAP, GateType::RZZ}) {
+        QuantumCircuit c(2, 1);
+        c.ry(0, ParamExpr::constant(0.9));
+        c.ry(1, ParamExpr::constant(-1.3));
+        if (t == GateType::RZZ)
+            c.addGate(t, {0, 1}, {ParamExpr::symbol(0)});
+        else
+            c.addGate(t, {0, 1});
+        c.h(0);
+        QuantumCircuit d = decomposeToBasis(c);
+        EXPECT_TRUE(isInBasis(d)) << gateName(t);
+        double angle = rng.uniform(-3.0, 3.0);
+        Statevector s1 = simulateIdeal(c, {angle});
+        Statevector s2 = simulateIdeal(d, {angle});
+        EXPECT_NEAR(std::abs(s1.inner(s2)), 1.0, 1e-9) << gateName(t);
+    }
+}
+
+TEST(Basis, SymbolicParametersSurviveTranspilation)
+{
+    QuantumCircuit c(1, 1);
+    c.ry(0, ParamExpr::symbol(0));
+    QuantumCircuit d = decomposeToBasis(c);
+    // The decomposed circuit must still reference theta[0].
+    EXPECT_FALSE(d.paramOccurrences(0).empty());
+    // Binding different values must produce different states.
+    Statevector a = simulateIdeal(d, {0.4});
+    Statevector b = simulateIdeal(d, {2.0});
+    EXPECT_LT(std::abs(a.inner(b)), 0.999);
+}
+
+TEST(Basis, RzMergePruning)
+{
+    QuantumCircuit c(1, 0);
+    c.s(0);
+    c.sdg(0); // S then S-dagger: RZ angles cancel entirely
+    QuantumCircuit d = decomposeToBasis(c);
+    EXPECT_EQ(d.ops().size(), 0u);
+}
+
+class TranspileAllTopologies
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    CouplingMap
+    mapFor(const std::string &name)
+    {
+        if (name == "line5")
+            return CouplingMap::line(5);
+        if (name == "tshape")
+            return CouplingMap::tShape();
+        if (name == "bowtie")
+            return CouplingMap::bowtie();
+        if (name == "hshape")
+            return CouplingMap::hShape();
+        if (name == "hh27")
+            return CouplingMap::heavyHex27();
+        return CouplingMap::heavyHex65();
+    }
+};
+
+TEST_P(TranspileAllTopologies, AnsatzRespectsCouplingAndSemantics)
+{
+    CouplingMap map = mapFor(GetParam());
+    QuantumCircuit logical = hardwareEfficientAnsatz(4);
+    TranspiledCircuit t = transpile(logical, map);
+
+    EXPECT_TRUE(respectsCoupling(t.physical, map));
+    EXPECT_TRUE(isInBasis(t.physical));
+    EXPECT_EQ(t.counts.measurements, 4);
+
+    // Semantics: Z expectations on logical qubits must match through the
+    // final mapping, on the compact circuit, for random parameters.
+    Rng rng(hashLabel(GetParam()));
+    std::vector<double> params(logical.numParams());
+    for (double &p : params)
+        p = rng.uniform(-kPi, kPi);
+    Statevector ideal = simulateIdeal(logical, params);
+    Statevector compact = simulateIdeal(t.compact, params);
+    for (int q = 0; q < 4; ++q) {
+        PauliString pl(4);
+        pl.set(q, Pauli::Z);
+        PauliString pc(t.compact.numQubits());
+        pc.set(t.logicalToCompact[q], Pauli::Z);
+        EXPECT_NEAR(ideal.expectation(pl), compact.expectation(pc), 1e-9)
+            << "qubit " << q;
+    }
+}
+
+TEST_P(TranspileAllTopologies, RandomCircuitsRespectCoupling)
+{
+    CouplingMap map = mapFor(GetParam());
+    Rng rng(hashLabel(GetParam()) ^ 0x1234);
+    for (int trial = 0; trial < 5; ++trial) {
+        int n = rng.uniformInt(2, std::min(5, map.numQubits()));
+        QuantumCircuit c(n, 0);
+        for (int g = 0; g < 20; ++g) {
+            if (rng.bernoulli(0.5) && n >= 2) {
+                int a = rng.uniformInt(0, n - 1);
+                int b = (a + 1 + rng.uniformInt(0, n - 2)) % n;
+                c.cx(a, b);
+            } else {
+                c.ry(rng.uniformInt(0, n - 1),
+                     ParamExpr::constant(rng.uniform(-3, 3)));
+            }
+        }
+        c.measureAll();
+        TranspiledCircuit t = transpile(c, map);
+        EXPECT_TRUE(respectsCoupling(t.physical, map));
+        EXPECT_TRUE(isInBasis(t.physical));
+        EXPECT_EQ(t.counts.measurements, n);
+        // Compact circuit uses no more qubits than the device.
+        EXPECT_LE(t.compact.numQubits(), map.numQubits());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, TranspileAllTopologies,
+                         ::testing::Values("line5", "tshape", "bowtie",
+                                           "hshape", "hh27", "hh65"));
+
+TEST(Transpiler, SwapCountGrowsWithSparsity)
+{
+    // An all-to-all interaction circuit should need more swaps on a line
+    // than on the bowtie.
+    QuantumCircuit c(4, 0);
+    for (int a = 0; a < 4; ++a)
+        for (int b = a + 1; b < 4; ++b)
+            c.cx(a, b);
+    TranspiledCircuit onLine = transpile(c, CouplingMap::line(5));
+    TranspiledCircuit onBowtie = transpile(c, CouplingMap::bowtie());
+    EXPECT_GE(onLine.swapCount, onBowtie.swapCount);
+}
+
+TEST(Transpiler, MetricsPopulated)
+{
+    TranspiledCircuit t =
+        transpile(hardwareEfficientAnsatz(4), CouplingMap::tShape());
+    EXPECT_GT(t.counts.g1, 0);
+    EXPECT_GT(t.counts.g2, 0);
+    EXPECT_GT(t.criticalDepth, 0);
+    EXPECT_GE(t.depth, t.criticalDepth);
+    EXPECT_EQ(t.compactToPhysical.size(),
+              static_cast<std::size_t>(t.compact.numQubits()));
+}
+
+} // namespace
+} // namespace eqc
