@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/exact.h"
 #include "vqa/problem.h"
@@ -22,6 +22,7 @@ main()
     bench::banner("Ablation: ensemble size scaling (VQE, 80 epochs)");
 
     VqaProblem problem = makeHeisenbergVqe();
+    Runtime runtime;
     // Fastest-first ordering by median queue wait.
     const std::vector<const char *> order = {
         "ibmqx2",       "ibmq_bogota",     "ibmq_casablanca",
@@ -38,7 +39,7 @@ main()
         EqcOptions o;
         o.master.epochs = 80;
         o.seed = 3;
-        EqcTrace t = runEqcVirtual(problem, devices, o);
+        EqcTrace t = runtime.submit(problem, devices, o).take();
         std::printf("%-6zu %14.2f %12.2f %14.3f %12.2f\n", size,
                     t.epochsPerHour, t.staleness.mean(),
                     finalIdealEnergy(t, 15), t.totalHours);

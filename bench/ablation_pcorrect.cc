@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "vqa/problem.h"
 
@@ -59,6 +59,7 @@ main()
 
     bench::heading("VQE outcome under each convention (weights 0.5-1.5,"
                    " 120 epochs)");
+    Runtime runtime;
     for (PCorrectMode mode :
          {PCorrectMode::Physical, PCorrectMode::PaperLiteral}) {
         EqcOptions o;
@@ -66,7 +67,8 @@ main()
         o.master.weightBounds = {0.5, 1.5};
         o.client.pCorrectMode = mode;
         o.seed = 1;
-        EqcTrace t = runEqcVirtual(problem, evaluationEnsemble(), o);
+        EqcTrace t =
+            runtime.submit(problem, evaluationEnsemble(), o).take();
         std::printf("%-14s final(dev) %8.3f  final(ideal-eval) %8.3f\n",
                     mode == PCorrectMode::Physical ? "physical"
                                                    : "paper-literal",

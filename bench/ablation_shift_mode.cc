@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "vqa/parameter_shift.h"
 #include "vqa/problem.h"
@@ -57,13 +57,14 @@ main()
     std::vector<Device> ensemble;
     for (const char *n : names)
         ensemble.push_back(deviceByName(n));
+    Runtime runtime;
     for (ShiftMode mode :
          {ShiftMode::WholeParameter, ShiftMode::PerOccurrence}) {
         EqcOptions o;
         o.master.epochs = 50;
         o.client.shiftMode = mode;
         o.seed = 1;
-        EqcTrace t = runEqcVirtual(problem, ensemble, o);
+        EqcTrace t = runtime.submit(problem, ensemble, o).take();
         std::printf("%-16s final-cost/edge %8.4f  iters/hour %8.2f\n",
                     mode == ShiftMode::WholeParameter ? "whole-param"
                                                       : "per-occurrence",

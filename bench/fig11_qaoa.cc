@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/maxcut.h"
 #include "vqa/problem.h"
@@ -50,7 +50,8 @@ main()
     eo.master.epochs = iterations;
     eo.client.shiftMode = ShiftMode::PerOccurrence;
     eo.seed = 1;
-    EqcTrace eqc = runEqcVirtual(problem, ensemble, eo);
+    Runtime runtime;
+    EqcTrace eqc = runtime.submit(problem, ensemble, eo).take();
 
     bench::heading("normalized MaxCut cost vs iteration (every 2)");
     std::printf("%-6s %12s", "iter", "EQC");

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "vqa/problem.h"
 
@@ -57,15 +57,21 @@ main()
         {"EQC-weights-0.25-1.75", {0.25, 1.75}},
     };
 
-    std::vector<EqcTrace> eqcTraces;
+    // Queue one job per weighting config and fan them out together.
+    Runtime runtime;
+    std::vector<JobHandle> jobs;
     for (const Config &c : configs) {
         EqcOptions o;
         o.master.epochs = iterations;
         o.master.weightBounds = c.bounds;
         o.client.shiftMode = ShiftMode::PerOccurrence;
         o.seed = 1;
-        eqcTraces.push_back(runEqcVirtual(problem, ensemble, o));
+        jobs.push_back(runtime.submit(problem, ensemble, o));
     }
+    runtime.runAll();
+    std::vector<EqcTrace> eqcTraces;
+    for (JobHandle &job : jobs)
+        eqcTraces.push_back(job.take());
 
     bench::heading("normalized cost vs iteration (every 2)");
     std::printf("%-6s", "iter");

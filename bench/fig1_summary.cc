@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/exact.h"
 #include "vqa/problem.h"
@@ -64,7 +64,9 @@ main()
         // The paper's headline EQC numbers use the weighting system.
         o.master.weightBounds = {0.5, 1.5};
         o.seed = 1;
-        EqcTrace t = runEqcVirtual(problem, evaluationEnsemble(), o);
+        Runtime runtime;
+        EqcTrace t =
+            runtime.submit(problem, evaluationEnsemble(), o).take();
         rows.push_back({"EQC",
                         errorVsReference(finalIdealEnergy(t, 20),
                                          reference),

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/exact.h"
 #include "vqa/problem.h"
@@ -100,18 +100,26 @@ main()
             {name, trainSingleDevice(problem, deviceByName(name), o)});
     }
 
-    // --- EQC over the 10-device evaluation ensemble, 3 repetitions.
+    // --- EQC over the 10-device evaluation ensemble, 3 repetitions
+    // queued on one Runtime and fanned out across worker threads.
     RunningStats eqcFinalIdeal, eqcSpeed;
     EqcTrace eqcFirst;
+    Runtime runtime;
+    std::vector<JobHandle> eqcJobs;
     for (uint64_t seed = 1; seed <= 3; ++seed) {
         EqcOptions o;
         o.master.epochs = epochs;
         o.master.learningRate = kBenchLr;
         o.seed = seed;
-        EqcTrace t = runEqcVirtual(problem, evaluationEnsemble(), o);
+        eqcJobs.push_back(
+            runtime.submit(problem, evaluationEnsemble(), o));
+    }
+    runtime.runAll();
+    for (std::size_t i = 0; i < eqcJobs.size(); ++i) {
+        EqcTrace t = eqcJobs[i].take();
         eqcFinalIdeal.add(finalIdealEnergy(t, 20));
         eqcSpeed.add(t.epochsPerHour);
-        if (seed == 1)
+        if (i == 0)
             eqcFirst = std::move(t);
     }
     runs.insert(runs.begin() + 1,

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/exact.h"
 #include "vqa/problem.h"
@@ -52,16 +52,21 @@ main()
         {"weights-0.25-1.75", {0.25, 1.75}},
     };
 
-    std::vector<EqcTrace> traces;
+    // Queue one job per weighting config and fan them out together.
+    Runtime runtime;
+    std::vector<JobHandle> jobs;
     for (const Config &c : configs) {
         EqcOptions o;
         o.master.epochs = epochs;
         o.master.weightBounds = c.bounds;
         o.master.learningRate = kBenchLr;
         o.seed = 1;
-        traces.push_back(
-            runEqcVirtual(problem, evaluationEnsemble(), o));
+        jobs.push_back(runtime.submit(problem, evaluationEnsemble(), o));
     }
+    runtime.runAll();
+    std::vector<EqcTrace> traces;
+    for (JobHandle &job : jobs)
+        traces.push_back(job.take());
 
     bench::heading("energy vs epoch (every 10 epochs)");
     std::printf("%-8s", "epoch");

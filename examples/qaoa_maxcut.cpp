@@ -10,7 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/maxcut.h"
 #include "vqa/problem.h"
@@ -39,7 +39,8 @@ main()
     // whole-parameter rule has zero gradient on ring instances).
     opts.client.shiftMode = ShiftMode::PerOccurrence;
     opts.seed = 3;
-    EqcTrace trace = runEqcVirtual(problem, ensemble, opts);
+    Runtime runtime;
+    EqcTrace trace = runtime.submit(problem, ensemble, opts).take();
 
     std::printf("trained %zu iterations at %.0f iterations/hour\n",
                 trace.epochs.size(), trace.epochsPerHour);

@@ -5,7 +5,9 @@
  *  1. Build a circuit and run it on the ideal simulator.
  *  2. Transpile it for a real device topology and run it under that
  *     device's noise model.
- *  3. Train a small VQE, first on one device, then on an EQC ensemble.
+ *  3. Train a small VQE, first on one device, then on an EQC ensemble
+ *     submitted through the eqc::Runtime engine API, with a
+ *     TraceObserver streaming live progress.
  *
  * Build & run:  ./build/examples/quickstart
  */
@@ -13,10 +15,28 @@
 #include <cstdio>
 
 #include "circuit/ansatz.h"
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/exact.h"
 #include "vqa/problem.h"
+
+namespace {
+
+/** Streams training progress to stdout every few epochs. */
+class ProgressObserver : public eqc::TraceObserver
+{
+  public:
+    void
+    onEpoch(eqc::RunContext &, eqc::EpochRecord &rec) override
+    {
+        if (rec.epoch % 10 == 0)
+            std::printf("  [observer] epoch %3d at t=%6.2f h: "
+                        "E = %.3f a.u.\n",
+                        rec.epoch, rec.timeH, rec.energyDevice);
+    }
+};
+
+} // namespace
 
 int
 main()
@@ -73,11 +93,21 @@ main()
                 bogota.epochs.size(), bogota.totalHours,
                 bogota.epochsPerHour, finalEnergy(bogota, 5));
 
+    // Submit the ensemble run through the Runtime: pick an engine by
+    // name ("virtual" = deterministic replay, "threaded" = real
+    // std::thread fleet), get a JobHandle back, attach observers for
+    // streaming telemetry.
     EqcOptions opts;
     opts.master.epochs = 40;
     opts.master.weightBounds = {0.5, 1.5}; // the paper's Sec. V-D knob
     opts.seed = 7;
-    EqcTrace eqc = runEqcVirtual(problem, evaluationEnsemble(), opts);
+    opts.engine = "virtual";
+
+    Runtime runtime;
+    ProgressObserver progress;
+    JobHandle handle =
+        runtime.submit(problem, evaluationEnsemble(), opts, {&progress});
+    EqcTrace eqc = handle.take();
     std::printf("EQC (10 devices):  %zu epochs in %.1f h "
                 "(%.1f epochs/hour), final energy %.3f a.u.\n",
                 eqc.epochs.size(), eqc.totalHours, eqc.epochsPerHour,

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "vqa/problem.h"
 
@@ -31,13 +31,14 @@ main()
     opts.master.weightBounds = {0.5, 1.5};
     opts.maxHours = 1e9; // wall-clock compute counts as virtual time
     opts.seed = 9;
+    opts.engine = "threaded"; // the std::thread fleet engine
+    opts.hoursPerWallSecond = 1000.0;
 
     std::printf("launching %zu client threads (1 virtual hour = 1 ms "
                 "wall)...\n",
                 devices.size());
-    EqcTrace trace =
-        runEqcThreaded(problem, devices, opts,
-                       /*hoursPerWallSecond=*/1000.0);
+    Runtime runtime;
+    EqcTrace trace = runtime.submit(problem, devices, opts).take();
 
     std::printf("done: %zu epochs, final energy %.3f a.u.\n",
                 trace.epochs.size(), finalEnergy(trace, 5));

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/exact.h"
 #include "hamiltonian/heisenberg.h"
@@ -37,6 +37,7 @@ main()
         deviceByName("ibmq_casablanca"),
     };
 
+    Runtime runtime;
     for (bool weighted : {false, true}) {
         EqcOptions opts;
         opts.master.epochs = 60;
@@ -44,7 +45,7 @@ main()
             weighted ? WeightBounds{0.5, 1.5} : WeightBounds{1.0, 1.0};
         opts.adaptive.enabled = weighted; // cool down unstable members
         opts.seed = 11;
-        EqcTrace trace = runEqcVirtual(problem, devices, opts);
+        EqcTrace trace = runtime.submit(problem, devices, opts).take();
 
         std::printf("== %s ensemble ==\n",
                     weighted ? "weighted [0.5,1.5] + adaptive"

@@ -1,7 +1,12 @@
 /**
  * @file
- * EQC public facade: options and trace types shared by the virtual
- * (discrete-event) and threaded executors.
+ * EQC public facade: options and trace types shared by every execution
+ * engine, plus trace-analysis helpers.
+ *
+ * Runs are launched through eqc::Runtime (core/runtime.h), which picks
+ * the engine named by EqcOptions::engine from the EngineRegistry
+ * (core/engine.h). The runEqcVirtual / runEqcThreaded free functions
+ * below are deprecated wrappers kept for source compatibility.
  */
 
 #ifndef EQC_CORE_EQC_H
@@ -28,9 +33,26 @@ struct EqcOptions
     /** Termination rule in virtual hours. */
     double maxHours = 336.0;
     uint64_t seed = 1;
-    /** Record ideal-simulator energy of the evolving parameters. */
+    /**
+     * EngineRegistry key of the execution engine to run on. Built-in:
+     * "virtual" (deterministic discrete-event replay) and "threaded"
+     * (one std::thread per client).
+     */
+    std::string engine = "virtual";
+    /**
+     * Threaded engine only: virtual hours simulated per wall-clock
+     * second (queue latencies become scaled sleeps).
+     */
+    double hoursPerWallSecond = 50.0;
+    /**
+     * Record ideal-simulator energy of the evolving parameters
+     * (installs an IdealEnergyObserver on the job).
+     */
     bool recordIdealEnergy = true;
-    /** Record the per-result weight timeline (Fig. 5 data). */
+    /**
+     * Record the per-result weight timeline, i.e. the Fig. 5 data
+     * (installs a WeightTimelineObserver on the job).
+     */
     bool recordWeights = true;
 };
 
@@ -56,9 +78,14 @@ struct EqcTrace : TrainingTrace
 };
 
 /**
- * Run EQC on the discrete-event executor (deterministic; used by all
- * benches). See virtual_executor.h.
+ * Run EQC on the discrete-event engine (deterministic).
+ *
+ * @deprecated Thin wrapper over eqc::Runtime kept for source
+ * compatibility; prefer Runtime::submit with EqcOptions::engine =
+ * "virtual" (core/runtime.h), which also supports queued jobs and
+ * streaming TraceObserver telemetry.
  */
+[[deprecated("use eqc::Runtime::submit (core/runtime.h)")]]
 EqcTrace runEqcVirtual(const VqaProblem &problem,
                        const std::vector<Device> &devices,
                        const EqcOptions &options);
@@ -66,9 +93,13 @@ EqcTrace runEqcVirtual(const VqaProblem &problem,
 /**
  * Run EQC with real std::thread client workers (the Ray-style
  * deployment). Virtual latencies are scaled to wall-clock sleeps by
- * @p hoursPerWallSecond. Non-deterministic by nature; used by the
- * threaded example and integration tests.
+ * @p hoursPerWallSecond. Non-deterministic by nature.
+ *
+ * @deprecated Thin wrapper over eqc::Runtime kept for source
+ * compatibility; prefer Runtime::submit with EqcOptions::engine =
+ * "threaded" and EqcOptions::hoursPerWallSecond set.
  */
+[[deprecated("use eqc::Runtime::submit (core/runtime.h)")]]
 EqcTrace runEqcThreaded(const VqaProblem &problem,
                         const std::vector<Device> &devices,
                         const EqcOptions &options,

@@ -1,128 +1,113 @@
 /**
  * @file
- * Threaded EQC executor: the Ray-style deployment with one std::thread
- * per client node and a mutex-guarded master, demonstrating that
- * MasterNode/ClientNode carry the full asynchronous protocol without
- * any DES support. Virtual queue latencies are scaled down to
- * wall-clock sleeps; the run is intentionally non-deterministic (thread
- * interleaving decides gradient arrival order), which is what the real
- * system looks like.
+ * Threaded EQC execution engine ("threaded"): the Ray-style deployment
+ * with one std::thread per client node and a mutex-guarded master,
+ * demonstrating that MasterNode/ClientNode carry the full asynchronous
+ * protocol without any DES support. Virtual queue latencies are scaled
+ * down to wall-clock sleeps; the run is intentionally non-deterministic
+ * (thread interleaving decides gradient arrival order), which is what
+ * the real system looks like.
+ *
+ * All protocol semantics (master update, adaptive cooldown, epoch
+ * recording, telemetry) live in the shared RunContext; every context
+ * call below is serialized under the master mutex.
  */
 
-#include "core/eqc.h"
-
-#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/logging.h"
+#include "core/engine.h"
 
 namespace eqc {
 
-EqcTrace
-runEqcThreaded(const VqaProblem &problem,
-               const std::vector<Device> &devices,
-               const EqcOptions &options, double hoursPerWallSecond)
+namespace {
+
+class ThreadedEngine final : public ExecutionEngine
 {
-    if (hoursPerWallSecond <= 0.0)
-        fatal("runEqcThreaded: time scale must be positive");
+  public:
+    std::string name() const override { return "threaded"; }
 
-    EqcTrace trace;
-    trace.label = "EQC-threaded";
+    void
+    run(RunContext &ctx) override
+    {
+        const double hoursPerWallSecond =
+            ctx.options().hoursPerWallSecond;
+        if (hoursPerWallSecond <= 0.0)
+            fatal("threaded engine: time scale must be positive");
 
-    Ensemble ensemble(problem, devices, options.seed, options.client);
-    MasterNode master(problem, options.master);
-    std::mutex masterMutex;
-    std::atomic<bool> stop{false};
-    std::size_t rrEval = 0;
-    double lastCompletionH = 0.0;
+        ctx.trace().label = "EQC-threaded";
+        // Epoch energies must be evaluated on the applying client: its
+        // worker is the thread inside applyResult (idle under the
+        // mutex), while a round-robin pick could hit a client whose
+        // thread is concurrently mid-process() with no lock held.
+        ctx.setEpochEvalPolicy(
+            RunContext::EpochEvalPolicy::ApplyingClient);
 
-    const auto wallStart = std::chrono::steady_clock::now();
-    auto virtualNow = [&]() {
-        std::chrono::duration<double> dt =
-            std::chrono::steady_clock::now() - wallStart;
-        return dt.count() * hoursPerWallSecond;
-    };
-
-    // Caller must hold masterMutex.
-    auto recordEpochsLocked = [&](double tH, ClientNode &evalClient) {
-        while (static_cast<int>(trace.epochs.size()) <
-                   master.epochsCompleted() &&
-               static_cast<int>(trace.epochs.size()) <
-                   options.master.epochs) {
-            EpochRecord rec;
-            rec.epoch = static_cast<int>(trace.epochs.size());
-            rec.timeH = tH;
-            rec.energyDevice =
-                evalClient.evaluateEnergy(master.params(), tH);
-            rec.energyIdeal =
-                options.recordIdealEnergy
-                    ? idealEnergy(problem.ansatz, problem.hamiltonian,
-                                  master.params())
-                    : 0.0;
-            trace.epochs.push_back(rec);
-            ++rrEval;
-        }
-    };
-
-    auto worker = [&](std::size_t ci) {
-        ClientNode &client = ensemble.client(ci);
-        while (!stop.load()) {
-            GradientTask task;
-            {
-                std::lock_guard<std::mutex> lock(masterMutex);
-                if (master.done())
-                    break;
-                task = master.nextTask();
-            }
-            double submitH = virtualNow();
-            if (submitH > options.maxHours) {
-                std::lock_guard<std::mutex> lock(masterMutex);
-                trace.terminated = true;
-                break;
-            }
-            ClientNode::Processed processed =
-                client.process(task, submitH);
+        std::mutex masterMutex;
+        const auto wallStart = std::chrono::steady_clock::now();
+        auto virtualNow = [&]() {
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - wallStart;
+            return dt.count() * hoursPerWallSecond;
+        };
+        auto sleepVirtual = [&](double hours) {
             std::this_thread::sleep_for(std::chrono::duration<double>(
-                processed.latencyH / hoursPerWallSecond));
-            {
-                std::lock_guard<std::mutex> lock(masterMutex);
-                if (master.done())
-                    break;
-                double weight = master.onResult(processed.result);
-                double nowH = virtualNow();
-                lastCompletionH = std::max(lastCompletionH, nowH);
-                trace.circuitEvaluations +=
-                    processed.result.circuitsRun;
-                ++trace.jobsPerDevice[client.device().name];
-                if (options.recordWeights) {
-                    trace.weights.push_back(
-                        {nowH, static_cast<int>(ci),
-                         processed.result.pCorrect, weight});
+                hours / hoursPerWallSecond));
+        };
+
+        auto worker = [&](std::size_t ci) {
+            ClientNode &client = ctx.ensemble().client(ci);
+            while (true) {
+                GradientTask task;
+                {
+                    std::unique_lock<std::mutex> lock(masterMutex);
+                    if (ctx.done())
+                        break;
+                    double coolUntil = ctx.cooldownUntil(ci);
+                    double nowH = virtualNow();
+                    if (ctx.options().adaptive.enabled &&
+                        coolUntil > nowH) {
+                        lock.unlock();
+                        sleepVirtual(coolUntil - nowH);
+                        continue;
+                    }
+                    task = ctx.master().nextTask();
                 }
-                recordEpochsLocked(nowH, client);
+                double submitH = virtualNow();
+                if (submitH > ctx.options().maxHours)
+                    break;
+                ClientNode::Processed processed =
+                    client.process(task, submitH);
+                sleepVirtual(processed.latencyH);
+                {
+                    std::lock_guard<std::mutex> lock(masterMutex);
+                    if (ctx.done())
+                        break;
+                    ctx.applyResult(ci, processed, virtualNow());
+                }
             }
-        }
-    };
+        };
 
-    std::vector<std::thread> threads;
-    threads.reserve(ensemble.size());
-    for (std::size_t ci = 0; ci < ensemble.size(); ++ci)
-        threads.emplace_back(worker, ci);
-    for (std::thread &t : threads)
-        t.join();
-    stop.store(true);
+        std::vector<std::thread> threads;
+        threads.reserve(ctx.numClients());
+        for (std::size_t ci = 0; ci < ctx.numClients(); ++ci)
+            threads.emplace_back(worker, ci);
+        for (std::thread &t : threads)
+            t.join();
 
-    trace.terminated = trace.terminated || !master.done();
-    trace.finalParams = master.params();
-    trace.staleness = master.stalenessStats();
-    trace.totalHours = lastCompletionH;
-    trace.epochsPerHour =
-        trace.totalHours > 0.0
-            ? static_cast<double>(trace.epochs.size()) / trace.totalHours
-            : 0.0;
-    return trace;
+        ctx.finish();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ExecutionEngine>
+makeThreadedEngine()
+{
+    return std::make_unique<ThreadedEngine>();
 }
 
 } // namespace eqc

@@ -1,6 +1,6 @@
 /**
  * @file
- * Discrete-event EQC executor.
+ * Discrete-event EQC execution engine ("virtual").
  *
  * Each client is an actor on the virtual clock: it pulls the next
  * cyclic task from the master, samples its device's queue latency, and
@@ -9,121 +9,72 @@
  * against parameter snapshots several master updates old — which is
  * exactly the partially-asynchronous SGD regime of the paper's
  * convergence proof. Determinism: same seed, same trace.
+ *
+ * All protocol semantics (master update, adaptive cooldown, epoch
+ * recording, telemetry) live in the shared RunContext; this engine
+ * only owns the virtual clock and the scheduling of client turns.
  */
-
-#include "core/eqc.h"
 
 #include <functional>
 
-#include "common/logging.h"
+#include "core/engine.h"
 #include "sim/event_queue.h"
 
 namespace eqc {
 
-EqcTrace
-runEqcVirtual(const VqaProblem &problem,
-              const std::vector<Device> &devices,
-              const EqcOptions &options)
+namespace {
+
+class VirtualEngine final : public ExecutionEngine
 {
-    EqcTrace trace;
-    trace.label = "EQC";
+  public:
+    std::string name() const override { return "virtual"; }
 
-    Ensemble ensemble(problem, devices, options.seed, options.client);
-    MasterNode master(problem, options.master);
-    Simulation sim;
+    void
+    run(RunContext &ctx) override
+    {
+        ctx.trace().label = "EQC";
 
-    const std::size_t n = ensemble.size();
-    std::vector<int> bottomStreak(n, 0);
-    std::vector<double> cooldownUntil(n, 0.0);
-    std::size_t rrEval = 0;
-    double lastCompletionH = 0.0;
+        Simulation sim;
+        const std::size_t n = ctx.numClients();
 
-    // Pull epoch records as soon as the master's epoch counter advances.
-    auto recordEpochs = [&](double tH) {
-        while (static_cast<int>(trace.epochs.size()) <
-                   master.epochsCompleted() &&
-               static_cast<int>(trace.epochs.size()) <
-                   options.master.epochs) {
-            EpochRecord rec;
-            rec.epoch = static_cast<int>(trace.epochs.size());
-            rec.timeH = tH;
-            // Diagnostic energy on a round-robin ensemble member, so the
-            // plotted curve carries the mixture's measurement noise.
-            ClientNode &ev = ensemble.client(rrEval % n);
-            ++rrEval;
-            rec.energyDevice = ev.evaluateEnergy(master.params(), tH);
-            rec.energyIdeal =
-                options.recordIdealEnergy
-                    ? idealEnergy(problem.ansatz, problem.hamiltonian,
-                                  master.params())
-                    : 0.0;
-            trace.epochs.push_back(rec);
-        }
-    };
-
-    std::function<void(std::size_t)> startClient =
-        [&](std::size_t ci) {
-        if (master.done())
-            return;
-        double now = sim.now();
-        if (now > options.maxHours)
-            return;
-        if (options.adaptive.enabled && cooldownUntil[ci] > now) {
-            sim.scheduleAt(cooldownUntil[ci],
-                           [&, ci] { startClient(ci); });
-            return;
-        }
-        ClientNode &client = ensemble.client(ci);
-        GradientTask task = master.nextTask();
-        ClientNode::Processed processed = client.process(task, now);
-        sim.schedule(processed.latencyH, [&, ci, processed] {
-            if (master.done())
+        std::function<void(std::size_t)> startClient =
+            [&](std::size_t ci) {
+            if (ctx.done())
                 return;
-            double weight = master.onResult(processed.result);
-            lastCompletionH = sim.now();
-            trace.circuitEvaluations += processed.result.circuitsRun;
-            ++trace.jobsPerDevice[ensemble.client(ci).device().name];
-            if (options.recordWeights) {
-                trace.weights.push_back({sim.now(),
-                                         static_cast<int>(ci),
-                                         processed.result.pCorrect,
-                                         weight});
+            double now = sim.now();
+            if (now > ctx.options().maxHours)
+                return;
+            if (ctx.options().adaptive.enabled &&
+                ctx.cooldownUntil(ci) > now) {
+                sim.scheduleAt(ctx.cooldownUntil(ci),
+                               [&, ci] { startClient(ci); });
+                return;
             }
-            // Adaptive management: cool down clients pinned at the
-            // bottom of the weight range.
-            const WeightBounds &b = master.options().weightBounds;
-            if (options.adaptive.enabled && b.enabled()) {
-                if (weight <= b.lo + options.adaptive.margin *
-                                         (b.hi - b.lo)) {
-                    if (++bottomStreak[ci] >=
-                        options.adaptive.unstableStreak) {
-                        cooldownUntil[ci] =
-                            sim.now() + options.adaptive.cooldownH;
-                        bottomStreak[ci] = 0;
-                        ++trace.cooldowns;
-                    }
-                } else {
-                    bottomStreak[ci] = 0;
-                }
-            }
-            recordEpochs(sim.now());
-            startClient(ci);
-        });
-    };
+            ClientNode &client = ctx.ensemble().client(ci);
+            GradientTask task = ctx.master().nextTask();
+            ClientNode::Processed processed = client.process(task, now);
+            sim.schedule(processed.latencyH, [&, ci, processed] {
+                if (ctx.done())
+                    return;
+                ctx.applyResult(ci, processed, sim.now());
+                startClient(ci);
+            });
+        };
 
-    for (std::size_t ci = 0; ci < n; ++ci)
-        sim.scheduleAt(0.0, [&, ci] { startClient(ci); });
-    sim.run();
+        for (std::size_t ci = 0; ci < n; ++ci)
+            sim.scheduleAt(0.0, [&, ci] { startClient(ci); });
+        sim.run();
 
-    trace.terminated = !master.done();
-    trace.finalParams = master.params();
-    trace.staleness = master.stalenessStats();
-    trace.totalHours = lastCompletionH;
-    trace.epochsPerHour =
-        trace.totalHours > 0.0
-            ? static_cast<double>(trace.epochs.size()) / trace.totalHours
-            : 0.0;
-    return trace;
+        ctx.finish();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ExecutionEngine>
+makeVirtualEngine()
+{
+    return std::make_unique<VirtualEngine>();
 }
 
 } // namespace eqc

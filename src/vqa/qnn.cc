@@ -32,7 +32,6 @@ makeSineClassifier(int numSamples, uint64_t seed)
     p.observable = PauliSum(2);
     p.observable.add(1.0, PauliString::single(2, 0, Pauli::Z));
 
-    Rng rng = Rng(seed).fork("qnn-data");
     for (int i = 0; i < numSamples; ++i) {
         double x = -kPi + (2.0 * kPi) * (i + 0.5) / numSamples;
         QnnSample s;

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Minimal GoogleTest-compatible shim, used only when the build cannot
+ * find a real GoogleTest (see tests/CMakeLists.txt). Implements the
+ * subset of the gtest macro surface this repository's tests use: TEST,
+ * EXPECT_/ASSERT_ comparisons, EXPECT_NEAR/EXPECT_DOUBLE_EQ,
+ * EXPECT_THROW, and failure-message streaming. Parameterized tests
+ * (TEST_P) are NOT supported; files using them are excluded from the
+ * shim build.
+ *
+ * One test binary = one translation unit: this header defines main().
+ */
+
+#ifndef EQC_TESTS_MINIGTEST_GTEST_H
+#define EQC_TESTS_MINIGTEST_GTEST_H
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace minigtest {
+
+struct TestCase
+{
+    std::string name;
+    std::function<void()> fn;
+};
+
+inline std::vector<TestCase> &
+registry()
+{
+    static std::vector<TestCase> tests;
+    return tests;
+}
+
+/** Failures recorded by the currently running test. */
+inline int &
+currentFailures()
+{
+    static int failures = 0;
+    return failures;
+}
+
+inline bool
+registerTest(const char *suite, const char *name, std::function<void()> fn)
+{
+    registry().push_back({std::string(suite) + "." + name, std::move(fn)});
+    return true;
+}
+
+/** Message stream appended to a failure report. */
+class Msg
+{
+  public:
+    template <typename T>
+    Msg &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+    std::string str() const { return stream_.str(); }
+
+  private:
+    std::ostringstream stream_;
+};
+
+/**
+ * Records one failure on destruction-by-assignment. gtest's trick:
+ * `EXPECT_x(...) << extra` expands to `Reporter(...) = Msg() << extra`,
+ * and ASSERT_x can `return Reporter(...) = Msg()` from a void test.
+ */
+class Reporter
+{
+  public:
+    Reporter(const char *file, int line, std::string summary)
+        : file_(file), line_(line), summary_(std::move(summary))
+    {
+    }
+
+    void
+    operator=(const Msg &msg) const
+    {
+        ++currentFailures();
+        std::printf("  FAILED %s:%d: %s", file_, line_,
+                    summary_.c_str());
+        std::string extra = msg.str();
+        if (!extra.empty())
+            std::printf(" (%s)", extra.c_str());
+        std::printf("\n");
+    }
+
+  private:
+    const char *file_;
+    int line_;
+    std::string summary_;
+};
+
+template <typename A, typename B>
+std::string
+describe(const char *op, const char *ea, const char *eb, const A &a,
+         const B &b)
+{
+    std::ostringstream s;
+    s << "expected " << ea << " " << op << " " << eb << "; got " << a
+      << " vs " << b;
+    return s.str();
+}
+
+inline int
+runAll()
+{
+    int failedTests = 0;
+    for (const TestCase &test : registry()) {
+        currentFailures() = 0;
+        std::printf("[ RUN  ] %s\n", test.name.c_str());
+        test.fn();
+        if (currentFailures() > 0) {
+            ++failedTests;
+            std::printf("[ FAIL ] %s\n", test.name.c_str());
+        } else {
+            std::printf("[  OK  ] %s\n", test.name.c_str());
+        }
+    }
+    std::printf("%zu tests, %d failed\n", registry().size(), failedTests);
+    return failedTests == 0 ? 0 : 1;
+}
+
+} // namespace minigtest
+
+#define TEST(suite, name)                                                  \
+    static void minigtest_##suite##_##name();                              \
+    static const bool minigtest_reg_##suite##_##name =                     \
+        ::minigtest::registerTest(#suite, #name,                           \
+                                  &minigtest_##suite##_##name);            \
+    static void minigtest_##suite##_##name()
+
+#define MINIGTEST_CHECK_(cond, summary, onfail)                            \
+    if (cond)                                                              \
+        ;                                                                  \
+    else                                                                   \
+        onfail ::minigtest::Reporter(__FILE__, __LINE__, summary) =        \
+            ::minigtest::Msg()
+
+#define MINIGTEST_CMP_(op, opname, a, b, onfail)                           \
+    MINIGTEST_CHECK_(((a)op(b)),                                           \
+                     ::minigtest::describe(opname, #a, #b, (a), (b)),      \
+                     onfail)
+
+#define EXPECT_TRUE(c) MINIGTEST_CHECK_((c), "expected true: " #c, )
+#define EXPECT_FALSE(c) MINIGTEST_CHECK_(!(c), "expected false: " #c, )
+#define EXPECT_EQ(a, b) MINIGTEST_CMP_(==, "==", a, b, )
+#define EXPECT_NE(a, b) MINIGTEST_CMP_(!=, "!=", a, b, )
+#define EXPECT_GT(a, b) MINIGTEST_CMP_(>, ">", a, b, )
+#define EXPECT_GE(a, b) MINIGTEST_CMP_(>=, ">=", a, b, )
+#define EXPECT_LT(a, b) MINIGTEST_CMP_(<, "<", a, b, )
+#define EXPECT_LE(a, b) MINIGTEST_CMP_(<=, "<=", a, b, )
+#define EXPECT_NEAR(a, b, tol)                                             \
+    MINIGTEST_CHECK_(std::fabs((a) - (b)) <= (tol),                        \
+                     ::minigtest::describe("near", #a, #b, (a), (b)), )
+#define EXPECT_DOUBLE_EQ(a, b) MINIGTEST_CMP_(==, "==", a, b, )
+
+#define ASSERT_TRUE(c)                                                     \
+    MINIGTEST_CHECK_((c), "expected true: " #c, return)
+#define ASSERT_FALSE(c)                                                    \
+    MINIGTEST_CHECK_(!(c), "expected false: " #c, return)
+#define ASSERT_EQ(a, b) MINIGTEST_CMP_(==, "==", a, b, return)
+#define ASSERT_NE(a, b) MINIGTEST_CMP_(!=, "!=", a, b, return)
+#define ASSERT_GT(a, b) MINIGTEST_CMP_(>, ">", a, b, return)
+#define ASSERT_GE(a, b) MINIGTEST_CMP_(>=, ">=", a, b, return)
+#define ASSERT_LT(a, b) MINIGTEST_CMP_(<, "<", a, b, return)
+#define ASSERT_LE(a, b) MINIGTEST_CMP_(<=, "<=", a, b, return)
+
+#define EXPECT_THROW(statement, exceptionType)                             \
+    do {                                                                   \
+        bool minigtest_caught = false;                                     \
+        try {                                                              \
+            statement;                                                     \
+        } catch (const exceptionType &) {                                  \
+            minigtest_caught = true;                                       \
+        } catch (...) {                                                    \
+        }                                                                  \
+        MINIGTEST_CHECK_(minigtest_caught,                                 \
+                         "expected " #statement                            \
+                         " to throw " #exceptionType, );                   \
+    } while (0)
+
+int
+main()
+{
+    return ::minigtest::runAll();
+}
+
+#endif // EQC_TESTS_MINIGTEST_GTEST_H

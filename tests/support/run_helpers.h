@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared test entry point for launching EQC jobs through the Runtime.
+ */
+
+#ifndef EQC_TESTS_SUPPORT_RUN_HELPERS_H
+#define EQC_TESTS_SUPPORT_RUN_HELPERS_H
+
+#include "core/runtime.h"
+
+namespace eqc {
+
+/** Run one job on the deterministic "virtual" engine. */
+inline EqcTrace
+runVirtual(const VqaProblem &problem, const std::vector<Device> &devices,
+           const EqcOptions &options)
+{
+    Runtime runtime;
+    EqcOptions opts = options;
+    opts.engine = "virtual";
+    return runtime.submit(problem, devices, opts).take();
+}
+
+} // namespace eqc
+
+#endif // EQC_TESTS_SUPPORT_RUN_HELPERS_H

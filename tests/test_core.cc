@@ -2,9 +2,10 @@
 
 #include <cmath>
 
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/exact.h"
+#include "support/run_helpers.h"
 #include "vqa/problem.h"
 
 namespace eqc {
@@ -244,7 +245,7 @@ TEST(EqcVirtual, ConvergesOnSmallEnsemble)
     EqcOptions opts;
     opts.master.epochs = 60;
     opts.seed = 5;
-    EqcTrace trace = runEqcVirtual(p, devices, opts);
+    EqcTrace trace = runVirtual(p, devices, opts);
     ASSERT_EQ(trace.epochs.size(), 60u);
     EXPECT_FALSE(trace.terminated);
     double start = trace.epochs.front().energyIdeal;
@@ -264,8 +265,8 @@ TEST(EqcVirtual, DeterministicForSameSeed)
     EqcOptions opts;
     opts.master.epochs = 10;
     opts.seed = 42;
-    EqcTrace a = runEqcVirtual(p, devices, opts);
-    EqcTrace b = runEqcVirtual(p, devices, opts);
+    EqcTrace a = runVirtual(p, devices, opts);
+    EqcTrace b = runVirtual(p, devices, opts);
     ASSERT_EQ(a.epochs.size(), b.epochs.size());
     for (std::size_t i = 0; i < a.epochs.size(); ++i) {
         EXPECT_DOUBLE_EQ(a.epochs[i].energyDevice,
@@ -287,7 +288,7 @@ TEST(EqcVirtual, FasterThanSingleDevice)
     EqcOptions opts;
     opts.master.epochs = 15;
     opts.seed = 5;
-    EqcTrace ens = runEqcVirtual(p, evaluationEnsemble(), opts);
+    EqcTrace ens = runVirtual(p, evaluationEnsemble(), opts);
     EXPECT_GT(ens.epochsPerHour, 2.0 * bogota.epochsPerHour);
 }
 
@@ -297,7 +298,7 @@ TEST(EqcVirtual, AsynchronyProducesStaleness)
     EqcOptions opts;
     opts.master.epochs = 12;
     opts.seed = 8;
-    EqcTrace trace = runEqcVirtual(p, evaluationEnsemble(), opts);
+    EqcTrace trace = runVirtual(p, evaluationEnsemble(), opts);
     // With 10 concurrent clients gradients must arrive stale on average.
     EXPECT_GT(trace.staleness.mean(), 1.0);
     // Partially-asynchronous regime: staleness bounded (appendix's D).
@@ -311,7 +312,7 @@ TEST(EqcVirtual, WeightRecordsWithinBounds)
     opts.master.epochs = 8;
     opts.master.weightBounds = {0.5, 1.5};
     opts.seed = 8;
-    EqcTrace trace = runEqcVirtual(p, evaluationEnsemble(), opts);
+    EqcTrace trace = runVirtual(p, evaluationEnsemble(), opts);
     ASSERT_FALSE(trace.weights.empty());
     for (const WeightRecord &w : trace.weights) {
         EXPECT_GE(w.weight, 0.5 - 1e-12);
@@ -338,7 +339,7 @@ TEST(EqcVirtual, AdaptivePolicyCoolsDownBadDevices)
     opts.adaptive.unstableStreak = 3;
     opts.adaptive.cooldownH = 2.0;
     opts.seed = 4;
-    EqcTrace trace = runEqcVirtual(p, devices, opts);
+    EqcTrace trace = runVirtual(p, devices, opts);
     EXPECT_GT(trace.cooldowns, 0);
     ASSERT_EQ(trace.epochs.size(), 40u);
 }
@@ -356,7 +357,10 @@ TEST(EqcThreaded, RunsAndConverges)
     // Aggressive time scale so the test stays fast; wall compute time
     // counts against the virtual budget, so lift the termination rule.
     opts.maxHours = 1e7;
-    EqcTrace trace = runEqcThreaded(p, devices, opts, 3000.0);
+    opts.engine = "threaded";
+    opts.hoursPerWallSecond = 3000.0;
+    Runtime runtime;
+    EqcTrace trace = runtime.submit(p, devices, opts).take();
     EXPECT_FALSE(trace.terminated);
     ASSERT_EQ(trace.epochs.size(), 20u);
     double start = trace.epochs.front().energyIdeal;

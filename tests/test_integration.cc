@@ -9,9 +9,10 @@
 
 #include <cmath>
 
-#include "core/eqc.h"
+#include "core/runtime.h"
 #include "device/catalog.h"
 #include "hamiltonian/exact.h"
+#include "support/run_helpers.h"
 #include "vqa/problem.h"
 
 namespace eqc {
@@ -38,7 +39,7 @@ TEST(Integration, EqcErrorCloseToBestDeviceAndBelowWorst)
     eo.master.epochs = 50;
     eo.master.weightBounds = {0.5, 1.5};
     eo.seed = 2;
-    EqcTrace eqc = runEqcVirtual(p, devices, eo);
+    EqcTrace eqc = runVirtual(p, devices, eo);
 
     const double ansatzMin = -6.5715;
     double errBest =
@@ -73,7 +74,7 @@ TEST(Integration, EqcThroughputIsNearSumOfMembers)
     EqcOptions eo;
     eo.master.epochs = 10;
     eo.seed = 4;
-    EqcTrace eqc = runEqcVirtual(p, devices, eo);
+    EqcTrace eqc = runVirtual(p, devices, eo);
     // Asynchronous pooling approaches the sum of member throughputs.
     EXPECT_GT(eqc.epochsPerHour, 0.6 * sumRates);
     EXPECT_LT(eqc.epochsPerHour, 1.4 * sumRates);
@@ -98,7 +99,7 @@ TEST(Integration, WeightingImprovesEnsembleWithBadMember)
         o.master.epochs = 60;
         o.master.weightBounds = b;
         o.seed = 6;
-        return runEqcVirtual(p, devices, o);
+        return runVirtual(p, devices, o);
     };
     EqcTrace unweighted = run({1.0, 1.0});
     EqcTrace weighted = run({0.5, 1.5});
@@ -122,7 +123,7 @@ TEST(Integration, QaoaEnsembleReachesP1Optimum)
     o.master.epochs = 50;
     o.client.shiftMode = ShiftMode::PerOccurrence;
     o.seed = 2;
-    EqcTrace t = runEqcVirtual(p, devices, o);
+    EqcTrace t = runVirtual(p, devices, o);
     double idealCostPerEdge =
         idealEnergy(p.ansatz, p.hamiltonian, t.finalParams) / 4.0;
     EXPECT_LT(idealCostPerEdge, -0.70); // p=1 limit is -0.75
@@ -158,7 +159,7 @@ TEST(Integration, EqcHonorsTerminationRule)
     o.master.epochs = 250;
     o.maxHours = 48.0;
     o.seed = 1;
-    EqcTrace t = runEqcVirtual(p, devices, o);
+    EqcTrace t = runVirtual(p, devices, o);
     EXPECT_TRUE(t.terminated);
     EXPECT_LT(t.epochs.size(), 250u);
     EXPECT_LE(t.totalHours, 48.0 + 2.0); // in-flight job may overshoot
@@ -177,8 +178,8 @@ TEST(Integration, GoldenReplayAcrossComponents)
     o.master.weightBounds = {0.5, 1.5};
     o.adaptive.enabled = true;
     o.seed = 77;
-    EqcTrace a = runEqcVirtual(p, devices, o);
-    EqcTrace b = runEqcVirtual(p, devices, o);
+    EqcTrace a = runVirtual(p, devices, o);
+    EqcTrace b = runVirtual(p, devices, o);
     ASSERT_EQ(a.finalParams.size(), b.finalParams.size());
     for (std::size_t i = 0; i < a.finalParams.size(); ++i)
         EXPECT_DOUBLE_EQ(a.finalParams[i], b.finalParams[i]) << i;
