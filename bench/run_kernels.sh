@@ -1,0 +1,56 @@
+#!/bin/sh
+# Build the micro-kernel benchmark suite in Release mode and record a
+# trajectory entry in BENCH_kernels.json (see README "Performance").
+#
+# Usage: bench/run_kernels.sh [label] [extra google-benchmark args...]
+#   label    name for this trajectory entry (default: "run")
+#
+# Requires Google Benchmark (libbenchmark-dev) and python3. The build
+# goes to build-bench/ so it never disturbs a development build tree.
+set -e
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-run}"
+[ $# -gt 0 ] && shift
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+  -DEQC_BUILD_TESTS=OFF -DEQC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-bench -j --target bench_kernels >/dev/null
+
+if [ ! -x build-bench/bench/bench_kernels ]; then
+  echo "bench/run_kernels.sh: Google Benchmark not found" \
+       "(install libbenchmark-dev)" >&2
+  exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+./build-bench/bench/bench_kernels --benchmark_format=json \
+  --benchmark_out="$RAW" "$@" >/dev/null
+
+python3 - "$RAW" "$LABEL" <<'EOF'
+import json, sys
+
+raw_path, label = sys.argv[1], sys.argv[2]
+raw = json.load(open(raw_path))
+entry = {
+    "label": label,
+    "date": raw["context"]["date"],
+    "num_cpus": raw["context"]["num_cpus"],
+    "cpu_time_ns": {
+        b["name"]: round(b["cpu_time"], 1)
+        for b in raw["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    },
+}
+try:
+    doc = json.load(open("BENCH_kernels.json"))
+except FileNotFoundError:
+    doc = {"benchmark": "bench/kernels.cc",
+           "generated_by": "bench/run_kernels.sh",
+           "trajectory": []}
+doc["trajectory"].append(entry)
+json.dump(doc, open("BENCH_kernels.json", "w"), indent=2)
+print(f"BENCH_kernels.json: appended entry '{label}' with "
+      f"{len(entry['cpu_time_ns'])} benchmarks")
+EOF

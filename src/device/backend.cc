@@ -1,6 +1,7 @@
 #include "device/backend.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 #include "quantum/density_matrix.h"
@@ -8,12 +9,166 @@
 
 namespace eqc {
 
+/** One precompiled gate of an ExecPlan (see SimulatedQpu::ExecPlan). */
+struct PlannedOp
+{
+    GateType type = GateType::ID;
+    bool twoQubit = false;
+    /** Unitary is diagonal: entries[] holds only the diagonal. */
+    bool diagonal = false;
+    /** Angles reference the parameter table: entries rebuilt per job. */
+    bool symbolic = false;
+    int q0 = -1, q1 = -1; ///< compact qubits
+    int p0 = -1, p1 = -1; ///< physical ids (calibration lookups)
+    int numParams = 0;
+    ParamExpr params[3];
+    /** gateEntries() layout, prebuilt when !symbolic. */
+    Complex entries[16];
+};
+
+struct SimulatedQpu::ExecPlan
+{
+    int numQubits = 0;
+    std::vector<PlannedOp> ops;
+    /** MEASURE targets (compact qubits) in program order. */
+    std::vector<int> measured;
+    /** Exact structural identity, checked on every cache hit. */
+    std::vector<uint64_t> signature;
+};
+
+namespace {
+
+/**
+ * Feed every word of a circuit's structural identity (width, parameter
+ * table, physical mapping, each op with its angle expressions) to @p f.
+ * Used twice per execute: once hashing, once verifying the cached plan
+ * — both passes allocation-free.
+ */
+template <typename Fn>
+void
+forEachSignatureWord(const TranspiledCircuit &tc, Fn &&f)
+{
+    const QuantumCircuit &c = tc.compact;
+    f(static_cast<uint64_t>(c.numQubits()));
+    f(static_cast<uint64_t>(c.numParams()));
+    for (int p : tc.compactToPhysical)
+        f(static_cast<uint64_t>(p) + 1);
+    for (const GateOp &op : c.ops()) {
+        f((static_cast<uint64_t>(op.type) << 32) |
+          (static_cast<uint64_t>(static_cast<uint16_t>(op.qubits[0] + 1))
+           << 16) |
+          static_cast<uint64_t>(static_cast<uint16_t>(op.qubits[1] + 1)));
+        for (const ParamExpr &pe : op.params) {
+            f(static_cast<uint64_t>(static_cast<int64_t>(pe.index)));
+            uint64_t bits;
+            std::memcpy(&bits, &pe.scale, sizeof(bits));
+            f(bits);
+            std::memcpy(&bits, &pe.offset, sizeof(bits));
+            f(bits);
+        }
+    }
+}
+
+uint64_t
+signatureHash(const TranspiledCircuit &tc)
+{
+    uint64_t h = 0xCBF29CE484222325ULL; // FNV-1a 64
+    forEachSignatureWord(tc, [&](uint64_t w) {
+        h ^= w;
+        h *= 0x100000001B3ULL;
+    });
+    return h;
+}
+
+bool
+signatureMatches(const TranspiledCircuit &tc,
+                 const std::vector<uint64_t> &sig)
+{
+    bool match = true;
+    std::size_t i = 0;
+    forEachSignatureWord(tc, [&](uint64_t w) {
+        if (match && (i >= sig.size() || sig[i] != w))
+            match = false;
+        ++i;
+    });
+    return match && i == sig.size();
+}
+
+} // namespace
+
 SimulatedQpu::SimulatedQpu(Device dev, uint64_t seed)
     : dev_(std::move(dev)),
       tracker_(dev_.baseCalibration, dev_.drift,
                Rng(seed).fork("drift:" + dev_.name)),
       queue_(dev_.queue)
 {
+}
+
+SimulatedQpu::~SimulatedQpu() = default;
+
+SimulatedQpu::SimulatedQpu(SimulatedQpu &&other) noexcept
+    : dev_(std::move(other.dev_)),
+      tracker_(std::move(other.tracker_)),
+      queue_(std::move(other.queue_)),
+      planCache_(std::move(other.planCache_))
+{
+}
+
+std::shared_ptr<const SimulatedQpu::ExecPlan>
+SimulatedQpu::planFor(const TranspiledCircuit &tc)
+{
+    const uint64_t key = signatureHash(tc);
+    {
+        std::lock_guard<std::mutex> lk(planMu_);
+        auto it = planCache_.find(key);
+        if (it != planCache_.end() &&
+            signatureMatches(tc, it->second->signature)) {
+            return it->second;
+        }
+    }
+
+    auto plan = std::make_shared<ExecPlan>();
+    plan->numQubits = tc.compact.numQubits();
+    forEachSignatureWord(
+        tc, [&](uint64_t w) { plan->signature.push_back(w); });
+    for (const GateOp &op : tc.compact.ops()) {
+        if (op.type == GateType::MEASURE) {
+            plan->measured.push_back(op.qubits[0]);
+            continue;
+        }
+        if (op.type == GateType::BARRIER)
+            continue;
+        PlannedOp po;
+        po.type = op.type;
+        po.twoQubit = gateArity(op.type) == 2;
+        po.diagonal = isDiagonalGate(op.type);
+        po.q0 = op.qubits[0];
+        po.p0 = tc.compactToPhysical[po.q0];
+        if (po.twoQubit) {
+            po.q1 = op.qubits[1];
+            po.p1 = tc.compactToPhysical[po.q1];
+        }
+        po.numParams = static_cast<int>(op.params.size());
+        for (int i = 0; i < po.numParams; ++i) {
+            po.params[i] = op.params[i];
+            if (op.params[i].isSymbolic())
+                po.symbolic = true;
+        }
+        if (!po.symbolic) {
+            double angles[3] = {0, 0, 0};
+            for (int i = 0; i < po.numParams; ++i)
+                angles[i] = po.params[i].evaluate({});
+            gateEntries(po.type, angles, po.entries);
+        }
+        plan->ops.push_back(po);
+    }
+
+    std::lock_guard<std::mutex> lk(planMu_);
+    // Possibly racing another builder, or evicting a hash collision;
+    // either way the freshly built plan is a correct occupant, and
+    // shared ownership keeps any in-flight reader's plan alive.
+    planCache_[key] = plan;
+    return plan;
 }
 
 CalibrationSnapshot
@@ -58,58 +213,64 @@ SimulatedQpu::execute(const TranspiledCircuit &tc,
                       const std::vector<double> &params, int shots,
                       double atTimeH, Rng &rng, bool sampleCounts)
 {
-    const QuantumCircuit &circuit = tc.compact;
     const CalibrationSnapshot cal = tracker_.actual(atTimeH);
-    const int n = circuit.numQubits();
+    const int n = tc.compact.numQubits();
     if (n < 1)
         panic("SimulatedQpu::execute: empty circuit");
 
-    auto physId = [&](int q) { return tc.compactToPhysical[q]; };
+    const std::shared_ptr<const ExecPlan> planPtr = planFor(tc);
+    const ExecPlan &plan = *planPtr;
 
     JobResult result;
     result.shots = shots;
     result.circuitDurationUs =
-        circuitDurationUs(circuit, cal, tc.compactToPhysical);
+        circuitDurationUs(tc.compact, cal, tc.compactToPhysical);
 
-    std::vector<int> measured;
     const bool noiseless = isNoiseless(cal);
+
+    // Per-op unitary entries: precompiled for fixed angles, rebuilt in
+    // place (no allocation) when the op references the parameter table.
+    Complex scratch[16];
+    double angles[3];
+    auto entriesOf = [&](const PlannedOp &op) -> const Complex * {
+        if (!op.symbolic)
+            return op.entries;
+        for (int i = 0; i < op.numParams; ++i)
+            angles[i] = op.params[i].evaluate(params);
+        gateEntries(op.type, angles, scratch);
+        return scratch;
+    };
 
     if (noiseless) {
         // Pure-state fast path for the ideal baseline.
         Statevector sv(n);
-        for (const GateOp &op : circuit.ops()) {
-            if (op.type == GateType::MEASURE) {
-                measured.push_back(op.qubits[0]);
+        for (const PlannedOp &op : plan.ops) {
+            if (op.type == GateType::ID)
                 continue;
+            const Complex *u = entriesOf(op);
+            if (op.twoQubit) {
+                op.diagonal ? sv.applyDiag2(u, op.q0, op.q1)
+                            : sv.applyGate2(u, op.q0, op.q1);
+            } else {
+                op.diagonal ? sv.applyDiag1(u, op.q0)
+                            : sv.applyGate1(u, op.q0);
             }
-            if (op.type == GateType::BARRIER || op.type == GateType::ID)
-                continue;
-            std::vector<double> angles;
-            for (const ParamExpr &p : op.params)
-                angles.push_back(p.evaluate(params));
-            std::vector<int> qs(op.qubits.begin(),
-                                op.qubits.begin() + op.arity());
-            sv.applyGate(gateMatrix(op.type, angles), qs);
         }
         result.probabilities = sv.probabilities();
     } else {
         DensityMatrix dm(n);
         const double t1qUs = cal.gate1qTimeNs / 1000.0;
-        for (const GateOp &op : circuit.ops()) {
-            if (op.type == GateType::MEASURE) {
-                measured.push_back(op.qubits[0]);
-                continue;
+        for (const PlannedOp &op : plan.ops) {
+            if (op.type != GateType::ID) {
+                const Complex *u = entriesOf(op);
+                if (op.twoQubit) {
+                    op.diagonal ? dm.applyDiag2(u, op.q0, op.q1)
+                                : dm.applyGate2(u, op.q0, op.q1);
+                } else {
+                    op.diagonal ? dm.applyDiag1(u, op.q0)
+                                : dm.applyGate1(u, op.q0);
+                }
             }
-            if (op.type == GateType::BARRIER)
-                continue;
-            std::vector<double> angles;
-            for (const ParamExpr &p : op.params)
-                angles.push_back(p.evaluate(params));
-            std::vector<int> qs(op.qubits.begin(),
-                                op.qubits.begin() + op.arity());
-
-            if (op.type != GateType::ID)
-                dm.applyUnitary(gateMatrix(op.type, angles), qs);
 
             switch (op.type) {
               case GateType::RZ:
@@ -118,34 +279,36 @@ SimulatedQpu::execute(const TranspiledCircuit &tc,
               case GateType::ID:
               case GateType::SX:
               case GateType::X: {
-                const QubitCalibration &qc = cal.qubits[physId(qs[0])];
+                const QubitCalibration &qc = cal.qubits[op.p0];
                 if (op.type != GateType::ID &&
                     qc.coherentRxRad != 0.0) {
                     // Coherent miscalibration: every physical X-axis
                     // pulse over/under-rotates by a signed angle.
-                    dm.applyUnitary(
-                        gateMatrix(GateType::RX, {qc.coherentRxRad}),
-                        qs);
+                    const double rxAngle[1] = {qc.coherentRxRad};
+                    Complex rx[4];
+                    gateEntries(GateType::RX, rxAngle, rx);
+                    dm.applyGate1(rx, op.q0);
                 }
-                applyThermal(dm, qs[0], qc, t1qUs);
+                applyThermal(dm, op.q0, qc, t1qUs);
                 if (op.type != GateType::ID && qc.gate1qError > 0.0)
-                    dm.applyDepolarizing1q(qc.gate1qError, qs[0]);
+                    dm.applyDepolarizing1q(qc.gate1qError, op.q0);
                 break;
               }
               case GateType::CX: {
-                int pa = physId(qs[0]), pb = physId(qs[1]);
-                double err = cal.cxErrorFor(pa, pb);
-                double durUs = cal.cxTimeFor(pa, pb) / 1000.0;
-                double phase = cal.cxPhaseFor(pa, pb);
+                double err = cal.cxErrorFor(op.p0, op.p1);
+                double durUs = cal.cxTimeFor(op.p0, op.p1) / 1000.0;
+                double phase = cal.cxPhaseFor(op.p0, op.p1);
                 if (phase != 0.0) {
                     // Residual ZZ phase accompanying the CX pulse.
-                    dm.applyUnitary(gateMatrix(GateType::RZZ, {phase}),
-                                    qs);
+                    const double zzAngle[1] = {phase};
+                    Complex zz[4];
+                    gateEntries(GateType::RZZ, zzAngle, zz);
+                    dm.applyDiag2(zz, op.q0, op.q1);
                 }
                 if (err > 0.0)
-                    dm.applyDepolarizing2q(err, qs[0], qs[1]);
-                applyThermal(dm, qs[0], cal.qubits[pa], durUs);
-                applyThermal(dm, qs[1], cal.qubits[pb], durUs);
+                    dm.applyDepolarizing2q(err, op.q0, op.q1);
+                applyThermal(dm, op.q0, cal.qubits[op.p0], durUs);
+                applyThermal(dm, op.q1, cal.qubits[op.p1], durUs);
                 break;
               }
               default:
@@ -155,8 +318,9 @@ SimulatedQpu::execute(const TranspiledCircuit &tc,
         }
         result.probabilities = dm.probabilities();
         // SPAM: per-qubit readout confusion on the measured qubits.
-        for (int q : measured) {
-            const QubitCalibration &qc = cal.qubits[physId(q)];
+        for (int q : plan.measured) {
+            const QubitCalibration &qc =
+                cal.qubits[tc.compactToPhysical[q]];
             applyReadoutError(result.probabilities, q, qc.readout);
         }
     }

@@ -13,8 +13,11 @@
 #ifndef EQC_DEVICE_BACKEND_H
 #define EQC_DEVICE_BACKEND_H
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "device/device.h"
@@ -81,6 +84,11 @@ class SimulatedQpu : public QuantumBackend
      */
     SimulatedQpu(Device dev, uint64_t seed);
 
+    ~SimulatedQpu() override;
+
+    /** Movable (the plan cache moves along; the mutex starts fresh). */
+    SimulatedQpu(SimulatedQpu &&other) noexcept;
+
     JobResult execute(const TranspiledCircuit &tc,
                       const std::vector<double> &params, int shots,
                       double atTimeH, Rng &rng,
@@ -98,9 +106,26 @@ class SimulatedQpu : public QuantumBackend
     const QueueModel &queue() const { return queue_; }
 
   private:
+    /**
+     * Precompiled execution plan for one transpiled circuit: gate kind,
+     * qubit span and physical ids resolved, fixed-angle unitaries
+     * prebuilt — the per-job loop only re-evaluates symbolic parameter
+     * expressions and dispatches branch-light kernel calls, with no
+     * per-gate heap allocation. Cached by circuit identity (structural
+     * hash, verified exactly on every hit).
+     */
+    struct ExecPlan;
+
+    /** Cached plan for @p tc, building it on first sight. */
+    std::shared_ptr<const ExecPlan> planFor(const TranspiledCircuit &tc);
+
     Device dev_;
     CalibrationTracker tracker_;
     QueueModel queue_;
+
+    std::mutex planMu_;
+    std::unordered_map<uint64_t, std::shared_ptr<const ExecPlan>>
+        planCache_;
 };
 
 /**

@@ -1,13 +1,25 @@
 #include "quantum/density_matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/task_pool.h"
 #include "quantum/kernel.h"
 #include "quantum/pauli.h"
 #include "quantum/statevector.h"
 
 namespace eqc {
+
+TaskPool *
+DensityMatrix::pool() const
+{
+    // Resolved once per instance: TaskPool::shared()'s thread-safe
+    // static guard is measurable on the small-n fast paths.
+    if (!pool_)
+        pool_ = &TaskPool::shared();
+    return pool_;
+}
 
 DensityMatrix::DensityMatrix(int numQubits)
     : numQubits_(numQubits),
@@ -23,10 +35,14 @@ DensityMatrix::fromStatevector(const Statevector &sv)
 {
     DensityMatrix dm(sv.numQubits());
     uint64_t d = dm.dim();
-    for (uint64_t r = 0; r < d; ++r)
-        for (uint64_t c = 0; c < d; ++c)
-            dm.rho_[r + d * c] =
-                sv.amplitude(r) * std::conj(sv.amplitude(c));
+    // Column-major iteration: rho_ is indexed row + dim * col, so the
+    // inner loop must walk rows for unit-stride writes.
+    for (uint64_t c = 0; c < d; ++c) {
+        const Complex conjC = std::conj(sv.amplitude(c));
+        Complex *col = dm.rho_.data() + d * c;
+        for (uint64_t r = 0; r < d; ++r)
+            col[r] = sv.amplitude(r) * conjC;
+    }
     return dm;
 }
 
@@ -38,15 +54,93 @@ DensityMatrix::reset()
 }
 
 void
+DensityMatrix::applyGate1(const Complex *u, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("DensityMatrix::applyGate1: qubit out of range");
+    Complex d[2];
+    detail::PermPhase pp;
+    switch (detail::classifyGate(u, 2, d, pp)) {
+      case detail::GateKind::Diagonal:
+        detail::applySuperopDiag1(rho_.data(), numQubits_, d, qubit,
+                                  pool());
+        break;
+      case detail::GateKind::PermPhase:
+        detail::applySuperopPerm1(rho_.data(), numQubits_, pp, qubit,
+                                  pool());
+        break;
+      case detail::GateKind::General:
+        detail::applySuperop1(rho_.data(), numQubits_, u, qubit, pool());
+        break;
+    }
+}
+
+void
+DensityMatrix::applyDiag1(const Complex *d, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("DensityMatrix::applyDiag1: qubit out of range");
+    detail::applySuperopDiag1(rho_.data(), numQubits_, d, qubit, pool());
+}
+
+void
+DensityMatrix::applyGate2(const Complex *u, int q0, int q1)
+{
+    if (q0 < 0 || q1 < 0 || q0 >= numQubits_ || q1 >= numQubits_ ||
+        q0 == q1) {
+        panic("DensityMatrix::applyGate2: invalid qubits");
+    }
+    Complex d[4];
+    detail::PermPhase pp;
+    switch (detail::classifyGate(u, 4, d, pp)) {
+      case detail::GateKind::Diagonal:
+        detail::applySuperopDiag2(rho_.data(), numQubits_, d, q0, q1,
+                                  pool());
+        break;
+      case detail::GateKind::PermPhase:
+        detail::applySuperopPerm2(rho_.data(), numQubits_, pp, q0, q1,
+                                  pool());
+        break;
+      case detail::GateKind::General:
+        detail::applySuperop2(rho_.data(), numQubits_, u, q0, q1, pool());
+        break;
+    }
+}
+
+void
+DensityMatrix::applyDiag2(const Complex *d, int q0, int q1)
+{
+    if (q0 < 0 || q1 < 0 || q0 >= numQubits_ || q1 >= numQubits_ ||
+        q0 == q1) {
+        panic("DensityMatrix::applyDiag2: invalid qubits");
+    }
+    detail::applySuperopDiag2(rho_.data(), numQubits_, d, q0, q1, pool());
+}
+
+void
 DensityMatrix::applyUnitary(const CMatrix &u, const std::vector<int> &qubits)
 {
     for (int q : qubits)
         if (q < 0 || q >= numQubits_)
             panic("DensityMatrix::applyUnitary: qubit out of range");
+    const std::size_t k = qubits.size();
+    if (k == 1) {
+        const Complex m[4] = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+        applyGate1(m, qubits[0]);
+        return;
+    }
+    if (k == 2) {
+        Complex m[16];
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                m[r * 4 + c] = u(r, c);
+        applyGate2(m, qubits[0], qubits[1]);
+        return;
+    }
+    // k >= 3 never occurs on hot paths; fall back to the two-pass
+    // reference kernel (ket bank, then conj(U) on the bra bank).
     const uint64_t full = uint64_t{1} << (2 * numQubits_);
-    // Ket bank.
     detail::applyOperatorKernel(rho_, full, u, qubits);
-    // Bra bank: conj(U) on the column bits.
     std::vector<int> bra(qubits.size());
     for (std::size_t i = 0; i < qubits.size(); ++i)
         bra[i] = qubits[i] + numQubits_;
@@ -59,16 +153,30 @@ DensityMatrix::applyChannel(const KrausChannel &ch,
 {
     if (static_cast<int>(qubits.size()) != ch.arity)
         panic("DensityMatrix::applyChannel: arity mismatch");
-    if (ch.ops.size() == 1) {
-        // Single Kraus operator: apply in place (may be non-unitary).
-        const uint64_t full = uint64_t{1} << (2 * numQubits_);
-        std::vector<int> bra(qubits.size());
-        for (std::size_t i = 0; i < qubits.size(); ++i)
-            bra[i] = qubits[i] + numQubits_;
-        detail::applyOperatorKernel(rho_, full, ch.ops[0], qubits);
-        detail::applyOperatorKernel(rho_, full, ch.ops[0].conjugate(), bra);
+    if (ch.ops.empty())
+        panic("DensityMatrix::applyChannel: empty channel");
+    for (int q : qubits)
+        if (q < 0 || q >= numQubits_)
+            panic("DensityMatrix::applyChannel: qubit out of range");
+    // Fused path: gather each (ket, bra) block once and apply the
+    // channel's precomputed superoperator matrix in place — no full-rho
+    // copy per operator, no conjugate allocations, and a flop count
+    // independent of how many Kraus operators the channel has.
+    if (ch.arity == 1) {
+        // The 4x4 superoperator is a 2-"qubit" gate over the ket bit
+        // and the bra bit of the vectorized rho.
+        detail::applyGate2(rho_.data(), uint64_t{1} << (2 * numQubits_),
+                           ch.superopMatrix().data(), qubits[0],
+                           qubits[0] + numQubits_, pool());
         return;
     }
+    if (ch.arity == 2) {
+        detail::applySuperopMat2(rho_.data(), numQubits_,
+                                 ch.superopMatrix().data(), qubits[0],
+                                 qubits[1], pool());
+        return;
+    }
+    // Reference path for arities the fused kernels do not cover.
     const uint64_t full = uint64_t{1} << (2 * numQubits_);
     std::vector<int> bra(qubits.size());
     for (std::size_t i = 0; i < qubits.size(); ++i)
@@ -84,6 +192,91 @@ DensityMatrix::applyChannel(const KrausChannel &ch,
     rho_ = std::move(acc);
 }
 
+namespace {
+
+// Hot-loop workers for the analytic noise fast paths; see shardBlocks()
+// in kernel.h for why these live outside the forwarding lambdas.
+
+void
+depolarizing1qRange(Complex *rho, uint64_t b, uint64_t e, double lambda,
+                    uint64_t kBit, uint64_t bBit)
+{
+    const double keep = 1.0 - lambda;
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    detail::forAnchorRuns<2>(b, e, lows,
+                             [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            // Block elements: (ket bit, bra bit) in {0,1}^2.
+            const uint64_t i00 = start + r;
+            const uint64_t i10 = i00 + kBit;
+            const uint64_t i01 = i00 + bBit;
+            const uint64_t i11 = i10 + bBit;
+            Complex d0 = rho[i00], d1 = rho[i11];
+            Complex avg = 0.5 * (d0 + d1);
+            rho[i00] = keep * d0 + lambda * avg;
+            rho[i11] = keep * d1 + lambda * avg;
+            rho[i10] *= keep;
+            rho[i01] *= keep;
+        }
+    });
+}
+
+void
+depolarizing2qRange(Complex *rho, uint64_t b, uint64_t e, double lambda,
+                    uint64_t kA, uint64_t kB, uint64_t bA, uint64_t bB)
+{
+    const double keep = 1.0 - lambda;
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? kA : 0) | (j & 2 ? kB : 0);
+        braOff[j] = (j & 1 ? bA : 0) | (j & 2 ? bB : 0);
+    }
+    const uint64_t lows[4] = {
+        std::min(kA, kB) - 1, std::max(kA, kB) - 1,
+        std::min(bA, bB) - 1, std::max(bA, bB) - 1};
+    detail::forAnchorRuns<4>(b, e, lows,
+                             [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            Complex tr(0, 0);
+            for (int s = 0; s < 4; ++s)
+                tr += rho[i + ketOff[s] + braOff[s]];
+            Complex mix = 0.25 * lambda * tr;
+            for (int ks = 0; ks < 4; ++ks) {
+                for (int bs = 0; bs < 4; ++bs) {
+                    Complex &v = rho[i + ketOff[ks] + braOff[bs]];
+                    v *= keep;
+                    if (ks == bs)
+                        v += mix;
+                }
+            }
+        }
+    });
+}
+
+void
+thermalRange(Complex *rho, uint64_t b, uint64_t e, double gamma,
+             double coherence, uint64_t kBit, uint64_t bBit)
+{
+    const double keepPop = 1.0 - gamma;
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    detail::forAnchorRuns<2>(b, e, lows,
+                             [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i00 = start + r;
+            const uint64_t i10 = i00 + kBit;
+            const uint64_t i01 = i00 + bBit;
+            const uint64_t i11 = i10 + bBit;
+            rho[i00] += gamma * rho[i11];
+            rho[i11] *= keepPop;
+            rho[i10] *= coherence;
+            rho[i01] *= coherence;
+        }
+    });
+}
+
+} // namespace
+
 void
 DensityMatrix::applyDepolarizing1q(double lambda, int qubit)
 {
@@ -91,26 +284,13 @@ DensityMatrix::applyDepolarizing1q(double lambda, int qubit)
         panic("applyDepolarizing1q: qubit out of range");
     if (lambda <= 0.0)
         return;
-    const uint64_t d = dim();
     const uint64_t kBit = uint64_t{1} << qubit;           // ket bank
     const uint64_t bBit = uint64_t{1} << (qubit + numQubits_); // bra bank
-    const double keep = 1.0 - lambda;
-    const uint64_t full = d * d;
-    for (uint64_t i = 0; i < full; ++i) {
-        if (i & (kBit | bBit))
-            continue; // enumerate block anchors only
-        // Block elements: (ket bit, bra bit) in {0,1}^2.
-        uint64_t i00 = i;
-        uint64_t i10 = i | kBit;
-        uint64_t i01 = i | bBit;
-        uint64_t i11 = i | kBit | bBit;
-        Complex d0 = rho_[i00], d1 = rho_[i11];
-        Complex avg = 0.5 * (d0 + d1);
-        rho_[i00] = keep * d0 + lambda * avg;
-        rho_[i11] = keep * d1 + lambda * avg;
-        rho_[i10] *= keep;
-        rho_[i01] *= keep;
-    }
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 2;
+    Complex *rho = rho_.data();
+    detail::shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        depolarizing1qRange(rho, b, e, lambda, kBit, bBit);
+    });
 }
 
 void
@@ -122,46 +302,15 @@ DensityMatrix::applyDepolarizing2q(double lambda, int qubitA, int qubitB)
     }
     if (lambda <= 0.0)
         return;
-    const uint64_t d = dim();
     const uint64_t kA = uint64_t{1} << qubitA;
     const uint64_t kB = uint64_t{1} << qubitB;
     const uint64_t bA = uint64_t{1} << (qubitA + numQubits_);
     const uint64_t bB = uint64_t{1} << (qubitB + numQubits_);
-    const uint64_t blockMask = kA | kB | bA | bB;
-    const double keep = 1.0 - lambda;
-    const uint64_t full = d * d;
-    for (uint64_t i = 0; i < full; ++i) {
-        if (i & blockMask)
-            continue;
-        // Gather the 4x4 sub-block over (ket sub-index, bra sub-index).
-        uint64_t idx[4][4];
-        for (int ks = 0; ks < 4; ++ks) {
-            for (int bs = 0; bs < 4; ++bs) {
-                uint64_t j = i;
-                if (ks & 1)
-                    j |= kA;
-                if (ks & 2)
-                    j |= kB;
-                if (bs & 1)
-                    j |= bA;
-                if (bs & 2)
-                    j |= bB;
-                idx[ks][bs] = j;
-            }
-        }
-        Complex tr(0, 0);
-        for (int s = 0; s < 4; ++s)
-            tr += rho_[idx[s][s]];
-        Complex mix = 0.25 * lambda * tr;
-        for (int ks = 0; ks < 4; ++ks) {
-            for (int bs = 0; bs < 4; ++bs) {
-                Complex &v = rho_[idx[ks][bs]];
-                v *= keep;
-                if (ks == bs)
-                    v += mix;
-            }
-        }
-    }
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 4;
+    Complex *rho = rho_.data();
+    detail::shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        depolarizing2qRange(rho, b, e, lambda, kA, kB, bA, bB);
+    });
 }
 
 void
@@ -170,23 +319,13 @@ DensityMatrix::applyThermalRelaxation(int qubit, double gamma,
 {
     if (qubit < 0 || qubit >= numQubits_)
         panic("applyThermalRelaxation: qubit out of range");
-    const uint64_t d = dim();
     const uint64_t kBit = uint64_t{1} << qubit;
     const uint64_t bBit = uint64_t{1} << (qubit + numQubits_);
-    const uint64_t full = d * d;
-    const double keepPop = 1.0 - gamma;
-    for (uint64_t i = 0; i < full; ++i) {
-        if (i & (kBit | bBit))
-            continue;
-        uint64_t i00 = i;
-        uint64_t i10 = i | kBit;
-        uint64_t i01 = i | bBit;
-        uint64_t i11 = i | kBit | bBit;
-        rho_[i00] += gamma * rho_[i11];
-        rho_[i11] *= keepPop;
-        rho_[i10] *= coherence;
-        rho_[i01] *= coherence;
-    }
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 2;
+    Complex *rho = rho_.data();
+    detail::shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        thermalRange(rho, b, e, gamma, coherence, kBit, bBit);
+    });
 }
 
 Complex

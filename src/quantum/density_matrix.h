@@ -26,6 +26,7 @@ namespace eqc {
 
 class PauliString;
 class Statevector;
+class TaskPool;
 
 /** Mixed-state simulator over n qubits (n <= 13). */
 class DensityMatrix
@@ -47,6 +48,26 @@ class DensityMatrix
 
     /** Apply a unitary on the given qubits: rho -> U rho U^dagger. */
     void applyUnitary(const CMatrix &u, const std::vector<int> &qubits);
+
+    /// @name Allocation-free apply paths
+    /// Raw-entry twins of applyUnitary used by precompiled execution
+    /// plans: the caller hands the unitary's entries directly (the
+    /// gateEntries() layout), skipping CMatrix construction.
+    /// @{
+
+    /** 1q unitary from row-major entries {u00, u01, u10, u11}. */
+    void applyGate1(const Complex *u, int qubit);
+
+    /** 1q diagonal unitary diag(d[0], d[1]). */
+    void applyDiag1(const Complex *d, int qubit);
+
+    /** 2q unitary from row-major 4x4 entries (bit 0 -> @p q0). */
+    void applyGate2(const Complex *u, int q0, int q1);
+
+    /** 2q diagonal unitary diag(d[0..3]). */
+    void applyDiag2(const Complex *d, int q0, int q1);
+
+    /// @}
 
     /** Apply a Kraus channel: rho -> sum_k K rho K^dagger. */
     void applyChannel(const KrausChannel &ch, const std::vector<int> &qubits);
@@ -85,9 +106,19 @@ class DensityMatrix
     /** Tr(rho^2); 1 for pure states, 1/2^n for maximally mixed. */
     double purity() const;
 
+    /**
+     * Pool used for block-parallel apply (null: the shared pool).
+     * Results are bit-identical for every pool size — blocks are
+     * disjoint — so this only trades wall-clock time.
+     */
+    void setTaskPool(TaskPool *pool) { pool_ = pool; }
+
   private:
+    TaskPool *pool() const;
+
     int numQubits_;
     CVector rho_;
+    mutable TaskPool *pool_ = nullptr;
 };
 
 } // namespace eqc

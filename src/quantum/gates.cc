@@ -1,5 +1,6 @@
 #include "quantum/gates.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -91,41 +92,155 @@ namespace {
 
 const Complex kI(0.0, 1.0);
 
-CMatrix
-rx(double theta)
-{
-    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
-    return CMatrix(2, 2, {c, -kI * s, -kI * s, c});
-}
-
-CMatrix
-ry(double theta)
-{
-    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
-    return CMatrix(2, 2, {c, -s, s, c});
-}
-
-CMatrix
-rz(double theta)
-{
-    Complex em = std::exp(-kI * (theta / 2.0));
-    Complex ep = std::exp(kI * (theta / 2.0));
-    return CMatrix(2, 2, {em, 0.0, 0.0, ep});
-}
-
-CMatrix
-u3(double theta, double phi, double lambda)
-{
-    // U3(theta, phi, lambda) = RZ(phi) RY(theta) RZ(lambda) up to global
-    // phase; we use the OpenQASM convention with u3(0,0,0) == I.
-    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
-    return CMatrix(2, 2,
-                   {c, -std::exp(kI * lambda) * s,
-                    std::exp(kI * phi) * s,
-                    std::exp(kI * (phi + lambda)) * c});
-}
-
 } // namespace
+
+bool
+isDiagonalGate(GateType type)
+{
+    switch (type) {
+      case GateType::ID:
+      case GateType::Z:
+      case GateType::S:
+      case GateType::SDG:
+      case GateType::T:
+      case GateType::TDG:
+      case GateType::RZ:
+      case GateType::CZ:
+      case GateType::RZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+gateEntries(GateType type, const double *angles, Complex *out)
+{
+    switch (type) {
+      case GateType::ID:
+        out[0] = 1.0;
+        out[1] = 1.0;
+        return 2;
+      case GateType::X:
+        out[0] = 0.0;
+        out[1] = 1.0;
+        out[2] = 1.0;
+        out[3] = 0.0;
+        return 2;
+      case GateType::Y:
+        out[0] = 0.0;
+        out[1] = -kI;
+        out[2] = kI;
+        out[3] = 0.0;
+        return 2;
+      case GateType::Z:
+        out[0] = 1.0;
+        out[1] = -1.0;
+        return 2;
+      case GateType::H: {
+        double r = 1.0 / std::sqrt(2.0);
+        out[0] = r;
+        out[1] = r;
+        out[2] = r;
+        out[3] = -r;
+        return 2;
+      }
+      case GateType::S:
+        out[0] = 1.0;
+        out[1] = kI;
+        return 2;
+      case GateType::SDG:
+        out[0] = 1.0;
+        out[1] = -kI;
+        return 2;
+      case GateType::T:
+        out[0] = 1.0;
+        out[1] = std::exp(kI * (kPi / 4.0));
+        return 2;
+      case GateType::TDG:
+        out[0] = 1.0;
+        out[1] = std::exp(-kI * (kPi / 4.0));
+        return 2;
+      case GateType::SX: {
+        // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+        Complex a(0.5, 0.5), b(0.5, -0.5);
+        out[0] = a;
+        out[1] = b;
+        out[2] = b;
+        out[3] = a;
+        return 2;
+      }
+      case GateType::RX: {
+        double c = std::cos(angles[0] / 2.0);
+        double s = std::sin(angles[0] / 2.0);
+        out[0] = c;
+        out[1] = -kI * s;
+        out[2] = -kI * s;
+        out[3] = c;
+        return 2;
+      }
+      case GateType::RY: {
+        double c = std::cos(angles[0] / 2.0);
+        double s = std::sin(angles[0] / 2.0);
+        out[0] = c;
+        out[1] = -s;
+        out[2] = s;
+        out[3] = c;
+        return 2;
+      }
+      case GateType::RZ:
+        out[0] = std::exp(-kI * (angles[0] / 2.0));
+        out[1] = std::exp(kI * (angles[0] / 2.0));
+        return 2;
+      case GateType::U3: {
+        // U3(theta, phi, lambda) = RZ(phi) RY(theta) RZ(lambda) up to
+        // global phase; OpenQASM convention with u3(0,0,0) == I.
+        double c = std::cos(angles[0] / 2.0);
+        double s = std::sin(angles[0] / 2.0);
+        out[0] = c;
+        out[1] = -std::exp(kI * angles[2]) * s;
+        out[2] = std::exp(kI * angles[1]) * s;
+        out[3] = std::exp(kI * (angles[1] + angles[2])) * c;
+        return 2;
+      }
+      case GateType::CX:
+        // Sub-index j = control + 2*target: control set flips target.
+        // j=1 (c=1,t=0) <-> j=3 (c=1,t=1).
+        std::fill(out, out + 16, Complex(0, 0));
+        out[0 * 4 + 0] = 1.0;
+        out[2 * 4 + 2] = 1.0;
+        out[1 * 4 + 3] = 1.0;
+        out[3 * 4 + 1] = 1.0;
+        return 4;
+      case GateType::CZ:
+        out[0] = 1.0;
+        out[1] = 1.0;
+        out[2] = 1.0;
+        out[3] = -1.0;
+        return 4;
+      case GateType::SWAP:
+        std::fill(out, out + 16, Complex(0, 0));
+        out[0 * 4 + 0] = 1.0;
+        out[3 * 4 + 3] = 1.0;
+        out[1 * 4 + 2] = 1.0;
+        out[2 * 4 + 1] = 1.0;
+        return 4;
+      case GateType::RZZ: {
+        // exp(-i theta/2 Z(x)Z): diagonal phases by parity of the bits.
+        Complex em = std::exp(-kI * (angles[0] / 2.0));
+        Complex ep = std::exp(kI * (angles[0] / 2.0));
+        out[0] = em;
+        out[1] = ep;
+        out[2] = ep;
+        out[3] = em;
+        return 4;
+      }
+      case GateType::MEASURE:
+      case GateType::BARRIER:
+        panic("gateEntries: " + gateName(type) + " has no unitary");
+    }
+    panic("gateEntries: unknown gate type");
+}
 
 CMatrix
 gateMatrix(GateType type, const std::vector<double> &params)
@@ -134,79 +249,18 @@ gateMatrix(GateType type, const std::vector<double> &params)
     if (static_cast<int>(params.size()) != want)
         panic("gateMatrix: wrong parameter count for gate " +
               gateName(type));
-    switch (type) {
-      case GateType::ID:
-        return CMatrix::identity(2);
-      case GateType::X:
-        return CMatrix(2, 2, {0.0, 1.0, 1.0, 0.0});
-      case GateType::Y:
-        return CMatrix(2, 2, {0.0, -kI, kI, 0.0});
-      case GateType::Z:
-        return CMatrix(2, 2, {1.0, 0.0, 0.0, -1.0});
-      case GateType::H: {
-        double r = 1.0 / std::sqrt(2.0);
-        return CMatrix(2, 2, {r, r, r, -r});
-      }
-      case GateType::S:
-        return CMatrix(2, 2, {1.0, 0.0, 0.0, kI});
-      case GateType::SDG:
-        return CMatrix(2, 2, {1.0, 0.0, 0.0, -kI});
-      case GateType::T:
-        return CMatrix(2, 2, {1.0, 0.0, 0.0, std::exp(kI * (kPi / 4.0))});
-      case GateType::TDG:
-        return CMatrix(2, 2, {1.0, 0.0, 0.0, std::exp(-kI * (kPi / 4.0))});
-      case GateType::SX: {
-        // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
-        Complex a(0.5, 0.5), b(0.5, -0.5);
-        return CMatrix(2, 2, {a, b, b, a});
-      }
-      case GateType::RX:
-        return rx(params[0]);
-      case GateType::RY:
-        return ry(params[0]);
-      case GateType::RZ:
-        return rz(params[0]);
-      case GateType::U3:
-        return u3(params[0], params[1], params[2]);
-      case GateType::CX: {
-        // Sub-index j = control + 2*target: control set flips target.
-        // j=1 (c=1,t=0) <-> j=3 (c=1,t=1).
-        CMatrix m(4, 4);
-        m(0, 0) = 1.0;
-        m(2, 2) = 1.0;
-        m(1, 3) = 1.0;
-        m(3, 1) = 1.0;
-        return m;
-      }
-      case GateType::CZ: {
-        CMatrix m = CMatrix::identity(4);
-        m(3, 3) = -1.0;
-        return m;
-      }
-      case GateType::SWAP: {
-        CMatrix m(4, 4);
-        m(0, 0) = 1.0;
-        m(3, 3) = 1.0;
-        m(1, 2) = 1.0;
-        m(2, 1) = 1.0;
-        return m;
-      }
-      case GateType::RZZ: {
-        // exp(-i theta/2 Z(x)Z): diagonal phases by parity of the two bits.
-        Complex em = std::exp(-kI * (params[0] / 2.0));
-        Complex ep = std::exp(kI * (params[0] / 2.0));
-        CMatrix m(4, 4);
-        m(0, 0) = em;
-        m(1, 1) = ep;
-        m(2, 2) = ep;
-        m(3, 3) = em;
-        return m;
-      }
-      case GateType::MEASURE:
-      case GateType::BARRIER:
-        panic("gateMatrix: " + gateName(type) + " has no unitary");
+    Complex entries[16];
+    int sub = gateEntries(type, params.data(), entries);
+    CMatrix m(sub, sub);
+    if (isDiagonalGate(type)) {
+        for (int j = 0; j < sub; ++j)
+            m(j, j) = entries[j];
+    } else {
+        for (int r = 0; r < sub; ++r)
+            for (int c = 0; c < sub; ++c)
+                m(r, c) = entries[r * sub + c];
     }
-    panic("gateMatrix: unknown gate type");
+    return m;
 }
 
 bool

@@ -64,6 +64,25 @@ GateType gateFromName(const std::string &name);
  */
 CMatrix gateMatrix(GateType type, const std::vector<double> &params = {});
 
+/**
+ * Write the unitary's entries into @p out without allocating.
+ *
+ * For non-diagonal gates @p out receives the full row-major matrix
+ * (4 entries for 1q gates, 16 for 2q). For diagonal gates (see
+ * isDiagonalGate) only the diagonal is written: out[0..sub). This is
+ * the allocation-free twin of gateMatrix() used by the execution plan's
+ * inner loop; gateMatrix() is implemented on top of it.
+ *
+ * @param type gate type (MEASURE/BARRIER are not valid here)
+ * @param angles rotation angles, gateParamCount(type) entries (may be
+ *        null when the gate takes none)
+ * @return the sub-dimension (2 for 1q gates, 4 for 2q gates)
+ */
+int gateEntries(GateType type, const double *angles, Complex *out);
+
+/** True for gates whose unitary is diagonal (ID/Z/S/SDG/T/TDG/RZ/CZ/RZZ). */
+bool isDiagonalGate(GateType type);
+
 /** True for gates in the IBMQ native basis {CX, ID, RZ, SX, X}. */
 bool isBasisGate(GateType type);
 

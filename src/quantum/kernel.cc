@@ -1,0 +1,624 @@
+#include "quantum/kernel.h"
+
+#include <algorithm>
+
+#include "common/task_pool.h"
+
+namespace eqc {
+namespace detail {
+
+// Every kernel below follows the same two-layer shape: a standalone
+// *worker* owning the hot loop (all operands copied into locals whose
+// addresses never escape, so the compiler keeps them in registers), and
+// a thin dispatcher that either calls the worker inline or hands the
+// pool a by-value forwarding lambda. See shardBlocks() in kernel.h for
+// why the hot loop must not live inside the lambda itself.
+
+namespace {
+
+void
+gate1Range(Complex *amp, uint64_t b, uint64_t e, const Complex *uIn,
+           uint64_t step)
+{
+    const Complex u00 = uIn[0], u01 = uIn[1];
+    const Complex u10 = uIn[2], u11 = uIn[3];
+    const uint64_t lows[1] = {step - 1};
+    forAnchorRuns<1>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i0 = start + r;
+            const uint64_t i1 = i0 + step;
+            const Complex a0 = amp[i0], a1 = amp[i1];
+            amp[i0] = u00 * a0 + u01 * a1;
+            amp[i1] = u10 * a0 + u11 * a1;
+        }
+    });
+}
+
+void
+diag1Range(Complex *amp, uint64_t b, uint64_t e, Complex d0, Complex d1,
+           uint64_t step)
+{
+    const uint64_t lows[1] = {step - 1};
+    forAnchorRuns<1>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            amp[start + r] *= d0;
+            amp[start + r + step] *= d1;
+        }
+    });
+}
+
+void
+gate2Range(Complex *amp, uint64_t b, uint64_t e, const Complex *uIn,
+           uint64_t m0, uint64_t m1)
+{
+    Complex u[16];
+    for (int j = 0; j < 16; ++j)
+        u[j] = uIn[j];
+    const uint64_t lows[2] = {std::min(m0, m1) - 1, std::max(m0, m1) - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i0 = start + r;
+            const uint64_t i1 = i0 + m0;
+            const uint64_t i2 = i0 + m1;
+            const uint64_t i3 = i1 + m1;
+            const Complex g0 = amp[i0], g1 = amp[i1];
+            const Complex g2 = amp[i2], g3 = amp[i3];
+            amp[i0] = u[0] * g0 + u[1] * g1 + u[2] * g2 + u[3] * g3;
+            amp[i1] = u[4] * g0 + u[5] * g1 + u[6] * g2 + u[7] * g3;
+            amp[i2] = u[8] * g0 + u[9] * g1 + u[10] * g2 + u[11] * g3;
+            amp[i3] = u[12] * g0 + u[13] * g1 + u[14] * g2 + u[15] * g3;
+        }
+    });
+}
+
+void
+diag2Range(Complex *amp, uint64_t b, uint64_t e, const Complex *dIn,
+           uint64_t m0, uint64_t m1)
+{
+    const Complex d0 = dIn[0], d1 = dIn[1], d2 = dIn[2], d3 = dIn[3];
+    const uint64_t lows[2] = {std::min(m0, m1) - 1, std::max(m0, m1) - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i0 = start + r;
+            amp[i0] *= d0;
+            amp[i0 + m0] *= d1;
+            amp[i0 + m1] *= d2;
+            amp[i0 + m0 + m1] *= d3;
+        }
+    });
+}
+
+void
+superop1Range(Complex *rho, uint64_t b, uint64_t e, const Complex *uIn,
+              uint64_t kBit, uint64_t bBit)
+{
+    const Complex u00 = uIn[0], u01 = uIn[1];
+    const Complex u10 = uIn[2], u11 = uIn[3];
+    const Complex c00 = std::conj(u00), c01 = std::conj(u01);
+    const Complex c10 = std::conj(u10), c11 = std::conj(u11);
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            const uint64_t iK = i + kBit;
+            const uint64_t iB = i + bBit;
+            const uint64_t iKB = iK + bBit;
+            // Block blk[r][s] over (ket sub-index r, bra sub-index s).
+            const Complex b00 = rho[i], b01 = rho[iB];
+            const Complex b10 = rho[iK], b11 = rho[iKB];
+            // rho' = U blk U^dagger in one pass.
+            const Complex t00 = u00 * b00 + u01 * b10;
+            const Complex t01 = u00 * b01 + u01 * b11;
+            const Complex t10 = u10 * b00 + u11 * b10;
+            const Complex t11 = u10 * b01 + u11 * b11;
+            rho[i] = t00 * c00 + t01 * c01;
+            rho[iB] = t00 * c10 + t01 * c11;
+            rho[iK] = t10 * c00 + t11 * c01;
+            rho[iKB] = t10 * c10 + t11 * c11;
+        }
+    });
+}
+
+void
+superopDiag1Range(Complex *rho, uint64_t b, uint64_t e, Complex d0,
+                  Complex d1, uint64_t kBit, uint64_t bBit)
+{
+    const Complex f00 = d0 * std::conj(d0);
+    const Complex f01 = d0 * std::conj(d1);
+    const Complex f10 = d1 * std::conj(d0);
+    const Complex f11 = d1 * std::conj(d1);
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            rho[i] *= f00;
+            rho[i + bBit] *= f01;
+            rho[i + kBit] *= f10;
+            rho[i + kBit + bBit] *= f11;
+        }
+    });
+}
+
+void
+superop2Range(Complex *rho, uint64_t b, uint64_t e, const Complex *uIn,
+              uint64_t mk0, uint64_t mk1, uint64_t mb0, uint64_t mb1)
+{
+    Complex u[16], cu[16];
+    for (int j = 0; j < 16; ++j) {
+        u[j] = uIn[j];
+        cu[j] = std::conj(uIn[j]);
+    }
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? mk0 : 0) | (j & 2 ? mk1 : 0);
+        braOff[j] = (j & 1 ? mb0 : 0) | (j & 2 ? mb1 : 0);
+    }
+    uint64_t lows[4] = {std::min(mk0, mk1) - 1, std::max(mk0, mk1) - 1,
+                        std::min(mb0, mb1) - 1, std::max(mb0, mb1) - 1};
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        Complex blk[4][4], tmp[4][4];
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int r = 0; r < 4; ++r)
+                for (int s = 0; s < 4; ++s)
+                    blk[r][s] = rho[i + ketOff[r] + braOff[s]];
+            // tmp = U blk, then rho' = tmp U^dagger.
+            for (int r = 0; r < 4; ++r) {
+                const Complex *ur = u + 4 * r;
+                for (int s = 0; s < 4; ++s) {
+                    tmp[r][s] = ur[0] * blk[0][s] + ur[1] * blk[1][s] +
+                                ur[2] * blk[2][s] + ur[3] * blk[3][s];
+                }
+            }
+            for (int r = 0; r < 4; ++r) {
+                for (int s = 0; s < 4; ++s) {
+                    const Complex *cs = cu + 4 * s;
+                    rho[i + ketOff[r] + braOff[s]] =
+                        tmp[r][0] * cs[0] + tmp[r][1] * cs[1] +
+                        tmp[r][2] * cs[2] + tmp[r][3] * cs[3];
+                }
+            }
+        }
+    });
+}
+
+void
+superopDiag2Range(Complex *rho, uint64_t b, uint64_t e, const Complex *dIn,
+                  uint64_t mk0, uint64_t mk1, uint64_t mb0, uint64_t mb1)
+{
+    uint64_t off[4][4];
+    Complex f[4][4];
+    for (int r = 0; r < 4; ++r) {
+        for (int s = 0; s < 4; ++s) {
+            off[r][s] = ((r & 1 ? mk0 : 0) | (r & 2 ? mk1 : 0)) +
+                        ((s & 1 ? mb0 : 0) | (s & 2 ? mb1 : 0));
+            f[r][s] = dIn[r] * std::conj(dIn[s]);
+        }
+    }
+    uint64_t lows[4] = {std::min(mk0, mk1) - 1, std::max(mk0, mk1) - 1,
+                        std::min(mb0, mb1) - 1, std::max(mb0, mb1) - 1};
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int r = 0; r < 4; ++r)
+                for (int s = 0; s < 4; ++s)
+                    rho[i + off[r][s]] *= f[r][s];
+        }
+    });
+}
+
+void
+permPhase1Range(Complex *amp, uint64_t b, uint64_t e, Complex p0,
+                Complex p1, bool unit, uint64_t step)
+{
+    // 1q non-diagonal permutation is always the swap {1, 0}.
+    const uint64_t lows[1] = {step - 1};
+    forAnchorRuns<1>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        if (unit) {
+            for (uint64_t r = 0; r < run; ++r) {
+                const uint64_t i0 = start + r;
+                std::swap(amp[i0], amp[i0 + step]);
+            }
+        } else {
+            for (uint64_t r = 0; r < run; ++r) {
+                const uint64_t i0 = start + r;
+                const Complex a0 = amp[i0], a1 = amp[i0 + step];
+                amp[i0] = p0 * a1;
+                amp[i0 + step] = p1 * a0;
+            }
+        }
+    });
+}
+
+void
+permPhase2Range(Complex *amp, uint64_t b, uint64_t e, PermPhase pp,
+                uint64_t m0, uint64_t m1)
+{
+    uint64_t off[4];
+    for (int j = 0; j < 4; ++j)
+        off[j] = (j & 1 ? m0 : 0) + (j & 2 ? m1 : 0);
+    const uint64_t lows[2] = {std::min(m0, m1) - 1, std::max(m0, m1) - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        if (pp.unitPhases) {
+            for (uint64_t r = 0; r < run; ++r) {
+                const uint64_t i = start + r;
+                const Complex g0 = amp[i + off[pp.perm[0]]];
+                const Complex g1 = amp[i + off[pp.perm[1]]];
+                const Complex g2 = amp[i + off[pp.perm[2]]];
+                const Complex g3 = amp[i + off[pp.perm[3]]];
+                amp[i + off[0]] = g0;
+                amp[i + off[1]] = g1;
+                amp[i + off[2]] = g2;
+                amp[i + off[3]] = g3;
+            }
+        } else {
+            for (uint64_t r = 0; r < run; ++r) {
+                const uint64_t i = start + r;
+                const Complex g0 = amp[i + off[pp.perm[0]]];
+                const Complex g1 = amp[i + off[pp.perm[1]]];
+                const Complex g2 = amp[i + off[pp.perm[2]]];
+                const Complex g3 = amp[i + off[pp.perm[3]]];
+                amp[i + off[0]] = pp.phase[0] * g0;
+                amp[i + off[1]] = pp.phase[1] * g1;
+                amp[i + off[2]] = pp.phase[2] * g2;
+                amp[i + off[3]] = pp.phase[3] * g3;
+            }
+        }
+    });
+}
+
+void
+superopPerm1Range(Complex *rho, uint64_t b, uint64_t e, Complex p0,
+                  Complex p1, bool unit, uint64_t kBit, uint64_t bBit)
+{
+    // Perm is the swap: block entry (r, s) <- f[r][s] * entry (1-r, 1-s).
+    const Complex f00 = p0 * std::conj(p0);
+    const Complex f01 = p0 * std::conj(p1);
+    const Complex f10 = p1 * std::conj(p0);
+    const Complex f11 = p1 * std::conj(p1);
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        if (unit) {
+            for (uint64_t r = 0; r < run; ++r) {
+                const uint64_t i = start + r;
+                std::swap(rho[i], rho[i + kBit + bBit]);
+                std::swap(rho[i + kBit], rho[i + bBit]);
+            }
+        } else {
+            for (uint64_t r = 0; r < run; ++r) {
+                const uint64_t i = start + r;
+                const Complex b00 = rho[i], b01 = rho[i + bBit];
+                const Complex b10 = rho[i + kBit];
+                const Complex b11 = rho[i + kBit + bBit];
+                rho[i] = f00 * b11;
+                rho[i + bBit] = f01 * b10;
+                rho[i + kBit] = f10 * b01;
+                rho[i + kBit + bBit] = f11 * b00;
+            }
+        }
+    });
+}
+
+void
+superopPerm2Range(Complex *rho, uint64_t b, uint64_t e, PermPhase pp,
+                  uint64_t mk0, uint64_t mk1, uint64_t mb0, uint64_t mb1)
+{
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? mk0 : 0) | (j & 2 ? mk1 : 0);
+        braOff[j] = (j & 1 ? mb0 : 0) | (j & 2 ? mb1 : 0);
+    }
+    // Destination offset and source offset per block slot, plus the
+    // phase factor phase[r] * conj(phase[s]).
+    uint64_t dst[16], src[16];
+    Complex f[16];
+    for (int r = 0; r < 4; ++r) {
+        for (int s = 0; s < 4; ++s) {
+            dst[r * 4 + s] = ketOff[r] + braOff[s];
+            src[r * 4 + s] = ketOff[pp.perm[r]] + braOff[pp.perm[s]];
+            f[r * 4 + s] = pp.phase[r] * std::conj(pp.phase[s]);
+        }
+    }
+    uint64_t lows[4] = {std::min(mk0, mk1) - 1, std::max(mk0, mk1) - 1,
+                        std::min(mb0, mb1) - 1, std::max(mb0, mb1) - 1};
+    const bool unit = pp.unitPhases;
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        Complex g[16];
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int j = 0; j < 16; ++j)
+                g[j] = rho[i + src[j]];
+            if (unit) {
+                for (int j = 0; j < 16; ++j)
+                    rho[i + dst[j]] = g[j];
+            } else {
+                for (int j = 0; j < 16; ++j)
+                    rho[i + dst[j]] = f[j] * g[j];
+            }
+        }
+    });
+}
+
+void
+superopMat2Range(Complex *rho, uint64_t b, uint64_t e, const Complex *Sin,
+                 uint64_t mk0, uint64_t mk1, uint64_t mb0, uint64_t mb1)
+{
+    Complex S[256];
+    for (int j = 0; j < 256; ++j)
+        S[j] = Sin[j];
+    // Vector index v = ketSub + 4 * braSub: bit 0 -> mk0, bit 1 -> mk1,
+    // bit 2 -> mb0, bit 3 -> mb1.
+    uint64_t off[16];
+    for (int v = 0; v < 16; ++v)
+        off[v] = (v & 1 ? mk0 : 0) + (v & 2 ? mk1 : 0) +
+                 (v & 4 ? mb0 : 0) + (v & 8 ? mb1 : 0);
+    uint64_t lows[4] = {std::min(mk0, mk1) - 1, std::max(mk0, mk1) - 1,
+                        std::min(mb0, mb1) - 1, std::max(mb0, mb1) - 1};
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        Complex g[16];
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int v = 0; v < 16; ++v)
+                g[v] = rho[i + off[v]];
+            for (int vp = 0; vp < 16; ++vp) {
+                const Complex *row = S + 16 * vp;
+                Complex acc(0, 0);
+                for (int v = 0; v < 16; ++v)
+                    acc += row[v] * g[v];
+                rho[i + off[vp]] = acc;
+            }
+        }
+    });
+}
+
+} // namespace
+
+void
+applyGate1(Complex *amp, uint64_t dim, const Complex *u, int qubit,
+           TaskPool *pool)
+{
+    const uint64_t step = uint64_t{1} << qubit;
+    shardBlocks(pool, dim >> 1, [=](uint64_t b, uint64_t e) {
+        gate1Range(amp, b, e, u, step);
+    });
+}
+
+void
+applyDiag1(Complex *amp, uint64_t dim, Complex d0, Complex d1, int qubit,
+           TaskPool *pool)
+{
+    const uint64_t step = uint64_t{1} << qubit;
+    shardBlocks(pool, dim >> 1, [=](uint64_t b, uint64_t e) {
+        diag1Range(amp, b, e, d0, d1, step);
+    });
+}
+
+void
+applyGate2(Complex *amp, uint64_t dim, const Complex *u, int q0, int q1,
+           TaskPool *pool)
+{
+    const uint64_t m0 = uint64_t{1} << q0;
+    const uint64_t m1 = uint64_t{1} << q1;
+    shardBlocks(pool, dim >> 2, [=](uint64_t b, uint64_t e) {
+        gate2Range(amp, b, e, u, m0, m1);
+    });
+}
+
+void
+applyDiag2(Complex *amp, uint64_t dim, const Complex *d, int q0, int q1,
+           TaskPool *pool)
+{
+    const uint64_t m0 = uint64_t{1} << q0;
+    const uint64_t m1 = uint64_t{1} << q1;
+    shardBlocks(pool, dim >> 2, [=](uint64_t b, uint64_t e) {
+        diag2Range(amp, b, e, d, m0, m1);
+    });
+}
+
+bool
+isPermPhase(const Complex *u, int sub, PermPhase &out)
+{
+    bool unit = true;
+    for (int r = 0; r < sub; ++r) {
+        int col = -1;
+        for (int c = 0; c < sub; ++c) {
+            if (u[r * sub + c] != Complex(0, 0)) {
+                if (col >= 0)
+                    return false;
+                col = c;
+            }
+        }
+        if (col < 0)
+            return false;
+        out.perm[r] = col;
+        out.phase[r] = u[r * sub + col];
+        if (out.phase[r] != Complex(1, 0))
+            unit = false;
+    }
+    out.unitPhases = unit;
+    return true;
+}
+
+GateKind
+classifyGate(const Complex *u, int sub, Complex *diag, PermPhase &pp)
+{
+    bool isDiag = true;
+    for (int r = 0; r < sub && isDiag; ++r)
+        for (int c = 0; c < sub; ++c)
+            if (r != c && u[r * sub + c] != Complex(0, 0)) {
+                isDiag = false;
+                break;
+            }
+    if (isDiag) {
+        for (int j = 0; j < sub; ++j)
+            diag[j] = u[j * sub + j];
+        return GateKind::Diagonal;
+    }
+    if (isPermPhase(u, sub, pp))
+        return GateKind::PermPhase;
+    return GateKind::General;
+}
+
+void
+applyPermPhase1(Complex *amp, uint64_t dim, const PermPhase &pp, int qubit,
+                TaskPool *pool)
+{
+    const uint64_t step = uint64_t{1} << qubit;
+    const Complex p0 = pp.phase[0], p1 = pp.phase[1];
+    const bool unit = pp.unitPhases;
+    shardBlocks(pool, dim >> 1, [=](uint64_t b, uint64_t e) {
+        permPhase1Range(amp, b, e, p0, p1, unit, step);
+    });
+}
+
+void
+applyPermPhase2(Complex *amp, uint64_t dim, const PermPhase &pp, int q0,
+                int q1, TaskPool *pool)
+{
+    const uint64_t m0 = uint64_t{1} << q0;
+    const uint64_t m1 = uint64_t{1} << q1;
+    shardBlocks(pool, dim >> 2, [=](uint64_t b, uint64_t e) {
+        permPhase2Range(amp, b, e, pp, m0, m1);
+    });
+}
+
+void
+applyGateK(Complex *amp, uint64_t dim, const CMatrix &u, const int *qubits,
+           int k, KernelScratch &s)
+{
+    const std::size_t sub = std::size_t{1} << k;
+    if (u.rows() != sub || u.cols() != sub)
+        panic("applyGateK: matrix does not match qubit count");
+
+    s.masks.resize(k);
+    s.lowMasks.resize(k);
+    for (int m = 0; m < k; ++m) {
+        s.masks[m] = uint64_t{1} << qubits[m];
+        s.lowMasks[m] = s.masks[m] - 1;
+    }
+    // Deposits must run lowest-position first.
+    std::sort(s.lowMasks.begin(), s.lowMasks.end());
+
+    s.offsets.resize(sub);
+    for (std::size_t j = 0; j < sub; ++j) {
+        uint64_t off = 0;
+        for (int m = 0; m < k; ++m)
+            if (j & (std::size_t{1} << m))
+                off |= s.masks[m];
+        s.offsets[j] = off;
+    }
+
+    s.gathered.resize(sub);
+    const uint64_t nBlocks = dim >> k;
+    for (uint64_t t = 0; t < nBlocks; ++t) {
+        uint64_t i = t;
+        for (int m = 0; m < k; ++m)
+            i = depositZeroBit(i, s.lowMasks[m]);
+        for (std::size_t j = 0; j < sub; ++j)
+            s.gathered[j] = amp[i | s.offsets[j]];
+        for (std::size_t r = 0; r < sub; ++r) {
+            Complex acc(0, 0);
+            for (std::size_t c = 0; c < sub; ++c)
+                acc += u(r, c) * s.gathered[c];
+            amp[i | s.offsets[r]] = acc;
+        }
+    }
+}
+
+void
+applySuperop1(Complex *rho, int numQubits, const Complex *u, int qubit,
+              TaskPool *pool)
+{
+    const uint64_t dimSq = uint64_t{1} << (2 * numQubits);
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits);
+    shardBlocks(pool, dimSq >> 2, [=](uint64_t b, uint64_t e) {
+        superop1Range(rho, b, e, u, kBit, bBit);
+    });
+}
+
+void
+applySuperopDiag1(Complex *rho, int numQubits, const Complex *d, int qubit,
+                  TaskPool *pool)
+{
+    const uint64_t dimSq = uint64_t{1} << (2 * numQubits);
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits);
+    const Complex d0 = d[0], d1 = d[1];
+    shardBlocks(pool, dimSq >> 2, [=](uint64_t b, uint64_t e) {
+        superopDiag1Range(rho, b, e, d0, d1, kBit, bBit);
+    });
+}
+
+void
+applySuperop2(Complex *rho, int numQubits, const Complex *u, int q0,
+              int q1, TaskPool *pool)
+{
+    const uint64_t dimSq = uint64_t{1} << (2 * numQubits);
+    const uint64_t mk0 = uint64_t{1} << q0;
+    const uint64_t mk1 = uint64_t{1} << q1;
+    const uint64_t mb0 = uint64_t{1} << (q0 + numQubits);
+    const uint64_t mb1 = uint64_t{1} << (q1 + numQubits);
+    shardBlocks(pool, dimSq >> 4, [=](uint64_t b, uint64_t e) {
+        superop2Range(rho, b, e, u, mk0, mk1, mb0, mb1);
+    });
+}
+
+void
+applySuperopDiag2(Complex *rho, int numQubits, const Complex *d, int q0,
+                  int q1, TaskPool *pool)
+{
+    const uint64_t dimSq = uint64_t{1} << (2 * numQubits);
+    const uint64_t mk0 = uint64_t{1} << q0;
+    const uint64_t mk1 = uint64_t{1} << q1;
+    const uint64_t mb0 = uint64_t{1} << (q0 + numQubits);
+    const uint64_t mb1 = uint64_t{1} << (q1 + numQubits);
+    shardBlocks(pool, dimSq >> 4, [=](uint64_t b, uint64_t e) {
+        superopDiag2Range(rho, b, e, d, mk0, mk1, mb0, mb1);
+    });
+}
+
+void
+applySuperopPerm1(Complex *rho, int numQubits, const PermPhase &pp,
+                  int qubit, TaskPool *pool)
+{
+    const uint64_t dimSq = uint64_t{1} << (2 * numQubits);
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits);
+    const Complex p0 = pp.phase[0], p1 = pp.phase[1];
+    const bool unit = pp.unitPhases;
+    shardBlocks(pool, dimSq >> 2, [=](uint64_t b, uint64_t e) {
+        superopPerm1Range(rho, b, e, p0, p1, unit, kBit, bBit);
+    });
+}
+
+void
+applySuperopPerm2(Complex *rho, int numQubits, const PermPhase &pp, int q0,
+                  int q1, TaskPool *pool)
+{
+    const uint64_t dimSq = uint64_t{1} << (2 * numQubits);
+    const uint64_t mk0 = uint64_t{1} << q0;
+    const uint64_t mk1 = uint64_t{1} << q1;
+    const uint64_t mb0 = uint64_t{1} << (q0 + numQubits);
+    const uint64_t mb1 = uint64_t{1} << (q1 + numQubits);
+    shardBlocks(pool, dimSq >> 4, [=](uint64_t b, uint64_t e) {
+        superopPerm2Range(rho, b, e, pp, mk0, mk1, mb0, mb1);
+    });
+}
+
+void
+applySuperopMat2(Complex *rho, int numQubits, const Complex *S, int q0,
+                 int q1, TaskPool *pool)
+{
+    const uint64_t dimSq = uint64_t{1} << (2 * numQubits);
+    const uint64_t mk0 = uint64_t{1} << q0;
+    const uint64_t mk1 = uint64_t{1} << q1;
+    const uint64_t mb0 = uint64_t{1} << (q0 + numQubits);
+    const uint64_t mb1 = uint64_t{1} << (q1 + numQubits);
+    shardBlocks(pool, dimSq >> 4, [=](uint64_t b, uint64_t e) {
+        superopMat2Range(rho, b, e, S, mk0, mk1, mb0, mb1);
+    });
+}
+
+} // namespace detail
+} // namespace eqc

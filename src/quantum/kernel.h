@@ -1,27 +1,45 @@
 /**
  * @file
- * Shared gather/scatter kernel applying a k-qubit linear operator to a
- * dense amplitude vector. Used by both the state-vector simulator (on a
+ * Simulation kernels applying k-qubit linear operators to dense
+ * amplitude vectors. Used by both the state-vector simulator (on a
  * 2^n vector) and the density-matrix simulator (on a 4^n vectorized rho,
  * where ket and bra indices act as two banks of n qubits each).
+ *
+ * Two layers live here:
+ *  - applyOperatorKernel: the original skip-scan implementation, kept as
+ *    the *reference* the randomized equivalence tests compare against.
+ *  - the fast kernels (kernel.cc): block-enumeration over the dim >> k
+ *    anchor indices via bit-deposit, hand-unrolled k=1/k=2 paths, a
+ *    diagonal path for phase-type gates, fused superoperator/Kraus
+ *    application for density matrices, and optional block-parallel
+ *    sharding through a TaskPool. Blocks are disjoint, so results are
+ *    bit-identical for every thread count.
  */
 
 #ifndef EQC_QUANTUM_KERNEL_H
 #define EQC_QUANTUM_KERNEL_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/task_pool.h"
 #include "quantum/cmatrix.h"
 
 namespace eqc {
 namespace detail {
 
 /**
- * Apply a 2^k x 2^k operator to @p amp over bit positions @p qubits.
- * Sub-index bit m of the operator corresponds to qubits[m]. The operator
- * need not be unitary (Kraus operators are applied this way too).
+ * Reference implementation: apply a 2^k x 2^k operator to @p amp over
+ * bit positions @p qubits by scanning all @p dim indices and skipping
+ * non-anchors. Sub-index bit m of the operator corresponds to
+ * qubits[m]. The operator need not be unitary (Kraus operators are
+ * applied this way too).
+ *
+ * Superseded by the block-enumeration kernels below on every hot path;
+ * retained unchanged as the ground truth for tests/test_kernel.cc and
+ * as the fallback for arities the unrolled kernels do not cover.
  */
 inline void
 applyOperatorKernel(CVector &amp, uint64_t dim, const CMatrix &u,
@@ -78,6 +96,209 @@ applyOperatorKernel(CVector &amp, uint64_t dim, const CMatrix &u,
         }
     }
 }
+
+/**
+ * Minimum anchor-block count before an apply is sharded across the
+ * pool; below this the fork/join overhead dominates the kernel body.
+ */
+constexpr uint64_t kMinBlocksParallel = uint64_t{1} << 15;
+
+/**
+ * Run @p rangeFn over block range [0, nBlocks): sharded through @p pool
+ * when the range is large enough, inline otherwise. Blocks must write
+ * disjoint memory, which also makes the result thread-count-invariant.
+ *
+ * @p rangeFn must be a small forwarding callable whose captures are BY
+ * VALUE and whose body immediately calls a standalone worker function
+ * with plain arguments. Keeping the hot loop out of the callable
+ * matters: the callable's closure escapes into a std::function on the
+ * pool path, and a hot loop compiled inside it loses alias analysis
+ * (captured operands get reloaded from the closure every iteration).
+ */
+template <typename RangeFn>
+inline void
+shardBlocks(TaskPool *pool, uint64_t nBlocks, const RangeFn &rangeFn)
+{
+    if (pool && pool->threadCount() > 1 && nBlocks >= kMinBlocksParallel)
+        pool->parallelFor(0, nBlocks, rangeFn);
+    else
+        rangeFn(0, nBlocks);
+}
+
+/** Insert a zero bit: @p lowMask covers the positions below it. */
+inline uint64_t
+depositZeroBit(uint64_t v, uint64_t lowMask)
+{
+    return ((v & ~lowMask) << 1) | (v & lowMask);
+}
+
+/**
+ * Enumerate the anchor indices of block range [b, e) as *contiguous
+ * runs*: anchors share their low bits below the lowest target position,
+ * so the bit-deposit over @p lowMasks (NMASK entries, ascending;
+ * lowMasks[m] = (1 << position_m) - 1) is only needed at run starts and
+ * the per-element inner loop stays unit-stride — which is what lets the
+ * compiler vectorize the complex arithmetic. Serial: call from inside a
+ * worker function (see shardBlocks) with a non-escaping @p process
+ * lambda, invoked as process(anchorStart, runLength).
+ */
+template <int NMASK, typename Process>
+inline void
+forAnchorRuns(uint64_t b, uint64_t e, const uint64_t *lowMasks,
+              const Process &process)
+{
+    const uint64_t runCap = lowMasks[0] + 1;
+    uint64_t t = b;
+    while (t < e) {
+        const uint64_t lo = t & (runCap - 1);
+        uint64_t i = t - lo;
+        for (int m = 0; m < NMASK; ++m)
+            i = depositZeroBit(i, lowMasks[m]);
+        const uint64_t run = std::min(runCap - lo, e - t);
+        process(i + lo, run);
+        t += run;
+    }
+}
+
+/**
+ * Reusable scratch for the general-k kernel. Callers keep one instance
+ * alive across calls so no kernel invocation allocates after warm-up.
+ */
+struct KernelScratch
+{
+    std::vector<Complex> gathered;
+    std::vector<uint64_t> masks;
+    std::vector<uint64_t> lowMasks;
+    std::vector<uint64_t> offsets;
+};
+
+/// @name Amplitude-bank fast paths (state vector, or one bank of rho)
+/// All enumerate the dim >> k anchor indices directly via bit-deposit;
+/// @p pool (nullable) shards anchor ranges across threads when the
+/// block count is large enough.
+/// @{
+
+/**
+ * A permutation-phase gate action: output sub-index r takes
+ * phase[r] * (input at sub-index perm[r]). X, CX, SWAP, CZ and every
+ * other basis-permuting gate has this form, and applying it is pure
+ * data movement (times a phase) instead of a dense matrix multiply.
+ */
+struct PermPhase
+{
+    int perm[4];
+    Complex phase[4];
+    /** All phases exactly 1 (CX/SWAP/X): no multiplies at all. */
+    bool unitPhases = false;
+};
+
+/**
+ * Detect a permutation-phase matrix: every row holds exactly one
+ * nonzero entry. Fills @p out and returns true on match.
+ */
+bool isPermPhase(const Complex *u, int sub, PermPhase &out);
+
+/** How a gate's matrix structure maps onto the fast apply paths. */
+enum class GateKind {
+    Diagonal,  ///< off-diagonals all zero: elementwise multiply
+    PermPhase, ///< one nonzero per row: index shuffle (+ phases)
+    General,   ///< dense matrix apply
+};
+
+/**
+ * Classify a row-major sub x sub matrix (@p sub is 2 or 4) for
+ * dispatch. On Diagonal the diagonal is written to @p diag (sub
+ * entries); on PermPhase @p pp is filled. Shared by the statevector
+ * and density-matrix apply fronts so they can never diverge.
+ */
+GateKind classifyGate(const Complex *u, int sub, Complex *diag,
+                      PermPhase &pp);
+
+/** 1q general gate; @p u is row-major {u00, u01, u10, u11}. */
+void applyGate1(Complex *amp, uint64_t dim, const Complex *u, int qubit,
+                TaskPool *pool);
+
+/** 1q diagonal gate diag(d0, d1): a pure elementwise multiply. */
+void applyDiag1(Complex *amp, uint64_t dim, Complex d0, Complex d1,
+                int qubit, TaskPool *pool);
+
+/**
+ * 2q general gate; @p u is row-major 4x4, sub-index bit 0 corresponds
+ * to @p q0 and bit 1 to @p q1 (the gateMatrix convention).
+ */
+void applyGate2(Complex *amp, uint64_t dim, const Complex *u, int q0,
+                int q1, TaskPool *pool);
+
+/** 2q diagonal gate diag(d[0..3]) over the same sub-index convention. */
+void applyDiag2(Complex *amp, uint64_t dim, const Complex *d, int q0,
+                int q1, TaskPool *pool);
+
+/** 1q permutation-phase gate (X-like: perm must be {1, 0}). */
+void applyPermPhase1(Complex *amp, uint64_t dim, const PermPhase &pp,
+                     int qubit, TaskPool *pool);
+
+/** 2q permutation-phase gate (CX/SWAP and friends). */
+void applyPermPhase2(Complex *amp, uint64_t dim, const PermPhase &pp,
+                     int q0, int q1, TaskPool *pool);
+
+/**
+ * General k-qubit operator via block enumeration with caller-provided
+ * scratch (serial; every basis gate is covered by the unrolled paths).
+ */
+void applyGateK(Complex *amp, uint64_t dim, const CMatrix &u,
+                const int *qubits, int k, KernelScratch &scratch);
+
+/// @}
+
+/// @name Fused density-matrix superoperators
+/// rho is the 4^n vectorization (index = row + 2^n * col); each routine
+/// applies U rho U^dagger (or the Kraus sum) to every (ket, bra) block
+/// in a single pass, instead of one ket-bank pass plus one conjugate
+/// bra-bank pass over the full vector.
+/// @{
+
+/** 1q unitary: U (x) conj(U) on each 4-element block. */
+void applySuperop1(Complex *rho, int numQubits, const Complex *u,
+                   int qubit, TaskPool *pool);
+
+/** 1q diagonal unitary diag(d[0..1]): elementwise phase factors. */
+void applySuperopDiag1(Complex *rho, int numQubits, const Complex *d,
+                       int qubit, TaskPool *pool);
+
+/** 2q unitary on each 16-element block. */
+void applySuperop2(Complex *rho, int numQubits, const Complex *u, int q0,
+                   int q1, TaskPool *pool);
+
+/** 2q diagonal unitary diag(d[0..3]). */
+void applySuperopDiag2(Complex *rho, int numQubits, const Complex *d,
+                       int q0, int q1, TaskPool *pool);
+
+/**
+ * 1q permutation-phase unitary: each block entry (r, s) moves to
+ * (perm r, perm s) with factor phase[r] * conj(phase[s]) — no matrix
+ * arithmetic, and a pure index shuffle for unit phases (X).
+ */
+void applySuperopPerm1(Complex *rho, int numQubits, const PermPhase &pp,
+                       int qubit, TaskPool *pool);
+
+/** 2q permutation-phase unitary (CX/SWAP: a pure 16-element shuffle). */
+void applySuperopPerm2(Complex *rho, int numQubits, const PermPhase &pp,
+                       int q0, int q1, TaskPool *pool);
+
+/**
+ * Apply a precomputed 16x16 channel superoperator to every 16-element
+ * (ket, bra) block of a 2q channel: one 16-dim mat-vec per block
+ * instead of one K b K^dagger triple product per Kraus operator (16
+ * flops/element instead of 8 * numOps — an 8x cut for the 16-operator
+ * depolarizing channel). Vector index v = ketSub + 4 * braSub; @p S is
+ * row-major S[v'][v] = sum_k K_k[r', r] conj(K_k[s', s]).
+ * (1q channels reuse applyGate2 on the 4x4 superoperator via the ket
+ * and bra bit positions directly.)
+ */
+void applySuperopMat2(Complex *rho, int numQubits, const Complex *S,
+                      int q0, int q1, TaskPool *pool);
+
+/// @}
 
 } // namespace detail
 } // namespace eqc

@@ -34,6 +34,28 @@ KrausChannel::composeWith(const KrausChannel &after) const
     return out;
 }
 
+const CVector &
+KrausChannel::superopMatrix() const
+{
+    if (superop_.empty() && !ops.empty()) {
+        const std::size_t sub = ops.front().rows();
+        const std::size_t dim = sub * sub;
+        superop_.assign(dim * dim, Complex(0, 0));
+        for (const CMatrix &k : ops) {
+            for (std::size_t rp = 0; rp < sub; ++rp)
+                for (std::size_t sp = 0; sp < sub; ++sp)
+                    for (std::size_t r = 0; r < sub; ++r)
+                        for (std::size_t s = 0; s < sub; ++s) {
+                            const std::size_t vp = rp + sub * sp;
+                            const std::size_t v = r + sub * s;
+                            superop_[vp * dim + v] +=
+                                k(rp, r) * std::conj(k(sp, s));
+                        }
+        }
+    }
+    return superop_;
+}
+
 KrausChannel
 depolarizing1q(double lambda)
 {

@@ -32,6 +32,22 @@ struct KrausChannel
      * Both must have the same arity.
      */
     KrausChannel composeWith(const KrausChannel &after) const;
+
+    /**
+     * The channel's superoperator sum_k K_k (x) conj(K_k) as a
+     * sub^2 x sub^2 row-major matrix over vectorized block indices
+     * v = ketSub + sub * braSub: S[v'][v] = sum_k K_k[r', r] *
+     * conj(K_k[s', s]). Built once per channel and cached; applying it
+     * costs sub^2 flops per element regardless of the operator count,
+     * which beats the Kraus-sum form for every multi-operator channel.
+     * Invalidated by nothing: callers must not mutate `ops` after the
+     * first apply. Not safe to race the first call from multiple
+     * threads on a *shared* channel instance.
+     */
+    const CVector &superopMatrix() const;
+
+  private:
+    mutable CVector superop_;
 };
 
 /**

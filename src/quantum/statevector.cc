@@ -3,10 +3,21 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/task_pool.h"
 #include "quantum/kernel.h"
 #include "quantum/pauli.h"
 
 namespace eqc {
+
+TaskPool *
+Statevector::pool() const
+{
+    // Resolved once per instance: TaskPool::shared()'s thread-safe
+    // static guard is measurable on the small-n fast paths.
+    if (!pool_)
+        pool_ = &TaskPool::shared();
+    return pool_;
+}
 
 Statevector::Statevector(int numQubits)
     : numQubits_(numQubits), amp_(uint64_t{1} << numQubits, Complex(0, 0))
@@ -24,12 +35,90 @@ Statevector::reset()
 }
 
 void
+Statevector::applyGate1(const Complex *u, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("Statevector::applyGate1: qubit index out of range");
+    Complex d[2];
+    detail::PermPhase pp;
+    switch (detail::classifyGate(u, 2, d, pp)) {
+      case detail::GateKind::Diagonal:
+        detail::applyDiag1(amp_.data(), dim(), d[0], d[1], qubit, pool());
+        break;
+      case detail::GateKind::PermPhase:
+        detail::applyPermPhase1(amp_.data(), dim(), pp, qubit, pool());
+        break;
+      case detail::GateKind::General:
+        detail::applyGate1(amp_.data(), dim(), u, qubit, pool());
+        break;
+    }
+}
+
+void
+Statevector::applyDiag1(const Complex *d, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("Statevector::applyDiag1: qubit index out of range");
+    detail::applyDiag1(amp_.data(), dim(), d[0], d[1], qubit, pool());
+}
+
+void
+Statevector::applyGate2(const Complex *u, int q0, int q1)
+{
+    if (q0 < 0 || q1 < 0 || q0 >= numQubits_ || q1 >= numQubits_ ||
+        q0 == q1) {
+        panic("Statevector::applyGate2: invalid qubits");
+    }
+    Complex d[4];
+    detail::PermPhase pp;
+    switch (detail::classifyGate(u, 4, d, pp)) {
+      case detail::GateKind::Diagonal:
+        detail::applyDiag2(amp_.data(), dim(), d, q0, q1, pool());
+        break;
+      case detail::GateKind::PermPhase:
+        detail::applyPermPhase2(amp_.data(), dim(), pp, q0, q1, pool());
+        break;
+      case detail::GateKind::General:
+        detail::applyGate2(amp_.data(), dim(), u, q0, q1, pool());
+        break;
+    }
+}
+
+void
+Statevector::applyDiag2(const Complex *d, int q0, int q1)
+{
+    if (q0 < 0 || q1 < 0 || q0 >= numQubits_ || q1 >= numQubits_ ||
+        q0 == q1) {
+        panic("Statevector::applyDiag2: invalid qubits");
+    }
+    detail::applyDiag2(amp_.data(), dim(), d, q0, q1, pool());
+}
+
+void
 Statevector::applyGate(const CMatrix &u, const std::vector<int> &qubits)
 {
     for (int q : qubits)
         if (q < 0 || q >= numQubits_)
             panic("Statevector::applyGate: qubit index out of range");
-    detail::applyOperatorKernel(amp_, dim(), u, qubits);
+    const std::size_t k = qubits.size();
+    if (k == 1) {
+        const Complex m[4] = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+        applyGate1(m, qubits[0]);
+        return;
+    }
+    if (k == 2) {
+        Complex m[16];
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                m[r * 4 + c] = u(r, c);
+        applyGate2(m, qubits[0], qubits[1]);
+        return;
+    }
+    // Rare k >= 3 path; scratch is local, so it allocates — callers on
+    // hot paths only issue 1q/2q gates.
+    detail::KernelScratch scratch;
+    detail::applyGateK(amp_.data(), dim(), u, qubits.data(),
+                       static_cast<int>(k), scratch);
 }
 
 std::vector<double>

@@ -19,6 +19,7 @@
 namespace eqc {
 
 class PauliString;
+class TaskPool;
 
 /** Pure-state simulator over n qubits. */
 class Statevector
@@ -43,6 +44,25 @@ class Statevector
      * @param qubits distinct target qubits
      */
     void applyGate(const CMatrix &u, const std::vector<int> &qubits);
+
+    /// @name Allocation-free apply paths
+    /// Raw-entry twins of applyGate used by precompiled execution
+    /// plans (the gateEntries() layout, no CMatrix construction).
+    /// @{
+
+    /** 1q gate from row-major entries {u00, u01, u10, u11}. */
+    void applyGate1(const Complex *u, int qubit);
+
+    /** 1q diagonal gate diag(d[0], d[1]). */
+    void applyDiag1(const Complex *d, int qubit);
+
+    /** 2q gate from row-major 4x4 entries (sub-index bit 0 -> @p q0). */
+    void applyGate2(const Complex *u, int q0, int q1);
+
+    /** 2q diagonal gate diag(d[0..3]). */
+    void applyDiag2(const Complex *d, int q0, int q1);
+
+    /// @}
 
     /** Amplitude of basis state @p index. */
     Complex amplitude(uint64_t index) const { return amp_[index]; }
@@ -72,9 +92,18 @@ class Statevector
      */
     std::vector<uint64_t> sample(uint64_t shots, Rng &rng) const;
 
+    /**
+     * Pool used for block-parallel apply (null: the shared pool).
+     * Results are bit-identical for every pool size.
+     */
+    void setTaskPool(TaskPool *pool) { pool_ = pool; }
+
   private:
+    TaskPool *pool() const;
+
     int numQubits_;
     CVector amp_;
+    mutable TaskPool *pool_ = nullptr;
 };
 
 } // namespace eqc

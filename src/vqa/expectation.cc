@@ -66,10 +66,15 @@ ExpectationEstimator::ExpectationEstimator(PauliSum hamiltonian,
         std::vector<Pauli> basis(n, Pauli::I);
         for (std::size_t gi : group) {
             const PauliString &p = nonId.terms()[gi].pauli;
-            for (int q = 0; q < n; ++q)
-                if (p.at(q) != Pauli::I)
+            uint64_t support = 0;
+            for (int q = 0; q < n; ++q) {
+                if (p.at(q) != Pauli::I) {
                     basis[q] = p.at(q);
+                    support |= uint64_t{1} << q;
+                }
+            }
             mg.termIndices.push_back(nonIdIndex[gi]);
+            mg.termLogicalMasks.push_back(support);
         }
         // Rotate X/Y bases to Z: X -> H; Y -> Sdg then H.
         for (int q = 0; q < n; ++q) {
@@ -148,13 +153,15 @@ ExpectationEstimator::estimate(
             }
         }
 
-        for (std::size_t ti : g.termIndices) {
+        for (std::size_t k = 0; k < g.termIndices.size(); ++k) {
+            const std::size_t ti = g.termIndices[k];
             const PauliTerm &term = hamiltonian_.terms()[ti];
-            // Parity mask over compact qubits for this term's support.
+            // Parity mask over compact qubits: remap the precomputed
+            // logical support's set bits through the layout.
             uint64_t mask = 0;
-            for (int q = 0; q < term.pauli.numQubits(); ++q) {
-                if (term.pauli.at(q) != Pauli::I)
-                    mask |= uint64_t{1} << tc.logicalToCompact[q];
+            for (uint64_t m = g.termLogicalMasks[k]; m; m &= m - 1) {
+                int q = __builtin_ctzll(m);
+                mask |= uint64_t{1} << tc.logicalToCompact[q];
             }
             double exp = 0.0;
             for (std::size_t o = 0; o < dist.size(); ++o) {

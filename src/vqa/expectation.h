@@ -33,6 +33,14 @@ struct MeasurementGroup
 {
     /** Indices into the Hamiltonian's term list. */
     std::vector<std::size_t> termIndices;
+    /**
+     * Per-term support masks over *logical* qubits (bit q set iff the
+     * term acts non-trivially on qubit q), parallel to termIndices.
+     * Precomputed at construction so estimate() only remaps set bits
+     * through the transpiled layout instead of re-scanning every
+     * Pauli string on every call.
+     */
+    std::vector<uint64_t> termLogicalMasks;
     /** Logical circuit: ansatz + basis rotations + measure-all. */
     QuantumCircuit circuit;
 };

@@ -14,11 +14,15 @@
 #ifndef EQC_TESTS_MINIGTEST_GTEST_H
 #define EQC_TESTS_MINIGTEST_GTEST_H
 
+/** Lets test files #ifdef-guard sections needing real-gtest features. */
+#define EQC_MINIGTEST 1
+
 #include <cmath>
 #include <cstdio>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace minigtest {
@@ -100,14 +104,39 @@ class Reporter
     std::string summary_;
 };
 
+template <typename T, typename = void>
+struct IsStreamable : std::false_type
+{
+};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream &>()
+                                            << std::declval<const T &>())>>
+    : std::true_type
+{
+};
+
+/** Stream @p v when it has an operator<<; a placeholder otherwise
+    (enum classes and other unprintable types still compare fine). */
+template <typename T>
+void
+streamValue(std::ostream &s, const T &v)
+{
+    if constexpr (IsStreamable<T>::value)
+        s << v;
+    else
+        s << "<unprintable>";
+}
+
 template <typename A, typename B>
 std::string
 describe(const char *op, const char *ea, const char *eb, const A &a,
          const B &b)
 {
     std::ostringstream s;
-    s << "expected " << ea << " " << op << " " << eb << "; got " << a
-      << " vs " << b;
+    s << "expected " << ea << " " << op << " " << eb << "; got ";
+    streamValue(s, a);
+    s << " vs ";
+    streamValue(s, b);
     return s.str();
 }
 

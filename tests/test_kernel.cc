@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Randomized equivalence tests for the fast simulation kernels against
+ * the reference implementation (detail::applyOperatorKernel), plus
+ * bit-determinism of block-parallel apply across task-pool sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/task_pool.h"
+#include "quantum/gates.h"
+#include "quantum/kernel.h"
+#include "quantum/kraus.h"
+
+namespace eqc {
+namespace {
+
+CVector
+randomState(uint64_t dim, uint64_t seed)
+{
+    Rng rng(seed);
+    CVector v(dim);
+    for (uint64_t i = 0; i < dim; ++i)
+        v[i] = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return v;
+}
+
+CMatrix
+randomMatrix(std::size_t sub, uint64_t seed)
+{
+    Rng rng(seed);
+    CMatrix m(sub, sub);
+    for (std::size_t r = 0; r < sub; ++r)
+        for (std::size_t c = 0; c < sub; ++c)
+            m(r, c) =
+                Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return m;
+}
+
+void
+expectClose(const CVector &a, const CVector &b, double tol = 1e-10)
+{
+    ASSERT_EQ(a.size(), b.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    EXPECT_LE(worst, tol);
+}
+
+/** Entries of @p m flattened row-major. */
+std::vector<Complex>
+flat(const CMatrix &m)
+{
+    std::vector<Complex> out;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            out.push_back(m(r, c));
+    return out;
+}
+
+/** Reference two-bank application of U rho U^dagger on vectorized rho. */
+void
+superopReference(CVector &rho, int n, const CMatrix &u,
+                 std::vector<int> qubits)
+{
+    const uint64_t full = uint64_t{1} << (2 * n);
+    detail::applyOperatorKernel(rho, full, u, qubits);
+    for (int &q : qubits)
+        q += n;
+    detail::applyOperatorKernel(rho, full, u.conjugate(), qubits);
+}
+
+/** Reference Kraus application: sum over copy-and-apply per operator. */
+CVector
+channelReference(const CVector &rho, int n, const KrausChannel &ch,
+                 const std::vector<int> &qubits)
+{
+    CVector acc(rho.size(), Complex(0, 0));
+    for (const CMatrix &k : ch.ops) {
+        CVector tmp = rho;
+        superopReference(tmp, n, k, qubits);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += tmp[i];
+    }
+    return acc;
+}
+
+TEST(Kernel, Gate1MatchesReference)
+{
+    const int n = 6;
+    const uint64_t dim = uint64_t{1} << n;
+    for (int q = 0; q < n; ++q) {
+        CMatrix u = randomMatrix(2, 11 + q);
+        CVector ref = randomState(dim, 99 + q);
+        CVector fast = ref;
+        detail::applyOperatorKernel(ref, dim, u, {q});
+        detail::applyGate1(fast.data(), dim, flat(u).data(), q, nullptr);
+        expectClose(ref, fast);
+    }
+}
+
+TEST(Kernel, Diag1MatchesReference)
+{
+    const int n = 6;
+    const uint64_t dim = uint64_t{1} << n;
+    for (int q = 0; q < n; ++q) {
+        CMatrix u(2, 2);
+        Rng rng(31 + q);
+        u(0, 0) = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        u(1, 1) = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        CVector ref = randomState(dim, 7 + q);
+        CVector fast = ref;
+        detail::applyOperatorKernel(ref, dim, u, {q});
+        detail::applyDiag1(fast.data(), dim, u(0, 0), u(1, 1), q,
+                           nullptr);
+        expectClose(ref, fast);
+    }
+}
+
+TEST(Kernel, PermPhase1MatchesReference)
+{
+    const int n = 5;
+    const uint64_t dim = uint64_t{1} << n;
+    // Anti-diagonal with non-unit phases (a Y-like gate).
+    CMatrix u(2, 2);
+    u(0, 1) = Complex(0.0, -1.0);
+    u(1, 0) = Complex(0.5, 0.5);
+    detail::PermPhase pp;
+    ASSERT_TRUE(detail::isPermPhase(flat(u).data(), 2, pp));
+    EXPECT_FALSE(pp.unitPhases);
+    EXPECT_EQ(pp.perm[0], 1);
+    EXPECT_EQ(pp.perm[1], 0);
+    for (int q = 0; q < n; ++q) {
+        CVector ref = randomState(dim, 55 + q);
+        CVector fast = ref;
+        detail::applyOperatorKernel(ref, dim, u, {q});
+        detail::applyPermPhase1(fast.data(), dim, pp, q, nullptr);
+        expectClose(ref, fast);
+    }
+}
+
+TEST(Kernel, Gate2MatchesReferenceBothQubitOrders)
+{
+    const int n = 6;
+    const uint64_t dim = uint64_t{1} << n;
+    CMatrix u = randomMatrix(4, 17);
+    for (auto [a, b] : {std::pair<int, int>{0, 3}, {3, 0}, {2, 5},
+                        {4, 1}, {5, 4}}) {
+        CVector ref = randomState(dim, 3 * a + b);
+        CVector fast = ref;
+        detail::applyOperatorKernel(ref, dim, u, {a, b});
+        detail::applyGate2(fast.data(), dim, flat(u).data(), a, b,
+                           nullptr);
+        expectClose(ref, fast);
+    }
+}
+
+TEST(Kernel, Diag2MatchesReference)
+{
+    const int n = 6;
+    const uint64_t dim = uint64_t{1} << n;
+    CMatrix u(4, 4);
+    Rng rng(47);
+    for (int j = 0; j < 4; ++j)
+        u(j, j) = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    const Complex d[4] = {u(0, 0), u(1, 1), u(2, 2), u(3, 3)};
+    for (auto [a, b] : {std::pair<int, int>{0, 1}, {4, 2}, {3, 5},
+                        {5, 0}}) {
+        CVector ref = randomState(dim, 9 * a + b);
+        CVector fast = ref;
+        detail::applyOperatorKernel(ref, dim, u, {a, b});
+        detail::applyDiag2(fast.data(), dim, d, a, b, nullptr);
+        expectClose(ref, fast);
+    }
+}
+
+TEST(Kernel, ClassifyGateDispatchesCorrectly)
+{
+    Complex d[4];
+    detail::PermPhase pp;
+    const std::vector<double> theta = {0.7};
+    CMatrix rz = gateMatrix(GateType::RZ, theta);
+    EXPECT_TRUE(detail::classifyGate(flat(rz).data(), 2, d, pp) ==
+                detail::GateKind::Diagonal);
+    EXPECT_EQ(d[0], rz(0, 0));
+    EXPECT_EQ(d[1], rz(1, 1));
+    CMatrix x = gateMatrix(GateType::X);
+    EXPECT_TRUE(detail::classifyGate(flat(x).data(), 2, d, pp) ==
+                detail::GateKind::PermPhase);
+    CMatrix h = gateMatrix(GateType::H);
+    EXPECT_TRUE(detail::classifyGate(flat(h).data(), 2, d, pp) ==
+                detail::GateKind::General);
+    CMatrix cx = gateMatrix(GateType::CX);
+    EXPECT_TRUE(detail::classifyGate(flat(cx).data(), 4, d, pp) ==
+                detail::GateKind::PermPhase);
+    CMatrix rzz = gateMatrix(GateType::RZZ, theta);
+    EXPECT_TRUE(detail::classifyGate(flat(rzz).data(), 4, d, pp) ==
+                detail::GateKind::Diagonal);
+}
+
+TEST(Kernel, PermPhase2MatchesReferenceForCxAndSwap)
+{
+    const int n = 5;
+    const uint64_t dim = uint64_t{1} << n;
+    for (GateType t : {GateType::CX, GateType::SWAP}) {
+        CMatrix u = gateMatrix(t);
+        detail::PermPhase pp;
+        ASSERT_TRUE(detail::isPermPhase(flat(u).data(), 4, pp));
+        EXPECT_TRUE(pp.unitPhases);
+        for (auto [a, b] : {std::pair<int, int>{0, 1}, {3, 1}, {2, 4}}) {
+            CVector ref = randomState(dim, 77 + a + 5 * b);
+            CVector fast = ref;
+            detail::applyOperatorKernel(ref, dim, u, {a, b});
+            detail::applyPermPhase2(fast.data(), dim, pp, a, b, nullptr);
+            expectClose(ref, fast);
+        }
+    }
+}
+
+TEST(Kernel, GateKMatchesReference)
+{
+    const int n = 6;
+    const uint64_t dim = uint64_t{1} << n;
+    CMatrix u = randomMatrix(8, 23);
+    const int qubits[3] = {4, 0, 2};
+    CVector ref = randomState(dim, 41);
+    CVector fast = ref;
+    detail::applyOperatorKernel(ref, dim, u, {4, 0, 2});
+    detail::KernelScratch scratch;
+    detail::applyGateK(fast.data(), dim, u, qubits, 3, scratch);
+    expectClose(ref, fast);
+    // Scratch is reusable across differing calls.
+    const int qubits2[2] = {5, 1};
+    CMatrix u2 = randomMatrix(4, 29);
+    detail::applyOperatorKernel(ref, dim, u2, {5, 1});
+    detail::applyGateK(fast.data(), dim, u2, qubits2, 2, scratch);
+    expectClose(ref, fast);
+}
+
+TEST(Kernel, FusedSuperop1MatchesTwoPassReference)
+{
+    const int n = 4;
+    const uint64_t full = uint64_t{1} << (2 * n);
+    CMatrix u = randomMatrix(2, 61);
+    for (int q = 0; q < n; ++q) {
+        CVector ref = randomState(full, 13 + q);
+        CVector fast = ref;
+        superopReference(ref, n, u, {q});
+        detail::applySuperop1(fast.data(), n, flat(u).data(), q, nullptr);
+        expectClose(ref, fast);
+    }
+}
+
+TEST(Kernel, FusedSuperop2MatchesTwoPassReference)
+{
+    const int n = 4;
+    const uint64_t full = uint64_t{1} << (2 * n);
+    CMatrix u = randomMatrix(4, 67);
+    for (auto [a, b] : {std::pair<int, int>{0, 1}, {2, 0}, {3, 1}}) {
+        CVector ref = randomState(full, 19 + a + 7 * b);
+        CVector fast = ref;
+        superopReference(ref, n, u, {a, b});
+        detail::applySuperop2(fast.data(), n, flat(u).data(), a, b,
+                              nullptr);
+        expectClose(ref, fast);
+    }
+}
+
+TEST(Kernel, FusedSuperopDiagAndPermMatchReference)
+{
+    const int n = 4;
+    const uint64_t full = uint64_t{1} << (2 * n);
+    // Diagonal: RZ; permutation: X (unit phases) on the superoperator.
+    CMatrix rz = gateMatrix(GateType::RZ, {0.83});
+    CVector ref = randomState(full, 83);
+    CVector fast = ref;
+    superopReference(ref, n, rz, {2});
+    const Complex d[2] = {rz(0, 0), rz(1, 1)};
+    detail::applySuperopDiag1(fast.data(), n, d, 2, nullptr);
+    expectClose(ref, fast);
+
+    CMatrix x = gateMatrix(GateType::X);
+    detail::PermPhase pp;
+    ASSERT_TRUE(detail::isPermPhase(flat(x).data(), 2, pp));
+    superopReference(ref, n, x, {1});
+    detail::applySuperopPerm1(fast.data(), n, pp, 1, nullptr);
+    expectClose(ref, fast);
+
+    CMatrix cx = gateMatrix(GateType::CX);
+    detail::PermPhase pp2;
+    ASSERT_TRUE(detail::isPermPhase(flat(cx).data(), 4, pp2));
+    superopReference(ref, n, cx, {3, 0});
+    detail::applySuperopPerm2(fast.data(), n, pp2, 3, 0, nullptr);
+    expectClose(ref, fast);
+
+    CMatrix rzz = gateMatrix(GateType::RZZ, {1.21});
+    const Complex d4[4] = {rzz(0, 0), rzz(1, 1), rzz(2, 2), rzz(3, 3)};
+    superopReference(ref, n, rzz, {1, 2});
+    detail::applySuperopDiag2(fast.data(), n, d4, 1, 2, nullptr);
+    expectClose(ref, fast);
+}
+
+TEST(Kernel, ChannelSuperopMatrixMatchesReference)
+{
+    const int n = 3;
+    const uint64_t full = uint64_t{1} << (2 * n);
+    // 1q channel superoperator applies as a 2-"qubit" gate over the
+    // ket and bra bit positions.
+    for (const KrausChannel &ch :
+         {depolarizing1q(0.13), amplitudeDamping(0.21),
+          thermalRelaxation(80.0, 60.0, 1.5)}) {
+        CVector state = randomState(full, 101 + ch.ops.size());
+        CVector ref = channelReference(state, n, ch, {1});
+        CVector fast = state;
+        detail::applyGate2(fast.data(), full, ch.superopMatrix().data(),
+                           1, 1 + n, nullptr);
+        expectClose(ref, fast);
+    }
+
+    KrausChannel dep2 = depolarizing2q(0.04);
+    CVector state = randomState(full, 211);
+    for (auto [a, b] : {std::pair<int, int>{0, 2}, {2, 0}, {1, 2}}) {
+        CVector ref = channelReference(state, n, dep2, {a, b});
+        CVector fast = state;
+        detail::applySuperopMat2(fast.data(), n,
+                                 dep2.superopMatrix().data(), a, b,
+                                 nullptr);
+        expectClose(ref, fast);
+    }
+}
+
+TEST(Kernel, GateEntriesMatchesGateMatrixForAllGates)
+{
+    const std::vector<double> angles = {0.91, -0.37, 2.13};
+    for (GateType t :
+         {GateType::ID, GateType::X, GateType::Y, GateType::Z,
+          GateType::H, GateType::S, GateType::SDG, GateType::T,
+          GateType::TDG, GateType::SX, GateType::RX, GateType::RY,
+          GateType::RZ, GateType::U3, GateType::CX, GateType::CZ,
+          GateType::SWAP, GateType::RZZ}) {
+        std::vector<double> ps(angles.begin(),
+                               angles.begin() + gateParamCount(t));
+        CMatrix m = gateMatrix(t, ps);
+        Complex entries[16];
+        int sub = gateEntries(t, ps.data(), entries);
+        ASSERT_EQ(static_cast<std::size_t>(sub), m.rows()) << gateName(t);
+        if (isDiagonalGate(t)) {
+            for (int j = 0; j < sub; ++j)
+                EXPECT_EQ(entries[j], m(j, j)) << gateName(t);
+        } else {
+            for (int r = 0; r < sub; ++r)
+                for (int c = 0; c < sub; ++c)
+                    EXPECT_EQ(entries[r * sub + c], m(r, c))
+                        << gateName(t);
+        }
+    }
+}
+
+TEST(Kernel, BlockParallelApplyIsBitIdenticalAcrossPoolSizes)
+{
+    // n = 9 density-matrix bank: 4^9 / 4 = 65536 blocks, comfortably
+    // above the parallel threshold, so pools with >1 thread really
+    // shard. Disjoint blocks must make results bit-identical.
+    const int n = 9;
+    const uint64_t full = uint64_t{1} << (2 * n);
+    const CVector init = randomState(full, 307);
+    CMatrix u1 = randomMatrix(2, 311);
+    CMatrix u2 = randomMatrix(4, 313);
+    KrausChannel dep2 = depolarizing2q(0.03);
+
+    CVector results[3];
+    int poolSizes[3] = {1, 2, 4};
+    for (int p = 0; p < 3; ++p) {
+        TaskPool pool(poolSizes[p]);
+        CVector v = init;
+        detail::applySuperop1(v.data(), n, flat(u1).data(), 3, &pool);
+        detail::applySuperop2(v.data(), n, flat(u2).data(), 1, 6, &pool);
+        detail::applySuperopMat2(v.data(), n,
+                                 dep2.superopMatrix().data(), 2, 7,
+                                 &pool);
+        detail::applyDiag1(v.data(), full, Complex(0.3, 0.4),
+                           Complex(0.9, -0.1), 5, &pool);
+        results[p] = std::move(v);
+    }
+    for (int p = 1; p < 3; ++p) {
+        bool identical = results[0].size() == results[p].size();
+        for (std::size_t i = 0; identical && i < results[0].size(); ++i)
+            identical = results[0][i] == results[p][i];
+        EXPECT_TRUE(identical) << "pool size " << poolSizes[p];
+    }
+}
+
+TEST(TaskPool, ParallelForCoversRangeExactlyOnce)
+{
+    TaskPool pool(4);
+    const uint64_t count = 100001;
+    std::vector<int> hits(count, 0);
+    pool.parallelFor(0, count, [&](uint64_t b, uint64_t e) {
+        for (uint64_t i = b; i < e; ++i)
+            ++hits[i];
+    });
+    bool allOnce = true;
+    for (uint64_t i = 0; i < count; ++i)
+        allOnce = allOnce && hits[i] == 1;
+    EXPECT_TRUE(allOnce);
+
+    // Empty and tiny ranges run inline without deadlock.
+    pool.parallelFor(5, 5, [&](uint64_t, uint64_t) {
+        EXPECT_TRUE(false) << "empty range must not invoke the body";
+    });
+    int tiny = 0;
+    pool.parallelFor(0, 2, [&](uint64_t b, uint64_t e) {
+        tiny += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(tiny, 2);
+}
+
+TEST(TaskPool, NestedParallelForFallsBackInline)
+{
+    TaskPool pool(2);
+    std::vector<int> hits(5000, 0);
+    pool.parallelFor(0, 5000, [&](uint64_t b, uint64_t e) {
+        // A nested call from inside a chunk body must not deadlock; it
+        // degrades to inline execution on this thread's sub-range.
+        pool.parallelFor(b, e, [&](uint64_t b2, uint64_t e2) {
+            for (uint64_t i = b2; i < e2; ++i)
+                ++hits[i];
+        });
+    });
+    bool allOnce = true;
+    for (int h : hits)
+        allOnce = allOnce && h == 1;
+    EXPECT_TRUE(allOnce);
+}
+
+} // namespace
+} // namespace eqc
