@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pcorrect.dir/ablation_pcorrect.cc.o"
+  "CMakeFiles/bench_ablation_pcorrect.dir/ablation_pcorrect.cc.o.d"
+  "bench_ablation_pcorrect"
+  "bench_ablation_pcorrect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pcorrect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_qaoa.dir/fig11_qaoa.cc.o"
+  "CMakeFiles/bench_fig11_qaoa.dir/fig11_qaoa.cc.o.d"
+  "bench_fig11_qaoa"
+  "bench_fig11_qaoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_qaoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_qaoa_weighting.dir/fig12_qaoa_weighting.cc.o"
+  "CMakeFiles/bench_fig12_qaoa_weighting.dir/fig12_qaoa_weighting.cc.o.d"
+  "bench_fig12_qaoa_weighting"
+  "bench_fig12_qaoa_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_qaoa_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_transpilation.dir/fig3_transpilation.cc.o"
+  "CMakeFiles/bench_fig3_transpilation.dir/fig3_transpilation.cc.o.d"
+  "bench_fig3_transpilation"
+  "bench_fig3_transpilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_transpilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pcorrect.dir/fig4_pcorrect.cc.o"
+  "CMakeFiles/bench_fig4_pcorrect.dir/fig4_pcorrect.cc.o.d"
+  "bench_fig4_pcorrect"
+  "bench_fig4_pcorrect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pcorrect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

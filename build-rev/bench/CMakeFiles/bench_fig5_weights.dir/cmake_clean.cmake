@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_weights.dir/fig5_weights.cc.o"
+  "CMakeFiles/bench_fig5_weights.dir/fig5_weights.cc.o.d"
+  "bench_fig5_weights"
+  "bench_fig5_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_vqe.dir/fig6_vqe.cc.o"
+  "CMakeFiles/bench_fig6_vqe.dir/fig6_vqe.cc.o.d"
+  "bench_fig6_vqe"
+  "bench_fig6_vqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_vqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_vqe_weighting.dir/fig9_vqe_weighting.cc.o"
+  "CMakeFiles/bench_fig9_vqe_weighting.dir/fig9_vqe_weighting.cc.o.d"
+  "bench_fig9_vqe_weighting"
+  "bench_fig9_vqe_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_vqe_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

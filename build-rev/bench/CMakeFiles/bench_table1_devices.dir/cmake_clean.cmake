@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_devices.dir/table1_devices.cc.o"
+  "CMakeFiles/bench_table1_devices.dir/table1_devices.cc.o.d"
+  "bench_table1_devices"
+  "bench_table1_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_classifier.dir/qnn_classifier.cpp.o"
+  "CMakeFiles/qnn_classifier.dir/qnn_classifier.cpp.o.d"
+  "qnn_classifier"
+  "qnn_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_ensemble.dir/threaded_ensemble.cpp.o"
+  "CMakeFiles/threaded_ensemble.dir/threaded_ensemble.cpp.o.d"
+  "threaded_ensemble"
+  "threaded_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_heisenberg.dir/vqe_heisenberg.cpp.o"
+  "CMakeFiles/vqe_heisenberg.dir/vqe_heisenberg.cpp.o.d"
+  "vqe_heisenberg"
+  "vqe_heisenberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_heisenberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ansatz.cc" "src/CMakeFiles/eqc.dir/circuit/ansatz.cc.o" "gcc" "src/CMakeFiles/eqc.dir/circuit/ansatz.cc.o.d"
+  "/root/repo/src/circuit/circuit.cc" "src/CMakeFiles/eqc.dir/circuit/circuit.cc.o" "gcc" "src/CMakeFiles/eqc.dir/circuit/circuit.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/eqc.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/eqc.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/eqc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/eqc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/eqc.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/eqc.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/task_pool.cc" "src/CMakeFiles/eqc.dir/common/task_pool.cc.o" "gcc" "src/CMakeFiles/eqc.dir/common/task_pool.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/CMakeFiles/eqc.dir/core/client.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/client.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/eqc.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/CMakeFiles/eqc.dir/core/ensemble.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/ensemble.cc.o.d"
+  "/root/repo/src/core/eqc.cc" "src/CMakeFiles/eqc.dir/core/eqc.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/eqc.cc.o.d"
+  "/root/repo/src/core/master.cc" "src/CMakeFiles/eqc.dir/core/master.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/master.cc.o.d"
+  "/root/repo/src/core/qnn_executor.cc" "src/CMakeFiles/eqc.dir/core/qnn_executor.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/qnn_executor.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/CMakeFiles/eqc.dir/core/runtime.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/runtime.cc.o.d"
+  "/root/repo/src/core/threaded_executor.cc" "src/CMakeFiles/eqc.dir/core/threaded_executor.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/threaded_executor.cc.o.d"
+  "/root/repo/src/core/virtual_executor.cc" "src/CMakeFiles/eqc.dir/core/virtual_executor.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/virtual_executor.cc.o.d"
+  "/root/repo/src/core/weighting.cc" "src/CMakeFiles/eqc.dir/core/weighting.cc.o" "gcc" "src/CMakeFiles/eqc.dir/core/weighting.cc.o.d"
+  "/root/repo/src/device/backend.cc" "src/CMakeFiles/eqc.dir/device/backend.cc.o" "gcc" "src/CMakeFiles/eqc.dir/device/backend.cc.o.d"
+  "/root/repo/src/device/calibration.cc" "src/CMakeFiles/eqc.dir/device/calibration.cc.o" "gcc" "src/CMakeFiles/eqc.dir/device/calibration.cc.o.d"
+  "/root/repo/src/device/catalog.cc" "src/CMakeFiles/eqc.dir/device/catalog.cc.o" "gcc" "src/CMakeFiles/eqc.dir/device/catalog.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/CMakeFiles/eqc.dir/device/device.cc.o" "gcc" "src/CMakeFiles/eqc.dir/device/device.cc.o.d"
+  "/root/repo/src/device/drift.cc" "src/CMakeFiles/eqc.dir/device/drift.cc.o" "gcc" "src/CMakeFiles/eqc.dir/device/drift.cc.o.d"
+  "/root/repo/src/device/queue_model.cc" "src/CMakeFiles/eqc.dir/device/queue_model.cc.o" "gcc" "src/CMakeFiles/eqc.dir/device/queue_model.cc.o.d"
+  "/root/repo/src/hamiltonian/exact.cc" "src/CMakeFiles/eqc.dir/hamiltonian/exact.cc.o" "gcc" "src/CMakeFiles/eqc.dir/hamiltonian/exact.cc.o.d"
+  "/root/repo/src/hamiltonian/heisenberg.cc" "src/CMakeFiles/eqc.dir/hamiltonian/heisenberg.cc.o" "gcc" "src/CMakeFiles/eqc.dir/hamiltonian/heisenberg.cc.o.d"
+  "/root/repo/src/hamiltonian/maxcut.cc" "src/CMakeFiles/eqc.dir/hamiltonian/maxcut.cc.o" "gcc" "src/CMakeFiles/eqc.dir/hamiltonian/maxcut.cc.o.d"
+  "/root/repo/src/quantum/cmatrix.cc" "src/CMakeFiles/eqc.dir/quantum/cmatrix.cc.o" "gcc" "src/CMakeFiles/eqc.dir/quantum/cmatrix.cc.o.d"
+  "/root/repo/src/quantum/density_matrix.cc" "src/CMakeFiles/eqc.dir/quantum/density_matrix.cc.o" "gcc" "src/CMakeFiles/eqc.dir/quantum/density_matrix.cc.o.d"
+  "/root/repo/src/quantum/gates.cc" "src/CMakeFiles/eqc.dir/quantum/gates.cc.o" "gcc" "src/CMakeFiles/eqc.dir/quantum/gates.cc.o.d"
+  "/root/repo/src/quantum/kernel.cc" "src/CMakeFiles/eqc.dir/quantum/kernel.cc.o" "gcc" "src/CMakeFiles/eqc.dir/quantum/kernel.cc.o.d"
+  "/root/repo/src/quantum/kraus.cc" "src/CMakeFiles/eqc.dir/quantum/kraus.cc.o" "gcc" "src/CMakeFiles/eqc.dir/quantum/kraus.cc.o.d"
+  "/root/repo/src/quantum/pauli.cc" "src/CMakeFiles/eqc.dir/quantum/pauli.cc.o" "gcc" "src/CMakeFiles/eqc.dir/quantum/pauli.cc.o.d"
+  "/root/repo/src/quantum/statevector.cc" "src/CMakeFiles/eqc.dir/quantum/statevector.cc.o" "gcc" "src/CMakeFiles/eqc.dir/quantum/statevector.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/eqc.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/eqc.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/transpile/basis.cc" "src/CMakeFiles/eqc.dir/transpile/basis.cc.o" "gcc" "src/CMakeFiles/eqc.dir/transpile/basis.cc.o.d"
+  "/root/repo/src/transpile/coupling_map.cc" "src/CMakeFiles/eqc.dir/transpile/coupling_map.cc.o" "gcc" "src/CMakeFiles/eqc.dir/transpile/coupling_map.cc.o.d"
+  "/root/repo/src/transpile/layout.cc" "src/CMakeFiles/eqc.dir/transpile/layout.cc.o" "gcc" "src/CMakeFiles/eqc.dir/transpile/layout.cc.o.d"
+  "/root/repo/src/transpile/router.cc" "src/CMakeFiles/eqc.dir/transpile/router.cc.o" "gcc" "src/CMakeFiles/eqc.dir/transpile/router.cc.o.d"
+  "/root/repo/src/transpile/transpiler.cc" "src/CMakeFiles/eqc.dir/transpile/transpiler.cc.o" "gcc" "src/CMakeFiles/eqc.dir/transpile/transpiler.cc.o.d"
+  "/root/repo/src/vqa/expectation.cc" "src/CMakeFiles/eqc.dir/vqa/expectation.cc.o" "gcc" "src/CMakeFiles/eqc.dir/vqa/expectation.cc.o.d"
+  "/root/repo/src/vqa/optimizer.cc" "src/CMakeFiles/eqc.dir/vqa/optimizer.cc.o" "gcc" "src/CMakeFiles/eqc.dir/vqa/optimizer.cc.o.d"
+  "/root/repo/src/vqa/parameter_shift.cc" "src/CMakeFiles/eqc.dir/vqa/parameter_shift.cc.o" "gcc" "src/CMakeFiles/eqc.dir/vqa/parameter_shift.cc.o.d"
+  "/root/repo/src/vqa/problem.cc" "src/CMakeFiles/eqc.dir/vqa/problem.cc.o" "gcc" "src/CMakeFiles/eqc.dir/vqa/problem.cc.o.d"
+  "/root/repo/src/vqa/qnn.cc" "src/CMakeFiles/eqc.dir/vqa/qnn.cc.o" "gcc" "src/CMakeFiles/eqc.dir/vqa/qnn.cc.o.d"
+  "/root/repo/src/vqa/trainer.cc" "src/CMakeFiles/eqc.dir/vqa/trainer.cc.o" "gcc" "src/CMakeFiles/eqc.dir/vqa/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ansatz.dir/test_ansatz.cc.o"
+  "CMakeFiles/test_ansatz.dir/test_ansatz.cc.o.d"
+  "test_ansatz"
+  "test_ansatz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ansatz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmatrix.dir/test_cmatrix.cc.o"
+  "CMakeFiles/test_cmatrix.dir/test_cmatrix.cc.o.d"
+  "test_cmatrix"
+  "test_cmatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

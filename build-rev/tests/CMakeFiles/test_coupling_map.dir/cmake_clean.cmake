@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupling_map.dir/test_coupling_map.cc.o"
+  "CMakeFiles/test_coupling_map.dir/test_coupling_map.cc.o.d"
+  "test_coupling_map"
+  "test_coupling_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupling_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

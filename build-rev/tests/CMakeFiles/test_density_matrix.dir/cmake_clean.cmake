@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_density_matrix.dir/test_density_matrix.cc.o"
+  "CMakeFiles/test_density_matrix.dir/test_density_matrix.cc.o.d"
+  "test_density_matrix"
+  "test_density_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_density_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

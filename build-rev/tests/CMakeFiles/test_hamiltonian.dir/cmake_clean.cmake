@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hamiltonian.dir/test_hamiltonian.cc.o"
+  "CMakeFiles/test_hamiltonian.dir/test_hamiltonian.cc.o.d"
+  "test_hamiltonian"
+  "test_hamiltonian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

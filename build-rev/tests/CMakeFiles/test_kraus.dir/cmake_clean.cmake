@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kraus.dir/test_kraus.cc.o"
+  "CMakeFiles/test_kraus.dir/test_kraus.cc.o.d"
+  "test_kraus"
+  "test_kraus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kraus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

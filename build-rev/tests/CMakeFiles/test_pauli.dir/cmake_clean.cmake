@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pauli.dir/test_pauli.cc.o"
+  "CMakeFiles/test_pauli.dir/test_pauli.cc.o.d"
+  "test_pauli"
+  "test_pauli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pauli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

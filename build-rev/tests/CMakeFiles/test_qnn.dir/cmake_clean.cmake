@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qnn.dir/test_qnn.cc.o"
+  "CMakeFiles/test_qnn.dir/test_qnn.cc.o.d"
+  "test_qnn"
+  "test_qnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statevector.dir/test_statevector.cc.o"
+  "CMakeFiles/test_statevector.dir/test_statevector.cc.o.d"
+  "test_statevector"
+  "test_statevector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statevector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_helpers.dir/test_trace_helpers.cc.o"
+  "CMakeFiles/test_trace_helpers.dir/test_trace_helpers.cc.o.d"
+  "test_trace_helpers"
+  "test_trace_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

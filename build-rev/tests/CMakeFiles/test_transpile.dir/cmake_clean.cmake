@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transpile.dir/test_transpile.cc.o"
+  "CMakeFiles/test_transpile.dir/test_transpile.cc.o.d"
+  "test_transpile"
+  "test_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

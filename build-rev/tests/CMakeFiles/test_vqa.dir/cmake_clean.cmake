@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vqa.dir/test_vqa.cc.o"
+  "CMakeFiles/test_vqa.dir/test_vqa.cc.o.d"
+  "test_vqa"
+  "test_vqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
