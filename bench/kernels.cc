@@ -7,7 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "circuit/ansatz.h"
+#include "common/task_pool.h"
+#include "core/client.h"
 #include "core/weighting.h"
 #include "device/backend.h"
 #include "device/catalog.h"
@@ -154,5 +158,61 @@ BM_FullGradientJob(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullGradientJob);
+
+void
+BM_IdealCircuitExecution(benchmark::State &state)
+{
+    // Noiseless statevector path: exercises the Full-fusion execution
+    // plan (RZ/SX runs and 1q-into-CX absorption collapse into a
+    // handful of fused kernels).
+    VqaProblem p = makeHeisenbergVqe();
+    Device d = makeIdealDevice(p.ansatz.numQubits());
+    SimulatedQpu qpu(d, 1);
+    ExpectationEstimator est(p.hamiltonian, p.ansatz);
+    auto compiled = est.compileFor(d.coupling);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qpu.execute(
+            compiled[0], p.initialParams, 0, 1.0, rng, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IdealCircuitExecution);
+
+void
+BM_MultiJobGradientFanout(benchmark::State &state)
+{
+    // The engine-level fan-out shape: N clients pull tasks serially
+    // (beginProcess) and their gradient computations flush through the
+    // shared TaskPool in one batch — exactly what the "virtual" engine
+    // does at every delivery, and what runAll() does across jobs.
+    const int numClients = static_cast<int>(state.range(0));
+    VqaProblem p = makeHeisenbergVqe();
+    const char *names[] = {"ibmq_bogota", "ibmq_manila", "ibmq_quito",
+                           "ibmq_lima"};
+    ClientConfig cfg;
+    std::vector<std::unique_ptr<ClientNode>> clients;
+    for (int i = 0; i < numClients; ++i)
+        clients.push_back(std::make_unique<ClientNode>(
+            i, deviceByName(names[i % 4]), p, 1 + i, cfg));
+    MasterNode master(p, MasterOptions{});
+    std::vector<ClientNode::PendingJob> jobs(numClients);
+    std::vector<ClientNode::Processed> outs(numClients);
+    double t = 1.0;
+    for (auto _ : state) {
+        for (int i = 0; i < numClients; ++i)
+            jobs[i] = clients[i]->beginProcess(master.nextTask(), t);
+        TaskPool::shared().parallelJobs(
+            static_cast<uint64_t>(numClients),
+            [&](uint64_t b, uint64_t e) {
+                for (uint64_t i = b; i < e; ++i)
+                    outs[i] = clients[i]->finishProcess(jobs[i]);
+            });
+        benchmark::DoNotOptimize(outs.data());
+        t += 0.001;
+    }
+    state.SetItemsProcessed(state.iterations() * numClients);
+}
+BENCHMARK(BM_MultiJobGradientFanout)->Arg(1)->Arg(4)->Arg(8);
 
 } // namespace

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the project's markdown docs.
+
+Scans README.md and docs/*.md for markdown links and images. For every
+relative target it checks that the referenced file (or directory)
+exists, and — when the link carries a #fragment into a markdown file —
+that a heading with the matching GitHub-style anchor exists. External
+schemes (http, https, mailto) are ignored.
+
+Usage: scripts/check_links.py [repo-root]
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (close enough for ASCII docs)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            anchors.add(github_anchor(line.lstrip("#")))
+    return anchors
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    docs = sorted([root / "README.md", *(root / "docs").glob("*.md")])
+    errors = []
+    checked = 0
+    for doc in docs:
+        if not doc.exists():
+            continue
+        for lineno, target in links_of(doc):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                continue  # external scheme
+            checked += 1
+            raw, _, fragment = target.partition("#")
+            dest = (doc.parent / raw).resolve() if raw else doc
+            where = f"{doc.relative_to(root)}:{lineno}"
+            if not dest.exists():
+                errors.append(f"{where}: broken link -> {target}")
+                continue
+            if fragment and dest.is_file() and dest.suffix == ".md":
+                if github_anchor(fragment) not in anchors_of(dest):
+                    errors.append(
+                        f"{where}: missing anchor #{fragment} "
+                        f"in {raw or doc.name}")
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"check_links: {checked} intra-repo links checked, "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,34 +86,62 @@ TaskPool::workerLoop()
 {
     uint64_t seen = 0;
     for (;;) {
+        std::function<void()> job;
         {
             std::unique_lock<std::mutex> lk(mu_);
             workCv_.wait(lk, [&] {
-                return stop_ || (jobSeq_ != seen && chunksLeft_ > 0);
+                return stop_ || (jobSeq_ != seen && chunksLeft_ > 0) ||
+                       !asyncJobs_.empty();
             });
             if (stop_)
                 return;
-            seen = jobSeq_;
+            if (jobSeq_ != seen && chunksLeft_ > 0) {
+                // Chunk work first: parallel-for callers are blocked
+                // on it, async submitters are not.
+                seen = jobSeq_;
+            } else {
+                job = std::move(asyncJobs_.front());
+                asyncJobs_.pop_front();
+                ++asyncActive_;
+            }
+        }
+        if (job) {
+            job();
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--asyncActive_ == 0 && asyncJobs_.empty())
+                asyncCv_.notify_all();
+            continue;
         }
         runChunks();
     }
 }
 
 void
-TaskPool::parallelFor(uint64_t begin, uint64_t end,
-                      const std::function<void(uint64_t, uint64_t)> &body)
+TaskPool::async(std::function<void()> job)
 {
-    if (begin >= end)
-        return;
-    const uint64_t count = end - begin;
-    if (workers_.empty() || count < static_cast<uint64_t>(threads_) ||
-        tlsInParallelRegion) {
-        // Too small, no workers, or a recursive call from inside a
-        // submission on this thread: run inline (never re-probe a
-        // submit mutex this thread may already hold).
-        body(begin, end);
+    if (workers_.empty()) {
+        job();
         return;
     }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        asyncJobs_.push_back(std::move(job));
+    }
+    workCv_.notify_one();
+}
+
+void
+TaskPool::drainAsync()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    asyncCv_.wait(lk,
+                  [&] { return asyncJobs_.empty() && asyncActive_ == 0; });
+}
+
+void
+TaskPool::submitRange(uint64_t begin, uint64_t end,
+                      const std::function<void(uint64_t, uint64_t)> &body)
+{
     // One job in flight at a time; a busy pool degrades gracefully to
     // inline execution.
     std::unique_lock<std::mutex> submit(submitMu_, std::try_to_lock);
@@ -140,6 +168,39 @@ TaskPool::parallelFor(uint64_t begin, uint64_t end,
     std::unique_lock<std::mutex> lk(mu_);
     doneCv_.wait(lk, [&] { return pending_ == 0; });
     body_ = nullptr;
+}
+
+void
+TaskPool::parallelFor(uint64_t begin, uint64_t end,
+                      const std::function<void(uint64_t, uint64_t)> &body)
+{
+    if (begin >= end)
+        return;
+    const uint64_t count = end - begin;
+    if (workers_.empty() || count < static_cast<uint64_t>(threads_) ||
+        tlsInParallelRegion) {
+        // Too small, no workers, or a recursive call from inside a
+        // submission on this thread: run inline (never re-probe a
+        // submit mutex this thread may already hold).
+        body(begin, end);
+        return;
+    }
+    submitRange(begin, end, body);
+}
+
+void
+TaskPool::parallelJobs(uint64_t count,
+                       const std::function<void(uint64_t, uint64_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count < 2 || tlsInParallelRegion) {
+        body(0, count);
+        return;
+    }
+    // Coarse jobs: worth fanning out even below the participant count
+    // (runChunks hands empty chunks to surplus participants).
+    submitRange(0, count, body);
 }
 
 TaskPool &

@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -48,11 +49,36 @@ class TaskPool
     /**
      * Run @p body over [begin, end), partitioned into one contiguous
      * chunk per participant. Blocks until every chunk has finished.
+     * Ranges smaller than the participant count run inline (the
+     * fork/join overhead would dominate fine-grained work).
      * @param body invoked as body(chunkBegin, chunkEnd); chunks are
      *        disjoint and cover the range exactly once
      */
     void parallelFor(uint64_t begin, uint64_t end,
                      const std::function<void(uint64_t, uint64_t)> &body);
+
+    /**
+     * As parallelFor, but for *coarse* jobs (circuit executions,
+     * gradient evaluations): parallelizes even when @p count is below
+     * the participant count — each index is assumed expensive enough
+     * to be worth a thread on its own. Chunks are still contiguous and
+     * disjoint, so callers writing per-index slots stay bit-identical
+     * for every thread count.
+     */
+    void parallelJobs(uint64_t count,
+                      const std::function<void(uint64_t, uint64_t)> &body);
+
+    /**
+     * Enqueue one independent job for asynchronous execution by the
+     * resident workers and return immediately. With no resident
+     * workers (a 1-thread pool) the job runs inline before returning.
+     * Async jobs and parallel-for chunks share the worker fleet; a
+     * worker prefers chunk work so parallel-for latency stays low.
+     */
+    void async(std::function<void()> job);
+
+    /** Block until every async job submitted so far has finished. */
+    void drainAsync();
 
     /**
      * Process-wide pool sized from the EQC_THREADS environment variable
@@ -63,6 +89,8 @@ class TaskPool
   private:
     void workerLoop();
     void runChunks();
+    void submitRange(uint64_t begin, uint64_t end,
+                     const std::function<void(uint64_t, uint64_t)> &body);
 
     int threads_;
     std::vector<std::thread> workers_;
@@ -80,6 +108,10 @@ class TaskPool
     int chunksLeft_ = 0;   ///< chunks not yet claimed
     int pending_ = 0;      ///< chunks claimed but not yet finished
     bool stop_ = false;
+
+    std::condition_variable asyncCv_;
+    std::deque<std::function<void()>> asyncJobs_;
+    int asyncActive_ = 0;  ///< async jobs currently executing
 };
 
 } // namespace eqc

@@ -35,38 +35,59 @@ ClientNode::computePCorrect(double atTimeH) const
     return sum / static_cast<double>(compiled_.size());
 }
 
-ClientNode::Processed
-ClientNode::process(const GradientTask &task, double atTimeH)
+ClientNode::PendingJob
+ClientNode::beginProcess(const GradientTask &task, double atTimeH)
 {
-    Processed out;
+    PendingJob job;
+    job.task = task;
+    job.submitH = atTimeH;
     const int groupCount = static_cast<int>(compiled_.size());
     double latencyS = backend_.queue().jobLatencyS(
         atTimeH, durUs_, config_.shots, 2 * groupCount, rng_);
-    out.latencyH = latencyS / 3600.0;
-    double completionH = atTimeH + out.latencyH;
+    job.latencyH = latencyS / 3600.0;
+    job.pCorrect = computePCorrect(atTimeH);
+    job.jobRng = rng_.fork(++jobCounter_);
+    return job;
+}
+
+ClientNode::Processed
+ClientNode::finishProcess(PendingJob &job, TaskPool *pool)
+{
+    Processed out;
+    out.latencyH = job.latencyH;
+    double completionH = job.submitH + job.latencyH;
 
     GradientEstimate g = gradientParamShift(
-        estimator_, backend_, compiled_, task.params, task.paramIndex,
-        config_.shots, completionH, rng_, config_.shotMode,
-        config_.shiftMode, config_.readoutMitigation);
+        estimator_, backend_, compiled_, job.task.params,
+        job.task.paramIndex, config_.shots, completionH, job.jobRng,
+        config_.shotMode, config_.shiftMode, config_.readoutMitigation,
+        pool);
 
-    out.result.paramIndex = task.paramIndex;
+    out.result.paramIndex = job.task.paramIndex;
     out.result.gradient = g.gradient;
-    out.result.pCorrect = computePCorrect(atTimeH);
+    out.result.pCorrect = job.pCorrect;
     out.result.clientId = id_;
-    out.result.version = task.version;
+    out.result.version = job.task.version;
     out.result.completionTimeH = completionH;
     out.result.circuitsRun = g.circuitsRun;
     return out;
 }
 
+ClientNode::Processed
+ClientNode::process(const GradientTask &task, double atTimeH,
+                    TaskPool *pool)
+{
+    PendingJob job = beginProcess(task, atTimeH);
+    return finishProcess(job, pool);
+}
+
 double
 ClientNode::evaluateEnergy(const std::vector<double> &params,
-                           double atTimeH)
+                           double atTimeH, TaskPool *pool)
 {
     EnergyEstimate e = estimator_.estimate(
         backend_, compiled_, params, config_.shots, atTimeH, rng_,
-        config_.shotMode, config_.readoutMitigation);
+        config_.shotMode, config_.readoutMitigation, pool);
     return e.energy;
 }
 

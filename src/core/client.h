@@ -25,6 +25,8 @@
 
 namespace eqc {
 
+class TaskPool;
+
 /** Per-client execution configuration. */
 struct ClientConfig
 {
@@ -59,18 +61,64 @@ class ClientNode
     };
 
     /**
-     * Process a gradient task submitted at @p atTimeH. The returned
-     * result's completion time is atTimeH + latencyH; the circuits are
-     * executed under the device's noise at completion time.
+     * A pulled-but-not-yet-computed gradient job: everything the
+     * pull side decides (queue latency, Eq. 2 score, the job's own
+     * random stream) so the heavy circuit evaluation can run later —
+     * and concurrently with other clients' jobs — without touching the
+     * client's serial state. See the "virtual" engine's batched flush.
      */
-    Processed process(const GradientTask &task, double atTimeH);
+    struct PendingJob
+    {
+        GradientTask task;
+        /** Virtual submission time (hours). */
+        double submitH = 0.0;
+        /** Sampled job latency in hours (queue + execution). */
+        double latencyH = 0.0;
+        /** Eq. 2 score against the reported calibration at submitH. */
+        double pCorrect = 1.0;
+        /**
+         * Per-job stream forked from the client's root seed and a job
+         * counter: gradient randomness is a pure function of (client,
+         * job index), independent of which thread computes it.
+         */
+        Rng jobRng;
+    };
+
+    /**
+     * Pull side of process(): sample the queue latency, compute the
+     * Eq. 2 score and fork the job's random stream. Must be called
+     * serially per client (it advances the client's stream and job
+     * counter); cheap — no circuit is executed.
+     */
+    PendingJob beginProcess(const GradientTask &task, double atTimeH);
+
+    /**
+     * Compute side of process(): run the parameter-shift circuits at
+     * the job's completion time. Safe to call concurrently for
+     * *different* clients (each client may have at most one job in
+     * flight); consumes @p job's stream.
+     * @param pool fan-out pool for the shift evaluations; nullptr
+     *        means TaskPool::shared(). Engines pass their own pool so
+     *        EqcOptions::engineThreads bounds the whole job.
+     */
+    Processed finishProcess(PendingJob &job, TaskPool *pool = nullptr);
+
+    /**
+     * Process a gradient task submitted at @p atTimeH — shorthand for
+     * beginProcess + finishProcess. The returned result's completion
+     * time is atTimeH + latencyH; the circuits are executed under the
+     * device's noise at completion time.
+     */
+    Processed process(const GradientTask &task, double atTimeH,
+                      TaskPool *pool = nullptr);
 
     /**
      * Evaluate the energy of @p params on this device at @p atTimeH
      * (diagnostic; does not consume queue time).
+     * @param pool fan-out pool (see finishProcess)
      */
     double evaluateEnergy(const std::vector<double> &params,
-                          double atTimeH);
+                          double atTimeH, TaskPool *pool = nullptr);
 
     /** Eq. 2 score against the reported calibration at time t. */
     double computePCorrect(double atTimeH) const;
@@ -92,6 +140,7 @@ class ClientNode
     std::vector<TranspiledCircuit> compiled_;
     Rng rng_;
     double durUs_;
+    uint64_t jobCounter_ = 0;
 };
 
 } // namespace eqc

@@ -133,7 +133,8 @@ RunContext::recordEpochs(std::size_t applyingCi)
                 : applyingCi;
         ++rrEval_;
         ClientNode &ev = ensemble_.client(evalCi);
-        rec.energyDevice = ev.evaluateEnergy(master_.params(), nowH_);
+        rec.energyDevice =
+            ev.evaluateEnergy(master_.params(), nowH_, enginePool_);
         for (TraceObserver *obs : observers_)
             obs->onEpoch(*this, rec);
         trace_.epochs.push_back(rec);

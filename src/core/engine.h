@@ -38,6 +38,7 @@
 namespace eqc {
 
 class RunContext;
+class TaskPool;
 
 /**
  * Streaming telemetry callbacks for one EQC run.
@@ -150,6 +151,17 @@ class RunContext
         epochEvalPolicy_ = policy;
     }
 
+    /**
+     * Fan-out pool the run's diagnostic evaluations use (epoch-energy
+     * estimates). Engines that honor EqcOptions::engineThreads set
+     * this to their own pool so the whole job stays bounded by it;
+     * nullptr (the default) means TaskPool::shared().
+     */
+    void setEnginePool(TaskPool *pool) { enginePool_ = pool; }
+
+    /** The pool set by setEnginePool (nullptr: shared pool). */
+    TaskPool *enginePool() const { return enginePool_; }
+
     /** Virtual time of the most recently applied result (hours). */
     double nowH() const { return nowH_; }
 
@@ -190,6 +202,7 @@ class RunContext
     MasterNode master_;
     EqcTrace trace_;
     std::vector<TraceObserver *> observers_;
+    TaskPool *enginePool_ = nullptr;
     std::vector<int> bottomStreak_;
     std::vector<double> cooldownUntil_;
     EpochEvalPolicy epochEvalPolicy_ = EpochEvalPolicy::RoundRobin;
@@ -225,8 +238,8 @@ class ExecutionEngine
  * String-keyed registry of execution-engine factories.
  *
  * The built-in "virtual" (deterministic discrete-event) and "threaded"
- * (std::thread fleet) engines are pre-registered; deployments can add
- * their own (batched, remote, ...) under new names.
+ * (wall-clock scheduler + TaskPool fleet) engines are pre-registered;
+ * deployments can add their own (batched, remote, ...) under new names.
  */
 class EngineRegistry
 {
@@ -259,10 +272,18 @@ class EngineRegistry
     std::map<std::string, Factory> factories_;
 };
 
-/** Factory for the deterministic discrete-event engine ("virtual"). */
+/**
+ * Factory for the deterministic discrete-event engine ("virtual").
+ * Gradient batches fan out through a TaskPool; the trace is
+ * bit-identical for every thread count (see EqcOptions::engineThreads).
+ */
 std::unique_ptr<ExecutionEngine> makeVirtualEngine();
 
-/** Factory for the std::thread fleet engine ("threaded"). */
+/**
+ * Factory for the wall-clock engine ("threaded"): a single scheduler
+ * thread owns the master, compute jobs run as TaskPool async tasks.
+ * Intentionally non-deterministic (arrival order is the experiment).
+ */
 std::unique_ptr<ExecutionEngine> makeThreadedEngine();
 
 } // namespace eqc

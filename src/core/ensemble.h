@@ -50,13 +50,25 @@ class Ensemble
              const std::vector<Device> &devices, uint64_t seed,
              const ClientConfig &config);
 
+    /**
+     * The clients, in admission order (stable across the run: client
+     * index == ClientNode::id()). Exposed mutably for engines that
+     * need direct worker access; the container itself must not be
+     * resized while a run is in flight.
+     */
     std::vector<std::unique_ptr<ClientNode>> &clients()
     {
         return clients_;
     }
 
+    /** Number of admitted clients. */
     std::size_t size() const { return clients_.size(); }
 
+    /**
+     * Client @p i (0-based admission index). Distinct clients are
+     * independent — engines may drive them from different threads —
+     * but each individual client is serial: at most one job in flight.
+     */
     ClientNode &client(std::size_t i) { return *clients_[i]; }
 
     /** Devices from @p devices that can run @p circuitQubits qubits. */

@@ -36,7 +36,7 @@ struct EqcOptions
     /**
      * EngineRegistry key of the execution engine to run on. Built-in:
      * "virtual" (deterministic discrete-event replay) and "threaded"
-     * (one std::thread per client).
+     * (wall-clock scheduler fanning compute jobs over a TaskPool).
      */
     std::string engine = "virtual";
     /**
@@ -44,6 +44,15 @@ struct EqcOptions
      * second (queue latencies become scaled sleeps).
      */
     double hoursPerWallSecond = 50.0;
+    /**
+     * Size of the TaskPool the engines fan independent gradient jobs
+     * out on: 0 uses the process-wide shared pool (sized by
+     * EQC_THREADS or hardware concurrency), any other value gives the
+     * job its own pool of that many participants. The "virtual"
+     * engine's results are bit-identical for every value — fan-out
+     * only trades wall-clock time.
+     */
+    int engineThreads = 0;
     /**
      * Record ideal-simulator energy of the evolving parameters
      * (installs an IdealEnergyObserver on the job).

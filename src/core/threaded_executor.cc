@@ -1,24 +1,42 @@
 /**
  * @file
- * Threaded EQC execution engine ("threaded"): the Ray-style deployment
- * with one std::thread per client node and a mutex-guarded master,
- * demonstrating that MasterNode/ClientNode carry the full asynchronous
- * protocol without any DES support. Virtual queue latencies are scaled
- * down to wall-clock sleeps; the run is intentionally non-deterministic
- * (thread interleaving decides gradient arrival order), which is what
- * the real system looks like.
+ * Threaded EQC execution engine ("threaded"): the Ray-style wall-clock
+ * deployment. Virtual queue latencies are scaled to wall-clock delays;
+ * the run is intentionally non-deterministic (scheduling decides
+ * gradient arrival order), which is what the real system looks like.
  *
- * All protocol semantics (master update, adaptive cooldown, epoch
- * recording, telemetry) live in the shared RunContext; every context
- * call below is serialized under the master mutex.
+ * Unlike the original one-std::thread-per-client design, the engine
+ * now runs a single scheduler (the calling thread) that owns every
+ * master interaction, plus a timer heap of due events; the heavy
+ * gradient computations are submitted to the engine's TaskPool as
+ * independent async jobs. Client count no longer dictates thread
+ * count: a 50-client ensemble on an 8-way pool keeps 8 computations
+ * in flight instead of 50 mostly-sleeping threads, and nothing sleeps
+ * while holding compute resources.
+ *
+ *   dispatch(ci):  scheduler pulls the next task (serial, no lock
+ *                  needed — only the scheduler touches the master) and
+ *                  enqueues the compute job on the pool.
+ *   compute job:   runs ClientNode::process on a pool worker, then
+ *                  schedules the delivery event at now + latency.
+ *   delivery:      scheduler applies the gradient (master update,
+ *                  telemetry, epoch records) and re-dispatches.
+ *
+ * All protocol semantics live in the shared RunContext; every context
+ * call below happens on the scheduler thread, so the paper's
+ * asynchronous semantics (stale gradients, bounded delay) come purely
+ * from job latencies, exactly as in the per-thread design.
  */
 
 #include <chrono>
+#include <condition_variable>
+#include <memory>
 #include <mutex>
-#include <thread>
+#include <queue>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/task_pool.h"
 #include "core/engine.h"
 
 namespace eqc {
@@ -40,65 +58,119 @@ class ThreadedEngine final : public ExecutionEngine
 
         ctx.trace().label = "EQC-threaded";
         // Epoch energies must be evaluated on the applying client: its
-        // worker is the thread inside applyResult (idle under the
-        // mutex), while a round-robin pick could hit a client whose
-        // thread is concurrently mid-process() with no lock held.
+        // job is complete and not yet re-dispatched when the delivery
+        // event runs, while any other client may be mid-process() on a
+        // pool worker.
         ctx.setEpochEvalPolicy(
             RunContext::EpochEvalPolicy::ApplyingClient);
 
-        std::mutex masterMutex;
+        std::unique_ptr<TaskPool> own;
+        if (ctx.options().engineThreads > 0)
+            own = std::make_unique<TaskPool>(
+                ctx.options().engineThreads);
+        TaskPool &pool = own ? *own : TaskPool::shared();
+        ctx.setEnginePool(&pool);
+
         const auto wallStart = std::chrono::steady_clock::now();
-        auto virtualNow = [&]() {
+        auto virtualNow = [&] {
             std::chrono::duration<double> dt =
                 std::chrono::steady_clock::now() - wallStart;
             return dt.count() * hoursPerWallSecond;
         };
-        auto sleepVirtual = [&](double hours) {
-            std::this_thread::sleep_for(std::chrono::duration<double>(
-                hours / hoursPerWallSecond));
-        };
 
-        auto worker = [&](std::size_t ci) {
-            ClientNode &client = ctx.ensemble().client(ci);
-            while (true) {
-                GradientTask task;
-                {
-                    std::unique_lock<std::mutex> lock(masterMutex);
-                    if (ctx.done())
-                        break;
-                    double coolUntil = ctx.cooldownUntil(ci);
-                    double nowH = virtualNow();
-                    if (ctx.options().adaptive.enabled &&
-                        coolUntil > nowH) {
-                        lock.unlock();
-                        sleepVirtual(coolUntil - nowH);
-                        continue;
-                    }
-                    task = ctx.master().nextTask();
-                }
-                double submitH = virtualNow();
-                if (submitH > ctx.options().maxHours)
-                    break;
-                ClientNode::Processed processed =
-                    client.process(task, submitH);
-                sleepVirtual(processed.latencyH);
-                {
-                    std::lock_guard<std::mutex> lock(masterMutex);
-                    if (ctx.done())
-                        break;
-                    ctx.applyResult(ci, processed, virtualNow());
-                }
+        struct Event
+        {
+            double dueH = 0.0;
+            uint64_t seq = 0; ///< FIFO among equal due times
+            std::size_t ci = 0;
+            /** Delivery of a computed gradient vs a cooldown retry. */
+            bool isDelivery = false;
+        };
+        struct Later
+        {
+            bool operator()(const Event &a, const Event &b) const
+            {
+                return a.dueH != b.dueH ? a.dueH > b.dueH
+                                        : a.seq > b.seq;
             }
         };
 
-        std::vector<std::thread> threads;
-        threads.reserve(ctx.numClients());
+        std::mutex mu;
+        std::condition_variable cv;
+        std::priority_queue<Event, std::vector<Event>, Later> heap;
+        std::vector<ClientNode::Processed> slots(ctx.numClients());
+        uint64_t seq = 0;
+        int inflight = 0;
+
+        // Scheduler-thread only: pull the client's next task and hand
+        // the computation to the pool.
+        auto dispatch = [&](std::size_t ci) {
+            if (ctx.done())
+                return;
+            double nowH = virtualNow();
+            if (nowH > ctx.options().maxHours)
+                return; // client retires
+            if (ctx.options().adaptive.enabled &&
+                ctx.cooldownUntil(ci) > nowH) {
+                std::lock_guard<std::mutex> lk(mu);
+                heap.push({ctx.cooldownUntil(ci), seq++, ci, false});
+                return;
+            }
+            GradientTask task = ctx.master().nextTask();
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                ++inflight;
+            }
+            pool.async([&ctx, &mu, &cv, &heap, &slots, &seq,
+                        &inflight, &virtualNow, &pool, task, ci] {
+                ClientNode &client = ctx.ensemble().client(ci);
+                double submitH = virtualNow();
+                bool retired = submitH > ctx.options().maxHours;
+                ClientNode::Processed processed;
+                if (!retired)
+                    processed = client.process(task, submitH, &pool);
+                std::lock_guard<std::mutex> lk(mu);
+                if (!retired) {
+                    slots[ci] = std::move(processed);
+                    heap.push({virtualNow() + slots[ci].latencyH,
+                               seq++, ci, true});
+                }
+                --inflight;
+                cv.notify_all();
+            });
+        };
+
         for (std::size_t ci = 0; ci < ctx.numClients(); ++ci)
-            threads.emplace_back(worker, ci);
-        for (std::thread &t : threads)
-            t.join();
+            dispatch(ci);
+
+        std::unique_lock<std::mutex> lk(mu);
+        while (!ctx.done() && (!heap.empty() || inflight > 0)) {
+            if (heap.empty()) {
+                cv.wait(lk);
+                continue;
+            }
+            Event ev = heap.top();
+            double nowH = virtualNow();
+            if (ev.dueH > nowH) {
+                cv.wait_for(lk, std::chrono::duration<double>(
+                                    (ev.dueH - nowH) /
+                                    hoursPerWallSecond));
+                continue;
+            }
+            heap.pop();
+            lk.unlock();
+            if (ev.isDelivery && !ctx.done())
+                ctx.applyResult(ev.ci, slots[ev.ci], virtualNow());
+            dispatch(ev.ci);
+            lk.lock();
+        }
+        // Let in-flight computations finish before tearing down: their
+        // late deliveries are simply never applied.
+        cv.wait(lk, [&] { return inflight == 0; });
+        lk.unlock();
 
         ctx.finish();
+        ctx.setEnginePool(nullptr); // pool dies with this frame
     }
 };
 

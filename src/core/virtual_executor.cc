@@ -8,7 +8,18 @@
  * complete at wildly different rates, gradients arrive stale — computed
  * against parameter snapshots several master updates old — which is
  * exactly the partially-asynchronous SGD regime of the paper's
- * convergence proof. Determinism: same seed, same trace.
+ * convergence proof. Determinism: same seed, same trace, for every
+ * fan-out thread count.
+ *
+ * Gradient *scheduling* and gradient *computation* are decoupled:
+ * pulls happen in event order (beginProcess: latency sampling, Eq. 2
+ * score, per-job RNG fork — all serial), while the heavy circuit
+ * evaluations accumulate in a batch that is flushed through the
+ * engine's TaskPool the first time an uncomputed delivery fires. At
+ * t = 0 the whole ensemble pulls at once, so the flush fans one job
+ * per client across the pool; each job owns a forked RNG stream and
+ * writes its own slot, which keeps the trace bit-identical whether the
+ * pool has 1 thread or 64 (see EqcOptions::engineThreads).
  *
  * All protocol semantics (master update, adaptive cooldown, epoch
  * recording, telemetry) live in the shared RunContext; this engine
@@ -16,7 +27,10 @@
  */
 
 #include <functional>
+#include <memory>
+#include <vector>
 
+#include "common/task_pool.h"
 #include "core/engine.h"
 #include "sim/event_queue.h"
 
@@ -37,6 +51,42 @@ class VirtualEngine final : public ExecutionEngine
         Simulation sim;
         const std::size_t n = ctx.numClients();
 
+        std::unique_ptr<TaskPool> own;
+        if (ctx.options().engineThreads > 0)
+            own = std::make_unique<TaskPool>(
+                ctx.options().engineThreads);
+        TaskPool &pool = own ? *own : TaskPool::shared();
+        ctx.setEnginePool(&pool);
+
+        struct Slot
+        {
+            ClientNode::PendingJob job;
+            ClientNode::Processed out;
+            bool computed = false;
+        };
+        std::vector<Slot> slots(n);
+        std::vector<std::size_t> batch;
+
+        // Compute every pending job in one fan-out. Jobs of different
+        // clients are independent (own backend, own forked stream) and
+        // write disjoint slots, so the flush is bit-deterministic for
+        // any chunking the pool picks.
+        auto flush = [&] {
+            if (batch.empty())
+                return;
+            pool.parallelJobs(
+                batch.size(), [&](uint64_t b, uint64_t e) {
+                    for (uint64_t i = b; i < e; ++i) {
+                        Slot &s = slots[batch[i]];
+                        s.out = ctx.ensemble()
+                                    .client(batch[i])
+                                    .finishProcess(s.job, &pool);
+                        s.computed = true;
+                    }
+                });
+            batch.clear();
+        };
+
         std::function<void(std::size_t)> startClient =
             [&](std::size_t ci) {
             if (ctx.done())
@@ -51,12 +101,16 @@ class VirtualEngine final : public ExecutionEngine
                 return;
             }
             ClientNode &client = ctx.ensemble().client(ci);
-            GradientTask task = ctx.master().nextTask();
-            ClientNode::Processed processed = client.process(task, now);
-            sim.schedule(processed.latencyH, [&, ci, processed] {
+            slots[ci].job =
+                client.beginProcess(ctx.master().nextTask(), now);
+            slots[ci].computed = false;
+            batch.push_back(ci);
+            sim.schedule(slots[ci].job.latencyH, [&, ci] {
                 if (ctx.done())
                     return;
-                ctx.applyResult(ci, processed, sim.now());
+                if (!slots[ci].computed)
+                    flush();
+                ctx.applyResult(ci, slots[ci].out, sim.now());
                 startClient(ci);
             });
         };
@@ -66,6 +120,7 @@ class VirtualEngine final : public ExecutionEngine
         sim.run();
 
         ctx.finish();
+        ctx.setEnginePool(nullptr); // pool dies with this frame
     }
 };
 

@@ -1,39 +1,73 @@
 #include "device/backend.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 
 #include "common/logging.h"
 #include "quantum/density_matrix.h"
 #include "quantum/statevector.h"
+#include "sim/fusion.h"
 
 namespace eqc {
-
-/** One precompiled gate of an ExecPlan (see SimulatedQpu::ExecPlan). */
-struct PlannedOp
-{
-    GateType type = GateType::ID;
-    bool twoQubit = false;
-    /** Unitary is diagonal: entries[] holds only the diagonal. */
-    bool diagonal = false;
-    /** Angles reference the parameter table: entries rebuilt per job. */
-    bool symbolic = false;
-    int q0 = -1, q1 = -1; ///< compact qubits
-    int p0 = -1, p1 = -1; ///< physical ids (calibration lookups)
-    int numParams = 0;
-    ParamExpr params[3];
-    /** gateEntries() layout, prebuilt when !symbolic. */
-    Complex entries[16];
-};
 
 struct SimulatedQpu::ExecPlan
 {
     int numQubits = 0;
-    std::vector<PlannedOp> ops;
+    /** NoisePreserving fusion: the density-matrix (noisy) path. */
+    FusedProgram noisy;
+    /** Full fusion: the noiseless statevector fast path. */
+    FusedProgram ideal;
+    /** Compact qubit -> physical id (calibration lookups). */
+    std::vector<int> physOf;
     /** MEASURE targets (compact qubits) in program order. */
     std::vector<int> measured;
+    /**
+     * Wall-clock duration of one execution (microseconds). Gate times
+     * never drift (only error rates and coherences do), so this is a
+     * pure function of the circuit and the base calibration.
+     */
+    double durationUs = 0.0;
     /** Exact structural identity, checked on every cache hit. */
     std::vector<uint64_t> signature;
+};
+
+struct SimulatedQpu::NoiseContext
+{
+    double timeH = 0.0;
+    CalibrationSnapshot cal;
+    bool noiseless = false;
+
+    /** Thermal-relaxation factors per physical qubit for the 1q time. */
+    std::vector<double> g1Gamma, g1Coherence;
+    /** Coherent RX miscalibration, precompiled per physical qubit. */
+    std::vector<char> hasRx;
+    std::vector<std::array<Complex, 4>> rx;
+    /**
+     * Per-qubit post-gate noise superoperator for physical 1q gates:
+     * the 4x4 composition depolarizing(gate1qError) * thermal(1q gate
+     * time) over the vectorized sub-index k + 2b. execute() left-
+     * multiplies it onto each fused unitary's U (x) conj(U) so the
+     * whole gate+noise sequence costs a single kernel pass.
+     */
+    std::vector<std::array<Complex, 16>> n1;
+    /** n1 is the identity and no rx: plain unitary apply suffices. */
+    std::vector<char> n1Trivial;
+
+    /** Per-pair CX noise, keyed by (min, max) physical ids. */
+    struct CxNoise
+    {
+        double err = 0.0;
+        bool hasZz = false;
+        Complex zz[4]; ///< residual ZZ phase (diag; swap-symmetric)
+        /** No depolarizing / thermal: skip the noise pass. */
+        bool trivial = false;
+        /** Thermal factors over the CX duration per endpoint. */
+        double gammaLo = 0.0, cohLo = 1.0;
+        double gammaHi = 0.0, cohHi = 1.0;
+    };
+    std::map<std::pair<int, int>, CxNoise> cx;
 };
 
 namespace {
@@ -94,100 +128,30 @@ signatureMatches(const TranspiledCircuit &tc,
     return match && i == sig.size();
 }
 
-} // namespace
-
-SimulatedQpu::SimulatedQpu(Device dev, uint64_t seed)
-    : dev_(std::move(dev)),
-      tracker_(dev_.baseCalibration, dev_.drift,
-               Rng(seed).fork("drift:" + dev_.name)),
-      queue_(dev_.queue)
-{
-}
-
-SimulatedQpu::~SimulatedQpu() = default;
-
-SimulatedQpu::SimulatedQpu(SimulatedQpu &&other) noexcept
-    : dev_(std::move(other.dev_)),
-      tracker_(std::move(other.tracker_)),
-      queue_(std::move(other.queue_)),
-      planCache_(std::move(other.planCache_))
-{
-}
-
-std::shared_ptr<const SimulatedQpu::ExecPlan>
-SimulatedQpu::planFor(const TranspiledCircuit &tc)
-{
-    const uint64_t key = signatureHash(tc);
-    {
-        std::lock_guard<std::mutex> lk(planMu_);
-        auto it = planCache_.find(key);
-        if (it != planCache_.end() &&
-            signatureMatches(tc, it->second->signature)) {
-            return it->second;
-        }
-    }
-
-    auto plan = std::make_shared<ExecPlan>();
-    plan->numQubits = tc.compact.numQubits();
-    forEachSignatureWord(
-        tc, [&](uint64_t w) { plan->signature.push_back(w); });
-    for (const GateOp &op : tc.compact.ops()) {
-        if (op.type == GateType::MEASURE) {
-            plan->measured.push_back(op.qubits[0]);
-            continue;
-        }
-        if (op.type == GateType::BARRIER)
-            continue;
-        PlannedOp po;
-        po.type = op.type;
-        po.twoQubit = gateArity(op.type) == 2;
-        po.diagonal = isDiagonalGate(op.type);
-        po.q0 = op.qubits[0];
-        po.p0 = tc.compactToPhysical[po.q0];
-        if (po.twoQubit) {
-            po.q1 = op.qubits[1];
-            po.p1 = tc.compactToPhysical[po.q1];
-        }
-        po.numParams = static_cast<int>(op.params.size());
-        for (int i = 0; i < po.numParams; ++i) {
-            po.params[i] = op.params[i];
-            if (op.params[i].isSymbolic())
-                po.symbolic = true;
-        }
-        if (!po.symbolic) {
-            double angles[3] = {0, 0, 0};
-            for (int i = 0; i < po.numParams; ++i)
-                angles[i] = po.params[i].evaluate({});
-            gateEntries(po.type, angles, po.entries);
-        }
-        plan->ops.push_back(po);
-    }
-
-    std::lock_guard<std::mutex> lk(planMu_);
-    // Possibly racing another builder, or evicting a hash collision;
-    // either way the freshly built plan is a correct occupant, and
-    // shared ownership keeps any in-flight reader's plan alive.
-    planCache_[key] = plan;
-    return plan;
-}
-
-CalibrationSnapshot
-SimulatedQpu::reportedCalibration(double tH) const
-{
-    return tracker_.reported(tH);
-}
-
-namespace {
-
-/** Apply thermal relaxation over @p timeUs via the analytic fast path. */
+/** Thermal-relaxation factors for @p qc over @p timeUs. */
 void
-applyThermal(DensityMatrix &dm, int qubit, const QubitCalibration &qc,
-             double timeUs)
+thermalFactors(const QubitCalibration &qc, double timeUs, double &gamma,
+               double &coherence)
 {
     double t2 = std::min(qc.t2Us, 2.0 * qc.t1Us);
-    double gamma = 1.0 - std::exp(-timeUs / qc.t1Us);
-    double coherence = std::exp(-timeUs / t2);
-    dm.applyThermalRelaxation(qubit, gamma, coherence);
+    gamma = 1.0 - std::exp(-timeUs / qc.t1Us);
+    coherence = std::exp(-timeUs / t2);
+}
+
+/**
+ * c = a * b for row-major sub x sub matrices (composing a channel
+ * superoperator onto a unitary's U (x) conj(U) in execute()).
+ */
+void
+matMul(Complex *c, const Complex *a, const Complex *b, int sub)
+{
+    for (int r = 0; r < sub; ++r)
+        for (int col = 0; col < sub; ++col) {
+            Complex s(0, 0);
+            for (int k = 0; k < sub; ++k)
+                s += a[r * sub + k] * b[k * sub + col];
+            c[r * sub + col] = s;
+        }
 }
 
 /** true when the calibration carries effectively no noise. */
@@ -208,119 +172,273 @@ isNoiseless(const CalibrationSnapshot &cal)
 
 } // namespace
 
+SimulatedQpu::SimulatedQpu(Device dev, uint64_t seed)
+    : dev_(std::move(dev)),
+      tracker_(dev_.baseCalibration, dev_.drift,
+               Rng(seed).fork("drift:" + dev_.name)),
+      queue_(dev_.queue)
+{
+}
+
+SimulatedQpu::~SimulatedQpu() = default;
+
+SimulatedQpu::SimulatedQpu(SimulatedQpu &&other) noexcept
+    : dev_(std::move(other.dev_)),
+      tracker_(std::move(other.tracker_)),
+      queue_(std::move(other.queue_)),
+      planCache_(std::move(other.planCache_)),
+      ctx_(std::move(other.ctx_))
+{
+}
+
+std::shared_ptr<const SimulatedQpu::ExecPlan>
+SimulatedQpu::planFor(const TranspiledCircuit &tc)
+{
+    const uint64_t key = signatureHash(tc);
+    {
+        std::lock_guard<std::mutex> lk(planMu_);
+        auto it = planCache_.find(key);
+        if (it != planCache_.end() &&
+            signatureMatches(tc, it->second->signature)) {
+            return it->second;
+        }
+    }
+
+    auto plan = std::make_shared<ExecPlan>();
+    plan->numQubits = tc.compact.numQubits();
+    plan->physOf = tc.compactToPhysical;
+    forEachSignatureWord(
+        tc, [&](uint64_t w) { plan->signature.push_back(w); });
+    plan->noisy =
+        fuseForSimulation(tc.compact, FusionMode::NoisePreserving);
+    plan->ideal = fuseForSimulation(tc.compact, FusionMode::Full);
+    plan->durationUs = circuitDurationUs(tc.compact, dev_.baseCalibration,
+                                         tc.compactToPhysical);
+    for (const GateOp &op : tc.compact.ops())
+        if (op.type == GateType::MEASURE)
+            plan->measured.push_back(op.qubits[0]);
+
+    std::lock_guard<std::mutex> lk(planMu_);
+    // Possibly racing another builder, or evicting a hash collision;
+    // either way the freshly built plan is a correct occupant, and
+    // shared ownership keeps any in-flight reader's plan alive.
+    planCache_[key] = plan;
+    return plan;
+}
+
+std::shared_ptr<const SimulatedQpu::NoiseContext>
+SimulatedQpu::noiseContextFor(double tH)
+{
+    // Held across the build: a gradient batch lands all its circuit
+    // executions on one fresh timestamp at once, and one thread
+    // constructing while the rest wait beats every worker redundantly
+    // re-deriving the same snapshot and superoperators.
+    std::lock_guard<std::mutex> lk(ctxMu_);
+    if (ctx_ && ctx_->timeH == tH)
+        return ctx_;
+
+    auto ctx = std::make_shared<NoiseContext>();
+    ctx->timeH = tH;
+    ctx->cal = tracker_.actual(tH);
+    ctx->noiseless = isNoiseless(ctx->cal);
+
+    const double t1qUs = ctx->cal.gate1qTimeNs / 1000.0;
+    const std::size_t nq = ctx->cal.qubits.size();
+    ctx->g1Gamma.resize(nq);
+    ctx->g1Coherence.resize(nq);
+    ctx->hasRx.assign(nq, 0);
+    ctx->rx.resize(nq);
+    ctx->n1.resize(nq);
+    ctx->n1Trivial.assign(nq, 0);
+    for (std::size_t q = 0; q < nq; ++q) {
+        const QubitCalibration &qc = ctx->cal.qubits[q];
+        thermalFactors(qc, t1qUs, ctx->g1Gamma[q], ctx->g1Coherence[q]);
+        if (qc.coherentRxRad != 0.0) {
+            ctx->hasRx[q] = 1;
+            const double angle[1] = {qc.coherentRxRad};
+            gateEntries(GateType::RX, angle, ctx->rx[q].data());
+        }
+        // One source of truth for the channel physics: thermal
+        // relaxation then depolarizing, composed in Kraus form
+        // (quantum/kraus.h) and flattened to the 4x4 superoperator.
+        const KrausChannel seq =
+            thermalRelaxation(qc.t1Us, qc.t2Us, t1qUs)
+                .composeWith(depolarizing1q(qc.gate1qError));
+        const CVector &s = seq.superopMatrix();
+        std::copy(s.begin(), s.end(), ctx->n1[q].begin());
+        ctx->n1Trivial[q] = !ctx->hasRx[q] && qc.gate1qError <= 0.0 &&
+                            ctx->g1Gamma[q] == 0.0 &&
+                            ctx->g1Coherence[q] == 1.0;
+    }
+    for (const auto &[pair, err] : ctx->cal.cxError) {
+        auto timeIt = ctx->cal.cxTimeNs.find(pair);
+        if (timeIt == ctx->cal.cxTimeNs.end())
+            continue; // no duration on record: unusable pair
+        NoiseContext::CxNoise cn;
+        const double durUs = timeIt->second / 1000.0;
+        const double phase =
+            ctx->cal.cxPhaseFor(pair.first, pair.second);
+        if (phase != 0.0) {
+            cn.hasZz = true;
+            const double angle[1] = {phase};
+            gateEntries(GateType::RZZ, angle, cn.zz);
+        }
+        cn.err = err;
+        thermalFactors(ctx->cal.qubits[pair.first], durUs, cn.gammaLo,
+                       cn.cohLo);
+        thermalFactors(ctx->cal.qubits[pair.second], durUs, cn.gammaHi,
+                       cn.cohHi);
+        cn.trivial = err <= 0.0 && cn.gammaLo == 0.0 &&
+                     cn.cohLo == 1.0 && cn.gammaHi == 0.0 &&
+                     cn.cohHi == 1.0;
+        ctx->cx.emplace(pair, cn);
+    }
+
+    ctx_ = ctx;
+    return ctx;
+}
+
+CalibrationSnapshot
+SimulatedQpu::reportedCalibration(double tH) const
+{
+    std::lock_guard<std::mutex> lk(reportedMu_);
+    if (!hasReported_ || reportedTimeH_ != tH) {
+        reportedCal_ = tracker_.reported(tH);
+        reportedTimeH_ = tH;
+        hasReported_ = true;
+    }
+    return reportedCal_;
+}
+
 JobResult
 SimulatedQpu::execute(const TranspiledCircuit &tc,
                       const std::vector<double> &params, int shots,
                       double atTimeH, Rng &rng, bool sampleCounts)
 {
-    const CalibrationSnapshot cal = tracker_.actual(atTimeH);
     const int n = tc.compact.numQubits();
     if (n < 1)
         panic("SimulatedQpu::execute: empty circuit");
 
     const std::shared_ptr<const ExecPlan> planPtr = planFor(tc);
     const ExecPlan &plan = *planPtr;
+    const std::shared_ptr<const NoiseContext> ctxPtr =
+        noiseContextFor(atTimeH);
+    const NoiseContext &nc = *ctxPtr;
 
     JobResult result;
     result.shots = shots;
-    result.circuitDurationUs =
-        circuitDurationUs(tc.compact, cal, tc.compactToPhysical);
+    result.circuitDurationUs = plan.durationUs;
 
-    const bool noiseless = isNoiseless(cal);
-
-    // Per-op unitary entries: precompiled for fixed angles, rebuilt in
-    // place (no allocation) when the op references the parameter table.
-    Complex scratch[16];
-    double angles[3];
-    auto entriesOf = [&](const PlannedOp &op) -> const Complex * {
-        if (!op.symbolic)
-            return op.entries;
-        for (int i = 0; i < op.numParams; ++i)
-            angles[i] = op.params[i].evaluate(params);
-        gateEntries(op.type, angles, scratch);
-        return scratch;
-    };
-
-    if (noiseless) {
-        // Pure-state fast path for the ideal baseline.
+    if (nc.noiseless) {
+        // Pure-state fast path for the ideal baseline: the Full-fusion
+        // program, one kernel pass per fused operator.
         Statevector sv(n);
-        for (const PlannedOp &op : plan.ops) {
-            if (op.type == GateType::ID)
-                continue;
-            const Complex *u = entriesOf(op);
-            if (op.twoQubit) {
-                op.diagonal ? sv.applyDiag2(u, op.q0, op.q1)
-                            : sv.applyGate2(u, op.q0, op.q1);
-            } else {
-                op.diagonal ? sv.applyDiag1(u, op.q0)
-                            : sv.applyGate1(u, op.q0);
-            }
-        }
+        applyFusedProgram(plan.ideal, params, sv);
         result.probabilities = sv.probabilities();
     } else {
         DensityMatrix dm(n);
-        const double t1qUs = cal.gate1qTimeNs / 1000.0;
-        for (const PlannedOp &op : plan.ops) {
-            if (op.type != GateType::ID) {
-                const Complex *u = entriesOf(op);
-                if (op.twoQubit) {
-                    op.diagonal ? dm.applyDiag2(u, op.q0, op.q1)
-                                : dm.applyGate2(u, op.q0, op.q1);
-                } else {
-                    op.diagonal ? dm.applyDiag1(u, op.q0)
-                                : dm.applyGate1(u, op.q0);
-                }
+        Complex scratch[16];
+        for (const FusedOp &op : plan.noisy.ops) {
+            // Evaluate the fused unitary (symbolic ops rebuild their at
+            // most 4x4 product; gate+noise sequences below fold it into
+            // one channel superoperator instead of applying it here).
+            const Complex *u = op.entries;
+            const bool hasUnitary = op.termBegin != op.termEnd;
+            if (hasUnitary && op.symbolic) {
+                fusedEntries(plan.noisy, op, params, scratch);
+                u = scratch;
             }
 
-            switch (op.type) {
+            switch (op.primary) {
               case GateType::RZ:
-                // Virtual: implemented in software, no noise.
+                // Virtual-only op: implemented in software, no noise.
+                if (hasUnitary) {
+                    if (op.twoQubit)
+                        op.diagonal ? dm.applyDiag2(u, op.q0, op.q1)
+                                    : dm.applyGate2(u, op.q0, op.q1);
+                    else
+                        op.diagonal ? dm.applyDiag1(u, op.q0)
+                                    : dm.applyGate1(u, op.q0);
+                }
                 break;
-              case GateType::ID:
+              case GateType::ID: {
+                // Explicit idle: thermal relaxation only, no unitary.
+                const int p0 = plan.physOf[op.q0];
+                dm.applyThermalRelaxation(op.q0, nc.g1Gamma[p0],
+                                          nc.g1Coherence[p0]);
+                break;
+              }
               case GateType::SX:
               case GateType::X: {
-                const QubitCalibration &qc = cal.qubits[op.p0];
-                if (op.type != GateType::ID &&
-                    qc.coherentRxRad != 0.0) {
-                    // Coherent miscalibration: every physical X-axis
-                    // pulse over/under-rotates by a signed angle.
-                    const double rxAngle[1] = {qc.coherentRxRad};
-                    Complex rx[4];
-                    gateEntries(GateType::RX, rxAngle, rx);
-                    dm.applyGate1(rx, op.q0);
+                // One pass for the whole sequence the unfused executor
+                // used to spread over up to four: fused unitary,
+                // coherent miscalibration, thermal relaxation and
+                // depolarizing compose into a single 4x4 channel
+                // superoperator N1 * (W (x) conj(W)).
+                const int p0 = plan.physOf[op.q0];
+                Complex w[4];
+                if (nc.hasRx[p0])
+                    matMul(w, nc.rx[p0].data(), u, 2);
+                else
+                    std::memcpy(w, u, sizeof(w));
+                if (nc.n1Trivial[p0]) {
+                    dm.applyGate1(w, op.q0);
+                    break;
                 }
-                applyThermal(dm, op.q0, qc, t1qUs);
-                if (op.type != GateType::ID && qc.gate1qError > 0.0)
-                    dm.applyDepolarizing1q(qc.gate1qError, op.q0);
+                Complex m[16], s[16];
+                for (int kp = 0; kp < 2; ++kp)
+                    for (int bp = 0; bp < 2; ++bp)
+                        for (int k = 0; k < 2; ++k)
+                            for (int b = 0; b < 2; ++b)
+                                m[(kp + 2 * bp) * 4 + (k + 2 * b)] =
+                                    w[kp * 2 + k] *
+                                    std::conj(w[bp * 2 + b]);
+                matMul(s, nc.n1[p0].data(), m, 4);
+                dm.applyChannelSuperop1(s, op.q0);
                 break;
               }
               case GateType::CX: {
-                double err = cal.cxErrorFor(op.p0, op.p1);
-                double durUs = cal.cxTimeFor(op.p0, op.p1) / 1000.0;
-                double phase = cal.cxPhaseFor(op.p0, op.p1);
-                if (phase != 0.0) {
-                    // Residual ZZ phase accompanying the CX pulse.
-                    const double zzAngle[1] = {phase};
-                    Complex zz[4];
-                    gateEntries(GateType::RZZ, zzAngle, zz);
-                    dm.applyDiag2(zz, op.q0, op.q1);
+                const int p0 = plan.physOf[op.q0];
+                const int p1 = plan.physOf[op.q1];
+                const auto key = std::minmax(p0, p1);
+                auto it = nc.cx.find({key.first, key.second});
+                if (it == nc.cx.end())
+                    panic("SimulatedQpu: CX on uncoupled qubits");
+                const NoiseContext::CxNoise &cn = it->second;
+                if (cn.hasZz) {
+                    // Residual ZZ phase accompanying the CX pulse
+                    // (swap-symmetric diagonal, orientation-free):
+                    // fold it into the fused unitary's entries.
+                    Complex w2[16];
+                    for (int r = 0; r < 4; ++r)
+                        for (int c = 0; c < 4; ++c)
+                            w2[r * 4 + c] = cn.zz[r] * u[r * 4 + c];
+                    dm.applyGate2(w2, op.q0, op.q1);
+                } else {
+                    dm.applyGate2(u, op.q0, op.q1);
                 }
-                if (err > 0.0)
-                    dm.applyDepolarizing2q(err, op.q0, op.q1);
-                applyThermal(dm, op.q0, cal.qubits[op.p0], durUs);
-                applyThermal(dm, op.q1, cal.qubits[op.p1], durUs);
+                if (!cn.trivial) {
+                    // One block-local pass for depolarizing + both
+                    // endpoints' thermal relaxation.
+                    const bool lo0 = p0 == key.first;
+                    dm.applyDepolThermal2q(
+                        cn.err, op.q0, lo0 ? cn.gammaLo : cn.gammaHi,
+                        lo0 ? cn.cohLo : cn.cohHi, op.q1,
+                        lo0 ? cn.gammaHi : cn.gammaLo,
+                        lo0 ? cn.cohHi : cn.cohLo);
+                }
                 break;
               }
               default:
                 panic("SimulatedQpu: non-basis gate '" +
-                      gateName(op.type) + "' reached the backend");
+                      gateName(op.primary) + "' reached the backend");
             }
         }
         result.probabilities = dm.probabilities();
         // SPAM: per-qubit readout confusion on the measured qubits.
         for (int q : plan.measured) {
             const QubitCalibration &qc =
-                cal.qubits[tc.compactToPhysical[q]];
+                nc.cal.qubits[plan.physOf[q]];
             applyReadoutError(result.probabilities, q, qc.readout);
         }
     }

@@ -107,17 +107,36 @@ class SimulatedQpu : public QuantumBackend
 
   private:
     /**
-     * Precompiled execution plan for one transpiled circuit: gate kind,
-     * qubit span and physical ids resolved, fixed-angle unitaries
-     * prebuilt — the per-job loop only re-evaluates symbolic parameter
-     * expressions and dispatches branch-light kernel calls, with no
-     * per-gate heap allocation. Cached by circuit identity (structural
-     * hash, verified exactly on every hit).
+     * Precompiled execution plan for one transpiled circuit: two fused
+     * programs (see sim/fusion.h) — a Full-fusion program driving the
+     * noiseless statevector fast path and a NoisePreserving program
+     * driving the density-matrix path, where per-gate calibration noise
+     * attaches to each fused op's primary gate — plus the physical
+     * qubit mapping and measured-qubit list. The per-job loop only
+     * re-evaluates symbolic fused operators (at most 4x4 products) and
+     * dispatches branch-light kernel calls, with no per-gate heap
+     * allocation. Cached by circuit identity (structural hash, verified
+     * exactly on every hit).
      */
     struct ExecPlan;
 
+    /**
+     * Everything execute() derives from the actual calibration at one
+     * submission time, cached so the many circuits of a gradient batch
+     * (all submitted at the same completion time) build it once:
+     * the drifted snapshot itself, per-qubit noise superoperators and
+     * thermal-relaxation factors for the 1q gate time, precompiled
+     * coherent-miscalibration and ZZ-phase entries, and per-pair CX
+     * noise. (Circuit durations live on the ExecPlan — gate times
+     * never drift.) Safe to share across concurrently executing jobs.
+     */
+    struct NoiseContext;
+
     /** Cached plan for @p tc, building it on first sight. */
     std::shared_ptr<const ExecPlan> planFor(const TranspiledCircuit &tc);
+
+    /** Cached noise context for time @p tH (single-entry, keyed by tH). */
+    std::shared_ptr<const NoiseContext> noiseContextFor(double tH);
 
     Device dev_;
     CalibrationTracker tracker_;
@@ -126,6 +145,14 @@ class SimulatedQpu : public QuantumBackend
     std::mutex planMu_;
     std::unordered_map<uint64_t, std::shared_ptr<const ExecPlan>>
         planCache_;
+
+    std::mutex ctxMu_;
+    std::shared_ptr<const NoiseContext> ctx_;
+
+    mutable std::mutex reportedMu_;
+    mutable bool hasReported_ = false;
+    mutable double reportedTimeH_ = 0.0;
+    mutable CalibrationSnapshot reportedCal_;
 };
 
 /**

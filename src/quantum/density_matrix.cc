@@ -192,6 +192,14 @@ DensityMatrix::applyChannel(const KrausChannel &ch,
     rho_ = std::move(acc);
 }
 
+void
+DensityMatrix::applyChannelSuperop1(const Complex *s, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("applyChannelSuperop1: qubit out of range");
+    detail::applySuperopMat1(rho_.data(), numQubits_, s, qubit, pool());
+}
+
 namespace {
 
 // Hot-loop workers for the analytic noise fast paths; see shardBlocks()
@@ -255,6 +263,73 @@ depolarizing2qRange(Complex *rho, uint64_t b, uint64_t e, double lambda,
 }
 
 void
+depolThermal2qRange(Complex *rho, uint64_t b, uint64_t e, double lambda,
+                    double gA, double cA, double gB, double cB,
+                    uint64_t kA, uint64_t kB, uint64_t bA, uint64_t bB)
+{
+    const double keep = 1.0 - lambda;
+    const double keepA = 1.0 - gA, keepB = 1.0 - gB;
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? kA : 0) | (j & 2 ? kB : 0);
+        braOff[j] = (j & 1 ? bA : 0) | (j & 2 ? bB : 0);
+    }
+    const uint64_t lows[4] = {
+        std::min(kA, kB) - 1, std::max(kA, kB) - 1,
+        std::min(bA, bB) - 1, std::max(bA, bB) - 1};
+    detail::forAnchorRuns<4>(b, e, lows,
+                             [&](uint64_t start, uint64_t run) {
+        Complex v[16];
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            for (int ks = 0; ks < 4; ++ks)
+                for (int bs = 0; bs < 4; ++bs)
+                    v[ks * 4 + bs] =
+                        rho[i + ketOff[ks] + braOff[bs]];
+            // Depolarizing.
+            Complex mix =
+                0.25 * lambda * (v[0] + v[5] + v[10] + v[15]);
+            for (int s = 0; s < 16; ++s)
+                v[s] *= keep;
+            v[0] += mix;
+            v[5] += mix;
+            v[10] += mix;
+            v[15] += mix;
+            // Thermal relaxation on qubit A (sub-bit 0 of ket/bra).
+            for (int kB2 = 0; kB2 < 2; ++kB2)
+                for (int bB2 = 0; bB2 < 2; ++bB2) {
+                    const int base = 2 * kB2 * 4 + 2 * bB2;
+                    Complex &v00 = v[base];
+                    Complex &v10 = v[base + 4];
+                    Complex &v01 = v[base + 1];
+                    Complex &v11 = v[base + 5];
+                    v00 += gA * v11;
+                    v11 *= keepA;
+                    v10 *= cA;
+                    v01 *= cA;
+                }
+            // Thermal relaxation on qubit B (sub-bit 1).
+            for (int kA2 = 0; kA2 < 2; ++kA2)
+                for (int bA2 = 0; bA2 < 2; ++bA2) {
+                    const int base = kA2 * 4 + bA2;
+                    Complex &v00 = v[base];
+                    Complex &v10 = v[base + 8];
+                    Complex &v01 = v[base + 2];
+                    Complex &v11 = v[base + 10];
+                    v00 += gB * v11;
+                    v11 *= keepB;
+                    v10 *= cB;
+                    v01 *= cB;
+                }
+            for (int ks = 0; ks < 4; ++ks)
+                for (int bs = 0; bs < 4; ++bs)
+                    rho[i + ketOff[ks] + braOff[bs]] =
+                        v[ks * 4 + bs];
+        }
+    });
+}
+
+void
 thermalRange(Complex *rho, uint64_t b, uint64_t e, double gamma,
              double coherence, uint64_t kBit, uint64_t bBit)
 {
@@ -310,6 +385,28 @@ DensityMatrix::applyDepolarizing2q(double lambda, int qubitA, int qubitB)
     Complex *rho = rho_.data();
     detail::shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
         depolarizing2qRange(rho, b, e, lambda, kA, kB, bA, bB);
+    });
+}
+
+void
+DensityMatrix::applyDepolThermal2q(double lambda, int qubitA,
+                                   double gammaA, double coherenceA,
+                                   int qubitB, double gammaB,
+                                   double coherenceB)
+{
+    if (qubitA < 0 || qubitB < 0 || qubitA >= numQubits_ ||
+        qubitB >= numQubits_ || qubitA == qubitB) {
+        panic("applyDepolThermal2q: invalid qubits");
+    }
+    const uint64_t kA = uint64_t{1} << qubitA;
+    const uint64_t kB = uint64_t{1} << qubitB;
+    const uint64_t bA = uint64_t{1} << (qubitA + numQubits_);
+    const uint64_t bB = uint64_t{1} << (qubitB + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 4;
+    Complex *rho = rho_.data();
+    detail::shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        depolThermal2qRange(rho, b, e, lambda, gammaA, coherenceA,
+                            gammaB, coherenceB, kA, kB, bA, bB);
     });
 }
 

@@ -73,6 +73,14 @@ class DensityMatrix
     void applyChannel(const KrausChannel &ch, const std::vector<int> &qubits);
 
     /**
+     * Apply a precomposed 1q channel superoperator: one 4x4 matrix over
+     * the vectorized (ket bit, bra bit) sub-index j = k + 2b of @p
+     * qubit. Lets callers compose a whole unitary + noise sequence
+     * offline and pay a single kernel pass (see SimulatedQpu).
+     */
+    void applyChannelSuperop1(const Complex *s, int qubit);
+
+    /**
      * Analytic fast path for 1q depolarizing noise:
      * rho -> (1-l) rho + l Tr_q(rho) (x) I/2. Equivalent to
      * applyChannel(depolarizing1q(l)) at a fraction of the cost.
@@ -90,6 +98,17 @@ class DensityMatrix
      */
     void applyThermalRelaxation(int qubit, double gamma,
                                 double coherence);
+
+    /**
+     * The full post-CX noise sequence in a single block-local pass:
+     * 2q depolarizing by @p lambda, then thermal relaxation on
+     * @p qubitA and on @p qubitB (same semantics as applying
+     * applyDepolarizing2q and applyThermalRelaxation twice, at a third
+     * of the memory traffic and per-call overhead).
+     */
+    void applyDepolThermal2q(double lambda, int qubitA, double gammaA,
+                             double coherenceA, int qubitB,
+                             double gammaB, double coherenceB);
 
     /** Element <row| rho |col>. */
     Complex element(uint64_t row, uint64_t col) const;

@@ -120,6 +120,32 @@ superop1Range(Complex *rho, uint64_t b, uint64_t e, const Complex *uIn,
 }
 
 void
+superopMat1Range(Complex *rho, uint64_t b, uint64_t e, const Complex *s,
+                 uint64_t kBit, uint64_t bBit)
+{
+    // Dense 4x4 channel superoperator over sub-index j = k + 2b.
+    Complex m[16];
+    for (int i = 0; i < 16; ++i)
+        m[i] = s[i];
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            const uint64_t iK = i + kBit;
+            const uint64_t iB = i + bBit;
+            const uint64_t iKB = iK + bBit;
+            const Complex v0 = rho[i], v1 = rho[iK];
+            const Complex v2 = rho[iB], v3 = rho[iKB];
+            rho[i] = m[0] * v0 + m[1] * v1 + m[2] * v2 + m[3] * v3;
+            rho[iK] = m[4] * v0 + m[5] * v1 + m[6] * v2 + m[7] * v3;
+            rho[iB] = m[8] * v0 + m[9] * v1 + m[10] * v2 + m[11] * v3;
+            rho[iKB] =
+                m[12] * v0 + m[13] * v1 + m[14] * v2 + m[15] * v3;
+        }
+    });
+}
+
+void
 superopDiag1Range(Complex *rho, uint64_t b, uint64_t e, Complex d0,
                   Complex d1, uint64_t kBit, uint64_t bBit)
 {
@@ -534,6 +560,18 @@ applySuperop1(Complex *rho, int numQubits, const Complex *u, int qubit,
     const uint64_t bBit = uint64_t{1} << (qubit + numQubits);
     shardBlocks(pool, dimSq >> 2, [=](uint64_t b, uint64_t e) {
         superop1Range(rho, b, e, u, kBit, bBit);
+    });
+}
+
+void
+applySuperopMat1(Complex *rho, int numQubits, const Complex *s, int qubit,
+                 TaskPool *pool)
+{
+    const uint64_t dimSq = uint64_t{1} << (2 * numQubits);
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits);
+    shardBlocks(pool, dimSq >> 2, [=](uint64_t b, uint64_t e) {
+        superopMat1Range(rho, b, e, s, kBit, bBit);
     });
 }
 

@@ -286,6 +286,15 @@ void applySuperopPerm2(Complex *rho, int numQubits, const PermPhase &pp,
                        int q0, int q1, TaskPool *pool);
 
 /**
+ * Apply a precomputed 4x4 channel superoperator to every 4-element
+ * (ket, bra) block of a 1q channel; @p s is row-major over the
+ * vectorized sub-index j = ketBit + 2 braBit. One pass for a whole
+ * composed gate + noise sequence (see SimulatedQpu::execute).
+ */
+void applySuperopMat1(Complex *rho, int numQubits, const Complex *s,
+                      int qubit, TaskPool *pool);
+
+/**
  * Apply a precomputed 16x16 channel superoperator to every 16-element
  * (ket, bra) block of a 2q channel: one 16-dim mat-vec per block
  * instead of one K b K^dagger triple product per Kraus operator (16

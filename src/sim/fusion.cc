@@ -1,0 +1,396 @@
+#include "sim/fusion.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "quantum/density_matrix.h"
+#include "quantum/statevector.h"
+
+namespace eqc {
+
+namespace {
+
+/** Swap the two sub-index bits of a 2q index. */
+inline int
+swapBits2(int j)
+{
+    return ((j & 1) << 1) | ((j >> 1) & 1);
+}
+
+/** acc = m * acc for row-major sub x sub matrices (sub <= 4). */
+inline void
+mulInto(Complex *acc, const Complex *m, int sub)
+{
+    Complex tmp[16];
+    for (int r = 0; r < sub; ++r) {
+        for (int c = 0; c < sub; ++c) {
+            Complex s(0, 0);
+            for (int k = 0; k < sub; ++k)
+                s += m[r * sub + k] * acc[k * sub + c];
+            tmp[r * sub + c] = s;
+        }
+    }
+    std::memcpy(acc, tmp, sizeof(Complex) * sub * sub);
+}
+
+/**
+ * Expand one term's gate into a full sub x sub matrix over the fused
+ * op's wires. @p g holds gateEntries() output for the term (full or
+ * diagonal depending on the gate).
+ */
+inline void
+termMatrix(const FusedTerm &t, const Complex *g, bool opTwoQubit,
+           Complex *full)
+{
+    const bool tdiag = isDiagonalGate(t.type);
+    if (!opTwoQubit) {
+        if (tdiag) {
+            full[0] = g[0];
+            full[1] = Complex(0, 0);
+            full[2] = Complex(0, 0);
+            full[3] = g[1];
+        } else {
+            std::memcpy(full, g, sizeof(Complex) * 4);
+        }
+        return;
+    }
+    if (t.wire >= 0) {
+        // 1q gate embedded on one wire of a 2q op: sub-index bit
+        // t.wire selects the acted-on qubit, the other bit is carried.
+        Complex u[4];
+        if (tdiag) {
+            u[0] = g[0];
+            u[1] = Complex(0, 0);
+            u[2] = Complex(0, 0);
+            u[3] = g[1];
+        } else {
+            std::memcpy(u, g, sizeof(Complex) * 4);
+        }
+        for (int r = 0; r < 4; ++r) {
+            const int rb = (r >> t.wire) & 1;
+            const int ro = (r >> (1 - t.wire)) & 1;
+            for (int c = 0; c < 4; ++c) {
+                const int cb = (c >> t.wire) & 1;
+                const int co = (c >> (1 - t.wire)) & 1;
+                full[r * 4 + c] =
+                    (ro == co) ? u[rb * 2 + cb] : Complex(0, 0);
+            }
+        }
+        return;
+    }
+    // 2q term, possibly recorded with swapped operand order.
+    if (tdiag) {
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                full[r * 4 + c] = Complex(0, 0);
+        for (int j = 0; j < 4; ++j) {
+            const int jj = t.swapped ? swapBits2(j) : j;
+            full[j * 4 + j] = g[jj];
+        }
+        return;
+    }
+    for (int r = 0; r < 4; ++r) {
+        const int rr = t.swapped ? swapBits2(r) : r;
+        for (int c = 0; c < 4; ++c) {
+            const int cc = t.swapped ? swapBits2(c) : c;
+            full[r * 4 + c] = g[rr * 4 + cc];
+        }
+    }
+}
+
+/** Per-op scratch while the pass runs; flattened at finalize. */
+struct OpBuild
+{
+    GateType primary = GateType::ID;
+    bool twoQubit = false;
+    bool alive = true;
+    /** Every term is a virtual gate (absorbable under NoisePreserving). */
+    bool allVirtual = true;
+    int q0 = -1, q1 = -1;
+    /** Previous alive op index on each wire at emission time. */
+    int prevOnWire[2] = {-1, -1};
+    std::vector<FusedTerm> terms;
+};
+
+FusedTerm
+makeTerm(const GateOp &op)
+{
+    FusedTerm t;
+    t.type = op.type;
+    t.numParams = static_cast<int>(op.params.size());
+    for (int i = 0; i < t.numParams && i < 3; ++i)
+        t.params[i] = op.params[i];
+    return t;
+}
+
+} // namespace
+
+FusedProgram
+fuseForSimulation(const QuantumCircuit &circuit, FusionMode mode)
+{
+    const bool full = mode == FusionMode::Full;
+    std::vector<OpBuild> build;
+    std::vector<int> lastOnWire(
+        static_cast<std::size_t>(circuit.numQubits()), -1);
+    std::size_t consumed = 0;
+
+    // Detach the most recent op on wire @p w when it is an absorbable
+    // 1q op, returning its index (or -1). The wire's last-op link falls
+    // back to the op emitted before it, so a same-pair 2q merge behind
+    // it stays visible.
+    auto takeAbsorbable1q = [&](int w) {
+        const int i = lastOnWire[w];
+        if (i < 0)
+            return -1;
+        OpBuild &o = build[i];
+        if (o.twoQubit || o.terms.empty())
+            return -1;
+        if (!full && !o.allVirtual)
+            return -1;
+        o.alive = false;
+        lastOnWire[w] = o.prevOnWire[0];
+        return i;
+    };
+
+    auto emit = [&](OpBuild &&o) {
+        const int idx = static_cast<int>(build.size());
+        o.prevOnWire[0] = lastOnWire[o.q0];
+        lastOnWire[o.q0] = idx;
+        if (o.twoQubit) {
+            o.prevOnWire[1] = lastOnWire[o.q1];
+            lastOnWire[o.q1] = idx;
+        }
+        build.push_back(std::move(o));
+    };
+
+    for (const GateOp &op : circuit.ops()) {
+        if (op.type == GateType::MEASURE || op.type == GateType::BARRIER)
+            continue;
+        ++consumed;
+
+        if (op.type == GateType::ID) {
+            if (full)
+                continue; // exact identity: nothing to apply
+            // Explicit idle: keeps its thermal-relaxation slot, absorbs
+            // nothing (it applies no unitary to fold into).
+            OpBuild o;
+            o.primary = GateType::ID;
+            o.q0 = op.qubits[0];
+            o.allVirtual = false;
+            emit(std::move(o));
+            continue;
+        }
+
+        const int arity = gateArity(op.type);
+        const bool isVirtual = isVirtualGate(op.type);
+
+        if (arity == 1) {
+            const int q = op.qubits[0];
+            const int i = lastOnWire[q];
+            const bool canJoin =
+                i >= 0 && build[i].alive && !build[i].twoQubit &&
+                !build[i].terms.empty() &&
+                (full || (build[i].allVirtual && isVirtual));
+            if (canJoin) {
+                build[i].terms.push_back(makeTerm(op));
+                build[i].allVirtual &= isVirtual;
+                if (!isVirtual)
+                    build[i].primary = op.type;
+                continue;
+            }
+            if (!full && !isVirtual) {
+                // Physical 1q gate: absorb a pending virtual run on its
+                // wire (input side), then stand alone for its noise.
+                OpBuild o;
+                o.primary = op.type;
+                o.q0 = q;
+                o.allVirtual = false;
+                const int a = takeAbsorbable1q(q);
+                if (a >= 0)
+                    o.terms = std::move(build[a].terms);
+                o.terms.push_back(makeTerm(op));
+                emit(std::move(o));
+                continue;
+            }
+            OpBuild o;
+            o.primary = op.type;
+            o.q0 = q;
+            o.allVirtual = isVirtual;
+            o.terms.push_back(makeTerm(op));
+            emit(std::move(o));
+            continue;
+        }
+
+        // 2q gate: absorb pending 1q runs on both wires (input side).
+        const int a = op.qubits[0], b = op.qubits[1];
+        const int absA = takeAbsorbable1q(a);
+        const int absB = takeAbsorbable1q(b);
+
+        if (full) {
+            // Same-pair merge: the last alive op on both wires is one
+            // 2q op over {a, b} with nothing else between.
+            const int i = lastOnWire[a];
+            if (i >= 0 && i == lastOnWire[b] && build[i].alive &&
+                build[i].twoQubit &&
+                ((build[i].q0 == a && build[i].q1 == b) ||
+                 (build[i].q0 == b && build[i].q1 == a))) {
+                OpBuild &o = build[i];
+                if (absA >= 0)
+                    for (FusedTerm &t : build[absA].terms) {
+                        t.wire = (o.q0 == a) ? 0 : 1;
+                        o.terms.push_back(t);
+                    }
+                if (absB >= 0)
+                    for (FusedTerm &t : build[absB].terms) {
+                        t.wire = (o.q0 == b) ? 0 : 1;
+                        o.terms.push_back(t);
+                    }
+                FusedTerm t = makeTerm(op);
+                t.swapped = (o.q0 != a);
+                o.terms.push_back(t);
+                o.allVirtual &= isVirtual;
+                continue;
+            }
+        }
+
+        OpBuild o;
+        o.primary = op.type;
+        o.twoQubit = true;
+        o.q0 = a;
+        o.q1 = b;
+        o.allVirtual = isVirtual;
+        if (absA >= 0)
+            for (FusedTerm &t : build[absA].terms) {
+                t.wire = 0;
+                o.terms.push_back(t);
+            }
+        if (absB >= 0)
+            for (FusedTerm &t : build[absB].terms) {
+                t.wire = 1;
+                o.terms.push_back(t);
+            }
+        o.terms.push_back(makeTerm(op));
+        emit(std::move(o));
+    }
+
+    FusedProgram prog;
+    prog.numQubits = circuit.numQubits();
+    prog.sourceGates = consumed;
+    for (OpBuild &o : build) {
+        if (!o.alive)
+            continue;
+        FusedOp f;
+        f.primary = o.terms.empty()
+                        ? GateType::ID
+                        : (o.allVirtual ? GateType::RZ : o.primary);
+        if (!o.terms.empty() && full)
+            f.primary = o.terms.front().type;
+        f.twoQubit = o.twoQubit;
+        f.q0 = o.q0;
+        f.q1 = o.q1;
+        f.diagonal = true;
+        f.symbolic = false;
+        f.termBegin = static_cast<int>(prog.terms.size());
+        for (const FusedTerm &t : o.terms) {
+            f.diagonal = f.diagonal && isDiagonalGate(t.type);
+            for (int i = 0; i < t.numParams; ++i)
+                f.symbolic = f.symbolic || t.params[i].isSymbolic();
+            prog.terms.push_back(t);
+        }
+        f.termEnd = static_cast<int>(prog.terms.size());
+        if (!f.symbolic && f.termBegin != f.termEnd)
+            fusedEntries(prog, f, {}, f.entries);
+        prog.ops.push_back(f);
+    }
+    return prog;
+}
+
+void
+fusedEntries(const FusedProgram &prog, const FusedOp &op,
+             const std::vector<double> &params, Complex *out)
+{
+    const int sub = op.twoQubit ? 4 : 2;
+    double angles[3] = {0, 0, 0};
+    Complex g[16];
+
+    if (op.diagonal) {
+        for (int j = 0; j < sub; ++j)
+            out[j] = Complex(1, 0);
+        for (int ti = op.termBegin; ti < op.termEnd; ++ti) {
+            const FusedTerm &t = prog.terms[ti];
+            for (int i = 0; i < t.numParams; ++i)
+                angles[i] = t.params[i].evaluate(params);
+            gateEntries(t.type, angles, g);
+            if (!op.twoQubit) {
+                out[0] *= g[0];
+                out[1] *= g[1];
+            } else if (t.wire >= 0) {
+                for (int j = 0; j < 4; ++j)
+                    out[j] *= g[(j >> t.wire) & 1];
+            } else {
+                for (int j = 0; j < 4; ++j)
+                    out[j] *= g[t.swapped ? swapBits2(j) : j];
+            }
+        }
+        return;
+    }
+
+    for (int r = 0; r < sub; ++r)
+        for (int c = 0; c < sub; ++c)
+            out[r * sub + c] =
+                (r == c) ? Complex(1, 0) : Complex(0, 0);
+    Complex full[16];
+    for (int ti = op.termBegin; ti < op.termEnd; ++ti) {
+        const FusedTerm &t = prog.terms[ti];
+        for (int i = 0; i < t.numParams; ++i)
+            angles[i] = t.params[i].evaluate(params);
+        gateEntries(t.type, angles, g);
+        termMatrix(t, g, op.twoQubit, full);
+        mulInto(out, full, sub);
+    }
+}
+
+namespace {
+
+/** Shared apply loop over any simulator exposing the 4 entry paths. */
+template <typename Sim>
+void
+applyFusedProgramImpl(const FusedProgram &prog,
+                      const std::vector<double> &params, Sim &sim)
+{
+    Complex scratch[16];
+    for (const FusedOp &op : prog.ops) {
+        if (op.termBegin == op.termEnd)
+            continue; // explicit idle: no unitary
+        const Complex *u = op.entries;
+        if (op.symbolic) {
+            fusedEntries(prog, op, params, scratch);
+            u = scratch;
+        }
+        if (op.twoQubit) {
+            op.diagonal ? sim.applyDiag2(u, op.q0, op.q1)
+                        : sim.applyGate2(u, op.q0, op.q1);
+        } else {
+            op.diagonal ? sim.applyDiag1(u, op.q0)
+                        : sim.applyGate1(u, op.q0);
+        }
+    }
+}
+
+} // namespace
+
+void
+applyFusedProgram(const FusedProgram &prog,
+                  const std::vector<double> &params, Statevector &sv)
+{
+    applyFusedProgramImpl(prog, params, sv);
+}
+
+void
+applyFusedProgram(const FusedProgram &prog,
+                  const std::vector<double> &params, DensityMatrix &dm)
+{
+    applyFusedProgramImpl(prog, params, dm);
+}
+
+} // namespace eqc

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Gate-fusion compilation pass for the simulation backends.
+ *
+ * VQA circuits transpiled to the IBMQ basis are dominated by long runs
+ * of cheap gates: every logical 1q rotation becomes an RZ/SX/RZ/SX/RZ
+ * chain, and each chain feeds a CX. Applying those gates one at a time
+ * costs one full pass over the amplitude (or density-matrix) vector per
+ * gate. This pass merges adjacent gates *before* plan compilation so
+ * the simulators run one kernel per fused operator instead:
+ *
+ *  - runs of adjacent 1q gates on the same wire collapse into a single
+ *    2x2 matrix (diagonal runs stay diagonal, keeping the elementwise
+ *    fast path);
+ *  - 1q gates are absorbed into a neighboring 2q gate they share a wire
+ *    with (input side), producing one 4x4;
+ *  - adjacent 2q gates on the same qubit pair fold into one 4x4, with
+ *    orientation remapping when the operand order differs.
+ *
+ * Symbolic (parameter-table) gates fuse too: a FusedOp records its
+ * constituent gates, and fusedEntries() re-multiplies the (at most
+ * 4x4) matrices per parameter binding — negligible next to the saved
+ * vector passes.
+ *
+ * Two modes:
+ *  - FusionMode::Full assumes unitary-only semantics (the noiseless
+ *    statevector path) and merges everything the rules above allow.
+ *  - FusionMode::NoisePreserving keeps every *physical* (noise-bearing)
+ *    gate as its own FusedOp so the density-matrix executor can attach
+ *    per-gate calibration noise exactly as it would to the unfused
+ *    circuit; only virtual gates (RZ, which carries no noise on IBMQ
+ *    hardware) are folded into the next physical gate on their wire.
+ *
+ * MEASURE and BARRIER ops are skipped: the executors apply all
+ * unitaries before reading out probabilities, and barriers are
+ * scheduling hints with no simulation semantics. Reordering performed
+ * by the pass only ever moves a gate past ops on *disjoint* wires,
+ * which commutes exactly (tensor factors), so fused and unfused
+ * programs agree to rounding error.
+ */
+
+#ifndef EQC_SIM_FUSION_H
+#define EQC_SIM_FUSION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace eqc {
+
+class Statevector;
+class DensityMatrix;
+
+/** How aggressively fuseForSimulation() may merge gates. */
+enum class FusionMode {
+    /** Unitary-only semantics: merge everything fusable. */
+    Full,
+    /**
+     * One FusedOp per physical gate (noise attaches per op); only
+     * virtual gates fold into the next physical gate on their wire.
+     */
+    NoisePreserving,
+};
+
+/**
+ * One constituent gate of a FusedOp, kept so symbolic operators can be
+ * re-evaluated per parameter binding (see fusedEntries()).
+ */
+struct FusedTerm
+{
+    GateType type = GateType::ID;
+    int numParams = 0;
+    ParamExpr params[3];
+    /**
+     * For a 1q gate inside a 2q FusedOp: which wire it acts on
+     * (0 -> q0, 1 -> q1). -1 for 2q terms and for terms of 1q ops.
+     */
+    int wire = -1;
+    /** 2q term whose operands are (q1, q0) relative to the FusedOp. */
+    bool swapped = false;
+};
+
+/** One fused operator: the product of adjacent circuit gates. */
+struct FusedOp
+{
+    /**
+     * The noise-carrying gate of this op under NoisePreserving fusion
+     * (drives the executor's calibration-noise dispatch): the single
+     * physical constituent, RZ for virtual-only ops, ID for an explicit
+     * idle. Set to the first constituent's type under Full fusion,
+     * where it is informational only.
+     */
+    GateType primary = GateType::ID;
+    bool twoQubit = false;
+    /** All constituents diagonal: entries[] holds only the diagonal. */
+    bool diagonal = false;
+    /** References the parameter table: entries rebuilt per binding. */
+    bool symbolic = false;
+    int q0 = -1, q1 = -1;
+    /** Constituents, in application order: [termBegin, termEnd). */
+    int termBegin = 0, termEnd = 0;
+    /**
+     * Operator entries, prebuilt when !symbolic: row-major sub x sub
+     * (sub = 2 or 4), or just the sub diagonal entries when diagonal.
+     * An op with no terms (explicit idle) applies no unitary.
+     */
+    Complex entries[16];
+};
+
+/** A fused circuit: what the execution plans compile and cache. */
+struct FusedProgram
+{
+    int numQubits = 0;
+    std::vector<FusedOp> ops;
+    /** Backing store for every op's [termBegin, termEnd) range. */
+    std::vector<FusedTerm> terms;
+    /** Unitary gates consumed by the pass (fusion-ratio telemetry). */
+    std::size_t sourceGates = 0;
+};
+
+/**
+ * Fuse @p circuit for simulation under @p mode.
+ *
+ * @param circuit any circuit over the gate vocabulary; MEASURE and
+ *        BARRIER ops are skipped (see file comment)
+ * @param mode merging rules (see FusionMode)
+ */
+FusedProgram fuseForSimulation(const QuantumCircuit &circuit,
+                               FusionMode mode);
+
+/**
+ * Evaluate the operator entries of @p op under @p params into @p out:
+ * the product of its constituent gate matrices in application order,
+ * wire-embedded for 1q terms inside 2q ops. Layout matches
+ * FusedOp::entries (full sub x sub, or the sub diagonal entries when
+ * op.diagonal). Allocation-free; safe to call concurrently.
+ */
+void fusedEntries(const FusedProgram &prog, const FusedOp &op,
+                  const std::vector<double> &params, Complex *out);
+
+/**
+ * Run every op of @p prog on a statevector (the noiseless execution
+ * path; also the reference used by the fusion equivalence tests).
+ */
+void applyFusedProgram(const FusedProgram &prog,
+                       const std::vector<double> &params, Statevector &sv);
+
+/** Run every op of @p prog on a density matrix (unitaries only). */
+void applyFusedProgram(const FusedProgram &prog,
+                       const std::vector<double> &params,
+                       DensityMatrix &dm);
+
+} // namespace eqc
+
+#endif // EQC_SIM_FUSION_H

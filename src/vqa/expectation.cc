@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/task_pool.h"
 
 namespace eqc {
 
@@ -101,85 +102,142 @@ ExpectationEstimator::compileFor(const CouplingMap &map,
     return out;
 }
 
+ExpectationEstimator::GroupPartial
+ExpectationEstimator::estimateGroup(
+    QuantumBackend &backend, const MeasurementGroup &g,
+    const TranspiledCircuit &tc, const std::vector<double> &params,
+    int shots, double atTimeH, Rng &rng, ShotMode mode,
+    const CalibrationSnapshot *reported) const
+{
+    GroupPartial out;
+    JobResult job = backend.execute(tc, params, shots, atTimeH, rng,
+                                    mode == ShotMode::Multinomial);
+    out.measurements = tc.counts.measurements;
+    out.durationUs = job.circuitDurationUs;
+
+    // The (quasi-)distribution expectations are computed from:
+    // sampled counts in Multinomial mode, exact probabilities
+    // otherwise; mitigated through the *reported* confusion.
+    std::vector<double> dist;
+    if (mode == ShotMode::Multinomial) {
+        dist.assign(job.counts.size(), 0.0);
+        double total = 0.0;
+        for (uint64_t c : job.counts)
+            total += static_cast<double>(c);
+        if (total > 0.0)
+            for (std::size_t o = 0; o < job.counts.size(); ++o)
+                dist[o] = static_cast<double>(job.counts[o]) / total;
+    } else {
+        dist = std::move(job.probabilities);
+    }
+    if (reported) {
+        for (const GateOp &op : tc.compact.ops()) {
+            if (op.type != GateType::MEASURE)
+                continue;
+            int q = op.qubits[0];
+            int phys = tc.compactToPhysical[q];
+            applyReadoutMitigation(dist, q,
+                                   reported->qubits[phys].readout);
+        }
+    }
+
+    for (std::size_t k = 0; k < g.termIndices.size(); ++k) {
+        const std::size_t ti = g.termIndices[k];
+        const PauliTerm &term = hamiltonian_.terms()[ti];
+        // Parity mask over compact qubits: remap the precomputed
+        // logical support's set bits through the layout.
+        uint64_t mask = 0;
+        for (uint64_t m = g.termLogicalMasks[k]; m; m &= m - 1) {
+            int q = __builtin_ctzll(m);
+            mask |= uint64_t{1} << tc.logicalToCompact[q];
+        }
+        double exp = 0.0;
+        for (std::size_t o = 0; o < dist.size(); ++o) {
+            int par = __builtin_popcountll(o & mask) & 1;
+            exp += par ? -dist[o] : dist[o];
+        }
+        if (mode == ShotMode::Gaussian && shots > 0) {
+            double var = std::max(0.0, 1.0 - exp * exp) / shots;
+            exp += rng.normal(0.0, std::sqrt(var));
+        }
+        out.energy += term.coefficient * exp;
+        if (shots > 0) {
+            double var = std::max(0.0, 1.0 - exp * exp) / shots;
+            out.variance += term.coefficient * term.coefficient * var;
+        }
+    }
+    return out;
+}
+
+std::vector<EnergyEstimate>
+ExpectationEstimator::estimateBatch(QuantumBackend &backend,
+                                    const std::vector<EstimateJob> &jobs,
+                                    int shots, double atTimeH, Rng &rng,
+                                    ShotMode mode, bool mitigateReadout,
+                                    TaskPool *pool) const
+{
+    const std::size_t numGroups = groups_.size();
+    for (const EstimateJob &job : jobs) {
+        if (!job.compiled || !job.params ||
+            job.compiled->size() != numGroups)
+            panic("ExpectationEstimator::estimateBatch: "
+                  "compilation mismatch");
+    }
+
+    CalibrationSnapshot reported;
+    if (mitigateReadout)
+        reported = backend.reportedCalibration(atTimeH);
+    const CalibrationSnapshot *rep =
+        mitigateReadout ? &reported : nullptr;
+
+    // One parent draw seeds a per-execution fork lattice: every
+    // (evaluation, group) circuit gets its own stream, so scheduling
+    // cannot perturb the numbers and the parent stream advances the
+    // same way for every batch size.
+    const uint64_t forkBase = rng.engine()();
+
+    const std::size_t flat = jobs.size() * numGroups;
+    std::vector<GroupPartial> parts(flat);
+    auto runRange = [&](uint64_t b, uint64_t e) {
+        for (uint64_t f = b; f < e; ++f) {
+            const std::size_t ji = f / numGroups;
+            const std::size_t gi = f % numGroups;
+            Rng jobRng = Rng(forkBase).fork(f);
+            parts[f] = estimateGroup(
+                backend, groups_[gi], (*jobs[ji].compiled)[gi],
+                *jobs[ji].params, shots, atTimeH, jobRng, mode, rep);
+        }
+    };
+    TaskPool &p = pool ? *pool : TaskPool::shared();
+    p.parallelJobs(flat, runRange);
+
+    std::vector<EnergyEstimate> out(jobs.size());
+    for (std::size_t ji = 0; ji < jobs.size(); ++ji) {
+        EnergyEstimate &e = out[ji];
+        e.energy = identityOffset_;
+        for (std::size_t gi = 0; gi < numGroups; ++gi) {
+            const GroupPartial &part = parts[ji * numGroups + gi];
+            e.energy += part.energy;
+            e.variance += part.variance;
+            ++e.circuitsRun;
+            e.measurements += part.measurements;
+            e.totalDurationUs += part.durationUs;
+        }
+    }
+    return out;
+}
+
 EnergyEstimate
 ExpectationEstimator::estimate(
     QuantumBackend &backend,
     const std::vector<TranspiledCircuit> &compiled,
     const std::vector<double> &params, int shots, double atTimeH,
-    Rng &rng, ShotMode mode, bool mitigateReadout) const
+    Rng &rng, ShotMode mode, bool mitigateReadout, TaskPool *pool) const
 {
     if (compiled.size() != groups_.size())
         panic("ExpectationEstimator::estimate: compilation mismatch");
-
-    EnergyEstimate out;
-    out.energy = identityOffset_;
-
-    CalibrationSnapshot reported;
-    if (mitigateReadout)
-        reported = backend.reportedCalibration(atTimeH);
-
-    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        const MeasurementGroup &g = groups_[gi];
-        const TranspiledCircuit &tc = compiled[gi];
-        JobResult job = backend.execute(tc, params, shots, atTimeH, rng,
-                                        mode == ShotMode::Multinomial);
-        ++out.circuitsRun;
-        out.measurements += tc.counts.measurements;
-        out.totalDurationUs += job.circuitDurationUs;
-
-        // The (quasi-)distribution expectations are computed from:
-        // sampled counts in Multinomial mode, exact probabilities
-        // otherwise; mitigated through the *reported* confusion.
-        std::vector<double> dist;
-        if (mode == ShotMode::Multinomial) {
-            dist.assign(job.counts.size(), 0.0);
-            double total = 0.0;
-            for (uint64_t c : job.counts)
-                total += static_cast<double>(c);
-            if (total > 0.0)
-                for (std::size_t o = 0; o < job.counts.size(); ++o)
-                    dist[o] = static_cast<double>(job.counts[o]) / total;
-        } else {
-            dist = job.probabilities;
-        }
-        if (mitigateReadout) {
-            for (const GateOp &op : tc.compact.ops()) {
-                if (op.type != GateType::MEASURE)
-                    continue;
-                int q = op.qubits[0];
-                int phys = tc.compactToPhysical[q];
-                applyReadoutMitigation(dist, q,
-                                       reported.qubits[phys].readout);
-            }
-        }
-
-        for (std::size_t k = 0; k < g.termIndices.size(); ++k) {
-            const std::size_t ti = g.termIndices[k];
-            const PauliTerm &term = hamiltonian_.terms()[ti];
-            // Parity mask over compact qubits: remap the precomputed
-            // logical support's set bits through the layout.
-            uint64_t mask = 0;
-            for (uint64_t m = g.termLogicalMasks[k]; m; m &= m - 1) {
-                int q = __builtin_ctzll(m);
-                mask |= uint64_t{1} << tc.logicalToCompact[q];
-            }
-            double exp = 0.0;
-            for (std::size_t o = 0; o < dist.size(); ++o) {
-                int par = __builtin_popcountll(o & mask) & 1;
-                exp += par ? -dist[o] : dist[o];
-            }
-            if (mode == ShotMode::Gaussian && shots > 0) {
-                double var = std::max(0.0, 1.0 - exp * exp) / shots;
-                exp += rng.normal(0.0, std::sqrt(var));
-            }
-            out.energy += term.coefficient * exp;
-            if (shots > 0) {
-                double var = std::max(0.0, 1.0 - exp * exp) / shots;
-                out.variance += term.coefficient * term.coefficient * var;
-            }
-        }
-    }
-    return out;
+    return estimateBatch(backend, {{&compiled, &params}}, shots, atTimeH,
+                         rng, mode, mitigateReadout, pool)[0];
 }
 
 } // namespace eqc

@@ -21,6 +21,8 @@
 
 namespace eqc {
 
+class TaskPool;
+
 /** How measurement shot noise enters energy estimates. */
 enum class ShotMode {
     Exact,       ///< no shot noise (infinite-shot limit)
@@ -51,6 +53,17 @@ QuantumCircuit stripMeasurements(const QuantumCircuit &circuit);
 /** Ideal <H> on the state prepared by @p ansatz at @p params. */
 double idealEnergy(const QuantumCircuit &ansatz, const PauliSum &h,
                    const std::vector<double> &params);
+
+/**
+ * One independent evaluation of a batched estimate: a compiled circuit
+ * set (compileFor() result) and a parameter binding. Both pointers must
+ * outlive the estimateBatch() call.
+ */
+struct EstimateJob
+{
+    const std::vector<TranspiledCircuit> *compiled = nullptr;
+    const std::vector<double> *params = nullptr;
+};
 
 /** An energy estimate and its bookkeeping. */
 struct EnergyEstimate
@@ -107,14 +120,59 @@ class ExpectationEstimator
      *        using the backend's *reported* calibration (standard IBMQ
      *        measurement-error mitigation; residual error remains when
      *        the reported calibration is stale)
+     * @param pool fan-out pool for the per-group executions; nullptr
+     *        means TaskPool::shared()
      */
     EnergyEstimate estimate(QuantumBackend &backend,
                             const std::vector<TranspiledCircuit> &compiled,
                             const std::vector<double> &params, int shots,
                             double atTimeH, Rng &rng, ShotMode mode,
-                            bool mitigateReadout = true) const;
+                            bool mitigateReadout = true,
+                            TaskPool *pool = nullptr) const;
+
+    /**
+     * Estimate <H> for several independent evaluations at once,
+     * fanning the (evaluation x measurement-group) circuit executions
+     * through a TaskPool — the shape of a parameter-shift gradient
+     * (forward/backward pairs) and of multi-job engine fan-out.
+     *
+     * Each circuit execution draws from its own child generator forked
+     * off one @p rng draw, so results are *identical for every thread
+     * count* (including 1) and the caller's stream advances by exactly
+     * one draw regardless of batch size. Results are reduced in a
+     * fixed order, making the whole batch bit-deterministic.
+     *
+     * @param backend execution target; must tolerate concurrent
+     *        execute() calls (SimulatedQpu does)
+     * @param jobs evaluations to run (see EstimateJob)
+     * @param pool fan-out pool; nullptr means TaskPool::shared()
+     * @return one estimate per job, in job order
+     */
+    std::vector<EnergyEstimate>
+    estimateBatch(QuantumBackend &backend,
+                  const std::vector<EstimateJob> &jobs, int shots,
+                  double atTimeH, Rng &rng, ShotMode mode,
+                  bool mitigateReadout = true,
+                  TaskPool *pool = nullptr) const;
 
   private:
+    /** Partial result of one (evaluation, group) circuit execution. */
+    struct GroupPartial
+    {
+        double energy = 0.0;
+        double variance = 0.0;
+        int measurements = 0;
+        double durationUs = 0.0;
+    };
+
+    GroupPartial estimateGroup(QuantumBackend &backend,
+                               const MeasurementGroup &group,
+                               const TranspiledCircuit &tc,
+                               const std::vector<double> &params,
+                               int shots, double atTimeH, Rng &rng,
+                               ShotMode mode,
+                               const CalibrationSnapshot *reported) const;
+
     PauliSum hamiltonian_;
     std::vector<MeasurementGroup> groups_;
     double identityOffset_ = 0.0;

@@ -81,7 +81,8 @@ gradientParamShift(const ExpectationEstimator &estimator,
                    const std::vector<TranspiledCircuit> &compiled,
                    const std::vector<double> &params, int paramIndex,
                    int shots, double atTimeH, Rng &rng, ShotMode shotMode,
-                   ShiftMode shiftMode, bool mitigateReadout)
+                   ShiftMode shiftMode, bool mitigateReadout,
+                   TaskPool *pool)
 {
     if (paramIndex < 0 ||
         paramIndex >= static_cast<int>(params.size())) {
@@ -94,36 +95,41 @@ gradientParamShift(const ExpectationEstimator &estimator,
         std::vector<double> fwd = params, bck = params;
         fwd[paramIndex] += shift;
         bck[paramIndex] -= shift;
-        EnergyEstimate ef = estimator.estimate(backend, compiled, fwd,
-                                               shots, atTimeH, rng,
-                                               shotMode,
-                                               mitigateReadout);
-        EnergyEstimate eb = estimator.estimate(backend, compiled, bck,
-                                               shots, atTimeH, rng,
-                                               shotMode,
-                                               mitigateReadout);
-        absorb(g, ef);
-        absorb(g, eb);
-        g.gradient = (ef.energy - eb.energy) / 2.0;
+        // The forward/backward evaluations are independent jobs: one
+        // batch fans both (and every measurement group within them)
+        // through the pool.
+        std::vector<EnergyEstimate> es = estimator.estimateBatch(
+            backend, {{&compiled, &fwd}, {&compiled, &bck}}, shots,
+            atTimeH, rng, shotMode, mitigateReadout, pool);
+        absorb(g, es[0]);
+        absorb(g, es[1]);
+        g.gradient = (es[0].energy - es[1].energy) / 2.0;
         return g;
     }
 
-    // PerOccurrence: sum of single-occurrence shift gradients.
+    // PerOccurrence: sum of single-occurrence shift gradients, all
+    // 2 x occurrences evaluations submitted as one batch.
     int occurrences = countOccurrences(compiled, paramIndex);
+    std::vector<std::vector<TranspiledCircuit>> shifted;
+    shifted.reserve(2 * static_cast<std::size_t>(occurrences));
+    std::vector<EstimateJob> jobs;
+    jobs.reserve(2 * static_cast<std::size_t>(occurrences));
     for (int occ = 0; occ < occurrences; ++occ) {
-        auto fwd = shiftOccurrence(compiled, paramIndex, occ, shift);
-        auto bck = shiftOccurrence(compiled, paramIndex, occ, -shift);
-        EnergyEstimate ef = estimator.estimate(backend, fwd, params,
-                                               shots, atTimeH, rng,
-                                               shotMode,
-                                               mitigateReadout);
-        EnergyEstimate eb = estimator.estimate(backend, bck, params,
-                                               shots, atTimeH, rng,
-                                               shotMode,
-                                               mitigateReadout);
-        absorb(g, ef);
-        absorb(g, eb);
-        g.gradient += (ef.energy - eb.energy) / 2.0;
+        shifted.push_back(
+            shiftOccurrence(compiled, paramIndex, occ, shift));
+        shifted.push_back(
+            shiftOccurrence(compiled, paramIndex, occ, -shift));
+    }
+    for (const auto &circuits : shifted)
+        jobs.push_back({&circuits, &params});
+    std::vector<EnergyEstimate> es = estimator.estimateBatch(
+        backend, jobs, shots, atTimeH, rng, shotMode, mitigateReadout,
+        pool);
+    for (int occ = 0; occ < occurrences; ++occ) {
+        absorb(g, es[2 * occ]);
+        absorb(g, es[2 * occ + 1]);
+        g.gradient +=
+            (es[2 * occ].energy - es[2 * occ + 1].energy) / 2.0;
     }
     return g;
 }

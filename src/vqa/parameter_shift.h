@@ -53,6 +53,10 @@ struct GradientEstimate
  * @param shotMode shot-noise model
  * @param shiftMode gradient strategy (see ShiftMode)
  * @param mitigateReadout apply reported-calibration readout mitigation
+ * @param pool fan-out pool for the independent shift evaluations
+ *        (forward/backward pairs x measurement groups); nullptr means
+ *        TaskPool::shared(). Results are identical for every thread
+ *        count (see ExpectationEstimator::estimateBatch).
  */
 GradientEstimate gradientParamShift(
     const ExpectationEstimator &estimator, QuantumBackend &backend,
@@ -60,7 +64,7 @@ GradientEstimate gradientParamShift(
     const std::vector<double> &params, int paramIndex, int shots,
     double atTimeH, Rng &rng, ShotMode shotMode = ShotMode::Gaussian,
     ShiftMode shiftMode = ShiftMode::WholeParameter,
-    bool mitigateReadout = true);
+    bool mitigateReadout = true, TaskPool *pool = nullptr);
 
 /**
  * Ideal (noise-free, infinite-shot) gradient by per-occurrence shifts

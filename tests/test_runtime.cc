@@ -83,6 +83,42 @@ TEST(EngineParity, VirtualEngineIsBitDeterministic)
     EXPECT_DOUBLE_EQ(a.totalHours, b.totalHours);
 }
 
+TEST(EngineParity, VirtualEngineInvariantAcrossFanoutThreads)
+{
+    // The virtual engine flushes gradient batches through a TaskPool;
+    // per-job forked RNG streams and fixed reduction order must make
+    // the trace bit-identical for every pool size.
+    VqaProblem p = makeHeisenbergVqe();
+    EqcTrace ref;
+    for (int threads : {1, 2, 4}) {
+        EqcOptions opts;
+        opts.master.epochs = 8;
+        opts.seed = 7;
+        opts.engine = "virtual";
+        opts.engineThreads = threads;
+        Runtime rt;
+        EqcTrace t = rt.submit(p, smallEnsemble(), opts).take();
+        if (threads == 1) {
+            ref = std::move(t);
+            ASSERT_EQ(ref.epochs.size(), 8u);
+            continue;
+        }
+        ASSERT_EQ(t.epochs.size(), ref.epochs.size())
+            << "threads " << threads;
+        for (std::size_t i = 0; i < ref.epochs.size(); ++i) {
+            EXPECT_DOUBLE_EQ(t.epochs[i].energyDevice,
+                             ref.epochs[i].energyDevice);
+            EXPECT_DOUBLE_EQ(t.epochs[i].energyIdeal,
+                             ref.epochs[i].energyIdeal);
+            EXPECT_DOUBLE_EQ(t.epochs[i].timeH, ref.epochs[i].timeH);
+        }
+        ASSERT_EQ(t.finalParams.size(), ref.finalParams.size());
+        for (std::size_t i = 0; i < ref.finalParams.size(); ++i)
+            EXPECT_DOUBLE_EQ(t.finalParams[i], ref.finalParams[i]);
+        EXPECT_DOUBLE_EQ(t.totalHours, ref.totalHours);
+    }
+}
+
 TEST(EngineParity, ThreadedEngineMatchesVirtualWithinTolerance)
 {
     VqaProblem p = makeHeisenbergVqe();
