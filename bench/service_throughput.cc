@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Closed-loop multi-tenant load generator for the eqc::serve layer.
+ *
+ * N tenants each keep one job in flight against a shared ServiceNode
+ * fronting the paper's 10-device evaluation ensemble. Tenants come in
+ * pairs that poll the same (workload, binding) — the access pattern
+ * request coalescing exists for — and each binding drifts slowly
+ * between rounds the way an optimizer's parameters would. Per round
+ * every tenant submits at its previous completion time (closed loop
+ * on the virtual clock) and the node drains.
+ *
+ * Reported: wall-clock jobs/sec (scales with EQC_THREADS — shards fan
+ * out through the shared TaskPool) and virtual-time service latency
+ * percentiles p50/p95/p99 from the node's reservoir, plus the
+ * coalescing/requeue counters. Optional --fail kills one member
+ * mid-campaign to exercise the requeue path under load. With --out
+ * the same numbers land in a JSON file for CI artifact diffing.
+ *
+ * Usage:
+ *   bench_service_throughput [--tenants N] [--rounds N] [--shots N]
+ *                            [--fail] [--out FILE]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/task_pool.h"
+#include "device/catalog.h"
+#include "serve/service_node.h"
+#include "vqa/problem.h"
+
+using namespace eqc;
+using namespace eqc::serve;
+
+int
+main(int argc, char **argv)
+{
+    int tenants = 8;
+    int rounds = 25;
+    int shots = 4096;
+    bool fail = false;
+    std::string outPath;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--tenants"))
+            tenants = std::atoi(next("--tenants"));
+        else if (!std::strcmp(argv[i], "--rounds"))
+            rounds = std::atoi(next("--rounds"));
+        else if (!std::strcmp(argv[i], "--shots"))
+            shots = std::atoi(next("--shots"));
+        else if (!std::strcmp(argv[i], "--fail"))
+            fail = true;
+        else if (!std::strcmp(argv[i], "--out"))
+            outPath = next("--out");
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    bench::banner("eqc::serve closed-loop throughput");
+    std::printf("tenants=%d rounds=%d shots=%d threads=%d fail=%d\n",
+                tenants, rounds, shots,
+                TaskPool::shared().threadCount(), fail ? 1 : 0);
+
+    ServiceOptions opts;
+    opts.seed = 2026;
+    ServiceNode node(evaluationEnsemble(), opts);
+
+    VqaProblem vqe = makeHeisenbergVqe();
+    VqaProblem qaoa = makeRingMaxCutQaoa();
+    WorkloadId wVqe = node.registerWorkload(vqe.ansatz, vqe.hamiltonian);
+    WorkloadId wQaoa =
+        node.registerWorkload(qaoa.ansatz, qaoa.hamiltonian);
+
+    // Tenant pairs share a binding stream; odd pairs run the QAOA
+    // workload so the node serves a heterogeneous mix.
+    struct Tenant
+    {
+        JobRequest req;
+        double nextSubmitH = 0.0;
+    };
+    std::vector<Tenant> fleet(static_cast<std::size_t>(tenants));
+    for (int t = 0; t < tenants; ++t) {
+        Tenant &tn = fleet[static_cast<std::size_t>(t)];
+        const int pair = t / 2;
+        const bool isQaoa = pair % 2 == 1;
+        tn.req.tenantId = t;
+        tn.req.workload = isQaoa ? wQaoa : wVqe;
+        tn.req.params = isQaoa ? qaoa.initialParams : vqe.initialParams;
+        tn.req.params[0] += 0.05 * pair;
+        tn.req.shots = shots;
+        tn.req.priority = t % 3;
+    }
+
+    if (fail)
+        node.failMemberAt(0, 1.0 / 3600.0); // dies one second in
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    uint64_t completed = 0;
+    for (int r = 0; r < rounds; ++r) {
+        for (Tenant &tn : fleet) {
+            tn.req.submitH = tn.nextSubmitH;
+            // Parameter drift between rounds: what a live optimizer's
+            // binding stream looks like (pairs stay identical, so
+            // coalescing still triggers).
+            tn.req.params[1 % tn.req.params.size()] = 0.02 * r;
+            if (!node.submit(tn.req).admitted())
+                std::fprintf(stderr, "round %d: job rejected\n", r);
+        }
+        for (const JobOutcome &o : node.drain()) {
+            fleet[static_cast<std::size_t>(o.tenantId)].nextSubmitH =
+                o.completeH;
+            ++completed;
+        }
+    }
+    const double wallS =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+
+    const stats::Percentiles &lat = node.latencyStats();
+    const ServiceCounters &c = node.counters();
+    const double jobsPerSec =
+        wallS > 0.0 ? static_cast<double>(completed) / wallS : 0.0;
+
+    bench::heading("throughput");
+    std::printf("jobs completed      %10llu\n",
+                static_cast<unsigned long long>(completed));
+    std::printf("wall seconds        %10.3f\n", wallS);
+    std::printf("jobs per second     %10.2f\n", jobsPerSec);
+
+    bench::heading("virtual service latency (seconds)");
+    std::printf("p50  %10.2f\np95  %10.2f\np99  %10.2f\n",
+                lat.p50() * 3600.0, lat.p95() * 3600.0,
+                lat.p99() * 3600.0);
+
+    bench::heading("service counters");
+    std::printf("admitted %llu  coalesced %llu  cache hits %llu\n",
+                static_cast<unsigned long long>(c.jobsAdmitted),
+                static_cast<unsigned long long>(c.jobsCoalesced),
+                static_cast<unsigned long long>(c.cacheHits));
+    std::printf("work items %llu  shards %llu  requeued %llu\n",
+                static_cast<unsigned long long>(c.workItems),
+                static_cast<unsigned long long>(c.shardsExecuted),
+                static_cast<unsigned long long>(c.shardsRequeued));
+    std::printf("shots executed %llu  circuits %llu\n",
+                static_cast<unsigned long long>(c.shotsExecuted),
+                static_cast<unsigned long long>(c.circuitsExecuted));
+
+    if (!outPath.empty()) {
+        std::FILE *f = std::fopen(outPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"service_throughput\",\n"
+            "  \"tenants\": %d,\n"
+            "  \"rounds\": %d,\n"
+            "  \"shots\": %d,\n"
+            "  \"threads\": %d,\n"
+            "  \"fail_injected\": %s,\n"
+            "  \"jobs_completed\": %llu,\n"
+            "  \"wall_seconds\": %.6f,\n"
+            "  \"jobs_per_sec\": %.3f,\n"
+            "  \"latency_p50_s\": %.3f,\n"
+            "  \"latency_p95_s\": %.3f,\n"
+            "  \"latency_p99_s\": %.3f,\n"
+            "  \"jobs_admitted\": %llu,\n"
+            "  \"jobs_coalesced\": %llu,\n"
+            "  \"work_items\": %llu,\n"
+            "  \"shards_executed\": %llu,\n"
+            "  \"shards_requeued\": %llu,\n"
+            "  \"shots_executed\": %llu\n"
+            "}\n",
+            tenants, rounds, shots, TaskPool::shared().threadCount(),
+            fail ? "true" : "false",
+            static_cast<unsigned long long>(completed), wallS,
+            jobsPerSec, lat.p50() * 3600.0, lat.p95() * 3600.0,
+            lat.p99() * 3600.0,
+            static_cast<unsigned long long>(c.jobsAdmitted),
+            static_cast<unsigned long long>(c.jobsCoalesced),
+            static_cast<unsigned long long>(c.workItems),
+            static_cast<unsigned long long>(c.shardsExecuted),
+            static_cast<unsigned long long>(c.shardsRequeued),
+            static_cast<unsigned long long>(c.shotsExecuted));
+        std::fclose(f);
+        std::printf("\nwrote %s\n", outPath.c_str());
+    }
+    return 0;
+}

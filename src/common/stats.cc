@@ -1,11 +1,55 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace eqc {
+
+namespace stats {
+
+Percentiles::Percentiles(std::size_t capacity, uint64_t seed)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      rngState_(splitmix64(seed))
+{
+    sample_.reserve(capacity_);
+}
+
+void
+Percentiles::add(double x)
+{
+    ++n_;
+    if (sample_.size() < capacity_) {
+        sample_.push_back(x);
+        return;
+    }
+    // Algorithm R: replace a uniformly random slot with probability
+    // capacity / n, keeping the reservoir a uniform sample.
+    rngState_ = splitmix64(rngState_);
+    std::size_t j = static_cast<std::size_t>(rngState_ % n_);
+    if (j < capacity_)
+        sample_[j] = x;
+}
+
+double
+Percentiles::quantile(double q) const
+{
+    if (sample_.empty())
+        return 0.0;
+    std::vector<double> sorted(sample_);
+    std::sort(sorted.begin(), sorted.end());
+    q = std::min(std::max(q, 0.0), 1.0);
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace stats
 
 void
 RunningStats::add(double x)

@@ -9,6 +9,7 @@
 #define EQC_COMMON_STATS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace eqc {
@@ -45,6 +46,63 @@ class RunningStats
     double min_ = 0.0;
     double max_ = 0.0;
 };
+
+namespace stats {
+
+/**
+ * Streaming quantile estimator over a bounded reservoir.
+ *
+ * Holds every observation exactly while count() <= capacity; beyond
+ * that, switches to Vitter's Algorithm R so the reservoir stays a
+ * uniform sample of the full stream with O(capacity) memory — the
+ * shape a long-lived service needs for latency percentiles. The
+ * replacement stream is seeded at construction, so identical
+ * observation sequences produce identical quantiles.
+ */
+class Percentiles
+{
+  public:
+    /**
+     * @param capacity reservoir size (clamped to >= 1); quantiles are
+     *        exact up to this many observations
+     * @param seed stream for the replacement draws past capacity
+     */
+    explicit Percentiles(std::size_t capacity = 4096,
+                         uint64_t seed = 0x5157ECULL);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Total observations seen (reservoir may hold fewer). */
+    std::size_t count() const { return n_; }
+
+    /** Observations currently in the reservoir. */
+    std::size_t sampleSize() const { return sample_.size(); }
+
+    /**
+     * Quantile @p q in [0, 1] with linear interpolation between order
+     * statistics of the reservoir (0 when empty). q = 0 / 1 give the
+     * reservoir min / max.
+     */
+    double quantile(double q) const;
+
+    /** Median. */
+    double p50() const { return quantile(0.50); }
+
+    /** 95th percentile. */
+    double p95() const { return quantile(0.95); }
+
+    /** 99th percentile. */
+    double p99() const { return quantile(0.99); }
+
+  private:
+    std::size_t capacity_;
+    std::size_t n_ = 0;
+    uint64_t rngState_;
+    std::vector<double> sample_;
+};
+
+} // namespace stats
 
 /** Result of an ordinary-least-squares fit y = slope * x + intercept. */
 struct LinearFit

@@ -165,6 +165,7 @@ EngineRegistry::EngineRegistry()
 {
     factories_["virtual"] = [] { return makeVirtualEngine(); };
     factories_["threaded"] = [] { return makeThreadedEngine(); };
+    factories_["service"] = [] { return makeServiceEngine(); };
 }
 
 EngineRegistry &

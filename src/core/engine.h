@@ -286,6 +286,18 @@ std::unique_ptr<ExecutionEngine> makeVirtualEngine();
  */
 std::unique_ptr<ExecutionEngine> makeThreadedEngine();
 
+/**
+ * Factory for the serving-layer engine ("service"): gradients are
+ * routed through a multi-tenant ServiceNode that shot-shards each
+ * parameter-shift evaluation across the whole ensemble and applies
+ * the aggregated gradient synchronously. Declared here (the pattern
+ * of the other built-ins) and implemented by the serve layer
+ * (src/serve/service_engine.cc), so core's headers never include
+ * serve's — the layering stays one-directional at the include level.
+ * Deterministic for every thread count.
+ */
+std::unique_ptr<ExecutionEngine> makeServiceEngine();
+
 } // namespace eqc
 
 #endif // EQC_CORE_ENGINE_H

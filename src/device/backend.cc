@@ -187,7 +187,7 @@ SimulatedQpu::SimulatedQpu(SimulatedQpu &&other) noexcept
       tracker_(std::move(other.tracker_)),
       queue_(std::move(other.queue_)),
       planCache_(std::move(other.planCache_)),
-      ctx_(std::move(other.ctx_))
+      ctxCache_(std::move(other.ctxCache_))
 {
 }
 
@@ -232,10 +232,15 @@ SimulatedQpu::noiseContextFor(double tH)
     // Held across the build: a gradient batch lands all its circuit
     // executions on one fresh timestamp at once, and one thread
     // constructing while the rest wait beats every worker redundantly
-    // re-deriving the same snapshot and superoperators.
+    // re-deriving the same snapshot and superoperators. The cache is
+    // keyed per timestamp (bounded, oldest-time eviction) because the
+    // serving layer interleaves shards of different jobs — different
+    // completion times — on one backend; a single-entry cache would
+    // ping-pong and rebuild on nearly every circuit execution.
     std::lock_guard<std::mutex> lk(ctxMu_);
-    if (ctx_ && ctx_->timeH == tH)
-        return ctx_;
+    auto cached = ctxCache_.find(tH);
+    if (cached != ctxCache_.end())
+        return cached->second;
 
     auto ctx = std::make_shared<NoiseContext>();
     ctx->timeH = tH;
@@ -294,8 +299,14 @@ SimulatedQpu::noiseContextFor(double tH)
         ctx->cx.emplace(pair, cn);
     }
 
-    ctx_ = ctx;
-    return ctx;
+    auto inserted = ctxCache_.emplace(tH, std::move(ctx)).first;
+    if (ctxCache_.size() > kMaxNoiseContexts) {
+        auto victim = ctxCache_.begin(); // oldest virtual time
+        if (victim == inserted)
+            ++victim;
+        ctxCache_.erase(victim);
+    }
+    return inserted->second;
 }
 
 CalibrationSnapshot

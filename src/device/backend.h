@@ -14,6 +14,7 @@
 #define EQC_DEVICE_BACKEND_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -135,7 +136,12 @@ class SimulatedQpu : public QuantumBackend
     /** Cached plan for @p tc, building it on first sight. */
     std::shared_ptr<const ExecPlan> planFor(const TranspiledCircuit &tc);
 
-    /** Cached noise context for time @p tH (single-entry, keyed by tH). */
+    /**
+     * Cached noise context for time @p tH. The cache holds up to
+     * kMaxNoiseContexts timestamps (oldest virtual time evicted) so
+     * concurrently executing jobs with different completion times —
+     * the serving layer's shard fan-out — don't thrash it.
+     */
     std::shared_ptr<const NoiseContext> noiseContextFor(double tH);
 
     Device dev_;
@@ -146,8 +152,10 @@ class SimulatedQpu : public QuantumBackend
     std::unordered_map<uint64_t, std::shared_ptr<const ExecPlan>>
         planCache_;
 
+    static constexpr std::size_t kMaxNoiseContexts = 16;
+
     std::mutex ctxMu_;
-    std::shared_ptr<const NoiseContext> ctx_;
+    std::map<double, std::shared_ptr<const NoiseContext>> ctxCache_;
 
     mutable std::mutex reportedMu_;
     mutable bool hasReported_ = false;

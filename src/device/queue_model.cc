@@ -44,6 +44,27 @@ QueueModel::sampleWaitS(double tH, Rng &rng) const
 }
 
 double
+QueueModel::expectedWaitS(double tH, int queueDepth) const
+{
+    // Mean of the lognormal jitter, so the estimate is the true
+    // expectation of sampleWaitS for depth 0.
+    double meanJitter =
+        std::exp(0.5 * params_.waitLogSigma * params_.waitLogSigma);
+    double slots = static_cast<double>(queueDepth) + 1.0;
+    return slots * params_.baseWaitS * congestionFactor(tH) * meanJitter;
+}
+
+double
+QueueModel::expectedLatencyS(double tH, double circuitDurationUs,
+                             int shots, int numCircuits,
+                             int queueDepth) const
+{
+    return maintenanceRemainingH(tH) * 3600.0 +
+           expectedWaitS(tH, queueDepth) +
+           executionTimeS(circuitDurationUs, shots, numCircuits);
+}
+
+double
 QueueModel::executionTimeS(double circuitDurationUs, int shots,
                            int numCircuits) const
 {
@@ -53,10 +74,11 @@ QueueModel::executionTimeS(double circuitDurationUs, int shots,
 
 double
 QueueModel::jobLatencyS(double tH, double circuitDurationUs, int shots,
-                        int numCircuits, Rng &rng) const
+                        int numCircuits, Rng &rng, int queueDepth) const
 {
     double hold = maintenanceRemainingH(tH) * 3600.0;
-    return hold + sampleWaitS(tH, rng) +
+    double slots = static_cast<double>(queueDepth) + 1.0;
+    return hold + slots * sampleWaitS(tH, rng) +
            executionTimeS(circuitDurationUs, shots, numCircuits);
 }
 

@@ -66,6 +66,26 @@ class QueueModel
     double sampleWaitS(double tH, Rng &rng) const;
 
     /**
+     * Deterministic expected queue wait (seconds) for a job submitted
+     * at t with @p queueDepth jobs already ahead of it on the device:
+     * (depth + 1) shared-queue slots of the mean jittered wait
+     * (E[lognormal(0, sigma)] = exp(sigma^2 / 2)). Strictly increasing
+     * in @p queueDepth — schedulers use it to steer shots away from
+     * backlogged members (see serve/shot_scheduler.h).
+     */
+    double expectedWaitS(double tH, int queueDepth = 0) const;
+
+    /**
+     * Deterministic expected end-to-end latency (seconds): maintenance
+     * hold + expectedWaitS + execution time. The estimate the
+     * shot-sharding scheduler ranks members by; the sampled
+     * jobLatencyS realizes the same model with jitter.
+     */
+    double expectedLatencyS(double tH, double circuitDurationUs,
+                            int shots, int numCircuits,
+                            int queueDepth = 0) const;
+
+    /**
      * Deterministic execution time in seconds for a batch.
      * @param circuitDurationUs duration of one circuit execution
      * @param shots shots per circuit
@@ -74,9 +94,14 @@ class QueueModel
     double executionTimeS(double circuitDurationUs, int shots,
                           int numCircuits) const;
 
-    /** Full sampled latency (hold + wait + execution) in seconds. */
+    /**
+     * Full sampled latency (hold + wait + execution) in seconds.
+     * @param queueDepth jobs already ahead on the device; each scales
+     *        the sampled wait by one more shared-queue slot
+     */
     double jobLatencyS(double tH, double circuitDurationUs, int shots,
-                       int numCircuits, Rng &rng) const;
+                       int numCircuits, Rng &rng,
+                       int queueDepth = 0) const;
 
     const QueueParams &params() const { return params_; }
 

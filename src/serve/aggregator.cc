@@ -1,0 +1,135 @@
+#include "serve/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eqc {
+namespace serve {
+
+void
+Aggregator::add(const ShardResult &shard)
+{
+    if (shard.failed) {
+        ++failures_;
+        return;
+    }
+    ok_.push_back(shard);
+}
+
+double
+Aggregator::weightOf(const ShardResult &s) const
+{
+    switch (mode_) {
+    case AggregationMode::FidelityWeighted:
+        return std::max(s.pCorrect, 0.0) *
+               static_cast<double>(std::max(s.shots, 0));
+    case AggregationMode::EquiWeighted:
+    case AggregationMode::MajorityVote:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+double
+Aggregator::energy() const
+{
+    if (ok_.empty())
+        return 0.0;
+    if (mode_ == AggregationMode::MajorityVote) {
+        std::vector<double> es;
+        es.reserve(ok_.size());
+        for (const ShardResult &s : ok_)
+            es.push_back(s.energy);
+        std::sort(es.begin(), es.end());
+        std::size_t n = es.size();
+        return n % 2 == 1 ? es[n / 2]
+                          : 0.5 * (es[n / 2 - 1] + es[n / 2]);
+    }
+    double wsum = 0.0, esum = 0.0;
+    for (const ShardResult &s : ok_) {
+        double w = weightOf(s);
+        wsum += w;
+        esum += w * s.energy;
+    }
+    if (wsum <= 0.0) {
+        // Every survivor weight degenerate: renormalize to the plain
+        // mean rather than inventing a zero energy.
+        for (const ShardResult &s : ok_)
+            esum += s.energy;
+        return esum / static_cast<double>(ok_.size());
+    }
+    return esum / wsum;
+}
+
+double
+Aggregator::variance() const
+{
+    if (ok_.empty())
+        return 0.0;
+    double wsum = 0.0, vsum = 0.0;
+    for (const ShardResult &s : ok_) {
+        double w = mode_ == AggregationMode::MajorityVote
+                       ? 1.0
+                       : weightOf(s);
+        wsum += w;
+        vsum += w * w * s.variance;
+    }
+    if (wsum <= 0.0)
+        return 0.0;
+    return vsum / (wsum * wsum);
+}
+
+double
+Aggregator::pCorrect() const
+{
+    double shots = 0.0, sum = 0.0;
+    for (const ShardResult &s : ok_) {
+        shots += static_cast<double>(s.shots);
+        sum += static_cast<double>(s.shots) * s.pCorrect;
+    }
+    return shots > 0.0 ? sum / shots : 0.0;
+}
+
+double
+Aggregator::completeH() const
+{
+    double t = 0.0;
+    for (const ShardResult &s : ok_)
+        t = std::max(t, s.completeH);
+    return t;
+}
+
+int
+Aggregator::shotsExecuted() const
+{
+    int n = 0;
+    for (const ShardResult &s : ok_)
+        n += s.shots;
+    return n;
+}
+
+int
+Aggregator::circuitsRun() const
+{
+    int n = 0;
+    for (const ShardResult &s : ok_)
+        n += s.circuitsRun;
+    return n;
+}
+
+int
+Aggregator::primaryMember() const
+{
+    int best = -1, bestShots = -1;
+    for (const ShardResult &s : ok_) {
+        if (s.shots > bestShots ||
+            (s.shots == bestShots && s.member < best)) {
+            best = s.member;
+            bestShots = s.shots;
+        }
+    }
+    return best;
+}
+
+} // namespace serve
+} // namespace eqc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Streaming shard aggregator with pluggable weighting.
+ *
+ * One job's shards come back from heterogeneous QPUs with different
+ * shot counts, Eq. 2 quality scores and completion times. How the
+ * per-shard estimates combine is a live research question (the paper
+ * weights by Eq. 2; "How an Equi-ensemble Description Systematically
+ * Outperforms the Weighted-ensemble VQE" argues the opposite default;
+ * NISQ classifier work borrows majority voting from classical
+ * ensembles), so the serving layer makes it a mode:
+ *
+ *  - FidelityWeighted: mean weighted by pCorrect x shots — the
+ *    paper's Eq. 2 signal applied at aggregation time;
+ *  - EquiWeighted: plain mean over surviving shards (equi-ensemble);
+ *  - MajorityVote: median of the shard estimates — the robust-vote
+ *    analogue for a continuous observable.
+ *
+ * Fault tolerance falls out of the weighting: failed shards never
+ * enter the accumulator, so survivor weights renormalize by
+ * construction (the divisor is the sum over survivors only).
+ */
+
+#ifndef EQC_SERVE_AGGREGATOR_H
+#define EQC_SERVE_AGGREGATOR_H
+
+#include <vector>
+
+namespace eqc {
+namespace serve {
+
+/** How shard estimates combine into the job's answer. */
+enum class AggregationMode {
+    /** Mean weighted by pCorrect x shots (the paper's Eq. 2 signal). */
+    FidelityWeighted,
+    /** Unweighted mean over surviving shards (equi-ensemble). */
+    EquiWeighted,
+    /** Median of the shard estimates (ensemble voting). */
+    MajorityVote,
+};
+
+/** Outcome of one shard execution. */
+struct ShardResult
+{
+    int member = -1;
+    int shots = 0;
+    /** Eq. 2 score of the member at planning time. */
+    double pCorrect = 0.0;
+    double energy = 0.0;
+    /** Estimator variance of this shard. */
+    double variance = 0.0;
+    /** Virtual completion time (hours). */
+    double completeH = 0.0;
+    /** Circuit executions this shard performed. */
+    int circuitsRun = 0;
+    /** The member dropped mid-job; the shard carries no estimate. */
+    bool failed = false;
+};
+
+/**
+ * Accumulates shard results as they stream in and combines the
+ * survivors under the configured mode. add() is order-insensitive for
+ * the weighted modes and deterministic for a fixed add order in all
+ * modes (the ServiceNode adds in shard-plan order).
+ */
+class Aggregator
+{
+  public:
+    explicit Aggregator(AggregationMode mode) : mode_(mode) {}
+
+    /** Record one shard. Failed shards count only toward failures(). */
+    void add(const ShardResult &shard);
+
+    /** true once at least one surviving shard has been added. */
+    bool haveResult() const { return !ok_.empty(); }
+
+    /** Combined estimate under the mode (0 with no survivors). */
+    double energy() const;
+
+    /**
+     * Variance of the combined estimate, treating shards as
+     * independent: sum(w_i^2 var_i) / (sum w_i)^2 with the mode's
+     * weights (MajorityVote reports the equi-weighted variance).
+     */
+    double variance() const;
+
+    /** Shot-weighted mean pCorrect of the survivors. */
+    double pCorrect() const;
+
+    /** Latest survivor completion time (0 with no survivors). */
+    double completeH() const;
+
+    /** Shots executed by survivors. */
+    int shotsExecuted() const;
+
+    /** Surviving shard count. */
+    int shardsExecuted() const { return static_cast<int>(ok_.size()); }
+
+    /** Failed shard count. */
+    int failures() const { return failures_; }
+
+    /** Total circuit executions across survivors. */
+    int circuitsRun() const;
+
+    /** Survivor with the most shots (ties: lower member id); -1 if none. */
+    int primaryMember() const;
+
+    AggregationMode mode() const { return mode_; }
+
+  private:
+    double weightOf(const ShardResult &s) const;
+
+    AggregationMode mode_;
+    std::vector<ShardResult> ok_;
+    int failures_ = 0;
+};
+
+} // namespace serve
+} // namespace eqc
+
+#endif // EQC_SERVE_AGGREGATOR_H

@@ -1,0 +1,65 @@
+#include "serve/coalescer.h"
+
+#include <cstring>
+
+namespace eqc {
+namespace serve {
+
+bool
+WorkKey::operator==(const WorkKey &o) const
+{
+    if (workload != o.workload || params.size() != o.params.size())
+        return false;
+    return params.empty() ||
+           std::memcmp(params.data(), o.params.data(),
+                       params.size() * sizeof(double)) == 0;
+}
+
+std::size_t
+WorkKeyHash::operator()(const WorkKey &k) const
+{
+    uint64_t h = splitmix64(static_cast<uint64_t>(k.workload) + 1);
+    for (double p : k.params) {
+        uint64_t bits;
+        std::memcpy(&bits, &p, sizeof(bits));
+        h = splitmix64(h ^ bits);
+    }
+    return static_cast<std::size_t>(h);
+}
+
+const CachedResult *
+ResultCache::lookup(const WorkKey &key, double nowH, int shots) const
+{
+    if (ttlH_ <= 0.0)
+        return nullptr;
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return nullptr;
+    const CachedResult &r = it->second;
+    if (nowH - r.completeH > ttlH_ || r.shots < shots)
+        return nullptr;
+    return &r;
+}
+
+void
+ResultCache::store(const WorkKey &key, const CachedResult &result)
+{
+    if (ttlH_ <= 0.0 || capacity_ == 0)
+        return; // disabled cache: don't accumulate unservable entries
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second = result;
+        return;
+    }
+    if (entries_.size() >= capacity_) {
+        auto oldest = entries_.begin();
+        for (auto jt = entries_.begin(); jt != entries_.end(); ++jt)
+            if (jt->second.completeH < oldest->second.completeH)
+                oldest = jt;
+        entries_.erase(oldest);
+    }
+    entries_.emplace(key, result);
+}
+
+} // namespace serve
+} // namespace eqc

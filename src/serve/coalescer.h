@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Request coalescing for the serving layer.
+ *
+ * Popular workloads produce identical (workload, binding) requests
+ * from many tenants — a VQA campaign's followers polling the same
+ * parameters, or a QNN inference fleet all evaluating the production
+ * binding. WorkKey identifies that unit of work; the ServiceNode
+ * groups same-key jobs popped in one drain into a single work item
+ * (one execution per ensemble shard, every rider gets the result),
+ * and the ResultCache optionally extends the dedupe window across
+ * drains: a key re-requested within the TTL whose cached execution
+ * covered at least the requested shot budget is answered without
+ * touching a QPU. This is the ROADMAP "batched engine that merges
+ * same-parameter circuits" follow-up, landed at the serving layer
+ * where tenant demand actually collides.
+ */
+
+#ifndef EQC_SERVE_COALESCER_H
+#define EQC_SERVE_COALESCER_H
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/service.h"
+
+namespace eqc {
+namespace serve {
+
+/** Identity of one unit of serveable work. */
+struct WorkKey
+{
+    WorkloadId workload = -1;
+    std::vector<double> params;
+
+    /**
+     * Exact-binding identity: params compare *bitwise*, matching the
+     * hash below. Value equality would break the unordered_map
+     * contract at -0.0 vs 0.0 (equal values, different bits) and
+     * make a NaN binding unfindable forever.
+     */
+    bool operator==(const WorkKey &o) const;
+};
+
+/** Bitwise FNV-style hash of a WorkKey (exact-binding identity). */
+struct WorkKeyHash
+{
+    std::size_t operator()(const WorkKey &k) const;
+};
+
+/** One cached aggregated result. */
+struct CachedResult
+{
+    double energy = 0.0;
+    double variance = 0.0;
+    double pCorrect = 0.0;
+    /** Completion time of the execution that produced it. */
+    double completeH = 0.0;
+    /** Shot budget the cached execution covered. */
+    int shots = 0;
+};
+
+/**
+ * TTL- and capacity-bounded cache of aggregated results, keyed by
+ * WorkKey. A TTL of 0 disables lookups entirely (drift makes stale
+ * answers wrong, so reuse is opt-in and short-lived by design);
+ * eviction is oldest-completion-first.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * @param ttlH virtual hours a cached result stays serveable
+     * @param capacity entries held before evicting the oldest
+     */
+    explicit ResultCache(double ttlH = 0.0, std::size_t capacity = 256)
+        : ttlH_(ttlH), capacity_(capacity)
+    {
+    }
+
+    /**
+     * The cached result for @p key, if it is fresh at @p nowH and its
+     * execution covered at least @p shots; nullptr otherwise.
+     */
+    const CachedResult *lookup(const WorkKey &key, double nowH,
+                               int shots) const;
+
+    /** Insert/refresh @p key (evicts the oldest entry when full). */
+    void store(const WorkKey &key, const CachedResult &result);
+
+    std::size_t size() const { return entries_.size(); }
+    double ttlH() const { return ttlH_; }
+
+  private:
+    double ttlH_;
+    std::size_t capacity_;
+    std::unordered_map<WorkKey, CachedResult, WorkKeyHash> entries_;
+};
+
+} // namespace serve
+} // namespace eqc
+
+#endif // EQC_SERVE_COALESCER_H

@@ -1,0 +1,59 @@
+#include "serve/job_queue.h"
+
+#include <algorithm>
+
+namespace eqc {
+namespace serve {
+
+namespace {
+
+/** true when a should pop *after* b (heap "less-than"). */
+bool
+popsAfter(const JobQueue::Entry &a, const JobQueue::Entry &b)
+{
+    if (a.request.priority != b.request.priority)
+        return a.request.priority < b.request.priority;
+    if (a.request.submitH != b.request.submitH)
+        return a.request.submitH > b.request.submitH;
+    return a.jobId > b.jobId;
+}
+
+} // namespace
+
+AdmitStatus
+JobQueue::admit(const JobRequest &request, uint64_t jobId)
+{
+    if (request.shots <= 0 || request.shots > policy_.maxShotsPerJob)
+        return AdmitStatus::RejectedBadRequest;
+    if (entries_.size() >= policy_.maxQueueDepth)
+        return AdmitStatus::RejectedQueueFull;
+    if (queuedFor(request.tenantId) >= policy_.maxQueuedPerTenant)
+        return AdmitStatus::RejectedTenantQuota;
+
+    entries_.push_back(Entry{request, jobId});
+    std::push_heap(entries_.begin(), entries_.end(), popsAfter);
+    ++queuedPerTenant_[request.tenantId];
+    return AdmitStatus::Admitted;
+}
+
+JobQueue::Entry
+JobQueue::pop()
+{
+    std::pop_heap(entries_.begin(), entries_.end(), popsAfter);
+    Entry e = std::move(entries_.back());
+    entries_.pop_back();
+    auto it = queuedPerTenant_.find(e.request.tenantId);
+    if (it != queuedPerTenant_.end() && --it->second <= 0)
+        queuedPerTenant_.erase(it); // don't grow with tenant churn
+    return e;
+}
+
+int
+JobQueue::queuedFor(int tenantId) const
+{
+    auto it = queuedPerTenant_.find(tenantId);
+    return it == queuedPerTenant_.end() ? 0 : it->second;
+}
+
+} // namespace serve
+} // namespace eqc

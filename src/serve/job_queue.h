@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Admission-controlled priority queue of tenant jobs.
+ *
+ * Admission control protects the ensemble from overload (total queue
+ * depth) and from one tenant starving the rest (per-tenant quota).
+ * Ordering is a strict weak order — priority desc, submit time asc,
+ * job id asc — so the pop sequence is deterministic for any insertion
+ * interleaving of distinct jobs.
+ */
+
+#ifndef EQC_SERVE_JOB_QUEUE_H
+#define EQC_SERVE_JOB_QUEUE_H
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace eqc {
+namespace serve {
+
+/** Knobs of the admission controller. */
+struct AdmissionPolicy
+{
+    /** Jobs the queue holds before rejecting outright. */
+    std::size_t maxQueueDepth = 1024;
+    /** Queued (not yet drained) jobs one tenant may hold. */
+    int maxQueuedPerTenant = 64;
+    /** Largest admissible per-job shot budget. */
+    int maxShotsPerJob = 1 << 20;
+};
+
+/** Priority queue with admission control (see file comment). */
+class JobQueue
+{
+  public:
+    explicit JobQueue(AdmissionPolicy policy) : policy_(policy) {}
+
+    /** One admitted entry. */
+    struct Entry
+    {
+        JobRequest request;
+        uint64_t jobId = 0;
+    };
+
+    /**
+     * Admit @p request under @p jobId, or reject it. Shot-budget
+     * validation lives here; workload validation is the ServiceNode's
+     * (it owns the registry).
+     */
+    AdmitStatus admit(const JobRequest &request, uint64_t jobId);
+
+    /** Highest-priority entry; queue must be non-empty. */
+    Entry pop();
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Currently queued jobs of @p tenantId. */
+    int queuedFor(int tenantId) const;
+
+    const AdmissionPolicy &policy() const { return policy_; }
+
+  private:
+    AdmissionPolicy policy_;
+    /** Max-heap on the (priority, -submitH, -jobId) order. */
+    std::vector<Entry> entries_;
+    std::map<int, int> queuedPerTenant_;
+};
+
+} // namespace serve
+} // namespace eqc
+
+#endif // EQC_SERVE_JOB_QUEUE_H

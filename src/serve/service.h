@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared types of the eqc::serve subsystem — the multi-tenant front
+ * door of the runtime.
+ *
+ * The paper's deployment is one master training one VQA against an
+ * ensemble of cloud QPUs. The serving layer generalizes that to the
+ * ROADMAP's "heavy traffic from millions of users" shape: many tenants
+ * submit expectation-estimation jobs (circuit + binding + shot budget +
+ * priority) against one shared ensemble. A ServiceNode admits jobs into
+ * a JobQueue, coalesces identical work across tenants, shards each
+ * job's shot budget across ensemble members (ShotScheduler), executes
+ * the shards through a TaskPool, and combines per-shard estimates with
+ * a pluggable Aggregator — renormalizing weights over survivors when a
+ * QPU drops mid-job.
+ */
+
+#ifndef EQC_SERVE_SERVICE_H
+#define EQC_SERVE_SERVICE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace eqc {
+namespace serve {
+
+/** Identifier of a registered (ansatz, observable) workload. */
+using WorkloadId = int;
+
+/** One tenant request: estimate a workload's observable at a binding. */
+struct JobRequest
+{
+    /** Tenant the job belongs to (admission quotas are per tenant). */
+    int tenantId = 0;
+    /** Workload from ServiceNode::registerWorkload. */
+    WorkloadId workload = -1;
+    /** Parameter binding for the workload's ansatz. */
+    std::vector<double> params;
+    /** Total shot budget, sharded across ensemble members. */
+    int shots = 8192;
+    /** Higher runs earlier; ties break by submit time, then job id. */
+    int priority = 0;
+    /** Virtual submission time (hours). */
+    double submitH = 0.0;
+};
+
+/** Admission verdict for one submitted job. */
+enum class AdmitStatus {
+    Admitted,
+    /** The queue is at AdmissionPolicy::maxQueueDepth. */
+    RejectedQueueFull,
+    /** The tenant is at AdmissionPolicy::maxQueuedPerTenant. */
+    RejectedTenantQuota,
+    /** Unknown workload, binding arity mismatch, or bad shot budget. */
+    RejectedBadRequest,
+};
+
+/** Submission receipt. */
+struct Ticket
+{
+    /** Assigned job id (0 when rejected). */
+    uint64_t jobId = 0;
+    AdmitStatus status = AdmitStatus::RejectedBadRequest;
+
+    bool admitted() const { return status == AdmitStatus::Admitted; }
+};
+
+/** Completed-job record handed back by ServiceNode::drain. */
+struct JobOutcome
+{
+    uint64_t jobId = 0;
+    int tenantId = 0;
+    WorkloadId workload = -1;
+
+    /** Aggregated observable estimate (see AggregationMode). */
+    double energy = 0.0;
+    /** Variance of the aggregated estimate. */
+    double variance = 0.0;
+    /** Shot-weighted Eq. 2 score of the surviving shards. */
+    double pCorrect = 0.0;
+
+    double submitH = 0.0;
+    /** Completion of the last surviving shard (or cache-hit time). */
+    double completeH = 0.0;
+    /** completeH - submitH, clamped at 0 for coalesced riders. */
+    double latencyH = 0.0;
+
+    /** Shots actually executed by the backing work item. */
+    int shotsExecuted = 0;
+    /** Surviving shards the estimate was aggregated from. */
+    int shardsExecuted = 0;
+    /** Shards requeued to surviving members after a QPU failure. */
+    int requeues = 0;
+    /** Circuit executions performed for the backing work item. */
+    int circuitsRun = 0;
+
+    /** Member that executed the largest shard (-1 on a cache hit). */
+    int primaryMember = -1;
+
+    /** Rode an identical (workload, binding) tenant's execution. */
+    bool coalesced = false;
+    /** Served from the cross-drain result cache (no execution). */
+    bool fromCache = false;
+    /**
+     * Fewer shots than requested were executed: requeue rounds were
+     * exhausted under cascading member failures, or no member
+     * survived. The energy is still the best aggregate available.
+     */
+    bool degraded = false;
+};
+
+/** Monotone service-wide counters. */
+struct ServiceCounters
+{
+    uint64_t jobsAdmitted = 0;
+    uint64_t jobsRejected = 0;
+    /** Jobs that rode another tenant's identical work item. */
+    uint64_t jobsCoalesced = 0;
+    /** Jobs answered from the result cache. */
+    uint64_t cacheHits = 0;
+    /** Distinct work items executed. */
+    uint64_t workItems = 0;
+    uint64_t shardsExecuted = 0;
+    uint64_t shardsRequeued = 0;
+    uint64_t shotsExecuted = 0;
+    uint64_t circuitsExecuted = 0;
+};
+
+} // namespace serve
+} // namespace eqc
+
+#endif // EQC_SERVE_SERVICE_H

@@ -1,0 +1,541 @@
+#include "serve/service_node.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/task_pool.h"
+#include "device/calibration.h"
+
+namespace eqc {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+/** One ensemble member: device, backend, failure clock, drain depth. */
+struct ServiceNode::Member
+{
+    Device device;
+    std::unique_ptr<SimulatedQpu> backend;
+    /** Hour the member dies (infinity = healthy). */
+    double failAtH = std::numeric_limits<double>::infinity();
+    /** Shards assigned in the current drain (queue-depth input). */
+    int depth = 0;
+
+    bool aliveAt(double atH) const { return atH < failAtH; }
+};
+
+/** One registered workload: estimator + per-member compilation. */
+struct ServiceNode::Workload
+{
+    ExpectationEstimator estimator;
+    int numParams = 0;
+    int numQubits = 0;
+    /** Per member: transpiled group circuits (empty = ineligible). */
+    std::vector<std::vector<TranspiledCircuit>> compiled;
+    /** Per member: duration of one group circuit (microseconds). */
+    std::vector<double> durUs;
+    /** Per member: Eq. 2 census of each group circuit. */
+    std::vector<std::vector<CircuitQuality>> quality;
+
+    Workload(const PauliSum &observable, const QuantumCircuit &ansatz)
+        : estimator(observable, ansatz),
+          numParams(ansatz.numParams()),
+          numQubits(ansatz.numQubits())
+    {
+    }
+};
+
+/** One planned shard execution. */
+struct ServiceNode::Shard
+{
+    /** Owning work item (index into the drain's item vector). */
+    std::size_t item = 0;
+    int member = -1;
+    int shots = 0;
+    double startH = 0.0;
+    /** Eq. 2 score at planning time (travels into the aggregate). */
+    double pCorrect = 0.0;
+    /** Member queue depth when planned (latency scaling). */
+    int depthAtPlan = 0;
+    /** Per-work-item shard sequence (RNG fork label). */
+    int seq = 0;
+    /**
+     * Hour the failure surfaces when the member dies mid-shard (the
+     * caller times out at the shard's expected completion).
+     */
+    double detectH = 0.0;
+    ShardResult result;
+};
+
+/** One coalesced unit of work and its riders. */
+struct ServiceNode::WorkItem
+{
+    WorkKey key;
+    uint64_t workUid = 0;
+    /** Earliest rider submission: when execution can start. */
+    double t0 = 0.0;
+    /** Latest rider submission: cache freshness is judged here, so a
+     *  hit is within TTL for *every* rider, not just the earliest. */
+    double tLast = 0.0;
+    /** Largest rider budget: what actually executes. */
+    int shots = 0;
+    /** Riders in pop (priority) order. */
+    std::vector<JobQueue::Entry> riders;
+    /** Next RNG fork label for this item's shards. */
+    int shardSeq = 0;
+    int requeues = 0;
+    bool fromCache = false;
+    CachedResult cached;
+    Aggregator agg;
+
+    explicit WorkItem(AggregationMode mode) : agg(mode) {}
+};
+
+// ---------------------------------------------------------------------------
+// Construction / registration
+// ---------------------------------------------------------------------------
+
+ServiceNode::ServiceNode(std::vector<Device> devices,
+                         ServiceOptions options)
+    : options_(options), queue_(options.admission),
+      scheduler_(options.scheduler),
+      cache_(options.resultCacheTtlH, options.resultCacheCapacity),
+      rootRng_(Rng(options.seed).fork("serve")),
+      latency_(options.latencyReservoir, options.seed)
+{
+    if (devices.empty())
+        fatal("ServiceNode: empty device list");
+    members_.reserve(devices.size());
+    for (Device &dev : devices) {
+        Member m;
+        m.backend = std::make_unique<SimulatedQpu>(dev, options_.seed);
+        m.device = std::move(dev);
+        members_.push_back(std::move(m));
+    }
+}
+
+ServiceNode::~ServiceNode() = default;
+
+WorkloadId
+ServiceNode::registerWorkload(const QuantumCircuit &ansatz,
+                              const PauliSum &observable)
+{
+    auto w = std::make_unique<Workload>(observable, ansatz);
+    w->compiled.resize(members_.size());
+    w->durUs.resize(members_.size(), 0.0);
+    w->quality.resize(members_.size());
+    std::size_t eligible = 0;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        const Member &m = members_[i];
+        if (!m.device.canRun(w->numQubits))
+            continue;
+        w->compiled[i] = w->estimator.compileFor(m.device.coupling);
+        w->durUs[i] = circuitDurationUs(w->compiled[i][0].compact,
+                                        m.device.baseCalibration,
+                                        w->compiled[i][0].compactToPhysical);
+        for (const TranspiledCircuit &tc : w->compiled[i])
+            w->quality[i].push_back(circuitQuality(tc));
+        ++eligible;
+    }
+    if (eligible == 0)
+        fatal("ServiceNode: no member can run a " +
+              std::to_string(w->numQubits) + "-qubit workload");
+    workloads_.push_back(std::move(w));
+    return static_cast<WorkloadId>(workloads_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+Ticket
+ServiceNode::submit(const JobRequest &request)
+{
+    Ticket t;
+    const bool knownWorkload =
+        request.workload >= 0 &&
+        request.workload < static_cast<WorkloadId>(workloads_.size());
+    if (!knownWorkload ||
+        static_cast<int>(request.params.size()) !=
+            workloads_[request.workload]->numParams) {
+        t.status = AdmitStatus::RejectedBadRequest;
+        ++counters_.jobsRejected;
+        return t;
+    }
+    t.status = queue_.admit(request, nextJobId_);
+    if (t.admitted()) {
+        t.jobId = nextJobId_++;
+        ++counters_.jobsAdmitted;
+    } else {
+        ++counters_.jobsRejected;
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------------------
+// Member health
+// ---------------------------------------------------------------------------
+
+void
+ServiceNode::failMemberAt(std::size_t member, double atH)
+{
+    members_.at(member).failAtH = atH;
+}
+
+void
+ServiceNode::restoreMember(std::size_t member)
+{
+    members_.at(member).failAtH =
+        std::numeric_limits<double>::infinity();
+}
+
+std::size_t
+ServiceNode::numMembers() const
+{
+    return members_.size();
+}
+
+std::size_t
+ServiceNode::aliveMembers(double atH) const
+{
+    std::size_t n = 0;
+    for (const Member &m : members_)
+        if (m.aliveAt(atH))
+            ++n;
+    return n;
+}
+
+const Device &
+ServiceNode::memberDevice(std::size_t member) const
+{
+    return members_.at(member).device;
+}
+
+double
+ServiceNode::workloadPCorrect(const Workload &w, std::size_t member,
+                              double atH) const
+{
+    if (w.quality[member].empty())
+        return 0.0;
+    CalibrationSnapshot reported =
+        members_[member].backend->reportedCalibration(atH);
+    double sum = 0.0;
+    for (const CircuitQuality &q : w.quality[member])
+        sum += pCorrect(q, reported, options_.pCorrectMode);
+    return sum / static_cast<double>(w.quality[member].size());
+}
+
+double
+ServiceNode::memberPCorrect(std::size_t member, WorkloadId workload,
+                            double atH) const
+{
+    (void)members_.at(member); // public entry: bounds-check the index
+    return workloadPCorrect(*workloads_.at(workload), member, atH);
+}
+
+// ---------------------------------------------------------------------------
+// Shard planning and execution
+// ---------------------------------------------------------------------------
+
+std::vector<MemberView>
+ServiceNode::memberViews(const Workload &w, double atH,
+                         int shotsPerMember) const
+{
+    std::vector<MemberView> views;
+    views.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        const Member &m = members_[i];
+        MemberView v;
+        v.member = static_cast<int>(i);
+        v.available = m.aliveAt(atH) && !w.compiled[i].empty();
+        if (v.available) {
+            v.pCorrect = workloadPCorrect(w, i, atH);
+            v.expectedLatencyS = m.backend->queue().expectedLatencyS(
+                atH, w.durUs[i], shotsPerMember,
+                static_cast<int>(w.compiled[i].size()), m.depth);
+        }
+        views.push_back(v);
+    }
+    return views;
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+// ---------------------------------------------------------------------------
+
+std::vector<JobOutcome>
+ServiceNode::drain(TaskPool *pool)
+{
+    std::vector<JobOutcome> outcomes;
+    if (queue_.empty())
+        return outcomes;
+    TaskPool &exec = pool ? *pool : TaskPool::shared();
+
+    // Phase 1: pop everything in priority order, coalescing identical
+    // (workload, binding) requests into work items.
+    std::vector<WorkItem> items;
+    std::unordered_map<WorkKey, std::size_t, WorkKeyHash> open;
+    while (!queue_.empty()) {
+        JobQueue::Entry e = queue_.pop();
+        WorkKey key{e.request.workload, e.request.params};
+        auto it = open.find(key);
+        if (it == open.end()) {
+            WorkItem item(options_.aggregation);
+            item.key = std::move(key);
+            item.workUid = nextWorkId_++;
+            item.t0 = e.request.submitH;
+            item.tLast = e.request.submitH;
+            item.shots = e.request.shots;
+            item.riders.push_back(std::move(e));
+            items.push_back(std::move(item));
+            open.emplace(items.back().key, items.size() - 1);
+        } else {
+            WorkItem &item = items[it->second];
+            item.t0 = std::min(item.t0, e.request.submitH);
+            item.tLast = std::max(item.tLast, e.request.submitH);
+            item.shots = std::max(item.shots, e.request.shots);
+            item.riders.push_back(std::move(e));
+            // jobsCoalesced is counted at completion, once the item
+            // knows whether it executed or served from cache — every
+            // rider lands in exactly one counter category.
+        }
+    }
+
+    // Phase 2: result-cache lookups, then shard planning for the
+    // items that must execute. Depths restart each drain (previous
+    // work has completed by construction of the virtual clock).
+    for (Member &m : members_)
+        m.depth = 0;
+    std::vector<Shard> round;
+    for (std::size_t ii = 0; ii < items.size(); ++ii) {
+        WorkItem &item = items[ii];
+        if (const CachedResult *hit =
+                cache_.lookup(item.key, item.tLast, item.shots)) {
+            item.fromCache = true;
+            item.cached = *hit;
+            counters_.cacheHits += item.riders.size();
+            continue;
+        }
+        ++counters_.workItems;
+        const Workload &w = *workloads_[item.key.workload];
+        const int guess =
+            item.shots /
+            std::max<int>(1,
+                          static_cast<int>(aliveMembers(item.t0)));
+        std::vector<MemberView> views =
+            memberViews(w, item.t0, guess);
+        for (const ShardPlan &p : scheduler_.plan(views, item.shots)) {
+            Shard s;
+            s.item = ii;
+            s.member = p.member;
+            s.shots = p.shots;
+            s.startH = item.t0;
+            s.pCorrect =
+                views[static_cast<std::size_t>(p.member)].pCorrect;
+            s.depthAtPlan = members_[p.member].depth;
+            s.seq = item.shardSeq++;
+            ++members_[p.member].depth;
+            round.push_back(s);
+        }
+    }
+
+    // Phase 3: execute rounds. Each shard owns an RNG stream forked
+    // from (work uid, shard seq) — a pure function of ids — and
+    // writes only its own slot, so any parallelJobs chunking yields
+    // bit-identical results. Failures detected after the round are
+    // requeued serially onto surviving members.
+    int requeueRound = 0;
+    while (!round.empty()) {
+        exec.parallelJobs(
+            round.size(), [&](uint64_t b, uint64_t e) {
+                for (uint64_t si = b; si < e; ++si) {
+                    Shard &s = round[si];
+                    WorkItem &item = items[s.item];
+                    const Workload &w =
+                        *workloads_[item.key.workload];
+                    Member &m = members_[static_cast<std::size_t>(
+                        s.member)];
+                    Rng rng =
+                        rootRng_.fork(item.workUid).fork(
+                            static_cast<uint64_t>(s.seq));
+                    const int groups = static_cast<int>(
+                        w.compiled[s.member].size());
+                    double latS = m.backend->queue().jobLatencyS(
+                        s.startH, w.durUs[s.member], s.shots, groups,
+                        rng, s.depthAtPlan);
+                    double completeH = s.startH + latS / 3600.0;
+                    s.result.member = s.member;
+                    s.result.shots = s.shots;
+                    s.result.pCorrect = s.pCorrect;
+                    if (!m.aliveAt(completeH)) {
+                        // The member died between planning and
+                        // completion: the shard never returns and the
+                        // caller times out at its expected completion.
+                        s.result.failed = true;
+                        s.detectH = std::max(completeH, s.startH);
+                        continue;
+                    }
+                    EnergyEstimate est = w.estimator.estimate(
+                        *m.backend, w.compiled[s.member], item.key.params,
+                        s.shots, completeH, rng, options_.shotMode,
+                        options_.readoutMitigation, &exec);
+                    s.result.energy = est.energy;
+                    s.result.variance = est.variance;
+                    s.result.completeH = completeH;
+                    s.result.circuitsRun = est.circuitsRun;
+                    s.result.failed = false;
+                }
+            });
+
+        // Serial post-round: stream results into the aggregators and
+        // plan replacement shards for failures.
+        std::vector<Shard> next;
+        std::vector<int> failedShots(items.size(), 0);
+        std::vector<double> failedDetectH(items.size(), 0.0);
+        for (Shard &s : round) {
+            WorkItem &item = items[s.item];
+            item.agg.add(s.result);
+            if (s.result.failed) {
+                failedShots[s.item] += s.shots;
+                failedDetectH[s.item] =
+                    std::max(failedDetectH[s.item], s.detectH);
+            } else {
+                ++counters_.shardsExecuted;
+                counters_.shotsExecuted +=
+                    static_cast<uint64_t>(s.shots);
+                counters_.circuitsExecuted +=
+                    static_cast<uint64_t>(s.result.circuitsRun);
+            }
+        }
+        if (requeueRound >= options_.maxRequeueRounds) {
+            for (std::size_t ii = 0; ii < items.size(); ++ii)
+                if (failedShots[ii] > 0)
+                    warn("ServiceNode: requeue rounds exhausted for "
+                         "work item " +
+                         std::to_string(items[ii].workUid) + "; " +
+                         std::to_string(failedShots[ii]) +
+                         " shots lost (outcome marked degraded)");
+            break;
+        }
+        bool anyRequeued = false;
+        for (std::size_t ii = 0; ii < items.size(); ++ii) {
+            if (failedShots[ii] == 0)
+                continue;
+            WorkItem &item = items[ii];
+            const Workload &w = *workloads_[item.key.workload];
+            double atH = failedDetectH[ii];
+            const int guess =
+                failedShots[ii] /
+                std::max<int>(1,
+                              static_cast<int>(aliveMembers(atH)));
+            std::vector<MemberView> views =
+                memberViews(w, atH, guess);
+            std::vector<ShardPlan> plan =
+                scheduler_.plan(views, failedShots[ii]);
+            if (plan.empty()) {
+                warn("ServiceNode: no surviving member for requeue of "
+                     "work item " +
+                     std::to_string(item.workUid));
+                continue;
+            }
+            for (const ShardPlan &p : plan) {
+                Shard s;
+                s.item = ii;
+                s.member = p.member;
+                s.shots = p.shots;
+                s.startH = atH;
+                s.pCorrect =
+                    views[static_cast<std::size_t>(p.member)]
+                        .pCorrect;
+                s.depthAtPlan = members_[p.member].depth;
+                s.seq = item.shardSeq++;
+                ++members_[p.member].depth;
+                next.push_back(s);
+            }
+            item.requeues +=
+                static_cast<int>(plan.size());
+            counters_.shardsRequeued +=
+                static_cast<uint64_t>(plan.size());
+            anyRequeued = true;
+        }
+        if (!anyRequeued)
+            break;
+        round = std::move(next);
+        ++requeueRound;
+    }
+
+    // Phase 4: complete every rider. Aggregation runs in item order
+    // (pop order), outcomes are returned sorted by job id.
+    for (WorkItem &item : items) {
+        double energy, variance, pc, completeH;
+        int shotsExec, shardsExec, circuits, primary;
+        if (item.fromCache) {
+            energy = item.cached.energy;
+            variance = item.cached.variance;
+            pc = item.cached.pCorrect;
+            completeH = item.t0;
+            shotsExec = item.cached.shots;
+            shardsExec = 0;
+            circuits = 0;
+            primary = -1;
+        } else {
+            energy = item.agg.energy();
+            variance = item.agg.variance();
+            pc = item.agg.pCorrect();
+            completeH = item.agg.completeH();
+            shotsExec = item.agg.shotsExecuted();
+            shardsExec = item.agg.shardsExecuted();
+            circuits = item.agg.circuitsRun();
+            primary = item.agg.primaryMember();
+            counters_.jobsCoalesced +=
+                static_cast<uint64_t>(item.riders.size() - 1);
+            CachedResult cr;
+            cr.energy = energy;
+            cr.variance = variance;
+            cr.pCorrect = pc;
+            cr.completeH = completeH;
+            cr.shots = shotsExec;
+            cache_.store(item.key, cr);
+        }
+        bool first = true;
+        for (const JobQueue::Entry &rider : item.riders) {
+            JobOutcome o;
+            o.jobId = rider.jobId;
+            o.tenantId = rider.request.tenantId;
+            o.workload = item.key.workload;
+            o.energy = energy;
+            o.variance = variance;
+            o.pCorrect = pc;
+            o.submitH = rider.request.submitH;
+            o.completeH = item.fromCache ? rider.request.submitH
+                                         : completeH;
+            o.latencyH =
+                std::max(0.0, o.completeH - rider.request.submitH);
+            o.shotsExecuted = shotsExec;
+            o.shardsExecuted = shardsExec;
+            o.requeues = item.requeues;
+            o.circuitsRun = circuits;
+            o.primaryMember = primary;
+            o.coalesced = !first && !item.fromCache;
+            o.fromCache = item.fromCache;
+            o.degraded = !item.fromCache && shotsExec < item.shots;
+            latency_.add(o.latencyH);
+            latencyMoments_.add(o.latencyH);
+            outcomes.push_back(std::move(o));
+            first = false;
+        }
+    }
+    std::sort(outcomes.begin(), outcomes.end(),
+              [](const JobOutcome &a, const JobOutcome &b) {
+                  return a.jobId < b.jobId;
+              });
+    return outcomes;
+}
+
+} // namespace serve
+} // namespace eqc

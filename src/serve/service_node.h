@@ -1,0 +1,182 @@
+/**
+ * @file
+ * ServiceNode — the multi-tenant front end of the EQC runtime.
+ *
+ * One node fronts one ensemble of QPUs and serves expectation-
+ * estimation jobs from many tenants. The lifecycle of a job is
+ *
+ *   submit  -> admission control (JobQueue)
+ *   drain   -> coalesce identical (workload, binding) work items
+ *           -> shard each item's shot budget across members
+ *              (ShotScheduler over queue-model wait estimates and
+ *              Eq. 2 calibration scores)
+ *           -> execute shards through a TaskPool (per-shard forked
+ *              RNG streams: results are bit-identical for any thread
+ *              count)
+ *           -> aggregate shard estimates (Aggregator, pluggable
+ *              weighting), requeueing shards of members that dropped
+ *              mid-job onto survivors with weights renormalized
+ *           -> complete every rider, record latency percentiles
+ *
+ * The node lives on the same virtual clock as the rest of the
+ * framework: requests carry a submission hour, shard latencies are
+ * sampled from each device's queue model, and a job's completion is
+ * the latest surviving shard's completion. Draining is synchronous
+ * and deterministic — identical submission sequences produce
+ * identical outcomes, bit for bit, regardless of EQC_THREADS.
+ */
+
+#ifndef EQC_SERVE_SERVICE_NODE_H
+#define EQC_SERVE_SERVICE_NODE_H
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighting.h"
+#include "device/backend.h"
+#include "serve/aggregator.h"
+#include "serve/coalescer.h"
+#include "serve/job_queue.h"
+#include "serve/shot_scheduler.h"
+#include "vqa/expectation.h"
+
+namespace eqc {
+
+class TaskPool;
+
+namespace serve {
+
+/** Full configuration of one ServiceNode. */
+struct ServiceOptions
+{
+    AdmissionPolicy admission;
+    ShotSchedulerOptions scheduler;
+    AggregationMode aggregation = AggregationMode::FidelityWeighted;
+    ShotMode shotMode = ShotMode::Gaussian;
+    PCorrectMode pCorrectMode = PCorrectMode::Physical;
+    /** Reported-calibration readout-error mitigation. */
+    bool readoutMitigation = true;
+    /**
+     * Rounds of shard requeueing after member failures before a work
+     * item completes with whatever survived.
+     */
+    int maxRequeueRounds = 4;
+    /** Result-cache TTL in virtual hours (0 disables reuse). */
+    double resultCacheTtlH = 0.0;
+    std::size_t resultCacheCapacity = 256;
+    /** Reservoir size of the latency percentile estimator. */
+    std::size_t latencyReservoir = 4096;
+    /** Root seed; every stochastic stream forks from it by label. */
+    uint64_t seed = 1;
+};
+
+/** Multi-tenant serving front end (see file comment). */
+class ServiceNode
+{
+  public:
+    /**
+     * @param devices ensemble members, in index order (the order is
+     *        part of the node's identity: shard plans and outcomes
+     *        reference member indices)
+     * @param options node configuration
+     */
+    ServiceNode(std::vector<Device> devices, ServiceOptions options);
+
+    ~ServiceNode();
+
+    ServiceNode(const ServiceNode &) = delete;
+    ServiceNode &operator=(const ServiceNode &) = delete;
+
+    /**
+     * Register a serveable workload: the observable is grouped into
+     * measurement circuits once and transpiled for every member that
+     * can run it. Submissions reference the returned id.
+     */
+    WorkloadId registerWorkload(const QuantumCircuit &ansatz,
+                                const PauliSum &observable);
+
+    /**
+     * Admission-controlled submission. Jobs queue until drain();
+     * rejected jobs get a Ticket whose status names the reason.
+     */
+    Ticket submit(const JobRequest &request);
+
+    /**
+     * Serve every queued job to completion: coalesce, shard, execute,
+     * aggregate, requeue around failures. Outcomes are returned in
+     * ascending job-id order.
+     * @param pool fan-out pool for shard execution; nullptr means
+     *        TaskPool::shared() (sized by EQC_THREADS)
+     */
+    std::vector<JobOutcome> drain(TaskPool *pool = nullptr);
+
+    /**
+     * Kill member @p member at virtual hour @p atH: shards in flight
+     * at that hour never return (their work requeues to survivors),
+     * and no new shard is planned on it from @p atH on.
+     */
+    void failMemberAt(std::size_t member, double atH);
+
+    /** Bring a failed member back (e.g. after maintenance). */
+    void restoreMember(std::size_t member);
+
+    std::size_t numMembers() const;
+
+    /** Members that have not failed as of hour @p atH. */
+    std::size_t aliveMembers(double atH) const;
+
+    const Device &memberDevice(std::size_t member) const;
+
+    /** Eq. 2 score of a member for a workload at hour @p atH. */
+    double memberPCorrect(std::size_t member, WorkloadId workload,
+                          double atH) const;
+
+    /** Jobs admitted but not yet drained. */
+    std::size_t pendingJobs() const { return queue_.size(); }
+
+    /** Per-job service latency percentiles (virtual hours). */
+    const stats::Percentiles &latencyStats() const { return latency_; }
+
+    /** Running latency moments (mean/min/max, virtual hours). */
+    const RunningStats &latencyMoments() const
+    {
+        return latencyMoments_;
+    }
+
+    const ServiceCounters &counters() const { return counters_; }
+
+    const ServiceOptions &options() const { return options_; }
+
+  private:
+    struct Member;
+    struct Workload;
+    struct Shard;
+    struct WorkItem;
+
+    /** Scheduler views of the members eligible for @p w at @p atH. */
+    std::vector<MemberView> memberViews(const Workload &w, double atH,
+                                        int shotsPerMember) const;
+
+    /** Mean Eq. 2 score of @p member's group circuits for @p w. */
+    double workloadPCorrect(const Workload &w, std::size_t member,
+                            double atH) const;
+
+    ServiceOptions options_;
+    std::vector<Member> members_;
+    std::vector<std::unique_ptr<Workload>> workloads_;
+    JobQueue queue_;
+    ShotScheduler scheduler_;
+    ResultCache cache_;
+    Rng rootRng_;
+    uint64_t nextJobId_ = 1;
+    uint64_t nextWorkId_ = 1;
+    stats::Percentiles latency_;
+    RunningStats latencyMoments_;
+    ServiceCounters counters_;
+};
+
+} // namespace serve
+} // namespace eqc
+
+#endif // EQC_SERVE_SERVICE_NODE_H

@@ -1,0 +1,107 @@
+#include "serve/shot_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eqc {
+namespace serve {
+
+std::vector<ShardPlan>
+ShotScheduler::plan(const std::vector<MemberView> &members,
+                    int totalShots) const
+{
+    std::vector<ShardPlan> out;
+    if (totalShots <= 0)
+        return out;
+
+    struct Cand
+    {
+        int member;
+        double weight;
+        double share = 0.0;
+    };
+    std::vector<Cand> cands;
+    for (const MemberView &m : members) {
+        if (!m.available)
+            continue;
+        double lat = std::max(m.expectedLatencyS, options_.minLatencyS);
+        double w = std::max(m.pCorrect, 0.0) / lat;
+        cands.push_back(Cand{m.member, w});
+    }
+    if (cands.empty())
+        return out;
+
+    // All-zero weights (e.g. every reported calibration is hopeless):
+    // fall back to an even split rather than starving the job.
+    double wsum = 0.0;
+    for (const Cand &c : cands)
+        wsum += c.weight;
+    if (wsum <= 0.0) {
+        for (Cand &c : cands)
+            c.weight = 1.0;
+        wsum = static_cast<double>(cands.size());
+    }
+
+    // Drop members whose proportional share would round to a
+    // statistically worthless shard, redistributing to the rest.
+    // Removing the smallest share only grows the others, so one pass
+    // from the bottom converges.
+    auto shares = [&] {
+        for (Cand &c : cands)
+            c.share = totalShots * c.weight / wsum;
+    };
+    shares();
+    while (cands.size() > 1) {
+        auto min = std::min_element(
+            cands.begin(), cands.end(), [](const Cand &a, const Cand &b) {
+                return a.share < b.share;
+            });
+        if (min->share >= static_cast<double>(std::min(
+                              options_.minShardShots, totalShots)))
+            break;
+        wsum -= min->weight;
+        cands.erase(min);
+        if (wsum <= 0.0) {
+            for (Cand &c : cands)
+                c.weight = 1.0;
+            wsum = static_cast<double>(cands.size());
+        }
+        shares();
+    }
+
+    // Largest-remainder rounding: floors first, then the leftover
+    // shots to the largest fractional parts (ties: lower member id).
+    std::vector<int> shots(cands.size());
+    int assigned = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        shots[i] = static_cast<int>(std::floor(cands[i].share));
+        assigned += shots[i];
+    }
+    std::vector<std::size_t> order(cands.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  double fa = cands[a].share - std::floor(cands[a].share);
+                  double fb = cands[b].share - std::floor(cands[b].share);
+                  if (fa != fb)
+                      return fa > fb;
+                  return cands[a].member < cands[b].member;
+              });
+    for (std::size_t k = 0; assigned < totalShots; ++k) {
+        ++shots[order[k % order.size()]];
+        ++assigned;
+    }
+
+    for (std::size_t i = 0; i < cands.size(); ++i)
+        if (shots[i] > 0)
+            out.push_back(ShardPlan{cands[i].member, shots[i]});
+    std::sort(out.begin(), out.end(),
+              [](const ShardPlan &a, const ShardPlan &b) {
+                  return a.member < b.member;
+              });
+    return out;
+}
+
+} // namespace serve
+} // namespace eqc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shot-sharding scheduler: split one job's shot budget across ensemble
+ * members in proportion to expected quality per unit of waiting.
+ *
+ * Each member is scored rate = pCorrect / expectedLatencyS, where the
+ * latency estimate comes from the device queue model's deterministic
+ * query API (QueueModel::expectedLatencyS) and is monotone in the
+ * member's current queue depth — so a backlogged QPU automatically
+ * sheds shots onto idle peers, and a high-fidelity device attracts
+ * more of the budget (the Eq. 2 signal the paper weights gradients
+ * by, applied at sharding time instead). Largest-remainder rounding
+ * keeps the allocation exact: the shard shots always sum to the
+ * requested budget.
+ */
+
+#ifndef EQC_SERVE_SHOT_SCHEDULER_H
+#define EQC_SERVE_SHOT_SCHEDULER_H
+
+#include <vector>
+
+namespace eqc {
+namespace serve {
+
+/** Scheduler view of one ensemble member at planning time. */
+struct MemberView
+{
+    /** Member index in the ServiceNode. */
+    int member = -1;
+    /** Eq. 2 score against the reported calibration. */
+    double pCorrect = 0.0;
+    /** Depth-aware deterministic latency estimate (seconds). */
+    double expectedLatencyS = 1.0;
+    /** false excludes the member (failed, ineligible, cooled down). */
+    bool available = true;
+};
+
+/** One planned shard: @p shots of the budget on @p member. */
+struct ShardPlan
+{
+    int member = -1;
+    int shots = 0;
+};
+
+/** Scheduler knobs. */
+struct ShotSchedulerOptions
+{
+    /**
+     * Shards smaller than this are dropped and their shots
+     * redistributed — a 12-shot shard costs a full queue wait for
+     * statistically worthless data.
+     */
+    int minShardShots = 64;
+    /** Floor of the latency divisor (guards near-zero estimates). */
+    double minLatencyS = 1.0;
+};
+
+/** Stateless shard planner (see file comment). */
+class ShotScheduler
+{
+  public:
+    explicit ShotScheduler(ShotSchedulerOptions options = {})
+        : options_(options)
+    {
+    }
+
+    /**
+     * Split @p totalShots across the available members of @p members.
+     * Returns one ShardPlan per member that received shots, in member
+     * order; the shot counts sum to @p totalShots exactly. Empty when
+     * no member is available.
+     */
+    std::vector<ShardPlan> plan(const std::vector<MemberView> &members,
+                                int totalShots) const;
+
+    const ShotSchedulerOptions &options() const { return options_; }
+
+  private:
+    ShotSchedulerOptions options_;
+};
+
+} // namespace serve
+} // namespace eqc
+
+#endif // EQC_SERVE_SHOT_SCHEDULER_H

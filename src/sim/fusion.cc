@@ -198,6 +198,17 @@ fuseForSimulation(const QuantumCircuit &circuit, FusionMode mode)
                     build[i].primary = op.type;
                 continue;
             }
+            // Output-side absorption (Full mode): a 1q gate trailing a
+            // 2q op folds into it as a wire-embedded term. The 2q op
+            // stays the last op on both wires, so later same-pair
+            // merges still see it.
+            if (full && i >= 0 && build[i].alive && build[i].twoQubit) {
+                FusedTerm t = makeTerm(op);
+                t.wire = (build[i].q0 == q) ? 0 : 1;
+                build[i].terms.push_back(t);
+                build[i].allVirtual &= isVirtual;
+                continue;
+            }
             if (!full && !isVirtual) {
                 // Physical 1q gate: absorb a pending virtual run on its
                 // wire (input side), then stand alone for its noise.

@@ -13,7 +13,9 @@
  *    2x2 matrix (diagonal runs stay diagonal, keeping the elementwise
  *    fast path);
  *  - 1q gates are absorbed into a neighboring 2q gate they share a wire
- *    with (input side), producing one 4x4;
+ *    with, producing one 4x4 — input side in both modes, and output
+ *    side too under Full fusion (a trailing 1q gate folds into the
+ *    preceding 2q op);
  *  - adjacent 2q gates on the same qubit pair fold into one 4x4, with
  *    orientation remapping when the operand order differs.
  *

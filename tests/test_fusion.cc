@@ -264,6 +264,76 @@ TEST(Fusion, DiagonalRunsStayDiagonal)
     EXPECT_NEAR(maxAmpDiff(ref, fused), 0.0, 1e-12);
 }
 
+TEST(Fusion, OutputSideAbsorptionFoldsTrailing1q)
+{
+    // Full mode: 1q gates *after* a 2q gate fold into it (output
+    // side), so a CX dressed with trailing rotations is one op.
+    QuantumCircuit c(2, 0);
+    c.cx(0, 1);
+    c.h(0);
+    c.rz(1, ParamExpr::constant(0.7));
+    c.sx(1);
+    FusedProgram full = fuseForSimulation(c, FusionMode::Full);
+    EXPECT_EQ(full.ops.size(), std::size_t{1});
+
+    // NoisePreserving must NOT absorb them: H and SX are physical
+    // gates that carry their own calibration noise.
+    FusedProgram noisy =
+        fuseForSimulation(c, FusionMode::NoisePreserving);
+    EXPECT_EQ(noisy.ops.size(), std::size_t{3});
+
+    Statevector ref(2), fused(2);
+    applyRaw(c, {}, ref);
+    applyFusedProgram(full, {}, fused);
+    EXPECT_NEAR(maxAmpDiff(ref, fused), 0.0, 1e-12);
+}
+
+TEST(Fusion, RandomizedOutputSideAbsorptionEquivalence)
+{
+    // Circuits shaped as 2q gates each followed by random 1q tails on
+    // their wires: with output-side absorption every 1q gate lands in
+    // some 2q op, so Full fusion yields at most one op per 2q gate.
+    const GateType oneQ[] = {GateType::H,  GateType::SX, GateType::RX,
+                             GateType::RY, GateType::RZ, GateType::T};
+    const GateType twoQ[] = {GateType::CX, GateType::CZ, GateType::RZZ};
+    Rng rng(55);
+    for (int rep = 0; rep < 20; ++rep) {
+        const int n = rng.uniformInt(2, 5);
+        const int pairs = rng.uniformInt(2, 8);
+        QuantumCircuit c(n, 0);
+        int twoQCount = 0;
+        for (int g = 0; g < pairs; ++g) {
+            int a = rng.uniformInt(0, n - 1);
+            int b = a;
+            while (b == a)
+                b = rng.uniformInt(0, n - 1);
+            GateType tt = twoQ[rng.uniformInt(0, 2)];
+            std::vector<ParamExpr> tp;
+            for (int p = 0; p < gateParamCount(tt); ++p)
+                tp.push_back(ParamExpr::constant(rng.uniform(-3, 3)));
+            c.addGate(tt, {a, b}, tp);
+            ++twoQCount;
+            const int tail = rng.uniformInt(1, 4);
+            for (int k = 0; k < tail; ++k) {
+                GateType ot = oneQ[rng.uniformInt(0, 5)];
+                std::vector<ParamExpr> op;
+                for (int p = 0; p < gateParamCount(ot); ++p)
+                    op.push_back(
+                        ParamExpr::constant(rng.uniform(-3, 3)));
+                c.addGate(ot, {rng.uniform() < 0.5 ? a : b}, op);
+            }
+        }
+        FusedProgram prog = fuseForSimulation(c, FusionMode::Full);
+        EXPECT_LE(prog.ops.size(), static_cast<std::size_t>(twoQCount))
+            << "rep " << rep;
+
+        Statevector ref(n), fused(n);
+        applyRaw(c, {}, ref);
+        applyFusedProgram(prog, {}, fused);
+        EXPECT_NEAR(maxAmpDiff(ref, fused), 0.0, 1e-10) << "rep " << rep;
+    }
+}
+
 TEST(Fusion, SamePairTwoQubitGatesMerge)
 {
     QuantumCircuit c(2, 0);

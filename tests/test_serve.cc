@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Serving-layer tests: queue-model wait estimates under drift and
+ * their consumption by the shot scheduler, admission control, request
+ * coalescing, aggregation modes, QPU fault tolerance with shard
+ * requeueing, thread-count bit-determinism, and the "service" engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/task_pool.h"
+#include "core/runtime.h"
+#include "device/catalog.h"
+#include "serve/service_node.h"
+#include "support/run_helpers.h"
+#include "vqa/problem.h"
+
+namespace eqc {
+namespace {
+
+using namespace eqc::serve;
+
+std::vector<Device>
+serveEnsemble()
+{
+    return {deviceByName("ibmq_bogota"), deviceByName("ibmq_manila"),
+            deviceByName("ibmq_quito"), deviceByName("ibmq_lima")};
+}
+
+ServiceOptions
+fastOptions(uint64_t seed = 11)
+{
+    ServiceOptions o;
+    o.seed = seed;
+    o.scheduler.minShardShots = 32;
+    return o;
+}
+
+// ---------------------------------------------------------------------------
+// Queue-model query API (consumed by the scheduler)
+// ---------------------------------------------------------------------------
+
+TEST(QueueModelEstimates, WaitMonotoneInQueueDepth)
+{
+    // Across devices and across the diurnal cycle (the calibration-
+    // drift timescale), deeper queues must never look cheaper.
+    for (const Device &dev : evaluationEnsemble()) {
+        QueueModel qm(dev.queue);
+        for (double tH : {0.0, 3.7, 11.2, 23.9, 48.5}) {
+            double prev = -1.0;
+            for (int depth = 0; depth < 6; ++depth) {
+                double w = qm.expectedWaitS(tH, depth);
+                EXPECT_GT(w, prev)
+                    << dev.name << " t=" << tH << " depth=" << depth;
+                prev = w;
+                EXPECT_GE(qm.expectedLatencyS(tH, 50.0, 1024, 3, depth),
+                          w);
+            }
+        }
+    }
+}
+
+TEST(QueueModelEstimates, ExpectedWaitMatchesSampleMean)
+{
+    QueueModel qm(deviceByName("ibmq_toronto").queue);
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += qm.sampleWaitS(2.0, rng);
+    double mean = sum / n;
+    double expected = qm.expectedWaitS(2.0, 0);
+    EXPECT_NEAR(mean / expected, 1.0, 0.05);
+}
+
+TEST(QueueModelEstimates, SchedulerShedsShotsFromBackloggedMembers)
+{
+    // Two identical members, one with a deep queue: the scheduler
+    // must give the idle one strictly more of the budget.
+    QueueModel qm(deviceByName("ibmq_bogota").queue);
+    std::vector<MemberView> views(2);
+    for (int i = 0; i < 2; ++i) {
+        views[i].member = i;
+        views[i].pCorrect = 0.8;
+        views[i].available = true;
+    }
+    views[0].expectedLatencyS = qm.expectedLatencyS(0.0, 50, 1024, 3, 0);
+    views[1].expectedLatencyS = qm.expectedLatencyS(0.0, 50, 1024, 3, 4);
+
+    ShotScheduler sched;
+    std::vector<ShardPlan> plan = sched.plan(views, 8192);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_GT(plan[0].shots, plan[1].shots);
+    EXPECT_EQ(plan[0].shots + plan[1].shots, 8192);
+}
+
+// ---------------------------------------------------------------------------
+// Shot scheduler
+// ---------------------------------------------------------------------------
+
+TEST(ShotScheduler, ExactBudgetAndQualityBias)
+{
+    std::vector<MemberView> views(3);
+    for (int i = 0; i < 3; ++i) {
+        views[i].member = i;
+        views[i].available = true;
+        views[i].expectedLatencyS = 60.0;
+    }
+    views[0].pCorrect = 0.9;
+    views[1].pCorrect = 0.6;
+    views[2].pCorrect = 0.3;
+
+    ShotScheduler sched;
+    std::vector<ShardPlan> plan = sched.plan(views, 1000);
+    ASSERT_EQ(plan.size(), 3u);
+    int total = 0;
+    for (const ShardPlan &p : plan)
+        total += p.shots;
+    EXPECT_EQ(total, 1000);
+    EXPECT_GT(plan[0].shots, plan[1].shots);
+    EXPECT_GT(plan[1].shots, plan[2].shots);
+}
+
+TEST(ShotScheduler, DropsWorthlessShardsAndUnavailableMembers)
+{
+    std::vector<MemberView> views(3);
+    for (int i = 0; i < 3; ++i) {
+        views[i].member = i;
+        views[i].available = true;
+        views[i].expectedLatencyS = 60.0;
+        views[i].pCorrect = 0.5;
+    }
+    views[1].available = false;       // failed member
+    views[2].pCorrect = 0.001;        // share below minShardShots
+
+    ShotSchedulerOptions so;
+    so.minShardShots = 64;
+    ShotScheduler sched(so);
+    std::vector<ShardPlan> plan = sched.plan(views, 1024);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].member, 0);
+    EXPECT_EQ(plan[0].shots, 1024);
+
+    // Nobody available: empty plan, not a crash.
+    views[0].available = false;
+    views[2].available = false;
+    EXPECT_TRUE(sched.plan(views, 1024).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator
+// ---------------------------------------------------------------------------
+
+ShardResult
+shard(int member, int shots, double pc, double energy, double var = 0.01)
+{
+    ShardResult s;
+    s.member = member;
+    s.shots = shots;
+    s.pCorrect = pc;
+    s.energy = energy;
+    s.variance = var;
+    s.completeH = 1.0 + member;
+    s.circuitsRun = 3;
+    return s;
+}
+
+TEST(Aggregator, ModesCombineAsDocumented)
+{
+    std::vector<ShardResult> shards = {shard(0, 100, 0.9, -1.0),
+                                       shard(1, 100, 0.3, -2.0),
+                                       shard(2, 200, 0.6, -3.0)};
+
+    Aggregator fid(AggregationMode::FidelityWeighted);
+    Aggregator equi(AggregationMode::EquiWeighted);
+    Aggregator vote(AggregationMode::MajorityVote);
+    for (const ShardResult &s : shards) {
+        fid.add(s);
+        equi.add(s);
+        vote.add(s);
+    }
+    // Fidelity: weights 90, 30, 120 -> (-90 - 60 - 360) / 240.
+    EXPECT_NEAR(fid.energy(), -510.0 / 240.0, 1e-12);
+    EXPECT_NEAR(equi.energy(), -2.0, 1e-12);
+    EXPECT_NEAR(vote.energy(), -2.0, 1e-12);
+    // Shot-weighted pCorrect: (90 + 30 + 120) / 400.
+    EXPECT_NEAR(fid.pCorrect(), 0.6, 1e-12);
+    EXPECT_EQ(fid.primaryMember(), 2);
+    EXPECT_EQ(fid.shotsExecuted(), 400);
+    EXPECT_DOUBLE_EQ(fid.completeH(), 3.0);
+}
+
+TEST(Aggregator, FailedShardsRenormalizeOverSurvivors)
+{
+    Aggregator agg(AggregationMode::FidelityWeighted);
+    agg.add(shard(0, 100, 0.8, -1.0));
+    ShardResult dead = shard(1, 300, 0.9, -5.0);
+    dead.failed = true;
+    agg.add(dead);
+    agg.add(shard(2, 100, 0.8, -3.0));
+
+    EXPECT_EQ(agg.failures(), 1);
+    EXPECT_EQ(agg.shardsExecuted(), 2);
+    // The dead shard contributes nothing: equal surviving weights.
+    EXPECT_NEAR(agg.energy(), -2.0, 1e-12);
+    EXPECT_EQ(agg.shotsExecuted(), 200);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNode, AdmissionControlRejectsOverload)
+{
+    ServiceOptions o = fastOptions();
+    o.admission.maxQueueDepth = 3;
+    o.admission.maxQueuedPerTenant = 2;
+    ServiceNode node(serveEnsemble(), o);
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 512;
+
+    r.tenantId = 1;
+    EXPECT_TRUE(node.submit(r).admitted());
+    EXPECT_TRUE(node.submit(r).admitted());
+    EXPECT_EQ(node.submit(r).status, AdmitStatus::RejectedTenantQuota);
+
+    r.tenantId = 2;
+    EXPECT_TRUE(node.submit(r).admitted());
+    EXPECT_EQ(node.submit(r).status, AdmitStatus::RejectedQueueFull);
+
+    // Malformed requests never reach the queue.
+    r.params.pop_back();
+    EXPECT_EQ(node.submit(r).status, AdmitStatus::RejectedBadRequest);
+    r.params = p.initialParams;
+    r.workload = 99;
+    EXPECT_EQ(node.submit(r).status, AdmitStatus::RejectedBadRequest);
+    r.workload = wl;
+    r.shots = 0;
+    EXPECT_EQ(node.submit(r).status, AdmitStatus::RejectedBadRequest);
+
+    EXPECT_EQ(node.counters().jobsAdmitted, 3u);
+    EXPECT_EQ(node.counters().jobsRejected, 5u);
+    EXPECT_EQ(node.pendingJobs(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNode, CoalescesIdenticalRequestsAcrossTenants)
+{
+    ServiceNode node(serveEnsemble(), fastOptions());
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    const int tenants = 6;
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 4096;
+    for (int t = 0; t < tenants; ++t) {
+        r.tenantId = t;
+        ASSERT_TRUE(node.submit(r).admitted());
+    }
+    // One tenant asks for something else: a second work item.
+    r.tenantId = 0;
+    r.params[0] += 0.5;
+    ASSERT_TRUE(node.submit(r).admitted());
+
+    std::vector<JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(tenants + 1));
+
+    // The identical requests executed once: 2 work items total, and
+    // the shard count is per-item, not per-tenant.
+    EXPECT_EQ(node.counters().workItems, 2u);
+    EXPECT_EQ(node.counters().jobsCoalesced,
+              static_cast<uint64_t>(tenants - 1));
+    EXPECT_LE(node.counters().shardsExecuted,
+              2u * node.numMembers());
+
+    // Riders all see the same answer; exactly tenants-1 are flagged.
+    int coalesced = 0;
+    for (int t = 1; t < tenants; ++t) {
+        EXPECT_DOUBLE_EQ(out[t].energy, out[0].energy);
+        coalesced += out[t].coalesced ? 1 : 0;
+    }
+    EXPECT_EQ(coalesced, tenants - 1);
+    EXPECT_NE(out[tenants].energy, out[0].energy);
+}
+
+TEST(ServiceNode, ResultCacheServesRepeatsWithinTtl)
+{
+    ServiceOptions o = fastOptions();
+    o.resultCacheTtlH = 0.5;
+    ServiceNode node(serveEnsemble(), o);
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 2048;
+    r.submitH = 0.0;
+    ASSERT_TRUE(node.submit(r).admitted());
+    std::vector<JobOutcome> first = node.drain();
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_FALSE(first[0].fromCache);
+
+    // Same binding shortly after: answered without touching a QPU.
+    r.submitH = first[0].completeH + 0.01;
+    ASSERT_TRUE(node.submit(r).admitted());
+    std::vector<JobOutcome> second = node.drain();
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].fromCache);
+    EXPECT_DOUBLE_EQ(second[0].energy, first[0].energy);
+    EXPECT_DOUBLE_EQ(second[0].latencyH, 0.0);
+    EXPECT_EQ(node.counters().workItems, 1u);
+    EXPECT_EQ(node.counters().cacheHits, 1u);
+
+    // Past the TTL the answer is stale (drift): a fresh execution.
+    r.submitH = first[0].completeH + 1.0;
+    ASSERT_TRUE(node.submit(r).admitted());
+    std::vector<JobOutcome> third = node.drain();
+    EXPECT_FALSE(third[0].fromCache);
+    EXPECT_EQ(node.counters().workItems, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNode, KilledMemberMidRunRequeuesOntoSurvivors)
+{
+    ServiceNode node(serveEnsemble(), fastOptions());
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    // Find the member the scheduler trusts most, then kill it a few
+    // virtual seconds in — after planning, before any completion.
+    const int budget = 8192;
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = budget;
+    ASSERT_TRUE(node.submit(r).admitted());
+    node.failMemberAt(0, 2.0 / 3600.0);
+
+    std::vector<JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), 1u);
+    const JobOutcome &o = out[0];
+
+    // The job still completes with its FULL shot budget, served
+    // entirely by survivors.
+    EXPECT_EQ(o.shotsExecuted, budget);
+    EXPECT_FALSE(o.degraded);
+    EXPECT_GT(o.requeues, 0);
+    EXPECT_GT(node.counters().shardsRequeued, 0u);
+    EXPECT_TRUE(std::isfinite(o.energy));
+    EXPECT_NE(o.primaryMember, 0);
+    EXPECT_GT(o.completeH, o.submitH);
+
+    // A second job planned after the failure never touches member 0.
+    r.submitH = o.completeH;
+    ASSERT_TRUE(node.submit(r).admitted());
+    std::vector<JobOutcome> again = node.drain();
+    EXPECT_EQ(again[0].shotsExecuted, budget);
+    EXPECT_EQ(again[0].requeues, 0);
+    EXPECT_NE(again[0].primaryMember, 0);
+}
+
+TEST(ServiceNode, AllMembersDeadStillReturnsOutcomes)
+{
+    ServiceNode node(serveEnsemble(), fastOptions());
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+    for (std::size_t m = 0; m < node.numMembers(); ++m)
+        node.failMemberAt(m, 0.0);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 1024;
+    r.submitH = 1.0;
+    ASSERT_TRUE(node.submit(r).admitted());
+    std::vector<JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].shotsExecuted, 0);
+    EXPECT_EQ(out[0].shardsExecuted, 0);
+    EXPECT_TRUE(out[0].degraded);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts
+// ---------------------------------------------------------------------------
+
+std::vector<JobOutcome>
+runWorkload(int threads, int tenants)
+{
+    ServiceNode node(serveEnsemble(), fastOptions(77));
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+    JobRequest r;
+    r.workload = wl;
+    r.shots = 2048;
+    for (int t = 0; t < tenants; ++t) {
+        r.tenantId = t;
+        r.params = p.initialParams;
+        r.params[0] += 0.1 * t; // distinct bindings: no coalescing
+        r.priority = t % 2;
+        r.submitH = 0.01 * t;
+        EXPECT_TRUE(node.submit(r).admitted());
+    }
+    TaskPool pool(threads);
+    return node.drain(&pool);
+}
+
+TEST(ServiceNode, DrainBitIdenticalForAnyThreadCount)
+{
+    std::vector<JobOutcome> t1 = runWorkload(1, 5);
+    std::vector<JobOutcome> t2 = runWorkload(2, 5);
+    std::vector<JobOutcome> t4 = runWorkload(4, 5);
+    ASSERT_EQ(t1.size(), 5u);
+    ASSERT_EQ(t2.size(), t1.size());
+    ASSERT_EQ(t4.size(), t1.size());
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i].jobId, t2[i].jobId);
+        EXPECT_DOUBLE_EQ(t1[i].energy, t2[i].energy);
+        EXPECT_DOUBLE_EQ(t1[i].energy, t4[i].energy);
+        EXPECT_DOUBLE_EQ(t1[i].variance, t4[i].variance);
+        EXPECT_DOUBLE_EQ(t1[i].completeH, t2[i].completeH);
+        EXPECT_DOUBLE_EQ(t1[i].completeH, t4[i].completeH);
+        EXPECT_EQ(t1[i].shardsExecuted, t4[i].shardsExecuted);
+        EXPECT_EQ(t1[i].shotsExecuted, t4[i].shotsExecuted);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The "service" engine
+// ---------------------------------------------------------------------------
+
+TEST(ServiceEngine, RegisteredAndTrainsDeterministically)
+{
+    std::vector<std::string> names = Runtime::engineNames();
+    EXPECT_EQ(std::count(names.begin(), names.end(), "service"), 1);
+
+    VqaProblem p = makeHeisenbergVqe();
+    EqcOptions opts;
+    opts.master.epochs = 3;
+    opts.master.weightBounds = {0.1, 1.0};
+    opts.seed = 21;
+    opts.engine = "service";
+    opts.recordIdealEnergy = false;
+
+    Runtime rt;
+    EqcTrace a = rt.submit(p, serveEnsemble(), opts).take();
+    ASSERT_EQ(a.epochs.size(), 3u);
+    EXPECT_EQ(a.label, "EQC-service");
+    for (const EpochRecord &rec : a.epochs)
+        EXPECT_TRUE(std::isfinite(rec.energyDevice));
+    EXPECT_FALSE(a.jobsPerDevice.empty());
+
+    // Synchronous serving: every gradient is fresh.
+    EXPECT_EQ(a.staleness.max(), 0.0);
+
+    // Bit-identical across engine thread counts.
+    for (int threads : {1, 2, 4}) {
+        EqcOptions o2 = opts;
+        o2.engineThreads = threads;
+        EqcTrace b = rt.submit(p, serveEnsemble(), o2).take();
+        ASSERT_EQ(b.epochs.size(), a.epochs.size());
+        for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+            EXPECT_DOUBLE_EQ(b.epochs[i].energyDevice,
+                             a.epochs[i].energyDevice);
+            EXPECT_DOUBLE_EQ(b.epochs[i].timeH, a.epochs[i].timeH);
+        }
+        EXPECT_EQ(b.finalParams, a.finalParams);
+    }
+}
+
+} // namespace
+} // namespace eqc

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/stats.h"
 
 namespace eqc {
@@ -79,6 +81,61 @@ TEST(Stats, LinearFitR2Partial)
     LinearFit f = linearFit(x, y);
     EXPECT_GT(f.r2, 0.5);
     EXPECT_LT(f.r2, 1.0);
+}
+
+TEST(Percentiles, ExactBelowCapacity)
+{
+    // 1..100: every quantile is exact while the reservoir holds all
+    // observations (nearest-rank with linear interpolation).
+    stats::Percentiles p(128);
+    for (int i = 100; i >= 1; --i)
+        p.add(i);
+    EXPECT_EQ(p.count(), 100u);
+    EXPECT_EQ(p.sampleSize(), 100u);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+    EXPECT_NEAR(p.p50(), 50.5, 1e-12);
+    EXPECT_NEAR(p.p95(), 95.05, 1e-12);
+    EXPECT_NEAR(p.p99(), 99.01, 1e-12);
+}
+
+TEST(Percentiles, ReservoirTracksKnownDistribution)
+{
+    // Uniform[0, 1) stream much longer than the reservoir: sampled
+    // quantiles must stay close to the true ones.
+    stats::Percentiles p(512);
+    Rng rng(99);
+    for (int i = 0; i < 50000; ++i)
+        p.add(rng.uniform());
+    EXPECT_EQ(p.count(), 50000u);
+    EXPECT_EQ(p.sampleSize(), 512u);
+    EXPECT_NEAR(p.p50(), 0.50, 0.06);
+    EXPECT_NEAR(p.p95(), 0.95, 0.04);
+    EXPECT_NEAR(p.p99(), 0.99, 0.03);
+}
+
+TEST(Percentiles, DeterministicForIdenticalStreams)
+{
+    stats::Percentiles a(64), b(64);
+    Rng rng(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(rng.normal(10.0, 2.0));
+    for (double x : xs) {
+        a.add(x);
+        b.add(x);
+    }
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(Percentiles, EmptyAndSingle)
+{
+    stats::Percentiles p(8);
+    EXPECT_DOUBLE_EQ(p.quantile(0.5), 0.0);
+    p.add(42.0);
+    EXPECT_DOUBLE_EQ(p.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(p.p99(), 42.0);
 }
 
 TEST(Stats, MeanStddevVectors)
