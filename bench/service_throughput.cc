@@ -6,20 +6,31 @@
  * fronting the paper's 10-device evaluation ensemble. Tenants come in
  * pairs that poll the same (workload, binding) — the access pattern
  * request coalescing exists for — and each binding drifts slowly
- * between rounds the way an optimizer's parameters would. Per round
+ * between rounds the way an optimizer's parameters would (holding for
+ * two rounds, so the result cache sees genuine repeats). Per round
  * every tenant submits at its previous completion time (closed loop
- * on the virtual clock) and the node drains.
+ * on the serving clock) and the node drains. A tenant whose
+ * submission is rejected backs off by the ticket's retry-after hint —
+ * the backpressure protocol a well-behaved client follows.
  *
- * Reported: wall-clock jobs/sec (scales with EQC_THREADS — shards fan
- * out through the shared TaskPool) and virtual-time service latency
- * percentiles p50/p95/p99 from the node's reservoir, plus the
- * coalescing/requeue counters. Optional --fail kills one member
- * mid-campaign to exercise the requeue path under load. With --out
- * the same numbers land in a JSON file for CI artifact diffing.
+ * The node runs in either clock mode:
+ *   --clock virtual  (default) deterministic replay, full speed
+ *   --clock steady   wall-clock serving: events fire in real time at
+ *                    --timescale wall seconds per model hour
+ *
+ * Reported: wall-clock jobs/sec, virtual-time latency percentiles
+ * p50/p95/p99, coalescing/cache-hit/requeue counters, admission
+ * rejections by reason with the retry-after hint distribution, and
+ * per-member executed shots (cache-aware placement telemetry).
+ * Optional --fail kills one member mid-campaign to exercise the
+ * requeue path under load. With --out the same numbers land in a
+ * JSON file for CI artifact diffing.
  *
  * Usage:
  *   bench_service_throughput [--tenants N] [--rounds N] [--shots N]
- *                            [--fail] [--out FILE]
+ *                            [--depth N] [--ttl H] [--fail]
+ *                            [--clock virtual|steady] [--timescale S]
+ *                            [--out FILE]
  */
 
 #include <chrono>
@@ -29,6 +40,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/event_loop.h"
 #include "common/task_pool.h"
 #include "device/catalog.h"
 #include "serve/service_node.h"
@@ -43,7 +55,11 @@ main(int argc, char **argv)
     int tenants = 8;
     int rounds = 25;
     int shots = 4096;
+    int depth = -1; // admission queue depth; -1 keeps the default
+    double ttlH = 0.5;
     bool fail = false;
+    std::string clockMode = "virtual";
+    double timescaleS = 0.05; // wall seconds per model hour (steady)
     std::string outPath;
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) {
@@ -59,8 +75,16 @@ main(int argc, char **argv)
             rounds = std::atoi(next("--rounds"));
         else if (!std::strcmp(argv[i], "--shots"))
             shots = std::atoi(next("--shots"));
+        else if (!std::strcmp(argv[i], "--depth"))
+            depth = std::atoi(next("--depth"));
+        else if (!std::strcmp(argv[i], "--ttl"))
+            ttlH = std::atof(next("--ttl"));
         else if (!std::strcmp(argv[i], "--fail"))
             fail = true;
+        else if (!std::strcmp(argv[i], "--clock"))
+            clockMode = next("--clock");
+        else if (!std::strcmp(argv[i], "--timescale"))
+            timescaleS = std::atof(next("--timescale"));
         else if (!std::strcmp(argv[i], "--out"))
             outPath = next("--out");
         else {
@@ -68,15 +92,29 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (clockMode != "virtual" && clockMode != "steady") {
+        std::fprintf(stderr, "--clock must be virtual or steady\n");
+        return 2;
+    }
 
     bench::banner("eqc::serve closed-loop throughput");
-    std::printf("tenants=%d rounds=%d shots=%d threads=%d fail=%d\n",
-                tenants, rounds, shots,
-                TaskPool::shared().threadCount(), fail ? 1 : 0);
+    std::printf(
+        "tenants=%d rounds=%d shots=%d threads=%d fail=%d clock=%s\n",
+        tenants, rounds, shots, TaskPool::shared().threadCount(),
+        fail ? 1 : 0, clockMode.c_str());
+
+    SteadyClock steady(timescaleS);
+    Clock *clock = clockMode == "steady"
+                       ? static_cast<Clock *>(&steady)
+                       : nullptr; // node default: VirtualClock
 
     ServiceOptions opts;
     opts.seed = 2026;
-    ServiceNode node(evaluationEnsemble(), opts);
+    opts.resultCacheTtlH = ttlH;
+    if (depth > 0)
+        opts.admission.maxQueueDepth =
+            static_cast<std::size_t>(depth);
+    ServiceNode node(evaluationEnsemble(), opts, clock);
 
     VqaProblem vqe = makeHeisenbergVqe();
     VqaProblem qaoa = makeRingMaxCutQaoa();
@@ -109,15 +147,22 @@ main(int argc, char **argv)
 
     const auto wall0 = std::chrono::steady_clock::now();
     uint64_t completed = 0;
+    uint64_t backedOff = 0;
     for (int r = 0; r < rounds; ++r) {
         for (Tenant &tn : fleet) {
             tn.req.submitH = tn.nextSubmitH;
             // Parameter drift between rounds: what a live optimizer's
-            // binding stream looks like (pairs stay identical, so
-            // coalescing still triggers).
-            tn.req.params[1 % tn.req.params.size()] = 0.02 * r;
-            if (!node.submit(tn.req).admitted())
-                std::fprintf(stderr, "round %d: job rejected\n", r);
+            // binding stream looks like. The binding holds for two
+            // rounds (pairs stay identical within a round, so
+            // coalescing triggers; repeats across rounds give the
+            // result cache real hits).
+            tn.req.params[1 % tn.req.params.size()] = 0.02 * (r / 2);
+            Ticket ticket = node.submit(tn.req);
+            if (!ticket.admitted()) {
+                // Backpressure: come back when the hint says so.
+                tn.nextSubmitH += ticket.retryAfterS / 3600.0;
+                ++backedOff;
+            }
         }
         for (const JobOutcome &o : node.drain()) {
             fleet[static_cast<std::size_t>(o.tenantId)].nextSubmitH =
@@ -131,9 +176,15 @@ main(int argc, char **argv)
             .count();
 
     const stats::Percentiles &lat = node.latencyStats();
+    const stats::Percentiles &retry = node.retryAfterStats();
     const ServiceCounters &c = node.counters();
     const double jobsPerSec =
         wallS > 0.0 ? static_cast<double>(completed) / wallS : 0.0;
+    const double cacheHitRate =
+        c.jobsAdmitted > 0
+            ? static_cast<double>(c.cacheHits) /
+                  static_cast<double>(c.jobsAdmitted)
+            : 0.0;
 
     bench::heading("throughput");
     std::printf("jobs completed      %10llu\n",
@@ -147,10 +198,12 @@ main(int argc, char **argv)
                 lat.p99() * 3600.0);
 
     bench::heading("service counters");
-    std::printf("admitted %llu  coalesced %llu  cache hits %llu\n",
+    std::printf("admitted %llu  coalesced %llu  cache hits %llu "
+                "(rate %.3f)\n",
                 static_cast<unsigned long long>(c.jobsAdmitted),
                 static_cast<unsigned long long>(c.jobsCoalesced),
-                static_cast<unsigned long long>(c.cacheHits));
+                static_cast<unsigned long long>(c.cacheHits),
+                cacheHitRate);
     std::printf("work items %llu  shards %llu  requeued %llu\n",
                 static_cast<unsigned long long>(c.workItems),
                 static_cast<unsigned long long>(c.shardsExecuted),
@@ -158,6 +211,25 @@ main(int argc, char **argv)
     std::printf("shots executed %llu  circuits %llu\n",
                 static_cast<unsigned long long>(c.shotsExecuted),
                 static_cast<unsigned long long>(c.circuitsExecuted));
+
+    bench::heading("admission backpressure");
+    std::printf("rejected %llu (queue full %llu, tenant quota %llu, "
+                "bad request %llu)\n",
+                static_cast<unsigned long long>(c.jobsRejected),
+                static_cast<unsigned long long>(c.rejectedQueueFull),
+                static_cast<unsigned long long>(c.rejectedTenantQuota),
+                static_cast<unsigned long long>(c.rejectedBadRequest));
+    std::printf("tenant back-offs %llu  retry-after p50 %.1f s  "
+                "p95 %.1f s\n",
+                static_cast<unsigned long long>(backedOff),
+                retry.p50(), retry.p95());
+
+    bench::heading("per-member executed shots");
+    for (std::size_t m = 0; m < node.numMembers(); ++m)
+        std::printf("  %-16s %12llu\n",
+                    node.memberDevice(m).name.c_str(),
+                    static_cast<unsigned long long>(
+                        node.memberShotCounts()[m]));
 
     if (!outPath.empty()) {
         std::FILE *f = std::fopen(outPath.c_str(), "w");
@@ -169,10 +241,14 @@ main(int argc, char **argv)
             f,
             "{\n"
             "  \"bench\": \"service_throughput\",\n"
+            "  \"clock\": \"%s\",\n"
+            "  \"timescale_s_per_h\": %.3f,\n"
             "  \"tenants\": %d,\n"
             "  \"rounds\": %d,\n"
             "  \"shots\": %d,\n"
             "  \"threads\": %d,\n"
+            "  \"queue_depth_limit\": %d,\n"
+            "  \"cache_ttl_h\": %.3f,\n"
             "  \"fail_injected\": %s,\n"
             "  \"jobs_completed\": %llu,\n"
             "  \"wall_seconds\": %.6f,\n"
@@ -182,22 +258,47 @@ main(int argc, char **argv)
             "  \"latency_p99_s\": %.3f,\n"
             "  \"jobs_admitted\": %llu,\n"
             "  \"jobs_coalesced\": %llu,\n"
+            "  \"cache_hits\": %llu,\n"
+            "  \"cache_hit_rate\": %.4f,\n"
+            "  \"jobs_rejected\": %llu,\n"
+            "  \"rejected_queue_full\": %llu,\n"
+            "  \"rejected_tenant_quota\": %llu,\n"
+            "  \"rejected_bad_request\": %llu,\n"
+            "  \"tenant_backoffs\": %llu,\n"
+            "  \"retry_after_p50_s\": %.3f,\n"
+            "  \"retry_after_p95_s\": %.3f,\n"
+            "  \"retry_after_p99_s\": %.3f,\n"
             "  \"work_items\": %llu,\n"
             "  \"shards_executed\": %llu,\n"
             "  \"shards_requeued\": %llu,\n"
-            "  \"shots_executed\": %llu\n"
-            "}\n",
-            tenants, rounds, shots, TaskPool::shared().threadCount(),
-            fail ? "true" : "false",
+            "  \"shots_executed\": %llu,\n"
+            "  \"member_shots\": [",
+            clockMode.c_str(), timescaleS, tenants, rounds, shots,
+            TaskPool::shared().threadCount(),
+            depth > 0 ? depth
+                      : static_cast<int>(opts.admission.maxQueueDepth),
+            ttlH, fail ? "true" : "false",
             static_cast<unsigned long long>(completed), wallS,
             jobsPerSec, lat.p50() * 3600.0, lat.p95() * 3600.0,
             lat.p99() * 3600.0,
             static_cast<unsigned long long>(c.jobsAdmitted),
             static_cast<unsigned long long>(c.jobsCoalesced),
+            static_cast<unsigned long long>(c.cacheHits), cacheHitRate,
+            static_cast<unsigned long long>(c.jobsRejected),
+            static_cast<unsigned long long>(c.rejectedQueueFull),
+            static_cast<unsigned long long>(c.rejectedTenantQuota),
+            static_cast<unsigned long long>(c.rejectedBadRequest),
+            static_cast<unsigned long long>(backedOff), retry.p50(),
+            retry.p95(), retry.p99(),
             static_cast<unsigned long long>(c.workItems),
             static_cast<unsigned long long>(c.shardsExecuted),
             static_cast<unsigned long long>(c.shardsRequeued),
             static_cast<unsigned long long>(c.shotsExecuted));
+        for (std::size_t m = 0; m < node.numMembers(); ++m)
+            std::fprintf(f, "%s%llu", m ? ", " : "",
+                         static_cast<unsigned long long>(
+                             node.memberShotCounts()[m]));
+        std::fprintf(f, "]\n}\n");
         std::fclose(f);
         std::printf("\nwrote %s\n", outPath.c_str());
     }

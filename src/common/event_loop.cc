@@ -1,0 +1,75 @@
+#include "common/event_loop.h"
+
+#include <thread>
+
+namespace eqc {
+
+SteadyClock::SteadyClock(double secondsPerHour)
+    : secondsPerHour_(secondsPerHour > 0.0 ? secondsPerHour : 1.0),
+      anchor_(std::chrono::steady_clock::now())
+{
+}
+
+double
+SteadyClock::nowH() const
+{
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - anchor_;
+    return elapsed.count() / secondsPerHour_;
+}
+
+void
+SteadyClock::advanceTo(double tH)
+{
+    const auto deadline =
+        anchor_ + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(tH * secondsPerHour_));
+    if (deadline > std::chrono::steady_clock::now())
+        std::this_thread::sleep_until(deadline);
+}
+
+void
+EventLoop::schedule(double delayH, Handler fn)
+{
+    scheduleAt(now() + (delayH > 0.0 ? delayH : 0.0), std::move(fn));
+}
+
+void
+EventLoop::scheduleAt(double timeH, Handler fn)
+{
+    const double nowH = now();
+    if (timeH < nowH)
+        timeH = nowH;
+    queue_.push(Event{timeH, nextSeq_++, std::move(fn)});
+}
+
+void
+EventLoop::fireTop()
+{
+    // Move the handler out before popping mutates the heap, and pop
+    // before firing: the handler may schedule (or run) further events.
+    Event e = std::move(const_cast<Event &>(queue_.top()));
+    queue_.pop();
+    clock_.advanceTo(e.time);
+    ++processed_;
+    e.fn();
+}
+
+void
+EventLoop::run()
+{
+    while (!queue_.empty())
+        fireTop();
+}
+
+void
+EventLoop::runUntil(double limitH)
+{
+    while (!queue_.empty() && queue_.top().time <= limitH)
+        fireTop();
+    if (queue_.empty())
+        clock_.advanceTo(limitH);
+}
+
+} // namespace eqc

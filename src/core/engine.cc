@@ -87,6 +87,7 @@ RunContext::applyResult(std::size_t ci,
                         double nowH)
 {
     nowH_ = nowH;
+    clock_->advanceTo(nowH);
     const GradientResult &result = processed.result;
     double weight = master_.onResult(result);
     lastCompletionH_ = std::max(lastCompletionH_, nowH);

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/event_loop.h"
 #include "core/eqc.h"
 
 namespace eqc {
@@ -162,6 +163,18 @@ class RunContext
     /** The pool set by setEnginePool (nullptr: shared pool). */
     TaskPool *enginePool() const { return enginePool_; }
 
+    /**
+     * The run's shared clock. Defaults to an internal VirtualClock;
+     * engines that serve in real time (or hand the run to an
+     * event-driven subsystem like serve::ServiceNode) install their
+     * clock here so every component of the job agrees on what "now"
+     * means. Engines advance it as results apply.
+     */
+    Clock &clock() { return *clock_; }
+
+    /** Replace the run's clock (not owned; must outlive the run). */
+    void setClock(Clock *clock) { clock_ = clock ? clock : &ownClock_; }
+
     /** Virtual time of the most recently applied result (hours). */
     double nowH() const { return nowH_; }
 
@@ -203,6 +216,8 @@ class RunContext
     EqcTrace trace_;
     std::vector<TraceObserver *> observers_;
     TaskPool *enginePool_ = nullptr;
+    VirtualClock ownClock_;
+    Clock *clock_ = &ownClock_;
     std::vector<int> bottomStreak_;
     std::vector<double> cooldownUntil_;
     EpochEvalPolicy epochEvalPolicy_ = EpochEvalPolicy::RoundRobin;

@@ -226,6 +226,16 @@ SimulatedQpu::planFor(const TranspiledCircuit &tc)
     return plan;
 }
 
+bool
+SimulatedQpu::planCacheContains(const TranspiledCircuit &tc) const
+{
+    const uint64_t key = signatureHash(tc);
+    std::lock_guard<std::mutex> lk(planMu_);
+    auto it = planCache_.find(key);
+    return it != planCache_.end() &&
+           signatureMatches(tc, it->second->signature);
+}
+
 std::shared_ptr<const SimulatedQpu::NoiseContext>
 SimulatedQpu::noiseContextFor(double tH)
 {

@@ -73,6 +73,20 @@ class QuantumBackend
      * noise by up to one calibration cycle.
      */
     virtual CalibrationSnapshot reportedCalibration(double tH) const = 0;
+
+    /**
+     * true when this backend already holds a compiled execution plan
+     * for @p tc — i.e. running it would skip plan compilation
+     * entirely. Schedulers use the probe for cache-aware placement
+     * (bias work toward members that are already warm for it); a
+     * backend without a plan cache reports cold for everything.
+     */
+    virtual bool
+    planCacheContains(const TranspiledCircuit &tc) const
+    {
+        (void)tc;
+        return false;
+    }
 };
 
 /** Density-matrix-simulated QPU with drifting calibration. */
@@ -99,6 +113,9 @@ class SimulatedQpu : public QuantumBackend
 
     /** Calibration the provider advertises at time t (no drift). */
     CalibrationSnapshot reportedCalibration(double tH) const override;
+
+    /** Exact (signature-verified) plan-cache membership probe. */
+    bool planCacheContains(const TranspiledCircuit &tc) const override;
 
     /** Access to the underlying drift timeline (for benches/tests). */
     const CalibrationTracker &tracker() const { return tracker_; }
@@ -148,7 +165,7 @@ class SimulatedQpu : public QuantumBackend
     CalibrationTracker tracker_;
     QueueModel queue_;
 
-    std::mutex planMu_;
+    mutable std::mutex planMu_;
     std::unordered_map<uint64_t, std::shared_ptr<const ExecPlan>>
         planCache_;
 

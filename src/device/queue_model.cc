@@ -46,11 +46,17 @@ QueueModel::sampleWaitS(double tH, Rng &rng) const
 double
 QueueModel::expectedWaitS(double tH, int queueDepth) const
 {
+    return expectedWaitS(tH, static_cast<double>(queueDepth));
+}
+
+double
+QueueModel::expectedWaitS(double tH, double queueDepth) const
+{
     // Mean of the lognormal jitter, so the estimate is the true
     // expectation of sampleWaitS for depth 0.
     double meanJitter =
         std::exp(0.5 * params_.waitLogSigma * params_.waitLogSigma);
-    double slots = static_cast<double>(queueDepth) + 1.0;
+    double slots = queueDepth + 1.0;
     return slots * params_.baseWaitS * congestionFactor(tH) * meanJitter;
 }
 

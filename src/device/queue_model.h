@@ -76,6 +76,17 @@ class QueueModel
     double expectedWaitS(double tH, int queueDepth = 0) const;
 
     /**
+     * As expectedWaitS, but with a *fractional* queue depth: the
+     * admission controller spreads the node-wide backlog across the
+     * live ensemble (depth / members is rarely integral) and needs the
+     * estimate strictly increasing in every extra queued job so
+     * retry-after hints are monotone in backlog (see
+     * serve/service_node.h). Agrees exactly with the integer overload
+     * at integral depths.
+     */
+    double expectedWaitS(double tH, double queueDepth) const;
+
+    /**
      * Deterministic expected end-to-end latency (seconds): maintenance
      * hold + expectedWaitS + execution time. The estimate the
      * shot-sharding scheduler ranks members by; the sampled

@@ -1,6 +1,8 @@
 #include "serve/coalescer.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace eqc {
 namespace serve {
@@ -28,17 +30,18 @@ WorkKeyHash::operator()(const WorkKey &k) const
 }
 
 const CachedResult *
-ResultCache::lookup(const WorkKey &key, double nowH, int shots) const
+ResultCache::lookup(const WorkKey &key, double freshAtH, int shots) const
 {
     if (ttlH_ <= 0.0)
         return nullptr;
     auto it = entries_.find(key);
     if (it == entries_.end())
         return nullptr;
-    const CachedResult &r = it->second;
-    if (nowH - r.completeH > ttlH_ || r.shots < shots)
+    const Entry &e = it->second;
+    const double atH = std::max(freshAtH, nowH());
+    if (atH - e.storedAtH > ttlH_ || e.result.shots < shots)
         return nullptr;
-    return &r;
+    return &e.result;
 }
 
 void
@@ -46,19 +49,35 @@ ResultCache::store(const WorkKey &key, const CachedResult &result)
 {
     if (ttlH_ <= 0.0 || capacity_ == 0)
         return; // disabled cache: don't accumulate unservable entries
+
+    Entry entry;
+    entry.result = result;
+    entry.storedAtH = clock_ ? clock_->nowH() : result.completeH;
+
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-        it->second = result;
+        it->second = entry;
         return;
+    }
+
+    // Housekeeping on the store path (lookups stay read-only): drop
+    // everything the clock has already expired, then evict the oldest
+    // store if the cache is still full.
+    const double cutoffH = std::max(nowH(), entry.storedAtH) - ttlH_;
+    for (auto jt = entries_.begin(); jt != entries_.end();) {
+        if (jt->second.storedAtH < cutoffH)
+            jt = entries_.erase(jt);
+        else
+            ++jt;
     }
     if (entries_.size() >= capacity_) {
         auto oldest = entries_.begin();
         for (auto jt = entries_.begin(); jt != entries_.end(); ++jt)
-            if (jt->second.completeH < oldest->second.completeH)
+            if (jt->second.storedAtH < oldest->second.storedAtH)
                 oldest = jt;
         entries_.erase(oldest);
     }
-    entries_.emplace(key, result);
+    entries_.emplace(key, std::move(entry));
 }
 
 } // namespace serve

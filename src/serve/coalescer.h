@@ -6,14 +6,17 @@
  * from many tenants — a VQA campaign's followers polling the same
  * parameters, or a QNN inference fleet all evaluating the production
  * binding. WorkKey identifies that unit of work; the ServiceNode
- * groups same-key jobs popped in one drain into a single work item
- * (one execution per ensemble shard, every rider gets the result),
- * and the ResultCache optionally extends the dedupe window across
- * drains: a key re-requested within the TTL whose cached execution
- * covered at least the requested shot budget is answered without
- * touching a QPU. This is the ROADMAP "batched engine that merges
- * same-parameter circuits" follow-up, landed at the serving layer
- * where tenant demand actually collides.
+ * groups same-key jobs into a single work item (one execution per
+ * ensemble shard, every rider gets the result), and the ResultCache
+ * optionally extends the dedupe window across serving rounds: a key
+ * re-requested within the TTL whose cached execution covered at least
+ * the requested shot budget is answered without touching a QPU.
+ *
+ * Cache expiry is *clock-based*: entries are stamped with the serving
+ * clock's time when stored, so a TTL means the same thing whether the
+ * node replays on a VirtualClock or serves live on a SteadyClock —
+ * and an entry can never be resurrected by a rider claiming an old
+ * submission time after real time has moved on.
  */
 
 #ifndef EQC_SERVE_COALESCER_H
@@ -23,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/event_loop.h"
 #include "common/rng.h"
 #include "serve/service.h"
 
@@ -66,37 +70,56 @@ struct CachedResult
  * TTL- and capacity-bounded cache of aggregated results, keyed by
  * WorkKey. A TTL of 0 disables lookups entirely (drift makes stale
  * answers wrong, so reuse is opt-in and short-lived by design);
- * eviction is oldest-completion-first.
+ * eviction is oldest-store-first, and entries past the TTL on the
+ * serving clock are purged on store.
  */
 class ResultCache
 {
   public:
     /**
-     * @param ttlH virtual hours a cached result stays serveable
+     * @param clock serving clock entries are stamped/expired against;
+     *        nullptr falls back to each entry's completion time (a
+     *        clockless cache still expires, just on result times)
+     * @param ttlH clock hours a cached result stays serveable
      * @param capacity entries held before evicting the oldest
      */
-    explicit ResultCache(double ttlH = 0.0, std::size_t capacity = 256)
-        : ttlH_(ttlH), capacity_(capacity)
+    explicit ResultCache(const Clock *clock = nullptr, double ttlH = 0.0,
+                         std::size_t capacity = 256)
+        : clock_(clock), ttlH_(ttlH), capacity_(capacity)
     {
     }
 
     /**
-     * The cached result for @p key, if it is fresh at @p nowH and its
-     * execution covered at least @p shots; nullptr otherwise.
+     * The cached result for @p key, if it is still fresh at @p freshAtH
+     * and its execution covered at least @p shots; nullptr otherwise.
+     * Freshness is judged against the entry's store stamp, and
+     * @p freshAtH below the serving clock's now is clamped up to it —
+     * a rider cannot time-travel the cache by claiming an old
+     * submission hour.
      */
-    const CachedResult *lookup(const WorkKey &key, double nowH,
+    const CachedResult *lookup(const WorkKey &key, double freshAtH,
                                int shots) const;
 
-    /** Insert/refresh @p key (evicts the oldest entry when full). */
+    /** Insert/refresh @p key (purges expired, evicts oldest if full). */
     void store(const WorkKey &key, const CachedResult &result);
 
     std::size_t size() const { return entries_.size(); }
     double ttlH() const { return ttlH_; }
 
   private:
+    struct Entry
+    {
+        CachedResult result;
+        /** Serving-clock hour the entry was stored. */
+        double storedAtH = 0.0;
+    };
+
+    double nowH() const { return clock_ ? clock_->nowH() : 0.0; }
+
+    const Clock *clock_;
     double ttlH_;
     std::size_t capacity_;
-    std::unordered_map<WorkKey, CachedResult, WorkKeyHash> entries_;
+    std::unordered_map<WorkKey, Entry, WorkKeyHash> entries_;
 };
 
 } // namespace serve

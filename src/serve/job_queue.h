@@ -7,6 +7,12 @@
  * Ordering is a strict weak order — priority desc, submit time asc,
  * job id asc — so the pop sequence is deterministic for any insertion
  * interleaving of distinct jobs.
+ *
+ * Capacity rejections are *backpressure signals*, not dead ends: the
+ * ServiceNode turns each one into a retry-after hint derived from the
+ * ensemble's queue-model wait estimates at the depth observed here
+ * (Ticket::retryAfterS, monotone in the backlog), so well-behaved
+ * tenants spread their resubmissions instead of hammering the door.
  */
 
 #ifndef EQC_SERVE_JOB_QUEUE_H

@@ -62,6 +62,17 @@ struct Ticket
     uint64_t jobId = 0;
     AdmitStatus status = AdmitStatus::RejectedBadRequest;
 
+    /**
+     * Backpressure hint on capacity rejections (queue full / tenant
+     * quota): seconds after which a resubmission has a realistic
+     * chance of admission, derived from the live ensemble's
+     * queue-model wait estimates at the current backlog
+     * (QueueModel::expectedWaitS). Monotone in queue depth — the
+     * deeper the backlog at rejection, the longer the hint. 0 when
+     * admitted or malformed (retrying a bad request won't help).
+     */
+    double retryAfterS = 0.0;
+
     bool admitted() const { return status == AdmitStatus::Admitted; }
 };
 
@@ -114,6 +125,12 @@ struct ServiceCounters
 {
     uint64_t jobsAdmitted = 0;
     uint64_t jobsRejected = 0;
+    /** Rejections because the node-wide queue was at capacity. */
+    uint64_t rejectedQueueFull = 0;
+    /** Rejections because the tenant was at its quota. */
+    uint64_t rejectedTenantQuota = 0;
+    /** Rejections for malformed requests (no retry-after hint). */
+    uint64_t rejectedBadRequest = 0;
     /** Jobs that rode another tenant's identical work item. */
     uint64_t jobsCoalesced = 0;
     /** Jobs answered from the result cache. */

@@ -19,9 +19,16 @@
  * declares (core includes no serve header; the layering stays
  * one-directional at the include level).
  *
- * Deterministic: the engine is single-threaded over a virtual clock
- * and the node's drain is bit-identical for every thread count, so
- * the trace is reproducible for any EqcOptions::engineThreads.
+ * The engine ticks the node's event loop on the run's *shared clock*
+ * (RunContext::clock): each training step submits its parameter-shift
+ * evaluations as jobs — scheduling intake events — and drains the
+ * loop until idle, which advances the shared clock through every
+ * shard completion to the step's completion hour. Training time and
+ * serving time are the same timeline by construction.
+ *
+ * Deterministic: the engine runs on a virtual clock and the node's
+ * event loop replays bit-identically for every thread count, so the
+ * trace is reproducible for any EqcOptions::engineThreads.
  */
 
 #include <algorithm>
@@ -81,12 +88,15 @@ class ServiceEngine final : public ExecutionEngine
             ctx.options().master.weightBounds.enabled()
                 ? serve::AggregationMode::FidelityWeighted
                 : serve::AggregationMode::EquiWeighted;
-        ServiceNode node(devices, sopts);
+        // The node serves on the run's shared clock: intake, shard
+        // completion and finalize events advance the same timeline
+        // the master's epochs are recorded on.
+        ServiceNode node(devices, sopts, &ctx.clock());
         WorkloadId wl = node.registerWorkload(
             ctx.problem().ansatz, ctx.problem().hamiltonian);
 
         const int shots = ctx.options().client.shots;
-        double nowH = 0.0;
+        double nowH = ctx.clock().nowH();
         while (!ctx.done() && nowH <= ctx.options().maxHours) {
             GradientTask task = ctx.master().nextTask();
 

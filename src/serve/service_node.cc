@@ -16,14 +16,14 @@ namespace serve {
 // Internal state
 // ---------------------------------------------------------------------------
 
-/** One ensemble member: device, backend, failure clock, drain depth. */
+/** One ensemble member: device, backend, failure clock, plan depth. */
 struct ServiceNode::Member
 {
     Device device;
     std::unique_ptr<SimulatedQpu> backend;
     /** Hour the member dies (infinity = healthy). */
     double failAtH = std::numeric_limits<double>::infinity();
-    /** Shards assigned in the current drain (queue-depth input). */
+    /** Shards planned onto the member this intake (queue pressure). */
     int depth = 0;
 
     bool aliveAt(double atH) const { return atH < failAtH; }
@@ -53,8 +53,6 @@ struct ServiceNode::Workload
 /** One planned shard execution. */
 struct ServiceNode::Shard
 {
-    /** Owning work item (index into the drain's item vector). */
-    std::size_t item = 0;
     int member = -1;
     int shots = 0;
     double startH = 0.0;
@@ -72,7 +70,11 @@ struct ServiceNode::Shard
     ShardResult result;
 };
 
-/** One coalesced unit of work and its riders. */
+/**
+ * One coalesced unit of work and its riders. Lives on the event loop:
+ * shards resolve one completion/timeout event at a time, and the item
+ * finalizes when its last outstanding shard has resolved.
+ */
 struct ServiceNode::WorkItem
 {
     WorkKey key;
@@ -86,10 +88,21 @@ struct ServiceNode::WorkItem
     int shots = 0;
     /** Riders in pop (priority) order. */
     std::vector<JobQueue::Entry> riders;
+    /** Every shard ever planned for the item, in sequence order. */
+    std::vector<Shard> shards;
     /** Next RNG fork label for this item's shards. */
     int shardSeq = 0;
+    /** Shards whose completion/timeout event has not fired yet. */
+    std::size_t outstanding = 0;
     int requeues = 0;
+    /** Requeue plans already made for this item. */
+    int requeueRound = 0;
+    /** Failed shots accumulated since the last (re)queue round. */
+    int pendingFailedShots = 0;
+    /** Latest failure-detection hour of the pending failures. */
+    double pendingDetectH = 0.0;
     bool fromCache = false;
+    bool finished = false;
     CachedResult cached;
     Aggregator agg;
 
@@ -101,12 +114,15 @@ struct ServiceNode::WorkItem
 // ---------------------------------------------------------------------------
 
 ServiceNode::ServiceNode(std::vector<Device> devices,
-                         ServiceOptions options)
-    : options_(options), queue_(options.admission),
+                         ServiceOptions options, Clock *clock)
+    : options_(options), clock_(clock ? clock : &ownClock_),
+      loop_(*clock_), queue_(options.admission),
       scheduler_(options.scheduler),
-      cache_(options.resultCacheTtlH, options.resultCacheCapacity),
+      cache_(clock_, options.resultCacheTtlH,
+             options.resultCacheCapacity),
       rootRng_(Rng(options.seed).fork("serve")),
-      latency_(options.latencyReservoir, options.seed)
+      latency_(options.latencyReservoir, options.seed),
+      retryAfter_(options.latencyReservoir, options.seed + 1)
 {
     if (devices.empty())
         fatal("ServiceNode: empty device list");
@@ -117,6 +133,7 @@ ServiceNode::ServiceNode(std::vector<Device> devices,
         m.device = std::move(dev);
         members_.push_back(std::move(m));
     }
+    memberShots_.assign(members_.size(), 0);
 }
 
 ServiceNode::~ServiceNode() = default;
@@ -150,8 +167,34 @@ ServiceNode::registerWorkload(const QuantumCircuit &ansatz,
 }
 
 // ---------------------------------------------------------------------------
-// Submission
+// Submission (admission + backpressure)
 // ---------------------------------------------------------------------------
+
+double
+ServiceNode::retryAfterHintS(double atH, std::size_t depth) const
+{
+    // Spread the node-wide backlog across the live ensemble and quote
+    // the cheapest member's expected wait at that per-member pressure.
+    // Strictly increasing in @p depth: the fractional per-member depth
+    // grows with every queued job and every member's expectedWaitS is
+    // strictly increasing in it.
+    std::size_t alive = 0;
+    for (const Member &m : members_)
+        if (m.aliveAt(atH))
+            ++alive;
+    const bool anyAlive = alive > 0;
+    const double perMember =
+        static_cast<double>(depth) /
+        static_cast<double>(anyAlive ? alive : members_.size());
+    double best = std::numeric_limits<double>::infinity();
+    for (const Member &m : members_) {
+        if (anyAlive && !m.aliveAt(atH))
+            continue;
+        best = std::min(best,
+                        m.backend->queue().expectedWaitS(atH, perMember));
+    }
+    return best;
+}
 
 Ticket
 ServiceNode::submit(const JobRequest &request)
@@ -165,14 +208,33 @@ ServiceNode::submit(const JobRequest &request)
             workloads_[request.workload]->numParams) {
         t.status = AdmitStatus::RejectedBadRequest;
         ++counters_.jobsRejected;
+        ++counters_.rejectedBadRequest;
         return t;
     }
     t.status = queue_.admit(request, nextJobId_);
     if (t.admitted()) {
         t.jobId = nextJobId_++;
         ++counters_.jobsAdmitted;
+        // The job's intake is an event: the first intake to fire pops
+        // and coalesces everything queued by then, later ones find an
+        // empty queue and no-op. Under drain() every submission lands
+        // before the loop runs, which preserves the batch-coalescing
+        // semantics of the synchronous drain bit for bit.
+        loop_.scheduleAt(std::max(loop_.now(), request.submitH),
+                         [this] { intake(); });
     } else {
         ++counters_.jobsRejected;
+        if (t.status == AdmitStatus::RejectedBadRequest) {
+            ++counters_.rejectedBadRequest;
+        } else {
+            if (t.status == AdmitStatus::RejectedQueueFull)
+                ++counters_.rejectedQueueFull;
+            else
+                ++counters_.rejectedTenantQuota;
+            t.retryAfterS = retryAfterHintS(
+                std::max(loop_.now(), request.submitH), queue_.size());
+            retryAfter_.add(t.retryAfterS);
+        }
     }
     return t;
 }
@@ -239,7 +301,7 @@ ServiceNode::memberPCorrect(std::size_t member, WorkloadId workload,
 }
 
 // ---------------------------------------------------------------------------
-// Shard planning and execution
+// Shard planning
 // ---------------------------------------------------------------------------
 
 std::vector<MemberView>
@@ -258,278 +320,354 @@ ServiceNode::memberViews(const Workload &w, double atH,
             v.expectedLatencyS = m.backend->queue().expectedLatencyS(
                 atH, w.durUs[i], shotsPerMember,
                 static_cast<int>(w.compiled[i].size()), m.depth);
+            v.planWarm =
+                m.backend->planCacheContains(w.compiled[i][0]);
         }
         views.push_back(v);
     }
     return views;
 }
 
-// ---------------------------------------------------------------------------
-// Drain
-// ---------------------------------------------------------------------------
-
-std::vector<JobOutcome>
-ServiceNode::drain(TaskPool *pool)
+bool
+ServiceNode::planShards(WorkItem &item, int shots, double atH)
 {
-    std::vector<JobOutcome> outcomes;
-    if (queue_.empty())
-        return outcomes;
-    TaskPool &exec = pool ? *pool : TaskPool::shared();
+    const Workload &w = *workloads_[item.key.workload];
+    const int guess =
+        shots /
+        std::max<int>(1, static_cast<int>(aliveMembers(atH)));
+    std::vector<MemberView> views = memberViews(w, atH, guess);
+    std::vector<ShardPlan> plan = scheduler_.plan(views, shots);
+    for (const ShardPlan &p : plan) {
+        Shard s;
+        s.member = p.member;
+        s.shots = p.shots;
+        s.startH = atH;
+        s.pCorrect = views[static_cast<std::size_t>(p.member)].pCorrect;
+        s.depthAtPlan = members_[static_cast<std::size_t>(p.member)].depth;
+        s.seq = item.shardSeq++;
+        ++members_[static_cast<std::size_t>(p.member)].depth;
+        item.shards.push_back(s);
+    }
+    item.outstanding += plan.size();
+    return !plan.empty();
+}
 
-    // Phase 1: pop everything in priority order, coalescing identical
+// ---------------------------------------------------------------------------
+// Intake event: coalesce, probe the cache, plan, launch
+// ---------------------------------------------------------------------------
+
+void
+ServiceNode::intake()
+{
+    if (queue_.empty())
+        return; // an earlier intake event already took everything
+
+    // Planning depths restart per intake: what the estimates price is
+    // the pressure this batch itself creates.
+    for (Member &m : members_)
+        m.depth = 0;
+
+    // Pop everything in priority order, coalescing identical
     // (workload, binding) requests into work items.
-    std::vector<WorkItem> items;
-    std::unordered_map<WorkKey, std::size_t, WorkKeyHash> open;
+    std::vector<WorkItem *> fresh;
+    std::unordered_map<WorkKey, WorkItem *, WorkKeyHash> open;
     while (!queue_.empty()) {
         JobQueue::Entry e = queue_.pop();
         WorkKey key{e.request.workload, e.request.params};
         auto it = open.find(key);
         if (it == open.end()) {
-            WorkItem item(options_.aggregation);
-            item.key = std::move(key);
-            item.workUid = nextWorkId_++;
-            item.t0 = e.request.submitH;
-            item.tLast = e.request.submitH;
-            item.shots = e.request.shots;
-            item.riders.push_back(std::move(e));
-            items.push_back(std::move(item));
-            open.emplace(items.back().key, items.size() - 1);
+            auto owned = std::make_unique<WorkItem>(options_.aggregation);
+            WorkItem *item = owned.get();
+            item->key = std::move(key);
+            item->workUid = nextWorkId_++;
+            item->t0 = e.request.submitH;
+            item->tLast = e.request.submitH;
+            item->shots = e.request.shots;
+            item->riders.push_back(std::move(e));
+            fresh.push_back(item);
+            open.emplace(item->key, item);
+            active_.push_back(std::move(owned));
         } else {
-            WorkItem &item = items[it->second];
-            item.t0 = std::min(item.t0, e.request.submitH);
-            item.tLast = std::max(item.tLast, e.request.submitH);
-            item.shots = std::max(item.shots, e.request.shots);
-            item.riders.push_back(std::move(e));
-            // jobsCoalesced is counted at completion, once the item
+            WorkItem *item = it->second;
+            item->t0 = std::min(item->t0, e.request.submitH);
+            item->tLast = std::max(item->tLast, e.request.submitH);
+            item->shots = std::max(item->shots, e.request.shots);
+            item->riders.push_back(std::move(e));
+            // jobsCoalesced is counted at finalize, once the item
             // knows whether it executed or served from cache — every
             // rider lands in exactly one counter category.
         }
     }
 
-    // Phase 2: result-cache lookups, then shard planning for the
-    // items that must execute. Depths restart each drain (previous
-    // work has completed by construction of the virtual clock).
-    for (Member &m : members_)
-        m.depth = 0;
-    std::vector<Shard> round;
-    for (std::size_t ii = 0; ii < items.size(); ++ii) {
-        WorkItem &item = items[ii];
+    // Cache lookups and shard planning in pop order. All planning
+    // happens before any execution so every item of one intake probes
+    // the same plan-cache state (and the batch stays bit-identical to
+    // the synchronous drain this event decomposition replaced).
+    for (WorkItem *item : fresh) {
         if (const CachedResult *hit =
-                cache_.lookup(item.key, item.tLast, item.shots)) {
-            item.fromCache = true;
-            item.cached = *hit;
-            counters_.cacheHits += item.riders.size();
+                cache_.lookup(item->key, item->tLast, item->shots)) {
+            item->fromCache = true;
+            item->cached = *hit;
+            counters_.cacheHits += item->riders.size();
             continue;
         }
         ++counters_.workItems;
-        const Workload &w = *workloads_[item.key.workload];
-        const int guess =
-            item.shots /
-            std::max<int>(1,
-                          static_cast<int>(aliveMembers(item.t0)));
-        std::vector<MemberView> views =
-            memberViews(w, item.t0, guess);
-        for (const ShardPlan &p : scheduler_.plan(views, item.shots)) {
-            Shard s;
-            s.item = ii;
-            s.member = p.member;
-            s.shots = p.shots;
-            s.startH = item.t0;
-            s.pCorrect =
-                views[static_cast<std::size_t>(p.member)].pCorrect;
-            s.depthAtPlan = members_[p.member].depth;
-            s.seq = item.shardSeq++;
-            ++members_[p.member].depth;
-            round.push_back(s);
-        }
+        planShards(*item, item->shots, item->t0);
     }
 
-    // Phase 3: execute rounds. Each shard owns an RNG stream forked
-    // from (work uid, shard seq) — a pure function of ids — and
-    // writes only its own slot, so any parallelJobs chunking yields
-    // bit-identical results. Failures detected after the round are
-    // requeued serially onto surviving members.
-    int requeueRound = 0;
-    while (!round.empty()) {
-        exec.parallelJobs(
-            round.size(), [&](uint64_t b, uint64_t e) {
-                for (uint64_t si = b; si < e; ++si) {
-                    Shard &s = round[si];
-                    WorkItem &item = items[s.item];
-                    const Workload &w =
-                        *workloads_[item.key.workload];
-                    Member &m = members_[static_cast<std::size_t>(
-                        s.member)];
-                    Rng rng =
-                        rootRng_.fork(item.workUid).fork(
-                            static_cast<uint64_t>(s.seq));
-                    const int groups = static_cast<int>(
-                        w.compiled[s.member].size());
-                    double latS = m.backend->queue().jobLatencyS(
-                        s.startH, w.durUs[s.member], s.shots, groups,
-                        rng, s.depthAtPlan);
-                    double completeH = s.startH + latS / 3600.0;
-                    s.result.member = s.member;
-                    s.result.shots = s.shots;
-                    s.result.pCorrect = s.pCorrect;
-                    if (!m.aliveAt(completeH)) {
-                        // The member died between planning and
-                        // completion: the shard never returns and the
-                        // caller times out at its expected completion.
-                        s.result.failed = true;
-                        s.detectH = std::max(completeH, s.startH);
-                        continue;
-                    }
-                    EnergyEstimate est = w.estimator.estimate(
-                        *m.backend, w.compiled[s.member], item.key.params,
-                        s.shots, completeH, rng, options_.shotMode,
-                        options_.readoutMitigation, &exec);
-                    s.result.energy = est.energy;
-                    s.result.variance = est.variance;
-                    s.result.completeH = completeH;
-                    s.result.circuitsRun = est.circuitsRun;
-                    s.result.failed = false;
-                }
-            });
+    // Launch: cache hits and unserveable items finalize by event
+    // (scheduleAt clamps past timestamps to now); every executing
+    // item's shards join ONE combined fan-out — batch-wide, like the
+    // round the synchronous drain ran — and then resolve one
+    // completion event per shard.
+    std::vector<ShardRef> batch;
+    for (WorkItem *item : fresh) {
+        if (item->fromCache) {
+            loop_.scheduleAt(item->tLast,
+                             [this, item] { finalizeItem(*item); });
+        } else if (item->shards.empty()) {
+            loop_.scheduleAt(item->t0,
+                             [this, item] { finalizeItem(*item); });
+        } else {
+            for (std::size_t i = 0; i < item->shards.size(); ++i)
+                batch.push_back(ShardRef{item, i});
+        }
+    }
+    executeShards(batch);
+    for (WorkItem *item : fresh)
+        if (!item->fromCache && !item->shards.empty())
+            scheduleShardEvents(*item, 0);
+}
 
-        // Serial post-round: stream results into the aggregators and
-        // plan replacement shards for failures.
-        std::vector<Shard> next;
-        std::vector<int> failedShots(items.size(), 0);
-        std::vector<double> failedDetectH(items.size(), 0.0);
-        for (Shard &s : round) {
-            WorkItem &item = items[s.item];
-            item.agg.add(s.result);
-            if (s.result.failed) {
-                failedShots[s.item] += s.shots;
-                failedDetectH[s.item] =
-                    std::max(failedDetectH[s.item], s.detectH);
-            } else {
+// ---------------------------------------------------------------------------
+// Shard execution and per-shard completion events
+// ---------------------------------------------------------------------------
+
+void
+ServiceNode::executeShards(const std::vector<ShardRef> &batch)
+{
+    // One fan-out for the whole batch, possibly spanning many work
+    // items: each shard owns an RNG stream forked from (work uid,
+    // shard seq) — a pure function of ids — and writes only its own
+    // slot, so any parallelJobs chunking yields bit-identical
+    // results while the pool stays saturated across items.
+    if (batch.empty())
+        return;
+    TaskPool &exec = exec_ ? *exec_ : TaskPool::shared();
+    exec.parallelJobs(batch.size(), [&](uint64_t b, uint64_t e) {
+        for (uint64_t bi = b; bi < e; ++bi) {
+            WorkItem &item = *batch[bi].item;
+            Shard &s = item.shards[batch[bi].shard];
+            const Workload &w = *workloads_[item.key.workload];
+            Member &m = members_[static_cast<std::size_t>(s.member)];
+            Rng rng = rootRng_.fork(item.workUid)
+                          .fork(static_cast<uint64_t>(s.seq));
+            const int groups =
+                static_cast<int>(w.compiled[s.member].size());
+            double latS = m.backend->queue().jobLatencyS(
+                s.startH, w.durUs[s.member], s.shots, groups, rng,
+                s.depthAtPlan);
+            double completeH = s.startH + latS / 3600.0;
+            s.result.member = s.member;
+            s.result.shots = s.shots;
+            s.result.pCorrect = s.pCorrect;
+            if (!m.aliveAt(completeH)) {
+                // The member died between planning and completion:
+                // the shard never returns and the caller times out at
+                // its expected completion.
+                s.result.failed = true;
+                s.detectH = std::max(completeH, s.startH);
+                continue;
+            }
+            EnergyEstimate est = w.estimator.estimate(
+                *m.backend, w.compiled[s.member], item.key.params,
+                s.shots, completeH, rng, options_.shotMode,
+                options_.readoutMitigation, &exec);
+            s.result.energy = est.energy;
+            s.result.variance = est.variance;
+            s.result.completeH = completeH;
+            s.result.circuitsRun = est.circuitsRun;
+            s.result.failed = false;
+        }
+    });
+}
+
+void
+ServiceNode::scheduleShardEvents(WorkItem &item, std::size_t firstShard)
+{
+    for (std::size_t i = firstShard; i < item.shards.size(); ++i) {
+        WorkItem *ip = &item;
+        const Shard &s = item.shards[i];
+        if (s.result.failed) {
+            // The failure surfaces when the caller times out at the
+            // shard's expected completion.
+            loop_.scheduleAt(s.detectH, [this, ip, i] {
+                const Shard &sh = ip->shards[i];
+                ip->pendingFailedShots += sh.shots;
+                ip->pendingDetectH =
+                    std::max(ip->pendingDetectH, sh.detectH);
+                onShardResolved(*ip);
+            });
+        } else {
+            // Per-member completion: each shard finishes on its own
+            // schedule — there is no round barrier.
+            loop_.scheduleAt(s.result.completeH, [this, ip, i] {
+                const Shard &sh = ip->shards[i];
                 ++counters_.shardsExecuted;
                 counters_.shotsExecuted +=
-                    static_cast<uint64_t>(s.shots);
+                    static_cast<uint64_t>(sh.shots);
                 counters_.circuitsExecuted +=
-                    static_cast<uint64_t>(s.result.circuitsRun);
-            }
+                    static_cast<uint64_t>(sh.result.circuitsRun);
+                memberShots_[static_cast<std::size_t>(sh.member)] +=
+                    static_cast<uint64_t>(sh.shots);
+                onShardResolved(*ip);
+            });
         }
-        if (requeueRound >= options_.maxRequeueRounds) {
-            for (std::size_t ii = 0; ii < items.size(); ++ii)
-                if (failedShots[ii] > 0)
-                    warn("ServiceNode: requeue rounds exhausted for "
-                         "work item " +
-                         std::to_string(items[ii].workUid) + "; " +
-                         std::to_string(failedShots[ii]) +
-                         " shots lost (outcome marked degraded)");
-            break;
-        }
-        bool anyRequeued = false;
-        for (std::size_t ii = 0; ii < items.size(); ++ii) {
-            if (failedShots[ii] == 0)
-                continue;
-            WorkItem &item = items[ii];
-            const Workload &w = *workloads_[item.key.workload];
-            double atH = failedDetectH[ii];
-            const int guess =
-                failedShots[ii] /
-                std::max<int>(1,
-                              static_cast<int>(aliveMembers(atH)));
-            std::vector<MemberView> views =
-                memberViews(w, atH, guess);
-            std::vector<ShardPlan> plan =
-                scheduler_.plan(views, failedShots[ii]);
-            if (plan.empty()) {
-                warn("ServiceNode: no surviving member for requeue of "
-                     "work item " +
-                     std::to_string(item.workUid));
-                continue;
-            }
-            for (const ShardPlan &p : plan) {
-                Shard s;
-                s.item = ii;
-                s.member = p.member;
-                s.shots = p.shots;
-                s.startH = atH;
-                s.pCorrect =
-                    views[static_cast<std::size_t>(p.member)]
-                        .pCorrect;
-                s.depthAtPlan = members_[p.member].depth;
-                s.seq = item.shardSeq++;
-                ++members_[p.member].depth;
-                next.push_back(s);
-            }
-            item.requeues +=
-                static_cast<int>(plan.size());
-            counters_.shardsRequeued +=
-                static_cast<uint64_t>(plan.size());
-            anyRequeued = true;
-        }
-        if (!anyRequeued)
-            break;
-        round = std::move(next);
-        ++requeueRound;
     }
+}
 
-    // Phase 4: complete every rider. Aggregation runs in item order
-    // (pop order), outcomes are returned sorted by job id.
-    for (WorkItem &item : items) {
-        double energy, variance, pc, completeH;
-        int shotsExec, shardsExec, circuits, primary;
-        if (item.fromCache) {
-            energy = item.cached.energy;
-            variance = item.cached.variance;
-            pc = item.cached.pCorrect;
-            completeH = item.t0;
-            shotsExec = item.cached.shots;
-            shardsExec = 0;
-            circuits = 0;
-            primary = -1;
-        } else {
-            energy = item.agg.energy();
-            variance = item.agg.variance();
-            pc = item.agg.pCorrect();
-            completeH = item.agg.completeH();
-            shotsExec = item.agg.shotsExecuted();
-            shardsExec = item.agg.shardsExecuted();
-            circuits = item.agg.circuitsRun();
-            primary = item.agg.primaryMember();
-            counters_.jobsCoalesced +=
-                static_cast<uint64_t>(item.riders.size() - 1);
-            CachedResult cr;
-            cr.energy = energy;
-            cr.variance = variance;
-            cr.pCorrect = pc;
-            cr.completeH = completeH;
-            cr.shots = shotsExec;
-            cache_.store(item.key, cr);
-        }
-        bool first = true;
-        for (const JobQueue::Entry &rider : item.riders) {
-            JobOutcome o;
-            o.jobId = rider.jobId;
-            o.tenantId = rider.request.tenantId;
-            o.workload = item.key.workload;
-            o.energy = energy;
-            o.variance = variance;
-            o.pCorrect = pc;
-            o.submitH = rider.request.submitH;
-            o.completeH = item.fromCache ? rider.request.submitH
-                                         : completeH;
-            o.latencyH =
-                std::max(0.0, o.completeH - rider.request.submitH);
-            o.shotsExecuted = shotsExec;
-            o.shardsExecuted = shardsExec;
-            o.requeues = item.requeues;
-            o.circuitsRun = circuits;
-            o.primaryMember = primary;
-            o.coalesced = !first && !item.fromCache;
-            o.fromCache = item.fromCache;
-            o.degraded = !item.fromCache && shotsExec < item.shots;
-            latency_.add(o.latencyH);
-            latencyMoments_.add(o.latencyH);
-            outcomes.push_back(std::move(o));
-            first = false;
-        }
+void
+ServiceNode::onShardResolved(WorkItem &item)
+{
+    if (--item.outstanding > 0)
+        return;
+    if (item.pendingFailedShots > 0)
+        requeueFailures(item);
+    else
+        finalizeItem(item);
+}
+
+// ---------------------------------------------------------------------------
+// Requeue event: replan lost shots onto survivors
+// ---------------------------------------------------------------------------
+
+void
+ServiceNode::requeueFailures(WorkItem &item)
+{
+    if (item.requeueRound >= options_.maxRequeueRounds) {
+        warn("ServiceNode: requeue rounds exhausted for work item " +
+             std::to_string(item.workUid) + "; " +
+             std::to_string(item.pendingFailedShots) +
+             " shots lost (outcome marked degraded)");
+        finalizeItem(item);
+        return;
     }
+    const int failedShots = item.pendingFailedShots;
+    const double atH = item.pendingDetectH;
+    item.pendingFailedShots = 0;
+    item.pendingDetectH = 0.0;
+    const std::size_t firstNew = item.shards.size();
+    if (!planShards(item, failedShots, atH)) {
+        warn("ServiceNode: no surviving member for requeue of work "
+             "item " +
+             std::to_string(item.workUid));
+        finalizeItem(item);
+        return;
+    }
+    const std::size_t planned = item.shards.size() - firstNew;
+    item.requeues += static_cast<int>(planned);
+    counters_.shardsRequeued += static_cast<uint64_t>(planned);
+    ++item.requeueRound;
+    std::vector<ShardRef> batch;
+    batch.reserve(planned);
+    for (std::size_t i = firstNew; i < item.shards.size(); ++i)
+        batch.push_back(ShardRef{&item, i});
+    executeShards(batch);
+    scheduleShardEvents(item, firstNew);
+}
+
+// ---------------------------------------------------------------------------
+// Finalize event: aggregate in shard-sequence order, complete riders
+// ---------------------------------------------------------------------------
+
+void
+ServiceNode::finalizeItem(WorkItem &item)
+{
+    double energy, variance, pc, completeH;
+    int shotsExec, shardsExec, circuits, primary;
+    if (item.fromCache) {
+        energy = item.cached.energy;
+        variance = item.cached.variance;
+        pc = item.cached.pCorrect;
+        completeH = item.t0;
+        shotsExec = item.cached.shots;
+        shardsExec = 0;
+        circuits = 0;
+        primary = -1;
+    } else {
+        // Shard results were buffered as their events fired; the
+        // aggregate folds them in sequence order, so the combination
+        // is independent of completion interleaving (and identical to
+        // the synchronous drain's round order).
+        for (const Shard &s : item.shards)
+            item.agg.add(s.result);
+        energy = item.agg.energy();
+        variance = item.agg.variance();
+        pc = item.agg.pCorrect();
+        completeH = item.agg.completeH();
+        shotsExec = item.agg.shotsExecuted();
+        shardsExec = item.agg.shardsExecuted();
+        circuits = item.agg.circuitsRun();
+        primary = item.agg.primaryMember();
+        counters_.jobsCoalesced +=
+            static_cast<uint64_t>(item.riders.size() - 1);
+        CachedResult cr;
+        cr.energy = energy;
+        cr.variance = variance;
+        cr.pCorrect = pc;
+        cr.completeH = completeH;
+        cr.shots = shotsExec;
+        cache_.store(item.key, cr);
+    }
+    bool first = true;
+    for (const JobQueue::Entry &rider : item.riders) {
+        JobOutcome o;
+        o.jobId = rider.jobId;
+        o.tenantId = rider.request.tenantId;
+        o.workload = item.key.workload;
+        o.energy = energy;
+        o.variance = variance;
+        o.pCorrect = pc;
+        o.submitH = rider.request.submitH;
+        o.completeH =
+            item.fromCache ? rider.request.submitH : completeH;
+        o.latencyH = std::max(0.0, o.completeH - rider.request.submitH);
+        o.shotsExecuted = shotsExec;
+        o.shardsExecuted = shardsExec;
+        o.requeues = item.requeues;
+        o.circuitsRun = circuits;
+        o.primaryMember = primary;
+        o.coalesced = !first && !item.fromCache;
+        o.fromCache = item.fromCache;
+        o.degraded = !item.fromCache && shotsExec < item.shots;
+        latency_.add(o.latencyH);
+        latencyMoments_.add(o.latencyH);
+        completed_.push_back(std::move(o));
+        first = false;
+    }
+    item.finished = true;
+}
+
+// ---------------------------------------------------------------------------
+// Drain: run the loop until idle, collect outcomes
+// ---------------------------------------------------------------------------
+
+std::vector<JobOutcome>
+ServiceNode::drain(TaskPool *pool)
+{
+    exec_ = pool ? pool : &TaskPool::shared();
+    loop_.run();
+    exec_ = nullptr;
+
+    active_.erase(
+        std::remove_if(active_.begin(), active_.end(),
+                       [](const std::unique_ptr<WorkItem> &item) {
+                           return item->finished;
+                       }),
+        active_.end());
+
+    std::vector<JobOutcome> outcomes = std::move(completed_);
+    completed_.clear();
     std::sort(outcomes.begin(), outcomes.end(),
               [](const JobOutcome &a, const JobOutcome &b) {
                   return a.jobId < b.jobId;

@@ -3,27 +3,44 @@
  * ServiceNode — the multi-tenant front end of the EQC runtime.
  *
  * One node fronts one ensemble of QPUs and serves expectation-
- * estimation jobs from many tenants. The lifecycle of a job is
+ * estimation jobs from many tenants. The node is *event-driven*: it
+ * owns an eqc::EventLoop on a pluggable Clock, and every stage of a
+ * job's lifecycle is an event on that loop —
  *
- *   submit  -> admission control (JobQueue)
- *   drain   -> coalesce identical (workload, binding) work items
- *           -> shard each item's shot budget across members
- *              (ShotScheduler over queue-model wait estimates and
- *              Eq. 2 calibration scores)
- *           -> execute shards through a TaskPool (per-shard forked
- *              RNG streams: results are bit-identical for any thread
- *              count)
- *           -> aggregate shard estimates (Aggregator, pluggable
- *              weighting), requeueing shards of members that dropped
- *              mid-job onto survivors with weights renormalized
- *           -> complete every rider, record latency percentiles
+ *   submit     -> admission control (JobQueue; capacity rejections
+ *                 carry a retry-after backpressure hint) and an
+ *                 intake event is scheduled
+ *   intake     -> coalesce identical (workload, binding) work items,
+ *                 probe the result cache, shard each executing item's
+ *                 shot budget across members (ShotScheduler over
+ *                 queue-model wait estimates, Eq. 2 calibration
+ *                 scores, and plan-cache warmth), fan the shard
+ *                 computations out through a TaskPool
+ *   completion -> one event per shard at its own completion hour:
+ *                 members make progress independently — there is no
+ *                 global round barrier
+ *   requeue    -> a member that died mid-shard surfaces as a timeout
+ *                 event; the lost shots replan onto survivors
+ *   finalize   -> when an item's last shard resolves, shard results
+ *                 aggregate (Aggregator, pluggable weighting) in
+ *                 shard-sequence order and every rider completes
  *
- * The node lives on the same virtual clock as the rest of the
- * framework: requests carry a submission hour, shard latencies are
- * sampled from each device's queue model, and a job's completion is
- * the latest surviving shard's completion. Draining is synchronous
- * and deterministic — identical submission sequences produce
- * identical outcomes, bit for bit, regardless of EQC_THREADS.
+ * Under a VirtualClock the loop replays deterministically: identical
+ * submission sequences produce identical outcomes, bit for bit,
+ * regardless of EQC_THREADS (shard randomness is forked from (work
+ * uid, shard seq), pure ids; aggregation order is shard-sequence
+ * order; planning happens in pop order at intake). Drains are also
+ * bit-identical to the pre-event-loop synchronous drain whenever at
+ * most one work item of a batch loses shards — the verified
+ * determinism/coalescing/cache/requeue scenarios; when several items
+ * fail concurrently, replacement planning now runs in
+ * failure-detection order instead of item pop order (that reordering
+ * *is* the round barrier's removal), still deterministically. Under
+ * a SteadyClock the same code serves in real time: events fire at
+ * wall deadlines and cache TTLs mean wall time.
+ *
+ * drain() survives as the batch entry point: "run the loop until
+ * idle, hand back the completed outcomes".
  */
 
 #ifndef EQC_SERVE_SERVICE_NODE_H
@@ -32,6 +49,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/event_loop.h"
 #include "common/stats.h"
 #include "core/weighting.h"
 #include "device/backend.h"
@@ -62,7 +80,7 @@ struct ServiceOptions
      * item completes with whatever survived.
      */
     int maxRequeueRounds = 4;
-    /** Result-cache TTL in virtual hours (0 disables reuse). */
+    /** Result-cache TTL in serving-clock hours (0 disables reuse). */
     double resultCacheTtlH = 0.0;
     std::size_t resultCacheCapacity = 256;
     /** Reservoir size of the latency percentile estimator. */
@@ -71,7 +89,7 @@ struct ServiceOptions
     uint64_t seed = 1;
 };
 
-/** Multi-tenant serving front end (see file comment). */
+/** Multi-tenant event-driven serving front end (see file comment). */
 class ServiceNode
 {
   public:
@@ -80,8 +98,13 @@ class ServiceNode
      *        part of the node's identity: shard plans and outcomes
      *        reference member indices)
      * @param options node configuration
+     * @param clock serving clock; nullptr means an internal
+     *        VirtualClock (the deterministic default). Not owned;
+     *        must outlive the node. Engines pass the run's shared
+     *        clock here so service time and training time agree.
      */
-    ServiceNode(std::vector<Device> devices, ServiceOptions options);
+    ServiceNode(std::vector<Device> devices, ServiceOptions options,
+                Clock *clock = nullptr);
 
     ~ServiceNode();
 
@@ -97,22 +120,25 @@ class ServiceNode
                                 const PauliSum &observable);
 
     /**
-     * Admission-controlled submission. Jobs queue until drain();
-     * rejected jobs get a Ticket whose status names the reason.
+     * Admission-controlled submission. An admitted job schedules an
+     * intake event on the loop (fired by the next drain()/run);
+     * rejected jobs get a Ticket whose status names the reason and —
+     * for capacity rejections — a retryAfterS backpressure hint
+     * derived from the ensemble's queue-model wait estimates at the
+     * current backlog.
      */
     Ticket submit(const JobRequest &request);
 
     /**
-     * Serve every queued job to completion: coalesce, shard, execute,
-     * aggregate, requeue around failures. Outcomes are returned in
-     * ascending job-id order.
+     * Serve every queued job to completion: run the event loop until
+     * idle, then return the outcomes in ascending job-id order.
      * @param pool fan-out pool for shard execution; nullptr means
      *        TaskPool::shared() (sized by EQC_THREADS)
      */
     std::vector<JobOutcome> drain(TaskPool *pool = nullptr);
 
     /**
-     * Kill member @p member at virtual hour @p atH: shards in flight
+     * Kill member @p member at serving hour @p atH: shards in flight
      * at that hour never return (their work requeues to survivors),
      * and no new shard is planned on it from @p atH on.
      */
@@ -132,27 +158,52 @@ class ServiceNode
     double memberPCorrect(std::size_t member, WorkloadId workload,
                           double atH) const;
 
-    /** Jobs admitted but not yet drained. */
+    /** Jobs admitted but not yet taken into a work item. */
     std::size_t pendingJobs() const { return queue_.size(); }
 
-    /** Per-job service latency percentiles (virtual hours). */
+    /** Per-job service latency percentiles (serving-clock hours). */
     const stats::Percentiles &latencyStats() const { return latency_; }
 
-    /** Running latency moments (mean/min/max, virtual hours). */
+    /** Running latency moments (mean/min/max, serving-clock hours). */
     const RunningStats &latencyMoments() const
     {
         return latencyMoments_;
+    }
+
+    /** Distribution of retry-after hints handed to rejected jobs. */
+    const stats::Percentiles &retryAfterStats() const
+    {
+        return retryAfter_;
+    }
+
+    /** Shots executed per member (cache-aware placement telemetry). */
+    const std::vector<uint64_t> &memberShotCounts() const
+    {
+        return memberShots_;
     }
 
     const ServiceCounters &counters() const { return counters_; }
 
     const ServiceOptions &options() const { return options_; }
 
+    /** The serving clock (the one passed in, or the internal one). */
+    const Clock &clock() const { return *clock_; }
+
+    /** The node's event loop (advanced drive: runUntil, inspection). */
+    EventLoop &loop() { return loop_; }
+
   private:
     struct Member;
     struct Workload;
     struct Shard;
     struct WorkItem;
+
+    /** One shard of one item, addressed into a batch fan-out. */
+    struct ShardRef
+    {
+        WorkItem *item;
+        std::size_t shard;
+    };
 
     /** Scheduler views of the members eligible for @p w at @p atH. */
     std::vector<MemberView> memberViews(const Workload &w, double atH,
@@ -162,7 +213,34 @@ class ServiceNode
     double workloadPCorrect(const Workload &w, std::size_t member,
                             double atH) const;
 
+    /** Backpressure hint for a rejection observed at depth @p depth. */
+    double retryAfterHintS(double atH, std::size_t depth) const;
+
+    /** Intake event: pop + coalesce + plan + launch everything queued. */
+    void intake();
+
+    /** Plan @p shots for @p item at @p atH; false when nobody can. */
+    bool planShards(WorkItem &item, int shots, double atH);
+
+    /** Fan a batch of shard computations (any items) through the pool. */
+    void executeShards(const std::vector<ShardRef> &batch);
+
+    /** Schedule completion/timeout events for shards >= firstShard. */
+    void scheduleShardEvents(WorkItem &item, std::size_t firstShard);
+
+    /** One shard resolved; finalize or requeue when it was the last. */
+    void onShardResolved(WorkItem &item);
+
+    /** Replan an item's failed shots onto survivors (or give up). */
+    void requeueFailures(WorkItem &item);
+
+    /** Aggregate in shard-seq order and complete every rider. */
+    void finalizeItem(WorkItem &item);
+
     ServiceOptions options_;
+    VirtualClock ownClock_;
+    Clock *clock_;
+    EventLoop loop_;
     std::vector<Member> members_;
     std::vector<std::unique_ptr<Workload>> workloads_;
     JobQueue queue_;
@@ -173,7 +251,16 @@ class ServiceNode
     uint64_t nextWorkId_ = 1;
     stats::Percentiles latency_;
     RunningStats latencyMoments_;
+    stats::Percentiles retryAfter_;
+    std::vector<uint64_t> memberShots_;
     ServiceCounters counters_;
+
+    /** Work items in flight on the loop (stable addresses). */
+    std::vector<std::unique_ptr<WorkItem>> active_;
+    /** Outcomes completed since the last drain() collected them. */
+    std::vector<JobOutcome> completed_;
+    /** Shard fan-out pool while the loop runs (drain argument). */
+    TaskPool *exec_ = nullptr;
 };
 
 } // namespace serve

@@ -20,12 +20,15 @@ ShotScheduler::plan(const std::vector<MemberView> &members,
         double weight;
         double share = 0.0;
     };
+    const double warmBoost = std::max(options_.warmBoost, 1.0);
     std::vector<Cand> cands;
     for (const MemberView &m : members) {
         if (!m.available)
             continue;
         double lat = std::max(m.expectedLatencyS, options_.minLatencyS);
         double w = std::max(m.pCorrect, 0.0) / lat;
+        if (m.planWarm)
+            w *= warmBoost;
         cands.push_back(Cand{m.member, w});
     }
     if (cands.empty())

@@ -12,6 +12,14 @@
  * by, applied at sharding time instead). Largest-remainder rounding
  * keeps the allocation exact: the shard shots always sum to the
  * requested budget.
+ *
+ * Placement is additionally *cache-aware*: a member whose backend
+ * already holds a compiled execution plan for the workload (the
+ * planCacheContains() probe, surfaced as MemberView::planWarm) gets
+ * its rate multiplied by warmBoost — re-requested workloads gravitate
+ * to the members that can start without recompiling, while cold
+ * members still receive work whenever their quality/latency rate
+ * carries them past the boost.
  */
 
 #ifndef EQC_SERVE_SHOT_SCHEDULER_H
@@ -33,6 +41,8 @@ struct MemberView
     double expectedLatencyS = 1.0;
     /** false excludes the member (failed, ineligible, cooled down). */
     bool available = true;
+    /** The member's plan cache is already warm for this workload. */
+    bool planWarm = false;
 };
 
 /** One planned shard: @p shots of the budget on @p member. */
@@ -53,6 +63,13 @@ struct ShotSchedulerOptions
     int minShardShots = 64;
     /** Floor of the latency divisor (guards near-zero estimates). */
     double minLatencyS = 1.0;
+    /**
+     * Rate multiplier for members whose plan cache is warm for the
+     * workload (MemberView::planWarm). 1.0 disables cache-aware
+     * placement; values below 1 are clamped to 1 (a warm cache never
+     * argues for *less* work).
+     */
+    double warmBoost = 1.25;
 };
 
 /** Stateless shard planner (see file comment). */

@@ -9,41 +9,15 @@ Simulation::schedule(double delayH, Handler fn)
 {
     if (delayH < 0.0)
         panic("Simulation::schedule: negative delay");
-    scheduleAt(now_ + delayH, std::move(fn));
+    loop_.schedule(delayH, std::move(fn));
 }
 
 void
 Simulation::scheduleAt(double timeH, Handler fn)
 {
-    if (timeH < now_)
+    if (timeH < loop_.now())
         panic("Simulation::scheduleAt: time in the past");
-    queue_.push(Event{timeH, nextSeq_++, std::move(fn)});
-}
-
-void
-Simulation::run()
-{
-    while (!queue_.empty()) {
-        Event e = queue_.top();
-        queue_.pop();
-        now_ = e.time;
-        ++processed_;
-        e.fn();
-    }
-}
-
-void
-Simulation::runUntil(double limitH)
-{
-    while (!queue_.empty() && queue_.top().time <= limitH) {
-        Event e = queue_.top();
-        queue_.pop();
-        now_ = e.time;
-        ++processed_;
-        e.fn();
-    }
-    if (now_ < limitH && queue_.empty())
-        now_ = limitH;
+    loop_.scheduleAt(timeH, std::move(fn));
 }
 
 } // namespace eqc

@@ -8,15 +8,21 @@
  * bit-identically for a fixed seed. Events at equal timestamps fire in
  * scheduling order (a monotonically increasing sequence number breaks
  * ties), which keeps asynchronous-SGD traces deterministic.
+ *
+ * The event-scheduling machinery itself lives in the shared
+ * eqc::EventLoop (common/event_loop.h) so the serving layer can drive
+ * the same core on a wall clock; Simulation is the deterministic
+ * virtual-clock configuration of it, with the simulation-specific
+ * contract that scheduling into the past is a hard error rather than a
+ * clamp (a simulation that tries to rewrite history is a bug).
  */
 
 #ifndef EQC_SIM_EVENT_QUEUE_H
 #define EQC_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+
+#include "common/event_loop.h"
 
 namespace eqc {
 
@@ -24,10 +30,10 @@ namespace eqc {
 class Simulation
 {
   public:
-    using Handler = std::function<void()>;
+    using Handler = EventLoop::Handler;
 
     /** Current virtual time in hours. */
-    double now() const { return now_; }
+    double now() const { return loop_.now(); }
 
     /** Schedule @p fn to run @p delayH hours from now (>= 0). */
     void schedule(double delayH, Handler fn);
@@ -36,42 +42,26 @@ class Simulation
     void scheduleAt(double timeH, Handler fn);
 
     /** Run until the event queue drains. */
-    void run();
+    void run() { loop_.run(); }
 
     /**
      * Run until the event queue drains or virtual time would pass
      * @p limitH; events beyond the limit stay queued.
      */
-    void runUntil(double limitH);
+    void runUntil(double limitH) { loop_.runUntil(limitH); }
 
     /** Number of events executed so far. */
-    uint64_t processed() const { return processed_; }
+    uint64_t processed() const { return loop_.processed(); }
 
     /** true when no events are pending. */
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return loop_.empty(); }
+
+    /** The underlying shared event loop (virtual-clocked). */
+    EventLoop &loop() { return loop_; }
 
   private:
-    struct Event
-    {
-        double time;
-        uint64_t seq;
-        Handler fn;
-    };
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.time != b.time)
-                return a.time > b.time;
-            return a.seq > b.seq;
-        }
-    };
-
-    double now_ = 0.0;
-    uint64_t nextSeq_ = 0;
-    uint64_t processed_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    VirtualClock clock_;
+    EventLoop loop_{clock_};
 };
 
 } // namespace eqc

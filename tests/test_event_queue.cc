@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "common/event_loop.h"
 #include "sim/event_queue.h"
 
 namespace eqc {
@@ -67,6 +70,95 @@ TEST(Simulation, ScheduleAtAbsoluteTime)
     sim.scheduleAt(7.25, [&] { seen = sim.now(); });
     sim.run();
     EXPECT_DOUBLE_EQ(seen, 7.25);
+}
+
+// ---------------------------------------------------------------------------
+// The shared EventLoop / Clock core the Simulation wraps
+// ---------------------------------------------------------------------------
+
+TEST(EventLoop, VirtualClockMatchesSimulationSemantics)
+{
+    VirtualClock clock;
+    EventLoop loop(clock);
+    std::vector<int> order;
+    loop.schedule(3.0, [&] { order.push_back(3); });
+    loop.schedule(1.0, [&] { order.push_back(1); });
+    loop.scheduleAt(2.0, [&] { order.push_back(2); });
+    EXPECT_EQ(loop.pending(), 3u);
+    loop.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+    EXPECT_EQ(loop.processed(), 3u);
+    EXPECT_TRUE(clock.isVirtual());
+}
+
+TEST(EventLoop, PastTimestampsClampToNow)
+{
+    VirtualClock clock;
+    EventLoop loop(clock);
+    double firedAt = -1.0;
+    loop.scheduleAt(4.0, [&] {
+        // Scheduled "in the past" from hour 4: fires immediately at 4
+        // instead of rewinding or being dropped.
+        loop.scheduleAt(1.0, [&] { firedAt = loop.now(); });
+    });
+    loop.run();
+    EXPECT_DOUBLE_EQ(firedAt, 4.0);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWhenIdle)
+{
+    VirtualClock clock;
+    EventLoop loop(clock);
+    loop.schedule(1.0, [] {});
+    loop.runUntil(6.0);
+    EXPECT_TRUE(loop.empty());
+    EXPECT_DOUBLE_EQ(loop.now(), 6.0);
+}
+
+TEST(EventLoop, SteadyClockFiresInRealTime)
+{
+    // 0.02 wall seconds per model hour: three events one model hour
+    // apart must take at least ~2 x 20 ms of wall time (the first is
+    // due immediately by the time the loop starts) and fire in order.
+    SteadyClock clock(0.02);
+    EventLoop loop(clock);
+    std::vector<int> order;
+    const auto wall0 = std::chrono::steady_clock::now();
+    loop.scheduleAt(2.0, [&] { order.push_back(2); });
+    loop.scheduleAt(1.0, [&] { order.push_back(1); });
+    loop.scheduleAt(3.0, [&] { order.push_back(3); });
+    loop.run();
+    const double wallS =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_GE(wallS, 0.04);
+    EXPECT_GE(loop.now(), 3.0);
+    EXPECT_FALSE(clock.isVirtual());
+}
+
+TEST(EventLoop, SteadyClockNeverSleepsForThePast)
+{
+    SteadyClock clock(100.0); // a model hour takes 100 wall seconds
+    EventLoop loop(clock);
+    int fired = 0;
+    const auto wall0 = std::chrono::steady_clock::now();
+    loop.scheduleAt(0.0, [&] { ++fired; }); // due immediately
+    loop.run();
+    const double wallS =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    EXPECT_EQ(fired, 1);
+    EXPECT_LT(wallS, 5.0); // no sleep anywhere near the hour scale
 }
 
 } // namespace

@@ -1,9 +1,12 @@
 /**
  * @file
  * Serving-layer tests: queue-model wait estimates under drift and
- * their consumption by the shot scheduler, admission control, request
- * coalescing, aggregation modes, QPU fault tolerance with shard
- * requeueing, thread-count bit-determinism, and the "service" engine.
+ * their consumption by the shot scheduler, admission control with
+ * retry-after backpressure hints, request coalescing, clock-based
+ * result-cache expiry, cache-aware shard placement, aggregation
+ * modes, QPU fault tolerance with shard requeueing, event-loop
+ * determinism across thread counts (including the failure and cache
+ * paths), wall-clock (SteadyClock) serving, and the "service" engine.
  */
 
 #include <gtest/gtest.h>
@@ -252,6 +255,57 @@ TEST(ServiceNode, AdmissionControlRejectsOverload)
     EXPECT_EQ(node.pendingJobs(), 3u);
 }
 
+TEST(ServiceNode, RetryAfterHintsMonotoneInBacklog)
+{
+    // Every capacity rejection carries a backpressure hint derived
+    // from the queue models at the backlog observed at rejection time
+    // — strictly increasing in queue depth, so tenants naturally
+    // spread their resubmissions.
+    ServiceOptions o = fastOptions();
+    o.admission.maxQueuedPerTenant = 1;
+    o.admission.maxQueueDepth = 7;
+    ServiceNode node(serveEnsemble(), o);
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 512;
+
+    double prev = 0.0;
+    for (int t = 0; t < 6; ++t) {
+        r.tenantId = t;
+        ASSERT_TRUE(node.submit(r).admitted());
+        Ticket rejected = node.submit(r); // tenant at quota
+        EXPECT_EQ(rejected.status, AdmitStatus::RejectedTenantQuota);
+        EXPECT_GT(rejected.retryAfterS, prev)
+            << "hint must grow with backlog (depth " << t + 1 << ")";
+        prev = rejected.retryAfterS;
+    }
+
+    // Queue full: also a capacity rejection, also hinted — and at a
+    // deeper backlog than any quota rejection above.
+    r.tenantId = 99;
+    ASSERT_TRUE(node.submit(r).admitted()); // fills the queue (depth 7)
+    r.tenantId = 100;
+    Ticket full = node.submit(r);
+    EXPECT_EQ(full.status, AdmitStatus::RejectedQueueFull);
+    EXPECT_GT(full.retryAfterS, prev);
+
+    // Malformed requests get no hint: retrying won't help.
+    r.shots = 0;
+    Ticket bad = node.submit(r);
+    EXPECT_EQ(bad.status, AdmitStatus::RejectedBadRequest);
+    EXPECT_DOUBLE_EQ(bad.retryAfterS, 0.0);
+
+    EXPECT_EQ(node.counters().rejectedTenantQuota, 6u);
+    EXPECT_EQ(node.counters().rejectedQueueFull, 1u);
+    EXPECT_EQ(node.counters().rejectedBadRequest, 1u);
+    EXPECT_EQ(node.counters().jobsRejected, 8u);
+    EXPECT_EQ(node.retryAfterStats().count(), 7u);
+}
+
 // ---------------------------------------------------------------------------
 // Coalescing
 // ---------------------------------------------------------------------------
@@ -332,6 +386,113 @@ TEST(ServiceNode, ResultCacheServesRepeatsWithinTtl)
     std::vector<JobOutcome> third = node.drain();
     EXPECT_FALSE(third[0].fromCache);
     EXPECT_EQ(node.counters().workItems, 2u);
+}
+
+TEST(ResultCache, ExpiresOnServingClock)
+{
+    VirtualClock clock;
+    ResultCache cache(&clock, 0.5, 4);
+    WorkKey k;
+    k.workload = 0;
+    k.params = {1.0, 2.0};
+    CachedResult r;
+    r.shots = 100;
+    r.completeH = 0.0;
+    cache.store(k, r); // stored at clock hour 0
+
+    EXPECT_NE(cache.lookup(k, 0.2, 100), nullptr);
+    EXPECT_EQ(cache.lookup(k, 0.2, 200), nullptr); // bigger budget
+    EXPECT_EQ(cache.lookup(k, 0.8, 100), nullptr); // rider-stale
+
+    // The clock moving past the TTL expires the entry even for a
+    // rider claiming an old submission hour — no time-traveling the
+    // cache under a wall clock.
+    clock.advanceTo(1.0);
+    EXPECT_EQ(cache.lookup(k, 0.2, 100), nullptr);
+
+    // Expired entries are purged when fresh results store.
+    WorkKey k2;
+    k2.workload = 1;
+    k2.params = {3.0};
+    CachedResult r2;
+    r2.shots = 50;
+    r2.completeH = 1.0;
+    cache.store(k2, r2);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_NE(cache.lookup(k2, 1.1, 50), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-aware shard placement
+// ---------------------------------------------------------------------------
+
+TEST(ShotScheduler, WarmBoostBiasesPlacement)
+{
+    std::vector<MemberView> views(2);
+    for (int i = 0; i < 2; ++i) {
+        views[i].member = i;
+        views[i].available = true;
+        views[i].pCorrect = 0.8;
+        views[i].expectedLatencyS = 60.0;
+    }
+    views[1].planWarm = true;
+
+    ShotSchedulerOptions so;
+    so.warmBoost = 2.0;
+    ShotScheduler sched(so);
+    std::vector<ShardPlan> plan = sched.plan(views, 3000);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_GT(plan[1].shots, plan[0].shots);
+    EXPECT_EQ(plan[0].shots + plan[1].shots, 3000);
+
+    // warmBoost 1.0 disables the bias; below 1 clamps (a warm cache
+    // never argues for less work).
+    so.warmBoost = 1.0;
+    plan = ShotScheduler(so).plan(views, 3000);
+    EXPECT_EQ(plan[0].shots, plan[1].shots);
+    so.warmBoost = 0.25;
+    plan = ShotScheduler(so).plan(views, 3000);
+    EXPECT_EQ(plan[0].shots, plan[1].shots);
+}
+
+TEST(ServiceNode, CacheAwarePlacementRoutesToWarmMembers)
+{
+    // Two nodes replay the same submission sequence; one places
+    // cache-aware (strong warm boost), the control doesn't. Member 0
+    // is down for the first drain, so only members 1..3 compile plans
+    // — when it comes back for the re-request, the warm-boosted node
+    // must route more of the budget to the warm members than the
+    // control does.
+    auto run = [&](double warmBoost) {
+        ServiceOptions o = fastOptions(33);
+        o.scheduler.warmBoost = warmBoost;
+        auto node = std::make_unique<ServiceNode>(serveEnsemble(), o);
+        VqaProblem p = makeHeisenbergVqe();
+        WorkloadId wl = node->registerWorkload(p.ansatz, p.hamiltonian);
+
+        JobRequest r;
+        r.workload = wl;
+        r.params = p.initialParams;
+        r.shots = 8192;
+        node->failMemberAt(0, 0.0);
+        EXPECT_TRUE(node->submit(r).admitted());
+        std::vector<JobOutcome> first = node->drain();
+        EXPECT_EQ(first.size(), 1u);
+        const uint64_t coldAfterFirst = node->memberShotCounts()[0];
+        EXPECT_EQ(coldAfterFirst, 0u); // member 0 never ran
+
+        node->restoreMember(0);
+        r.submitH = first[0].completeH;
+        EXPECT_TRUE(node->submit(r).admitted());
+        node->drain();
+        return node->memberShotCounts()[0]; // cold member's share
+    };
+
+    const uint64_t coldShareControl = run(1.0);
+    const uint64_t coldShareWarm = run(8.0);
+    EXPECT_GT(coldShareControl, 0u);
+    EXPECT_LT(coldShareWarm, coldShareControl)
+        << "warm boost must shift budget away from the cold member";
 }
 
 // ---------------------------------------------------------------------------
@@ -441,6 +602,120 @@ TEST(ServiceNode, DrainBitIdenticalForAnyThreadCount)
         EXPECT_EQ(t1[i].shardsExecuted, t4[i].shardsExecuted);
         EXPECT_EQ(t1[i].shotsExecuted, t4[i].shotsExecuted);
     }
+}
+
+std::vector<JobOutcome>
+runEventLoopWorkload(int threads)
+{
+    // The full event-loop surface in one workload: coalescing pairs,
+    // distinct bindings, a mid-run member failure (requeue events), a
+    // result cache with repeats (cache-hit events) and a second drain.
+    ServiceOptions o = fastOptions(101);
+    o.resultCacheTtlH = 0.5;
+    ServiceNode node(serveEnsemble(), o);
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    JobRequest r;
+    r.workload = wl;
+    r.shots = 4096;
+    for (int t = 0; t < 6; ++t) {
+        r.tenantId = t;
+        r.params = p.initialParams;
+        r.params[0] += 0.1 * (t / 2); // pairs coalesce
+        r.priority = t % 2;
+        r.submitH = 0.01 * t;
+        EXPECT_TRUE(node.submit(r).admitted());
+    }
+    node.failMemberAt(1, 30.0 / 3600.0);
+
+    TaskPool pool(threads);
+    std::vector<JobOutcome> out = node.drain(&pool);
+
+    // Second drain: one binding repeats (cache hit), one is new.
+    r.tenantId = 0;
+    r.params = p.initialParams;
+    r.submitH = out.back().completeH + 0.01;
+    EXPECT_TRUE(node.submit(r).admitted());
+    r.tenantId = 1;
+    r.params[0] += 7.5;
+    EXPECT_TRUE(node.submit(r).admitted());
+    std::vector<JobOutcome> again = node.drain(&pool);
+    out.insert(out.end(), again.begin(), again.end());
+    return out;
+}
+
+TEST(ServiceNode, EventLoopBitIdenticalAcrossThreadsWithFailures)
+{
+    std::vector<JobOutcome> t1 = runEventLoopWorkload(1);
+    std::vector<JobOutcome> t2 = runEventLoopWorkload(2);
+    std::vector<JobOutcome> t4 = runEventLoopWorkload(4);
+    ASSERT_EQ(t1.size(), 8u);
+    ASSERT_EQ(t2.size(), t1.size());
+    ASSERT_EQ(t4.size(), t1.size());
+    bool sawRequeue = false, sawCacheHit = false, sawCoalesced = false;
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i].jobId, t2[i].jobId);
+        EXPECT_EQ(t1[i].jobId, t4[i].jobId);
+        EXPECT_DOUBLE_EQ(t1[i].energy, t2[i].energy);
+        EXPECT_DOUBLE_EQ(t1[i].energy, t4[i].energy);
+        EXPECT_DOUBLE_EQ(t1[i].variance, t4[i].variance);
+        EXPECT_DOUBLE_EQ(t1[i].completeH, t2[i].completeH);
+        EXPECT_DOUBLE_EQ(t1[i].completeH, t4[i].completeH);
+        EXPECT_EQ(t1[i].shotsExecuted, t4[i].shotsExecuted);
+        EXPECT_EQ(t1[i].shardsExecuted, t4[i].shardsExecuted);
+        EXPECT_EQ(t1[i].requeues, t4[i].requeues);
+        EXPECT_EQ(t1[i].fromCache, t4[i].fromCache);
+        sawRequeue = sawRequeue || t1[i].requeues > 0;
+        sawCacheHit = sawCacheHit || t1[i].fromCache;
+        sawCoalesced = sawCoalesced || t1[i].coalesced;
+    }
+    // The workload must actually exercise every event path.
+    EXPECT_TRUE(sawRequeue);
+    EXPECT_TRUE(sawCacheHit);
+    EXPECT_TRUE(sawCoalesced);
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock serving (SteadyClock)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNode, SteadyClockServesSameWorkloadEndToEnd)
+{
+    // A model hour takes 2 ms of wall time: the same serving code
+    // runs in real time, every admitted job still completes with its
+    // full budget, and coalescing still collapses identical work.
+    SteadyClock clock(0.002);
+    ServiceOptions o = fastOptions();
+    ServiceNode node(serveEnsemble(), o, &clock);
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 2048;
+    for (int t = 0; t < 3; ++t) {
+        r.tenantId = t;
+        if (t == 2)
+            r.params[0] += 0.5; // one distinct binding
+        ASSERT_TRUE(node.submit(r).admitted());
+    }
+    std::vector<JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), 3u);
+    for (const JobOutcome &o2 : out) {
+        EXPECT_EQ(o2.shotsExecuted, 2048);
+        EXPECT_FALSE(o2.degraded);
+        EXPECT_TRUE(std::isfinite(o2.energy));
+        EXPECT_GE(o2.completeH, o2.submitH);
+    }
+    EXPECT_DOUBLE_EQ(out[0].energy, out[1].energy); // coalesced pair
+    EXPECT_EQ(node.counters().workItems, 2u);
+    EXPECT_FALSE(node.clock().isVirtual());
+    // The loop really ran on the wall clock: model time advanced at
+    // least to the latest completion.
+    EXPECT_GE(node.loop().now(),
+              std::max(out[0].completeH, out[2].completeH));
 }
 
 // ---------------------------------------------------------------------------
