@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Chaos storm: run thousands of randomized fault-injection schedules
+ * against the serving layer and audit every one with the replay
+ * invariant suite (see src/replay/chaos.h for the invariants).
+ *
+ * Each schedule seeds a ChaosEngine with a consecutive seed starting
+ * at --seed: random ensemble lineups with drift spikes, member kills
+ * aimed into the drain window, probabilistic restores, tenant floods
+ * against a tight admission policy, clock-skewed submit bursts, and
+ * coalescing/cache traffic. Every --verify-every'th schedule
+ * additionally serialize->parse->replays its journal and cross-checks
+ * the outcomes bit for bit.
+ *
+ * The process exits non-zero if ANY schedule violates an invariant,
+ * and the first offending journal is written to --journal-out so the
+ * failure reproduces locally through replay::Replayer. A JSON report
+ * (seed echoed, per-invariant violation counts, aggregate serving
+ * counters) lands at --out for CI artifact diffing.
+ *
+ * Usage:
+ *   bench_chaos_storm [--schedules N] [--seed S] [--tenants N]
+ *                     [--rounds N] [--members N] [--shots N]
+ *                     [--verify-every K] [--out FILE]
+ *                     [--journal-out FILE]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "common/task_pool.h"
+#include "replay/chaos.h"
+
+using namespace eqc;
+
+int
+main(int argc, char **argv)
+{
+    int schedules = 1000;
+    uint64_t seed = 1;
+    int tenants = 6;
+    int rounds = 3;
+    int members = 4;
+    int maxShots = 256;
+    int verifyEvery = 64; // 0 disables the replay cross-check
+    std::string outPath;
+    std::string journalOutPath = "chaos_offender.jsonl";
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--schedules"))
+            schedules = std::atoi(next("--schedules"));
+        else if (!std::strcmp(argv[i], "--seed"))
+            seed = std::strtoull(next("--seed"), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--tenants"))
+            tenants = std::atoi(next("--tenants"));
+        else if (!std::strcmp(argv[i], "--rounds"))
+            rounds = std::atoi(next("--rounds"));
+        else if (!std::strcmp(argv[i], "--members"))
+            members = std::atoi(next("--members"));
+        else if (!std::strcmp(argv[i], "--shots"))
+            maxShots = std::atoi(next("--shots"));
+        else if (!std::strcmp(argv[i], "--verify-every"))
+            verifyEvery = std::atoi(next("--verify-every"));
+        else if (!std::strcmp(argv[i], "--out"))
+            outPath = next("--out");
+        else if (!std::strcmp(argv[i], "--journal-out"))
+            journalOutPath = next("--journal-out");
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    bench::banner("eqc::replay chaos storm");
+    std::printf("schedules=%d seed=%llu tenants=%d rounds=%d "
+                "members=%d shots<=%d verify-every=%d threads=%d\n",
+                schedules, static_cast<unsigned long long>(seed),
+                tenants, rounds, members, maxShots, verifyEvery,
+                TaskPool::shared().threadCount());
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    uint64_t totalViolations = 0;
+    int schedulesFailed = 0;
+    long long firstOffendingSeed = -1;
+    uint64_t jobsCompleted = 0;
+    uint64_t kills = 0, restores = 0, driftSpikes = 0, floods = 0,
+             skewed = 0, replaysVerified = 0;
+    serve::ServiceCounters total;
+    std::map<std::string, uint64_t> byInvariant;
+
+    const int progressStep = schedules > 10 ? schedules / 10 : 1;
+    for (int i = 0; i < schedules; ++i) {
+        replay::ChaosOptions co;
+        co.seed = seed + static_cast<uint64_t>(i);
+        co.tenants = tenants;
+        co.rounds = rounds;
+        co.members = members;
+        co.maxShots = maxShots;
+        co.verifyReplay = verifyEvery > 0 && i % verifyEvery == 0;
+        replay::ChaosEngine engine(co);
+        replay::ChaosReport rep = engine.run(&TaskPool::shared());
+
+        jobsCompleted += static_cast<uint64_t>(rep.jobsCompleted);
+        kills += static_cast<uint64_t>(rep.kills);
+        restores += static_cast<uint64_t>(rep.restores);
+        driftSpikes += static_cast<uint64_t>(rep.driftSpikes);
+        floods += static_cast<uint64_t>(rep.floods);
+        skewed += static_cast<uint64_t>(rep.skewed);
+        if (rep.replayVerified)
+            ++replaysVerified;
+        total.jobsAdmitted += rep.counters.jobsAdmitted;
+        total.jobsRejected += rep.counters.jobsRejected;
+        total.jobsCoalesced += rep.counters.jobsCoalesced;
+        total.cacheHits += rep.counters.cacheHits;
+        total.workItems += rep.counters.workItems;
+        total.shardsExecuted += rep.counters.shardsExecuted;
+        total.shardsRequeued += rep.counters.shardsRequeued;
+        total.shotsExecuted += rep.counters.shotsExecuted;
+
+        if (!rep.violations.empty()) {
+            ++schedulesFailed;
+            totalViolations += rep.violations.size();
+            for (const replay::Violation &v : rep.violations)
+                ++byInvariant[v.invariant];
+            std::fprintf(stderr, "seed %llu: %zu violation(s)\n",
+                         static_cast<unsigned long long>(co.seed),
+                         rep.violations.size());
+            for (const replay::Violation &v : rep.violations)
+                std::fprintf(stderr, "  [%s] %s\n",
+                             v.invariant.c_str(), v.detail.c_str());
+            if (firstOffendingSeed < 0) {
+                firstOffendingSeed =
+                    static_cast<long long>(co.seed);
+                if (!journalOutPath.empty()) {
+                    std::FILE *jf =
+                        std::fopen(journalOutPath.c_str(), "w");
+                    if (jf) {
+                        const std::string text =
+                            engine.journal().serialize();
+                        std::fwrite(text.data(), 1, text.size(), jf);
+                        std::fclose(jf);
+                        std::printf(
+                            "wrote offending journal to %s\n",
+                            journalOutPath.c_str());
+                    }
+                }
+            }
+        }
+        if ((i + 1) % progressStep == 0 || i + 1 == schedules)
+            std::printf("  %6d/%d schedules, %llu violations\n",
+                        i + 1, schedules,
+                        static_cast<unsigned long long>(
+                            totalViolations));
+    }
+    const double wallS =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+
+    bench::heading("verdict");
+    std::printf("schedules %d  failed %d  violations %llu  "
+                "replays verified %llu  wall %.1fs\n",
+                schedules, schedulesFailed,
+                static_cast<unsigned long long>(totalViolations),
+                static_cast<unsigned long long>(replaysVerified),
+                wallS);
+    std::printf("jobs completed %llu  admitted %llu  rejected %llu  "
+                "coalesced %llu  cache hits %llu\n",
+                static_cast<unsigned long long>(jobsCompleted),
+                static_cast<unsigned long long>(total.jobsAdmitted),
+                static_cast<unsigned long long>(total.jobsRejected),
+                static_cast<unsigned long long>(total.jobsCoalesced),
+                static_cast<unsigned long long>(total.cacheHits));
+    std::printf("kills %llu  restores %llu  drift spikes %llu  "
+                "floods %llu  skewed submits %llu  requeued shards "
+                "%llu\n",
+                static_cast<unsigned long long>(kills),
+                static_cast<unsigned long long>(restores),
+                static_cast<unsigned long long>(driftSpikes),
+                static_cast<unsigned long long>(floods),
+                static_cast<unsigned long long>(skewed),
+                static_cast<unsigned long long>(total.shardsRequeued));
+
+    if (!outPath.empty()) {
+        std::FILE *f = std::fopen(outPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"chaos_storm\",\n"
+            "  \"seed\": %llu,\n"
+            "  \"schedules\": %d,\n"
+            "  \"threads\": %d,\n"
+            "  \"violations\": %llu,\n"
+            "  \"schedules_failed\": %d,\n"
+            "  \"first_offending_seed\": %lld,\n"
+            "  \"violations_by_invariant\": {",
+            static_cast<unsigned long long>(seed), schedules,
+            TaskPool::shared().threadCount(),
+            static_cast<unsigned long long>(totalViolations),
+            schedulesFailed, firstOffendingSeed);
+        bool first = true;
+        for (const auto &kv : byInvariant) {
+            std::fprintf(f, "%s\n    \"%s\": %llu",
+                         first ? "" : ",", kv.first.c_str(),
+                         static_cast<unsigned long long>(kv.second));
+            first = false;
+        }
+        std::fprintf(
+            f,
+            "%s},\n"
+            "  \"replays_verified\": %llu,\n"
+            "  \"jobs_completed\": %llu,\n"
+            "  \"jobs_admitted\": %llu,\n"
+            "  \"jobs_rejected\": %llu,\n"
+            "  \"jobs_coalesced\": %llu,\n"
+            "  \"cache_hits\": %llu,\n"
+            "  \"work_items\": %llu,\n"
+            "  \"shards_executed\": %llu,\n"
+            "  \"shards_requeued\": %llu,\n"
+            "  \"shots_executed\": %llu,\n"
+            "  \"kills\": %llu,\n"
+            "  \"restores\": %llu,\n"
+            "  \"drift_spikes\": %llu,\n"
+            "  \"floods\": %llu,\n"
+            "  \"skewed_submits\": %llu,\n"
+            "  \"wall_seconds\": %.6f\n"
+            "}\n",
+            byInvariant.empty() ? "" : "\n  ",
+            static_cast<unsigned long long>(replaysVerified),
+            static_cast<unsigned long long>(jobsCompleted),
+            static_cast<unsigned long long>(total.jobsAdmitted),
+            static_cast<unsigned long long>(total.jobsRejected),
+            static_cast<unsigned long long>(total.jobsCoalesced),
+            static_cast<unsigned long long>(total.cacheHits),
+            static_cast<unsigned long long>(total.workItems),
+            static_cast<unsigned long long>(total.shardsExecuted),
+            static_cast<unsigned long long>(total.shardsRequeued),
+            static_cast<unsigned long long>(total.shotsExecuted),
+            static_cast<unsigned long long>(kills),
+            static_cast<unsigned long long>(restores),
+            static_cast<unsigned long long>(driftSpikes),
+            static_cast<unsigned long long>(floods),
+            static_cast<unsigned long long>(skewed), wallS);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", outPath.c_str());
+    }
+    return totalViolations > 0 ? 1 : 0;
+}

@@ -30,11 +30,12 @@
  *   bench_service_throughput [--tenants N] [--rounds N] [--shots N]
  *                            [--depth N] [--ttl H] [--fail]
  *                            [--clock virtual|steady] [--timescale S]
- *                            [--out FILE]
+ *                            [--seed S] [--out FILE]
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -60,6 +61,7 @@ main(int argc, char **argv)
     bool fail = false;
     std::string clockMode = "virtual";
     double timescaleS = 0.05; // wall seconds per model hour (steady)
+    uint64_t seed = 2026;     // node root seed; echoed in every report
     std::string outPath;
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) {
@@ -85,6 +87,8 @@ main(int argc, char **argv)
             clockMode = next("--clock");
         else if (!std::strcmp(argv[i], "--timescale"))
             timescaleS = std::atof(next("--timescale"));
+        else if (!std::strcmp(argv[i], "--seed"))
+            seed = std::strtoull(next("--seed"), nullptr, 10);
         else if (!std::strcmp(argv[i], "--out"))
             outPath = next("--out");
         else {
@@ -99,9 +103,11 @@ main(int argc, char **argv)
 
     bench::banner("eqc::serve closed-loop throughput");
     std::printf(
-        "tenants=%d rounds=%d shots=%d threads=%d fail=%d clock=%s\n",
+        "tenants=%d rounds=%d shots=%d threads=%d fail=%d clock=%s "
+        "seed=%llu\n",
         tenants, rounds, shots, TaskPool::shared().threadCount(),
-        fail ? 1 : 0, clockMode.c_str());
+        fail ? 1 : 0, clockMode.c_str(),
+        static_cast<unsigned long long>(seed));
 
     SteadyClock steady(timescaleS);
     Clock *clock = clockMode == "steady"
@@ -109,7 +115,7 @@ main(int argc, char **argv)
                        : nullptr; // node default: VirtualClock
 
     ServiceOptions opts;
-    opts.seed = 2026;
+    opts.seed = seed;
     opts.resultCacheTtlH = ttlH;
     if (depth > 0)
         opts.admission.maxQueueDepth =
@@ -246,6 +252,7 @@ main(int argc, char **argv)
             "  \"tenants\": %d,\n"
             "  \"rounds\": %d,\n"
             "  \"shots\": %d,\n"
+            "  \"seed\": %llu,\n"
             "  \"threads\": %d,\n"
             "  \"queue_depth_limit\": %d,\n"
             "  \"cache_ttl_h\": %.3f,\n"
@@ -274,6 +281,7 @@ main(int argc, char **argv)
             "  \"shots_executed\": %llu,\n"
             "  \"member_shots\": [",
             clockMode.c_str(), timescaleS, tenants, rounds, shots,
+            static_cast<unsigned long long>(seed),
             TaskPool::shared().threadCount(),
             depth > 0 ? depth
                       : static_cast<int>(opts.admission.maxQueueDepth),

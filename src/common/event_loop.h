@@ -28,6 +28,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -151,6 +152,18 @@ class EventLoop
 
     /** Pending (not yet fired) events. */
     std::size_t pending() const { return queue_.size(); }
+
+    /**
+     * Model hour of the earliest pending event; +infinity when the
+     * queue is empty. Chaos/test harnesses use this to aim fault
+     * injections at the window a drain is about to execute.
+     */
+    double nextTimeH() const
+    {
+        return queue_.empty()
+                   ? std::numeric_limits<double>::infinity()
+                   : queue_.top().time;
+    }
 
   private:
     struct Event

@@ -18,6 +18,17 @@ clampError(double e)
 
 } // namespace
 
+DriftParams
+DriftParams::spiked(double ratePerHour, double severity) const
+{
+    DriftParams p = *this;
+    if (ratePerHour >= 0.0)
+        p.incidentRatePerHour = ratePerHour;
+    if (severity >= 0.0)
+        p.incidentSeverity = severity;
+    return p;
+}
+
 CalibrationTracker::CalibrationTracker(CalibrationSnapshot base,
                                        DriftParams params, Rng rng)
     : base_(std::move(base)), params_(params)

@@ -68,6 +68,15 @@ struct DriftParams
     double latentSigma = 0.40;
     /** Precomputation horizon. */
     double horizonH = 2400.0;
+
+    /**
+     * Copy of these params with instability incidents dialed up to
+     * @p ratePerHour / @p severity — the chaos harness's calibration
+     * drift spike, flowing through the normal noise-context path
+     * (Poisson incident timeline, Sec. II-B "deleterious running
+     * conditions"). Values < 0 leave the respective knob unchanged.
+     */
+    DriftParams spiked(double ratePerHour, double severity) const;
 };
 
 /** Deterministic per-device calibration/drift timeline. */

@@ -1,0 +1,540 @@
+#include "replay/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+#include "device/catalog.h"
+#include "replay/replayer.h"
+#include "serve/aggregator.h"
+#include "serve/service_node.h"
+#include "vqa/problem.h"
+
+namespace eqc {
+namespace replay {
+
+// ---------------------------------------------------------------------------
+// Invariant checker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Key of one dispatched shard: (work uid, shard seq). */
+using ShardKey = std::pair<uint64_t, int>;
+
+struct ShardTrace
+{
+    const EventRecord *dispatch = nullptr;
+    const EventRecord *resolve = nullptr;
+};
+
+void
+flag(std::vector<Violation> &v, const char *invariant,
+     std::string detail)
+{
+    v.push_back(Violation{invariant, std::move(detail)});
+}
+
+} // namespace
+
+std::vector<Violation>
+InvariantChecker::check(const EventJournal &journal)
+{
+    std::vector<Violation> v;
+    const JournalConfig &cfg = journal.config;
+    const std::size_t numMembers = cfg.devices.size();
+
+    std::unordered_map<uint64_t, const EventRecord *> admits;
+    std::unordered_map<uint64_t, const EventRecord *> finals;
+    // (uid, seq) -> dispatch/resolution trace, ordered for replay of
+    // the aggregation (std::map iterates uid asc, seq asc).
+    std::map<ShardKey, ShardTrace> shards;
+    // First executed (non-cache) Finalize per work uid: the aggregate
+    // every rider of the item shares.
+    std::unordered_map<uint64_t, const EventRecord *> itemFinal;
+    // Capacity rejections grouped by (hint-hour bits, health epoch):
+    // within one group the hint is a pure function of depth, so it
+    // must be strictly monotone. Member kills/restores change the
+    // alive set the hint minimizes over, hence the epoch split.
+    std::map<std::pair<uint64_t, int>,
+             std::vector<std::pair<int, double>>>
+        rejectGroups;
+    // Energies of executed aggregates stored so far (cache sources).
+    std::set<uint64_t> executedEnergyBits;
+    std::vector<double> failAtH(
+        numMembers, std::numeric_limits<double>::infinity());
+    int healthEpoch = 0;
+    bool sawMemberFail = false;
+
+    for (const EventRecord &r : journal.records()) {
+        switch (r.kind) {
+        case EventKind::Admit:
+            if (!admits.emplace(r.jobId, &r).second)
+                flag(v, "admitted-completes",
+                     "job " + std::to_string(r.jobId) +
+                         " admitted twice");
+            break;
+        case EventKind::Reject: {
+            const bool capacity =
+                r.status ==
+                    static_cast<int>(
+                        serve::AdmitStatus::RejectedQueueFull) ||
+                r.status ==
+                    static_cast<int>(
+                        serve::AdmitStatus::RejectedTenantQuota);
+            if (!capacity)
+                break;
+            if (!(r.retryAfterS > 0.0))
+                flag(v, "backpressure-monotone",
+                     "capacity rejection at t=" +
+                         std::to_string(r.tH) +
+                         " carries a non-positive retry-after of " +
+                         std::to_string(r.retryAfterS) + "s");
+            rejectGroups[{doubleBits(r.tH), healthEpoch}].push_back(
+                {r.depth, r.retryAfterS});
+            break;
+        }
+        case EventKind::MemberFail:
+            sawMemberFail = true;
+            ++healthEpoch;
+            if (r.member < 0 ||
+                static_cast<std::size_t>(r.member) >= numMembers) {
+                flag(v, "no-zombie-shards",
+                     "member_fail names member " +
+                         std::to_string(r.member) +
+                         " outside the configured ensemble");
+                break;
+            }
+            failAtH[static_cast<std::size_t>(r.member)] = r.atH;
+            break;
+        case EventKind::MemberRestore:
+            ++healthEpoch;
+            if (r.member >= 0 &&
+                static_cast<std::size_t>(r.member) < numMembers)
+                failAtH[static_cast<std::size_t>(r.member)] =
+                    std::numeric_limits<double>::infinity();
+            break;
+        case EventKind::Dispatch: {
+            ShardTrace &t = shards[{r.workUid, r.seq}];
+            if (t.dispatch)
+                flag(v, "dispatch-resolution",
+                     "shard (" + std::to_string(r.workUid) + "," +
+                         std::to_string(r.seq) +
+                         ") dispatched twice");
+            t.dispatch = &r;
+            break;
+        }
+        case EventKind::ShardDone:
+        case EventKind::ShardFail: {
+            ShardTrace &t = shards[{r.workUid, r.seq}];
+            if (t.resolve)
+                flag(v, "dispatch-resolution",
+                     "shard (" + std::to_string(r.workUid) + "," +
+                         std::to_string(r.seq) +
+                         ") resolved twice");
+            t.resolve = &r;
+            if (r.kind == EventKind::ShardDone && r.member >= 0 &&
+                static_cast<std::size_t>(r.member) < numMembers &&
+                r.doneH >= failAtH[static_cast<std::size_t>(r.member)])
+                flag(v, "no-zombie-shards",
+                     "shard (" + std::to_string(r.workUid) + "," +
+                         std::to_string(r.seq) +
+                         ") completed at h=" + std::to_string(r.doneH) +
+                         " on member " + std::to_string(r.member) +
+                         " killed at h=" +
+                         std::to_string(failAtH[static_cast<
+                             std::size_t>(r.member)]));
+            break;
+        }
+        case EventKind::CacheHit:
+            if (cfg.cacheTtlH <= 0.0)
+                flag(v, "cache-freshness",
+                     "cache hit recorded with reuse disabled "
+                     "(ttl <= 0)");
+            else if (r.tH - r.storedAtH > cfg.cacheTtlH)
+                flag(v, "cache-freshness",
+                     "work " + std::to_string(r.workUid) +
+                         " served an entry aged " +
+                         std::to_string(r.tH - r.storedAtH) +
+                         "h against a TTL of " +
+                         std::to_string(cfg.cacheTtlH) + "h");
+            if (r.servedShots < r.shots)
+                flag(v, "cache-freshness",
+                     "work " + std::to_string(r.workUid) +
+                         " served " + std::to_string(r.servedShots) +
+                         " cached shots for a " +
+                         std::to_string(r.shots) + "-shot request");
+            if (!executedEnergyBits.count(doubleBits(r.energy)))
+                flag(v, "cache-freshness",
+                     "work " + std::to_string(r.workUid) +
+                         " served energy " + hexBits(r.energy) +
+                         " that no earlier execution stored");
+            break;
+        case EventKind::Finalize:
+            if (!finals.emplace(r.jobId, &r).second)
+                flag(v, "admitted-completes",
+                     "job " + std::to_string(r.jobId) +
+                         " finalized twice");
+            if (!r.fromCache) {
+                itemFinal.emplace(r.workUid, &r);
+                executedEnergyBits.insert(doubleBits(r.energy));
+            }
+            break;
+        default:
+            break;
+        }
+    }
+
+    // I1: every admitted job finalizes, with its full shot budget
+    // unless degraded — and degradation implies a member failure.
+    for (const auto &kv : admits) {
+        auto it = finals.find(kv.first);
+        if (it == finals.end()) {
+            flag(v, "admitted-completes",
+                 "job " + std::to_string(kv.first) +
+                     " was admitted but never finalized");
+            continue;
+        }
+        const EventRecord &fin = *it->second;
+        if (!fin.degraded && fin.shots < kv.second->shots)
+            flag(v, "admitted-completes",
+                 "job " + std::to_string(kv.first) + " requested " +
+                     std::to_string(kv.second->shots) +
+                     " shots but finalized undegraded with " +
+                     std::to_string(fin.shots));
+        if (fin.degraded && !sawMemberFail)
+            flag(v, "admitted-completes",
+                 "job " + std::to_string(kv.first) +
+                     " degraded without any member failure on "
+                     "record");
+    }
+    for (const auto &kv : finals)
+        if (!admits.count(kv.first))
+            flag(v, "admitted-completes",
+                 "job " + std::to_string(kv.first) +
+                     " finalized without an admission record");
+
+    // I2: within one (instant, health-epoch) group, retry-after hints
+    // strictly increase with the observed backlog depth.
+    for (auto &kv : rejectGroups) {
+        auto &g = kv.second;
+        std::sort(g.begin(), g.end(),
+                  [](const std::pair<int, double> &a,
+                     const std::pair<int, double> &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second < b.second;
+                  });
+        for (std::size_t i = 1; i < g.size(); ++i) {
+            const bool deeper = g[i].first > g[i - 1].first;
+            const bool ok = deeper
+                                ? g[i].second > g[i - 1].second
+                                : bitEqual(g[i].second, g[i - 1].second);
+            if (!ok)
+                flag(v, "backpressure-monotone",
+                     "retry-after " + std::to_string(g[i].second) +
+                         "s at depth " + std::to_string(g[i].first) +
+                         " does not dominate " +
+                         std::to_string(g[i - 1].second) +
+                         "s at depth " +
+                         std::to_string(g[i - 1].first));
+        }
+    }
+
+    // I6 + I4: every dispatch resolves exactly once and matches its
+    // plan; re-aggregating the survivors (failed shards never enter,
+    // so survivor weights renormalize to 1 by construction) must
+    // reproduce the finalized aggregate bit for bit.
+    uint64_t openUid = 0;
+    serve::Aggregator agg(
+        static_cast<serve::AggregationMode>(cfg.aggregation));
+    auto finishUid = [&](uint64_t uid, serve::Aggregator &a) {
+        auto it = itemFinal.find(uid);
+        if (it == itemFinal.end())
+            return;
+        const EventRecord &fin = *it->second;
+        if (!bitEqual(a.energy(), fin.energy))
+            flag(v, "survivor-renormalization",
+                 "work " + std::to_string(uid) + ": re-aggregated " +
+                     hexBits(a.energy()) + " vs finalized " +
+                     hexBits(fin.energy));
+        if (!bitEqual(a.variance(), fin.variance))
+            flag(v, "survivor-renormalization",
+                 "work " + std::to_string(uid) +
+                     ": variance diverges (" + hexBits(a.variance()) +
+                     " vs " + hexBits(fin.variance) + ")");
+        if (!bitEqual(a.pCorrect(), fin.pCorrect))
+            flag(v, "survivor-renormalization",
+                 "work " + std::to_string(uid) +
+                     ": pCorrect diverges (" + hexBits(a.pCorrect()) +
+                     " vs " + hexBits(fin.pCorrect) + ")");
+        if (!bitEqual(a.completeH(), fin.doneH))
+            flag(v, "survivor-renormalization",
+                 "work " + std::to_string(uid) +
+                     ": completion hour diverges");
+        if (a.shotsExecuted() != fin.shots ||
+            a.shardsExecuted() != fin.shardsRun ||
+            a.circuitsRun() != fin.circuits)
+            flag(v, "survivor-renormalization",
+                 "work " + std::to_string(uid) +
+                     ": shot/shard/circuit totals diverge from the "
+                     "finalized outcome");
+    };
+    for (const auto &kv : shards) {
+        const uint64_t uid = kv.first.first;
+        const ShardTrace &t = kv.second;
+        if (uid != openUid) {
+            if (openUid)
+                finishUid(openUid, agg);
+            openUid = uid;
+            agg = serve::Aggregator(
+                static_cast<serve::AggregationMode>(cfg.aggregation));
+        }
+        if (!t.dispatch) {
+            flag(v, "dispatch-resolution",
+                 "shard (" + std::to_string(uid) + "," +
+                     std::to_string(kv.first.second) +
+                     ") resolved without a dispatch");
+            continue;
+        }
+        if (!t.resolve) {
+            flag(v, "dispatch-resolution",
+                 "shard (" + std::to_string(uid) + "," +
+                     std::to_string(kv.first.second) +
+                     ") dispatched but never resolved");
+            continue;
+        }
+        if (t.resolve->member != t.dispatch->member ||
+            t.resolve->shots != t.dispatch->shots)
+            flag(v, "dispatch-resolution",
+                 "shard (" + std::to_string(uid) + "," +
+                     std::to_string(kv.first.second) +
+                     ") resolved with a member/shots pair different "
+                     "from its dispatch");
+        serve::ShardResult s;
+        s.member = t.resolve->member;
+        s.shots = t.resolve->shots;
+        s.failed = t.resolve->kind == EventKind::ShardFail;
+        s.pCorrect = t.resolve->pCorrect;
+        s.energy = t.resolve->energy;
+        s.variance = t.resolve->variance;
+        s.completeH = t.resolve->doneH;
+        s.circuitsRun = t.resolve->circuits;
+        agg.add(s);
+    }
+    if (openUid)
+        finishUid(openUid, agg);
+    // Executed items that planned no shard at all (every member dead
+    // at intake) still finalize; their aggregate must be the empty
+    // one.
+    for (const auto &kv : itemFinal) {
+        if (shards.lower_bound({kv.first, 0}) != shards.end() &&
+            shards.lower_bound({kv.first, 0})->first.first ==
+                kv.first)
+            continue;
+        serve::Aggregator empty(
+            static_cast<serve::AggregationMode>(cfg.aggregation));
+        finishUid(kv.first, empty);
+    }
+
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos engine
+// ---------------------------------------------------------------------------
+
+ChaosReport
+ChaosEngine::run(TaskPool *pool)
+{
+    const ChaosOptions &o = opts_;
+    journal_ = EventJournal();
+    ChaosReport rep;
+    rep.seed = o.seed;
+
+    Rng rng = Rng(o.seed).fork("chaos");
+
+    // Draw a distinct random lineup from the evaluation catalog and
+    // dial some members' drift incidents up (the spike travels into
+    // the journal config so replays rebuild the same timelines).
+    std::vector<Device> catalog = evaluationEnsemble();
+    const int members =
+        std::max(1, std::min<int>(o.members,
+                                  static_cast<int>(catalog.size())));
+    std::vector<int> idx(catalog.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::vector<Device> devices;
+    std::vector<DeviceSpec> specs;
+    for (int i = 0; i < members; ++i) {
+        const int j =
+            rng.uniformInt(i, static_cast<int>(idx.size()) - 1);
+        std::swap(idx[static_cast<std::size_t>(i)],
+                  idx[static_cast<std::size_t>(j)]);
+        Device dev = catalog[static_cast<std::size_t>(
+            idx[static_cast<std::size_t>(i)])];
+        DeviceSpec spec;
+        spec.name = dev.name;
+        if (rng.bernoulli(o.driftSpikeProb)) {
+            spec.spikeRatePerHour = rng.uniform(0.3, 2.0);
+            spec.spikeSeverity = rng.uniform(3.0, 10.0);
+            dev.drift = dev.drift.spiked(spec.spikeRatePerHour,
+                                         spec.spikeSeverity);
+            ++rep.driftSpikes;
+        }
+        devices.push_back(std::move(dev));
+        specs.push_back(std::move(spec));
+    }
+
+    serve::ServiceOptions so;
+    so.seed = splitmix64(o.seed ^ 0xC4A05EEDull);
+    so.resultCacheTtlH = o.cacheTtlH;
+    so.admission.maxQueueDepth = o.queueDepth;
+    so.admission.maxQueuedPerTenant = o.tenantQuota;
+    so.scheduler.minShardShots = 32;
+    static const serve::AggregationMode modes[] = {
+        serve::AggregationMode::FidelityWeighted,
+        serve::AggregationMode::EquiWeighted,
+        serve::AggregationMode::MajorityVote,
+    };
+    so.aggregation = modes[o.seed % 3];
+
+    serve::ServiceNode node(devices, so);
+    journal_.config = describeNode(
+        so, specs,
+        {{"heisenberg_vqe", 7}, {"ring_maxcut_qaoa", 7}});
+    node.setJournalSink(&journal_);
+
+    VqaProblem vqe = problemByName("heisenberg_vqe", 7);
+    VqaProblem qaoa = problemByName("ring_maxcut_qaoa", 7);
+    const serve::WorkloadId wVqe =
+        node.registerWorkload(vqe.ansatz, vqe.hamiltonian);
+    const serve::WorkloadId wQaoa =
+        node.registerWorkload(qaoa.ansatz, qaoa.hamiltonian);
+
+    std::vector<bool> dead(static_cast<std::size_t>(members), false);
+    const int pairs = (o.tenants + 1) / 2;
+    std::vector<int> lastRoundKey(static_cast<std::size_t>(pairs), -1);
+    double baseH = 0.0;
+    const int shotSteps = std::max(1, o.maxShots / 64);
+
+    for (int round = 0; round < o.rounds; ++round) {
+        // Probabilistic restores first: a member brought back before
+        // the round's submissions is eligible for planning again.
+        for (int m = 0; m < members; ++m) {
+            if (dead[static_cast<std::size_t>(m)] &&
+                rng.bernoulli(o.restoreProb)) {
+                node.restoreMember(static_cast<std::size_t>(m));
+                dead[static_cast<std::size_t>(m)] = false;
+                ++rep.restores;
+            }
+        }
+
+        // Per-pair round keys: a pair resubmitting an earlier round's
+        // binding walks into the result cache; otherwise the pair's
+        // two tenants still share a binding and coalesce.
+        std::vector<int> roundKey(static_cast<std::size_t>(pairs),
+                                  round);
+        for (int p = 0; p < pairs; ++p) {
+            if (lastRoundKey[static_cast<std::size_t>(p)] >= 0 &&
+                rng.bernoulli(o.repeatProb))
+                roundKey[static_cast<std::size_t>(p)] =
+                    lastRoundKey[static_cast<std::size_t>(p)];
+            lastRoundKey[static_cast<std::size_t>(p)] =
+                roundKey[static_cast<std::size_t>(p)];
+        }
+
+        // Normal traffic: pairs of tenants submit identical bindings.
+        for (int t = 0; t < o.tenants; ++t) {
+            const int pair = t / 2;
+            const bool useQaoa = pair % 2 == 1;
+            const VqaProblem &prob = useQaoa ? qaoa : vqe;
+            serve::JobRequest req;
+            req.tenantId = t;
+            req.workload = useQaoa ? wQaoa : wVqe;
+            req.params = prob.initialParams;
+            req.params[0] += 0.13 * pair;
+            req.params.back() +=
+                0.037 * roundKey[static_cast<std::size_t>(pair)];
+            req.shots = 64 * rng.uniformInt(1, shotSteps);
+            req.priority = rng.uniformInt(0, 2);
+            req.submitH = baseH + rng.uniform(0.0, 0.05);
+            if (rng.bernoulli(o.skewProb)) {
+                // Clock-skewed burst: a submitter claiming an hour
+                // already in the past (clamped to now) or far ahead.
+                req.submitH =
+                    rng.bernoulli(0.5)
+                        ? std::max(0.0,
+                                   baseH - rng.uniform(0.0, 0.3))
+                        : baseH + rng.uniform(0.3, 0.8);
+                ++rep.skewed;
+            }
+            node.submit(req);
+        }
+
+        // Tenant flood: one tenant hammers the door far past both the
+        // node-wide depth and its own quota.
+        if (rng.bernoulli(o.floodProb)) {
+            ++rep.floods;
+            serve::JobRequest flood;
+            flood.tenantId = rng.uniformInt(0, o.tenants - 1);
+            flood.workload = wVqe;
+            flood.params = vqe.initialParams;
+            flood.shots = 64;
+            flood.priority = 0;
+            flood.submitH = baseH;
+            const int burst = static_cast<int>(o.queueDepth) + 4;
+            for (int i = 0; i < burst; ++i)
+                node.submit(flood);
+        }
+
+        // Kills aimed at the window the coming drain executes in:
+        // nextTimeH() is the earliest pending intake, so a kill hour
+        // shortly after it lands mid-run and forces requeues.
+        const double windowH =
+            std::isfinite(node.loop().nextTimeH())
+                ? node.loop().nextTimeH()
+                : baseH;
+        for (int m = 0; m < members; ++m) {
+            if (!dead[static_cast<std::size_t>(m)] &&
+                rng.bernoulli(o.killProb)) {
+                node.failMemberAt(static_cast<std::size_t>(m),
+                                  windowH + rng.uniform(0.0, 0.5));
+                dead[static_cast<std::size_t>(m)] = true;
+                ++rep.kills;
+            }
+        }
+
+        std::vector<serve::JobOutcome> out = node.drain(pool);
+        rep.jobsCompleted += static_cast<int>(out.size());
+        baseH = node.loop().now() + 0.01;
+    }
+
+    node.setJournalSink(nullptr);
+    rep.counters = node.counters();
+    rep.violations = InvariantChecker::check(journal_);
+
+    if (o.verifyReplay) {
+        std::string err;
+        EventJournal parsed =
+            EventJournal::parse(journal_.serialize(), &err);
+        if (!err.empty()) {
+            flag(rep.violations, "journal-roundtrip", err);
+        } else {
+            Replayer replayer(std::move(parsed));
+            ReplayResult rr = replayer.run(pool);
+            rep.replayVerified = true;
+            for (const std::string &m : rr.mismatches)
+                flag(rep.violations, "replay-divergence", m);
+        }
+    }
+    return rep;
+}
+
+} // namespace replay
+} // namespace eqc

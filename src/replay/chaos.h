@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Chaos harness for the serving layer: seeded fault-injection
+ * schedules plus a journal-auditing invariant suite.
+ *
+ * The paper's EQC keeps a VQA campaign alive through exactly the
+ * conditions this harness manufactures — members dropping mid-run,
+ * calibration falling off a cliff, demand spikes — via its
+ * monitoring/adjustment daemon. ChaosEngine plays the adversary: one
+ * seed deterministically composes
+ *
+ *  - randomized member kills (ServiceNode::failMemberAt) aimed with
+ *    EventLoop::nextTimeH() at the window the next drain executes,
+ *    plus probabilistic restores;
+ *  - calibration drift spikes (DriftParams::spiked incident storms)
+ *    flowing through the normal noise-context path;
+ *  - tenant floods against a deliberately tight admission policy,
+ *    exercising queue-full and per-tenant-quota rejections;
+ *  - clock-skewed submit bursts (past-clamped and far-future hours);
+ *  - coalescing tenant pairs and repeated bindings (cache hits).
+ *
+ * Every run records through an EventJournal, and InvariantChecker
+ * audits the record for the system's core guarantees:
+ *
+ *  I1 admitted-completes: every Admit has exactly one Finalize, with
+ *     the full requested shot budget unless the outcome is degraded —
+ *     and degradation only ever follows a member failure;
+ *  I2 backpressure-monotone: retry-after hints of capacity rejections
+ *     at the same instant (and member-health epoch) strictly increase
+ *     with observed backlog depth, and are always positive;
+ *  I3 cache-freshness: no CacheHit serves an entry past the TTL, with
+ *     fewer shots than requested, with reuse disabled, or with an
+ *     energy no prior execution produced;
+ *  I4 survivor-renormalization: re-aggregating each item's journaled
+ *     shard results (failed shards excluded, so survivor weights
+ *     renormalize to 1) reproduces the finalized energy/variance/
+ *     pCorrect bit-for-bit;
+ *  I5 no-zombie-shards: no shard completes at or after its member's
+ *     active kill hour;
+ *  I6 dispatch-resolution: every dispatched shard resolves exactly
+ *     once (completion xor failure timeout, matching member/shots).
+ *
+ * bench/chaos_storm.cc drives thousands of these schedules; a failing
+ * seed's journal replays through replay::Replayer for a local repro.
+ */
+
+#ifndef EQC_REPLAY_CHAOS_H
+#define EQC_REPLAY_CHAOS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "replay/journal.h"
+#include "serve/service.h"
+
+namespace eqc {
+
+class TaskPool;
+
+namespace replay {
+
+/** Knobs of one chaos schedule (all derived draws come from seed). */
+struct ChaosOptions
+{
+    uint64_t seed = 1;
+    /** Ensemble members drawn from the evaluation catalog. */
+    int members = 4;
+    int tenants = 6;
+    /** Submit/drain rounds per schedule. */
+    int rounds = 3;
+    /** Per-job shot budgets are multiples of 64 up to this. */
+    int maxShots = 256;
+    /** Per member per round: kill an alive member. */
+    double killProb = 0.35;
+    /** Per member per round: restore a killed member. */
+    double restoreProb = 0.5;
+    /** Per member at setup: dial its drift incidents up. */
+    double driftSpikeProb = 0.35;
+    /** Per round: one tenant floods the admission queue. */
+    double floodProb = 0.5;
+    /** Per submission: skew submitH into the past or far future. */
+    double skewProb = 0.25;
+    /** Per tenant pair per round: resubmit last round's binding. */
+    double repeatProb = 0.35;
+    /** Result-cache TTL (serving hours); > 0 so hits occur. */
+    double cacheTtlH = 0.4;
+    /** Deliberately tight admission: floods must bounce. */
+    std::size_t queueDepth = 10;
+    int tenantQuota = 3;
+    /** Also serialize->parse->replay the journal and cross-check. */
+    bool verifyReplay = false;
+};
+
+/** One invariant violation found in a journal. */
+struct Violation
+{
+    /** Invariant id, e.g. "admitted-completes". */
+    std::string invariant;
+    std::string detail;
+};
+
+/** Audits a journal against invariants I1..I6 (see file comment). */
+class InvariantChecker
+{
+  public:
+    static std::vector<Violation> check(const EventJournal &journal);
+};
+
+/** Summary of one chaos schedule. */
+struct ChaosReport
+{
+    uint64_t seed = 0;
+    int jobsCompleted = 0;
+    int kills = 0;
+    int restores = 0;
+    int driftSpikes = 0;
+    int floods = 0;
+    int skewed = 0;
+    serve::ServiceCounters counters;
+    std::vector<Violation> violations;
+    /** A serialize->parse->replay cross-check ran. */
+    bool replayVerified = false;
+
+    bool passed() const { return violations.empty(); }
+};
+
+/**
+ * Deterministic chaos-schedule generator/driver: same options (seed
+ * included) => same journal text, same report, for any TaskPool
+ * thread count. The journal of the last run() stays accessible for
+ * artifact dumps of failing seeds.
+ */
+class ChaosEngine
+{
+  public:
+    explicit ChaosEngine(ChaosOptions opts = {}) : opts_(opts) {}
+
+    /** Run one schedule; audits the journal before returning. */
+    ChaosReport run(TaskPool *pool = nullptr);
+
+    const EventJournal &journal() const { return journal_; }
+    const ChaosOptions &options() const { return opts_; }
+
+  private:
+    ChaosOptions opts_;
+    EventJournal journal_;
+};
+
+} // namespace replay
+} // namespace eqc
+
+#endif // EQC_REPLAY_CHAOS_H

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Deterministic replay journal for the serving layer.
+ *
+ * The paper's EQC runs a monitoring daemon that watches ensemble
+ * members and reacts to drift and failures at runtime; our ServiceNode
+ * has all of those reactions (mid-run kills, requeue onto survivors,
+ * retry-after backpressure, clock-stamped caches) and — under a
+ * VirtualClock — executes them bit-deterministically. This header
+ * turns that determinism into an operational artifact:
+ *
+ *  - EventRecord / EventKind: one compact timestamped record per
+ *    ServiceNode lifecycle event (admit, rejection with reason and
+ *    retry-after, coalesce, cache hit, shard dispatch, shard
+ *    completion, failure timeout, replan, member kill/restore, drain,
+ *    finalize).
+ *  - JournalSink: the observer interface ServiceNode publishes
+ *    records through. Attaching a sink is opt-in and zero-cost when
+ *    unset (a null-pointer check per event).
+ *  - EventJournal: a sink that buffers records next to a
+ *    JournalConfig describing how to rebuild the node (devices, drift
+ *    overrides, options, workloads), with a stable JSONL
+ *    serialization. Doubles round-trip *exactly* (%.17g), so a
+ *    journal parsed back from text replays to hex-bit-identical
+ *    results (replay::Replayer) and any failing chaos seed
+ *    reproduces from its journal artifact alone.
+ *
+ * This header depends only on the standard library: the serve layer
+ * includes it to publish records, and the replay layer's heavier
+ * pieces (Replayer, ChaosEngine, InvariantChecker) sit on top.
+ */
+
+#ifndef EQC_REPLAY_JOURNAL_H
+#define EQC_REPLAY_JOURNAL_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace eqc {
+namespace replay {
+
+/** ServiceNode lifecycle event taxonomy (see docs/ARCHITECTURE.md). */
+enum class EventKind {
+    /** Job admitted; carries the full request so replay can resubmit. */
+    Admit,
+    /** Job rejected; carries the reason, backlog depth and retry hint. */
+    Reject,
+    /** A popped job rode an already-open work item (same key). */
+    Coalesce,
+    /** A work item was answered from the ResultCache. */
+    CacheHit,
+    /** One shard planned onto a member (intake or requeue round). */
+    Dispatch,
+    /** A shard's completion event fired with a surviving result. */
+    ShardDone,
+    /** A shard's failure timeout fired (member died mid-shard). */
+    ShardFail,
+    /** A requeue round replanned lost shots (or gave up: exhausted). */
+    Replan,
+    /** failMemberAt(member, atH) was called. */
+    MemberFail,
+    /** restoreMember(member) was called. */
+    MemberRestore,
+    /** drain() started running the loop. */
+    Drain,
+    /** One rider's JobOutcome was produced. */
+    Finalize,
+};
+
+/** Stable wire name of @p kind (the JSONL "k" field). */
+const char *kindName(EventKind kind);
+
+/**
+ * One journal record. Sparse: each kind fills only the fields its
+ * serialization emits (see journal.cc); the rest keep their zero
+ * defaults. Times are serving-clock hours.
+ */
+struct EventRecord
+{
+    EventKind kind = EventKind::Drain;
+    /** Loop hour the event was recorded at. */
+    double tH = 0.0;
+
+    uint64_t jobId = 0;
+    uint64_t workUid = 0;
+    int tenant = 0;
+    int workload = -1;
+    int member = -1;
+    int shots = 0;
+    /** Shots the cached execution covered (CacheHit). */
+    int servedShots = 0;
+    int seq = 0;
+    /** Requeue round (Replan) / requeues (Finalize). */
+    int round = 0;
+    /** Shards planned this round (Replan). */
+    int planned = 0;
+    int circuits = 0;
+    /** Surviving shards aggregated (Finalize). */
+    int shardsRun = 0;
+    int priority = 0;
+    /** AdmitStatus as int (Reject). */
+    int status = 0;
+    /** Backlog depth observed (Reject) / member depth (Dispatch). */
+    int depth = 0;
+    /** Riders on the item (CacheHit). */
+    int riders = 0;
+
+    double submitH = 0.0;
+    /** Hour the member dies (MemberFail). */
+    double atH = 0.0;
+    /** Store stamp of the served cache entry (CacheHit). */
+    double storedAtH = 0.0;
+    /** Completion hour (ShardDone/Finalize). */
+    double doneH = 0.0;
+    double retryAfterS = 0.0;
+    double energy = 0.0;
+    double variance = 0.0;
+    double pCorrect = 0.0;
+
+    bool degraded = false;
+    bool fromCache = false;
+    bool coalesced = false;
+    /** Requeue gave up (Replan). */
+    bool exhausted = false;
+
+    /** Parameter binding (Admit/Reject; bitwise identity). */
+    std::vector<double> params;
+};
+
+/**
+ * Observer hook ServiceNode publishes lifecycle records through.
+ * record() is called on the submitting/loop thread only (never from
+ * parallel shard workers), so implementations need no locking when
+ * the node is driven single-threaded as usual.
+ */
+class JournalSink
+{
+  public:
+    virtual ~JournalSink() = default;
+    virtual void record(const EventRecord &r) = 0;
+};
+
+/** One ensemble member of a journaled node, by catalog name. */
+struct DeviceSpec
+{
+    std::string name;
+    /** Chaos drift-spike override; < 0 means no override. */
+    double spikeRatePerHour = -1.0;
+    double spikeSeverity = -1.0;
+};
+
+/** One registered workload, by problem-factory name. */
+struct WorkloadSpec
+{
+    std::string problem;
+    uint64_t initSeed = 7;
+};
+
+/**
+ * Everything needed to rebuild the recorded node: replayer-side
+ * mirror of serve::ServiceOptions (enums as ints; see
+ * replay::optionsFor) plus the device and workload lineup.
+ */
+struct JournalConfig
+{
+    int version = 1;
+    /** "virtual" or "steady" — bit-replay is meaningful for virtual. */
+    std::string clock = "virtual";
+    uint64_t seed = 1;
+    double cacheTtlH = 0.0;
+    uint64_t cacheCapacity = 256;
+    uint64_t maxQueueDepth = 1024;
+    int maxQueuedPerTenant = 64;
+    int maxShotsPerJob = 1 << 20;
+    int minShardShots = 64;
+    double minLatencyS = 1.0;
+    double warmBoost = 1.25;
+    /** serve::AggregationMode as int. */
+    int aggregation = 0;
+    /** ShotMode as int (Gaussian = 2). */
+    int shotMode = 2;
+    /** PCorrectMode as int. */
+    int pCorrectMode = 0;
+    bool readoutMitigation = true;
+    int maxRequeueRounds = 4;
+    uint64_t latencyReservoir = 4096;
+    /** Seed the device catalog was built with. */
+    uint64_t catalogSeed = 2022;
+    std::vector<DeviceSpec> devices;
+    std::vector<WorkloadSpec> workloads;
+};
+
+/**
+ * Buffering JournalSink with a stable JSONL serialization: one flat
+ * JSON object per line, config/device/workload pseudo-records first,
+ * then the event records in publication order. serialize() and
+ * parse() round-trip exactly (doubles printed with %.17g), so
+ * parse(serialize()) compares bit-equal field by field.
+ */
+class EventJournal final : public JournalSink
+{
+  public:
+    JournalConfig config;
+
+    void record(const EventRecord &r) override
+    {
+        records_.push_back(r);
+    }
+
+    const std::vector<EventRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    void clear() { records_.clear(); }
+
+    /** JSONL text of the config and every record. */
+    std::string serialize() const;
+
+    /**
+     * Parse JSONL produced by serialize(). On malformed input @p err
+     * (if non-null) receives a message and the journal returned holds
+     * whatever parsed cleanly before the error.
+     */
+    static EventJournal parse(const std::string &text,
+                              std::string *err = nullptr);
+
+  private:
+    std::vector<EventRecord> records_;
+};
+
+/** Bit pattern of a double (journal identity is bitwise). */
+inline uint64_t
+doubleBits(double v)
+{
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+/** Bitwise double equality (distinguishes -0.0, compares NaN equal). */
+inline bool
+bitEqual(double a, double b)
+{
+    return doubleBits(a) == doubleBits(b);
+}
+
+/** "0x..." hex of a double's bit pattern (mismatch diagnostics). */
+std::string hexBits(double v);
+
+} // namespace replay
+} // namespace eqc
+
+#endif // EQC_REPLAY_JOURNAL_H

@@ -1,0 +1,240 @@
+#include "replay/replayer.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "core/weighting.h"
+#include "vqa/expectation.h"
+
+namespace eqc {
+namespace replay {
+
+// ---------------------------------------------------------------------------
+// Config <-> serve bridges
+// ---------------------------------------------------------------------------
+
+serve::ServiceOptions
+optionsFor(const JournalConfig &c)
+{
+    serve::ServiceOptions o;
+    o.admission.maxQueueDepth =
+        static_cast<std::size_t>(c.maxQueueDepth);
+    o.admission.maxQueuedPerTenant = c.maxQueuedPerTenant;
+    o.admission.maxShotsPerJob = c.maxShotsPerJob;
+    o.scheduler.minShardShots = c.minShardShots;
+    o.scheduler.minLatencyS = c.minLatencyS;
+    o.scheduler.warmBoost = c.warmBoost;
+    o.aggregation = static_cast<serve::AggregationMode>(c.aggregation);
+    o.shotMode = static_cast<ShotMode>(c.shotMode);
+    o.pCorrectMode = static_cast<PCorrectMode>(c.pCorrectMode);
+    o.readoutMitigation = c.readoutMitigation;
+    o.maxRequeueRounds = c.maxRequeueRounds;
+    o.resultCacheTtlH = c.cacheTtlH;
+    o.resultCacheCapacity =
+        static_cast<std::size_t>(c.cacheCapacity);
+    o.latencyReservoir = static_cast<std::size_t>(c.latencyReservoir);
+    o.seed = c.seed;
+    return o;
+}
+
+std::vector<Device>
+devicesFor(const JournalConfig &c)
+{
+    std::vector<Device> devices;
+    devices.reserve(c.devices.size());
+    for (const DeviceSpec &spec : c.devices) {
+        Device dev = deviceByName(spec.name, c.catalogSeed);
+        if (spec.spikeRatePerHour >= 0.0 || spec.spikeSeverity >= 0.0)
+            dev.drift = dev.drift.spiked(spec.spikeRatePerHour,
+                                         spec.spikeSeverity);
+        devices.push_back(std::move(dev));
+    }
+    return devices;
+}
+
+JournalConfig
+describeNode(const serve::ServiceOptions &o,
+             std::vector<DeviceSpec> devices,
+             std::vector<WorkloadSpec> workloads)
+{
+    JournalConfig c;
+    c.clock = "virtual";
+    c.seed = o.seed;
+    c.cacheTtlH = o.resultCacheTtlH;
+    c.cacheCapacity = o.resultCacheCapacity;
+    c.maxQueueDepth = o.admission.maxQueueDepth;
+    c.maxQueuedPerTenant = o.admission.maxQueuedPerTenant;
+    c.maxShotsPerJob = o.admission.maxShotsPerJob;
+    c.minShardShots = o.scheduler.minShardShots;
+    c.minLatencyS = o.scheduler.minLatencyS;
+    c.warmBoost = o.scheduler.warmBoost;
+    c.aggregation = static_cast<int>(o.aggregation);
+    c.shotMode = static_cast<int>(o.shotMode);
+    c.pCorrectMode = static_cast<int>(o.pCorrectMode);
+    c.readoutMitigation = o.readoutMitigation;
+    c.maxRequeueRounds = o.maxRequeueRounds;
+    c.latencyReservoir = o.latencyReservoir;
+    c.devices = std::move(devices);
+    c.workloads = std::move(workloads);
+    return c;
+}
+
+VqaProblem
+problemByName(const std::string &name, uint64_t initSeed)
+{
+    if (name == "heisenberg_vqe")
+        return makeHeisenbergVqe(initSeed);
+    if (name == "ring_maxcut_qaoa")
+        return makeRingMaxCutQaoa(initSeed);
+    fatal("replay: unknown workload problem '" + name + "'");
+    return VqaProblem{}; // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string
+fieldMismatch(uint64_t jobId, const char *field, double got,
+              double want)
+{
+    return "job " + std::to_string(jobId) + ": " + field +
+           " replayed " + hexBits(got) + " recorded " + hexBits(want);
+}
+
+std::string
+intMismatch(uint64_t jobId, const char *field, long long got,
+            long long want)
+{
+    return "job " + std::to_string(jobId) + ": " + field +
+           " replayed " + std::to_string(got) + " recorded " +
+           std::to_string(want);
+}
+
+} // namespace
+
+ReplayResult
+Replayer::run(TaskPool *pool) const
+{
+    ReplayResult res;
+    const JournalConfig &c = journal_.config;
+    if (c.devices.empty()) {
+        res.mismatches.push_back("journal config lists no devices");
+        return res;
+    }
+
+    serve::ServiceNode node(devicesFor(c), optionsFor(c));
+    for (const WorkloadSpec &w : c.workloads) {
+        VqaProblem p = problemByName(w.problem, w.initSeed);
+        node.registerWorkload(p.ansatz, p.hamiltonian);
+    }
+
+    // Re-drive the recorded stimulus in publication order: requests
+    // (admitted and rejected alike — admission verdicts are part of
+    // the contract), member health transitions, and drains.
+    std::vector<serve::JobOutcome> outcomes;
+    for (const EventRecord &r : journal_.records()) {
+        switch (r.kind) {
+        case EventKind::Admit:
+        case EventKind::Reject: {
+            serve::JobRequest req;
+            req.tenantId = r.tenant;
+            req.workload = r.workload;
+            req.params = r.params;
+            req.shots = r.shots;
+            req.priority = r.priority;
+            req.submitH = r.submitH;
+            serve::Ticket t = node.submit(req);
+            if (static_cast<int>(t.status) != r.status)
+                res.mismatches.push_back(intMismatch(
+                    r.jobId, "admit status",
+                    static_cast<int>(t.status), r.status));
+            else if (r.kind == EventKind::Admit && t.jobId != r.jobId)
+                res.mismatches.push_back(
+                    intMismatch(r.jobId, "job id",
+                                static_cast<long long>(t.jobId),
+                                static_cast<long long>(r.jobId)));
+            break;
+        }
+        case EventKind::MemberFail:
+            node.failMemberAt(static_cast<std::size_t>(r.member),
+                              r.atH);
+            break;
+        case EventKind::MemberRestore:
+            node.restoreMember(static_cast<std::size_t>(r.member));
+            break;
+        case EventKind::Drain: {
+            std::vector<serve::JobOutcome> got = node.drain(pool);
+            outcomes.insert(outcomes.end(), got.begin(), got.end());
+            break;
+        }
+        default:
+            break; // derived records: verified via Finalize below
+        }
+    }
+    if (node.pendingJobs() > 0 || !node.loop().empty()) {
+        // Journals normally end on a drained loop; tolerate a live
+        // capture cut mid-stream by finishing the pending work.
+        std::vector<serve::JobOutcome> got = node.drain(pool);
+        outcomes.insert(outcomes.end(), got.begin(), got.end());
+    }
+
+    // Compare replayed outcomes against the recorded Finalize stream.
+    std::unordered_map<uint64_t, const EventRecord *> finals;
+    for (const EventRecord &r : journal_.records())
+        if (r.kind == EventKind::Finalize)
+            finals.emplace(r.jobId, &r);
+    for (const serve::JobOutcome &o : outcomes) {
+        auto it = finals.find(o.jobId);
+        if (it == finals.end()) {
+            res.mismatches.push_back(
+                "job " + std::to_string(o.jobId) +
+                ": replay produced an outcome the journal never "
+                "finalized");
+            continue;
+        }
+        const EventRecord &f = *it->second;
+        ++res.jobsCompared;
+        if (!bitEqual(o.energy, f.energy))
+            res.mismatches.push_back(
+                fieldMismatch(o.jobId, "energy", o.energy, f.energy));
+        if (!bitEqual(o.variance, f.variance))
+            res.mismatches.push_back(fieldMismatch(
+                o.jobId, "variance", o.variance, f.variance));
+        if (!bitEqual(o.pCorrect, f.pCorrect))
+            res.mismatches.push_back(fieldMismatch(
+                o.jobId, "pCorrect", o.pCorrect, f.pCorrect));
+        if (!bitEqual(o.completeH, f.doneH))
+            res.mismatches.push_back(fieldMismatch(
+                o.jobId, "completeH", o.completeH, f.doneH));
+        if (o.shotsExecuted != f.shots)
+            res.mismatches.push_back(intMismatch(
+                o.jobId, "shotsExecuted", o.shotsExecuted, f.shots));
+        if (o.shardsExecuted != f.shardsRun)
+            res.mismatches.push_back(
+                intMismatch(o.jobId, "shardsExecuted",
+                            o.shardsExecuted, f.shardsRun));
+        if (o.circuitsRun != f.circuits)
+            res.mismatches.push_back(intMismatch(
+                o.jobId, "circuitsRun", o.circuitsRun, f.circuits));
+        if (o.requeues != f.round)
+            res.mismatches.push_back(intMismatch(
+                o.jobId, "requeues", o.requeues, f.round));
+        if (o.degraded != f.degraded || o.fromCache != f.fromCache ||
+            o.coalesced != f.coalesced)
+            res.mismatches.push_back(
+                "job " + std::to_string(o.jobId) +
+                ": outcome flags diverge from the record");
+        finals.erase(it);
+    }
+    for (const auto &kv : finals)
+        res.mismatches.push_back(
+            "job " + std::to_string(kv.first) +
+            ": journal finalized it but the replay never did");
+    return res;
+}
+
+} // namespace replay
+} // namespace eqc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Journal-driven reconstruction of a ServiceNode run.
+ *
+ * A journal (replay/journal.h) is a complete causal record of one
+ * node's serving history: the config names the devices (with any
+ * chaos drift overrides), options and workloads; the Admit/Reject
+ * records carry every request verbatim; MemberFail/MemberRestore and
+ * Drain records pin the fault and drive schedule. Because the node is
+ * bit-deterministic under a VirtualClock, re-driving exactly that
+ * sequence through a freshly built node must reproduce every recorded
+ * outcome to the bit — the Replayer asserts it, field by field, with
+ * hex bit patterns in the mismatch diagnostics.
+ *
+ * That turns any production incident or failing chaos seed into a
+ * local repro: feed the journal artifact to the Replayer and the full
+ * lifecycle (coalescing, cache hits, kills, requeues) re-executes
+ * identically. This file also hosts the config<->serve bridges
+ * (optionsFor / devicesFor / describeNode / problemByName) so
+ * journal.h itself stays free of serve/device dependencies.
+ */
+
+#ifndef EQC_REPLAY_REPLAYER_H
+#define EQC_REPLAY_REPLAYER_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "device/catalog.h"
+#include "replay/journal.h"
+#include "serve/service_node.h"
+#include "vqa/problem.h"
+
+namespace eqc {
+
+class TaskPool;
+
+namespace replay {
+
+/** serve::ServiceOptions encoded by @p config (enums from ints). */
+serve::ServiceOptions optionsFor(const JournalConfig &config);
+
+/**
+ * Rebuild the recorded ensemble: catalog lookup by name at the
+ * journal's catalog seed, chaos drift-spike overrides re-applied.
+ */
+std::vector<Device> devicesFor(const JournalConfig &config);
+
+/** Inverse bridge: describe a node-to-be for journaling. */
+JournalConfig describeNode(const serve::ServiceOptions &options,
+                           std::vector<DeviceSpec> devices,
+                           std::vector<WorkloadSpec> workloads);
+
+/** Problem-factory registry for WorkloadSpec names; fatals unknown. */
+VqaProblem problemByName(const std::string &name, uint64_t initSeed);
+
+/** Outcome of one replay. */
+struct ReplayResult
+{
+    /** Jobs whose replayed outcome was compared against the record. */
+    std::size_t jobsCompared = 0;
+    /** Divergences, human-readable with hex bit patterns. Empty = the
+     *  replay was hex-bit-identical to the journal. */
+    std::vector<std::string> mismatches;
+
+    bool identical() const { return mismatches.empty(); }
+};
+
+/**
+ * Re-drives a journal through a freshly reconstructed ServiceNode on
+ * its own VirtualClock and verifies every recorded Finalize (and
+ * admission verdict) bit-for-bit. Only meaningful for journals whose
+ * config.clock is "virtual" — wall-clock runs are not bit-replayable.
+ */
+class Replayer
+{
+  public:
+    explicit Replayer(EventJournal journal)
+        : journal_(std::move(journal))
+    {
+    }
+
+    /**
+     * Rebuild + re-drive + compare.
+     * @param pool shard fan-out pool (nullptr = TaskPool::shared());
+     *        any thread count yields the same bits by design.
+     */
+    ReplayResult run(TaskPool *pool = nullptr) const;
+
+    const EventJournal &journal() const { return journal_; }
+
+  private:
+    EventJournal journal_;
+};
+
+} // namespace replay
+} // namespace eqc
+
+#endif // EQC_REPLAY_REPLAYER_H

@@ -53,6 +53,7 @@ ResultCache::store(const WorkKey &key, const CachedResult &result)
     Entry entry;
     entry.result = result;
     entry.storedAtH = clock_ ? clock_->nowH() : result.completeH;
+    entry.result.storedAtH = entry.storedAtH;
 
     auto it = entries_.find(key);
     if (it != entries_.end()) {

@@ -64,6 +64,12 @@ struct CachedResult
     double completeH = 0.0;
     /** Shot budget the cached execution covered. */
     int shots = 0;
+    /**
+     * Serving-clock hour the entry was stored (the stamp freshness is
+     * judged against). Set by ResultCache::store; exposed so journal
+     * records and invariant audits can verify TTL arithmetic.
+     */
+    double storedAtH = 0.0;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/task_pool.h"
 #include "device/calibration.h"
+#include "replay/journal.h"
 
 namespace eqc {
 namespace serve {
@@ -23,7 +24,13 @@ struct ServiceNode::Member
     std::unique_ptr<SimulatedQpu> backend;
     /** Hour the member dies (infinity = healthy). */
     double failAtH = std::numeric_limits<double>::infinity();
-    /** Shards planned onto the member this intake (queue pressure). */
+    /**
+     * Shards planned onto the member whose completion/timeout event
+     * has not fired yet (queue pressure). Incremented at planning,
+     * decremented as each shard resolves, so requeue rounds and
+     * retry-after estimates price the *live* backlog rather than the
+     * pressure of the last intake alone.
+     */
     int depth = 0;
 
     bool aliveAt(double atH) const { return atH < failAtH; }
@@ -196,10 +203,32 @@ ServiceNode::retryAfterHintS(double atH, std::size_t depth) const
     return best;
 }
 
+void
+ServiceNode::journalSubmit(const JobRequest &request, const Ticket &t,
+                           double atH)
+{
+    replay::EventRecord r;
+    r.kind = t.admitted() ? replay::EventKind::Admit
+                          : replay::EventKind::Reject;
+    r.tH = atH;
+    r.jobId = t.jobId;
+    r.tenant = request.tenantId;
+    r.workload = request.workload;
+    r.shots = request.shots;
+    r.priority = request.priority;
+    r.submitH = request.submitH;
+    r.status = static_cast<int>(t.status);
+    r.depth = static_cast<int>(queue_.size());
+    r.retryAfterS = t.retryAfterS;
+    r.params = request.params;
+    sink_->record(r);
+}
+
 Ticket
 ServiceNode::submit(const JobRequest &request)
 {
     Ticket t;
+    const double atH = std::max(loop_.now(), request.submitH);
     const bool knownWorkload =
         request.workload >= 0 &&
         request.workload < static_cast<WorkloadId>(workloads_.size());
@@ -209,6 +238,8 @@ ServiceNode::submit(const JobRequest &request)
         t.status = AdmitStatus::RejectedBadRequest;
         ++counters_.jobsRejected;
         ++counters_.rejectedBadRequest;
+        if (sink_)
+            journalSubmit(request, t, atH);
         return t;
     }
     t.status = queue_.admit(request, nextJobId_);
@@ -220,8 +251,7 @@ ServiceNode::submit(const JobRequest &request)
         // empty queue and no-op. Under drain() every submission lands
         // before the loop runs, which preserves the batch-coalescing
         // semantics of the synchronous drain bit for bit.
-        loop_.scheduleAt(std::max(loop_.now(), request.submitH),
-                         [this] { intake(); });
+        loop_.scheduleAt(atH, [this] { intake(); });
     } else {
         ++counters_.jobsRejected;
         if (t.status == AdmitStatus::RejectedBadRequest) {
@@ -231,11 +261,12 @@ ServiceNode::submit(const JobRequest &request)
                 ++counters_.rejectedQueueFull;
             else
                 ++counters_.rejectedTenantQuota;
-            t.retryAfterS = retryAfterHintS(
-                std::max(loop_.now(), request.submitH), queue_.size());
+            t.retryAfterS = retryAfterHintS(atH, queue_.size());
             retryAfter_.add(t.retryAfterS);
         }
     }
+    if (sink_)
+        journalSubmit(request, t, atH);
     return t;
 }
 
@@ -247,6 +278,14 @@ void
 ServiceNode::failMemberAt(std::size_t member, double atH)
 {
     members_.at(member).failAtH = atH;
+    if (sink_) {
+        replay::EventRecord r;
+        r.kind = replay::EventKind::MemberFail;
+        r.tH = loop_.now();
+        r.member = static_cast<int>(member);
+        r.atH = atH;
+        sink_->record(r);
+    }
 }
 
 void
@@ -254,6 +293,13 @@ ServiceNode::restoreMember(std::size_t member)
 {
     members_.at(member).failAtH =
         std::numeric_limits<double>::infinity();
+    if (sink_) {
+        replay::EventRecord r;
+        r.kind = replay::EventKind::MemberRestore;
+        r.tH = loop_.now();
+        r.member = static_cast<int>(member);
+        sink_->record(r);
+    }
 }
 
 std::size_t
@@ -276,6 +322,12 @@ const Device &
 ServiceNode::memberDevice(std::size_t member) const
 {
     return members_.at(member).device;
+}
+
+int
+ServiceNode::memberQueueDepth(std::size_t member) const
+{
+    return members_.at(member).depth;
 }
 
 double
@@ -346,6 +398,18 @@ ServiceNode::planShards(WorkItem &item, int shots, double atH)
         s.depthAtPlan = members_[static_cast<std::size_t>(p.member)].depth;
         s.seq = item.shardSeq++;
         ++members_[static_cast<std::size_t>(p.member)].depth;
+        if (sink_) {
+            replay::EventRecord r;
+            r.kind = replay::EventKind::Dispatch;
+            r.tH = atH;
+            r.workUid = item.workUid;
+            r.member = s.member;
+            r.shots = s.shots;
+            r.seq = s.seq;
+            r.pCorrect = s.pCorrect;
+            r.depth = s.depthAtPlan;
+            sink_->record(r);
+        }
         item.shards.push_back(s);
     }
     item.outstanding += plan.size();
@@ -362,10 +426,9 @@ ServiceNode::intake()
     if (queue_.empty())
         return; // an earlier intake event already took everything
 
-    // Planning depths restart per intake: what the estimates price is
-    // the pressure this batch itself creates.
-    for (Member &m : members_)
-        m.depth = 0;
+    // Member depths are NOT reset here: they decay as shards resolve,
+    // so the estimates price this batch's pressure on top of whatever
+    // is still in flight from earlier intakes.
 
     // Pop everything in priority order, coalescing identical
     // (workload, binding) requests into work items.
@@ -392,6 +455,14 @@ ServiceNode::intake()
             item->t0 = std::min(item->t0, e.request.submitH);
             item->tLast = std::max(item->tLast, e.request.submitH);
             item->shots = std::max(item->shots, e.request.shots);
+            if (sink_) {
+                replay::EventRecord r;
+                r.kind = replay::EventKind::Coalesce;
+                r.tH = loop_.now();
+                r.jobId = e.jobId;
+                r.workUid = item->workUid;
+                sink_->record(r);
+            }
             item->riders.push_back(std::move(e));
             // jobsCoalesced is counted at finalize, once the item
             // knows whether it executed or served from cache — every
@@ -409,6 +480,18 @@ ServiceNode::intake()
             item->fromCache = true;
             item->cached = *hit;
             counters_.cacheHits += item->riders.size();
+            if (sink_) {
+                replay::EventRecord r;
+                r.kind = replay::EventKind::CacheHit;
+                r.tH = std::max(item->tLast, loop_.now());
+                r.workUid = item->workUid;
+                r.storedAtH = hit->storedAtH;
+                r.servedShots = hit->shots;
+                r.shots = item->shots;
+                r.energy = hit->energy;
+                r.riders = static_cast<int>(item->riders.size());
+                sink_->record(r);
+            }
             continue;
         }
         ++counters_.workItems;
@@ -506,6 +589,17 @@ ServiceNode::scheduleShardEvents(WorkItem &item, std::size_t firstShard)
                 ip->pendingFailedShots += sh.shots;
                 ip->pendingDetectH =
                     std::max(ip->pendingDetectH, sh.detectH);
+                resolveMemberDepth(sh.member);
+                if (sink_) {
+                    replay::EventRecord r;
+                    r.kind = replay::EventKind::ShardFail;
+                    r.tH = loop_.now();
+                    r.workUid = ip->workUid;
+                    r.member = sh.member;
+                    r.shots = sh.shots;
+                    r.seq = sh.seq;
+                    sink_->record(r);
+                }
                 onShardResolved(*ip);
             });
         } else {
@@ -520,10 +614,35 @@ ServiceNode::scheduleShardEvents(WorkItem &item, std::size_t firstShard)
                     static_cast<uint64_t>(sh.result.circuitsRun);
                 memberShots_[static_cast<std::size_t>(sh.member)] +=
                     static_cast<uint64_t>(sh.shots);
+                resolveMemberDepth(sh.member);
+                if (sink_) {
+                    replay::EventRecord r;
+                    r.kind = replay::EventKind::ShardDone;
+                    r.tH = loop_.now();
+                    r.workUid = ip->workUid;
+                    r.member = sh.member;
+                    r.shots = sh.shots;
+                    r.seq = sh.seq;
+                    r.energy = sh.result.energy;
+                    r.variance = sh.result.variance;
+                    r.pCorrect = sh.result.pCorrect;
+                    r.circuits = sh.result.circuitsRun;
+                    r.doneH = sh.result.completeH;
+                    sink_->record(r);
+                }
                 onShardResolved(*ip);
             });
         }
     }
+}
+
+void
+ServiceNode::resolveMemberDepth(int member)
+{
+    // One planned shard resolved: the member's live backlog decays.
+    int &depth = members_[static_cast<std::size_t>(member)].depth;
+    if (depth > 0)
+        --depth;
 }
 
 void
@@ -549,6 +668,8 @@ ServiceNode::requeueFailures(WorkItem &item)
              std::to_string(item.workUid) + "; " +
              std::to_string(item.pendingFailedShots) +
              " shots lost (outcome marked degraded)");
+        journalReplan(item, item.pendingFailedShots, 0, true,
+                      item.pendingDetectH);
         finalizeItem(item);
         return;
     }
@@ -561,6 +682,7 @@ ServiceNode::requeueFailures(WorkItem &item)
         warn("ServiceNode: no surviving member for requeue of work "
              "item " +
              std::to_string(item.workUid));
+        journalReplan(item, failedShots, 0, true, atH);
         finalizeItem(item);
         return;
     }
@@ -568,12 +690,31 @@ ServiceNode::requeueFailures(WorkItem &item)
     item.requeues += static_cast<int>(planned);
     counters_.shardsRequeued += static_cast<uint64_t>(planned);
     ++item.requeueRound;
+    journalReplan(item, failedShots, static_cast<int>(planned), false,
+                  atH);
     std::vector<ShardRef> batch;
     batch.reserve(planned);
     for (std::size_t i = firstNew; i < item.shards.size(); ++i)
         batch.push_back(ShardRef{&item, i});
     executeShards(batch);
     scheduleShardEvents(item, firstNew);
+}
+
+void
+ServiceNode::journalReplan(const WorkItem &item, int failedShots,
+                           int planned, bool exhausted, double atH)
+{
+    if (!sink_)
+        return;
+    replay::EventRecord r;
+    r.kind = replay::EventKind::Replan;
+    r.tH = atH;
+    r.workUid = item.workUid;
+    r.round = item.requeueRound;
+    r.shots = failedShots;
+    r.planned = planned;
+    r.exhausted = exhausted;
+    sink_->record(r);
 }
 
 // ---------------------------------------------------------------------------
@@ -642,6 +783,27 @@ ServiceNode::finalizeItem(WorkItem &item)
         o.degraded = !item.fromCache && shotsExec < item.shots;
         latency_.add(o.latencyH);
         latencyMoments_.add(o.latencyH);
+        if (sink_) {
+            replay::EventRecord r;
+            r.kind = replay::EventKind::Finalize;
+            r.tH = loop_.now();
+            r.jobId = o.jobId;
+            r.workUid = item.workUid;
+            r.tenant = o.tenantId;
+            r.workload = o.workload;
+            r.energy = o.energy;
+            r.variance = o.variance;
+            r.pCorrect = o.pCorrect;
+            r.doneH = o.completeH;
+            r.shots = o.shotsExecuted;
+            r.shardsRun = o.shardsExecuted;
+            r.circuits = o.circuitsRun;
+            r.round = o.requeues;
+            r.degraded = o.degraded;
+            r.fromCache = o.fromCache;
+            r.coalesced = o.coalesced;
+            sink_->record(r);
+        }
         completed_.push_back(std::move(o));
         first = false;
     }
@@ -655,6 +817,12 @@ ServiceNode::finalizeItem(WorkItem &item)
 std::vector<JobOutcome>
 ServiceNode::drain(TaskPool *pool)
 {
+    if (sink_) {
+        replay::EventRecord r;
+        r.kind = replay::EventKind::Drain;
+        r.tH = loop_.now();
+        sink_->record(r);
+    }
     exec_ = pool ? pool : &TaskPool::shared();
     loop_.run();
     exec_ = nullptr;

@@ -63,6 +63,10 @@ namespace eqc {
 
 class TaskPool;
 
+namespace replay {
+class JournalSink;
+} // namespace replay
+
 namespace serve {
 
 /** Full configuration of one ServiceNode. */
@@ -147,6 +151,18 @@ class ServiceNode
     /** Bring a failed member back (e.g. after maintenance). */
     void restoreMember(std::size_t member);
 
+    /**
+     * Attach a journal sink observing every lifecycle event (admit,
+     * rejection, coalesce, cache hit, dispatch, shard resolution,
+     * replan, member health, drain, finalize) — the record/replay
+     * hook of src/replay/. nullptr detaches. Zero-cost when unset
+     * (one pointer test per event); not owned, must outlive the node.
+     * Records are published from the submitting/loop thread only.
+     */
+    void setJournalSink(replay::JournalSink *sink) { sink_ = sink; }
+
+    replay::JournalSink *journalSink() const { return sink_; }
+
     std::size_t numMembers() const;
 
     /** Members that have not failed as of hour @p atH. */
@@ -182,6 +198,14 @@ class ServiceNode
         return memberShots_;
     }
 
+    /**
+     * Shards planned onto @p member whose completion/timeout event
+     * has not fired yet — the live backlog the queue model prices.
+     * Decays at shard resolution, so it is 0 whenever the loop is
+     * idle (e.g. after any drain()).
+     */
+    int memberQueueDepth(std::size_t member) const;
+
     const ServiceCounters &counters() const { return counters_; }
 
     const ServiceOptions &options() const { return options_; }
@@ -216,6 +240,10 @@ class ServiceNode
     /** Backpressure hint for a rejection observed at depth @p depth. */
     double retryAfterHintS(double atH, std::size_t depth) const;
 
+    /** Publish an Admit/Reject record for @p request (sink_ set). */
+    void journalSubmit(const JobRequest &request, const Ticket &ticket,
+                       double atH);
+
     /** Intake event: pop + coalesce + plan + launch everything queued. */
     void intake();
 
@@ -228,11 +256,18 @@ class ServiceNode
     /** Schedule completion/timeout events for shards >= firstShard. */
     void scheduleShardEvents(WorkItem &item, std::size_t firstShard);
 
+    /** Decay @p member's planned-shard depth as a shard resolves. */
+    void resolveMemberDepth(int member);
+
     /** One shard resolved; finalize or requeue when it was the last. */
     void onShardResolved(WorkItem &item);
 
     /** Replan an item's failed shots onto survivors (or give up). */
     void requeueFailures(WorkItem &item);
+
+    /** Publish a Replan record for a requeue round (no-op unsunk). */
+    void journalReplan(const WorkItem &item, int failedShots,
+                       int planned, bool exhausted, double atH);
 
     /** Aggregate in shard-seq order and complete every rider. */
     void finalizeItem(WorkItem &item);
@@ -261,6 +296,8 @@ class ServiceNode
     std::vector<JobOutcome> completed_;
     /** Shard fan-out pool while the loop runs (drain argument). */
     TaskPool *exec_ = nullptr;
+    /** Lifecycle observer (replay journal); nullptr = off. */
+    replay::JournalSink *sink_ = nullptr;
 };
 
 } // namespace serve

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Replay-subsystem tests: JSONL journal round-trips that preserve
+ * every double bit-for-bit (denormals, negative zero, non-dyadic
+ * fractions), live ServiceNode scenarios (coalescing, a mid-run kill,
+ * cache hits) replayed hex-bit-identically from the serialized
+ * journal alone, chaos schedules that stay clean and byte-identical
+ * across TaskPool thread counts, hand-built journals that trip each
+ * invariant, and the shard-resolution decay of per-member queue
+ * depths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/task_pool.h"
+#include "device/catalog.h"
+#include "replay/chaos.h"
+#include "replay/replayer.h"
+#include "serve/aggregator.h"
+#include "serve/service_node.h"
+#include "vqa/problem.h"
+
+namespace eqc {
+namespace {
+
+using namespace eqc::replay;
+
+// ---------------------------------------------------------------------------
+// Journal serialization
+// ---------------------------------------------------------------------------
+
+TEST(Journal, RoundTripPreservesAdversarialDoubleBits)
+{
+    // Doubles that break naive printf round-trips: the smallest
+    // denormal, negative zero, non-dyadic fractions, the largest
+    // finite double, and a classic accumulated-rounding value.
+    const std::vector<double> nasty = {
+        5e-324,       -0.0,    1.0 / 3.0, 1.7976931348623157e308,
+        -2.2250738585072014e-308, 0.1 + 0.2,
+    };
+
+    EventJournal j;
+    j.config.seed = 0xDEADBEEFCAFEULL;
+    j.config.cacheTtlH = 1.0 / 3.0;
+    j.config.minLatencyS = 5e-324;
+    j.config.warmBoost = 0.1 + 0.2;
+    j.config.devices = {
+        {"ibmq_lima", 0.30000000000000004, 9.999999999999998},
+        {"ibmq_quito", -1.0, -1.0},
+        {"dev\"quote\\slash", -1.0, -1.0}, // exercises escaping
+    };
+    j.config.workloads = {{"heisenberg_vqe", 7},
+                          {"ring_maxcut_qaoa", 99}};
+
+    EventRecord admit;
+    admit.kind = EventKind::Admit;
+    admit.tH = 1.0 / 7.0;
+    admit.jobId = ~0ULL;
+    admit.tenant = 3;
+    admit.workload = 1;
+    admit.shots = 4096;
+    admit.priority = 2;
+    admit.submitH = -0.0;
+    admit.params = nasty;
+    j.record(admit);
+
+    EventRecord hit;
+    hit.kind = EventKind::CacheHit;
+    hit.tH = 0.3;
+    hit.workUid = 12;
+    hit.storedAtH = -0.0;
+    hit.servedShots = 4096;
+    hit.shots = 2048;
+    hit.energy = -1.0 / 3.0;
+    hit.riders = 2;
+    j.record(hit);
+
+    EventRecord fin;
+    fin.kind = EventKind::Finalize;
+    fin.tH = 0.5;
+    fin.jobId = 1;
+    fin.workUid = 12;
+    fin.energy = -0.0;
+    fin.variance = 5e-324;
+    fin.pCorrect = 0.99999999999999989; // nextafter(1.0, 0.0)
+    fin.doneH = 1.0 / 3.0;
+    fin.shots = 2048;
+    fin.shardsRun = 3;
+    fin.circuits = 33;
+    fin.degraded = true;
+    j.record(fin);
+
+    const std::string text = j.serialize();
+    std::string err;
+    EventJournal parsed = EventJournal::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_EQ(parsed.size(), j.size());
+
+    EXPECT_EQ(parsed.config.seed, j.config.seed);
+    EXPECT_TRUE(bitEqual(parsed.config.cacheTtlH, 1.0 / 3.0));
+    EXPECT_TRUE(bitEqual(parsed.config.minLatencyS, 5e-324));
+    EXPECT_TRUE(bitEqual(parsed.config.warmBoost, 0.1 + 0.2));
+    ASSERT_EQ(parsed.config.devices.size(), 3u);
+    EXPECT_TRUE(bitEqual(parsed.config.devices[0].spikeRatePerHour,
+                         0.30000000000000004));
+    EXPECT_EQ(parsed.config.devices[2].name, "dev\"quote\\slash");
+    ASSERT_EQ(parsed.config.workloads.size(), 2u);
+    EXPECT_EQ(parsed.config.workloads[1].initSeed, 99u);
+
+    const EventRecord &pa = parsed.records()[0];
+    EXPECT_EQ(pa.kind, EventKind::Admit);
+    EXPECT_EQ(pa.jobId, ~0ULL);
+    EXPECT_TRUE(bitEqual(pa.submitH, -0.0)); // sign bit survives
+    ASSERT_EQ(pa.params.size(), nasty.size());
+    for (std::size_t i = 0; i < nasty.size(); ++i)
+        EXPECT_TRUE(bitEqual(pa.params[i], nasty[i]))
+            << "param " << i << ": " << hexBits(pa.params[i])
+            << " vs " << hexBits(nasty[i]);
+
+    const EventRecord &ph = parsed.records()[1];
+    EXPECT_TRUE(bitEqual(ph.storedAtH, -0.0));
+    EXPECT_TRUE(bitEqual(ph.energy, -1.0 / 3.0));
+    EXPECT_EQ(ph.servedShots, 4096);
+
+    const EventRecord &pf = parsed.records()[2];
+    EXPECT_TRUE(bitEqual(pf.energy, -0.0));
+    EXPECT_TRUE(bitEqual(pf.variance, 5e-324));
+    EXPECT_TRUE(bitEqual(pf.pCorrect, 0.99999999999999989));
+    EXPECT_TRUE(pf.degraded);
+
+    // Serialization is a fixed point: text -> journal -> same text.
+    EXPECT_TRUE(parsed.serialize() == text);
+}
+
+TEST(Journal, ParseReportsMalformedInput)
+{
+    std::string err;
+    EventJournal::parse("{\"k\": \"admit\", \"t\": }\n", &err);
+    EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Live scenario -> journal -> bit-identical replay
+// ---------------------------------------------------------------------------
+
+TEST(Replayer, LiveScenarioReplaysBitIdentical)
+{
+    // The full event surface in one run: coalescing pairs, a member
+    // killed mid-drain (requeues), then a second drain with a cache
+    // hit and a fresh binding. The node is built through the config
+    // bridges so the replayer reconstructs exactly this node.
+    serve::ServiceOptions o;
+    o.seed = 101;
+    o.scheduler.minShardShots = 32;
+    o.resultCacheTtlH = 0.5;
+    EventJournal journal;
+    journal.config = describeNode(o,
+                                  {{"ibmq_bogota"},
+                                   {"ibmq_manila"},
+                                   {"ibmq_quito"},
+                                   {"ibmq_lima"}},
+                                  {{"heisenberg_vqe", 7}});
+
+    serve::ServiceNode node(devicesFor(journal.config),
+                            optionsFor(journal.config));
+    VqaProblem p = problemByName("heisenberg_vqe", 7);
+    serve::WorkloadId wl =
+        node.registerWorkload(p.ansatz, p.hamiltonian);
+    node.setJournalSink(&journal);
+
+    serve::JobRequest r;
+    r.workload = wl;
+    r.shots = 4096;
+    for (int t = 0; t < 6; ++t) {
+        r.tenantId = t;
+        r.params = p.initialParams;
+        r.params[0] += 0.1 * (t / 2); // pairs coalesce
+        r.priority = t % 2;
+        r.submitH = 0.01 * t;
+        ASSERT_TRUE(node.submit(r).admitted());
+    }
+    node.failMemberAt(1, 30.0 / 3600.0);
+    TaskPool pool(2);
+    std::vector<serve::JobOutcome> out = node.drain(&pool);
+    ASSERT_EQ(out.size(), 6u);
+
+    r.tenantId = 0;
+    r.params = p.initialParams; // repeats drain 1: cache hit
+    r.submitH = out.back().completeH + 0.01;
+    ASSERT_TRUE(node.submit(r).admitted());
+    r.tenantId = 1;
+    r.params[0] += 7.5; // fresh binding: executes
+    ASSERT_TRUE(node.submit(r).admitted());
+    std::vector<serve::JobOutcome> again = node.drain(&pool);
+    ASSERT_EQ(again.size(), 2u);
+    EXPECT_TRUE(again[0].fromCache);
+    node.setJournalSink(nullptr);
+
+    // A healthy live journal carries no invariant violations.
+    std::vector<Violation> v = InvariantChecker::check(journal);
+    EXPECT_TRUE(v.empty()) << (v.empty() ? "" : v.front().detail);
+
+    // The serialized text alone reproduces all 8 outcomes to the bit,
+    // on a different thread count than the recording run.
+    std::string err;
+    EventJournal parsed = EventJournal::parse(journal.serialize(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    Replayer replayer(std::move(parsed));
+    TaskPool replayPool(3);
+    ReplayResult res = replayer.run(&replayPool);
+    EXPECT_EQ(res.jobsCompared, 8u);
+    EXPECT_TRUE(res.identical())
+        << (res.mismatches.empty() ? "" : res.mismatches.front());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos schedules: clean, deterministic, thread-count independent
+// ---------------------------------------------------------------------------
+
+std::string
+chaosJournalText(uint64_t seed, int threads, ChaosReport *rep)
+{
+    ChaosOptions co;
+    co.seed = seed;
+    co.verifyReplay = true;
+    ChaosEngine engine(co);
+    TaskPool pool(threads);
+    ChaosReport r = engine.run(&pool);
+    if (rep)
+        *rep = r;
+    return engine.journal().serialize();
+}
+
+TEST(ChaosEngine, SchedulesCleanAndBitIdenticalAcrossThreadCounts)
+{
+    // Property satellite: randomized drains full of kills, coalescing
+    // and cache traffic serialize -> parse -> replay bit-identically,
+    // and the journal text itself is byte-identical for 1/2/4 worker
+    // threads.
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        ChaosReport r1, r2, r4;
+        const std::string t1 = chaosJournalText(seed, 1, &r1);
+        const std::string t2 = chaosJournalText(seed, 2, &r2);
+        const std::string t4 = chaosJournalText(seed, 4, &r4);
+        for (const ChaosReport *r : {&r1, &r2, &r4}) {
+            EXPECT_TRUE(r->replayVerified);
+            EXPECT_TRUE(r->passed())
+                << "seed " << seed << ": "
+                << (r->violations.empty()
+                        ? ""
+                        : r->violations.front().invariant + ": " +
+                              r->violations.front().detail);
+        }
+        EXPECT_GT(r1.jobsCompleted, 0);
+        EXPECT_TRUE(t1 == t2) << "seed " << seed;
+        EXPECT_TRUE(t1 == t4) << "seed " << seed;
+    }
+}
+
+TEST(ChaosEngine, SameSeedReproducesTheExactJournal)
+{
+    ChaosOptions co;
+    co.seed = 42;
+    ChaosEngine a(co);
+    ChaosEngine b(co);
+    TaskPool pool(2);
+    ChaosReport ra = a.run(&pool);
+    ChaosReport rb = b.run(&pool);
+    EXPECT_TRUE(ra.passed())
+        << (ra.violations.empty() ? "" : ra.violations.front().detail);
+    EXPECT_EQ(ra.jobsCompleted, rb.jobsCompleted);
+    EXPECT_EQ(ra.kills, rb.kills);
+    EXPECT_EQ(ra.restores, rb.restores);
+    EXPECT_EQ(ra.floods, rb.floods);
+    EXPECT_TRUE(a.journal().serialize() == b.journal().serialize());
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checker on hand-built journals
+// ---------------------------------------------------------------------------
+
+/** A Finalize whose aggregate exactly matches re-adding @p s. */
+EventRecord
+consistentFinalize(uint64_t jobId, uint64_t uid,
+                   const serve::ShardResult &s)
+{
+    serve::Aggregator agg(serve::AggregationMode::FidelityWeighted);
+    agg.add(s);
+    EventRecord fin;
+    fin.kind = EventKind::Finalize;
+    fin.tH = s.completeH;
+    fin.jobId = jobId;
+    fin.workUid = uid;
+    fin.shots = agg.shotsExecuted();
+    fin.shardsRun = agg.shardsExecuted();
+    fin.circuits = agg.circuitsRun();
+    fin.energy = agg.energy();
+    fin.variance = agg.variance();
+    fin.pCorrect = agg.pCorrect();
+    fin.doneH = agg.completeH();
+    return fin;
+}
+
+EventRecord
+admitRecord(uint64_t jobId, int shots)
+{
+    EventRecord r;
+    r.kind = EventKind::Admit;
+    r.jobId = jobId;
+    r.shots = shots;
+    r.params = {0.5};
+    return r;
+}
+
+TEST(InvariantChecker, FlagsAdmittedJobThatNeverFinalizes)
+{
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+    j.record(admitRecord(7, 64));
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].invariant, "admitted-completes");
+}
+
+TEST(InvariantChecker, FlagsExpiredCacheHit)
+{
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+    j.config.cacheTtlH = 0.4;
+
+    serve::ShardResult s;
+    s.member = 0;
+    s.shots = 128;
+    s.pCorrect = 0.8;
+    s.energy = -3.25;
+    s.variance = 0.5;
+    s.completeH = 0.02;
+    s.circuitsRun = 11;
+
+    j.record(admitRecord(1, 128));
+    EventRecord d;
+    d.kind = EventKind::Dispatch;
+    d.workUid = 5;
+    d.seq = 0;
+    d.member = 0;
+    d.shots = 128;
+    d.pCorrect = s.pCorrect;
+    j.record(d);
+    EventRecord done;
+    done.kind = EventKind::ShardDone;
+    done.workUid = 5;
+    done.seq = 0;
+    done.member = 0;
+    done.shots = 128;
+    done.energy = s.energy;
+    done.variance = s.variance;
+    done.pCorrect = s.pCorrect;
+    done.circuits = s.circuitsRun;
+    done.doneH = s.completeH;
+    j.record(done);
+    EventRecord fin = consistentFinalize(1, 5, s);
+    j.record(fin);
+
+    // An otherwise-plausible hit served 1.0h after the store against
+    // a 0.4h TTL.
+    EventRecord hit;
+    hit.kind = EventKind::CacheHit;
+    hit.tH = 1.0;
+    hit.workUid = 5;
+    hit.storedAtH = 0.0;
+    hit.servedShots = 128;
+    hit.shots = 128;
+    hit.energy = fin.energy;
+    j.record(hit);
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].invariant, "cache-freshness");
+}
+
+TEST(InvariantChecker, FlagsShardCompletingAfterMemberKill)
+{
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+
+    serve::ShardResult s;
+    s.member = 0;
+    s.shots = 128;
+    s.pCorrect = 0.8;
+    s.energy = -3.25;
+    s.variance = 0.5;
+    s.completeH = 0.6; // past the kill hour below
+    s.circuitsRun = 11;
+
+    j.record(admitRecord(1, 128));
+    EventRecord kill;
+    kill.kind = EventKind::MemberFail;
+    kill.member = 0;
+    kill.atH = 0.5;
+    j.record(kill);
+    EventRecord d;
+    d.kind = EventKind::Dispatch;
+    d.workUid = 5;
+    d.seq = 0;
+    d.member = 0;
+    d.shots = 128;
+    d.pCorrect = s.pCorrect;
+    j.record(d);
+    EventRecord done;
+    done.kind = EventKind::ShardDone;
+    done.workUid = 5;
+    done.seq = 0;
+    done.member = 0;
+    done.shots = 128;
+    done.energy = s.energy;
+    done.variance = s.variance;
+    done.pCorrect = s.pCorrect;
+    done.circuits = s.circuitsRun;
+    done.doneH = s.completeH;
+    j.record(done);
+    j.record(consistentFinalize(1, 5, s));
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].invariant, "no-zombie-shards");
+}
+
+// ---------------------------------------------------------------------------
+// Member depth decay (shard-resolution events, not intake resets)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNode, MemberDepthsDecayToZeroAfterDrain)
+{
+    serve::ServiceOptions o;
+    o.seed = 11;
+    o.scheduler.minShardShots = 32;
+    serve::ServiceNode node({deviceByName("ibmq_bogota"),
+                             deviceByName("ibmq_manila"),
+                             deviceByName("ibmq_quito"),
+                             deviceByName("ibmq_lima")},
+                            o);
+    VqaProblem p = makeHeisenbergVqe();
+    serve::WorkloadId wl =
+        node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    serve::JobRequest r;
+    r.workload = wl;
+    r.shots = 4096;
+    for (int t = 0; t < 4; ++t) {
+        r.tenantId = t;
+        r.params = p.initialParams;
+        r.params[0] += 0.1 * t;
+        ASSERT_TRUE(node.submit(r).admitted());
+    }
+    // Submission plans nothing: depths only move once shards dispatch.
+    for (std::size_t m = 0; m < node.numMembers(); ++m)
+        EXPECT_EQ(node.memberQueueDepth(m), 0);
+
+    // A mid-run kill forces requeues: extra dispatches on survivors,
+    // failure timeouts on the victim — all must decay back to zero.
+    node.failMemberAt(0, 2.0 / 3600.0);
+    TaskPool pool(2);
+    std::vector<serve::JobOutcome> out = node.drain(&pool);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_GT(node.counters().shardsRequeued, 0u);
+    for (std::size_t m = 0; m < node.numMembers(); ++m)
+        EXPECT_EQ(node.memberQueueDepth(m), 0);
+
+    // And a second batch starts from those zeros, not stale backlog.
+    r.tenantId = 0;
+    r.params = p.initialParams;
+    r.params[0] += 9.0;
+    r.submitH = out.back().completeH + 0.01;
+    ASSERT_TRUE(node.submit(r).admitted());
+    ASSERT_EQ(node.drain(&pool).size(), 1u);
+    for (std::size_t m = 0; m < node.numMembers(); ++m)
+        EXPECT_EQ(node.memberQueueDepth(m), 0);
+}
+
+} // namespace
+} // namespace eqc
