@@ -12,6 +12,14 @@
  * additionally serialize->parse->replays its journal and cross-checks
  * the outcomes bit for bit.
  *
+ * Streaming robustness: --deadline-frac attaches latency SLOs to that
+ * fraction of submissions (deadline sheds audited by I7/I8/I12) and
+ * --churn injects live joins/leaves per round (audited by I9). With
+ * --steady the schedules run on a SteadyClock at --timescale wall
+ * seconds per serving hour — real-time firing order, same invariant
+ * audit, replay cross-check skipped (wall journals are not
+ * bit-replayable).
+ *
  * The process exits non-zero if ANY schedule violates an invariant,
  * and the first offending journal is written to --journal-out so the
  * failure reproduces locally through replay::Replayer. A JSON report
@@ -21,7 +29,8 @@
  * Usage:
  *   bench_chaos_storm [--schedules N] [--seed S] [--tenants N]
  *                     [--rounds N] [--members N] [--shots N]
- *                     [--verify-every K] [--out FILE]
+ *                     [--deadline-frac P] [--churn P] [--steady]
+ *                     [--timescale S] [--verify-every K] [--out FILE]
  *                     [--journal-out FILE]
  */
 
@@ -47,6 +56,10 @@ main(int argc, char **argv)
     int rounds = 3;
     int members = 4;
     int maxShots = 256;
+    double deadlineFrac = 0.0; // per-submission SLO probability
+    double churn = 0.0;        // per-round join/leave probability
+    bool steadyMode = false;
+    double timescaleS = 0.002; // wall seconds per hour (steady)
     int verifyEvery = 64; // 0 disables the replay cross-check
     std::string outPath;
     std::string journalOutPath = "chaos_offender.jsonl";
@@ -70,6 +83,14 @@ main(int argc, char **argv)
             members = std::atoi(next("--members"));
         else if (!std::strcmp(argv[i], "--shots"))
             maxShots = std::atoi(next("--shots"));
+        else if (!std::strcmp(argv[i], "--deadline-frac"))
+            deadlineFrac = std::atof(next("--deadline-frac"));
+        else if (!std::strcmp(argv[i], "--churn"))
+            churn = std::atof(next("--churn"));
+        else if (!std::strcmp(argv[i], "--steady"))
+            steadyMode = true;
+        else if (!std::strcmp(argv[i], "--timescale"))
+            timescaleS = std::atof(next("--timescale"));
         else if (!std::strcmp(argv[i], "--verify-every"))
             verifyEvery = std::atoi(next("--verify-every"));
         else if (!std::strcmp(argv[i], "--out"))
@@ -84,9 +105,11 @@ main(int argc, char **argv)
 
     bench::banner("eqc::replay chaos storm");
     std::printf("schedules=%d seed=%llu tenants=%d rounds=%d "
-                "members=%d shots<=%d verify-every=%d threads=%d\n",
+                "members=%d shots<=%d deadline-frac=%.2f churn=%.2f "
+                "clock=%s verify-every=%d threads=%d\n",
                 schedules, static_cast<unsigned long long>(seed),
-                tenants, rounds, members, maxShots, verifyEvery,
+                tenants, rounds, members, maxShots, deadlineFrac,
+                churn, steadyMode ? "steady" : "virtual", verifyEvery,
                 TaskPool::shared().threadCount());
 
     const auto wall0 = std::chrono::steady_clock::now();
@@ -96,6 +119,7 @@ main(int argc, char **argv)
     uint64_t jobsCompleted = 0;
     uint64_t kills = 0, restores = 0, driftSpikes = 0, floods = 0,
              skewed = 0, replaysVerified = 0;
+    uint64_t joins = 0, leaves = 0, sheds = 0;
     serve::ServiceCounters total;
     std::map<std::string, uint64_t> byInvariant;
 
@@ -107,6 +131,10 @@ main(int argc, char **argv)
         co.rounds = rounds;
         co.members = members;
         co.maxShots = maxShots;
+        co.deadlineProb = deadlineFrac;
+        co.churnProb = churn;
+        co.steadyClock = steadyMode;
+        co.timescaleS = timescaleS;
         co.verifyReplay = verifyEvery > 0 && i % verifyEvery == 0;
         replay::ChaosEngine engine(co);
         replay::ChaosReport rep = engine.run(&TaskPool::shared());
@@ -117,6 +145,9 @@ main(int argc, char **argv)
         driftSpikes += static_cast<uint64_t>(rep.driftSpikes);
         floods += static_cast<uint64_t>(rep.floods);
         skewed += static_cast<uint64_t>(rep.skewed);
+        joins += static_cast<uint64_t>(rep.joins);
+        leaves += static_cast<uint64_t>(rep.leaves);
+        sheds += static_cast<uint64_t>(rep.sheds);
         if (rep.replayVerified)
             ++replaysVerified;
         total.jobsAdmitted += rep.counters.jobsAdmitted;
@@ -127,6 +158,10 @@ main(int argc, char **argv)
         total.shardsExecuted += rep.counters.shardsExecuted;
         total.shardsRequeued += rep.counters.shardsRequeued;
         total.shotsExecuted += rep.counters.shotsExecuted;
+        total.shotsShed += rep.counters.shotsShed;
+        total.deadlineSheds += rep.counters.deadlineSheds;
+        total.deadlinesMet += rep.counters.deadlinesMet;
+        total.ridersJoined += rep.counters.ridersJoined;
 
         if (!rep.violations.empty()) {
             ++schedulesFailed;
@@ -191,6 +226,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(floods),
                 static_cast<unsigned long long>(skewed),
                 static_cast<unsigned long long>(total.shardsRequeued));
+    std::printf("joins %llu  leaves %llu  deadline sheds %llu  "
+                "deadlines met %llu  shots shed %llu  riders %llu\n",
+                static_cast<unsigned long long>(joins),
+                static_cast<unsigned long long>(leaves),
+                static_cast<unsigned long long>(sheds),
+                static_cast<unsigned long long>(total.deadlinesMet),
+                static_cast<unsigned long long>(total.shotsShed),
+                static_cast<unsigned long long>(total.ridersJoined));
 
     if (!outPath.empty()) {
         std::FILE *f = std::fopen(outPath.c_str(), "w");
@@ -205,12 +248,16 @@ main(int argc, char **argv)
             "  \"seed\": %llu,\n"
             "  \"schedules\": %d,\n"
             "  \"threads\": %d,\n"
+            "  \"clock\": \"%s\",\n"
+            "  \"deadline_frac\": %.4f,\n"
+            "  \"churn\": %.4f,\n"
             "  \"violations\": %llu,\n"
             "  \"schedules_failed\": %d,\n"
             "  \"first_offending_seed\": %lld,\n"
             "  \"violations_by_invariant\": {",
             static_cast<unsigned long long>(seed), schedules,
             TaskPool::shared().threadCount(),
+            steadyMode ? "steady" : "virtual", deadlineFrac, churn,
             static_cast<unsigned long long>(totalViolations),
             schedulesFailed, firstOffendingSeed);
         bool first = true;
@@ -238,6 +285,12 @@ main(int argc, char **argv)
             "  \"drift_spikes\": %llu,\n"
             "  \"floods\": %llu,\n"
             "  \"skewed_submits\": %llu,\n"
+            "  \"member_joins\": %llu,\n"
+            "  \"member_leaves\": %llu,\n"
+            "  \"deadline_sheds\": %llu,\n"
+            "  \"deadlines_met\": %llu,\n"
+            "  \"shots_shed\": %llu,\n"
+            "  \"riders_joined\": %llu,\n"
             "  \"wall_seconds\": %.6f\n"
             "}\n",
             byInvariant.empty() ? "" : "\n  ",
@@ -255,7 +308,14 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(restores),
             static_cast<unsigned long long>(driftSpikes),
             static_cast<unsigned long long>(floods),
-            static_cast<unsigned long long>(skewed), wallS);
+            static_cast<unsigned long long>(skewed),
+            static_cast<unsigned long long>(joins),
+            static_cast<unsigned long long>(leaves),
+            static_cast<unsigned long long>(sheds),
+            static_cast<unsigned long long>(total.deadlinesMet),
+            static_cast<unsigned long long>(total.shotsShed),
+            static_cast<unsigned long long>(total.ridersJoined),
+            wallS);
         std::fclose(f);
         std::printf("\nwrote %s\n", outPath.c_str());
     }

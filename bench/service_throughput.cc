@@ -26,11 +26,18 @@
  * requeue path under load. With --out the same numbers land in a
  * JSON file for CI artifact diffing.
  *
+ * Streaming robustness knobs: --deadline-frac attaches a latency SLO
+ * (submit + --slo-h hours) to that fraction of submissions, so the
+ * report gains SLO attainment, shed-shot fraction and degraded-outcome
+ * rate; --churn injects live membership churn (random joins/leaves)
+ * at that per-round probability.
+ *
  * Usage:
  *   bench_service_throughput [--tenants N] [--rounds N] [--shots N]
  *                            [--depth N] [--ttl H] [--fail]
  *                            [--clock virtual|steady] [--timescale S]
- *                            [--seed S] [--out FILE]
+ *                            [--deadline-frac F] [--slo-h H]
+ *                            [--churn P] [--seed S] [--out FILE]
  */
 
 #include <chrono>
@@ -42,6 +49,7 @@
 
 #include "bench_util.h"
 #include "common/event_loop.h"
+#include "common/rng.h"
 #include "common/task_pool.h"
 #include "device/catalog.h"
 #include "serve/service_node.h"
@@ -61,7 +69,10 @@ main(int argc, char **argv)
     bool fail = false;
     std::string clockMode = "virtual";
     double timescaleS = 0.05; // wall seconds per model hour (steady)
-    uint64_t seed = 2026;     // node root seed; echoed in every report
+    double deadlineFrac = 0.0; // fraction of submissions with an SLO
+    double sloH = 0.25;        // SLO horizon (hours past submit)
+    double churn = 0.0;        // per-round join/leave probability
+    uint64_t seed = 2026;      // node root seed; echoed in every report
     std::string outPath;
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) {
@@ -87,6 +98,12 @@ main(int argc, char **argv)
             clockMode = next("--clock");
         else if (!std::strcmp(argv[i], "--timescale"))
             timescaleS = std::atof(next("--timescale"));
+        else if (!std::strcmp(argv[i], "--deadline-frac"))
+            deadlineFrac = std::atof(next("--deadline-frac"));
+        else if (!std::strcmp(argv[i], "--slo-h"))
+            sloH = std::atof(next("--slo-h"));
+        else if (!std::strcmp(argv[i], "--churn"))
+            churn = std::atof(next("--churn"));
         else if (!std::strcmp(argv[i], "--seed"))
             seed = std::strtoull(next("--seed"), nullptr, 10);
         else if (!std::strcmp(argv[i], "--out"))
@@ -154,7 +171,31 @@ main(int argc, char **argv)
     const auto wall0 = std::chrono::steady_clock::now();
     uint64_t completed = 0;
     uint64_t backedOff = 0;
+    uint64_t sloJobs = 0;
+    uint64_t sloMet = 0;
+    uint64_t degradedJobs = 0;
+    // Deterministic bench-side injection stream: deadline coin flips
+    // and churn events come from one forked Rng, independent of the
+    // node's own seed-derived execution randomness.
+    Rng brng = Rng(seed).fork("bench");
+    const std::vector<Device> spares = evaluationEnsemble();
+    std::size_t joinCursor = 0;
     for (int r = 0; r < rounds; ++r) {
+        if (churn > 0.0 && brng.bernoulli(churn)) {
+            // Live membership churn: alternate between grafting a
+            // spare catalog device onto the ensemble and retiring a
+            // random member mid-campaign.
+            const double nowH = node.loop().now();
+            if (brng.bernoulli(0.5)) {
+                node.addMember(spares[joinCursor++ % spares.size()],
+                               nowH);
+            } else {
+                const std::size_t victim = static_cast<std::size_t>(
+                    brng.uniformInt(0, static_cast<int>(
+                                           node.numMembers() - 1)));
+                node.removeMember(victim, nowH);
+            }
+        }
         for (Tenant &tn : fleet) {
             tn.req.submitH = tn.nextSubmitH;
             // Parameter drift between rounds: what a live optimizer's
@@ -163,6 +204,10 @@ main(int argc, char **argv)
             // coalescing triggers; repeats across rounds give the
             // result cache real hits).
             tn.req.params[1 % tn.req.params.size()] = 0.02 * (r / 2);
+            tn.req.deadlineH =
+                deadlineFrac > 0.0 && brng.bernoulli(deadlineFrac)
+                    ? tn.req.submitH + sloH
+                    : 0.0;
             Ticket ticket = node.submit(tn.req);
             if (!ticket.admitted()) {
                 // Backpressure: come back when the hint says so.
@@ -174,6 +219,13 @@ main(int argc, char **argv)
             fleet[static_cast<std::size_t>(o.tenantId)].nextSubmitH =
                 o.completeH;
             ++completed;
+            if (o.deadlineH > 0.0) {
+                ++sloJobs;
+                if (!o.shed)
+                    ++sloMet;
+            }
+            if (o.degraded)
+                ++degradedJobs;
         }
     }
     const double wallS =
@@ -217,6 +269,34 @@ main(int argc, char **argv)
     std::printf("shots executed %llu  circuits %llu\n",
                 static_cast<unsigned long long>(c.shotsExecuted),
                 static_cast<unsigned long long>(c.circuitsExecuted));
+
+    const double sloAttainment =
+        sloJobs > 0 ? static_cast<double>(sloMet) /
+                          static_cast<double>(sloJobs)
+                    : 1.0;
+    const double shedShotFraction =
+        c.shotsExecuted + c.shotsShed > 0
+            ? static_cast<double>(c.shotsShed) /
+                  static_cast<double>(c.shotsExecuted + c.shotsShed)
+            : 0.0;
+    const double degradedRate =
+        completed > 0 ? static_cast<double>(degradedJobs) /
+                            static_cast<double>(completed)
+                      : 0.0;
+
+    bench::heading("latency SLOs");
+    std::printf("slo jobs %llu  met %llu  attainment %.4f\n",
+                static_cast<unsigned long long>(sloJobs),
+                static_cast<unsigned long long>(sloMet),
+                sloAttainment);
+    std::printf("deadline sheds %llu  shots shed %llu "
+                "(fraction %.4f)  degraded rate %.4f\n",
+                static_cast<unsigned long long>(c.deadlineSheds),
+                static_cast<unsigned long long>(c.shotsShed),
+                shedShotFraction, degradedRate);
+    std::printf("member joins %llu  leaves %llu\n",
+                static_cast<unsigned long long>(c.memberJoins),
+                static_cast<unsigned long long>(c.memberLeaves));
 
     bench::heading("admission backpressure");
     std::printf("rejected %llu (queue full %llu, tenant quota %llu, "
@@ -279,6 +359,19 @@ main(int argc, char **argv)
             "  \"shards_executed\": %llu,\n"
             "  \"shards_requeued\": %llu,\n"
             "  \"shots_executed\": %llu,\n"
+            "  \"deadline_frac\": %.4f,\n"
+            "  \"slo_h\": %.4f,\n"
+            "  \"churn\": %.4f,\n"
+            "  \"slo_jobs\": %llu,\n"
+            "  \"slo_met\": %llu,\n"
+            "  \"slo_attainment\": %.4f,\n"
+            "  \"deadline_sheds\": %llu,\n"
+            "  \"shots_shed\": %llu,\n"
+            "  \"shed_shot_fraction\": %.6f,\n"
+            "  \"degraded_jobs\": %llu,\n"
+            "  \"degraded_rate\": %.4f,\n"
+            "  \"member_joins\": %llu,\n"
+            "  \"member_leaves\": %llu,\n"
             "  \"member_shots\": [",
             clockMode.c_str(), timescaleS, tenants, rounds, shots,
             static_cast<unsigned long long>(seed),
@@ -301,7 +394,17 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(c.workItems),
             static_cast<unsigned long long>(c.shardsExecuted),
             static_cast<unsigned long long>(c.shardsRequeued),
-            static_cast<unsigned long long>(c.shotsExecuted));
+            static_cast<unsigned long long>(c.shotsExecuted),
+            deadlineFrac, sloH, churn,
+            static_cast<unsigned long long>(sloJobs),
+            static_cast<unsigned long long>(sloMet), sloAttainment,
+            static_cast<unsigned long long>(c.deadlineSheds),
+            static_cast<unsigned long long>(c.shotsShed),
+            shedShotFraction,
+            static_cast<unsigned long long>(degradedJobs),
+            degradedRate,
+            static_cast<unsigned long long>(c.memberJoins),
+            static_cast<unsigned long long>(c.memberLeaves));
         for (std::size_t m = 0; m < node.numMembers(); ++m)
             std::fprintf(f, "%s%llu", m ? ", " : "",
                          static_cast<unsigned long long>(

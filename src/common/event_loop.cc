@@ -29,19 +29,32 @@ SteadyClock::advanceTo(double tH)
         std::this_thread::sleep_until(deadline);
 }
 
-void
+uint64_t
 EventLoop::schedule(double delayH, Handler fn)
 {
-    scheduleAt(now() + (delayH > 0.0 ? delayH : 0.0), std::move(fn));
+    return scheduleAt(now() + (delayH > 0.0 ? delayH : 0.0),
+                      std::move(fn));
 }
 
-void
+uint64_t
 EventLoop::scheduleAt(double timeH, Handler fn)
 {
     const double nowH = now();
     if (timeH < nowH)
         timeH = nowH;
-    queue_.push(Event{timeH, nextSeq_++, std::move(fn)});
+    const uint64_t id = nextSeq_++;
+    queue_.push(Event{timeH, id, std::move(fn)});
+    liveIds_.insert(id);
+    return id;
+}
+
+bool
+EventLoop::cancel(uint64_t id)
+{
+    if (liveIds_.erase(id) == 0)
+        return false; // unknown, already fired, or already cancelled
+    cancelled_.insert(id);
+    return true;
 }
 
 void
@@ -51,25 +64,57 @@ EventLoop::fireTop()
     // before firing: the handler may schedule (or run) further events.
     Event e = std::move(const_cast<Event &>(queue_.top()));
     queue_.pop();
+    liveIds_.erase(e.seq);
     clock_.advanceTo(e.time);
     ++processed_;
     e.fn();
 }
 
 void
+EventLoop::purgeCancelledTop()
+{
+    // Discard cancelled events sitting at the head WITHOUT advancing
+    // the clock: a cancelled far-future deadline must never drag model
+    // time forward (or sleep, under a wall clock).
+    while (!queue_.empty() && cancelled_.erase(queue_.top().seq) > 0)
+        queue_.pop();
+}
+
+void
+EventLoop::drainCancelled()
+{
+    // Live events are gone; whatever remains queued is cancelled husks.
+    while (!queue_.empty())
+        queue_.pop();
+    cancelled_.clear();
+}
+
+void
 EventLoop::run()
 {
-    while (!queue_.empty())
+    while (!liveIds_.empty()) {
+        if (stopRequested_.exchange(false))
+            return;
+        purgeCancelledTop();
         fireTop();
+    }
+    drainCancelled();
 }
 
 void
 EventLoop::runUntil(double limitH)
 {
-    while (!queue_.empty() && queue_.top().time <= limitH)
+    purgeCancelledTop();
+    while (!liveIds_.empty() && queue_.top().time <= limitH) {
+        if (stopRequested_.exchange(false))
+            return;
         fireTop();
-    if (queue_.empty())
+        purgeCancelledTop();
+    }
+    if (liveIds_.empty()) {
+        drainCancelled();
         clock_.advanceTo(limitH);
+    }
 }
 
 } // namespace eqc

@@ -25,11 +25,13 @@
 #ifndef EQC_COMMON_EVENT_LOOP_H
 #define EQC_COMMON_EVENT_LOOP_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace eqc {
@@ -128,13 +130,28 @@ class EventLoop
     /** Current model time in hours (the clock's). */
     double now() const { return clock_.nowH(); }
 
-    /** Schedule @p fn to run @p delayH hours from now (< 0 clamps). */
-    void schedule(double delayH, Handler fn);
+    /**
+     * Schedule @p fn to run @p delayH hours from now (< 0 clamps).
+     * @return an event id usable with cancel().
+     */
+    uint64_t schedule(double delayH, Handler fn);
 
-    /** Schedule @p fn at model time @p timeH (the past clamps to now). */
-    void scheduleAt(double timeH, Handler fn);
+    /**
+     * Schedule @p fn at model time @p timeH (the past clamps to now).
+     * @return an event id usable with cancel().
+     */
+    uint64_t scheduleAt(double timeH, Handler fn);
 
-    /** Run until the event queue drains. */
+    /**
+     * Revoke a pending event by id. A cancelled event never fires and
+     * never advances the clock (under a wall clock the loop never
+     * sleeps for it). Cancelling an id that already fired or was
+     * already cancelled is a no-op.
+     * @return true when the event was pending and is now cancelled
+     */
+    bool cancel(uint64_t id);
+
+    /** Run until the event queue drains (or requestStop() is seen). */
     void run();
 
     /**
@@ -144,19 +161,29 @@ class EventLoop
      */
     void runUntil(double limitH);
 
+    /**
+     * Ask the running loop to return before firing its next event.
+     * Safe to call from an event handler or another thread; the flag
+     * is consumed by the next run()/runUntil() iteration, so a stop
+     * requested while idle applies to the next run call.
+     */
+    void requestStop() { stopRequested_.store(true); }
+
     /** Number of events executed so far. */
     uint64_t processed() const { return processed_; }
 
-    /** true when no events are pending. */
-    bool empty() const { return queue_.empty(); }
+    /** true when no live (uncancelled) events are pending. */
+    bool empty() const { return liveIds_.empty(); }
 
-    /** Pending (not yet fired) events. */
-    std::size_t pending() const { return queue_.size(); }
+    /** Live (scheduled, not fired, not cancelled) events. */
+    std::size_t pending() const { return liveIds_.size(); }
 
     /**
      * Model hour of the earliest pending event; +infinity when the
      * queue is empty. Chaos/test harnesses use this to aim fault
-     * injections at the window a drain is about to execute.
+     * injections at the window a drain is about to execute. May report
+     * a cancelled event's hour until the loop next purges its top —
+     * fine for aiming heuristics, don't treat it as exact.
      */
     double nextTimeH() const
     {
@@ -184,11 +211,16 @@ class EventLoop
     };
 
     void fireTop();
+    void purgeCancelledTop();
+    void drainCancelled();
 
     Clock &clock_;
     uint64_t nextSeq_ = 0;
     uint64_t processed_ = 0;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<uint64_t> liveIds_;
+    std::unordered_set<uint64_t> cancelled_;
+    std::atomic<bool> stopRequested_{false};
 };
 
 } // namespace eqc

@@ -48,7 +48,7 @@ InvariantChecker::check(const EventJournal &journal)
 {
     std::vector<Violation> v;
     const JournalConfig &cfg = journal.config;
-    const std::size_t numMembers = cfg.devices.size();
+    const double inf = std::numeric_limits<double>::infinity();
 
     std::unordered_map<uint64_t, const EventRecord *> admits;
     std::unordered_map<uint64_t, const EventRecord *> finals;
@@ -67,10 +67,33 @@ InvariantChecker::check(const EventJournal &journal)
         rejectGroups;
     // Energies of executed aggregates stored so far (cache sources).
     std::set<uint64_t> executedEnergyBits;
-    std::vector<double> failAtH(
-        numMembers, std::numeric_limits<double>::infinity());
+    // Per-member health and membership windows: configured devices
+    // span (-inf, inf); live joins open at their join hour, leavers
+    // close at theirs. The vectors grow with MemberJoin records.
+    std::vector<double> failAtH(cfg.devices.size(), inf);
+    std::vector<double> joinAtH(cfg.devices.size(), -inf);
+    std::vector<double> leaveAtH(cfg.devices.size(), inf);
+    // First DeadlineShed record per work uid (I7/I8/I12).
+    std::unordered_map<uint64_t, const EventRecord *> shedRecs;
+    // Uids already finalized (I12: no shed after the first finalize).
+    std::set<uint64_t> finalizedUids;
     int healthEpoch = 0;
     bool sawMemberFail = false;
+    bool sawMemberLeave = false;
+    // I11: loop-fired records (shard resolutions, finalizes, sheds)
+    // are journaled at the loop's current hour, which never runs
+    // backwards.
+    double lastLoopT = -inf;
+    auto checkLoopOrder = [&](const EventRecord &r) {
+        if (r.tH < lastLoopT)
+            flag(v, "event-order",
+                 std::string(kindName(r.kind)) + " at t=" +
+                     std::to_string(r.tH) +
+                     " fired after the loop already reached t=" +
+                     std::to_string(lastLoopT));
+        else
+            lastLoopT = r.tH;
+    };
 
     for (const EventRecord &r : journal.records()) {
         switch (r.kind) {
@@ -104,11 +127,11 @@ InvariantChecker::check(const EventJournal &journal)
             sawMemberFail = true;
             ++healthEpoch;
             if (r.member < 0 ||
-                static_cast<std::size_t>(r.member) >= numMembers) {
+                static_cast<std::size_t>(r.member) >= failAtH.size()) {
                 flag(v, "no-zombie-shards",
                      "member_fail names member " +
                          std::to_string(r.member) +
-                         " outside the configured ensemble");
+                         " outside the known ensemble");
                 break;
             }
             failAtH[static_cast<std::size_t>(r.member)] = r.atH;
@@ -116,9 +139,34 @@ InvariantChecker::check(const EventJournal &journal)
         case EventKind::MemberRestore:
             ++healthEpoch;
             if (r.member >= 0 &&
-                static_cast<std::size_t>(r.member) < numMembers)
-                failAtH[static_cast<std::size_t>(r.member)] =
-                    std::numeric_limits<double>::infinity();
+                static_cast<std::size_t>(r.member) < failAtH.size())
+                failAtH[static_cast<std::size_t>(r.member)] = inf;
+            break;
+        case EventKind::MemberJoin:
+            // Joins change the alive set backpressure hints minimize
+            // over, so they split I2's epoch groups like fails do.
+            ++healthEpoch;
+            if (r.member != static_cast<int>(failAtH.size()))
+                flag(v, "membership-window",
+                     "member_join names index " +
+                         std::to_string(r.member) + " but " +
+                         std::to_string(failAtH.size()) +
+                         " members exist");
+            failAtH.push_back(inf);
+            joinAtH.push_back(r.atH);
+            leaveAtH.push_back(inf);
+            break;
+        case EventKind::MemberLeave:
+            sawMemberLeave = true;
+            ++healthEpoch;
+            if (r.member < 0 ||
+                static_cast<std::size_t>(r.member) >= leaveAtH.size())
+                flag(v, "membership-window",
+                     "member_leave names member " +
+                         std::to_string(r.member) +
+                         " outside the known ensemble");
+            else
+                leaveAtH[static_cast<std::size_t>(r.member)] = r.atH;
             break;
         case EventKind::Dispatch: {
             ShardTrace &t = shards[{r.workUid, r.seq}];
@@ -128,10 +176,28 @@ InvariantChecker::check(const EventJournal &journal)
                          std::to_string(r.seq) +
                          ") dispatched twice");
             t.dispatch = &r;
+            if (r.member < 0 ||
+                static_cast<std::size_t>(r.member) >= joinAtH.size())
+                flag(v, "membership-window",
+                     "shard (" + std::to_string(r.workUid) + "," +
+                         std::to_string(r.seq) +
+                         ") dispatched onto unknown member " +
+                         std::to_string(r.member));
+            else if (r.tH <
+                         joinAtH[static_cast<std::size_t>(r.member)] ||
+                     r.tH >=
+                         leaveAtH[static_cast<std::size_t>(r.member)])
+                flag(v, "membership-window",
+                     "shard (" + std::to_string(r.workUid) + "," +
+                         std::to_string(r.seq) +
+                         ") dispatched at h=" + std::to_string(r.tH) +
+                         " outside member " + std::to_string(r.member) +
+                         "'s membership window");
             break;
         }
         case EventKind::ShardDone:
         case EventKind::ShardFail: {
+            checkLoopOrder(r);
             ShardTrace &t = shards[{r.workUid, r.seq}];
             if (t.resolve)
                 flag(v, "dispatch-resolution",
@@ -140,7 +206,7 @@ InvariantChecker::check(const EventJournal &journal)
                          ") resolved twice");
             t.resolve = &r;
             if (r.kind == EventKind::ShardDone && r.member >= 0 &&
-                static_cast<std::size_t>(r.member) < numMembers &&
+                static_cast<std::size_t>(r.member) < failAtH.size() &&
                 r.doneH >= failAtH[static_cast<std::size_t>(r.member)])
                 flag(v, "no-zombie-shards",
                      "shard (" + std::to_string(r.workUid) + "," +
@@ -176,7 +242,22 @@ InvariantChecker::check(const EventJournal &journal)
                          " served energy " + hexBits(r.energy) +
                          " that no earlier execution stored");
             break;
+        case EventKind::DeadlineShed: {
+            checkLoopOrder(r);
+            if (finalizedUids.count(r.workUid))
+                flag(v, "shed-before-finalize",
+                     "work " + std::to_string(r.workUid) +
+                         " shed at t=" + std::to_string(r.tH) +
+                         " after it already finalized");
+            if (!shedRecs.emplace(r.workUid, &r).second)
+                flag(v, "deadline-resolution",
+                     "work " + std::to_string(r.workUid) +
+                         " shed twice");
+            break;
+        }
         case EventKind::Finalize:
+            checkLoopOrder(r);
+            finalizedUids.insert(r.workUid);
             if (!finals.emplace(r.jobId, &r).second)
                 flag(v, "admitted-completes",
                      "job " + std::to_string(r.jobId) +
@@ -208,11 +289,12 @@ InvariantChecker::check(const EventJournal &journal)
                      std::to_string(kv.second->shots) +
                      " shots but finalized undegraded with " +
                      std::to_string(fin.shots));
-        if (fin.degraded && !sawMemberFail)
+        if (fin.degraded && !sawMemberFail && !sawMemberLeave &&
+            !fin.shed)
             flag(v, "admitted-completes",
                  "job " + std::to_string(kv.first) +
-                     " degraded without any member failure on "
-                     "record");
+                     " degraded without any member failure, "
+                     "member leave, or deadline shed on record");
     }
     for (const auto &kv : finals)
         if (!admits.count(kv.first))
@@ -252,8 +334,15 @@ InvariantChecker::check(const EventJournal &journal)
     // so survivor weights renormalize to 1 by construction) must
     // reproduce the finalized aggregate bit for bit.
     uint64_t openUid = 0;
-    serve::Aggregator agg(
-        static_cast<serve::AggregationMode>(cfg.aggregation));
+    // Shed items finalize through the equi-weighted fallback
+    // aggregator regardless of the configured mode.
+    auto modeFor = [&](uint64_t uid) {
+        return shedRecs.count(uid)
+                   ? serve::AggregationMode::EquiWeighted
+                   : static_cast<serve::AggregationMode>(
+                         cfg.aggregation);
+    };
+    serve::Aggregator agg(modeFor(0));
     auto finishUid = [&](uint64_t uid, serve::Aggregator &a) {
         auto it = itemFinal.find(uid);
         if (it == itemFinal.end())
@@ -274,10 +363,22 @@ InvariantChecker::check(const EventJournal &journal)
                  "work " + std::to_string(uid) +
                      ": pCorrect diverges (" + hexBits(a.pCorrect()) +
                      " vs " + hexBits(fin.pCorrect) + ")");
-        if (!bitEqual(a.completeH(), fin.doneH))
+        auto sit = shedRecs.find(uid);
+        if (sit != shedRecs.end()) {
+            // A shed item completes at the hour the deadline fired,
+            // not at its (truncated) aggregate's last shard hour.
+            if (!bitEqual(fin.doneH, sit->second->tH))
+                flag(v, "survivor-renormalization",
+                     "work " + std::to_string(uid) +
+                         ": shed completion hour " +
+                         hexBits(fin.doneH) +
+                         " differs from the shed event hour " +
+                         hexBits(sit->second->tH));
+        } else if (!bitEqual(a.completeH(), fin.doneH)) {
             flag(v, "survivor-renormalization",
                  "work " + std::to_string(uid) +
                      ": completion hour diverges");
+        }
         if (a.shotsExecuted() != fin.shots ||
             a.shardsExecuted() != fin.shardsRun ||
             a.circuitsRun() != fin.circuits)
@@ -293,8 +394,7 @@ InvariantChecker::check(const EventJournal &journal)
             if (openUid)
                 finishUid(openUid, agg);
             openUid = uid;
-            agg = serve::Aggregator(
-                static_cast<serve::AggregationMode>(cfg.aggregation));
+            agg = serve::Aggregator(modeFor(uid));
         }
         if (!t.dispatch) {
             flag(v, "dispatch-resolution",
@@ -317,6 +417,8 @@ InvariantChecker::check(const EventJournal &journal)
                      std::to_string(kv.first.second) +
                      ") resolved with a member/shots pair different "
                      "from its dispatch");
+        if (t.resolve->late)
+            continue; // resolved after a deadline shed: not aggregated
         serve::ShardResult s;
         s.member = t.resolve->member;
         s.shots = t.resolve->shots;
@@ -338,9 +440,128 @@ InvariantChecker::check(const EventJournal &journal)
             shards.lower_bound({kv.first, 0})->first.first ==
                 kv.first)
             continue;
-        serve::Aggregator empty(
-            static_cast<serve::AggregationMode>(cfg.aggregation));
+        serve::Aggregator empty(modeFor(kv.first));
         finishUid(kv.first, empty);
+    }
+
+    // I7: every admitted job with an SLO resolves to exactly one of
+    // met (finalized at or before the deadline, no shed record) or
+    // shed (shed record present, outcome marked shed and degraded).
+    for (const auto &kv : admits) {
+        const EventRecord &ad = *kv.second;
+        if (ad.deadlineH <= 0.0)
+            continue;
+        auto it = finals.find(kv.first);
+        if (it == finals.end())
+            continue; // I1 already flagged the missing finalize
+        const EventRecord &fin = *it->second;
+        const bool hasShedRec = shedRecs.count(fin.workUid) > 0;
+        if (fin.shed != hasShedRec)
+            flag(v, "deadline-resolution",
+                 "job " + std::to_string(kv.first) +
+                     (fin.shed
+                          ? " finalized shed without a deadline_shed "
+                            "record"
+                          : " finalized met although its work item "
+                            "has a deadline_shed record"));
+        if (!fin.shed && fin.doneH > ad.deadlineH)
+            flag(v, "deadline-resolution",
+                 "job " + std::to_string(kv.first) +
+                     " claims a met deadline but finalized at h=" +
+                     std::to_string(fin.doneH) +
+                     " past its SLO of h=" +
+                     std::to_string(ad.deadlineH));
+        if (fin.shed && !fin.degraded)
+            flag(v, "deadline-resolution",
+                 "job " + std::to_string(kv.first) +
+                     " shed but not marked degraded");
+    }
+    for (const auto &kv : shedRecs) {
+        auto it = itemFinal.find(kv.first);
+        if (it == itemFinal.end() || !it->second->shed)
+            flag(v, "deadline-resolution",
+                 "work " + std::to_string(kv.first) +
+                     " has a deadline_shed record but never "
+                     "finalized shed");
+    }
+
+    // I8: a shed item's completed + shed shots account for exactly
+    // its budget (the largest rider request), and the finalized
+    // totals match the shed record.
+    std::unordered_map<uint64_t, int> uidBudget;
+    for (const auto &kv : finals) {
+        auto a = admits.find(kv.first);
+        if (a == admits.end())
+            continue;
+        int &b = uidBudget[kv.second->workUid];
+        b = std::max(b, a->second->shots);
+    }
+    for (const auto &kv : shedRecs) {
+        auto it = itemFinal.find(kv.first);
+        if (it == itemFinal.end())
+            continue;
+        const EventRecord &fin = *it->second;
+        const EventRecord &shedRec = *kv.second;
+        if (fin.shots != shedRec.shots ||
+            fin.shedShots != shedRec.shedShots)
+            flag(v, "shed-shot-accounting",
+                 "work " + std::to_string(kv.first) +
+                     " finalized with " + std::to_string(fin.shots) +
+                     "+" + std::to_string(fin.shedShots) +
+                     " (completed+shed) shots but its shed record "
+                     "says " +
+                     std::to_string(shedRec.shots) + "+" +
+                     std::to_string(shedRec.shedShots));
+        auto b = uidBudget.find(kv.first);
+        if (b != uidBudget.end() &&
+            fin.shots + fin.shedShots != b->second)
+            flag(v, "shed-shot-accounting",
+                 "work " + std::to_string(kv.first) + " completed " +
+                     std::to_string(fin.shots) + " and shed " +
+                     std::to_string(fin.shedShots) +
+                     " shots against a budget of " +
+                     std::to_string(b->second));
+    }
+
+    // I10: every rider of one work item finalizes with the same
+    // aggregate bits and the same outcome flags — coalesced and
+    // rider-joined jobs are indistinguishable from the lead.
+    std::unordered_map<uint64_t, const EventRecord *> uidLead;
+    for (const auto &kv : finals) {
+        const EventRecord &fin = *kv.second;
+        auto lead = uidLead.emplace(fin.workUid, &fin);
+        if (lead.second)
+            continue;
+        const EventRecord &l = *lead.first->second;
+        if (!bitEqual(fin.energy, l.energy) ||
+            !bitEqual(fin.variance, l.variance) ||
+            !bitEqual(fin.pCorrect, l.pCorrect))
+            flag(v, "coalesced-rider-consistency",
+                 "work " + std::to_string(fin.workUid) + ": jobs " +
+                     std::to_string(l.jobId) + " and " +
+                     std::to_string(fin.jobId) +
+                     " finalized different aggregate bits");
+        if (fin.shots != l.shots || fin.shardsRun != l.shardsRun ||
+            fin.circuits != l.circuits || fin.round != l.round)
+            flag(v, "coalesced-rider-consistency",
+                 "work " + std::to_string(fin.workUid) + ": jobs " +
+                     std::to_string(l.jobId) + " and " +
+                     std::to_string(fin.jobId) +
+                     " finalized different shot/shard/round totals");
+        if (fin.degraded != l.degraded || fin.shed != l.shed ||
+            fin.shedShots != l.shedShots ||
+            fin.fromCache != l.fromCache)
+            flag(v, "coalesced-rider-consistency",
+                 "work " + std::to_string(fin.workUid) + ": jobs " +
+                     std::to_string(l.jobId) + " and " +
+                     std::to_string(fin.jobId) +
+                     " journaled different outcome bits");
+        if (!fin.fromCache && !bitEqual(fin.doneH, l.doneH))
+            flag(v, "coalesced-rider-consistency",
+                 "work " + std::to_string(fin.workUid) + ": jobs " +
+                     std::to_string(l.jobId) + " and " +
+                     std::to_string(fin.jobId) +
+                     " finalized at different hours");
     }
 
     return v;
@@ -404,10 +625,14 @@ ChaosEngine::run(TaskPool *pool)
     };
     so.aggregation = modes[o.seed % 3];
 
-    serve::ServiceNode node(devices, so);
+    SteadyClock steady(o.timescaleS);
+    serve::ServiceNode node(devices, so,
+                            o.steadyClock ? &steady : nullptr);
     journal_.config = describeNode(
         so, specs,
         {{"heisenberg_vqe", 7}, {"ring_maxcut_qaoa", 7}});
+    if (o.steadyClock)
+        journal_.config.clock = "steady";
     node.setJournalSink(&journal_);
 
     VqaProblem vqe = problemByName("heisenberg_vqe", 7);
@@ -418,6 +643,8 @@ ChaosEngine::run(TaskPool *pool)
         node.registerWorkload(qaoa.ansatz, qaoa.hamiltonian);
 
     std::vector<bool> dead(static_cast<std::size_t>(members), false);
+    // Catalog devices not in the starting lineup: the join pool.
+    int nextSpare = members;
     const int pairs = (o.tenants + 1) / 2;
     std::vector<int> lastRoundKey(static_cast<std::size_t>(pairs), -1);
     double baseH = 0.0;
@@ -426,12 +653,33 @@ ChaosEngine::run(TaskPool *pool)
     for (int round = 0; round < o.rounds; ++round) {
         // Probabilistic restores first: a member brought back before
         // the round's submissions is eligible for planning again.
-        for (int m = 0; m < members; ++m) {
-            if (dead[static_cast<std::size_t>(m)] &&
-                rng.bernoulli(o.restoreProb)) {
-                node.restoreMember(static_cast<std::size_t>(m));
-                dead[static_cast<std::size_t>(m)] = false;
+        for (std::size_t m = 0; m < dead.size(); ++m) {
+            if (dead[m] && rng.bernoulli(o.restoreProb)) {
+                node.restoreMember(m);
+                dead[m] = false;
                 ++rep.restores;
+            }
+        }
+
+        // Live membership churn: join a spare catalog device or
+        // retire an active member. All draws are gated on churnProb
+        // so legacy seeds stay byte-stable with the knob off.
+        if (o.churnProb > 0.0 && rng.bernoulli(o.churnProb)) {
+            const bool canJoin =
+                nextSpare < static_cast<int>(idx.size());
+            if (canJoin && rng.bernoulli(0.5)) {
+                Device dev = catalog[static_cast<std::size_t>(
+                    idx[static_cast<std::size_t>(nextSpare++)])];
+                node.addMember(std::move(dev),
+                               baseH + rng.uniform(0.0, 0.2));
+                dead.push_back(false);
+                ++rep.joins;
+            } else {
+                const int m = rng.uniformInt(
+                    0, static_cast<int>(dead.size()) - 1);
+                node.removeMember(static_cast<std::size_t>(m),
+                                  baseH + rng.uniform(0.0, 0.3));
+                ++rep.leaves;
             }
         }
 
@@ -474,6 +722,12 @@ ChaosEngine::run(TaskPool *pool)
                         : baseH + rng.uniform(0.3, 0.8);
                 ++rep.skewed;
             }
+            if (o.deadlineProb > 0.0 &&
+                rng.bernoulli(o.deadlineProb))
+                // Tight enough that mid-flight sheds actually occur,
+                // loose enough that most SLOs are attainable. Skewed
+                // submitters can blow their own SLO at the door.
+                req.deadlineH = req.submitH + rng.uniform(0.05, 0.6);
             node.submit(req);
         }
 
@@ -500,12 +754,10 @@ ChaosEngine::run(TaskPool *pool)
             std::isfinite(node.loop().nextTimeH())
                 ? node.loop().nextTimeH()
                 : baseH;
-        for (int m = 0; m < members; ++m) {
-            if (!dead[static_cast<std::size_t>(m)] &&
-                rng.bernoulli(o.killProb)) {
-                node.failMemberAt(static_cast<std::size_t>(m),
-                                  windowH + rng.uniform(0.0, 0.5));
-                dead[static_cast<std::size_t>(m)] = true;
+        for (std::size_t m = 0; m < dead.size(); ++m) {
+            if (!dead[m] && rng.bernoulli(o.killProb)) {
+                node.failMemberAt(m, windowH + rng.uniform(0.0, 0.5));
+                dead[m] = true;
                 ++rep.kills;
             }
         }
@@ -517,9 +769,12 @@ ChaosEngine::run(TaskPool *pool)
 
     node.setJournalSink(nullptr);
     rep.counters = node.counters();
+    rep.sheds = static_cast<int>(rep.counters.deadlineSheds);
     rep.violations = InvariantChecker::check(journal_);
 
-    if (o.verifyReplay) {
+    // Wall-clock journals carry real timestamps and are not
+    // bit-replayable; the invariant audit above still applies.
+    if (o.verifyReplay && !o.steadyClock) {
         std::string err;
         EventJournal parsed =
             EventJournal::parse(journal_.serialize(), &err);

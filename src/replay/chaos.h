@@ -38,7 +38,23 @@
  *  I5 no-zombie-shards: no shard completes at or after its member's
  *     active kill hour;
  *  I6 dispatch-resolution: every dispatched shard resolves exactly
- *     once (completion xor failure timeout, matching member/shots).
+ *     once (completion xor failure timeout, matching member/shots);
+ *  I7 deadline-resolution: every admitted job with an SLO resolves to
+ *     exactly one of met (finalized at or before the deadline) or shed
+ *     (exactly one DeadlineShed record, outcome marked shed+degraded);
+ *  I8 shed-shot-accounting: a shed item finalizes with exactly the
+ *     shots its non-late completed shards produced, and completed +
+ *     shed shots equal the item's budget (largest rider request);
+ *  I9 membership-window: no shard dispatches onto a member before its
+ *     join hour or at/after its leave hour;
+ *  I10 coalesced-rider-consistency: all riders of one work item
+ *     finalize with bitwise-identical aggregates and identical
+ *     degraded/shed/shed-shot outcome bits;
+ *  I11 event-order: journal timestamps of loop-fired events (shard
+ *     resolutions, finalizes, deadline sheds) never run backwards;
+ *  I12 shed-before-finalize: a work item's DeadlineShed record always
+ *     precedes its first Finalize — no deadline fires after the
+ *     item completed.
  *
  * bench/chaos_storm.cc drives thousands of these schedules; a failing
  * seed's journal replays through replay::Replayer for a local repro.
@@ -90,6 +106,26 @@ struct ChaosOptions
     int tenantQuota = 3;
     /** Also serialize->parse->replay the journal and cross-check. */
     bool verifyReplay = false;
+    /**
+     * Per submission: attach a latency SLO — deadlineH = submitH +
+     * U(0.05, 0.6) — exercising graceful shedding and SLO rejections.
+     * 0 draws nothing, keeping legacy seeds byte-stable.
+     */
+    double deadlineProb = 0.0;
+    /**
+     * Per round: live membership churn — join a spare catalog device
+     * or retire an active member mid-schedule. 0 draws nothing.
+     */
+    double churnProb = 0.0;
+    /**
+     * Drive the schedule on a SteadyClock (real time at timescaleS
+     * wall-seconds per serving hour) instead of a VirtualClock. Wall
+     * journals are not bit-replayable — verifyReplay is skipped — but
+     * every invariant is still audited, including the timing ones.
+     */
+    bool steadyClock = false;
+    /** SteadyClock scale: wall seconds per serving hour. */
+    double timescaleS = 0.002;
 };
 
 /** One invariant violation found in a journal. */
@@ -100,7 +136,7 @@ struct Violation
     std::string detail;
 };
 
-/** Audits a journal against invariants I1..I6 (see file comment). */
+/** Audits a journal against invariants I1..I12 (see file comment). */
 class InvariantChecker
 {
   public:
@@ -117,6 +153,11 @@ struct ChaosReport
     int driftSpikes = 0;
     int floods = 0;
     int skewed = 0;
+    /** Live membership joins/leaves injected by churn. */
+    int joins = 0;
+    int leaves = 0;
+    /** Deadline sheds the node performed (from its counters). */
+    int sheds = 0;
     serve::ServiceCounters counters;
     std::vector<Violation> violations;
     /** A serialize->parse->replay cross-check ran. */

@@ -1,7 +1,9 @@
 #include "replay/journal.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 
 namespace eqc {
@@ -27,6 +29,10 @@ kindName(EventKind kind)
     case EventKind::MemberRestore: return "member_restore";
     case EventKind::Drain: return "drain";
     case EventKind::Finalize: return "finalize";
+    case EventKind::DeadlineShed: return "deadline_shed";
+    case EventKind::MemberJoin: return "member_join";
+    case EventKind::MemberLeave: return "member_leave";
+    case EventKind::RiderJoin: return "rider_join";
     }
     return "?";
 }
@@ -127,6 +133,7 @@ serializeRecord(std::string &out, const EventRecord &r)
         putI(out, "shots", r.shots);
         putI(out, "prio", r.priority);
         putD(out, "subH", r.submitH);
+        putD(out, "deadH", r.deadlineH);
         putArr(out, "params", r.params);
         break;
     case EventKind::Reject:
@@ -135,6 +142,7 @@ serializeRecord(std::string &out, const EventRecord &r)
         putI(out, "shots", r.shots);
         putI(out, "prio", r.priority);
         putD(out, "subH", r.submitH);
+        putD(out, "deadH", r.deadlineH);
         putI(out, "status", r.status);
         putI(out, "depth", r.depth);
         putD(out, "retryS", r.retryAfterS);
@@ -170,12 +178,14 @@ serializeRecord(std::string &out, const EventRecord &r)
         putD(out, "pc", r.pCorrect);
         putI(out, "circuits", r.circuits);
         putD(out, "doneH", r.doneH);
+        putB(out, "late", r.late);
         break;
     case EventKind::ShardFail:
         putU(out, "uid", r.workUid);
         putI(out, "member", r.member);
         putI(out, "shots", r.shots);
         putI(out, "seq", r.seq);
+        putB(out, "late", r.late);
         break;
     case EventKind::Replan:
         putU(out, "uid", r.workUid);
@@ -190,8 +200,13 @@ serializeRecord(std::string &out, const EventRecord &r)
         break;
     case EventKind::MemberRestore:
         putI(out, "member", r.member);
+        putB(out, "auto", r.autoRestore);
         break;
     case EventKind::Drain:
+        // Full drains stay byte-compatible with version-1 journals;
+        // only a bounded runUntil carries its limit.
+        if (std::isfinite(r.atH))
+            putD(out, "untilH", r.atH);
         break;
     case EventKind::Finalize:
         putU(out, "job", r.jobId);
@@ -209,6 +224,30 @@ serializeRecord(std::string &out, const EventRecord &r)
         putB(out, "degraded", r.degraded);
         putB(out, "cache", r.fromCache);
         putB(out, "coal", r.coalesced);
+        putD(out, "deadH", r.deadlineH);
+        putI(out, "shedShots", r.shedShots);
+        putB(out, "shed", r.shed);
+        break;
+    case EventKind::DeadlineShed:
+        putU(out, "job", r.jobId);
+        putU(out, "uid", r.workUid);
+        putI(out, "shots", r.shots);
+        putI(out, "shedShots", r.shedShots);
+        putD(out, "deadH", r.deadlineH);
+        break;
+    case EventKind::MemberJoin:
+        putI(out, "member", r.member);
+        putS(out, "name", r.name);
+        putD(out, "atH", r.atH);
+        break;
+    case EventKind::MemberLeave:
+        putI(out, "member", r.member);
+        putD(out, "atH", r.atH);
+        break;
+    case EventKind::RiderJoin:
+        putU(out, "job", r.jobId);
+        putU(out, "uid", r.workUid);
+        putI(out, "shots", r.shots);
         break;
     }
     out += "}\n";
@@ -242,6 +281,11 @@ EventJournal::serialize() const
     putB(out, "mitig", c.readoutMitigation);
     putI(out, "requeueRounds", c.maxRequeueRounds);
     putU(out, "reservoir", c.latencyReservoir);
+    putD(out, "parkRetryH", c.parkRetryH);
+    putD(out, "supBase", c.superviseBaseBackoffH);
+    putD(out, "supMax", c.superviseMaxBackoffH);
+    putD(out, "coldPenalty", c.coldStartPenalty);
+    putD(out, "coldH", c.coldStartH);
     putU(out, "catalogSeed", c.catalogSeed);
     out += "}\n";
 
@@ -427,6 +471,10 @@ kindFromName(const std::string &name, bool &ok)
         {"member_restore", EventKind::MemberRestore},
         {"drain", EventKind::Drain},
         {"finalize", EventKind::Finalize},
+        {"deadline_shed", EventKind::DeadlineShed},
+        {"member_join", EventKind::MemberJoin},
+        {"member_leave", EventKind::MemberLeave},
+        {"rider_join", EventKind::RiderJoin},
     };
     ok = true;
     for (const auto &e : table)
@@ -521,6 +569,11 @@ EventJournal::parse(const std::string &text, std::string *err)
             c.maxRequeueRounds =
                 static_cast<int>(getI(m, "requeueRounds", 4));
             c.latencyReservoir = getU(m, "reservoir", 4096);
+            c.parkRetryH = getD(m, "parkRetryH");
+            c.superviseBaseBackoffH = getD(m, "supBase");
+            c.superviseMaxBackoffH = getD(m, "supMax", 2.0);
+            c.coldStartPenalty = getD(m, "coldPenalty", 0.35);
+            c.coldStartH = getD(m, "coldH", 0.25);
             c.catalogSeed = getU(m, "catalogSeed", 2022);
             continue;
         }
@@ -577,6 +630,15 @@ EventJournal::parse(const std::string &text, std::string *err)
         r.fromCache = getB(m, "cache");
         r.coalesced = getB(m, "coal");
         r.exhausted = getB(m, "exhausted");
+        r.deadlineH = getD(m, "deadH");
+        r.shedShots = static_cast<int>(getI(m, "shedShots"));
+        r.shed = getB(m, "shed");
+        r.late = getB(m, "late");
+        r.autoRestore = getB(m, "auto");
+        r.name = getS(m, "name");
+        if (r.kind == EventKind::Drain)
+            r.atH = getD(m, "untilH",
+                         std::numeric_limits<double>::infinity());
         auto it = m.find("params");
         if (it != m.end() && it->second.type == Tok::Arr)
             r.params = it->second.arr;

@@ -63,10 +63,18 @@ enum class EventKind {
     MemberFail,
     /** restoreMember(member) was called. */
     MemberRestore,
-    /** drain() started running the loop. */
+    /** drain() or runUntil() started running the loop. */
     Drain,
     /** One rider's JobOutcome was produced. */
     Finalize,
+    /** A deadline event shed a work item (or a still-queued job). */
+    DeadlineShed,
+    /** addMember(device, atH) was called. */
+    MemberJoin,
+    /** removeMember(member, atH) was called. */
+    MemberLeave,
+    /** A job joined an already-dispatched work item mid-flight. */
+    RiderJoin,
 };
 
 /** Stable wire name of @p kind (the JSONL "k" field). */
@@ -108,7 +116,10 @@ struct EventRecord
     int riders = 0;
 
     double submitH = 0.0;
-    /** Hour the member dies (MemberFail). */
+    /**
+     * Hour the member dies (MemberFail), joins (MemberJoin), leaves
+     * (MemberLeave), or the runUntil limit (Drain; +inf = full drain).
+     */
     double atH = 0.0;
     /** Store stamp of the served cache entry (CacheHit). */
     double storedAtH = 0.0;
@@ -124,6 +135,21 @@ struct EventRecord
     bool coalesced = false;
     /** Requeue gave up (Replan). */
     bool exhausted = false;
+
+    /** Deadline carried by the request (Admit/Reject/DeadlineShed/
+     *  Finalize; 0 = none). */
+    double deadlineH = 0.0;
+    /** Shots abandoned by a shed (DeadlineShed/Finalize). */
+    int shedShots = 0;
+    /** Outcome was deadline-shed (Finalize). */
+    bool shed = false;
+    /** Shard resolved after its item was already finalized
+     *  (ShardDone/ShardFail). */
+    bool late = false;
+    /** Restore performed by the supervision path (MemberRestore). */
+    bool autoRestore = false;
+    /** Catalog device name (MemberJoin). */
+    std::string name;
 
     /** Parameter binding (Admit/Reject; bitwise identity). */
     std::vector<double> params;
@@ -186,6 +212,16 @@ struct JournalConfig
     bool readoutMitigation = true;
     int maxRequeueRounds = 4;
     uint64_t latencyReservoir = 4096;
+    /** Park-and-retry interval for unplannable items (0 = legacy). */
+    double parkRetryH = 0.0;
+    /** Supervised-restore base backoff hours (0 = supervision off). */
+    double superviseBaseBackoffH = 0.0;
+    /** Supervised-restore backoff cap in hours. */
+    double superviseMaxBackoffH = 2.0;
+    /** Cold-start weight floor for freshly joined members. */
+    double coldStartPenalty = 0.35;
+    /** Hours over which a joined member warms to full weight. */
+    double coldStartH = 0.25;
     /** Seed the device catalog was built with. */
     uint64_t catalogSeed = 2022;
     std::vector<DeviceSpec> devices;

@@ -1,5 +1,6 @@
 #include "replay/replayer.h"
 
+#include <cmath>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -24,6 +25,11 @@ optionsFor(const JournalConfig &c)
     o.scheduler.minShardShots = c.minShardShots;
     o.scheduler.minLatencyS = c.minLatencyS;
     o.scheduler.warmBoost = c.warmBoost;
+    o.scheduler.coldStartPenalty = c.coldStartPenalty;
+    o.scheduler.coldStartH = c.coldStartH;
+    o.retryUnplannableH = c.parkRetryH;
+    o.superviseBaseBackoffH = c.superviseBaseBackoffH;
+    o.superviseMaxBackoffH = c.superviseMaxBackoffH;
     o.aggregation = static_cast<serve::AggregationMode>(c.aggregation);
     o.shotMode = static_cast<ShotMode>(c.shotMode);
     o.pCorrectMode = static_cast<PCorrectMode>(c.pCorrectMode);
@@ -68,6 +74,11 @@ describeNode(const serve::ServiceOptions &o,
     c.minShardShots = o.scheduler.minShardShots;
     c.minLatencyS = o.scheduler.minLatencyS;
     c.warmBoost = o.scheduler.warmBoost;
+    c.coldStartPenalty = o.scheduler.coldStartPenalty;
+    c.coldStartH = o.scheduler.coldStartH;
+    c.parkRetryH = o.retryUnplannableH;
+    c.superviseBaseBackoffH = o.superviseBaseBackoffH;
+    c.superviseMaxBackoffH = o.superviseMaxBackoffH;
     c.aggregation = static_cast<int>(o.aggregation);
     c.shotMode = static_cast<int>(o.shotMode);
     c.pCorrectMode = static_cast<int>(o.pCorrectMode);
@@ -146,6 +157,7 @@ Replayer::run(TaskPool *pool) const
             req.shots = r.shots;
             req.priority = r.priority;
             req.submitH = r.submitH;
+            req.deadlineH = r.deadlineH;
             serve::Ticket t = node.submit(req);
             if (static_cast<int>(t.status) != r.status)
                 res.mismatches.push_back(intMismatch(
@@ -163,10 +175,22 @@ Replayer::run(TaskPool *pool) const
                               r.atH);
             break;
         case EventKind::MemberRestore:
-            node.restoreMember(static_cast<std::size_t>(r.member));
+            // Supervised restores are produced by the node's own
+            // backoff events — re-driving them would double-restore.
+            if (!r.autoRestore)
+                node.restoreMember(static_cast<std::size_t>(r.member));
+            break;
+        case EventKind::MemberJoin:
+            node.addMember(deviceByName(r.name, c.catalogSeed), r.atH);
+            break;
+        case EventKind::MemberLeave:
+            node.removeMember(static_cast<std::size_t>(r.member),
+                              r.atH);
             break;
         case EventKind::Drain: {
-            std::vector<serve::JobOutcome> got = node.drain(pool);
+            std::vector<serve::JobOutcome> got =
+                std::isfinite(r.atH) ? node.runUntil(r.atH, pool)
+                                     : node.drain(pool);
             outcomes.insert(outcomes.end(), got.begin(), got.end());
             break;
         }
@@ -222,8 +246,11 @@ Replayer::run(TaskPool *pool) const
         if (o.requeues != f.round)
             res.mismatches.push_back(intMismatch(
                 o.jobId, "requeues", o.requeues, f.round));
+        if (o.shedShots != f.shedShots)
+            res.mismatches.push_back(intMismatch(
+                o.jobId, "shedShots", o.shedShots, f.shedShots));
         if (o.degraded != f.degraded || o.fromCache != f.fromCache ||
-            o.coalesced != f.coalesced)
+            o.coalesced != f.coalesced || o.shed != f.shed)
             res.mismatches.push_back(
                 "job " + std::to_string(o.jobId) +
                 ": outcome flags diverge from the record");

@@ -48,6 +48,26 @@ JobQueue::pop()
     return e;
 }
 
+bool
+JobQueue::erase(uint64_t jobId, Entry *removed)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].jobId != jobId)
+            continue;
+        Entry e = std::move(entries_[i]);
+        entries_[i] = std::move(entries_.back());
+        entries_.pop_back();
+        std::make_heap(entries_.begin(), entries_.end(), popsAfter);
+        auto it = queuedPerTenant_.find(e.request.tenantId);
+        if (it != queuedPerTenant_.end() && --it->second <= 0)
+            queuedPerTenant_.erase(it);
+        if (removed)
+            *removed = std::move(e);
+        return true;
+    }
+    return false;
+}
+
 int
 JobQueue::queuedFor(int tenantId) const
 {

@@ -61,6 +61,14 @@ class JobQueue
     /** Highest-priority entry; queue must be non-empty. */
     Entry pop();
 
+    /**
+     * Remove a queued job by id (deadline sheds pull victims out of
+     * line). O(n) scan + re-heapify — rare path, small queues.
+     * @param removed receives the entry when found (may be null)
+     * @return true when the job was queued and is now removed
+     */
+    bool erase(uint64_t jobId, Entry *removed = nullptr);
+
     bool empty() const { return entries_.empty(); }
     std::size_t size() const { return entries_.size(); }
 

@@ -42,6 +42,15 @@ struct JobRequest
     int priority = 0;
     /** Virtual submission time (hours). */
     double submitH = 0.0;
+    /**
+     * Optional latency SLO: model hour by which the tenant needs an
+     * answer. <= 0 means no deadline. A job whose deadline passes
+     * before its work item completes is shed gracefully: shards not
+     * yet resolved are abandoned, the outcome is finalized from the
+     * completed shards under equi-weighted fallback aggregation, and
+     * the outcome carries shed = true with the abandoned shot count.
+     */
+    double deadlineH = 0.0;
 };
 
 /** Admission verdict for one submitted job. */
@@ -53,6 +62,8 @@ enum class AdmitStatus {
     RejectedTenantQuota,
     /** Unknown workload, binding arity mismatch, or bad shot budget. */
     RejectedBadRequest,
+    /** The request's deadlineH had already passed at submission. */
+    RejectedDeadline,
 };
 
 /** Submission receipt. */
@@ -114,10 +125,22 @@ struct JobOutcome
     bool fromCache = false;
     /**
      * Fewer shots than requested were executed: requeue rounds were
-     * exhausted under cascading member failures, or no member
-     * survived. The energy is still the best aggregate available.
+     * exhausted under cascading member failures, no member survived,
+     * or the job's deadline forced a shed. The energy is still the
+     * best aggregate available.
      */
     bool degraded = false;
+
+    /** The job's requested deadline (0 when none was set). */
+    double deadlineH = 0.0;
+    /** Shots abandoned when the deadline shed this work item. */
+    int shedShots = 0;
+    /**
+     * The deadline fired before the work item completed: the estimate
+     * is an equi-weighted aggregate of the shards that had finished by
+     * the deadline (possibly none).
+     */
+    bool shed = false;
 };
 
 /** Monotone service-wide counters. */
@@ -131,6 +154,8 @@ struct ServiceCounters
     uint64_t rejectedTenantQuota = 0;
     /** Rejections for malformed requests (no retry-after hint). */
     uint64_t rejectedBadRequest = 0;
+    /** Rejections because the deadline had passed at submission. */
+    uint64_t rejectedDeadline = 0;
     /** Jobs that rode another tenant's identical work item. */
     uint64_t jobsCoalesced = 0;
     /** Jobs answered from the result cache. */
@@ -141,6 +166,21 @@ struct ServiceCounters
     uint64_t shardsRequeued = 0;
     uint64_t shotsExecuted = 0;
     uint64_t circuitsExecuted = 0;
+
+    /** Jobs with a deadline that completed inside it. */
+    uint64_t deadlinesMet = 0;
+    /** Work items shed by a deadline event. */
+    uint64_t deadlineSheds = 0;
+    /** Shots abandoned across all deadline sheds. */
+    uint64_t shotsShed = 0;
+    /** Jobs that joined an already-dispatched work item mid-flight. */
+    uint64_t ridersJoined = 0;
+    /** Members added live via addMember. */
+    uint64_t memberJoins = 0;
+    /** Members retired live via removeMember. */
+    uint64_t memberLeaves = 0;
+    /** Automatic restores performed by the supervision path. */
+    uint64_t supervisedRestores = 0;
 };
 
 } // namespace serve

@@ -24,6 +24,12 @@ struct ServiceNode::Member
     std::unique_ptr<SimulatedQpu> backend;
     /** Hour the member dies (infinity = healthy). */
     double failAtH = std::numeric_limits<double>::infinity();
+    /** Hour the member joined (-infinity = original lineup). */
+    double joinAtH = -std::numeric_limits<double>::infinity();
+    /** Hour the member retires from planning (infinity = never). */
+    double leaveAtH = std::numeric_limits<double>::infinity();
+    /** Failures since the last manual restore (supervision backoff). */
+    int consecutiveFails = 0;
     /**
      * Shards planned onto the member whose completion/timeout event
      * has not fired yet (queue pressure). Incremented at planning,
@@ -34,6 +40,12 @@ struct ServiceNode::Member
     int depth = 0;
 
     bool aliveAt(double atH) const { return atH < failAtH; }
+
+    /** aliveAt plus the membership window: may new shards plan here? */
+    bool planEligibleAt(double atH) const
+    {
+        return aliveAt(atH) && atH >= joinAtH && atH < leaveAtH;
+    }
 };
 
 /** One registered workload: estimator + per-member compilation. */
@@ -74,6 +86,8 @@ struct ServiceNode::Shard
      * caller times out at the shard's expected completion).
      */
     double detectH = 0.0;
+    /** The shard's completion/timeout event has fired. */
+    bool resolved = false;
     ShardResult result;
 };
 
@@ -110,6 +124,24 @@ struct ServiceNode::WorkItem
     double pendingDetectH = 0.0;
     bool fromCache = false;
     bool finished = false;
+    /** Shards have been handed to members (rider-join cutoff for
+     *  budget growth: after dispatch a rider may only ride a budget
+     *  no larger than what is executing). */
+    bool dispatched = false;
+    /** Waiting parked for a member to become plannable. */
+    bool parked = false;
+    /** Event id of the pending park-retry event (valid when parked). */
+    uint64_t retryEventId = 0;
+    /** Park-retry rounds consumed (bounded by maxRequeueRounds). */
+    int parkRounds = 0;
+    /** The item was shed by a deadline event. */
+    bool shed = false;
+    /** Shots abandoned by the shed. */
+    int shedShots = 0;
+    /** Hour the shed fired: sampled once so the journal record and
+     *  the finalized completion hour agree bit-for-bit even under a
+     *  SteadyClock, whose now() keeps moving between the two. */
+    double shedAtH = 0.0;
     CachedResult cached;
     Aggregator agg;
 
@@ -145,6 +177,20 @@ ServiceNode::ServiceNode(std::vector<Device> devices,
 
 ServiceNode::~ServiceNode() = default;
 
+void
+ServiceNode::compileWorkloadForMember(Workload &w, std::size_t i)
+{
+    const Member &m = members_[i];
+    if (!m.device.canRun(w.numQubits))
+        return;
+    w.compiled[i] = w.estimator.compileFor(m.device.coupling);
+    w.durUs[i] = circuitDurationUs(w.compiled[i][0].compact,
+                                   m.device.baseCalibration,
+                                   w.compiled[i][0].compactToPhysical);
+    for (const TranspiledCircuit &tc : w.compiled[i])
+        w.quality[i].push_back(circuitQuality(tc));
+}
+
 WorkloadId
 ServiceNode::registerWorkload(const QuantumCircuit &ansatz,
                               const PauliSum &observable)
@@ -155,16 +201,9 @@ ServiceNode::registerWorkload(const QuantumCircuit &ansatz,
     w->quality.resize(members_.size());
     std::size_t eligible = 0;
     for (std::size_t i = 0; i < members_.size(); ++i) {
-        const Member &m = members_[i];
-        if (!m.device.canRun(w->numQubits))
-            continue;
-        w->compiled[i] = w->estimator.compileFor(m.device.coupling);
-        w->durUs[i] = circuitDurationUs(w->compiled[i][0].compact,
-                                        m.device.baseCalibration,
-                                        w->compiled[i][0].compactToPhysical);
-        for (const TranspiledCircuit &tc : w->compiled[i])
-            w->quality[i].push_back(circuitQuality(tc));
-        ++eligible;
+        compileWorkloadForMember(*w, i);
+        if (!w->compiled[i].empty())
+            ++eligible;
     }
     if (eligible == 0)
         fatal("ServiceNode: no member can run a " +
@@ -187,7 +226,7 @@ ServiceNode::retryAfterHintS(double atH, std::size_t depth) const
     // strictly increasing in it.
     std::size_t alive = 0;
     for (const Member &m : members_)
-        if (m.aliveAt(atH))
+        if (m.planEligibleAt(atH))
             ++alive;
     const bool anyAlive = alive > 0;
     const double perMember =
@@ -195,7 +234,7 @@ ServiceNode::retryAfterHintS(double atH, std::size_t depth) const
         static_cast<double>(anyAlive ? alive : members_.size());
     double best = std::numeric_limits<double>::infinity();
     for (const Member &m : members_) {
-        if (anyAlive && !m.aliveAt(atH))
+        if (anyAlive && !m.planEligibleAt(atH))
             continue;
         best = std::min(best,
                         m.backend->queue().expectedWaitS(atH, perMember));
@@ -220,6 +259,7 @@ ServiceNode::journalSubmit(const JobRequest &request, const Ticket &t,
     r.status = static_cast<int>(t.status);
     r.depth = static_cast<int>(queue_.size());
     r.retryAfterS = t.retryAfterS;
+    r.deadlineH = request.deadlineH;
     r.params = request.params;
     sink_->record(r);
 }
@@ -242,6 +282,16 @@ ServiceNode::submit(const JobRequest &request)
             journalSubmit(request, t, atH);
         return t;
     }
+    if (request.deadlineH > 0.0 && request.deadlineH <= atH) {
+        // The SLO is already blown at the front door: rejecting
+        // outright beats admitting work guaranteed to shed everything.
+        t.status = AdmitStatus::RejectedDeadline;
+        ++counters_.jobsRejected;
+        ++counters_.rejectedDeadline;
+        if (sink_)
+            journalSubmit(request, t, atH);
+        return t;
+    }
     t.status = queue_.admit(request, nextJobId_);
     if (t.admitted()) {
         t.jobId = nextJobId_++;
@@ -252,6 +302,14 @@ ServiceNode::submit(const JobRequest &request)
         // before the loop runs, which preserves the batch-coalescing
         // semantics of the synchronous drain bit for bit.
         loop_.scheduleAt(atH, [this] { intake(); });
+        if (request.deadlineH > 0.0) {
+            // The SLO is an event of its own: it fires before the
+            // deadline could be missed silently and sheds whatever is
+            // still unresolved. Finalizing inside the SLO cancels it.
+            const uint64_t jid = t.jobId;
+            deadlineEvents_[jid] = loop_.scheduleAt(
+                request.deadlineH, [this, jid] { onDeadline(jid); });
+        }
     } else {
         ++counters_.jobsRejected;
         if (t.status == AdmitStatus::RejectedBadRequest) {
@@ -277,7 +335,8 @@ ServiceNode::submit(const JobRequest &request)
 void
 ServiceNode::failMemberAt(std::size_t member, double atH)
 {
-    members_.at(member).failAtH = atH;
+    Member &m = members_.at(member);
+    m.failAtH = atH;
     if (sink_) {
         replay::EventRecord r;
         r.kind = replay::EventKind::MemberFail;
@@ -286,18 +345,95 @@ ServiceNode::failMemberAt(std::size_t member, double atH)
         r.atH = atH;
         sink_->record(r);
     }
+    if (options_.superviseBaseBackoffH > 0.0) {
+        // Supervision: auto-restore after an exponential backoff that
+        // doubles with every failure since the last manual restore —
+        // a flapping member earns progressively longer cool-downs.
+        const double backoff =
+            std::min(options_.superviseMaxBackoffH,
+                     options_.superviseBaseBackoffH *
+                         std::pow(2.0, m.consecutiveFails));
+        ++m.consecutiveFails;
+        const double armedFailAtH = atH;
+        loop_.scheduleAt(
+            atH + backoff, [this, member, armedFailAtH] {
+                // Only restore the failure this event was armed for:
+                // a manual restore or a newer failure supersedes it.
+                if (members_[member].failAtH == armedFailAtH)
+                    restoreMemberInternal(member, true);
+            });
+    }
 }
 
 void
-ServiceNode::restoreMember(std::size_t member)
+ServiceNode::restoreMemberInternal(std::size_t member, bool supervised)
 {
-    members_.at(member).failAtH =
-        std::numeric_limits<double>::infinity();
+    Member &m = members_.at(member);
+    m.failAtH = std::numeric_limits<double>::infinity();
+    if (supervised)
+        ++counters_.supervisedRestores;
+    else
+        m.consecutiveFails = 0; // a human fixed it: backoff resets
     if (sink_) {
         replay::EventRecord r;
         r.kind = replay::EventKind::MemberRestore;
         r.tH = loop_.now();
         r.member = static_cast<int>(member);
+        r.autoRestore = supervised;
+        sink_->record(r);
+    }
+}
+
+void
+ServiceNode::restoreMember(std::size_t member)
+{
+    restoreMemberInternal(member, false);
+}
+
+std::size_t
+ServiceNode::addMember(Device device, double atH)
+{
+    const std::size_t index = members_.size();
+    const double joinH = std::max(atH, loop_.now());
+    Member m;
+    m.backend = std::make_unique<SimulatedQpu>(device, options_.seed);
+    m.device = std::move(device);
+    m.joinAtH = joinH;
+    members_.push_back(std::move(m));
+    memberShots_.push_back(0);
+    for (std::unique_ptr<Workload> &w : workloads_) {
+        w->compiled.resize(members_.size());
+        w->durUs.resize(members_.size(), 0.0);
+        w->quality.resize(members_.size());
+        compileWorkloadForMember(*w, index);
+    }
+    ++counters_.memberJoins;
+    if (sink_) {
+        replay::EventRecord r;
+        r.kind = replay::EventKind::MemberJoin;
+        r.tH = loop_.now();
+        r.member = static_cast<int>(index);
+        r.name = members_[index].device.name;
+        r.atH = joinH;
+        sink_->record(r);
+    }
+    // A parked item may become plannable the hour the member joins.
+    loop_.scheduleAt(joinH, [this] { retryParkedItems(); });
+    return index;
+}
+
+void
+ServiceNode::removeMember(std::size_t member, double atH)
+{
+    Member &m = members_.at(member);
+    m.leaveAtH = std::max(atH, loop_.now());
+    ++counters_.memberLeaves;
+    if (sink_) {
+        replay::EventRecord r;
+        r.kind = replay::EventKind::MemberLeave;
+        r.tH = loop_.now();
+        r.member = static_cast<int>(member);
+        r.atH = m.leaveAtH;
         sink_->record(r);
     }
 }
@@ -313,9 +449,22 @@ ServiceNode::aliveMembers(double atH) const
 {
     std::size_t n = 0;
     for (const Member &m : members_)
-        if (m.aliveAt(atH))
+        if (m.planEligibleAt(atH))
             ++n;
     return n;
+}
+
+double
+ServiceNode::coldFactor(const Member &m, double atH) const
+{
+    if (!std::isfinite(m.joinAtH))
+        return 1.0; // original lineup: exactly full weight
+    const double coldH = std::max(options_.scheduler.coldStartH, 1e-9);
+    const double p = std::min(
+        std::max(options_.scheduler.coldStartPenalty, 0.0), 1.0);
+    const double ramp =
+        std::min(std::max((atH - m.joinAtH) / coldH, 0.0), 1.0);
+    return p + (1.0 - p) * ramp;
 }
 
 const Device &
@@ -366,7 +515,7 @@ ServiceNode::memberViews(const Workload &w, double atH,
         const Member &m = members_[i];
         MemberView v;
         v.member = static_cast<int>(i);
-        v.available = m.aliveAt(atH) && !w.compiled[i].empty();
+        v.available = m.planEligibleAt(atH) && !w.compiled[i].empty();
         if (v.available) {
             v.pCorrect = workloadPCorrect(w, i, atH);
             v.expectedLatencyS = m.backend->queue().expectedLatencyS(
@@ -374,6 +523,7 @@ ServiceNode::memberViews(const Workload &w, double atH,
                 static_cast<int>(w.compiled[i].size()), m.depth);
             v.planWarm =
                 m.backend->planCacheContains(w.compiled[i][0]);
+            v.rateScale = coldFactor(m, atH);
         }
         views.push_back(v);
     }
@@ -437,6 +587,36 @@ ServiceNode::intake()
     while (!queue_.empty()) {
         JobQueue::Entry e = queue_.pop();
         WorkKey key{e.request.workload, e.request.params};
+        auto liveIt = open_.find(key);
+        if (liveIt != open_.end() && !liveIt->second->finished) {
+            // Streaming rider join: identical work is already open
+            // from an earlier intake. Before dispatch the rider can
+            // still grow the budget; after dispatch it may only ride
+            // a budget no larger than what is executing (the cutoff).
+            WorkItem *item = liveIt->second;
+            if (!item->dispatched || e.request.shots <= item->shots) {
+                if (!item->dispatched) {
+                    item->t0 = std::min(item->t0, e.request.submitH);
+                    item->shots = std::max(item->shots, e.request.shots);
+                }
+                item->tLast = std::max(item->tLast, e.request.submitH);
+                if (sink_) {
+                    replay::EventRecord r;
+                    r.kind = replay::EventKind::RiderJoin;
+                    r.tH = loop_.now();
+                    r.jobId = e.jobId;
+                    r.workUid = item->workUid;
+                    r.shots = e.request.shots;
+                    sink_->record(r);
+                }
+                ++counters_.ridersJoined;
+                riderItem_[e.jobId] = item;
+                item->riders.push_back(std::move(e));
+                continue;
+            }
+            // Budget exceeds the executing item's: fall through and
+            // open a fresh item for the larger request.
+        }
         auto it = open.find(key);
         if (it == open.end()) {
             auto owned = std::make_unique<WorkItem>(options_.aggregation);
@@ -446,6 +626,7 @@ ServiceNode::intake()
             item->t0 = e.request.submitH;
             item->tLast = e.request.submitH;
             item->shots = e.request.shots;
+            riderItem_[e.jobId] = item;
             item->riders.push_back(std::move(e));
             fresh.push_back(item);
             open.emplace(item->key, item);
@@ -463,6 +644,7 @@ ServiceNode::intake()
                 r.workUid = item->workUid;
                 sink_->record(r);
             }
+            riderItem_[e.jobId] = item;
             item->riders.push_back(std::move(e));
             // jobsCoalesced is counted at finalize, once the item
             // knows whether it executed or served from cache — every
@@ -495,7 +677,8 @@ ServiceNode::intake()
             continue;
         }
         ++counters_.workItems;
-        planShards(*item, item->shots, item->t0);
+        if (planShards(*item, item->shots, item->t0))
+            item->dispatched = true;
     }
 
     // Launch: cache hits and unserveable items finalize by event
@@ -509,9 +692,18 @@ ServiceNode::intake()
             loop_.scheduleAt(item->tLast,
                              [this, item] { finalizeItem(*item); });
         } else if (item->shards.empty()) {
-            loop_.scheduleAt(item->t0,
-                             [this, item] { finalizeItem(*item); });
+            if (options_.retryUnplannableH > 0.0) {
+                // No member can take the work right now (all failed
+                // or outside their membership window): park it and
+                // retry — a join or restore may make it plannable.
+                open_[item->key] = item;
+                parkItem(item, item->t0);
+            } else {
+                loop_.scheduleAt(item->t0,
+                                 [this, item] { finalizeItem(*item); });
+            }
         } else {
+            open_[item->key] = item;
             for (std::size_t i = 0; i < item->shards.size(); ++i)
                 batch.push_back(ShardRef{item, i});
         }
@@ -585,10 +777,18 @@ ServiceNode::scheduleShardEvents(WorkItem &item, std::size_t firstShard)
             // The failure surfaces when the caller times out at the
             // shard's expected completion.
             loop_.scheduleAt(s.detectH, [this, ip, i] {
-                const Shard &sh = ip->shards[i];
-                ip->pendingFailedShots += sh.shots;
-                ip->pendingDetectH =
-                    std::max(ip->pendingDetectH, sh.detectH);
+                Shard &sh = ip->shards[i];
+                sh.resolved = true;
+                // A deadline shed may have finalized the item while
+                // this event was in flight: the late failure still
+                // decays the member's depth, but no longer feeds the
+                // requeue machinery.
+                const bool late = ip->finished;
+                if (!late) {
+                    ip->pendingFailedShots += sh.shots;
+                    ip->pendingDetectH =
+                        std::max(ip->pendingDetectH, sh.detectH);
+                }
                 resolveMemberDepth(sh.member);
                 if (sink_) {
                     replay::EventRecord r;
@@ -598,6 +798,7 @@ ServiceNode::scheduleShardEvents(WorkItem &item, std::size_t firstShard)
                     r.member = sh.member;
                     r.shots = sh.shots;
                     r.seq = sh.seq;
+                    r.late = late;
                     sink_->record(r);
                 }
                 onShardResolved(*ip);
@@ -606,7 +807,12 @@ ServiceNode::scheduleShardEvents(WorkItem &item, std::size_t firstShard)
             // Per-member completion: each shard finishes on its own
             // schedule — there is no round barrier.
             loop_.scheduleAt(s.result.completeH, [this, ip, i] {
-                const Shard &sh = ip->shards[i];
+                Shard &sh = ip->shards[i];
+                sh.resolved = true;
+                // Late completions (after a deadline shed) executed
+                // real shots on real hardware: the counters see them
+                // even though the aggregate no longer can.
+                const bool late = ip->finished;
                 ++counters_.shardsExecuted;
                 counters_.shotsExecuted +=
                     static_cast<uint64_t>(sh.shots);
@@ -628,6 +834,7 @@ ServiceNode::scheduleShardEvents(WorkItem &item, std::size_t firstShard)
                     r.pCorrect = sh.result.pCorrect;
                     r.circuits = sh.result.circuitsRun;
                     r.doneH = sh.result.completeH;
+                    r.late = late;
                     sink_->record(r);
                 }
                 onShardResolved(*ip);
@@ -648,8 +855,10 @@ ServiceNode::resolveMemberDepth(int member)
 void
 ServiceNode::onShardResolved(WorkItem &item)
 {
-    if (--item.outstanding > 0)
-        return;
+    if (item.outstanding > 0)
+        --item.outstanding;
+    if (item.finished || item.outstanding > 0)
+        return; // late resolution after a shed, or more in flight
     if (item.pendingFailedShots > 0)
         requeueFailures(item);
     else
@@ -718,6 +927,159 @@ ServiceNode::journalReplan(const WorkItem &item, int failedShots,
 }
 
 // ---------------------------------------------------------------------------
+// Deadline events: graceful shedding at the SLO
+// ---------------------------------------------------------------------------
+
+void
+ServiceNode::journalDeadlineShed(uint64_t jobId, uint64_t uid,
+                                 int completedShots, int shedShots,
+                                 double deadlineH, double atH)
+{
+    if (!sink_)
+        return;
+    replay::EventRecord r;
+    r.kind = replay::EventKind::DeadlineShed;
+    r.tH = atH;
+    r.jobId = jobId;
+    r.workUid = uid;
+    r.shots = completedShots;
+    r.shedShots = shedShots;
+    r.deadlineH = deadlineH;
+    sink_->record(r);
+}
+
+void
+ServiceNode::shedItem(WorkItem &item, uint64_t trigJobId)
+{
+    double deadH = 0.0;
+    for (const JobQueue::Entry &rd : item.riders)
+        if (rd.jobId == trigJobId)
+            deadH = rd.request.deadlineH;
+    item.shed = true;
+    item.shedAtH = loop_.now();
+    if (item.parked) {
+        // Nothing dispatched: cancel the pending retry and shed the
+        // whole budget.
+        loop_.cancel(item.retryEventId);
+        item.parked = false;
+        item.shedShots = item.shots;
+    } else {
+        int completed = 0;
+        for (const Shard &s : item.shards)
+            if (s.resolved && !s.result.failed)
+                completed += s.shots;
+        item.shedShots = std::max(0, item.shots - completed);
+        item.pendingFailedShots = 0; // lost shots are shed, not replanned
+    }
+    // Equi-weighted fallback for the partial answer: with the budget
+    // truncated mid-flight, the unweighted mean over completed shards
+    // is the better-conditioned estimate (the equi-ensemble argument).
+    item.agg = Aggregator(AggregationMode::EquiWeighted);
+    ++counters_.deadlineSheds;
+    counters_.shotsShed += static_cast<uint64_t>(item.shedShots);
+    journalDeadlineShed(trigJobId, item.workUid,
+                        item.shots - item.shedShots, item.shedShots,
+                        deadH, item.shedAtH);
+    finalizeItem(item);
+}
+
+void
+ServiceNode::onDeadline(uint64_t jobId)
+{
+    deadlineEvents_.erase(jobId);
+    JobQueue::Entry entry;
+    if (queue_.erase(jobId, &entry)) {
+        // The deadline beat the job's own intake event (defensive:
+        // intake is scheduled at the submit hour, strictly before any
+        // feasible deadline). Shed the entire budget, zero completed.
+        WorkKey key{entry.request.workload, entry.request.params};
+        const double deadH = entry.request.deadlineH;
+        auto owned =
+            std::make_unique<WorkItem>(AggregationMode::EquiWeighted);
+        WorkItem *item = owned.get();
+        item->key = std::move(key);
+        item->workUid = nextWorkId_++;
+        item->t0 = entry.request.submitH;
+        item->tLast = entry.request.submitH;
+        item->shots = entry.request.shots;
+        item->shed = true;
+        item->shedAtH = loop_.now();
+        item->shedShots = item->shots;
+        item->riders.push_back(std::move(entry));
+        active_.push_back(std::move(owned));
+        ++counters_.deadlineSheds;
+        counters_.shotsShed += static_cast<uint64_t>(item->shedShots);
+        journalDeadlineShed(jobId, item->workUid, 0, item->shedShots,
+                            deadH, item->shedAtH);
+        finalizeItem(*item);
+        return;
+    }
+    auto it = riderItem_.find(jobId);
+    if (it == riderItem_.end())
+        return; // already finalized: the deadline was met
+    WorkItem *item = it->second;
+    if (item->finished || item->fromCache || item->shed)
+        return; // finalize event already queued, or shed by a co-rider
+    shedItem(*item, jobId);
+}
+
+// ---------------------------------------------------------------------------
+// Park-and-retry: unplannable items wait for membership to recover
+// ---------------------------------------------------------------------------
+
+void
+ServiceNode::parkItem(WorkItem *item, double atH)
+{
+    item->parked = true;
+    item->retryEventId =
+        loop_.scheduleAt(atH + options_.retryUnplannableH,
+                         [this, item] { retryParked(item); });
+}
+
+void
+ServiceNode::retryParked(WorkItem *item)
+{
+    if (item->finished || !item->parked)
+        return; // shed or already retried by a membership event
+    item->parked = false;
+    const double atH = loop_.now();
+    const std::size_t firstNew = item->shards.size();
+    if (planShards(*item, item->shots, atH)) {
+        item->dispatched = true;
+        std::vector<ShardRef> batch;
+        batch.reserve(item->shards.size() - firstNew);
+        for (std::size_t i = firstNew; i < item->shards.size(); ++i)
+            batch.push_back(ShardRef{item, i});
+        executeShards(batch);
+        scheduleShardEvents(*item, firstNew);
+        return;
+    }
+    if (++item->parkRounds >= options_.maxRequeueRounds) {
+        warn("ServiceNode: park rounds exhausted for work item " +
+             std::to_string(item->workUid) +
+             "; finalizing with no shots (outcome marked degraded)");
+        journalReplan(*item, item->shots, 0, true, atH);
+        finalizeItem(*item);
+        return;
+    }
+    parkItem(item, atH);
+}
+
+void
+ServiceNode::retryParkedItems()
+{
+    // Index loop: retryParked schedules events and may finalize, but
+    // never appends to active_ — stay defensive anyway.
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        WorkItem *item = active_[i].get();
+        if (!item->finished && item->parked) {
+            loop_.cancel(item->retryEventId);
+            retryParked(item);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Finalize event: aggregate in shard-sequence order, complete riders
 // ---------------------------------------------------------------------------
 
@@ -739,26 +1101,32 @@ ServiceNode::finalizeItem(WorkItem &item)
         // Shard results were buffered as their events fired; the
         // aggregate folds them in sequence order, so the combination
         // is independent of completion interleaving (and identical to
-        // the synchronous drain's round order).
+        // the synchronous drain's round order). On a shed only the
+        // shards that resolved by the deadline can contribute.
         for (const Shard &s : item.shards)
-            item.agg.add(s.result);
+            if (s.resolved)
+                item.agg.add(s.result);
         energy = item.agg.energy();
         variance = item.agg.variance();
         pc = item.agg.pCorrect();
-        completeH = item.agg.completeH();
+        completeH = item.shed ? item.shedAtH : item.agg.completeH();
         shotsExec = item.agg.shotsExecuted();
         shardsExec = item.agg.shardsExecuted();
         circuits = item.agg.circuitsRun();
         primary = item.agg.primaryMember();
         counters_.jobsCoalesced +=
             static_cast<uint64_t>(item.riders.size() - 1);
-        CachedResult cr;
-        cr.energy = energy;
-        cr.variance = variance;
-        cr.pCorrect = pc;
-        cr.completeH = completeH;
-        cr.shots = shotsExec;
-        cache_.store(item.key, cr);
+        if (!item.shed) {
+            // A shed answer is partial by construction: caching it
+            // would serve degraded results to future full-budget jobs.
+            CachedResult cr;
+            cr.energy = energy;
+            cr.variance = variance;
+            cr.pCorrect = pc;
+            cr.completeH = completeH;
+            cr.shots = shotsExec;
+            cache_.store(item.key, cr);
+        }
     }
     bool first = true;
     for (const JobQueue::Entry &rider : item.riders) {
@@ -780,9 +1148,24 @@ ServiceNode::finalizeItem(WorkItem &item)
         o.primaryMember = primary;
         o.coalesced = !first && !item.fromCache;
         o.fromCache = item.fromCache;
-        o.degraded = !item.fromCache && shotsExec < item.shots;
+        o.degraded =
+            !item.fromCache && (shotsExec < item.shots || item.shed);
+        o.deadlineH = rider.request.deadlineH;
+        o.shedShots = item.shedShots;
+        o.shed = item.shed;
         latency_.add(o.latencyH);
         latencyMoments_.add(o.latencyH);
+        // The rider's SLO resolves here, exactly once: met if the item
+        // was not shed, shed otherwise. Cancel the pending deadline
+        // event (a no-op for the event that triggered this shed).
+        auto dit = deadlineEvents_.find(rider.jobId);
+        if (dit != deadlineEvents_.end()) {
+            loop_.cancel(dit->second);
+            deadlineEvents_.erase(dit);
+        }
+        if (rider.request.deadlineH > 0.0 && !item.shed)
+            ++counters_.deadlinesMet;
+        riderItem_.erase(rider.jobId);
         if (sink_) {
             replay::EventRecord r;
             r.kind = replay::EventKind::Finalize;
@@ -802,12 +1185,18 @@ ServiceNode::finalizeItem(WorkItem &item)
             r.degraded = o.degraded;
             r.fromCache = o.fromCache;
             r.coalesced = o.coalesced;
+            r.deadlineH = o.deadlineH;
+            r.shedShots = o.shedShots;
+            r.shed = o.shed;
             sink_->record(r);
         }
         completed_.push_back(std::move(o));
         first = false;
     }
     item.finished = true;
+    auto oit = open_.find(item.key);
+    if (oit != open_.end() && oit->second == &item)
+        open_.erase(oit);
 }
 
 // ---------------------------------------------------------------------------
@@ -815,22 +1204,15 @@ ServiceNode::finalizeItem(WorkItem &item)
 // ---------------------------------------------------------------------------
 
 std::vector<JobOutcome>
-ServiceNode::drain(TaskPool *pool)
+ServiceNode::collectOutcomes()
 {
-    if (sink_) {
-        replay::EventRecord r;
-        r.kind = replay::EventKind::Drain;
-        r.tH = loop_.now();
-        sink_->record(r);
-    }
-    exec_ = pool ? pool : &TaskPool::shared();
-    loop_.run();
-    exec_ = nullptr;
-
+    // Keep finished items whose late shard events are still pending:
+    // those events hold raw pointers into active_.
     active_.erase(
         std::remove_if(active_.begin(), active_.end(),
                        [](const std::unique_ptr<WorkItem> &item) {
-                           return item->finished;
+                           return item->finished &&
+                                  item->outstanding == 0;
                        }),
         active_.end());
 
@@ -841,6 +1223,46 @@ ServiceNode::drain(TaskPool *pool)
                   return a.jobId < b.jobId;
               });
     return outcomes;
+}
+
+std::vector<JobOutcome>
+ServiceNode::drain(TaskPool *pool)
+{
+    if (sink_) {
+        replay::EventRecord r;
+        r.kind = replay::EventKind::Drain;
+        r.tH = loop_.now();
+        // Full drains journal no horizon and stay byte-compatible
+        // with version-1 journals.
+        r.atH = std::numeric_limits<double>::infinity();
+        sink_->record(r);
+    }
+    exec_ = pool ? pool : &TaskPool::shared();
+    loop_.run();
+    exec_ = nullptr;
+    return collectOutcomes();
+}
+
+std::vector<JobOutcome>
+ServiceNode::runUntil(double limitH, TaskPool *pool)
+{
+    if (sink_) {
+        replay::EventRecord r;
+        r.kind = replay::EventKind::Drain;
+        r.tH = loop_.now();
+        r.atH = limitH;
+        sink_->record(r);
+    }
+    exec_ = pool ? pool : &TaskPool::shared();
+    loop_.runUntil(limitH);
+    exec_ = nullptr;
+    return collectOutcomes();
+}
+
+void
+ServiceNode::stop()
+{
+    loop_.requestStop();
 }
 
 } // namespace serve

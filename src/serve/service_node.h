@@ -47,6 +47,7 @@
 #define EQC_SERVE_SERVICE_NODE_H
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/event_loop.h"
@@ -87,6 +88,23 @@ struct ServiceOptions
     /** Result-cache TTL in serving-clock hours (0 disables reuse). */
     double resultCacheTtlH = 0.0;
     std::size_t resultCacheCapacity = 256;
+    /**
+     * When no member can plan a fresh work item, park it and retry
+     * every this many hours (a member may restore or join meanwhile)
+     * instead of finalizing empty immediately. Bounded by
+     * maxRequeueRounds park rounds so drains always terminate.
+     * 0 keeps the legacy immediate empty-degraded finalize.
+     */
+    double retryUnplannableH = 0.0;
+    /**
+     * Supervised restore: a failed member is automatically restored
+     * after base * 2^consecutiveFails hours (capped below), modeling a
+     * watchdog that reboots flapping QPUs with exponential backoff.
+     * 0 disables supervision (the default; restores stay manual).
+     */
+    double superviseBaseBackoffH = 0.0;
+    /** Cap of the supervised-restore backoff (hours). */
+    double superviseMaxBackoffH = 2.0;
     /** Reservoir size of the latency percentile estimator. */
     std::size_t latencyReservoir = 4096;
     /** Root seed; every stochastic stream forks from it by label. */
@@ -142,14 +160,53 @@ class ServiceNode
     std::vector<JobOutcome> drain(TaskPool *pool = nullptr);
 
     /**
+     * Streaming drive: run the loop until model time reaches
+     * @p limitH (events beyond it stay queued) and return the
+     * outcomes completed so far. submit() between runUntil calls
+     * joins open work items mid-flight (rider joins); deadline and
+     * membership events fire on schedule. drain() remains the batch
+     * "run to idle" entry point.
+     */
+    std::vector<JobOutcome> runUntil(double limitH,
+                                     TaskPool *pool = nullptr);
+
+    /**
+     * Ask a running loop (drain/runUntil) to return before its next
+     * event. Safe from event handlers and other threads.
+     */
+    void stop();
+
+    /**
      * Kill member @p member at serving hour @p atH: shards in flight
      * at that hour never return (their work requeues to survivors),
-     * and no new shard is planned on it from @p atH on.
+     * and no new shard is planned on it from @p atH on. When
+     * supervision is enabled (ServiceOptions::superviseBaseBackoffH),
+     * an automatic restore is scheduled with exponential backoff.
      */
     void failMemberAt(std::size_t member, double atH);
 
-    /** Bring a failed member back (e.g. after maintenance). */
+    /**
+     * Bring a failed member back (e.g. after maintenance). Resets the
+     * supervision backoff — a manual restore means someone fixed it.
+     */
     void restoreMember(std::size_t member);
+
+    /**
+     * Join a new ensemble member live at hour @p atH: every
+     * registered workload is compiled for it, it enters planning from
+     * @p atH with a cold-start weight ramp
+     * (ShotSchedulerOptions::coldStartPenalty/coldStartH), and parked
+     * work items get a retry wake-up.
+     * @return the new member's index
+     */
+    std::size_t addMember(Device device, double atH);
+
+    /**
+     * Retire member @p member at hour @p atH, gracefully: shards
+     * already in flight complete, but no new shard is planned on it
+     * from @p atH on (survivors re-weight exactly as after a failure).
+     */
+    void removeMember(std::size_t member, double atH);
 
     /**
      * Attach a journal sink observing every lifecycle event (admit,
@@ -229,6 +286,15 @@ class ServiceNode
         std::size_t shard;
     };
 
+    /** Compile workload @p w for member @p member (if it can run it). */
+    void compileWorkloadForMember(Workload &w, std::size_t member);
+
+    /** Cold-start weight factor of @p member at @p atH (1 = warm). */
+    double coldFactor(const Member &m, double atH) const;
+
+    /** Shared body of restoreMember and the supervision path. */
+    void restoreMemberInternal(std::size_t member, bool supervised);
+
     /** Scheduler views of the members eligible for @p w at @p atH. */
     std::vector<MemberView> memberViews(const Workload &w, double atH,
                                         int shotsPerMember) const;
@@ -272,6 +338,29 @@ class ServiceNode
     /** Aggregate in shard-seq order and complete every rider. */
     void finalizeItem(WorkItem &item);
 
+    /** A job's deadline event fired: shed its work item (or no-op). */
+    void onDeadline(uint64_t jobId);
+
+    /** Shed @p item at its deadline: equi-weighted partial finalize. */
+    void shedItem(WorkItem &item, uint64_t trigJobId);
+
+    /** Publish a DeadlineShed record at @p atH (no-op unsunk). */
+    void journalDeadlineShed(uint64_t jobId, uint64_t uid,
+                             int completedShots, int shedShots,
+                             double deadlineH, double atH);
+
+    /** Park an unplannable item and schedule its retry event. */
+    void parkItem(WorkItem *item, double atH);
+
+    /** Retry planning a parked item (retry event / join wake-up). */
+    void retryParked(WorkItem *item);
+
+    /** Wake every parked item (a member joined or restored). */
+    void retryParkedItems();
+
+    /** Erase finished items, move out and sort completed outcomes. */
+    std::vector<JobOutcome> collectOutcomes();
+
     ServiceOptions options_;
     VirtualClock ownClock_;
     Clock *clock_;
@@ -292,6 +381,19 @@ class ServiceNode
 
     /** Work items in flight on the loop (stable addresses). */
     std::vector<std::unique_ptr<WorkItem>> active_;
+    /**
+     * Open (executing or parked, not finished, not cache-served) work
+     * items by key: late submissions with the same (workload, binding)
+     * join these as riders instead of opening duplicates — the
+     * streaming extension of intake-batch coalescing. Entries are
+     * replaced when a newer item opens on the same key and erased at
+     * finalize.
+     */
+    std::unordered_map<WorkKey, WorkItem *, WorkKeyHash> open_;
+    /** Item every admitted-and-popped job currently rides. */
+    std::unordered_map<uint64_t, WorkItem *> riderItem_;
+    /** Pending deadline event id per job (cancelled at finalize). */
+    std::unordered_map<uint64_t, uint64_t> deadlineEvents_;
     /** Outcomes completed since the last drain() collected them. */
     std::vector<JobOutcome> completed_;
     /** Shard fan-out pool while the loop runs (drain argument). */

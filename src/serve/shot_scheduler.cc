@@ -29,6 +29,7 @@ ShotScheduler::plan(const std::vector<MemberView> &members,
         double w = std::max(m.pCorrect, 0.0) / lat;
         if (m.planWarm)
             w *= warmBoost;
+        w *= std::max(m.rateScale, 0.0);
         cands.push_back(Cand{m.member, w});
     }
     if (cands.empty())

@@ -43,6 +43,14 @@ struct MemberView
     bool available = true;
     /** The member's plan cache is already warm for this workload. */
     bool planWarm = false;
+    /**
+     * Rate multiplier in [0, 1] applied after everything else. The
+     * node uses it to cold-start freshly joined members: they ramp
+     * from coldStartPenalty to 1.0 over coldStartH hours, so a
+     * just-joined QPU doesn't instantly absorb a full budget share
+     * while its live behavior is still unobserved. 1.0 = full weight.
+     */
+    double rateScale = 1.0;
 };
 
 /** One planned shard: @p shots of the budget on @p member. */
@@ -70,6 +78,14 @@ struct ShotSchedulerOptions
      * argues for *less* work).
      */
     double warmBoost = 1.25;
+    /**
+     * Weight floor a freshly joined member starts at (fraction of its
+     * steady-state rate). The ServiceNode turns this and coldStartH
+     * into MemberView::rateScale when planning near a join hour.
+     */
+    double coldStartPenalty = 0.35;
+    /** Hours a joined member takes to ramp to full weight. */
+    double coldStartH = 0.25;
 };
 
 /** Stateless shard planner (see file comment). */

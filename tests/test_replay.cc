@@ -4,10 +4,12 @@
  * every double bit-for-bit (denormals, negative zero, non-dyadic
  * fractions), live ServiceNode scenarios (coalescing, a mid-run kill,
  * cache hits) replayed hex-bit-identically from the serialized
- * journal alone, chaos schedules that stay clean and byte-identical
- * across TaskPool thread counts, hand-built journals that trip each
- * invariant, and the shard-resolution decay of per-member queue
- * depths.
+ * journal alone — including a deadline shed, a live member join and a
+ * mid-flight rider join — chaos schedules that stay clean and
+ * byte-identical across TaskPool thread counts (with deadline/churn
+ * injection on, and on a SteadyClock where only the timing invariants
+ * are checkable), hand-built journals that trip each invariant, and
+ * the shard-resolution decay of per-member queue depths.
  */
 
 #include <gtest/gtest.h>
@@ -143,6 +145,116 @@ TEST(Journal, ParseReportsMalformedInput)
     EXPECT_FALSE(err.empty());
 }
 
+TEST(Journal, RoundTripPreservesStreamingRecordKinds)
+{
+    // The four streaming kinds and their fields survive text exactly:
+    // deadline sheds, live joins/leaves, riders, supervised restores,
+    // late shard resolutions, and a bounded (runUntil) drain.
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+    j.config.parkRetryH = 1.0 / 3.0;
+    j.config.superviseBaseBackoffH = 0.1 + 0.2;
+    j.config.superviseMaxBackoffH = 5e-324;
+    j.config.coldStartPenalty = 0.30000000000000004;
+    j.config.coldStartH = 1.0 / 7.0;
+
+    EventRecord admit;
+    admit.kind = EventKind::Admit;
+    admit.jobId = 9;
+    admit.shots = 256;
+    admit.deadlineH = 1.0 / 3.0;
+    admit.params = {0.5};
+    j.record(admit);
+
+    EventRecord shed;
+    shed.kind = EventKind::DeadlineShed;
+    shed.tH = 1.0 / 3.0;
+    shed.jobId = 9;
+    shed.workUid = 4;
+    shed.shots = 128;
+    shed.shedShots = 128;
+    shed.deadlineH = 1.0 / 3.0;
+    j.record(shed);
+
+    EventRecord join;
+    join.kind = EventKind::MemberJoin;
+    join.member = 1;
+    join.atH = -0.0;
+    join.name = "ibmq_santiago";
+    j.record(join);
+
+    EventRecord leave;
+    leave.kind = EventKind::MemberLeave;
+    leave.member = 0;
+    leave.atH = 0.1 + 0.2;
+    j.record(leave);
+
+    EventRecord rider;
+    rider.kind = EventKind::RiderJoin;
+    rider.jobId = 11;
+    rider.workUid = 4;
+    rider.shots = 64;
+    j.record(rider);
+
+    EventRecord restore;
+    restore.kind = EventKind::MemberRestore;
+    restore.member = 0;
+    restore.autoRestore = true;
+    j.record(restore);
+
+    EventRecord lateDone;
+    lateDone.kind = EventKind::ShardDone;
+    lateDone.workUid = 4;
+    lateDone.late = true;
+    j.record(lateDone);
+
+    EventRecord bounded;
+    bounded.kind = EventKind::Drain;
+    bounded.atH = 2.5;
+    j.record(bounded);
+
+    EventRecord fin;
+    fin.kind = EventKind::Finalize;
+    fin.jobId = 9;
+    fin.shedShots = 128;
+    fin.shed = true;
+    fin.degraded = true;
+    j.record(fin);
+
+    const std::string text = j.serialize();
+    std::string err;
+    EventJournal parsed = EventJournal::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_EQ(parsed.size(), j.size());
+
+    EXPECT_TRUE(bitEqual(parsed.config.parkRetryH, 1.0 / 3.0));
+    EXPECT_TRUE(
+        bitEqual(parsed.config.superviseBaseBackoffH, 0.1 + 0.2));
+    EXPECT_TRUE(bitEqual(parsed.config.superviseMaxBackoffH, 5e-324));
+    EXPECT_TRUE(
+        bitEqual(parsed.config.coldStartPenalty, 0.30000000000000004));
+
+    const auto &recs = parsed.records();
+    EXPECT_TRUE(bitEqual(recs[0].deadlineH, 1.0 / 3.0));
+    EXPECT_EQ(recs[1].kind, EventKind::DeadlineShed);
+    EXPECT_EQ(recs[1].shedShots, 128);
+    EXPECT_TRUE(bitEqual(recs[1].deadlineH, 1.0 / 3.0));
+    EXPECT_EQ(recs[2].kind, EventKind::MemberJoin);
+    EXPECT_EQ(recs[2].name, "ibmq_santiago");
+    EXPECT_TRUE(bitEqual(recs[2].atH, -0.0));
+    EXPECT_EQ(recs[3].kind, EventKind::MemberLeave);
+    EXPECT_TRUE(bitEqual(recs[3].atH, 0.1 + 0.2));
+    EXPECT_EQ(recs[4].kind, EventKind::RiderJoin);
+    EXPECT_EQ(recs[4].jobId, 11u);
+    EXPECT_TRUE(recs[5].autoRestore);
+    EXPECT_TRUE(recs[6].late);
+    EXPECT_TRUE(bitEqual(recs[7].atH, 2.5));
+    EXPECT_TRUE(recs[8].shed);
+    EXPECT_EQ(recs[8].shedShots, 128);
+
+    EXPECT_TRUE(parsed.serialize() == text);
+}
+
 // ---------------------------------------------------------------------------
 // Live scenario -> journal -> bit-identical replay
 // ---------------------------------------------------------------------------
@@ -217,6 +329,82 @@ TEST(Replayer, LiveScenarioReplaysBitIdentical)
         << (res.mismatches.empty() ? "" : res.mismatches.front());
 }
 
+TEST(Replayer, ShedJoinAndRiderReplayBitIdentical)
+{
+    // Acceptance scenario for the streaming front door: one job sheds
+    // at its deadline mid-flight, a new member joins live, and a rider
+    // joins an already-dispatched item through a bounded runUntil —
+    // all from the journal text alone, bit-for-bit.
+    serve::ServiceOptions o;
+    o.seed = 202;
+    o.scheduler.minShardShots = 32;
+    EventJournal journal;
+    journal.config = describeNode(o,
+                                  {{"ibmq_bogota"},
+                                   {"ibmq_manila"},
+                                   {"ibmq_quito"},
+                                   {"ibmq_lima"}},
+                                  {{"heisenberg_vqe", 7}});
+
+    serve::ServiceNode node(devicesFor(journal.config),
+                            optionsFor(journal.config));
+    VqaProblem p = problemByName("heisenberg_vqe", 7);
+    serve::WorkloadId wl =
+        node.registerWorkload(p.ansatz, p.hamiltonian);
+    node.setJournalSink(&journal);
+
+    serve::JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 8192;
+    r.tenantId = 0;
+    r.deadlineH = 0.02; // sheds mid-flight (see test_serve)
+    ASSERT_TRUE(node.submit(r).admitted());
+
+    r.tenantId = 1;
+    r.params[0] += 0.5;
+    r.shots = 4096;
+    r.deadlineH = 0.0;
+    ASSERT_TRUE(node.submit(r).admitted());
+
+    // Bounded run past intake: both items dispatched, nothing done.
+    node.runUntil(1e-4);
+
+    // A rider joins tenant 1's in-flight item...
+    r.tenantId = 2;
+    r.shots = 2048;
+    r.submitH = 1e-4;
+    ASSERT_TRUE(node.submit(r).admitted());
+    // ...and a fifth device joins the ensemble live.
+    node.addMember(
+        deviceByName("ibmq_santiago", journal.config.catalogSeed),
+        2e-4);
+
+    std::vector<serve::JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), 3u);
+    node.setJournalSink(nullptr);
+    EXPECT_TRUE(out[0].shed);
+    EXPECT_GT(out[0].shedShots, 0);
+    EXPECT_EQ(node.counters().ridersJoined, 1u);
+    EXPECT_EQ(node.counters().memberJoins, 1u);
+
+    std::vector<Violation> v = InvariantChecker::check(journal);
+    EXPECT_TRUE(v.empty())
+        << (v.empty() ? ""
+                      : v.front().invariant + ": " + v.front().detail);
+
+    std::string err;
+    EventJournal parsed =
+        EventJournal::parse(journal.serialize(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    Replayer replayer(std::move(parsed));
+    TaskPool replayPool(3);
+    ReplayResult res = replayer.run(&replayPool);
+    EXPECT_EQ(res.jobsCompared, 3u);
+    EXPECT_TRUE(res.identical())
+        << (res.mismatches.empty() ? "" : res.mismatches.front());
+}
+
 // ---------------------------------------------------------------------------
 // Chaos schedules: clean, deterministic, thread-count independent
 // ---------------------------------------------------------------------------
@@ -277,6 +465,83 @@ TEST(ChaosEngine, SameSeedReproducesTheExactJournal)
     EXPECT_EQ(ra.restores, rb.restores);
     EXPECT_EQ(ra.floods, rb.floods);
     EXPECT_TRUE(a.journal().serialize() == b.journal().serialize());
+}
+
+std::string
+streamingChaosText(uint64_t seed, int threads, ChaosReport *rep)
+{
+    ChaosOptions co;
+    co.seed = seed;
+    co.rounds = 4;
+    co.deadlineProb = 0.5;
+    co.churnProb = 0.5;
+    co.verifyReplay = true;
+    ChaosEngine engine(co);
+    TaskPool pool(threads);
+    ChaosReport r = engine.run(&pool);
+    if (rep)
+        *rep = r;
+    return engine.journal().serialize();
+}
+
+TEST(ChaosEngine, DeadlineAndChurnSchedulesStayCleanAcrossThreads)
+{
+    // The streaming adversary — deadline sheds plus live joins and
+    // leaves on top of kills, floods and skew — still violates no
+    // invariant, still replays from text, and still produces
+    // byte-identical journals for 1/2/4 worker threads.
+    int sheds = 0, joins = 0, leaves = 0;
+    for (uint64_t seed = 5; seed <= 7; ++seed) {
+        ChaosReport r1, r2, r4;
+        const std::string t1 = streamingChaosText(seed, 1, &r1);
+        const std::string t2 = streamingChaosText(seed, 2, &r2);
+        const std::string t4 = streamingChaosText(seed, 4, &r4);
+        for (const ChaosReport *r : {&r1, &r2, &r4}) {
+            EXPECT_TRUE(r->replayVerified);
+            EXPECT_TRUE(r->passed())
+                << "seed " << seed << ": "
+                << (r->violations.empty()
+                        ? ""
+                        : r->violations.front().invariant + ": " +
+                              r->violations.front().detail);
+        }
+        sheds += r1.sheds;
+        joins += r1.joins;
+        leaves += r1.leaves;
+        EXPECT_TRUE(t1 == t2) << "seed " << seed;
+        EXPECT_TRUE(t1 == t4) << "seed " << seed;
+    }
+    // The schedules must actually exercise the streaming paths.
+    EXPECT_GT(sheds, 0);
+    EXPECT_GT(joins, 0);
+    EXPECT_GT(leaves, 0);
+}
+
+TEST(ChaosEngine, SteadyClockSchedulesHoldTimingInvariants)
+{
+    // Chaos on a wall clock: event fire order is real, journals are
+    // not bit-replayable, but every invariant — including event-order
+    // and shed-before-finalize — must still hold.
+    for (uint64_t seed = 21; seed <= 23; ++seed) {
+        ChaosOptions co;
+        co.seed = seed;
+        co.rounds = 3;
+        co.deadlineProb = 0.5;
+        co.churnProb = 0.4;
+        co.steadyClock = true;
+        co.timescaleS = 0.001;
+        co.verifyReplay = true; // must be skipped, not attempted
+        ChaosEngine engine(co);
+        ChaosReport rep = engine.run(&TaskPool::shared());
+        EXPECT_FALSE(rep.replayVerified);
+        EXPECT_TRUE(rep.passed())
+            << "seed " << seed << ": "
+            << (rep.violations.empty()
+                    ? ""
+                    : rep.violations.front().invariant + ": " +
+                          rep.violations.front().detail);
+        EXPECT_EQ(engine.journal().config.clock, "steady");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -427,6 +692,210 @@ TEST(InvariantChecker, FlagsShardCompletingAfterMemberKill)
     std::vector<Violation> v = InvariantChecker::check(j);
     ASSERT_EQ(v.size(), 1u);
     EXPECT_EQ(v[0].invariant, "no-zombie-shards");
+}
+
+/** Admit + Dispatch + ShardDone scaffolding for one 128-shot shard. */
+void
+recordShardLifecycle(EventJournal &j, uint64_t jobId, uint64_t uid,
+                     const serve::ShardResult &s, double deadlineH,
+                     double dispatchH = 0.0)
+{
+    EventRecord a = admitRecord(jobId, s.shots);
+    a.deadlineH = deadlineH;
+    j.record(a);
+    EventRecord d;
+    d.kind = EventKind::Dispatch;
+    d.tH = dispatchH;
+    d.workUid = uid;
+    d.seq = 0;
+    d.member = s.member;
+    d.shots = s.shots;
+    d.pCorrect = s.pCorrect;
+    j.record(d);
+    EventRecord done;
+    done.kind = EventKind::ShardDone;
+    done.tH = s.completeH;
+    done.workUid = uid;
+    done.seq = 0;
+    done.member = s.member;
+    done.shots = s.shots;
+    done.energy = s.energy;
+    done.variance = s.variance;
+    done.pCorrect = s.pCorrect;
+    done.circuits = s.circuitsRun;
+    done.doneH = s.completeH;
+    j.record(done);
+}
+
+serve::ShardResult
+plainShard()
+{
+    serve::ShardResult s;
+    s.member = 0;
+    s.shots = 128;
+    s.pCorrect = 0.8;
+    s.energy = -3.25;
+    s.variance = 0.5;
+    s.completeH = 0.6;
+    s.circuitsRun = 11;
+    return s;
+}
+
+TEST(InvariantChecker, FlagsDeadlineMissedWithoutShed)
+{
+    // The job carried a 0.5h SLO, finalized at 0.6h, and no
+    // DeadlineShed ever fired: the deadline neither was met nor shed.
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+    serve::ShardResult s = plainShard();
+    recordShardLifecycle(j, 1, 5, s, 0.5);
+    EventRecord fin = consistentFinalize(1, 5, s);
+    fin.deadlineH = 0.5;
+    j.record(fin);
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].invariant, "deadline-resolution");
+}
+
+TEST(InvariantChecker, FlagsShedShotMisaccounting)
+{
+    // Completed (128) plus shed (64) shots must equal the admitted
+    // budget (256); here 64 shots simply vanish.
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+    serve::ShardResult s = plainShard();
+    EventRecord a = admitRecord(1, 256);
+    a.deadlineH = 0.7;
+    j.record(a);
+    EventRecord d;
+    d.kind = EventKind::Dispatch;
+    d.workUid = 5;
+    d.seq = 0;
+    d.member = 0;
+    d.shots = 128;
+    d.pCorrect = s.pCorrect;
+    j.record(d);
+    EventRecord done;
+    done.kind = EventKind::ShardDone;
+    done.tH = s.completeH;
+    done.workUid = 5;
+    done.seq = 0;
+    done.member = 0;
+    done.shots = 128;
+    done.energy = s.energy;
+    done.variance = s.variance;
+    done.pCorrect = s.pCorrect;
+    done.circuits = s.circuitsRun;
+    done.doneH = s.completeH;
+    j.record(done);
+
+    EventRecord shedRec;
+    shedRec.kind = EventKind::DeadlineShed;
+    shedRec.tH = 0.7;
+    shedRec.jobId = 1;
+    shedRec.workUid = 5;
+    shedRec.shots = 128;
+    shedRec.shedShots = 64; // should be 128: budget 256 - done 128
+    shedRec.deadlineH = 0.7;
+    j.record(shedRec);
+
+    serve::Aggregator agg(serve::AggregationMode::EquiWeighted);
+    agg.add(s);
+    EventRecord fin;
+    fin.kind = EventKind::Finalize;
+    fin.tH = 0.7;
+    fin.jobId = 1;
+    fin.workUid = 5;
+    fin.shots = 128;
+    fin.shedShots = 64;
+    fin.shardsRun = 1;
+    fin.circuits = s.circuitsRun;
+    fin.energy = agg.energy();
+    fin.variance = agg.variance();
+    fin.pCorrect = agg.pCorrect();
+    fin.doneH = 0.7; // shed items complete at the shed hour
+    fin.deadlineH = 0.7;
+    fin.shed = true;
+    fin.degraded = true;
+    j.record(fin);
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].invariant, "shed-shot-accounting");
+}
+
+TEST(InvariantChecker, FlagsDispatchBeforeMemberJoin)
+{
+    // Member 1 joins at 0.5h but a shard lands on it at 0.2h.
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+    EventRecord join;
+    join.kind = EventKind::MemberJoin;
+    join.member = 1;
+    join.atH = 0.5;
+    join.name = "ibmq_santiago";
+    j.record(join);
+
+    serve::ShardResult s = plainShard();
+    s.member = 1;
+    recordShardLifecycle(j, 1, 5, s, 0.0, /*dispatchH=*/0.2);
+    j.record(consistentFinalize(1, 5, s));
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].invariant, "membership-window");
+}
+
+TEST(InvariantChecker, FlagsShedAfterFinalize)
+{
+    // The deadline event must never fire once its item completed.
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+    serve::ShardResult s = plainShard();
+    recordShardLifecycle(j, 1, 5, s, 0.7);
+    EventRecord fin = consistentFinalize(1, 5, s);
+    fin.deadlineH = 0.7;
+    j.record(fin);
+
+    EventRecord shedRec;
+    shedRec.kind = EventKind::DeadlineShed;
+    shedRec.tH = 0.7;
+    shedRec.jobId = 1;
+    shedRec.workUid = 5;
+    shedRec.shedShots = 128;
+    shedRec.deadlineH = 0.7;
+    j.record(shedRec);
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_FALSE(v.empty());
+    bool found = false;
+    for (const Violation &viol : v)
+        found = found || viol.invariant == "shed-before-finalize";
+    EXPECT_TRUE(found);
+}
+
+TEST(InvariantChecker, FlagsBackwardsLoopEvents)
+{
+    // Loop-fired events running backwards in journal time: a finalize
+    // recorded at 0.6h followed by a shard completion at 0.4h.
+    EventJournal j;
+    j.config.devices = {{"ibmq_lima"}};
+    serve::ShardResult s1 = plainShard();
+    recordShardLifecycle(j, 1, 5, s1, 0.0);
+    j.record(consistentFinalize(1, 5, s1));
+
+    serve::ShardResult s2 = plainShard();
+    s2.completeH = 0.4; // fires BEFORE the finalize above
+    recordShardLifecycle(j, 2, 6, s2, 0.0);
+    j.record(consistentFinalize(2, 6, s2));
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_FALSE(v.empty());
+    bool found = false;
+    for (const Violation &viol : v)
+        found = found || viol.invariant == "event-order";
+    EXPECT_TRUE(found);
 }
 
 // ---------------------------------------------------------------------------

@@ -6,7 +6,10 @@
  * result-cache expiry, cache-aware shard placement, aggregation
  * modes, QPU fault tolerance with shard requeueing, event-loop
  * determinism across thread counts (including the failure and cache
- * paths), wall-clock (SteadyClock) serving, and the "service" engine.
+ * paths), wall-clock (SteadyClock) serving, latency SLOs with
+ * deadline-driven graceful shedding, continuous intake (riders
+ * joining in-flight items), live membership (joins, leaves, cold
+ * starts, supervised restore), and the "service" engine.
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +21,7 @@
 #include "common/task_pool.h"
 #include "core/runtime.h"
 #include "device/catalog.h"
+#include "replay/journal.h"
 #include "serve/service_node.h"
 #include "support/run_helpers.h"
 #include "vqa/problem.h"
@@ -716,6 +720,314 @@ TEST(ServiceNode, SteadyClockServesSameWorkloadEndToEnd)
     // least to the latest completion.
     EXPECT_GE(node.loop().now(),
               std::max(out[0].completeH, out[2].completeH));
+}
+
+// ---------------------------------------------------------------------------
+// Latency SLOs: deadlines and graceful shedding
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNode, DeadlineRejectsInfeasibleAtAdmission)
+{
+    ServiceNode node(serveEnsemble(), fastOptions());
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 512;
+    r.submitH = 1.0;
+    r.deadlineH = 0.5; // already blown at submission
+    EXPECT_EQ(node.submit(r).status, AdmitStatus::RejectedDeadline);
+    r.deadlineH = 1.0; // zero-width window: equally infeasible
+    EXPECT_EQ(node.submit(r).status, AdmitStatus::RejectedDeadline);
+    EXPECT_EQ(node.counters().rejectedDeadline, 2u);
+
+    r.deadlineH = 2.0;
+    EXPECT_TRUE(node.submit(r).admitted());
+    std::vector<JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].shed);
+    EXPECT_DOUBLE_EQ(out[0].deadlineH, 2.0);
+    EXPECT_EQ(node.counters().deadlinesMet, 1u);
+}
+
+TEST(ServiceNode, GenerousDeadlineDoesNotPerturbResults)
+{
+    // An SLO the job easily makes must be invisible to the numbers:
+    // same seed with and without a deadline yields bit-identical
+    // outcomes, and the deadline resolves to "met", never shed.
+    auto run = [](double deadlineH) {
+        ServiceNode node(serveEnsemble(), fastOptions(44));
+        VqaProblem p = makeHeisenbergVqe();
+        WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+        JobRequest r;
+        r.workload = wl;
+        r.params = p.initialParams;
+        r.shots = 2048;
+        r.deadlineH = deadlineH;
+        EXPECT_TRUE(node.submit(r).admitted());
+        std::vector<JobOutcome> out = node.drain();
+        EXPECT_EQ(out.size(), 1u);
+        return out[0];
+    };
+    JobOutcome bare = run(0.0);
+    JobOutcome slo = run(100.0);
+    EXPECT_DOUBLE_EQ(slo.energy, bare.energy);
+    EXPECT_DOUBLE_EQ(slo.variance, bare.variance);
+    EXPECT_DOUBLE_EQ(slo.completeH, bare.completeH);
+    EXPECT_EQ(slo.shotsExecuted, bare.shotsExecuted);
+    EXPECT_FALSE(slo.shed);
+    EXPECT_EQ(slo.shedShots, 0);
+    EXPECT_LE(slo.completeH, slo.deadlineH);
+}
+
+JobOutcome
+runShedWorkload(int threads, double deadlineH)
+{
+    ServiceNode node(serveEnsemble(), fastOptions(55));
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 8192;
+    r.deadlineH = deadlineH;
+    EXPECT_TRUE(node.submit(r).admitted());
+    TaskPool pool(threads);
+    std::vector<JobOutcome> out = node.drain(&pool);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(node.counters().deadlineSheds, 1u);
+    EXPECT_EQ(node.counters().shotsShed,
+              static_cast<uint64_t>(out[0].shedShots));
+    EXPECT_EQ(node.counters().deadlinesMet, 0u);
+    return out[0];
+}
+
+TEST(ServiceNode, DeadlineMidFlightShedsGracefullyAndDeterministically)
+{
+    // A deadline tight enough to beat the slowest shards: the job
+    // finalizes AT the deadline from whatever completed, flagged
+    // shed+degraded, with exact shot accounting — identically for any
+    // worker thread count.
+    const double deadlineH = 0.02;
+    JobOutcome t1 = runShedWorkload(1, deadlineH);
+    EXPECT_TRUE(t1.shed);
+    EXPECT_TRUE(t1.degraded);
+    EXPECT_GT(t1.shedShots, 0);
+    EXPECT_GT(t1.shotsExecuted, 0) << "deadline should land between "
+                                      "shard completions, not before "
+                                      "the first";
+    EXPECT_EQ(t1.shotsExecuted + t1.shedShots, 8192);
+    EXPECT_TRUE(std::isfinite(t1.energy));
+    EXPECT_DOUBLE_EQ(t1.completeH, deadlineH);
+
+    JobOutcome t2 = runShedWorkload(2, deadlineH);
+    JobOutcome t4 = runShedWorkload(4, deadlineH);
+    for (const JobOutcome *o : {&t2, &t4}) {
+        EXPECT_DOUBLE_EQ(o->energy, t1.energy);
+        EXPECT_DOUBLE_EQ(o->variance, t1.variance);
+        EXPECT_DOUBLE_EQ(o->completeH, t1.completeH);
+        EXPECT_EQ(o->shotsExecuted, t1.shotsExecuted);
+        EXPECT_EQ(o->shedShots, t1.shedShots);
+        EXPECT_EQ(o->shed, t1.shed);
+    }
+}
+
+TEST(ServiceNode, DeadlineBeforeDispatchShedsWholeBudget)
+{
+    // Every member down and park-retry enabled: the item waits parked
+    // with nothing dispatched, so its deadline sheds the entire shot
+    // budget and completes with the empty-aggregate fallback.
+    ServiceOptions o = fastOptions();
+    o.retryUnplannableH = 0.05;
+    ServiceNode node(serveEnsemble(), o);
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+    for (std::size_t m = 0; m < node.numMembers(); ++m)
+        node.failMemberAt(m, 0.0);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 1024;
+    r.deadlineH = 0.03; // beats the first park retry at 0.05
+    ASSERT_TRUE(node.submit(r).admitted());
+    std::vector<JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].shed);
+    EXPECT_TRUE(out[0].degraded);
+    EXPECT_EQ(out[0].shedShots, 1024);
+    EXPECT_EQ(out[0].shotsExecuted, 0);
+    EXPECT_EQ(out[0].shardsExecuted, 0);
+    EXPECT_DOUBLE_EQ(out[0].completeH, 0.03);
+    EXPECT_EQ(node.counters().deadlineSheds, 1u);
+    EXPECT_EQ(node.counters().shotsShed, 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// Continuous intake: riders joining in-flight items
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNode, RiderJoinsInFlightItemBeforeCutoff)
+{
+    ServiceNode node(serveEnsemble(), fastOptions());
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 4096;
+    r.tenantId = 0;
+    ASSERT_TRUE(node.submit(r).admitted());
+
+    // Advance the loop just past intake: shards are dispatched, none
+    // has completed. This is the streaming window a batch drain never
+    // exposes.
+    node.runUntil(1e-4);
+    EXPECT_EQ(node.counters().workItems, 1u);
+
+    // A second tenant asks for the same binding with a budget no
+    // larger than what is executing: it rides the in-flight item.
+    r.tenantId = 1;
+    r.shots = 2048;
+    r.submitH = 1e-4;
+    ASSERT_TRUE(node.submit(r).admitted());
+
+    // A third asks for MORE shots than the dispatched budget: past
+    // the cutoff, so it must get its own work item.
+    r.tenantId = 2;
+    r.shots = 8192;
+    ASSERT_TRUE(node.submit(r).admitted());
+
+    std::vector<JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(node.counters().ridersJoined, 1u);
+    EXPECT_EQ(node.counters().workItems, 2u);
+
+    // The rider shares the lead's answer bit-for-bit and reports the
+    // executed (lead) budget; the oversized request ran separately.
+    EXPECT_DOUBLE_EQ(out[1].energy, out[0].energy);
+    EXPECT_DOUBLE_EQ(out[1].variance, out[0].variance);
+    EXPECT_DOUBLE_EQ(out[1].completeH, out[0].completeH);
+    EXPECT_EQ(out[0].shotsExecuted, 4096);
+    EXPECT_EQ(out[1].shotsExecuted, 4096);
+    EXPECT_TRUE(out[1].coalesced);
+    EXPECT_EQ(out[2].shotsExecuted, 8192);
+    EXPECT_NE(out[2].energy, out[0].energy);
+}
+
+// ---------------------------------------------------------------------------
+// Live membership: joins, leaves, supervised restore
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNode, LiveJoinAndLeaveReshapeTheEnsemble)
+{
+    ServiceNode node(serveEnsemble(), fastOptions());
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    // Member 0 leaves before any dispatch; a new device joins live.
+    node.removeMember(0, 0.0);
+    const std::size_t joined =
+        node.addMember(deviceByName("ibmq_santiago"), 0.0);
+    EXPECT_EQ(joined, 4u);
+    EXPECT_EQ(node.numMembers(), 5u);
+    EXPECT_EQ(node.counters().memberJoins, 1u);
+    EXPECT_EQ(node.counters().memberLeaves, 1u);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 8192;
+    ASSERT_TRUE(node.submit(r).admitted());
+    // A second round well past the cold-start ramp: the joiner pulls
+    // full-weight work.
+    JobRequest r2 = r;
+    r2.params[0] += 0.7;
+    r2.submitH = 1.0;
+    ASSERT_TRUE(node.submit(r2).admitted());
+
+    std::vector<JobOutcome> out = node.drain();
+    ASSERT_EQ(out.size(), 2u);
+    for (const JobOutcome &o : out) {
+        EXPECT_EQ(o.shotsExecuted, 8192);
+        EXPECT_FALSE(o.degraded);
+    }
+    // The departed member never served; the joiner did.
+    EXPECT_EQ(node.memberShotCounts()[0], 0u);
+    EXPECT_GT(node.memberShotCounts()[joined], 0u);
+}
+
+TEST(ServiceNode, ColdStartRampPenalizesFreshJoiners)
+{
+    // Same submission against two nodes: in one the extra member has
+    // been around forever, in the other it joined at the submission
+    // hour. The cold joiner must receive strictly fewer shots.
+    auto joinerShare = [](double joinH, double submitH) {
+        ServiceOptions o = fastOptions(66);
+        o.scheduler.coldStartPenalty = 0.2;
+        o.scheduler.coldStartH = 0.5;
+        ServiceNode node(serveEnsemble(), o);
+        VqaProblem p = makeHeisenbergVqe();
+        WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+        const std::size_t j =
+            node.addMember(deviceByName("ibmq_santiago"), joinH);
+        JobRequest r;
+        r.workload = wl;
+        r.params = p.initialParams;
+        r.shots = 8192;
+        r.submitH = submitH;
+        EXPECT_TRUE(node.submit(r).admitted());
+        node.drain();
+        return node.memberShotCounts()[j];
+    };
+    // Joined 10 h before the work vs joining right at it.
+    const uint64_t warm = joinerShare(0.0, 10.0);
+    const uint64_t cold = joinerShare(10.0, 10.0);
+    EXPECT_GT(warm, 0u);
+    EXPECT_LT(cold, warm);
+}
+
+TEST(ServiceNode, SupervisedRestoreBacksOffExponentially)
+{
+    ServiceOptions o = fastOptions();
+    o.superviseBaseBackoffH = 0.01;
+    ServiceNode node(serveEnsemble(), o);
+    replay::EventJournal journal;
+    node.setJournalSink(&journal);
+    VqaProblem p = makeHeisenbergVqe();
+    WorkloadId wl = node.registerWorkload(p.ansatz, p.hamiltonian);
+
+    JobRequest r;
+    r.workload = wl;
+    r.params = p.initialParams;
+    r.shots = 512;
+
+    // First failure: the supervisor restores after the base backoff.
+    node.failMemberAt(0, 0.0);
+    ASSERT_TRUE(node.submit(r).admitted());
+    node.drain();
+    EXPECT_EQ(node.counters().supervisedRestores, 1u);
+
+    // Flapping: the second failure earns a doubled cool-down.
+    const double fail2H = node.loop().now();
+    node.failMemberAt(0, fail2H);
+    r.submitH = fail2H;
+    r.params[0] += 0.3;
+    ASSERT_TRUE(node.submit(r).admitted());
+    node.drain();
+    EXPECT_EQ(node.counters().supervisedRestores, 2u);
+
+    std::vector<double> restoreH;
+    for (const replay::EventRecord &rec : journal.records())
+        if (rec.kind == replay::EventKind::MemberRestore &&
+            rec.autoRestore)
+            restoreH.push_back(rec.tH);
+    ASSERT_EQ(restoreH.size(), 2u);
+    EXPECT_DOUBLE_EQ(restoreH[0], 0.01);
+    EXPECT_DOUBLE_EQ(restoreH[1], fail2H + 0.02);
 }
 
 // ---------------------------------------------------------------------------
