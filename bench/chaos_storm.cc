@@ -26,9 +26,17 @@
  * (seed echoed, per-invariant violation counts, aggregate serving
  * counters) lands at --out for CI artifact diffing.
  *
+ * Multi-node storms: --nodes N (N > 1) routes every schedule through
+ * a serve::Router fronting N nodes — floods overflow along the hash
+ * ring, kills and deadlines span nodes, and the routed invariants
+ * I13/I14 are audited on top of I1..I12. Routed schedules always run
+ * on the virtual clock (incompatible with --steady/--churn) and every
+ * one replays its journal bit for bit.
+ *
  * Usage:
  *   bench_chaos_storm [--schedules N] [--seed S] [--tenants N]
  *                     [--rounds N] [--members N] [--shots N]
+ *                     [--nodes N]
  *                     [--deadline-frac P] [--churn P] [--steady]
  *                     [--timescale S] [--verify-every K] [--out FILE]
  *                     [--journal-out FILE]
@@ -61,6 +69,7 @@ main(int argc, char **argv)
     bool steadyMode = false;
     double timescaleS = 0.002; // wall seconds per hour (steady)
     int verifyEvery = 64; // 0 disables the replay cross-check
+    int nodes = 1;        // > 1 routes schedules through a Router
     std::string outPath;
     std::string journalOutPath = "chaos_offender.jsonl";
     for (int i = 1; i < argc; ++i) {
@@ -93,6 +102,8 @@ main(int argc, char **argv)
             timescaleS = std::atof(next("--timescale"));
         else if (!std::strcmp(argv[i], "--verify-every"))
             verifyEvery = std::atoi(next("--verify-every"));
+        else if (!std::strcmp(argv[i], "--nodes"))
+            nodes = std::atoi(next("--nodes"));
         else if (!std::strcmp(argv[i], "--out"))
             outPath = next("--out");
         else if (!std::strcmp(argv[i], "--journal-out"))
@@ -103,13 +114,20 @@ main(int argc, char **argv)
         }
     }
 
+    if (nodes > 1 && (steadyMode || churn > 0.0)) {
+        std::fprintf(stderr, "--nodes > 1 runs on the virtual clock "
+                             "and does not support --steady/--churn\n");
+        return 2;
+    }
+
     bench::banner("eqc::replay chaos storm");
     std::printf("schedules=%d seed=%llu tenants=%d rounds=%d "
-                "members=%d shots<=%d deadline-frac=%.2f churn=%.2f "
-                "clock=%s verify-every=%d threads=%d\n",
+                "members=%d shots<=%d nodes=%d deadline-frac=%.2f "
+                "churn=%.2f clock=%s verify-every=%d threads=%d\n",
                 schedules, static_cast<unsigned long long>(seed),
-                tenants, rounds, members, maxShots, deadlineFrac,
-                churn, steadyMode ? "steady" : "virtual", verifyEvery,
+                tenants, rounds, members, maxShots, nodes,
+                deadlineFrac, churn,
+                steadyMode ? "steady" : "virtual", verifyEvery,
                 TaskPool::shared().threadCount());
 
     const auto wall0 = std::chrono::steady_clock::now();
@@ -120,6 +138,7 @@ main(int argc, char **argv)
     uint64_t kills = 0, restores = 0, driftSpikes = 0, floods = 0,
              skewed = 0, replaysVerified = 0;
     uint64_t joins = 0, leaves = 0, sheds = 0;
+    uint64_t forwards = 0, forwardAdmits = 0;
     serve::ServiceCounters total;
     std::map<std::string, uint64_t> byInvariant;
 
@@ -135,6 +154,7 @@ main(int argc, char **argv)
         co.churnProb = churn;
         co.steadyClock = steadyMode;
         co.timescaleS = timescaleS;
+        co.nodes = nodes;
         co.verifyReplay = verifyEvery > 0 && i % verifyEvery == 0;
         replay::ChaosEngine engine(co);
         replay::ChaosReport rep = engine.run(&TaskPool::shared());
@@ -148,6 +168,8 @@ main(int argc, char **argv)
         joins += static_cast<uint64_t>(rep.joins);
         leaves += static_cast<uint64_t>(rep.leaves);
         sheds += static_cast<uint64_t>(rep.sheds);
+        forwards += static_cast<uint64_t>(rep.forwards);
+        forwardAdmits += static_cast<uint64_t>(rep.forwardAdmits);
         if (rep.replayVerified)
             ++replaysVerified;
         total.jobsAdmitted += rep.counters.jobsAdmitted;
@@ -234,6 +256,10 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(total.deadlinesMet),
                 static_cast<unsigned long long>(total.shotsShed),
                 static_cast<unsigned long long>(total.ridersJoined));
+    if (nodes > 1)
+        std::printf("router forwards %llu  forward admits %llu\n",
+                    static_cast<unsigned long long>(forwards),
+                    static_cast<unsigned long long>(forwardAdmits));
 
     if (!outPath.empty()) {
         std::FILE *f = std::fopen(outPath.c_str(), "w");
@@ -248,6 +274,7 @@ main(int argc, char **argv)
             "  \"seed\": %llu,\n"
             "  \"schedules\": %d,\n"
             "  \"threads\": %d,\n"
+            "  \"nodes\": %d,\n"
             "  \"clock\": \"%s\",\n"
             "  \"deadline_frac\": %.4f,\n"
             "  \"churn\": %.4f,\n"
@@ -256,7 +283,7 @@ main(int argc, char **argv)
             "  \"first_offending_seed\": %lld,\n"
             "  \"violations_by_invariant\": {",
             static_cast<unsigned long long>(seed), schedules,
-            TaskPool::shared().threadCount(),
+            TaskPool::shared().threadCount(), nodes,
             steadyMode ? "steady" : "virtual", deadlineFrac, churn,
             static_cast<unsigned long long>(totalViolations),
             schedulesFailed, firstOffendingSeed);
@@ -291,6 +318,8 @@ main(int argc, char **argv)
             "  \"deadlines_met\": %llu,\n"
             "  \"shots_shed\": %llu,\n"
             "  \"riders_joined\": %llu,\n"
+            "  \"router_forwards\": %llu,\n"
+            "  \"router_forward_admits\": %llu,\n"
             "  \"wall_seconds\": %.6f\n"
             "}\n",
             byInvariant.empty() ? "" : "\n  ",
@@ -315,7 +344,8 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(total.deadlinesMet),
             static_cast<unsigned long long>(total.shotsShed),
             static_cast<unsigned long long>(total.ridersJoined),
-            wallS);
+            static_cast<unsigned long long>(forwards),
+            static_cast<unsigned long long>(forwardAdmits), wallS);
         std::fclose(f);
         std::printf("\nwrote %s\n", outPath.c_str());
     }

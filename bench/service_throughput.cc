@@ -32,9 +32,21 @@
  * rate; --churn injects live membership churn (random joins/leaves)
  * at that per-round probability.
  *
+ * Router tier: --nodes N (N >= 1) replaces the single ServiceNode
+ * with a serve::Router fronting N nodes — each fronting its own copy
+ * of the evaluation ensemble, each drained by its own serve thread
+ * (threadedDrain) with inline shard execution, so jobs/sec scales
+ * with node-level concurrency. Requests consistent-hash by
+ * (workload, binding); capacity rejections overflow along the ring.
+ * --nodes 1 is the Router baseline the scaling numbers compare
+ * against (same per-node resources); omitting --nodes keeps the
+ * legacy single-node path byte-for-byte. Routed runs require the
+ * virtual clock and do not support --churn.
+ *
  * Usage:
  *   bench_service_throughput [--tenants N] [--rounds N] [--shots N]
  *                            [--depth N] [--ttl H] [--fail]
+ *                            [--nodes N]
  *                            [--clock virtual|steady] [--timescale S]
  *                            [--deadline-frac F] [--slo-h H]
  *                            [--churn P] [--seed S] [--out FILE]
@@ -47,11 +59,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench_util.h"
 #include "common/event_loop.h"
 #include "common/rng.h"
 #include "common/task_pool.h"
 #include "device/catalog.h"
+#include "serve/router.h"
 #include "serve/service_node.h"
 #include "vqa/problem.h"
 
@@ -73,6 +88,7 @@ main(int argc, char **argv)
     double sloH = 0.25;        // SLO horizon (hours past submit)
     double churn = 0.0;        // per-round join/leave probability
     uint64_t seed = 2026;      // node root seed; echoed in every report
+    int nodes = 0; // 0 = legacy single ServiceNode; >= 1 = Router tier
     std::string outPath;
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) {
@@ -104,6 +120,8 @@ main(int argc, char **argv)
             sloH = std::atof(next("--slo-h"));
         else if (!std::strcmp(argv[i], "--churn"))
             churn = std::atof(next("--churn"));
+        else if (!std::strcmp(argv[i], "--nodes"))
+            nodes = std::atoi(next("--nodes"));
         else if (!std::strcmp(argv[i], "--seed"))
             seed = std::strtoull(next("--seed"), nullptr, 10);
         else if (!std::strcmp(argv[i], "--out"))
@@ -115,6 +133,15 @@ main(int argc, char **argv)
     }
     if (clockMode != "virtual" && clockMode != "steady") {
         std::fprintf(stderr, "--clock must be virtual or steady\n");
+        return 2;
+    }
+    if (nodes > 0 && clockMode != "virtual") {
+        std::fprintf(stderr, "--nodes requires --clock virtual\n");
+        return 2;
+    }
+    if (nodes > 0 && churn > 0.0) {
+        std::fprintf(stderr,
+                     "--churn is not supported with --nodes\n");
         return 2;
     }
 
@@ -137,13 +164,43 @@ main(int argc, char **argv)
     if (depth > 0)
         opts.admission.maxQueueDepth =
             static_cast<std::size_t>(depth);
-    ServiceNode node(evaluationEnsemble(), opts, clock);
 
+    // Legacy path: one ServiceNode, shards fanned out on the shared
+    // pool. Router path (--nodes): N nodes, each with its own serve
+    // thread and inline shards — scaling comes from node concurrency.
+    std::unique_ptr<ServiceNode> single;
+    std::unique_ptr<Router> router;
     VqaProblem vqe = makeHeisenbergVqe();
     VqaProblem qaoa = makeRingMaxCutQaoa();
-    WorkloadId wVqe = node.registerWorkload(vqe.ansatz, vqe.hamiltonian);
-    WorkloadId wQaoa =
-        node.registerWorkload(qaoa.ansatz, qaoa.hamiltonian);
+    WorkloadId wVqe;
+    WorkloadId wQaoa;
+    if (nodes > 0) {
+        RouterOptions ro;
+        ro.threadedDrain = true;
+        ro.seed = seed;
+        router.reset(new Router(ro));
+        for (int n = 0; n < nodes; ++n)
+            router->addNode(evaluationEnsemble(), opts);
+        wVqe = router->registerWorkload(vqe.ansatz, vqe.hamiltonian);
+        wQaoa =
+            router->registerWorkload(qaoa.ansatz, qaoa.hamiltonian);
+        std::printf("router: nodes=%d (one serve thread each) "
+                    "vnodes=%d forward hops=%d\n",
+                    nodes, router->options().virtualNodes,
+                    router->options().forwardHops);
+    } else {
+        single.reset(new ServiceNode(evaluationEnsemble(), opts,
+                                     clock));
+        wVqe = single->registerWorkload(vqe.ansatz, vqe.hamiltonian);
+        wQaoa =
+            single->registerWorkload(qaoa.ansatz, qaoa.hamiltonian);
+    }
+    auto submitJob = [&](const JobRequest &r) {
+        return router ? router->submit(r) : single->submit(r);
+    };
+    auto drainAll = [&]() {
+        return router ? router->drain() : single->drain();
+    };
 
     // Tenant pairs share a binding stream; odd pairs run the QAOA
     // workload so the node serves a heterogeneous mix.
@@ -165,8 +222,9 @@ main(int argc, char **argv)
         tn.req.priority = t % 3;
     }
 
-    if (fail)
-        node.failMemberAt(0, 1.0 / 3600.0); // dies one second in
+    if (fail) // member 0 (of node 0 when routed) dies one second in
+        (router ? router->node(0) : *single)
+            .failMemberAt(0, 1.0 / 3600.0);
 
     const auto wall0 = std::chrono::steady_clock::now();
     uint64_t completed = 0;
@@ -185,15 +243,16 @@ main(int argc, char **argv)
             // Live membership churn: alternate between grafting a
             // spare catalog device onto the ensemble and retiring a
             // random member mid-campaign.
-            const double nowH = node.loop().now();
+            const double nowH = single->loop().now();
             if (brng.bernoulli(0.5)) {
-                node.addMember(spares[joinCursor++ % spares.size()],
-                               nowH);
+                single->addMember(
+                    spares[joinCursor++ % spares.size()], nowH);
             } else {
                 const std::size_t victim = static_cast<std::size_t>(
-                    brng.uniformInt(0, static_cast<int>(
-                                           node.numMembers() - 1)));
-                node.removeMember(victim, nowH);
+                    brng.uniformInt(
+                        0, static_cast<int>(single->numMembers() -
+                                            1)));
+                single->removeMember(victim, nowH);
             }
         }
         for (Tenant &tn : fleet) {
@@ -208,14 +267,14 @@ main(int argc, char **argv)
                 deadlineFrac > 0.0 && brng.bernoulli(deadlineFrac)
                     ? tn.req.submitH + sloH
                     : 0.0;
-            Ticket ticket = node.submit(tn.req);
+            Ticket ticket = submitJob(tn.req);
             if (!ticket.admitted()) {
                 // Backpressure: come back when the hint says so.
                 tn.nextSubmitH += ticket.retryAfterS / 3600.0;
                 ++backedOff;
             }
         }
-        for (const JobOutcome &o : node.drain()) {
+        for (const JobOutcome &o : drainAll()) {
             fleet[static_cast<std::size_t>(o.tenantId)].nextSubmitH =
                 o.completeH;
             ++completed;
@@ -233,9 +292,16 @@ main(int argc, char **argv)
                                       wall0)
             .count();
 
-    const stats::Percentiles &lat = node.latencyStats();
-    const stats::Percentiles &retry = node.retryAfterStats();
-    const ServiceCounters &c = node.counters();
+    if (router)
+        router->stopServe();
+
+    const stats::Percentiles &lat =
+        router ? router->latencyStats() : single->latencyStats();
+    // Routed runs sample node 0's hint stream (per-node estimators).
+    const stats::Percentiles &retry =
+        (router ? router->node(0) : *single).retryAfterStats();
+    const ServiceCounters c =
+        router ? router->totals() : single->counters();
     const double jobsPerSec =
         wallS > 0.0 ? static_cast<double>(completed) / wallS : 0.0;
     const double cacheHitRate =
@@ -310,12 +376,31 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(backedOff),
                 retry.p50(), retry.p95());
 
-    bench::heading("per-member executed shots");
-    for (std::size_t m = 0; m < node.numMembers(); ++m)
-        std::printf("  %-16s %12llu\n",
-                    node.memberDevice(m).name.c_str(),
+    if (router) {
+        const RouterCounters &rc = router->counters();
+        bench::heading("router");
+        std::printf("routed %llu  forwards %llu  forward admits %llu "
+                    "rejected everywhere %llu\n",
+                    static_cast<unsigned long long>(rc.routed),
+                    static_cast<unsigned long long>(rc.forwards),
+                    static_cast<unsigned long long>(rc.forwardAdmits),
                     static_cast<unsigned long long>(
-                        node.memberShotCounts()[m]));
+                        rc.rejectedEverywhere));
+        bench::heading("per-node executed shots");
+        const std::vector<uint64_t> nodeShots =
+            router->nodeShotTotals();
+        for (std::size_t n = 0; n < nodeShots.size(); ++n)
+            std::printf("  node %-2zu %14llu\n", n,
+                        static_cast<unsigned long long>(
+                            nodeShots[n]));
+    } else {
+        bench::heading("per-member executed shots");
+        for (std::size_t m = 0; m < single->numMembers(); ++m)
+            std::printf("  %-16s %12llu\n",
+                        single->memberDevice(m).name.c_str(),
+                        static_cast<unsigned long long>(
+                            single->memberShotCounts()[m]));
+    }
 
     if (!outPath.empty()) {
         std::FILE *f = std::fopen(outPath.c_str(), "w");
@@ -334,6 +419,8 @@ main(int argc, char **argv)
             "  \"shots\": %d,\n"
             "  \"seed\": %llu,\n"
             "  \"threads\": %d,\n"
+            "  \"nodes\": %d,\n"
+            "  \"routed\": %s,\n"
             "  \"queue_depth_limit\": %d,\n"
             "  \"cache_ttl_h\": %.3f,\n"
             "  \"fail_injected\": %s,\n"
@@ -371,11 +458,11 @@ main(int argc, char **argv)
             "  \"degraded_jobs\": %llu,\n"
             "  \"degraded_rate\": %.4f,\n"
             "  \"member_joins\": %llu,\n"
-            "  \"member_leaves\": %llu,\n"
-            "  \"member_shots\": [",
+            "  \"member_leaves\": %llu,\n",
             clockMode.c_str(), timescaleS, tenants, rounds, shots,
             static_cast<unsigned long long>(seed),
             TaskPool::shared().threadCount(),
+            nodes > 0 ? nodes : 1, nodes > 0 ? "true" : "false",
             depth > 0 ? depth
                       : static_cast<int>(opts.admission.maxQueueDepth),
             ttlH, fail ? "true" : "false",
@@ -405,10 +492,33 @@ main(int argc, char **argv)
             degradedRate,
             static_cast<unsigned long long>(c.memberJoins),
             static_cast<unsigned long long>(c.memberLeaves));
-        for (std::size_t m = 0; m < node.numMembers(); ++m)
-            std::fprintf(f, "%s%llu", m ? ", " : "",
-                         static_cast<unsigned long long>(
-                             node.memberShotCounts()[m]));
+        if (router) {
+            const RouterCounters &rc = router->counters();
+            std::fprintf(
+                f,
+                "  \"router_routed\": %llu,\n"
+                "  \"router_forwards\": %llu,\n"
+                "  \"router_forward_admits\": %llu,\n"
+                "  \"router_rejected_everywhere\": %llu,\n"
+                "  \"node_shots\": [",
+                static_cast<unsigned long long>(rc.routed),
+                static_cast<unsigned long long>(rc.forwards),
+                static_cast<unsigned long long>(rc.forwardAdmits),
+                static_cast<unsigned long long>(
+                    rc.rejectedEverywhere));
+            const std::vector<uint64_t> nodeShots =
+                router->nodeShotTotals();
+            for (std::size_t n = 0; n < nodeShots.size(); ++n)
+                std::fprintf(f, "%s%llu", n ? ", " : "",
+                             static_cast<unsigned long long>(
+                                 nodeShots[n]));
+        } else {
+            std::fprintf(f, "  \"member_shots\": [");
+            for (std::size_t m = 0; m < single->numMembers(); ++m)
+                std::fprintf(f, "%s%llu", m ? ", " : "",
+                             static_cast<unsigned long long>(
+                                 single->memberShotCounts()[m]));
+        }
         std::fprintf(f, "]\n}\n");
         std::fclose(f);
         std::printf("\nwrote %s\n", outPath.c_str());

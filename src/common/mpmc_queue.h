@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer/multi-consumer queue.
+ *
+ * The classic Vyukov design: a power-of-two ring of cells, each
+ * carrying a sequence counter that encodes whose turn the cell is.
+ * Producers claim a cell by CAS on the enqueue cursor and stamp it
+ * full; consumers claim by CAS on the dequeue cursor and stamp it
+ * empty for the ring's next lap. Both operations are wait-free in the
+ * absence of contention and lock-free under it — no mutex, no
+ * allocation after construction.
+ *
+ * The serving layer uses this as the ServiceNode intake ring: any
+ * number of submitting threads tryPush submission slots, and the
+ * node's own event-loop thread drains them (see
+ * ServiceNode::postSubmit). A full ring makes tryPush return false —
+ * callers treat that as backpressure, exactly like an admission
+ * rejection, rather than blocking inside the queue.
+ */
+
+#ifndef EQC_COMMON_MPMC_QUEUE_H
+#define EQC_COMMON_MPMC_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace eqc {
+
+template <typename T> class MpmcQueue
+{
+  public:
+    /** @param capacity ring size; rounded up to a power of two. */
+    explicit MpmcQueue(std::size_t capacity = 1024)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        cells_ = std::vector<Cell>(cap);
+        mask_ = cap - 1;
+        for (std::size_t i = 0; i < cap; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+    }
+
+    MpmcQueue(const MpmcQueue &) = delete;
+    MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+    /** Enqueue @p v; false when the ring is full (backpressure). */
+    bool
+    tryPush(T v)
+    {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const std::ptrdiff_t dif =
+                static_cast<std::ptrdiff_t>(seq) -
+                static_cast<std::ptrdiff_t>(pos);
+            if (dif == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    cell.value = std::move(v);
+                    cell.seq.store(pos + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                return false; // the ring is a full lap behind
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Dequeue into @p out; false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const std::ptrdiff_t dif =
+                static_cast<std::ptrdiff_t>(seq) -
+                static_cast<std::ptrdiff_t>(pos + 1);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    out = std::move(cell.value);
+                    cell.seq.store(pos + mask_ + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                return false; // nothing enqueued at this cursor yet
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Approximate emptiness from the consumer side. Exact once all
+     * producers are quiescent (the barrier-drain use case).
+     */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::size_t> seq{0};
+        T value{};
+    };
+
+    std::vector<Cell> cells_;
+    std::size_t mask_ = 0;
+    /** Pad the cursors apart so producers and consumers do not false-
+     *  share one cache line. */
+    alignas(64) std::atomic<std::size_t> tail_{0}; // producers
+    alignas(64) std::atomic<std::size_t> head_{0}; // consumers
+};
+
+} // namespace eqc
+
+#endif // EQC_COMMON_MPMC_QUEUE_H

@@ -6,6 +6,7 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -13,6 +14,7 @@
 #include "device/catalog.h"
 #include "replay/replayer.h"
 #include "serve/aggregator.h"
+#include "serve/router.h"
 #include "serve/service_node.h"
 #include "vqa/problem.h"
 
@@ -58,41 +60,62 @@ InvariantChecker::check(const EventJournal &journal)
     // First executed (non-cache) Finalize per work uid: the aggregate
     // every rider of the item shares.
     std::unordered_map<uint64_t, const EventRecord *> itemFinal;
-    // Capacity rejections grouped by (hint-hour bits, health epoch):
-    // within one group the hint is a pure function of depth, so it
-    // must be strictly monotone. Member kills/restores change the
-    // alive set the hint minimizes over, hence the epoch split.
-    std::map<std::pair<uint64_t, int>,
+    // Everything a node keeps to itself gets audited to itself:
+    // member indices, health epochs, loop clocks and cache contents
+    // are all node-local, so multi-node journals key this state by
+    // the record's node stamp (single-node journals only ever touch
+    // node 0, auditing exactly as before).
+    struct NodeState
+    {
+        // Per-member health and membership windows: configured
+        // devices span (-inf, inf); live joins open at their join
+        // hour, leavers close at theirs. Vectors grow with
+        // MemberJoin records.
+        std::vector<double> failAtH;
+        std::vector<double> joinAtH;
+        std::vector<double> leaveAtH;
+        int healthEpoch = 0;
+        // Energies of executed aggregates this node stored so far
+        // (the only legal cache-hit sources — caches are per node).
+        std::set<uint64_t> executedEnergyBits;
+        // I11: loop-fired records are journaled at the node loop's
+        // current hour, which never runs backwards.
+        double lastLoopT = -std::numeric_limits<double>::infinity();
+    };
+    std::map<int, NodeState> nodeStates;
+    for (const DeviceSpec &d : cfg.devices) {
+        NodeState &ns = nodeStates[d.node];
+        ns.failAtH.push_back(inf);
+        ns.joinAtH.push_back(-inf);
+        ns.leaveAtH.push_back(inf);
+    }
+    nodeStates[0]; // node 0 exists even in a device-less journal
+    // Capacity rejections grouped by (node, hint-hour bits, health
+    // epoch): within one group the hint is a pure function of depth,
+    // so it must be strictly monotone. Member kills/restores change
+    // the alive set the hint minimizes over, hence the epoch split.
+    std::map<std::tuple<int, uint64_t, int>,
              std::vector<std::pair<int, double>>>
         rejectGroups;
-    // Energies of executed aggregates stored so far (cache sources).
-    std::set<uint64_t> executedEnergyBits;
-    // Per-member health and membership windows: configured devices
-    // span (-inf, inf); live joins open at their join hour, leavers
-    // close at theirs. The vectors grow with MemberJoin records.
-    std::vector<double> failAtH(cfg.devices.size(), inf);
-    std::vector<double> joinAtH(cfg.devices.size(), -inf);
-    std::vector<double> leaveAtH(cfg.devices.size(), inf);
     // First DeadlineShed record per work uid (I7/I8/I12).
     std::unordered_map<uint64_t, const EventRecord *> shedRecs;
     // Uids already finalized (I12: no shed after the first finalize).
     std::set<uint64_t> finalizedUids;
-    int healthEpoch = 0;
     bool sawMemberFail = false;
     bool sawMemberLeave = false;
-    // I11: loop-fired records (shard resolutions, finalizes, sheds)
-    // are journaled at the loop's current hour, which never runs
-    // backwards.
-    double lastLoopT = -inf;
+    // Route/Forward/Admit/Reject chains per routed-request uid, in
+    // journal order (I13/I14).
+    std::map<uint64_t, std::vector<const EventRecord *>> routedSeq;
     auto checkLoopOrder = [&](const EventRecord &r) {
-        if (r.tH < lastLoopT)
+        NodeState &ns = nodeStates[r.node];
+        if (r.tH < ns.lastLoopT)
             flag(v, "event-order",
                  std::string(kindName(r.kind)) + " at t=" +
                      std::to_string(r.tH) +
                      " fired after the loop already reached t=" +
-                     std::to_string(lastLoopT));
+                     std::to_string(ns.lastLoopT));
         else
-            lastLoopT = r.tH;
+            ns.lastLoopT = r.tH;
     };
 
     for (const EventRecord &r : journal.records()) {
@@ -102,8 +125,27 @@ InvariantChecker::check(const EventJournal &journal)
                 flag(v, "admitted-completes",
                      "job " + std::to_string(r.jobId) +
                          " admitted twice");
+            if (r.ruid != 0)
+                routedSeq[r.ruid].push_back(&r);
+            else if (cfg.nodes > 1)
+                flag(v, "routed-exactly-once",
+                     "job " + std::to_string(r.jobId) +
+                         " admitted without a routed-request uid in "
+                         "a multi-node journal");
+            break;
+        case EventKind::Route:
+        case EventKind::Forward:
+            if (r.ruid == 0)
+                flag(v, "routed-exactly-once",
+                     std::string(kindName(r.kind)) + " record at t=" +
+                         std::to_string(r.tH) +
+                         " carries no routed-request uid");
+            else
+                routedSeq[r.ruid].push_back(&r);
             break;
         case EventKind::Reject: {
+            if (r.ruid != 0)
+                routedSeq[r.ruid].push_back(&r);
             const bool capacity =
                 r.status ==
                     static_cast<int>(
@@ -119,56 +161,67 @@ InvariantChecker::check(const EventJournal &journal)
                          std::to_string(r.tH) +
                          " carries a non-positive retry-after of " +
                          std::to_string(r.retryAfterS) + "s");
-            rejectGroups[{doubleBits(r.tH), healthEpoch}].push_back(
-                {r.depth, r.retryAfterS});
+            rejectGroups[{r.node, doubleBits(r.tH),
+                          nodeStates[r.node].healthEpoch}]
+                .push_back({r.depth, r.retryAfterS});
             break;
         }
-        case EventKind::MemberFail:
+        case EventKind::MemberFail: {
+            NodeState &ns = nodeStates[r.node];
             sawMemberFail = true;
-            ++healthEpoch;
-            if (r.member < 0 ||
-                static_cast<std::size_t>(r.member) >= failAtH.size()) {
+            ++ns.healthEpoch;
+            if (r.member < 0 || static_cast<std::size_t>(r.member) >=
+                                    ns.failAtH.size()) {
                 flag(v, "no-zombie-shards",
                      "member_fail names member " +
                          std::to_string(r.member) +
                          " outside the known ensemble");
                 break;
             }
-            failAtH[static_cast<std::size_t>(r.member)] = r.atH;
+            ns.failAtH[static_cast<std::size_t>(r.member)] = r.atH;
             break;
-        case EventKind::MemberRestore:
-            ++healthEpoch;
+        }
+        case EventKind::MemberRestore: {
+            NodeState &ns = nodeStates[r.node];
+            ++ns.healthEpoch;
             if (r.member >= 0 &&
-                static_cast<std::size_t>(r.member) < failAtH.size())
-                failAtH[static_cast<std::size_t>(r.member)] = inf;
+                static_cast<std::size_t>(r.member) < ns.failAtH.size())
+                ns.failAtH[static_cast<std::size_t>(r.member)] = inf;
             break;
-        case EventKind::MemberJoin:
+        }
+        case EventKind::MemberJoin: {
+            NodeState &ns = nodeStates[r.node];
             // Joins change the alive set backpressure hints minimize
             // over, so they split I2's epoch groups like fails do.
-            ++healthEpoch;
-            if (r.member != static_cast<int>(failAtH.size()))
+            ++ns.healthEpoch;
+            if (r.member != static_cast<int>(ns.failAtH.size()))
                 flag(v, "membership-window",
                      "member_join names index " +
                          std::to_string(r.member) + " but " +
-                         std::to_string(failAtH.size()) +
+                         std::to_string(ns.failAtH.size()) +
                          " members exist");
-            failAtH.push_back(inf);
-            joinAtH.push_back(r.atH);
-            leaveAtH.push_back(inf);
+            ns.failAtH.push_back(inf);
+            ns.joinAtH.push_back(r.atH);
+            ns.leaveAtH.push_back(inf);
             break;
-        case EventKind::MemberLeave:
+        }
+        case EventKind::MemberLeave: {
+            NodeState &ns = nodeStates[r.node];
             sawMemberLeave = true;
-            ++healthEpoch;
-            if (r.member < 0 ||
-                static_cast<std::size_t>(r.member) >= leaveAtH.size())
+            ++ns.healthEpoch;
+            if (r.member < 0 || static_cast<std::size_t>(r.member) >=
+                                    ns.leaveAtH.size())
                 flag(v, "membership-window",
                      "member_leave names member " +
                          std::to_string(r.member) +
                          " outside the known ensemble");
             else
-                leaveAtH[static_cast<std::size_t>(r.member)] = r.atH;
+                ns.leaveAtH[static_cast<std::size_t>(r.member)] =
+                    r.atH;
             break;
+        }
         case EventKind::Dispatch: {
+            NodeState &ns = nodeStates[r.node];
             ShardTrace &t = shards[{r.workUid, r.seq}];
             if (t.dispatch)
                 flag(v, "dispatch-resolution",
@@ -176,17 +229,17 @@ InvariantChecker::check(const EventJournal &journal)
                          std::to_string(r.seq) +
                          ") dispatched twice");
             t.dispatch = &r;
-            if (r.member < 0 ||
-                static_cast<std::size_t>(r.member) >= joinAtH.size())
+            if (r.member < 0 || static_cast<std::size_t>(r.member) >=
+                                    ns.joinAtH.size())
                 flag(v, "membership-window",
                      "shard (" + std::to_string(r.workUid) + "," +
                          std::to_string(r.seq) +
                          ") dispatched onto unknown member " +
                          std::to_string(r.member));
-            else if (r.tH <
-                         joinAtH[static_cast<std::size_t>(r.member)] ||
-                     r.tH >=
-                         leaveAtH[static_cast<std::size_t>(r.member)])
+            else if (r.tH < ns.joinAtH[static_cast<std::size_t>(
+                                r.member)] ||
+                     r.tH >= ns.leaveAtH[static_cast<std::size_t>(
+                                 r.member)])
                 flag(v, "membership-window",
                      "shard (" + std::to_string(r.workUid) + "," +
                          std::to_string(r.seq) +
@@ -197,6 +250,7 @@ InvariantChecker::check(const EventJournal &journal)
         }
         case EventKind::ShardDone:
         case EventKind::ShardFail: {
+            NodeState &ns = nodeStates[r.node];
             checkLoopOrder(r);
             ShardTrace &t = shards[{r.workUid, r.seq}];
             if (t.resolve)
@@ -206,15 +260,17 @@ InvariantChecker::check(const EventJournal &journal)
                          ") resolved twice");
             t.resolve = &r;
             if (r.kind == EventKind::ShardDone && r.member >= 0 &&
-                static_cast<std::size_t>(r.member) < failAtH.size() &&
-                r.doneH >= failAtH[static_cast<std::size_t>(r.member)])
+                static_cast<std::size_t>(r.member) <
+                    ns.failAtH.size() &&
+                r.doneH >=
+                    ns.failAtH[static_cast<std::size_t>(r.member)])
                 flag(v, "no-zombie-shards",
                      "shard (" + std::to_string(r.workUid) + "," +
                          std::to_string(r.seq) +
                          ") completed at h=" + std::to_string(r.doneH) +
                          " on member " + std::to_string(r.member) +
                          " killed at h=" +
-                         std::to_string(failAtH[static_cast<
+                         std::to_string(ns.failAtH[static_cast<
                              std::size_t>(r.member)]));
             break;
         }
@@ -236,11 +292,13 @@ InvariantChecker::check(const EventJournal &journal)
                          " served " + std::to_string(r.servedShots) +
                          " cached shots for a " +
                          std::to_string(r.shots) + "-shot request");
-            if (!executedEnergyBits.count(doubleBits(r.energy)))
+            if (!nodeStates[r.node].executedEnergyBits.count(
+                    doubleBits(r.energy)))
                 flag(v, "cache-freshness",
                      "work " + std::to_string(r.workUid) +
                          " served energy " + hexBits(r.energy) +
-                         " that no earlier execution stored");
+                         " that no earlier execution on its node "
+                         "stored");
             break;
         case EventKind::DeadlineShed: {
             checkLoopOrder(r);
@@ -264,7 +322,8 @@ InvariantChecker::check(const EventJournal &journal)
                          " finalized twice");
             if (!r.fromCache) {
                 itemFinal.emplace(r.workUid, &r);
-                executedEnergyBits.insert(doubleBits(r.energy));
+                nodeStates[r.node].executedEnergyBits.insert(
+                    doubleBits(r.energy));
             }
             break;
         default:
@@ -564,6 +623,88 @@ InvariantChecker::check(const EventJournal &journal)
                      " finalized at different hours");
     }
 
+    // I13 + I14: walk each routed request's Route/Forward/verdict
+    // chain in journal order. The chain must open with exactly one
+    // Route, every verdict must land on the node the router last sent
+    // the request to, at most one Admit may occur and it ends the
+    // chain — and every Forward must be justified by the rejection
+    // that precedes it (same node, positive retry-after hint).
+    for (const auto &kv : routedSeq) {
+        const std::string tag = "request ruid " +
+                                std::to_string(kv.first);
+        const EventRecord *route = nullptr;
+        const EventRecord *lastVerdict = nullptr;
+        const EventRecord *pendingFwd = nullptr;
+        bool admitted = false;
+        for (const EventRecord *e : kv.second) {
+            switch (e->kind) {
+            case EventKind::Route:
+                if (route)
+                    flag(v, "routed-exactly-once",
+                         tag + " routed twice");
+                route = e;
+                break;
+            case EventKind::Forward:
+                if (!lastVerdict ||
+                    lastVerdict->kind != EventKind::Reject)
+                    flag(v, "forward-only-on-rejection",
+                         tag + " forwarded to node " +
+                             std::to_string(e->node) +
+                             " without a preceding rejection");
+                else if (!(lastVerdict->retryAfterS > 0.0))
+                    flag(v, "forward-only-on-rejection",
+                         tag + " forwarded after a rejection "
+                               "carrying no retry-after hint "
+                               "(status " +
+                             std::to_string(lastVerdict->status) +
+                             ")");
+                else if (lastVerdict->node != e->fromNode)
+                    flag(v, "forward-only-on-rejection",
+                         tag + " forward claims from-node " +
+                             std::to_string(e->fromNode) +
+                             " but the rejection was on node " +
+                             std::to_string(lastVerdict->node));
+                pendingFwd = e;
+                break;
+            case EventKind::Admit:
+            case EventKind::Reject: {
+                if (admitted)
+                    flag(v, "routed-exactly-once",
+                         tag + " got a verdict after it was already "
+                               "admitted");
+                if (!route) {
+                    flag(v, "routed-exactly-once",
+                         tag + " got a verdict without a route "
+                               "record");
+                } else {
+                    const int expect =
+                        pendingFwd ? pendingFwd->node : route->node;
+                    if (e->node != expect)
+                        flag(v, "routed-exactly-once",
+                             tag + " got a verdict on node " +
+                                 std::to_string(e->node) +
+                                 " but the router sent it to node " +
+                                 std::to_string(expect));
+                }
+                pendingFwd = nullptr;
+                lastVerdict = e;
+                if (e->kind == EventKind::Admit)
+                    admitted = true;
+                break;
+            }
+            default:
+                break;
+            }
+        }
+        if (route && !lastVerdict)
+            flag(v, "routed-exactly-once",
+                 tag + " was routed but never reached a verdict");
+        else if (pendingFwd)
+            flag(v, "routed-exactly-once",
+                 tag + " ends on a forward with no verdict from the "
+                       "target node");
+    }
+
     return v;
 }
 
@@ -574,6 +715,8 @@ InvariantChecker::check(const EventJournal &journal)
 ChaosReport
 ChaosEngine::run(TaskPool *pool)
 {
+    if (opts_.nodes > 1)
+        return runRouted(pool);
     const ChaosOptions &o = opts_;
     journal_ = EventJournal();
     ChaosReport rep;
@@ -775,6 +918,222 @@ ChaosEngine::run(TaskPool *pool)
     // Wall-clock journals carry real timestamps and are not
     // bit-replayable; the invariant audit above still applies.
     if (o.verifyReplay && !o.steadyClock) {
+        std::string err;
+        EventJournal parsed =
+            EventJournal::parse(journal_.serialize(), &err);
+        if (!err.empty()) {
+            flag(rep.violations, "journal-roundtrip", err);
+        } else {
+            Replayer replayer(std::move(parsed));
+            ReplayResult rr = replayer.run(pool);
+            rep.replayVerified = true;
+            for (const std::string &m : rr.mismatches)
+                flag(rep.violations, "replay-divergence", m);
+        }
+    }
+    return rep;
+}
+
+ChaosReport
+ChaosEngine::runRouted(TaskPool *pool)
+{
+    const ChaosOptions &o = opts_;
+    journal_ = EventJournal();
+    ChaosReport rep;
+    rep.seed = o.seed;
+
+    Rng rng = Rng(o.seed).fork("chaos-routed");
+    const int N = std::max(2, o.nodes);
+
+    // Per-node lineups drawn from the evaluation catalog. Nodes may
+    // front the same catalog device (they are separate simulators);
+    // drift spikes travel into the journal config per spec.
+    std::vector<Device> catalog = evaluationEnsemble();
+    const int members =
+        std::max(1, std::min<int>(o.members,
+                                  static_cast<int>(catalog.size())));
+
+    // Every node shares one ServiceOptions (the journal config
+    // describes the whole fleet); the Router spans their id ranges.
+    serve::ServiceOptions so;
+    so.seed = splitmix64(o.seed ^ 0xC4A05EEDull);
+    so.resultCacheTtlH = o.cacheTtlH;
+    so.admission.maxQueueDepth = o.queueDepth;
+    so.admission.maxQueuedPerTenant = o.tenantQuota;
+    so.scheduler.minShardShots = 32;
+    static const serve::AggregationMode modes[] = {
+        serve::AggregationMode::FidelityWeighted,
+        serve::AggregationMode::EquiWeighted,
+        serve::AggregationMode::MajorityVote,
+    };
+    so.aggregation = modes[o.seed % 3];
+
+    serve::RouterOptions ro;
+    ro.seed = splitmix64(o.seed ^ 0x526F7574ull);
+    serve::Router router(ro);
+    std::vector<DeviceSpec> specs;
+    for (int n = 0; n < N; ++n) {
+        std::vector<Device> devices;
+        for (int i = 0; i < members; ++i) {
+            const int j = rng.uniformInt(
+                0, static_cast<int>(catalog.size()) - 1);
+            Device dev = catalog[static_cast<std::size_t>(j)];
+            DeviceSpec spec;
+            spec.name = dev.name;
+            spec.node = n;
+            if (rng.bernoulli(o.driftSpikeProb)) {
+                spec.spikeRatePerHour = rng.uniform(0.3, 2.0);
+                spec.spikeSeverity = rng.uniform(3.0, 10.0);
+                dev.drift = dev.drift.spiked(spec.spikeRatePerHour,
+                                             spec.spikeSeverity);
+                ++rep.driftSpikes;
+            }
+            devices.push_back(std::move(dev));
+            specs.push_back(std::move(spec));
+        }
+        router.addNode(std::move(devices), so);
+    }
+
+    journal_.config = describeNode(
+        so, specs,
+        {{"heisenberg_vqe", 7}, {"ring_maxcut_qaoa", 7}});
+    journal_.config.nodes = N;
+    journal_.config.virtualNodes = ro.virtualNodes;
+    journal_.config.forwardHops = ro.forwardHops;
+    router.setJournalSink(&journal_);
+
+    VqaProblem vqe = problemByName("heisenberg_vqe", 7);
+    VqaProblem qaoa = problemByName("ring_maxcut_qaoa", 7);
+    const serve::WorkloadId wVqe =
+        router.registerWorkload(vqe.ansatz, vqe.hamiltonian);
+    const serve::WorkloadId wQaoa =
+        router.registerWorkload(qaoa.ansatz, qaoa.hamiltonian);
+
+    // dead[n][m]: node n's member m is currently killed.
+    std::vector<std::vector<bool>> dead(
+        static_cast<std::size_t>(N),
+        std::vector<bool>(static_cast<std::size_t>(members), false));
+    const int pairs = (o.tenants + 1) / 2;
+    std::vector<int> lastRoundKey(static_cast<std::size_t>(pairs), -1);
+    double baseH = 0.0;
+    const int shotSteps = std::max(1, o.maxShots / 64);
+
+    for (int round = 0; round < o.rounds; ++round) {
+        // Probabilistic restores, per node.
+        for (int n = 0; n < N; ++n) {
+            auto &d = dead[static_cast<std::size_t>(n)];
+            for (std::size_t m = 0; m < d.size(); ++m) {
+                if (d[m] && rng.bernoulli(o.restoreProb)) {
+                    router.node(static_cast<std::size_t>(n))
+                        .restoreMember(m);
+                    d[m] = false;
+                    ++rep.restores;
+                }
+            }
+        }
+
+        // Round keys as in the single-node schedule: pairs repeating
+        // an earlier binding exercise their home node's cache.
+        std::vector<int> roundKey(static_cast<std::size_t>(pairs),
+                                  round);
+        for (int p = 0; p < pairs; ++p) {
+            if (lastRoundKey[static_cast<std::size_t>(p)] >= 0 &&
+                rng.bernoulli(o.repeatProb))
+                roundKey[static_cast<std::size_t>(p)] =
+                    lastRoundKey[static_cast<std::size_t>(p)];
+            lastRoundKey[static_cast<std::size_t>(p)] =
+                roundKey[static_cast<std::size_t>(p)];
+        }
+
+        // Normal traffic through the router: distinct pair bindings
+        // hash to distinct home nodes, so the keyspace spreads.
+        for (int t = 0; t < o.tenants; ++t) {
+            const int pair = t / 2;
+            const bool useQaoa = pair % 2 == 1;
+            const VqaProblem &prob = useQaoa ? qaoa : vqe;
+            serve::JobRequest req;
+            req.tenantId = t;
+            req.workload = useQaoa ? wQaoa : wVqe;
+            req.params = prob.initialParams;
+            req.params[0] += 0.13 * pair;
+            req.params.back() +=
+                0.037 * roundKey[static_cast<std::size_t>(pair)];
+            req.shots = 64 * rng.uniformInt(1, shotSteps);
+            req.priority = rng.uniformInt(0, 2);
+            req.submitH = baseH + rng.uniform(0.0, 0.05);
+            if (rng.bernoulli(o.skewProb)) {
+                req.submitH =
+                    rng.bernoulli(0.5)
+                        ? std::max(0.0,
+                                   baseH - rng.uniform(0.0, 0.3))
+                        : baseH + rng.uniform(0.3, 0.8);
+                ++rep.skewed;
+            }
+            if (o.deadlineProb > 0.0 &&
+                rng.bernoulli(o.deadlineProb))
+                req.deadlineH = req.submitH + rng.uniform(0.05, 0.6);
+            router.submit(req);
+        }
+
+        // Tenant flood: one binding hammered far past its home node's
+        // depth and quota — the overflow walks the ring successors,
+        // exercising forwards and rejected-everywhere tails.
+        if (rng.bernoulli(o.floodProb)) {
+            ++rep.floods;
+            serve::JobRequest flood;
+            flood.tenantId = rng.uniformInt(0, o.tenants - 1);
+            flood.workload = wVqe;
+            flood.params = vqe.initialParams;
+            flood.params[0] += 0.13 * rng.uniformInt(0, pairs);
+            flood.shots = 64;
+            flood.priority = 0;
+            flood.submitH = baseH;
+            const int burst =
+                (static_cast<int>(o.queueDepth) + 4) *
+                std::min(N, 1 + ro.forwardHops);
+            for (int i = 0; i < burst; ++i)
+                router.submit(flood);
+        }
+
+        // Kills aimed per node at the window its coming drain
+        // executes in.
+        for (int n = 0; n < N; ++n) {
+            serve::ServiceNode &node =
+                router.node(static_cast<std::size_t>(n));
+            const double windowH =
+                std::isfinite(node.loop().nextTimeH())
+                    ? node.loop().nextTimeH()
+                    : baseH;
+            auto &d = dead[static_cast<std::size_t>(n)];
+            for (std::size_t m = 0; m < d.size(); ++m) {
+                if (!d[m] && rng.bernoulli(o.killProb)) {
+                    node.failMemberAt(m,
+                                      windowH + rng.uniform(0.0, 0.5));
+                    d[m] = true;
+                    ++rep.kills;
+                }
+            }
+        }
+
+        std::vector<serve::JobOutcome> out = router.drain();
+        rep.jobsCompleted += static_cast<int>(out.size());
+        double maxNowH = 0.0;
+        for (int n = 0; n < N; ++n)
+            maxNowH = std::max(
+                maxNowH,
+                router.node(static_cast<std::size_t>(n)).loop().now());
+        baseH = maxNowH + 0.01;
+    }
+
+    router.setJournalSink(nullptr);
+    rep.counters = router.totals();
+    rep.sheds = static_cast<int>(rep.counters.deadlineSheds);
+    rep.forwards = static_cast<int>(router.counters().forwards);
+    rep.forwardAdmits =
+        static_cast<int>(router.counters().forwardAdmits);
+    rep.violations = InvariantChecker::check(journal_);
+
+    if (o.verifyReplay) {
         std::string err;
         EventJournal parsed =
             EventJournal::parse(journal_.serialize(), &err);

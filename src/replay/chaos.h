@@ -54,7 +54,22 @@
  *     resolutions, finalizes, deadline sheds) never run backwards;
  *  I12 shed-before-finalize: a work item's DeadlineShed record always
  *     precedes its first Finalize — no deadline fires after the
- *     item completed.
+ *     item completed;
+ *  I13 routed-exactly-once: in a routed (multi-node) journal every
+ *     routed request has exactly one Route record, its Admit/Reject
+ *     chain starts on the routed home node and hops only along the
+ *     journaled Forward records, and at most one Admit ends the
+ *     chain — no request is admitted twice or lands on a node the
+ *     router never sent it to;
+ *  I14 forward-only-on-rejection: every Forward record is preceded by
+ *     a Reject on its from-node carrying a positive retry-after hint
+ *     — the router never forwards admitted work or rejections that
+ *     backpressure cannot fix (bad request, missed deadline).
+ *
+ * All per-node state (member health windows, backpressure epochs,
+ * event-order clocks, cache energy sets) is keyed by the record's
+ * node stamp, so single-node journals audit exactly as before and
+ * multi-node journals audit each node's timeline independently.
  *
  * bench/chaos_storm.cc drives thousands of these schedules; a failing
  * seed's journal replays through replay::Replayer for a local repro.
@@ -126,6 +141,15 @@ struct ChaosOptions
     bool steadyClock = false;
     /** SteadyClock scale: wall seconds per serving hour. */
     double timescaleS = 0.002;
+    /**
+     * Service nodes fronted by a Router. 1 (the default) keeps the
+     * legacy single-node schedules byte-stable; > 1 routes every
+     * submission through a consistent-hash Router with overflow
+     * forwarding — floods overflow across nodes, kills/deadlines are
+     * drawn per node — and audits I13/I14 on top of I1..I12. Routed
+     * schedules use `members` ensemble members per node.
+     */
+    int nodes = 1;
 };
 
 /** One invariant violation found in a journal. */
@@ -136,7 +160,7 @@ struct Violation
     std::string detail;
 };
 
-/** Audits a journal against invariants I1..I12 (see file comment). */
+/** Audits a journal against invariants I1..I14 (see file comment). */
 class InvariantChecker
 {
   public:
@@ -158,6 +182,10 @@ struct ChaosReport
     int leaves = 0;
     /** Deadline sheds the node performed (from its counters). */
     int sheds = 0;
+    /** Overflow forwards attempted by the router (routed schedules). */
+    int forwards = 0;
+    /** Forwards that ended in an admission on the target node. */
+    int forwardAdmits = 0;
     serve::ServiceCounters counters;
     std::vector<Violation> violations;
     /** A serialize->parse->replay cross-check ran. */
@@ -184,6 +212,9 @@ class ChaosEngine
     const ChaosOptions &options() const { return opts_; }
 
   private:
+    /** Multi-node schedule body (ChaosOptions::nodes > 1). */
+    ChaosReport runRouted(TaskPool *pool);
+
     ChaosOptions opts_;
     EventJournal journal_;
 };

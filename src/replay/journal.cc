@@ -33,6 +33,8 @@ kindName(EventKind kind)
     case EventKind::MemberJoin: return "member_join";
     case EventKind::MemberLeave: return "member_leave";
     case EventKind::RiderJoin: return "rider_join";
+    case EventKind::Route: return "route";
+    case EventKind::Forward: return "forward";
     }
     return "?";
 }
@@ -249,7 +251,30 @@ serializeRecord(std::string &out, const EventRecord &r)
         putU(out, "uid", r.workUid);
         putI(out, "shots", r.shots);
         break;
+    case EventKind::Route:
+        // Carries the full request (like Admit) so a routed replay can
+        // re-drive Router::submit from the journal alone; "node" in
+        // the generic tail is the ring-owner target.
+        putI(out, "tenant", r.tenant);
+        putI(out, "wl", r.workload);
+        putI(out, "shots", r.shots);
+        putI(out, "prio", r.priority);
+        putD(out, "subH", r.submitH);
+        putD(out, "deadH", r.deadlineH);
+        putArr(out, "params", r.params);
+        break;
+    case EventKind::Forward:
+        putI(out, "from", r.fromNode);
+        putD(out, "retryS", r.retryAfterS);
+        break;
     }
+    // Generic multi-node tail: emitted only when non-default, so
+    // single-node journals stay byte-identical to the version-1 wire
+    // format (node 0, unrouted work emits nothing here).
+    if (r.node != 0)
+        putI(out, "node", r.node);
+    if (r.ruid != 0)
+        putU(out, "ruid", r.ruid);
     out += "}\n";
 }
 
@@ -287,6 +312,11 @@ EventJournal::serialize() const
     putD(out, "coldPenalty", c.coldStartPenalty);
     putD(out, "coldH", c.coldStartH);
     putU(out, "catalogSeed", c.catalogSeed);
+    if (c.nodes != 1) {
+        putI(out, "nodes", c.nodes);
+        putI(out, "vnodes", c.virtualNodes);
+        putI(out, "forwardHops", c.forwardHops);
+    }
     out += "}\n";
 
     for (const DeviceSpec &d : c.devices) {
@@ -295,6 +325,8 @@ EventJournal::serialize() const
         putS(out, "name", d.name);
         putD(out, "spikeRate", d.spikeRatePerHour);
         putD(out, "spikeSev", d.spikeSeverity);
+        if (d.node != 0)
+            putI(out, "node", d.node);
         out += "}\n";
     }
     for (const WorkloadSpec &w : c.workloads) {
@@ -475,6 +507,8 @@ kindFromName(const std::string &name, bool &ok)
         {"member_join", EventKind::MemberJoin},
         {"member_leave", EventKind::MemberLeave},
         {"rider_join", EventKind::RiderJoin},
+        {"route", EventKind::Route},
+        {"forward", EventKind::Forward},
     };
     ok = true;
     for (const auto &e : table)
@@ -575,6 +609,10 @@ EventJournal::parse(const std::string &text, std::string *err)
             c.coldStartPenalty = getD(m, "coldPenalty", 0.35);
             c.coldStartH = getD(m, "coldH", 0.25);
             c.catalogSeed = getU(m, "catalogSeed", 2022);
+            c.nodes = static_cast<int>(getI(m, "nodes", 1));
+            c.virtualNodes = static_cast<int>(getI(m, "vnodes", 64));
+            c.forwardHops =
+                static_cast<int>(getI(m, "forwardHops", 2));
             continue;
         }
         if (k == "device") {
@@ -582,6 +620,7 @@ EventJournal::parse(const std::string &text, std::string *err)
             d.name = getS(m, "name");
             d.spikeRatePerHour = getD(m, "spikeRate", -1.0);
             d.spikeSeverity = getD(m, "spikeSev", -1.0);
+            d.node = static_cast<int>(getI(m, "node"));
             j.config.devices.push_back(std::move(d));
             continue;
         }
@@ -636,6 +675,9 @@ EventJournal::parse(const std::string &text, std::string *err)
         r.late = getB(m, "late");
         r.autoRestore = getB(m, "auto");
         r.name = getS(m, "name");
+        r.node = static_cast<int>(getI(m, "node"));
+        r.ruid = getU(m, "ruid");
+        r.fromNode = static_cast<int>(getI(m, "from", -1));
         if (r.kind == EventKind::Drain)
             r.atH = getD(m, "untilH",
                          std::numeric_limits<double>::infinity());

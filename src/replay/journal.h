@@ -75,6 +75,10 @@ enum class EventKind {
     MemberLeave,
     /** A job joined an already-dispatched work item mid-flight. */
     RiderJoin,
+    /** Router chose a home node for a request (carries the request). */
+    Route,
+    /** Router forwarded a capacity-rejected request to a successor. */
+    Forward,
 };
 
 /** Stable wire name of @p kind (the JSONL "k" field). */
@@ -151,8 +155,24 @@ struct EventRecord
     /** Catalog device name (MemberJoin). */
     std::string name;
 
-    /** Parameter binding (Admit/Reject; bitwise identity). */
+    /** Parameter binding (Admit/Reject/Route; bitwise identity). */
     std::vector<double> params;
+
+    /**
+     * Node the event happened on (any kind, multi-node journals;
+     * Route: the ring-owner target, Forward: the forward target).
+     * 0 = the single/first node, so single-node journals stay
+     * byte-identical to the pre-router wire format.
+     */
+    int node = 0;
+    /**
+     * Router-assigned routed-request uid (Route/Forward, and stamped
+     * onto the Admit/Reject chain of a routed request). 0 = not
+     * routed; routed uids start at 1.
+     */
+    uint64_t ruid = 0;
+    /** Node the request was forwarded away from (Forward). */
+    int fromNode = -1;
 };
 
 /**
@@ -175,6 +195,8 @@ struct DeviceSpec
     /** Chaos drift-spike override; < 0 means no override. */
     double spikeRatePerHour = -1.0;
     double spikeSeverity = -1.0;
+    /** Node the member belongs to (multi-node journals; 0 = first). */
+    int node = 0;
 };
 
 /** One registered workload, by problem-factory name. */
@@ -224,6 +246,16 @@ struct JournalConfig
     double coldStartH = 0.25;
     /** Seed the device catalog was built with. */
     uint64_t catalogSeed = 2022;
+    /**
+     * Router-tier shape (1 node = no router; the fields below are
+     * only serialized when nodes > 1, keeping single-node journals
+     * byte-identical to the pre-router wire format).
+     */
+    int nodes = 1;
+    /** Virtual nodes per member on the router's hash ring. */
+    int virtualNodes = 64;
+    /** Max overflow-forward hops per routed request. */
+    int forwardHops = 2;
     std::vector<DeviceSpec> devices;
     std::vector<WorkloadSpec> workloads;
 };

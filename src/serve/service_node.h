@@ -46,11 +46,14 @@
 #ifndef EQC_SERVE_SERVICE_NODE_H
 #define EQC_SERVE_SERVICE_NODE_H
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/event_loop.h"
+#include "common/mpmc_queue.h"
 #include "common/stats.h"
 #include "core/weighting.h"
 #include "device/backend.h"
@@ -109,6 +112,52 @@ struct ServiceOptions
     std::size_t latencyReservoir = 4096;
     /** Root seed; every stochastic stream forks from it by label. */
     uint64_t seed = 1;
+    /**
+     * First job id this node assigns. A Router gives every node a
+     * disjoint id span (node i starts at i * 2^32 + 1) so job ids stay
+     * globally unique across a federation and journals merge without
+     * ambiguity. 1 (the default) keeps single-node ids unchanged.
+     */
+    uint64_t firstJobId = 1;
+    /** First work-item uid, spanned the same way as firstJobId. */
+    uint64_t firstWorkUid = 1;
+};
+
+/**
+ * Placement-relevant load of one node at a glance — what a Router
+ * consults when choosing an overflow-forward target. Captures the
+ * signals the ShotScheduler's own placement weighs (backlog depth,
+ * plan-cache warmth, cold-start membership) which are otherwise
+ * invisible outside the node.
+ */
+struct NodeLoad
+{
+    /** Jobs admitted but not yet taken into a work item. */
+    std::size_t queuedJobs = 0;
+    /** Work items in flight (executing or parked). */
+    std::size_t activeItems = 0;
+    /** Planned shards whose completion event has not fired yet. */
+    int inflightShards = 0;
+    /** Members eligible for planning right now. */
+    std::size_t aliveMembers = 0;
+    /**
+     * (workload, member) pairs whose transpiled circuits sit warm in
+     * the member's plan cache — work forwarded here skips the
+     * compilation penalty the scheduler's warmBoost models.
+     */
+    std::size_t warmKeys = 0;
+
+    /** Comparable congestion score: pending work per alive member. */
+    double
+    score() const
+    {
+        const double pending = static_cast<double>(queuedJobs) +
+                               static_cast<double>(activeItems) +
+                               static_cast<double>(inflightShards);
+        return aliveMembers == 0
+                   ? pending + 1e9 // nobody to plan on: avoid
+                   : pending / static_cast<double>(aliveMembers);
+    }
 };
 
 /** Multi-tenant event-driven serving front end (see file comment). */
@@ -175,6 +224,76 @@ class ServiceNode
      * event. Safe from event handlers and other threads.
      */
     void stop();
+
+    // -- Threaded serving (lock-free MPMC intake) -------------------
+    //
+    // A Router drives N nodes concurrently by giving each node its own
+    // serve thread: submissions from any thread land in a lock-free
+    // MPMC ring (postSubmit) and are drained into the normal submit()
+    // path *on the node's own thread* — admission, journaling and
+    // event scheduling never race. The serve thread idles in "parked"
+    // mode (admissions only; the event loop does not run), so a
+    // barrier drain — park, submit everything, then requestDrain/
+    // awaitDrain on every node — is bit-identical to the inline
+    // sequence of submit() calls plus drain(): the per-node stimulus
+    // order is the same, and nodes are independent. Journal sinks are
+    // for the inline/single-thread mode only (JournalSink::record is
+    // not synchronized across nodes).
+
+    /**
+     * Spawn the node's serve thread (parked: it drains the intake
+     * ring but does not run the event loop until requestDrain).
+     * @param pool shard fan-out pool the serve thread drains with;
+     *        nullptr means TaskPool::shared(). Note shared() inlines
+     *        concurrent parallel-for calls, so N nodes draining at
+     *        once each want their own TaskPool (a Router hands every
+     *        node a TaskPool(1): shards run inline on the serve
+     *        thread and scaling comes from node concurrency).
+     */
+    void startServe(TaskPool *pool = nullptr);
+
+    /** A serve thread is running (postSubmit will hand off to it). */
+    bool
+    serving() const
+    {
+        return serveActive_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Thread-safe submission: push the request through the MPMC
+     * intake ring and wait for the serve thread to admit/reject it.
+     * Falls back to a plain inline submit() when no serve thread is
+     * running. The returned Ticket is exactly what submit() would
+     * have produced at the same per-node submission order.
+     */
+    Ticket postSubmit(const JobRequest &request);
+
+    /**
+     * Ask the serve thread to run the loop: to idle when @p limitH is
+     * +infinity (drain), else until model time reaches @p limitH
+     * (runUntil). Returns immediately; pair with awaitDrain().
+     */
+    void requestDrain(double limitH);
+
+    /** Block until the requested drain finished (the barrier). */
+    void awaitDrain();
+
+    /**
+     * Outcomes completed since the last collection, ascending job id.
+     * Call after awaitDrain() (or while no serve thread runs).
+     */
+    std::vector<JobOutcome> collectCompleted();
+
+    /** Park permanently and join the serve thread (idempotent). */
+    void stopServe();
+
+    /**
+     * Placement-relevant load right now: queue depth, in-flight
+     * shards, alive member count and warm plan-cache keys. See
+     * NodeLoad. Not synchronized with a running drain — callers
+     * sample it between barriers.
+     */
+    NodeLoad loadSnapshot() const;
 
     /**
      * Kill member @p member at serving hour @p atH: shards in flight
@@ -361,6 +480,12 @@ class ServiceNode
     /** Erase finished items, move out and sort completed outcomes. */
     std::vector<JobOutcome> collectOutcomes();
 
+    /** Serve-thread body: pump intake, run drains on command. */
+    void serveLoop();
+
+    /** Drain the MPMC intake ring into submit() (serve thread only). */
+    bool pumpIntake();
+
     ServiceOptions options_;
     VirtualClock ownClock_;
     Clock *clock_;
@@ -400,6 +525,29 @@ class ServiceNode
     TaskPool *exec_ = nullptr;
     /** Lifecycle observer (replay journal); nullptr = off. */
     replay::JournalSink *sink_ = nullptr;
+
+    // -- Threaded serving state -------------------------------------
+
+    /** One in-flight postSubmit handshake (lives on caller's stack). */
+    struct SubmitSlot
+    {
+        const JobRequest *request = nullptr;
+        Ticket ticket;
+        std::atomic<bool> done{false};
+    };
+
+    enum ServeCmd : int { kServeIdle = 0, kServeDrain = 1,
+                          kServeStop = 2 };
+
+    /** Lock-free intake ring the serve thread drains. */
+    MpmcQueue<SubmitSlot *> intake_{1024};
+    std::thread serveThread_;
+    std::atomic<bool> serveActive_{false};
+    std::atomic<int> serveCmd_{kServeIdle};
+    /** runUntil horizon of a requested drain (written pre-command). */
+    double serveLimitH_ = 0.0;
+    /** Fan-out pool of the serve thread (startServe argument). */
+    TaskPool *servePool_ = nullptr;
 };
 
 } // namespace serve

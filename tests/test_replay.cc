@@ -898,6 +898,114 @@ TEST(InvariantChecker, FlagsBackwardsLoopEvents)
     EXPECT_TRUE(found);
 }
 
+/** Two-node journal scaffold for the routed invariants I13/I14. */
+EventJournal
+routedJournalScaffold()
+{
+    EventJournal j;
+    DeviceSpec home;
+    home.name = "ibmq_lima";
+    DeviceSpec remote;
+    remote.name = "ibmq_lima";
+    remote.node = 1;
+    j.config.devices = {home, remote};
+    j.config.nodes = 2;
+    return j;
+}
+
+/** Route record sending routed request @p ruid to @p node. */
+EventRecord
+routeRecord(uint64_t ruid, int node, int shots)
+{
+    EventRecord r;
+    r.kind = EventKind::Route;
+    r.ruid = ruid;
+    r.node = node;
+    r.shots = shots;
+    r.params = {0.5};
+    return r;
+}
+
+/** Full consistent shard lifecycle stamped onto @p node. */
+void
+recordRoutedLifecycle(EventJournal &j, int node, uint64_t ruid,
+                      uint64_t jobId, uint64_t uid,
+                      const serve::ShardResult &s)
+{
+    EventRecord a = admitRecord(jobId, s.shots);
+    a.node = node;
+    a.ruid = ruid;
+    j.record(a);
+    EventRecord d;
+    d.kind = EventKind::Dispatch;
+    d.workUid = uid;
+    d.seq = 0;
+    d.member = s.member;
+    d.shots = s.shots;
+    d.pCorrect = s.pCorrect;
+    d.node = node;
+    j.record(d);
+    EventRecord done;
+    done.kind = EventKind::ShardDone;
+    done.tH = s.completeH;
+    done.workUid = uid;
+    done.seq = 0;
+    done.member = s.member;
+    done.shots = s.shots;
+    done.energy = s.energy;
+    done.variance = s.variance;
+    done.pCorrect = s.pCorrect;
+    done.circuits = s.circuitsRun;
+    done.doneH = s.completeH;
+    done.node = node;
+    j.record(done);
+    EventRecord fin = consistentFinalize(jobId, uid, s);
+    fin.node = node;
+    j.record(fin);
+}
+
+TEST(InvariantChecker, FlagsDoubleRoutedWork)
+{
+    // One routed request, one Route record — but TWO admissions. Both
+    // jobs execute and finalize consistently on their node, so only
+    // the exactly-once routing guarantee is broken.
+    EventJournal j = routedJournalScaffold();
+    j.record(routeRecord(1, 0, 128));
+    serve::ShardResult s1 = plainShard();
+    recordRoutedLifecycle(j, 0, 1, 1, 5, s1);
+    serve::ShardResult s2 = plainShard();
+    s2.completeH = 0.7; // keeps node 0's loop-event order monotone
+    recordRoutedLifecycle(j, 0, 1, 2, 6, s2);
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].invariant, "routed-exactly-once");
+}
+
+TEST(InvariantChecker, FlagsForwardWithoutRejection)
+{
+    // The router forwarded a request its home node never rejected:
+    // the Forward record has no preceding Reject on its from-node.
+    // The forward target's admission and execution are themselves
+    // consistent, so only I14 fires.
+    EventJournal j = routedJournalScaffold();
+    j.record(routeRecord(1, 0, 128));
+    EventRecord fwd;
+    fwd.kind = EventKind::Forward;
+    fwd.ruid = 1;
+    fwd.fromNode = 0;
+    fwd.node = 1;
+    fwd.retryAfterS = 5.0;
+    j.record(fwd);
+    serve::ShardResult s = plainShard();
+    recordRoutedLifecycle(j, 1, 1, (uint64_t(1) << 32) + 1,
+                          (uint64_t(1) << 32) + 5, s);
+
+    std::vector<Violation> v = InvariantChecker::check(j);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].invariant, "forward-only-on-rejection");
+}
+
 // ---------------------------------------------------------------------------
 // Member depth decay (shard-resolution events, not intake resets)
 // ---------------------------------------------------------------------------
