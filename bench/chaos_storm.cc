@@ -39,7 +39,19 @@
  *                     [--nodes N]
  *                     [--deadline-frac P] [--churn P] [--steady]
  *                     [--timescale S] [--verify-every K] [--out FILE]
- *                     [--journal-out FILE]
+ *                     [--journal-out FILE] [--journal-sample FILE]
+ *                     [--metrics-out FILE]
+ *
+ * --journal-sample writes the FIRST schedule's journal whether or not
+ * anything failed — a deterministic artifact CI feeds to trace_report
+ * for the observability smoke check (--journal-out, by contrast, only
+ * appears on an invariant violation).
+ *
+ * --metrics-out writes one metrics scrape as JSON — the obs::toJson
+ * schema documented in src/obs/exposition.h: an object with a
+ * "metrics" array of {name, type, labels?, value | count+sum+bounds+
+ * buckets} samples. Storm aggregates land as eqc_chaos_* counters;
+ * the shared TaskPool's samples carry `tier="pool"`.
  */
 
 #include <chrono>
@@ -51,6 +63,7 @@
 
 #include "bench_util.h"
 #include "common/task_pool.h"
+#include "obs/exposition.h"
 #include "replay/chaos.h"
 
 using namespace eqc;
@@ -72,6 +85,8 @@ main(int argc, char **argv)
     int nodes = 1;        // > 1 routes schedules through a Router
     std::string outPath;
     std::string journalOutPath = "chaos_offender.jsonl";
+    std::string journalSamplePath;
+    std::string metricsOutPath;
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) {
             if (i + 1 >= argc) {
@@ -108,6 +123,10 @@ main(int argc, char **argv)
             outPath = next("--out");
         else if (!std::strcmp(argv[i], "--journal-out"))
             journalOutPath = next("--journal-out");
+        else if (!std::strcmp(argv[i], "--journal-sample"))
+            journalSamplePath = next("--journal-sample");
+        else if (!std::strcmp(argv[i], "--metrics-out"))
+            metricsOutPath = next("--metrics-out");
         else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             return 2;
@@ -129,6 +148,10 @@ main(int argc, char **argv)
                 deadlineFrac, churn,
                 steadyMode ? "steady" : "virtual", verifyEvery,
                 TaskPool::shared().threadCount());
+
+    // Pool telemetry rides the --metrics-out scrape as tier="pool".
+    obs::MetricsRegistry poolMetrics;
+    TaskPool::shared().instrument(poolMetrics);
 
     const auto wall0 = std::chrono::steady_clock::now();
     uint64_t totalViolations = 0;
@@ -158,6 +181,17 @@ main(int argc, char **argv)
         co.verifyReplay = verifyEvery > 0 && i % verifyEvery == 0;
         replay::ChaosEngine engine(co);
         replay::ChaosReport rep = engine.run(&TaskPool::shared());
+        if (i == 0 && !journalSamplePath.empty()) {
+            std::FILE *jf =
+                std::fopen(journalSamplePath.c_str(), "w");
+            if (jf) {
+                const std::string text = engine.journal().serialize();
+                std::fwrite(text.data(), 1, text.size(), jf);
+                std::fclose(jf);
+                std::printf("wrote journal sample to %s\n",
+                            journalSamplePath.c_str());
+            }
+        }
 
         jobsCompleted += static_cast<uint64_t>(rep.jobsCompleted);
         kills += static_cast<uint64_t>(rep.kills);
@@ -348,6 +382,50 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(forwardAdmits), wallS);
         std::fclose(f);
         std::printf("\nwrote %s\n", outPath.c_str());
+    }
+
+    if (!metricsOutPath.empty()) {
+        // Storm aggregates as one registry scrape (counters are set
+        // once here; the storm itself aggregates plain struct sums).
+        obs::MetricsRegistry storm;
+        storm.counter("eqc_chaos_schedules_total",
+                      "Chaos schedules run")
+            ->inc(static_cast<uint64_t>(schedules));
+        storm.counter("eqc_chaos_schedules_failed_total",
+                      "Schedules with invariant violations")
+            ->inc(static_cast<uint64_t>(schedulesFailed));
+        storm.counter("eqc_chaos_violations_total",
+                      "Invariant violations across the storm")
+            ->inc(totalViolations);
+        storm.counter("eqc_chaos_replays_verified_total",
+                      "Schedules replay-verified bit for bit")
+            ->inc(replaysVerified);
+        storm.counter("eqc_chaos_jobs_completed_total",
+                      "Jobs completed across the storm")
+            ->inc(jobsCompleted);
+        storm.counter("eqc_chaos_kills_total", "Members killed")
+            ->inc(kills);
+        storm.counter("eqc_chaos_restores_total", "Members restored")
+            ->inc(restores);
+        storm.counter("eqc_chaos_deadline_sheds_total",
+                      "Jobs shed at their deadline")
+            ->inc(sheds);
+        storm.counter("eqc_chaos_forwards_total",
+                      "Router overflow forwards")
+            ->inc(forwards);
+        const obs::Snapshot scrape =
+            obs::merge({{"", storm.snapshot()},
+                        {"tier=\"pool\"", poolMetrics.snapshot()}});
+        std::FILE *f = std::fopen(metricsOutPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         metricsOutPath.c_str());
+            return 1;
+        }
+        const std::string json = obs::toJson(scrape);
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", metricsOutPath.c_str());
     }
     return totalViolations > 0 ? 1 : 0;
 }

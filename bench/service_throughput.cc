@@ -50,6 +50,15 @@
  *                            [--clock virtual|steady] [--timescale S]
  *                            [--deadline-frac F] [--slo-h H]
  *                            [--churn P] [--seed S] [--out FILE]
+ *                            [--metrics-out FILE]
+ *
+ * --metrics-out writes one fleet-wide metrics scrape as JSON — the
+ * obs::toJson schema documented in src/obs/exposition.h: an object
+ * with a "metrics" array of {name, type, labels?, value | count+sum+
+ * bounds+buckets} samples. Node registries carry `node="i"` labels,
+ * the shared TaskPool's samples carry `tier="pool"`. The file is a
+ * raw scrape (not a diff), so CI can archive it per run and diff two
+ * runs with obs::diff semantics offline.
  */
 
 #include <chrono>
@@ -65,6 +74,7 @@
 #include "common/event_loop.h"
 #include "common/rng.h"
 #include "common/task_pool.h"
+#include "obs/exposition.h"
 #include "device/catalog.h"
 #include "serve/router.h"
 #include "serve/service_node.h"
@@ -90,6 +100,7 @@ main(int argc, char **argv)
     uint64_t seed = 2026;      // node root seed; echoed in every report
     int nodes = 0; // 0 = legacy single ServiceNode; >= 1 = Router tier
     std::string outPath;
+    std::string metricsOutPath;
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) {
             if (i + 1 >= argc) {
@@ -126,6 +137,8 @@ main(int argc, char **argv)
             seed = std::strtoull(next("--seed"), nullptr, 10);
         else if (!std::strcmp(argv[i], "--out"))
             outPath = next("--out");
+        else if (!std::strcmp(argv[i], "--metrics-out"))
+            metricsOutPath = next("--metrics-out");
         else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             return 2;
@@ -152,6 +165,10 @@ main(int argc, char **argv)
         tenants, rounds, shots, TaskPool::shared().threadCount(),
         fail ? 1 : 0, clockMode.c_str(),
         static_cast<unsigned long long>(seed));
+
+    // Pool telemetry rides the --metrics-out scrape as tier="pool".
+    obs::MetricsRegistry poolMetrics;
+    TaskPool::shared().instrument(poolMetrics);
 
     SteadyClock steady(timescaleS);
     Clock *clock = clockMode == "steady"
@@ -522,6 +539,24 @@ main(int argc, char **argv)
         std::fprintf(f, "]\n}\n");
         std::fclose(f);
         std::printf("\nwrote %s\n", outPath.c_str());
+    }
+
+    if (!metricsOutPath.empty()) {
+        const obs::Snapshot fleet =
+            router ? router->metricsSnapshot()
+                   : single->metrics().snapshot();
+        const obs::Snapshot scrape = obs::merge(
+            {{"", fleet}, {"tier=\"pool\"", poolMetrics.snapshot()}});
+        std::FILE *f = std::fopen(metricsOutPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         metricsOutPath.c_str());
+            return 1;
+        }
+        const std::string json = obs::toJson(scrape);
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", metricsOutPath.c_str());
     }
     return 0;
 }

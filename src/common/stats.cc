@@ -34,6 +34,61 @@ Percentiles::add(double x)
         sample_[j] = x;
 }
 
+void
+Percentiles::merge(const Percentiles &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (sample_.size() + other.sample_.size() <= capacity_) {
+        sample_.insert(sample_.end(), other.sample_.begin(),
+                       other.sample_.end());
+        n_ += other.n_;
+        return;
+    }
+    // Weighted draw without replacement: each reservoir slot stands
+    // for count()/sampleSize() observations of its own stream, so a
+    // side is picked with probability proportional to the stream mass
+    // its unconsumed slots still represent.
+    std::vector<double> a = std::move(sample_);
+    std::vector<double> b = other.sample_;
+    const double wa =
+        a.empty() ? 0.0
+                  : static_cast<double>(n_) / static_cast<double>(a.size());
+    const double wb =
+        static_cast<double>(other.n_) / static_cast<double>(b.size());
+    double remA = wa * static_cast<double>(a.size());
+    double remB = wb * static_cast<double>(b.size());
+    std::size_t ia = 0, ib = 0; // consumed prefixes (after swaps)
+    sample_.clear();
+    while (sample_.size() < capacity_ &&
+           (ia < a.size() || ib < b.size())) {
+        rngState_ = splitmix64(rngState_);
+        const double u =
+            static_cast<double>(rngState_ >> 11) * 0x1.0p-53;
+        std::vector<double> *side;
+        std::size_t *idx;
+        if (ib >= b.size() ||
+            (ia < a.size() && u * (remA + remB) < remA)) {
+            side = &a;
+            idx = &ia;
+            remA -= wa;
+        } else {
+            side = &b;
+            idx = &ib;
+            remB -= wb;
+        }
+        // Uniform unconsumed slot of the chosen side, so the kept
+        // subset is order-free within each reservoir.
+        rngState_ = splitmix64(rngState_);
+        const std::size_t j =
+            *idx + static_cast<std::size_t>(
+                       rngState_ % (side->size() - *idx));
+        std::swap((*side)[*idx], (*side)[j]);
+        sample_.push_back((*side)[(*idx)++]);
+    }
+    n_ += other.n_;
+}
+
 double
 Percentiles::quantile(double q) const
 {

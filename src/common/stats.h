@@ -73,6 +73,22 @@ class Percentiles
     /** Record one observation. */
     void add(double x);
 
+    /**
+     * Fold @p other's reservoir into this one, as if this estimator
+     * had also watched (a uniform sample of) the other's stream.
+     * While the combined reservoirs fit in capacity the merge is an
+     * exact concatenation; past capacity it draws without replacement
+     * from the union, each side weighted by its true stream count, so
+     * the kept sample stays representative of the combined stream.
+     * Draws come from this reservoir's own deterministic replacement
+     * stream: merging the same reservoirs in the same order always
+     * yields the same quantiles. count() becomes the sum of both
+     * stream counts. Aggregation tiers (Router::latencyStats) use
+     * this instead of re-sampling per-node observations, which would
+     * bias quantiles toward double-counted values.
+     */
+    void merge(const Percentiles &other);
+
     /** Total observations seen (reservoir may hold fewer). */
     std::size_t count() const { return n_; }
 

@@ -71,8 +71,13 @@ TaskPool::runChunks()
         const uint64_t p = static_cast<uint64_t>(part);
         const uint64_t lo = begin + p * chunk + std::min<uint64_t>(p, rem);
         const uint64_t hi = lo + chunk + (p < rem ? 1 : 0);
-        if (lo < hi)
+        if (lo < hi) {
+            if (activeWorkers_)
+                activeWorkers_->add(1.0);
             (*body)(lo, hi);
+            if (activeWorkers_)
+                activeWorkers_->add(-1.0);
+        }
         {
             std::lock_guard<std::mutex> lk(mu_);
             if (--pending_ == 0)
@@ -100,13 +105,24 @@ TaskPool::workerLoop()
                 // on it, async submitters are not.
                 seen = jobSeq_;
             } else {
-                job = std::move(asyncJobs_.front());
+                AsyncJob aj = std::move(asyncJobs_.front());
                 asyncJobs_.pop_front();
                 ++asyncActive_;
+                if (asyncWaitS_)
+                    asyncWaitS_->observe(
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            aj.enqueued)
+                            .count());
+                job = std::move(aj.fn);
             }
         }
         if (job) {
+            if (activeWorkers_)
+                activeWorkers_->add(1.0);
             job();
+            if (activeWorkers_)
+                activeWorkers_->add(-1.0);
             std::lock_guard<std::mutex> lk(mu_);
             if (--asyncActive_ == 0 && asyncJobs_.empty())
                 asyncCv_.notify_all();
@@ -119,13 +135,21 @@ TaskPool::workerLoop()
 void
 TaskPool::async(std::function<void()> job)
 {
+    if (ctrAsync_)
+        ++*ctrAsync_;
     if (workers_.empty()) {
+        if (asyncWaitS_)
+            asyncWaitS_->observe(0.0);
         job();
         return;
     }
+    AsyncJob aj;
+    aj.fn = std::move(job);
+    if (asyncWaitS_)
+        aj.enqueued = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> lk(mu_);
-        asyncJobs_.push_back(std::move(job));
+        asyncJobs_.push_back(std::move(aj));
     }
     workCv_.notify_one();
 }
@@ -146,9 +170,13 @@ TaskPool::submitRange(uint64_t begin, uint64_t end,
     // inline execution.
     std::unique_lock<std::mutex> submit(submitMu_, std::try_to_lock);
     if (!submit.owns_lock()) {
+        if (ctrInline_)
+            ++*ctrInline_;
         body(begin, end);
         return;
     }
+    if (ctrParallel_)
+        ++*ctrParallel_;
     struct RegionGuard
     {
         RegionGuard() { tlsInParallelRegion = true; }
@@ -182,6 +210,8 @@ TaskPool::parallelFor(uint64_t begin, uint64_t end,
         // Too small, no workers, or a recursive call from inside a
         // submission on this thread: run inline (never re-probe a
         // submit mutex this thread may already hold).
+        if (ctrInline_)
+            ++*ctrInline_;
         body(begin, end);
         return;
     }
@@ -195,6 +225,8 @@ TaskPool::parallelJobs(uint64_t count,
     if (count == 0)
         return;
     if (workers_.empty() || count < 2 || tlsInParallelRegion) {
+        if (ctrInline_)
+            ++*ctrInline_;
         body(0, count);
         return;
     }
@@ -208,6 +240,23 @@ TaskPool::shared()
 {
     static TaskPool pool(sharedThreadCount());
     return pool;
+}
+
+void
+TaskPool::instrument(obs::MetricsRegistry &m)
+{
+    ctrParallel_ = m.counter("eqc_pool_parallel_total",
+                             "Parallel-for fan-outs submitted");
+    ctrInline_ = m.counter("eqc_pool_inline_total",
+                           "Parallel calls degraded to inline runs");
+    ctrAsync_ = m.counter("eqc_pool_async_total",
+                          "Async jobs submitted");
+    asyncWaitS_ = m.histogram(
+        "eqc_pool_async_wait_seconds",
+        {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0},
+        "Async queue wait, enqueue to first execution");
+    activeWorkers_ = m.gauge("eqc_pool_active_workers",
+                             "Participants executing work right now");
 }
 
 } // namespace eqc

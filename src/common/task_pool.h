@@ -12,6 +12,7 @@
 #ifndef EQC_COMMON_TASK_POOL_H
 #define EQC_COMMON_TASK_POOL_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,6 +20,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace eqc {
 
@@ -86,6 +89,15 @@ class TaskPool
      */
     static TaskPool &shared();
 
+    /**
+     * Publish pool telemetry into @p m: fan-out / inline-degrade /
+     * async-job counters, an async queue-wait histogram (wall-clock
+     * seconds from enqueue to first execution) and an active-worker
+     * gauge. Call once, before the pool sees work; uninstrumented
+     * pools pay only a null check per event.
+     */
+    void instrument(obs::MetricsRegistry &m);
+
   private:
     void workerLoop();
     void runChunks();
@@ -110,8 +122,21 @@ class TaskPool
     bool stop_ = false;
 
     std::condition_variable asyncCv_;
-    std::deque<std::function<void()>> asyncJobs_;
+    /** One queued async job (enqueue time set when instrumented). */
+    struct AsyncJob
+    {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+    std::deque<AsyncJob> asyncJobs_;
     int asyncActive_ = 0;  ///< async jobs currently executing
+
+    // Optional telemetry (see instrument()); null when unattached.
+    obs::Counter *ctrParallel_ = nullptr;
+    obs::Counter *ctrInline_ = nullptr;
+    obs::Counter *ctrAsync_ = nullptr;
+    obs::Histogram *asyncWaitS_ = nullptr;
+    obs::Gauge *activeWorkers_ = nullptr;
 };
 
 } // namespace eqc

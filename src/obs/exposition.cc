@@ -1,0 +1,223 @@
+#include "obs/exposition.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace eqc {
+namespace obs {
+
+namespace {
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    // Shortest round-trip-safe form keeps scrapes diffable run to run.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtU64(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+const char *
+kindName(MetricSample::Kind k)
+{
+    switch (k) {
+    case MetricSample::KindCounter:
+        return "counter";
+    case MetricSample::KindGauge:
+        return "gauge";
+    case MetricSample::KindHistogram:
+        return "histogram";
+    }
+    return "counter";
+}
+
+std::string
+labelBlock(const std::string &labels)
+{
+    if (labels.empty())
+        return "";
+    return "{" + labels + "}";
+}
+
+std::string
+labelBlockWith(const std::string &labels, const std::string &extra)
+{
+    if (labels.empty())
+        return "{" + extra + "}";
+    return "{" + labels + "," + extra + "}";
+}
+
+} // namespace
+
+std::string
+toPrometheus(const Snapshot &snap)
+{
+    std::string out;
+    const std::string *lastTyped = nullptr;
+    for (const MetricSample &s : snap.samples) {
+        // One HELP/TYPE header per family; labelled duplicates of the
+        // same name (fleet merges) share it.
+        if (!lastTyped || *lastTyped != s.name) {
+            if (!s.help.empty())
+                out += "# HELP " + s.name + " " + s.help + "\n";
+            out += "# TYPE " + s.name + " ";
+            out += kindName(s.kind);
+            out += "\n";
+            lastTyped = &s.name;
+        }
+        switch (s.kind) {
+        case MetricSample::KindCounter:
+            out += s.name + labelBlock(s.labels) + " " + fmtU64(s.count) +
+                   "\n";
+            break;
+        case MetricSample::KindGauge:
+            out += s.name + labelBlock(s.labels) + " " + fmtDouble(s.value) +
+                   "\n";
+            break;
+        case MetricSample::KindHistogram: {
+            uint64_t cum = 0;
+            for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+                cum += s.buckets[i];
+                std::string le = i < s.bounds.size()
+                                     ? fmtDouble(s.bounds[i])
+                                     : std::string("+Inf");
+                out += s.name + "_bucket" +
+                       labelBlockWith(s.labels, "le=\"" + le + "\"") + " " +
+                       fmtU64(cum) + "\n";
+            }
+            out += s.name + "_sum" + labelBlock(s.labels) + " " +
+                   fmtDouble(s.sum) + "\n";
+            out += s.name + "_count" + labelBlock(s.labels) + " " +
+                   fmtU64(s.count) + "\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+std::string
+toJson(const Snapshot &snap)
+{
+    std::string out = "{\n  \"metrics\": [";
+    bool first = true;
+    for (const MetricSample &s : snap.samples) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"name\": \"" + jsonEscape(s.name) + "\", \"type\": \"";
+        out += kindName(s.kind);
+        out += "\"";
+        if (!s.labels.empty())
+            out += ", \"labels\": \"" + jsonEscape(s.labels) + "\"";
+        switch (s.kind) {
+        case MetricSample::KindCounter:
+            out += ", \"value\": " + fmtU64(s.count);
+            break;
+        case MetricSample::KindGauge:
+            out += ", \"value\": " + fmtDouble(s.value);
+            break;
+        case MetricSample::KindHistogram: {
+            out += ", \"count\": " + fmtU64(s.count);
+            out += ", \"sum\": " + fmtDouble(s.sum);
+            out += ", \"bounds\": [";
+            for (std::size_t i = 0; i < s.bounds.size(); ++i)
+                out += (i ? ", " : "") + fmtDouble(s.bounds[i]);
+            out += "], \"buckets\": [";
+            for (std::size_t i = 0; i < s.buckets.size(); ++i)
+                out += (i ? ", " : "") + fmtU64(s.buckets[i]);
+            out += "]";
+            break;
+        }
+        }
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+Snapshot
+merge(const std::vector<std::pair<std::string, Snapshot>> &parts)
+{
+    Snapshot out;
+    for (const auto &part : parts) {
+        for (MetricSample s : part.second.samples) {
+            if (!part.first.empty()) {
+                s.labels = s.labels.empty()
+                               ? part.first
+                               : part.first + "," + s.labels;
+            }
+            out.samples.push_back(std::move(s));
+        }
+    }
+    // Group families so the Prometheus renderer emits one HELP/TYPE
+    // header per name; source order is kept within a family.
+    std::stable_sort(out.samples.begin(), out.samples.end(),
+                     [](const MetricSample &a, const MetricSample &b) {
+                         return a.name < b.name;
+                     });
+    return out;
+}
+
+Snapshot
+diff(const Snapshot &newer, const Snapshot &older)
+{
+    std::map<std::pair<std::string, std::string>, const MetricSample *> prev;
+    for (const MetricSample &s : older.samples)
+        prev[{s.name, s.labels}] = &s;
+
+    Snapshot out;
+    for (const MetricSample &s : newer.samples) {
+        MetricSample d = s;
+        auto it = prev.find({s.name, s.labels});
+        const MetricSample *o =
+            it != prev.end() && it->second->kind == s.kind ? it->second
+                                                           : nullptr;
+        switch (s.kind) {
+        case MetricSample::KindCounter:
+            if (o && o->count <= d.count)
+                d.count -= o->count;
+            d.value = static_cast<double>(d.count);
+            break;
+        case MetricSample::KindGauge:
+            // Gauges are levels, not flows: keep the newer reading.
+            break;
+        case MetricSample::KindHistogram:
+            if (o && o->count <= d.count &&
+                o->buckets.size() == d.buckets.size()) {
+                for (std::size_t i = 0; i < d.buckets.size(); ++i)
+                    d.buckets[i] -= o->buckets[i];
+                d.count -= o->count;
+                d.sum -= o->sum;
+            }
+            break;
+        }
+        out.samples.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace eqc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Exposition formats for obs::Snapshot scrapes: Prometheus text and
+ * JSON, plus snapshot algebra (labelled merges across registries and
+ * counter-diffs between two scrapes of the same fleet).
+ *
+ * A Snapshot is already consistent (one pass over the registry under
+ * its registration mutex); everything here is pure formatting over
+ * that immutable value, so a scrape can be rendered, diffed against
+ * the previous scrape, or both, without touching the hot path.
+ *
+ * JSON schema (stable; the benches' --metrics-out files use it):
+ *
+ *   {
+ *     "metrics": [
+ *       {"name": "...", "type": "counter", "labels": "node=\"0\"",
+ *        "value": 123},
+ *       {"name": "...", "type": "gauge", "value": 1.5},
+ *       {"name": "...", "type": "histogram", "count": 9, "sum": 12.5,
+ *        "bounds": [0.1, 1.0], "buckets": [4, 3, 2]}
+ *     ]
+ *   }
+ *
+ * "labels" is omitted when empty; "buckets" has one more entry than
+ * "bounds" (the +inf bucket); bucket counts are per-bucket, not
+ * cumulative (the Prometheus renderer accumulates them for `le`).
+ */
+
+#ifndef EQC_OBS_EXPOSITION_H
+#define EQC_OBS_EXPOSITION_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace eqc {
+namespace obs {
+
+/** Prometheus text exposition format (# HELP / # TYPE / samples). */
+std::string toPrometheus(const Snapshot &snap);
+
+/** JSON exposition (schema in the file comment). */
+std::string toJson(const Snapshot &snap);
+
+/**
+ * Combine per-source scrapes into one fleet snapshot, stamping each
+ * source's samples with its label set (e.g. {"node=\"0\"", snap0}).
+ * Samples are grouped by metric name (families stay contiguous for
+ * the Prometheus renderer); source order is kept within a family.
+ */
+Snapshot merge(const std::vector<std::pair<std::string, Snapshot>> &parts);
+
+/**
+ * Delta between two scrapes of the same fleet: counters and histogram
+ * buckets subtract (samples missing from @p older count from zero),
+ * gauges keep their @p newer level. Samples only present in @p older
+ * are dropped — a diff describes what happened since, not what
+ * disappeared.
+ */
+Snapshot diff(const Snapshot &newer, const Snapshot &older);
+
+} // namespace obs
+} // namespace eqc
+
+#endif // EQC_OBS_EXPOSITION_H

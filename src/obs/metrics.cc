@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace eqc {
+namespace obs {
+
+namespace {
+
+uint64_t
+toBits(double v)
+{
+    uint64_t b;
+    static_assert(sizeof(b) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+double
+fromBits(uint64_t b)
+{
+    double v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+void
+Gauge::set(double v)
+{
+    bits_.store(toBits(v), std::memory_order_relaxed);
+}
+
+void
+Gauge::add(double d)
+{
+    uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(old, toBits(fromBits(old) + d),
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+double
+Gauge::value() const
+{
+    return fromBits(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        panic("Histogram: bucket bounds must be sorted ascending");
+}
+
+void
+Histogram::observe(double x)
+{
+    // First bucket with x <= bound; the trailing slot is +inf.
+    std::size_t i =
+        static_cast<std::size_t>(std::lower_bound(bounds_.begin(),
+                                                  bounds_.end(), x) -
+                                 bounds_.begin());
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t old = sumBits_.load(std::memory_order_relaxed);
+    while (!sumBits_.compare_exchange_weak(old, toBits(fromBits(old) + x),
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+Histogram::sum() const
+{
+    return fromBits(sumBits_.load(std::memory_order_relaxed));
+}
+
+MetricsRegistry::Entry *
+MetricsRegistry::find(const std::string &name, MetricSample::Kind kind,
+                      const std::string &help, const std::string &labels)
+{
+    for (Entry &e : entries_) {
+        if (e.name != name || e.labels != labels)
+            continue;
+        if (e.kind != kind)
+            panic("MetricsRegistry: '" + name +
+                  "' re-registered with a different kind");
+        return &e;
+    }
+    entries_.emplace_back(name, help, labels, kind);
+    return &entries_.back();
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &name, const std::string &help,
+                         const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return &find(name, MetricSample::KindCounter, help, labels)->counter;
+}
+
+Gauge *
+MetricsRegistry::gauge(const std::string &name, const std::string &help,
+                       const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return &find(name, MetricSample::KindGauge, help, labels)->gauge;
+}
+
+Histogram *
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds,
+                           const std::string &help,
+                           const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry *e = find(name, MetricSample::KindHistogram, help, labels);
+    if (!e->histogram)
+        e->histogram = std::make_unique<Histogram>(std::move(bounds));
+    return e->histogram.get();
+}
+
+Snapshot
+MetricsRegistry::snapshot() const
+{
+    Snapshot snap;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        snap.samples.reserve(entries_.size());
+        for (const Entry &e : entries_) {
+            MetricSample s;
+            s.name = e.name;
+            s.help = e.help;
+            s.labels = e.labels;
+            s.kind = e.kind;
+            switch (e.kind) {
+            case MetricSample::KindCounter:
+                s.value = static_cast<double>(e.counter.value());
+                s.count = e.counter.value();
+                break;
+            case MetricSample::KindGauge:
+                s.value = e.gauge.value();
+                break;
+            case MetricSample::KindHistogram:
+                s.bounds = e.histogram->bounds();
+                s.buckets = e.histogram->bucketCounts();
+                s.count = e.histogram->count();
+                s.sum = e.histogram->sum();
+                break;
+            }
+            snap.samples.push_back(std::move(s));
+        }
+    }
+    std::sort(snap.samples.begin(), snap.samples.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name != b.name ? a.name < b.name
+                                          : a.labels < b.labels;
+              });
+    return snap;
+}
+
+} // namespace obs
+} // namespace eqc

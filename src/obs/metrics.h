@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Lock-free metrics registry: named counters, gauges and fixed-bucket
+ * histograms for the serving fleet.
+ *
+ * The paper's dispatch daemon *monitors* — drift, queue depth, member
+ * fidelity — and feeds what it sees back into Eq. 2 weighting. This
+ * registry is that monitoring surface made first-class: ServiceNode,
+ * Router, TaskPool and the engines publish into one namespace of
+ * metrics instead of a scatter of ad-hoc accessor structs.
+ *
+ * Concurrency model:
+ *  - Registration (`counter()` / `gauge()` / `histogram()`) takes a
+ *    mutex and may allocate; it happens once, at construction time of
+ *    the instrumented component. Handles are stable raw pointers for
+ *    the registry's lifetime (instruments live in a deque).
+ *  - The hot path — `Counter::inc`, `Gauge::set/add`,
+ *    `Histogram::observe` — is pure relaxed atomics through those
+ *    handles: lock-free, zero allocation, safe from any thread.
+ *  - `snapshot()` walks the instrument list under the registration
+ *    mutex so the metric *set* is consistent; individual values are
+ *    relaxed loads (scrapes race increments by design, like any
+ *    Prometheus endpoint).
+ *
+ * Exposition (Prometheus text / JSON, snapshot diffs) lives in
+ * obs/exposition.h so this header stays dependency-light enough for
+ * common/ to include.
+ */
+
+#ifndef EQC_OBS_METRICS_H
+#define EQC_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eqc {
+namespace obs {
+
+/** Monotone event count. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Drop-in for the hand-rolled `++counters_.x` field idiom. */
+    Counter &
+    operator++()
+    {
+        inc();
+        return *this;
+    }
+
+    /** Drop-in for the hand-rolled `counters_.x += n` field idiom. */
+    Counter &
+    operator+=(uint64_t n)
+    {
+        inc(n);
+        return *this;
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Instantaneous level (queue depth, active workers, load score). */
+class Gauge
+{
+  public:
+    void set(double v);
+
+    /** Atomic read-modify-write delta (CAS loop on the double bits). */
+    void add(double d);
+
+    double value() const;
+
+  private:
+    /** Double stored as bits so the atomic stays lock-free. */
+    std::atomic<uint64_t> bits_{0};
+};
+
+/**
+ * Fixed-bucket histogram: cumulative-style buckets with upper bounds
+ * chosen at registration (an implicit +inf bucket catches the rest).
+ * An observation lands in the first bucket whose bound satisfies
+ * `x <= bound` — Prometheus `le` semantics.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double x);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Per-bucket (non-cumulative) counts; size bounds()+1 (+inf). */
+    std::vector<uint64_t> bucketCounts() const;
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+    double sum() const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<uint64_t>> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sumBits_{0};
+};
+
+/** One metric's values at scrape time (see Snapshot). */
+struct MetricSample
+{
+    enum Kind { KindCounter, KindGauge, KindHistogram };
+
+    std::string name;
+    std::string help;
+    /**
+     * Prometheus-style label set, without braces (e.g. `node="2"`).
+     * Set at registration for per-entity series, or stamped per
+     * source registry by the merge tooling (Router, benches).
+     */
+    std::string labels;
+    Kind kind = KindCounter;
+    /** Counter value or gauge level. */
+    double value = 0.0;
+    /** Histogram only: bounds / per-bucket counts / totals. */
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/** Point-in-time scrape of a registry (or a merge of several). */
+struct Snapshot
+{
+    std::vector<MetricSample> samples;
+};
+
+/**
+ * Named-instrument registry. Re-registering a (name, labels) pair
+ * returns the existing instrument (same kind required), so components
+ * sharing a registry converge on one instrument per identity. Labels
+ * distinguish per-entity series inside one registry (e.g. the
+ * router's per-node load gauges).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter *counter(const std::string &name, const std::string &help = "",
+                     const std::string &labels = "");
+    Gauge *gauge(const std::string &name, const std::string &help = "",
+                 const std::string &labels = "");
+    Histogram *histogram(const std::string &name,
+                         std::vector<double> bounds,
+                         const std::string &help = "",
+                         const std::string &labels = "");
+
+    /** Consistent scrape: samples sorted by name. */
+    Snapshot snapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string help;
+        std::string labels;
+        MetricSample::Kind kind;
+        Counter counter;
+        Gauge gauge;
+        // Histogram is not default-constructible (bounds are fixed at
+        // registration), so it sits behind a pointer.
+        std::unique_ptr<Histogram> histogram;
+
+        Entry(std::string n, std::string h, std::string l,
+              MetricSample::Kind k)
+            : name(std::move(n)), help(std::move(h)),
+              labels(std::move(l)), kind(k)
+        {
+        }
+    };
+
+    Entry *find(const std::string &name, MetricSample::Kind kind,
+                const std::string &help, const std::string &labels);
+
+    mutable std::mutex mu_;
+    /** Deque: handles stay valid as registrations grow. */
+    std::deque<Entry> entries_;
+};
+
+} // namespace obs
+} // namespace eqc
+
+#endif // EQC_OBS_METRICS_H

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Per-job trace spans over the serving fleet's journal record stream.
+ *
+ * Every journal record the ServiceNode/Router publish already carries
+ * the hours and attribution a tracer needs, so spans are *derived*
+ * from the record stream instead of instrumented separately:
+ *
+ *  - TraceSink rides the existing replay::JournalSink observer seam:
+ *    it forwards every record untouched to an optional inner sink
+ *    (the EventJournal bytes with a collector attached are identical
+ *    to a collector-free run) and feeds a TraceBuilder on the side.
+ *    Detaching it costs nothing — the node's null-sink check is the
+ *    only hot-path branch — and attaching it never perturbs event
+ *    order or RNG (it only reads records already being published).
+ *  - TraceBuilder turns records into spans. The same builder consumes
+ *    a parsed journal, so tools/trace_report.cc analyzes any chaos or
+ *    CI journal artifact post-hoc with exactly the live tracer's
+ *    logic.
+ *
+ * Span taxonomy per job (trace id = JobRequest::traceId, defaulting
+ * to the jobId assigned at admit):
+ *
+ *    route       Route record -> admit on the home node (routed runs)
+ *    queue_wait  admit -> first dispatch of the job's work item
+ *                (or its cache probe, for cache-served jobs)
+ *    execute     first dispatch -> last in-flight shard resolution
+ *    aggregate   last resolution -> finalize
+ *    shard       one dispatched shard: dispatch -> done/fail, with
+ *                node/member/seq/shots attribution (member lanes)
+ *
+ * The job-level spans partition [admit, finalize] *exactly*: each
+ * span's end is bitwise the next span's begin, the first begins at
+ * the admit hour and the last ends at the finalize hour, so the
+ * telescoped sum of span durations equals finalize - admit by
+ * construction. analyze() re-verifies that chain bitwise per job
+ * (criticalPathsExact) and trace_report fails on any violation.
+ *
+ * Export: chromeTrace() renders Chrome trace_event JSON (complete "X"
+ * events; pid = node, tid = member for shard lanes) that opens in
+ * about://tracing or Perfetto; analyze()/renderReport() produce the
+ * queue-wait vs. execute vs. aggregate percentile breakdown,
+ * per-member utilization timelines and shed/forward attribution.
+ */
+
+#ifndef EQC_OBS_TRACE_H
+#define EQC_OBS_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replay/journal.h"
+
+namespace eqc {
+namespace obs {
+
+/** One closed span, stamped in serving-clock hours. */
+struct TraceSpan
+{
+    /** Stage name: route / queue_wait / execute / aggregate / shard. */
+    std::string name;
+    double beginH = 0.0;
+    double endH = 0.0;
+    uint64_t traceId = 0;
+    uint64_t jobId = 0;
+    uint64_t workUid = 0;
+    int tenant = 0;
+    int node = 0;
+    /** Shard spans only: member / plan seq / shots. */
+    int member = -1;
+    int seq = -1;
+    int shots = 0;
+    /** Shard resolved by failure timeout. */
+    bool failed = false;
+    /** Shard resolved after its item finalized. */
+    bool late = false;
+
+    double durationH() const { return endH - beginH; }
+};
+
+/** One job's reconstructed critical path (emitted at finalize). */
+struct JobPath
+{
+    uint64_t traceId = 0;
+    uint64_t jobId = 0;
+    uint64_t workUid = 0;
+    int tenant = 0;
+    int node = 0;
+    double admitH = 0.0;
+    double finalizeH = 0.0;
+    /**
+     * Stage durations; telescoping over [admitH, max(admitH,
+     * finalizeH)]. A clock-skewed rider can admit after its coalesced
+     * item finalized — the service clamps such latencies to zero, and
+     * the stage partition does the same (totalH() is never negative).
+     */
+    double queueWaitH = 0.0;
+    double executeH = 0.0;
+    double aggregateH = 0.0;
+    bool routed = false;
+    bool fromCache = false;
+    bool coalesced = false;
+    bool shed = false;
+    bool degraded = false;
+    int shedShots = 0;
+    /** Non-late shard resolutions of the job's work item. */
+    int shards = 0;
+    /**
+     * The job's emitted spans chain bitwise from admitH to
+     * max(admitH, finalizeH) (verified at emission; analyze()
+     * aggregates the flag).
+     */
+    bool chainExact = false;
+
+    double totalH() const
+    {
+        return finalizeH > admitH ? finalizeH - admitH : 0.0;
+    }
+};
+
+/** Membership change (kill/restore/join/leave) for instant markers. */
+struct TraceInstant
+{
+    std::string name;
+    double tH = 0.0;
+    int node = 0;
+    int member = -1;
+};
+
+/**
+ * Streaming record-to-span builder. Feed records in publication
+ * order (live via TraceSink, or from EventJournal::records()); spans
+ * close as their terminating record arrives. Structural problems
+ * (resolutions without a dispatch, finalizes without an admit,
+ * spans running backwards) are collected, not thrown — a truncated
+ * journal still yields every span that did close.
+ */
+class TraceBuilder
+{
+  public:
+    void add(const replay::EventRecord &r);
+
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+    const std::vector<JobPath> &paths() const { return paths_; }
+    const std::vector<TraceInstant> &instants() const { return instants_; }
+    /** Structural-malformation descriptions (empty = clean). */
+    const std::vector<std::string> &problems() const { return problems_; }
+    /** Admitted jobs that have not finalized (yet). */
+    std::size_t openJobs() const;
+    /** Overflow forwards seen, keyed "from->to" node pair. */
+    const std::map<std::string, uint64_t> &forwardEdges() const
+    {
+        return forwardEdges_;
+    }
+    /** Routed requests whose every hop rejected (no admit). */
+    std::size_t rejectedEverywhere() const;
+    /** Records consumed so far. */
+    std::size_t records() const { return records_; }
+    /** Hour of the earliest / latest record seen (0 when empty). */
+    double windowStartH() const { return records_ ? minTH_ : 0.0; }
+    double windowEndH() const { return records_ ? maxTH_ : 0.0; }
+
+  private:
+    struct JobState
+    {
+        double admitH = 0.0;
+        double routeH = -1.0;
+        bool routed = false;
+        int tenant = 0;
+        int node = 0;
+        uint64_t traceId = 0;
+        uint64_t uid = 0;
+        bool coalesced = false;
+        bool finalized = false;
+    };
+
+    struct ShardState
+    {
+        double dispatchH = 0.0;
+        int member = -1;
+        int shots = 0;
+        int node = 0;
+        bool resolved = false;
+    };
+
+    struct ItemState
+    {
+        double firstDispatchH = -1.0;
+        double lastResolveH = -1.0;
+        double cacheHitH = -1.0;
+        int resolved = 0;
+        std::map<int, ShardState> shards;
+    };
+
+    void finalizeJob(const replay::EventRecord &r);
+
+    std::map<uint64_t, JobState> jobs_;
+    std::map<uint64_t, ItemState> items_;
+    /** Routed-request uid -> route hour (for route spans). */
+    std::map<uint64_t, double> routes_;
+    std::map<uint64_t, bool> routeAdmitted_;
+    std::map<std::string, uint64_t> forwardEdges_;
+    std::vector<TraceSpan> spans_;
+    std::vector<JobPath> paths_;
+    std::vector<TraceInstant> instants_;
+    std::vector<std::string> problems_;
+    std::size_t records_ = 0;
+    double minTH_ = 0.0;
+    double maxTH_ = 0.0;
+};
+
+/**
+ * JournalSink tee: forwards records to @p inner byte-for-byte (a
+ * journaled run with a collector attached serializes identically to
+ * one without) and builds spans on the side. @p inner may be null —
+ * a pure live collector.
+ */
+class TraceSink final : public replay::JournalSink
+{
+  public:
+    explicit TraceSink(replay::JournalSink *inner = nullptr)
+        : inner_(inner)
+    {
+    }
+
+    void
+    record(const replay::EventRecord &r) override
+    {
+        if (inner_)
+            inner_->record(r);
+        builder_.add(r);
+    }
+
+    TraceBuilder &builder() { return builder_; }
+    const TraceBuilder &builder() const { return builder_; }
+
+  private:
+    replay::JournalSink *inner_;
+    TraceBuilder builder_;
+};
+
+/** Chrome trace_event JSON (about://tracing, Perfetto). */
+std::string chromeTrace(const TraceBuilder &b);
+
+/** Per-member utilization over the journal's time window. */
+struct MemberUtilization
+{
+    int node = 0;
+    int member = -1;
+    int shards = 0;
+    uint64_t shots = 0;
+    double busyH = 0.0;
+    /** busyH over the journal's [first, last] event window. */
+    double utilization = 0.0;
+    /** Coarse busy-fraction timeline (one char per time bucket). */
+    std::string timeline;
+};
+
+/** Percentile row of one critical-path stage. */
+struct StageBreakdown
+{
+    std::string stage;
+    double meanH = 0.0;
+    double p50H = 0.0;
+    double p95H = 0.0;
+    double p99H = 0.0;
+    double maxH = 0.0;
+    /** Stage share of summed job totals. */
+    double share = 0.0;
+};
+
+/** Everything trace_report prints, as data. */
+struct TraceAnalysis
+{
+    std::size_t records = 0;
+    std::size_t jobs = 0;
+    std::size_t openJobs = 0;
+    std::size_t shardSpans = 0;
+    std::size_t lateShards = 0;
+    std::size_t failedShards = 0;
+    std::size_t cacheServed = 0;
+    std::size_t coalesced = 0;
+    std::size_t shed = 0;
+    std::size_t degraded = 0;
+    double windowStartH = 0.0;
+    double windowEndH = 0.0;
+    /**
+     * Every job's spans chain bitwise: first begins at admit, each
+     * end equals the next begin, last ends at finalize — i.e. the
+     * summed span durations telescope to finalize - admit exactly.
+     */
+    bool criticalPathsExact = false;
+    std::vector<std::string> problems;
+    std::vector<StageBreakdown> breakdown;
+    std::vector<MemberUtilization> members;
+    /** Shed attribution: tenant -> (jobs shed, shots abandoned). */
+    std::map<int, std::pair<uint64_t, uint64_t>> shedsByTenant;
+    std::map<std::string, uint64_t> forwardEdges;
+    std::size_t rejectedEverywhere = 0;
+};
+
+TraceAnalysis analyze(const TraceBuilder &b);
+
+/** Deterministic plain-text report (golden-tested). */
+std::string renderReport(const TraceAnalysis &a);
+
+} // namespace obs
+} // namespace eqc
+
+#endif // EQC_OBS_TRACE_H

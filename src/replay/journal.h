@@ -173,6 +173,14 @@ struct EventRecord
     uint64_t ruid = 0;
     /** Node the request was forwarded away from (Forward). */
     int fromNode = -1;
+    /**
+     * Trace id of the job this record belongs to (Admit; from
+     * serve::JobRequest::traceId, defaulting to the jobId). In-memory
+     * only: never serialized, so journals are byte-identical whether
+     * or not a live trace collector (obs::TraceSink) is attached, and
+     * parsed journals fall back to the jobId.
+     */
+    uint64_t traceId = 0;
 };
 
 /**

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/task_pool.h"
+#include "obs/exposition.h"
 #include "replay/journal.h"
 #include "serve/coalescer.h"
 
@@ -124,10 +125,24 @@ class Router::StampSink final : public replay::JournalSink
 // Router
 // ---------------------------------------------------------------------------
 
+Router::TierCounters
+Router::makeCounters(obs::MetricsRegistry &m)
+{
+    return TierCounters{
+        *m.counter("eqc_router_routed_total",
+                   "Requests routed (one per Router::submit)"),
+        *m.counter("eqc_router_forwards_total",
+                   "Overflow forward hops attempted"),
+        *m.counter("eqc_router_forward_admits_total",
+                   "Requests a forward target admitted after home "
+                   "rejected"),
+        *m.counter("eqc_router_rejected_everywhere_total",
+                   "Requests rejected by home and every successor"),
+    };
+}
+
 Router::Router(RouterOptions options)
-    : options_(options),
-      latency_(options.latencyReservoir,
-               splitmix64(options.seed ^ 0x526F757465724Cull))
+    : options_(options), counters_(makeCounters(metrics_))
 {
 }
 
@@ -154,6 +169,10 @@ Router::addNode(std::vector<Device> devices, ServiceOptions options,
     slot.stamp = std::make_unique<StampSink>();
     slot.stamp->node = static_cast<int>(i);
     slot.stamp->inner = sink_;
+    slot.loadScore = metrics_.gauge(
+        "eqc_router_node_load_score",
+        "Per-node load score steering overflow forwards",
+        "node=\"" + std::to_string(i) + "\"");
     if (sink_)
         slot.node->setJournalSink(slot.stamp.get());
     nodes_.push_back(std::move(slot));
@@ -230,7 +249,13 @@ Router::submit(const JobRequest &request)
     ensureServing();
 
     const uint64_t ruid = nextRuid_++;
-    const uint64_t kh = keyHash(request.workload, request.params);
+    // Every hop of one routed request shares a trace id (the ruid,
+    // unless the tenant correlated explicitly). In-memory only: the
+    // id never reaches journal bytes.
+    JobRequest req = request;
+    if (req.traceId == 0)
+        req.traceId = ruid;
+    const uint64_t kh = keyHash(req.workload, req.params);
     const int home = ring_.owner(kh);
     ++counters_.routed;
 
@@ -238,21 +263,22 @@ Router::submit(const JobRequest &request)
         replay::EventRecord r;
         r.kind = replay::EventKind::Route;
         r.tH = std::max(nodes_[home].node->loop().now(),
-                        request.submitH);
-        r.tenant = request.tenantId;
-        r.workload = request.workload;
-        r.shots = request.shots;
-        r.priority = request.priority;
-        r.submitH = request.submitH;
-        r.deadlineH = request.deadlineH;
-        r.params = request.params;
+                        req.submitH);
+        r.tenant = req.tenantId;
+        r.workload = req.workload;
+        r.shots = req.shots;
+        r.priority = req.priority;
+        r.submitH = req.submitH;
+        r.deadlineH = req.deadlineH;
+        r.params = req.params;
         r.node = home;
         r.ruid = ruid;
+        r.traceId = req.traceId;
         sink_->record(r);
     }
 
     Ticket verdict =
-        submitToNode(static_cast<std::size_t>(home), request, ruid);
+        submitToNode(static_cast<std::size_t>(home), req, ruid);
     if (verdict.admitted() || verdict.retryAfterS <= 0.0)
         return verdict; // admitted, or a rejection forwarding can't fix
 
@@ -262,10 +288,11 @@ Router::submit(const JobRequest &request)
     std::vector<int> cand = ring_.successors(
         kh, static_cast<std::size_t>(std::max(0, options_.forwardHops)));
     std::vector<double> score(cand.size());
-    for (std::size_t i = 0; i < cand.size(); ++i)
-        score[i] = nodes_[static_cast<std::size_t>(cand[i])]
-                       .node->loadSnapshot()
-                       .score();
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+        NodeSlot &s = nodes_[static_cast<std::size_t>(cand[i])];
+        score[i] = s.node->loadSnapshot().score();
+        s.loadScore->set(score[i]);
+    }
     std::vector<std::size_t> order(cand.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
@@ -284,15 +311,16 @@ Router::submit(const JobRequest &request)
             r.tH = std::max(
                 nodes_[static_cast<std::size_t>(target)].node->loop()
                     .now(),
-                request.submitH);
+                req.submitH);
             r.fromNode = prev;
             r.retryAfterS = verdict.retryAfterS;
             r.node = target;
             r.ruid = ruid;
+            r.traceId = req.traceId;
             sink_->record(r);
         }
         const Ticket t = submitToNode(static_cast<std::size_t>(target),
-                                      request, ruid);
+                                      req, ruid);
         if (t.admitted()) {
             ++counters_.forwardAdmits;
             return t;
@@ -343,8 +371,8 @@ Router::runUntil(double limitH)
               [](const JobOutcome &a, const JobOutcome &b) {
                   return a.jobId < b.jobId;
               });
-    for (const JobOutcome &o : all)
-        latency_.add(o.latencyH);
+    for (NodeSlot &s : nodes_)
+        s.loadScore->set(s.node->loadSnapshot().score());
     return all;
 }
 
@@ -371,6 +399,40 @@ Router::setJournalSink(replay::JournalSink *sink)
         s.stamp->inner = sink;
         s.node->setJournalSink(sink ? s.stamp.get() : nullptr);
     }
+}
+
+RouterCounters
+Router::counters() const
+{
+    RouterCounters c;
+    c.routed = counters_.routed.value();
+    c.forwards = counters_.forwards.value();
+    c.forwardAdmits = counters_.forwardAdmits.value();
+    c.rejectedEverywhere = counters_.rejectedEverywhere.value();
+    return c;
+}
+
+stats::Percentiles
+Router::latencyStats() const
+{
+    stats::Percentiles merged(
+        options_.latencyReservoir,
+        splitmix64(options_.seed ^ 0x526F757465724Cull));
+    for (const NodeSlot &s : nodes_)
+        merged.merge(s.node->latencyStats());
+    return merged;
+}
+
+obs::Snapshot
+Router::metricsSnapshot() const
+{
+    std::vector<std::pair<std::string, obs::Snapshot>> parts;
+    parts.reserve(nodes_.size() + 1);
+    parts.emplace_back("", metrics_.snapshot());
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        parts.emplace_back("node=\"" + std::to_string(i) + "\"",
+                           nodes_[i].node->metrics().snapshot());
+    return obs::merge(parts);
 }
 
 ServiceCounters

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/service_node.h"
 
 namespace eqc {
@@ -69,7 +70,10 @@ struct RouterOptions
     uint64_t seed = 1;
 };
 
-/** Monotone router-level counters. */
+/**
+ * Monotone router-level counters (a point-in-time read of the
+ * registry-backed tier counters; see Router::metrics()).
+ */
 struct RouterCounters
 {
     /** Requests routed (one per Router::submit). */
@@ -194,7 +198,23 @@ class Router
 
     replay::JournalSink *journalSink() const { return sink_; }
 
-    const RouterCounters &counters() const { return counters_; }
+    /** Thin reads off the router's metrics registry. */
+    RouterCounters counters() const;
+
+    /**
+     * The router tier's own registry: route/forward/reject counters
+     * plus one load-score gauge per node (labelled `node="i"`,
+     * refreshed at forward-scoring time and after every drain).
+     */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * One fleet-wide scrape: the router registry plus every node's,
+     * each node's samples labelled `node="i"`. Feed to
+     * obs::toPrometheus / obs::toJson / obs::diff.
+     */
+    obs::Snapshot metricsSnapshot() const;
 
     /** Fleet-wide sums of every node's ServiceCounters. */
     ServiceCounters totals() const;
@@ -202,8 +222,14 @@ class Router
     /** Cache hits / admitted jobs across the fleet (0 when idle). */
     double cacheHitRate() const;
 
-    /** Router-level per-job latency percentiles (merged drains). */
-    const stats::Percentiles &latencyStats() const { return latency_; }
+    /**
+     * Router-level per-job latency percentiles: a deterministic
+     * Percentiles::merge over every node's reservoir. Aggregating the
+     * node estimators (instead of re-sampling each outcome at the
+     * router) keeps fleet quantiles unbiased — no observation is
+     * counted at two tiers.
+     */
+    stats::Percentiles latencyStats() const;
 
     /** Shots executed per node (placement telemetry). */
     std::vector<uint64_t> nodeShotTotals() const;
@@ -224,6 +250,17 @@ class Router
     Ticket submitToNode(std::size_t n, const JobRequest &request,
                         uint64_t ruid);
 
+    /** Registry-backed tier counters (RouterCounters mirrors these). */
+    struct TierCounters
+    {
+        obs::Counter &routed;
+        obs::Counter &forwards;
+        obs::Counter &forwardAdmits;
+        obs::Counter &rejectedEverywhere;
+    };
+
+    static TierCounters makeCounters(obs::MetricsRegistry &m);
+
     struct NodeSlot
     {
         std::unique_ptr<ServiceNode> node;
@@ -235,14 +272,17 @@ class Router
          */
         std::unique_ptr<TaskPool> pool;
         std::unique_ptr<StampSink> stamp;
+        /** Load-score gauge in metrics_, labelled with the node id. */
+        obs::Gauge *loadScore = nullptr;
     };
 
     RouterOptions options_;
     std::vector<NodeSlot> nodes_;
     HashRing ring_;
     replay::JournalSink *sink_ = nullptr;
-    RouterCounters counters_;
-    stats::Percentiles latency_;
+    // Registry before counters_: the counter references point into it.
+    obs::MetricsRegistry metrics_;
+    TierCounters counters_;
     /** Next routed-request uid (journal correlation; starts at 1). */
     uint64_t nextRuid_ = 1;
 };

@@ -51,6 +51,14 @@ struct JobRequest
      * the outcome carries shed = true with the abandoned shot count.
      */
     double deadlineH = 0.0;
+    /**
+     * Optional trace correlation id. 0 (the default) means "use the
+     * assigned job id". Routers and clients that re-submit a request
+     * (forwarding, retries) set this so every hop of one logical job
+     * shares a trace in the observability tooling. Never serialized
+     * into replay journals.
+     */
+    uint64_t traceId = 0;
 };
 
 /** Admission verdict for one submitted job. */

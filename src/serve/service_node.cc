@@ -161,7 +161,8 @@ ServiceNode::ServiceNode(std::vector<Device> devices,
              options.resultCacheCapacity),
       rootRng_(Rng(options.seed).fork("serve")),
       latency_(options.latencyReservoir, options.seed),
-      retryAfter_(options.latencyReservoir, options.seed + 1)
+      retryAfter_(options.latencyReservoir, options.seed + 1),
+      counters_(makeCounters(metrics_)), ins_(makeInstruments(metrics_))
 {
     if (devices.empty())
         fatal("ServiceNode: empty device list");
@@ -175,6 +176,104 @@ ServiceNode::ServiceNode(std::vector<Device> devices,
         members_.push_back(std::move(m));
     }
     memberShots_.assign(members_.size(), 0);
+}
+
+ServiceNode::NodeCounters
+ServiceNode::makeCounters(obs::MetricsRegistry &m)
+{
+    return NodeCounters{
+        *m.counter("eqc_service_jobs_admitted_total", "Jobs admitted"),
+        *m.counter("eqc_service_jobs_rejected_total", "Jobs rejected"),
+        *m.counter("eqc_service_rejected_queue_full_total",
+                   "Rejections: node queue at capacity"),
+        *m.counter("eqc_service_rejected_tenant_quota_total",
+                   "Rejections: tenant at quota"),
+        *m.counter("eqc_service_rejected_bad_request_total",
+                   "Rejections: malformed request"),
+        *m.counter("eqc_service_rejected_deadline_total",
+                   "Rejections: deadline already passed"),
+        *m.counter("eqc_service_jobs_coalesced_total",
+                   "Jobs that rode an identical work item"),
+        *m.counter("eqc_service_cache_hits_total",
+                   "Jobs answered from the result cache"),
+        *m.counter("eqc_service_work_items_total",
+                   "Distinct work items executed"),
+        *m.counter("eqc_service_shards_executed_total",
+                   "Shards completed"),
+        *m.counter("eqc_service_shards_requeued_total",
+                   "Shards replanned after member failures"),
+        *m.counter("eqc_service_shots_executed_total", "Shots executed"),
+        *m.counter("eqc_service_circuits_executed_total",
+                   "Circuits executed"),
+        *m.counter("eqc_service_deadlines_met_total",
+                   "Jobs with an SLO that completed inside it"),
+        *m.counter("eqc_service_deadline_sheds_total",
+                   "Work items shed at their deadline"),
+        *m.counter("eqc_service_shots_shed_total",
+                   "Shots abandoned by deadline sheds"),
+        *m.counter("eqc_service_riders_joined_total",
+                   "Jobs that joined a dispatched item mid-flight"),
+        *m.counter("eqc_service_member_joins_total",
+                   "Members added live"),
+        *m.counter("eqc_service_member_leaves_total",
+                   "Members retired live"),
+        *m.counter("eqc_service_supervised_restores_total",
+                   "Automatic supervision restores"),
+    };
+}
+
+ServiceNode::NodeInstruments
+ServiceNode::makeInstruments(obs::MetricsRegistry &m)
+{
+    NodeInstruments ins;
+    ins.latencyH = m.histogram(
+        "eqc_service_latency_hours",
+        {0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0},
+        "Per-job service latency (serving-clock hours)");
+    ins.queueWaitH = m.histogram(
+        "eqc_service_queue_wait_hours",
+        {0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5},
+        "Admit-to-first-dispatch wait of executed items (hours)");
+    ins.retryAfterS = m.histogram(
+        "eqc_service_retry_after_seconds",
+        {1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0},
+        "Backpressure hints handed to capacity-rejected jobs");
+    ins.queueDepth =
+        m.gauge("eqc_service_queue_depth", "Jobs admitted, not popped");
+    ins.activeItems =
+        m.gauge("eqc_service_active_items", "Work items in flight");
+    ins.inflightShards = m.gauge("eqc_service_inflight_shards",
+                                 "Planned shards not yet resolved");
+    ins.aliveMembers = m.gauge("eqc_service_alive_members",
+                               "Members eligible for planning");
+    return ins;
+}
+
+ServiceCounters
+ServiceNode::counters() const
+{
+    ServiceCounters c;
+    c.jobsAdmitted = counters_.jobsAdmitted.value();
+    c.jobsRejected = counters_.jobsRejected.value();
+    c.rejectedQueueFull = counters_.rejectedQueueFull.value();
+    c.rejectedTenantQuota = counters_.rejectedTenantQuota.value();
+    c.rejectedBadRequest = counters_.rejectedBadRequest.value();
+    c.rejectedDeadline = counters_.rejectedDeadline.value();
+    c.jobsCoalesced = counters_.jobsCoalesced.value();
+    c.cacheHits = counters_.cacheHits.value();
+    c.workItems = counters_.workItems.value();
+    c.shardsExecuted = counters_.shardsExecuted.value();
+    c.shardsRequeued = counters_.shardsRequeued.value();
+    c.shotsExecuted = counters_.shotsExecuted.value();
+    c.circuitsExecuted = counters_.circuitsExecuted.value();
+    c.deadlinesMet = counters_.deadlinesMet.value();
+    c.deadlineSheds = counters_.deadlineSheds.value();
+    c.shotsShed = counters_.shotsShed.value();
+    c.ridersJoined = counters_.ridersJoined.value();
+    c.memberJoins = counters_.memberJoins.value();
+    c.memberLeaves = counters_.memberLeaves.value();
+    c.supervisedRestores = counters_.supervisedRestores.value();
+    return c;
 }
 
 ServiceNode::~ServiceNode() { stopServe(); }
@@ -263,6 +362,9 @@ ServiceNode::journalSubmit(const JobRequest &request, const Ticket &t,
     r.retryAfterS = t.retryAfterS;
     r.deadlineH = request.deadlineH;
     r.params = request.params;
+    // In-memory only (never serialized): lets an attached TraceSink
+    // correlate forwarded hops without perturbing journal bytes.
+    r.traceId = request.traceId ? request.traceId : t.jobId;
     sink_->record(r);
 }
 
@@ -323,8 +425,10 @@ ServiceNode::submit(const JobRequest &request)
                 ++counters_.rejectedTenantQuota;
             t.retryAfterS = retryAfterHintS(atH, queue_.size());
             retryAfter_.add(t.retryAfterS);
+            ins_.retryAfterS->observe(t.retryAfterS);
         }
     }
+    ins_.queueDepth->set(static_cast<double>(queue_.size()));
     if (sink_)
         journalSubmit(request, t, atH);
     return t;
@@ -347,6 +451,8 @@ ServiceNode::failMemberAt(std::size_t member, double atH)
         r.atH = atH;
         sink_->record(r);
     }
+    ins_.aliveMembers->set(
+        static_cast<double>(aliveMembers(loop_.now())));
     if (options_.superviseBaseBackoffH > 0.0) {
         // Supervision: auto-restore after an exponential backoff that
         // doubles with every failure since the last manual restore —
@@ -384,6 +490,8 @@ ServiceNode::restoreMemberInternal(std::size_t member, bool supervised)
         r.autoRestore = supervised;
         sink_->record(r);
     }
+    ins_.aliveMembers->set(
+        static_cast<double>(aliveMembers(loop_.now())));
 }
 
 void
@@ -419,6 +527,8 @@ ServiceNode::addMember(Device device, double atH)
         r.atH = joinH;
         sink_->record(r);
     }
+    ins_.aliveMembers->set(
+        static_cast<double>(aliveMembers(loop_.now())));
     // A parked item may become plannable the hour the member joins.
     loop_.scheduleAt(joinH, [this] { retryParkedItems(); });
     return index;
@@ -438,6 +548,8 @@ ServiceNode::removeMember(std::size_t member, double atH)
         r.atH = m.leaveAtH;
         sink_->record(r);
     }
+    ins_.aliveMembers->set(
+        static_cast<double>(aliveMembers(loop_.now())));
 }
 
 std::size_t
@@ -565,6 +677,7 @@ ServiceNode::planShards(WorkItem &item, int shots, double atH)
         item.shards.push_back(s);
     }
     item.outstanding += plan.size();
+    ins_.inflightShards->add(static_cast<double>(plan.size()));
     return !plan.empty();
 }
 
@@ -654,6 +767,9 @@ ServiceNode::intake()
         }
     }
 
+    ins_.queueDepth->set(static_cast<double>(queue_.size()));
+    ins_.activeItems->add(static_cast<double>(fresh.size()));
+
     // Cache lookups and shard planning in pop order. All planning
     // happens before any execution so every item of one intake probes
     // the same plan-cache state (and the batch stays bit-identical to
@@ -679,6 +795,7 @@ ServiceNode::intake()
             continue;
         }
         ++counters_.workItems;
+        ins_.queueWaitH->observe(std::max(0.0, loop_.now() - item->t0));
         if (planShards(*item, item->shots, item->t0))
             item->dispatched = true;
     }
@@ -852,6 +969,7 @@ ServiceNode::resolveMemberDepth(int member)
     int &depth = members_[static_cast<std::size_t>(member)].depth;
     if (depth > 0)
         --depth;
+    ins_.inflightShards->add(-1.0);
 }
 
 void
@@ -1157,6 +1275,7 @@ ServiceNode::finalizeItem(WorkItem &item)
         o.shed = item.shed;
         latency_.add(o.latencyH);
         latencyMoments_.add(o.latencyH);
+        ins_.latencyH->observe(o.latencyH);
         // The rider's SLO resolves here, exactly once: met if the item
         // was not shed, shed otherwise. Cancel the pending deadline
         // event (a no-op for the event that triggered this shed).
@@ -1199,6 +1318,7 @@ ServiceNode::finalizeItem(WorkItem &item)
     auto oit = open_.find(item.key);
     if (oit != open_.end() && oit->second == &item)
         open_.erase(oit);
+    ins_.activeItems->add(-1.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -57,6 +57,7 @@
 #include "common/stats.h"
 #include "core/weighting.h"
 #include "device/backend.h"
+#include "obs/metrics.h"
 #include "serve/aggregator.h"
 #include "serve/coalescer.h"
 #include "serve/job_queue.h"
@@ -382,7 +383,20 @@ class ServiceNode
      */
     int memberQueueDepth(std::size_t member) const;
 
-    const ServiceCounters &counters() const { return counters_; }
+    /**
+     * Lifecycle counters, assembled as thin reads off the node's
+     * metrics registry (the registry's counters are the single source
+     * of truth; this accessor keeps the legacy struct API).
+     */
+    ServiceCounters counters() const;
+
+    /**
+     * The node's metrics registry: every lifecycle counter above plus
+     * latency/queue-wait/retry-after histograms and live load gauges,
+     * ready for obs::toPrometheus / obs::toJson exposition.
+     */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
 
     const ServiceOptions &options() const { return options_; }
 
@@ -486,6 +500,50 @@ class ServiceNode
     /** Drain the MPMC intake ring into submit() (serve thread only). */
     bool pumpIntake();
 
+    /**
+     * Registry-backed lifecycle counters. The references alias
+     * counters registered in metrics_, so `++counters_.x` increments
+     * the registry directly and ServiceCounters is assembled on read.
+     */
+    struct NodeCounters
+    {
+        obs::Counter &jobsAdmitted;
+        obs::Counter &jobsRejected;
+        obs::Counter &rejectedQueueFull;
+        obs::Counter &rejectedTenantQuota;
+        obs::Counter &rejectedBadRequest;
+        obs::Counter &rejectedDeadline;
+        obs::Counter &jobsCoalesced;
+        obs::Counter &cacheHits;
+        obs::Counter &workItems;
+        obs::Counter &shardsExecuted;
+        obs::Counter &shardsRequeued;
+        obs::Counter &shotsExecuted;
+        obs::Counter &circuitsExecuted;
+        obs::Counter &deadlinesMet;
+        obs::Counter &deadlineSheds;
+        obs::Counter &shotsShed;
+        obs::Counter &ridersJoined;
+        obs::Counter &memberJoins;
+        obs::Counter &memberLeaves;
+        obs::Counter &supervisedRestores;
+    };
+
+    /** Non-counter instruments (histograms, live load gauges). */
+    struct NodeInstruments
+    {
+        obs::Histogram *latencyH = nullptr;
+        obs::Histogram *queueWaitH = nullptr;
+        obs::Histogram *retryAfterS = nullptr;
+        obs::Gauge *queueDepth = nullptr;
+        obs::Gauge *activeItems = nullptr;
+        obs::Gauge *inflightShards = nullptr;
+        obs::Gauge *aliveMembers = nullptr;
+    };
+
+    static NodeCounters makeCounters(obs::MetricsRegistry &m);
+    static NodeInstruments makeInstruments(obs::MetricsRegistry &m);
+
     ServiceOptions options_;
     VirtualClock ownClock_;
     Clock *clock_;
@@ -502,7 +560,10 @@ class ServiceNode
     RunningStats latencyMoments_;
     stats::Percentiles retryAfter_;
     std::vector<uint64_t> memberShots_;
-    ServiceCounters counters_;
+    /** Declared before counters_/ins_: they hold handles into it. */
+    obs::MetricsRegistry metrics_;
+    NodeCounters counters_;
+    NodeInstruments ins_;
 
     /** Work items in flight on the loop (stable addresses). */
     std::vector<std::unique_ptr<WorkItem>> active_;

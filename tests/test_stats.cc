@@ -129,6 +129,61 @@ TEST(Percentiles, DeterministicForIdenticalStreams)
         EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
 }
 
+TEST(Percentiles, MergeConcatenatesExactlyBelowCapacity)
+{
+    // While both reservoirs fit, a merge is an exact concatenation:
+    // the merged estimator matches one that watched both streams.
+    stats::Percentiles a(256), b(256), whole(256);
+    for (int i = 1; i <= 50; ++i) {
+        a.add(i);
+        whole.add(i);
+    }
+    for (int i = 51; i <= 100; ++i) {
+        b.add(i);
+        whole.add(i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_EQ(a.sampleSize(), 100u);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q));
+    // The source is untouched and nothing was double-counted.
+    EXPECT_EQ(b.count(), 50u);
+}
+
+TEST(Percentiles, MergeIsDeterministicAndWeightedPastCapacity)
+{
+    auto fill = [](stats::Percentiles &p, uint64_t seed, double lo,
+                   double hi, int n) {
+        Rng rng(seed);
+        for (int i = 0; i < n; ++i)
+            p.add(rng.uniform(lo, hi));
+    };
+
+    // Same inputs merged twice must agree bitwise: the replacement
+    // draws come from the target's own deterministic stream.
+    stats::Percentiles a1(256), b1(256), a2(256), b2(256);
+    fill(a1, 5, 0.0, 1.0, 20000);
+    fill(a2, 5, 0.0, 1.0, 20000);
+    fill(b1, 6, 2.0, 3.0, 20000);
+    fill(b2, 6, 2.0, 3.0, 20000);
+    a1.merge(b1);
+    a2.merge(b2);
+    EXPECT_EQ(a1.count(), 40000u);
+    EXPECT_EQ(a1.count(), a2.count());
+    EXPECT_LE(a1.sampleSize(), 256u);
+    for (double q : {0.0, 0.1, 0.5, 0.9, 1.0})
+        EXPECT_DOUBLE_EQ(a1.quantile(q), a2.quantile(q));
+
+    // Equal stream weights: the merged sample splits its mass evenly
+    // between the two disjoint ranges, so the quartiles land inside
+    // their source range and the median sits in the gap.
+    EXPECT_NEAR(a1.quantile(0.25), 0.5, 0.15);
+    EXPECT_NEAR(a1.quantile(0.75), 2.5, 0.15);
+    EXPECT_GT(a1.p50(), 0.7);
+    EXPECT_LT(a1.p50(), 2.3);
+}
+
 TEST(Percentiles, EmptyAndSingle)
 {
     stats::Percentiles p(8);
