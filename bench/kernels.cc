@@ -69,6 +69,45 @@ BM_DensityMatrixUnitary(benchmark::State &state)
 BENCHMARK(BM_DensityMatrixUnitary)->Arg(4)->Arg(6)->Arg(8);
 
 void
+BM_Superop2q(benchmark::State &state)
+{
+    // General (non-diagonal, non-permutation) 2q unitary: the
+    // applySuperop2 16-stream kernel, the heaviest per-op cost of the
+    // noisy walk. A partial-iSWAP defeats every classification fast
+    // path.
+    int n = static_cast<int>(state.range(0));
+    DensityMatrix dm(n);
+    const double c = 0.8, s = 0.6;
+    CMatrix u(4, 4,
+              {1, 0, 0, 0, 0, c, Complex(0, s), 0, 0, Complex(0, s), c,
+               0, 0, 0, 0, 1});
+    int q = 0;
+    for (auto _ : state) {
+        dm.applyUnitary(u, {q, (q + 1) % n});
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Superop2q)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_ComposedNoisePass(benchmark::State &state)
+{
+    // The fused post-CX noise block: 2q depolarizing + thermal
+    // relaxation on both qubits in one memory pass.
+    int n = static_cast<int>(state.range(0));
+    DensityMatrix dm(n);
+    int q = 0;
+    for (auto _ : state) {
+        dm.applyDepolThermal2q(0.01, q, 0.001, 0.999, (q + 1) % n,
+                               0.002, 0.998);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ComposedNoisePass)->Arg(4)->Arg(6)->Arg(8);
+
+void
 BM_DepolarizingKrausPath(benchmark::State &state)
 {
     int n = static_cast<int>(state.range(0));
@@ -138,6 +177,71 @@ BM_NoisyCircuitExecution(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NoisyCircuitExecution);
+
+void
+BM_SequentialMemberSweep(benchmark::State &state)
+{
+    // Baseline for BM_BatchedMemberSweep: the same k noisy circuit
+    // executions run one member at a time.
+    const int k = static_cast<int>(state.range(0));
+    VqaProblem p = makeHeisenbergVqe();
+    Device d = deviceByName("ibmq_bogota");
+    std::vector<std::unique_ptr<SimulatedQpu>> qpus;
+    for (int m = 0; m < k; ++m)
+        qpus.push_back(std::make_unique<SimulatedQpu>(d, 1 + m));
+    ExpectationEstimator est(p.hamiltonian, p.ansatz);
+    auto compiled = est.compileFor(d.coupling);
+    std::vector<Rng> rngs;
+    for (int m = 0; m < k; ++m)
+        rngs.emplace_back(1 + m);
+    for (auto _ : state) {
+        for (int m = 0; m < k; ++m)
+            benchmark::DoNotOptimize(
+                qpus[m]->execute(compiled[0], p.initialParams, 0, 1.0,
+                                 rngs[m], false));
+    }
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_SequentialMemberSweep)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_BatchedMemberSweep(benchmark::State &state)
+{
+    // The PR's batched ensemble sweep: k members (same device model,
+    // independently drifted calibrations) advance together through one
+    // fused program via SimulatedQpu::executeBatch.
+    const int k = static_cast<int>(state.range(0));
+    VqaProblem p = makeHeisenbergVqe();
+    Device d = deviceByName("ibmq_bogota");
+    std::vector<std::unique_ptr<SimulatedQpu>> qpus;
+    for (int m = 0; m < k; ++m)
+        qpus.push_back(std::make_unique<SimulatedQpu>(d, 1 + m));
+    ExpectationEstimator est(p.hamiltonian, p.ansatz);
+    auto compiled = est.compileFor(d.coupling);
+    std::vector<Rng> rngs;
+    for (int m = 0; m < k; ++m)
+        rngs.emplace_back(1 + m);
+    std::vector<JobResult> outs(k);
+    std::vector<SimulatedQpu::BatchMember> members(k);
+    for (int m = 0; m < k; ++m) {
+        members[m].qpu = qpus[m].get();
+        members[m].tc = &compiled[0];
+        members[m].shots = 0;
+        members[m].atTimeH = 1.0;
+        members[m].rng = &rngs[m];
+        members[m].sampleCounts = false;
+        members[m].out = &outs[m];
+    }
+    for (auto _ : state) {
+        bool ok = SimulatedQpu::executeBatch(
+            members.data(), members.size(), p.initialParams);
+        if (!ok)
+            state.SkipWithError("executeBatch fell back");
+        benchmark::DoNotOptimize(outs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_BatchedMemberSweep)->Arg(2)->Arg(4)->Arg(8);
 
 void
 BM_FullGradientJob(benchmark::State &state)

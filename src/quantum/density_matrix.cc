@@ -7,6 +7,7 @@
 #include "common/task_pool.h"
 #include "quantum/kernel.h"
 #include "quantum/pauli.h"
+#include "quantum/simd_dispatch.h"
 #include "quantum/statevector.h"
 
 namespace eqc {
@@ -262,11 +263,148 @@ depolarizing2qRange(Complex *rho, uint64_t b, uint64_t e, double lambda,
     });
 }
 
+#ifdef EQC_KERNEL_X86_DISPATCH
+
+/**
+ * AVX2 widening of the composed depolarizing + per-qubit thermal pass:
+ * two anchors per iteration, sixteen 2-complex block vectors in flight.
+ * Every operation is a real scalar times a complex value (componentwise
+ * multiply/add, no complex products), applied in the exact scalar
+ * sequence — plain mul/add intrinsics, no FMA — so the result is
+ * bit-identical to depolThermal2qRange. Requires min(kA, kB) >= 2 (the
+ * qubit pair (0, 1) degenerates to length-1 runs and stays scalar).
+ */
+__attribute__((target("avx2"))) void
+depolThermal2qRangeAvx2(Complex *rho, uint64_t b, uint64_t e,
+                        double lambda, double gA, double cA, double gB,
+                        double cB, uint64_t kA, uint64_t kB, uint64_t bA,
+                        uint64_t bB)
+{
+    double *d = reinterpret_cast<double *>(rho);
+    const __m256d keep = _mm256_set1_pd(1.0 - lambda);
+    const __m256d keepA = _mm256_set1_pd(1.0 - gA);
+    const __m256d keepB = _mm256_set1_pd(1.0 - gB);
+    const __m256d mixF = _mm256_set1_pd(0.25 * lambda);
+    const __m256d vgA = _mm256_set1_pd(gA);
+    const __m256d vcA = _mm256_set1_pd(cA);
+    const __m256d vgB = _mm256_set1_pd(gB);
+    const __m256d vcB = _mm256_set1_pd(cB);
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? kA : 0) | (j & 2 ? kB : 0);
+        braOff[j] = (j & 1 ? bA : 0) | (j & 2 ? bB : 0);
+    }
+    const uint64_t lows[4] = {
+        std::min(kA, kB) - 1, std::max(kA, kB) - 1,
+        std::min(bA, bB) - 1, std::max(bA, bB) - 1};
+    const uint64_t runCap = lows[0] + 1;
+    uint64_t t = b;
+    while (t < e) {
+        const uint64_t lo = t & (runCap - 1);
+        uint64_t anchor = t - lo;
+        for (int m = 0; m < 4; ++m)
+            anchor = detail::depositZeroBit(anchor, lows[m]);
+        const uint64_t run = std::min(runCap - lo, e - t);
+        const uint64_t start = anchor + lo;
+        uint64_t r = 0;
+        for (; r + 2 <= run; r += 2) {
+            const uint64_t i = start + r;
+            __m256d v[16];
+            for (int ks = 0; ks < 4; ++ks)
+                for (int bs = 0; bs < 4; ++bs)
+                    v[ks * 4 + bs] = _mm256_loadu_pd(
+                        d + 2 * (i + ketOff[ks] + braOff[bs]));
+            // Depolarizing: same add order as the scalar trace sum.
+            const __m256d mix = _mm256_mul_pd(
+                mixF, _mm256_add_pd(
+                          _mm256_add_pd(_mm256_add_pd(v[0], v[5]),
+                                        v[10]),
+                          v[15]));
+            for (int s = 0; s < 16; ++s)
+                v[s] = _mm256_mul_pd(v[s], keep);
+            v[0] = _mm256_add_pd(v[0], mix);
+            v[5] = _mm256_add_pd(v[5], mix);
+            v[10] = _mm256_add_pd(v[10], mix);
+            v[15] = _mm256_add_pd(v[15], mix);
+            // Thermal relaxation on qubit A (sub-bit 0 of ket/bra).
+            for (int kB2 = 0; kB2 < 2; ++kB2)
+                for (int bB2 = 0; bB2 < 2; ++bB2) {
+                    const int base = 2 * kB2 * 4 + 2 * bB2;
+                    v[base] = _mm256_add_pd(
+                        v[base], _mm256_mul_pd(vgA, v[base + 5]));
+                    v[base + 5] = _mm256_mul_pd(v[base + 5], keepA);
+                    v[base + 4] = _mm256_mul_pd(v[base + 4], vcA);
+                    v[base + 1] = _mm256_mul_pd(v[base + 1], vcA);
+                }
+            // Thermal relaxation on qubit B (sub-bit 1).
+            for (int kA2 = 0; kA2 < 2; ++kA2)
+                for (int bA2 = 0; bA2 < 2; ++bA2) {
+                    const int base = kA2 * 4 + bA2;
+                    v[base] = _mm256_add_pd(
+                        v[base], _mm256_mul_pd(vgB, v[base + 10]));
+                    v[base + 10] = _mm256_mul_pd(v[base + 10], keepB);
+                    v[base + 8] = _mm256_mul_pd(v[base + 8], vcB);
+                    v[base + 2] = _mm256_mul_pd(v[base + 2], vcB);
+                }
+            for (int ks = 0; ks < 4; ++ks)
+                for (int bs = 0; bs < 4; ++bs)
+                    _mm256_storeu_pd(
+                        d + 2 * (i + ketOff[ks] + braOff[bs]),
+                        v[ks * 4 + bs]);
+        }
+        for (; r < run; ++r) {
+            const uint64_t i = start + r;
+            const double keepS = 1.0 - lambda;
+            const double keepAS = 1.0 - gA, keepBS = 1.0 - gB;
+            Complex v[16];
+            for (int ks = 0; ks < 4; ++ks)
+                for (int bs = 0; bs < 4; ++bs)
+                    v[ks * 4 + bs] = rho[i + ketOff[ks] + braOff[bs]];
+            Complex mix = 0.25 * lambda * (v[0] + v[5] + v[10] + v[15]);
+            for (int s = 0; s < 16; ++s)
+                v[s] *= keepS;
+            v[0] += mix;
+            v[5] += mix;
+            v[10] += mix;
+            v[15] += mix;
+            for (int kB2 = 0; kB2 < 2; ++kB2)
+                for (int bB2 = 0; bB2 < 2; ++bB2) {
+                    const int base = 2 * kB2 * 4 + 2 * bB2;
+                    v[base] += gA * v[base + 5];
+                    v[base + 5] *= keepAS;
+                    v[base + 4] *= cA;
+                    v[base + 1] *= cA;
+                }
+            for (int kA2 = 0; kA2 < 2; ++kA2)
+                for (int bA2 = 0; bA2 < 2; ++bA2) {
+                    const int base = kA2 * 4 + bA2;
+                    v[base] += gB * v[base + 10];
+                    v[base + 10] *= keepBS;
+                    v[base + 8] *= cB;
+                    v[base + 2] *= cB;
+                }
+            for (int ks = 0; ks < 4; ++ks)
+                for (int bs = 0; bs < 4; ++bs)
+                    rho[i + ketOff[ks] + braOff[bs]] = v[ks * 4 + bs];
+        }
+        t += run;
+    }
+}
+
+#endif // EQC_KERNEL_X86_DISPATCH
+
 void
 depolThermal2qRange(Complex *rho, uint64_t b, uint64_t e, double lambda,
                     double gA, double cA, double gB, double cB,
                     uint64_t kA, uint64_t kB, uint64_t bA, uint64_t bB)
 {
+#ifdef EQC_KERNEL_X86_DISPATCH
+    if (std::min(kA, kB) > 1 && detail::cpuHasAvx2Fma()) {
+        depolThermal2qRangeAvx2(rho, b, e, lambda, gA, cA, gB, cB, kA,
+                                kB, bA, bB);
+        return;
+    }
+#endif
     const double keep = 1.0 - lambda;
     const double keepA = 1.0 - gA, keepB = 1.0 - gB;
     uint64_t ketOff[4], braOff[4];

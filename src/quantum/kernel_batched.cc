@@ -1,0 +1,955 @@
+#include "quantum/kernel_batched.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/task_pool.h"
+#include "quantum/simd_dispatch.h"
+
+namespace eqc {
+namespace detail {
+
+// Same two-layer shape as kernel.cc: standalone workers own the hot
+// loops, the class methods hand shardBlocks a by-value forwarding
+// lambda. Block counts match the scalar kernels (per-rho-element
+// anchors), so sharding stays disjoint and thread-count-invariant; the
+// member axis rides inside each block as contiguous lanes.
+//
+// Every worker applies the *exact* per-member arithmetic of its scalar
+// counterpart (same formulas, same evaluation order) — the bit-identity
+// contract from kernel_batched.h. The member-inner loops are
+// independent per member, so the compiler auto-vectorizing them across
+// lanes cannot change results either.
+
+namespace {
+
+void
+batchedSuperop1Range(Complex *data, uint64_t k, uint64_t b, uint64_t e,
+                     const Complex *uIn, uint64_t kBit, uint64_t bBit)
+{
+    const Complex u00 = uIn[0], u01 = uIn[1];
+    const Complex u10 = uIn[2], u11 = uIn[3];
+    const Complex c00 = std::conj(u00), c01 = std::conj(u01);
+    const Complex c10 = std::conj(u10), c11 = std::conj(u11);
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            Complex *p00 = data + i * k;
+            Complex *p01 = data + (i + bBit) * k;
+            Complex *p10 = data + (i + kBit) * k;
+            Complex *p11 = data + (i + kBit + bBit) * k;
+            for (uint64_t m = 0; m < k; ++m) {
+                const Complex b00 = p00[m], b01 = p01[m];
+                const Complex b10 = p10[m], b11 = p11[m];
+                const Complex t00 = u00 * b00 + u01 * b10;
+                const Complex t01 = u00 * b01 + u01 * b11;
+                const Complex t10 = u10 * b00 + u11 * b10;
+                const Complex t11 = u10 * b01 + u11 * b11;
+                p00[m] = t00 * c00 + t01 * c01;
+                p01[m] = t00 * c10 + t01 * c11;
+                p10[m] = t10 * c00 + t11 * c01;
+                p11[m] = t10 * c10 + t11 * c11;
+            }
+        }
+    });
+}
+
+void
+batchedSuperopDiag1Range(Complex *data, uint64_t k, uint64_t b, uint64_t e,
+                         Complex d0, Complex d1, uint64_t kBit,
+                         uint64_t bBit)
+{
+    const Complex f00 = d0 * std::conj(d0);
+    const Complex f01 = d0 * std::conj(d1);
+    const Complex f10 = d1 * std::conj(d0);
+    const Complex f11 = d1 * std::conj(d1);
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            Complex *p00 = data + i * k;
+            Complex *p01 = data + (i + bBit) * k;
+            Complex *p10 = data + (i + kBit) * k;
+            Complex *p11 = data + (i + kBit + bBit) * k;
+            for (uint64_t m = 0; m < k; ++m) {
+                p00[m] *= f00;
+                p01[m] *= f01;
+                p10[m] *= f10;
+                p11[m] *= f11;
+            }
+        }
+    });
+}
+
+void
+batchedSuperopPerm1Range(Complex *data, uint64_t k, uint64_t b, uint64_t e,
+                         Complex p0, Complex p1, bool unit, uint64_t kBit,
+                         uint64_t bBit)
+{
+    // Non-diagonal 1q perm is always the swap, as in superopPerm1Range.
+    const Complex f00 = p0 * std::conj(p0);
+    const Complex f01 = p0 * std::conj(p1);
+    const Complex f10 = p1 * std::conj(p0);
+    const Complex f11 = p1 * std::conj(p1);
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            Complex *p00 = data + i * k;
+            Complex *p01 = data + (i + bBit) * k;
+            Complex *p10 = data + (i + kBit) * k;
+            Complex *p11 = data + (i + kBit + bBit) * k;
+            if (unit) {
+                for (uint64_t m = 0; m < k; ++m) {
+                    std::swap(p00[m], p11[m]);
+                    std::swap(p10[m], p01[m]);
+                }
+            } else {
+                for (uint64_t m = 0; m < k; ++m) {
+                    const Complex b00 = p00[m], b01 = p01[m];
+                    const Complex b10 = p10[m], b11 = p11[m];
+                    p00[m] = f00 * b11;
+                    p01[m] = f01 * b10;
+                    p10[m] = f10 * b01;
+                    p11[m] = f11 * b00;
+                }
+            }
+        }
+    });
+}
+
+void
+batchedSuperop2Range(Complex *data, uint64_t k, uint64_t b, uint64_t e,
+                     const Complex *uIn, uint64_t mk0, uint64_t mk1,
+                     uint64_t mb0, uint64_t mb1)
+{
+    Complex u[16], cu[16];
+    for (int j = 0; j < 16; ++j) {
+        u[j] = uIn[j];
+        cu[j] = std::conj(uIn[j]);
+    }
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? mk0 : 0) | (j & 2 ? mk1 : 0);
+        braOff[j] = (j & 1 ? mb0 : 0) | (j & 2 ? mb1 : 0);
+    }
+    uint64_t lows[4] = {std::min(mk0, mk1) - 1, std::max(mk0, mk1) - 1,
+                        std::min(mb0, mb1) - 1, std::max(mb0, mb1) - 1};
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        Complex *p[16];
+        Complex blk[16], tmp[16];
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int r = 0; r < 4; ++r)
+                for (int s = 0; s < 4; ++s)
+                    p[r * 4 + s] =
+                        data + (i + ketOff[r] + braOff[s]) * k;
+            for (uint64_t m = 0; m < k; ++m) {
+                for (int j = 0; j < 16; ++j)
+                    blk[j] = p[j][m];
+                // tmp = U blk, then rho' = tmp U^dagger.
+                for (int r = 0; r < 4; ++r) {
+                    const Complex *ur = u + 4 * r;
+                    for (int s = 0; s < 4; ++s) {
+                        tmp[r * 4 + s] =
+                            ur[0] * blk[s] + ur[1] * blk[4 + s] +
+                            ur[2] * blk[8 + s] + ur[3] * blk[12 + s];
+                    }
+                }
+                for (int r = 0; r < 4; ++r) {
+                    for (int s = 0; s < 4; ++s) {
+                        const Complex *cs = cu + 4 * s;
+                        p[r * 4 + s][m] = tmp[r * 4] * cs[0] +
+                                          tmp[r * 4 + 1] * cs[1] +
+                                          tmp[r * 4 + 2] * cs[2] +
+                                          tmp[r * 4 + 3] * cs[3];
+                    }
+                }
+            }
+        }
+    });
+}
+
+void
+batchedSuperopDiag2Range(Complex *data, uint64_t k, uint64_t b, uint64_t e,
+                         const Complex *dIn, uint64_t mk0, uint64_t mk1,
+                         uint64_t mb0, uint64_t mb1)
+{
+    uint64_t off[16];
+    Complex f[16];
+    for (int r = 0; r < 4; ++r) {
+        for (int s = 0; s < 4; ++s) {
+            off[r * 4 + s] = ((r & 1 ? mk0 : 0) | (r & 2 ? mk1 : 0)) +
+                             ((s & 1 ? mb0 : 0) | (s & 2 ? mb1 : 0));
+            f[r * 4 + s] = dIn[r] * std::conj(dIn[s]);
+        }
+    }
+    uint64_t lows[4] = {std::min(mk0, mk1) - 1, std::max(mk0, mk1) - 1,
+                        std::min(mb0, mb1) - 1, std::max(mb0, mb1) - 1};
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int j = 0; j < 16; ++j) {
+                Complex *p = data + (i + off[j]) * k;
+                const Complex fj = f[j];
+                for (uint64_t m = 0; m < k; ++m)
+                    p[m] *= fj;
+            }
+        }
+    });
+}
+
+void
+batchedSuperopPerm2Range(Complex *data, uint64_t k, uint64_t b, uint64_t e,
+                         PermPhase pp, uint64_t mk0, uint64_t mk1,
+                         uint64_t mb0, uint64_t mb1)
+{
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? mk0 : 0) | (j & 2 ? mk1 : 0);
+        braOff[j] = (j & 1 ? mb0 : 0) | (j & 2 ? mb1 : 0);
+    }
+    uint64_t dst[16], src[16];
+    Complex f[16];
+    for (int r = 0; r < 4; ++r) {
+        for (int s = 0; s < 4; ++s) {
+            dst[r * 4 + s] = ketOff[r] + braOff[s];
+            src[r * 4 + s] = ketOff[pp.perm[r]] + braOff[pp.perm[s]];
+            f[r * 4 + s] = pp.phase[r] * std::conj(pp.phase[s]);
+        }
+    }
+    uint64_t lows[4] = {std::min(mk0, mk1) - 1, std::max(mk0, mk1) - 1,
+                        std::min(mb0, mb1) - 1, std::max(mb0, mb1) - 1};
+    const bool unit = pp.unitPhases;
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        Complex *sp[16], *dp[16];
+        Complex g[16];
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int j = 0; j < 16; ++j) {
+                sp[j] = data + (i + src[j]) * k;
+                dp[j] = data + (i + dst[j]) * k;
+            }
+            for (uint64_t m = 0; m < k; ++m) {
+                for (int j = 0; j < 16; ++j)
+                    g[j] = sp[j][m];
+                if (unit) {
+                    for (int j = 0; j < 16; ++j)
+                        dp[j][m] = g[j];
+                } else {
+                    for (int j = 0; j < 16; ++j)
+                        dp[j][m] = f[j] * g[j];
+                }
+            }
+        }
+    });
+}
+
+void
+batchedPerm2PerMemberRange(Complex *data, uint64_t k, uint64_t b,
+                           uint64_t e, PermPhase pp0, const Complex *f,
+                           const unsigned char *unit, uint64_t mk0,
+                           uint64_t mk1, uint64_t mb0, uint64_t mb1)
+{
+    // Shared permutation (caller-verified), per-member phase factors
+    // f[m * 16 + r * 4 + s]; unit-phase members take the copy path.
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? mk0 : 0) | (j & 2 ? mk1 : 0);
+        braOff[j] = (j & 1 ? mb0 : 0) | (j & 2 ? mb1 : 0);
+    }
+    uint64_t dst[16], src[16];
+    for (int r = 0; r < 4; ++r) {
+        for (int s = 0; s < 4; ++s) {
+            dst[r * 4 + s] = ketOff[r] + braOff[s];
+            src[r * 4 + s] = ketOff[pp0.perm[r]] + braOff[pp0.perm[s]];
+        }
+    }
+    uint64_t lows[4] = {std::min(mk0, mk1) - 1, std::max(mk0, mk1) - 1,
+                        std::min(mb0, mb1) - 1, std::max(mb0, mb1) - 1};
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        Complex *sp[16], *dp[16];
+        Complex g[16];
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int j = 0; j < 16; ++j) {
+                sp[j] = data + (i + src[j]) * k;
+                dp[j] = data + (i + dst[j]) * k;
+            }
+            for (uint64_t m = 0; m < k; ++m) {
+                for (int j = 0; j < 16; ++j)
+                    g[j] = sp[j][m];
+                if (unit[m]) {
+                    for (int j = 0; j < 16; ++j)
+                        dp[j][m] = g[j];
+                } else {
+                    const Complex *fm = f + 16 * m;
+                    for (int j = 0; j < 16; ++j)
+                        dp[j][m] = fm[j] * g[j];
+                }
+            }
+        }
+    });
+}
+
+void
+batchedThermalPerMemberRange(Complex *data, uint64_t k, uint64_t b,
+                             uint64_t e, const double *gamma,
+                             const double *coherence, uint64_t kBit,
+                             uint64_t bBit)
+{
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            Complex *p00 = data + i * k;
+            Complex *p10 = data + (i + kBit) * k;
+            Complex *p01 = data + (i + bBit) * k;
+            Complex *p11 = data + (i + kBit + bBit) * k;
+            for (uint64_t m = 0; m < k; ++m) {
+                p00[m] += gamma[m] * p11[m];
+                p11[m] *= 1.0 - gamma[m];
+                p10[m] *= coherence[m];
+                p01[m] *= coherence[m];
+            }
+        }
+    });
+}
+
+#ifdef EQC_KERNEL_X86_DISPATCH
+
+/**
+ * AVX2 member-pair widening of the per-member 4x4 channel superoperator:
+ * one 256-bit vector holds two adjacent members' values of the same rho
+ * element, with the pair's coefficients prepacked per 128-bit lane (see
+ * applyChannelSuperop1PerMember for the pack layout). cxMul/cxMulAdd in
+ * the scalar accumulation order keeps it bit-identical to the scalar
+ * member loop. Pairing runs along the member axis, so no anchor-run
+ * length requirement — qubit 0 vectorizes too.
+ */
+__attribute__((target("avx2"))) void
+batchedSuperopMat1PerMemberRangeAvx2(Complex *dataC, uint64_t k,
+                                     uint64_t b, uint64_t e,
+                                     const Complex *s, const double *pack,
+                                     uint64_t kBit, uint64_t bBit)
+{
+    double *d = reinterpret_cast<double *>(dataC);
+    const uint64_t nPairs = k >> 1;
+    const uint64_t lowA = kBit - 1;
+    const uint64_t lowB = bBit - 1;
+    const uint64_t runCap = kBit;
+    uint64_t t = b;
+    while (t < e) {
+        const uint64_t lo = t & (runCap - 1);
+        uint64_t anchor = depositZeroBit(t - lo, lowA);
+        anchor = depositZeroBit(anchor, lowB);
+        const uint64_t run = std::min(runCap - lo, e - t);
+        const uint64_t start = anchor + lo;
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            double *p0 = d + 2 * i * k;
+            double *p1 = d + 2 * (i + kBit) * k;
+            double *p2 = d + 2 * (i + bBit) * k;
+            double *p3 = d + 2 * (i + kBit + bBit) * k;
+            for (uint64_t p = 0; p < nPairs; ++p) {
+                const double *cp = pack + p * 128;
+                const __m256d v0 = _mm256_loadu_pd(p0 + 4 * p);
+                const __m256d v1 = _mm256_loadu_pd(p1 + 4 * p);
+                const __m256d v2 = _mm256_loadu_pd(p2 + 4 * p);
+                const __m256d v3 = _mm256_loadu_pd(p3 + 4 * p);
+                __m256d n0 = cxMul(v0, _mm256_loadu_pd(cp),
+                                   _mm256_loadu_pd(cp + 4));
+                n0 = cxMulAdd(n0, v1, _mm256_loadu_pd(cp + 8),
+                              _mm256_loadu_pd(cp + 12));
+                n0 = cxMulAdd(n0, v2, _mm256_loadu_pd(cp + 16),
+                              _mm256_loadu_pd(cp + 20));
+                n0 = cxMulAdd(n0, v3, _mm256_loadu_pd(cp + 24),
+                              _mm256_loadu_pd(cp + 28));
+                __m256d n1 = cxMul(v0, _mm256_loadu_pd(cp + 32),
+                                   _mm256_loadu_pd(cp + 36));
+                n1 = cxMulAdd(n1, v1, _mm256_loadu_pd(cp + 40),
+                              _mm256_loadu_pd(cp + 44));
+                n1 = cxMulAdd(n1, v2, _mm256_loadu_pd(cp + 48),
+                              _mm256_loadu_pd(cp + 52));
+                n1 = cxMulAdd(n1, v3, _mm256_loadu_pd(cp + 56),
+                              _mm256_loadu_pd(cp + 60));
+                __m256d n2 = cxMul(v0, _mm256_loadu_pd(cp + 64),
+                                   _mm256_loadu_pd(cp + 68));
+                n2 = cxMulAdd(n2, v1, _mm256_loadu_pd(cp + 72),
+                              _mm256_loadu_pd(cp + 76));
+                n2 = cxMulAdd(n2, v2, _mm256_loadu_pd(cp + 80),
+                              _mm256_loadu_pd(cp + 84));
+                n2 = cxMulAdd(n2, v3, _mm256_loadu_pd(cp + 88),
+                              _mm256_loadu_pd(cp + 92));
+                __m256d n3 = cxMul(v0, _mm256_loadu_pd(cp + 96),
+                                   _mm256_loadu_pd(cp + 100));
+                n3 = cxMulAdd(n3, v1, _mm256_loadu_pd(cp + 104),
+                              _mm256_loadu_pd(cp + 108));
+                n3 = cxMulAdd(n3, v2, _mm256_loadu_pd(cp + 112),
+                              _mm256_loadu_pd(cp + 116));
+                n3 = cxMulAdd(n3, v3, _mm256_loadu_pd(cp + 120),
+                              _mm256_loadu_pd(cp + 124));
+                _mm256_storeu_pd(p0 + 4 * p, n0);
+                _mm256_storeu_pd(p1 + 4 * p, n1);
+                _mm256_storeu_pd(p2 + 4 * p, n2);
+                _mm256_storeu_pd(p3 + 4 * p, n3);
+            }
+            if (k & 1) {
+                const uint64_t m = k - 1;
+                const Complex *mm = s + 16 * m;
+                Complex *q0 = dataC + i * k;
+                Complex *q1 = dataC + (i + kBit) * k;
+                Complex *q2 = dataC + (i + bBit) * k;
+                Complex *q3 = dataC + (i + kBit + bBit) * k;
+                const Complex v0 = q0[m], v1 = q1[m];
+                const Complex v2 = q2[m], v3 = q3[m];
+                q0[m] = mm[0] * v0 + mm[1] * v1 + mm[2] * v2 + mm[3] * v3;
+                q1[m] = mm[4] * v0 + mm[5] * v1 + mm[6] * v2 + mm[7] * v3;
+                q2[m] =
+                    mm[8] * v0 + mm[9] * v1 + mm[10] * v2 + mm[11] * v3;
+                q3[m] = mm[12] * v0 + mm[13] * v1 + mm[14] * v2 +
+                        mm[15] * v3;
+            }
+        }
+        t += run;
+    }
+}
+
+/**
+ * AVX2 member-pair widening of the per-member composed depolarizing +
+ * 2q thermal pass. All real-scalar x complex operations (componentwise
+ * mul/add, no complex products, no FMA) in the exact scalar sequence —
+ * bit-identical to the scalar member loop.
+ */
+__attribute__((target("avx2"))) void
+batchedDepolThermal2qPerMemberRangeAvx2(
+    Complex *dataC, uint64_t k, uint64_t b, uint64_t e,
+    const double *lambda, const double *gA, const double *cA,
+    const double *gB, const double *cB, const double *pack, uint64_t kA,
+    uint64_t kB, uint64_t bA, uint64_t bB)
+{
+    double *d = reinterpret_cast<double *>(dataC);
+    const uint64_t nPairs = k >> 1;
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? kA : 0) | (j & 2 ? kB : 0);
+        braOff[j] = (j & 1 ? bA : 0) | (j & 2 ? bB : 0);
+    }
+    const uint64_t lows[4] = {
+        std::min(kA, kB) - 1, std::max(kA, kB) - 1,
+        std::min(bA, bB) - 1, std::max(bA, bB) - 1};
+    const uint64_t runCap = lows[0] + 1;
+    uint64_t t = b;
+    while (t < e) {
+        const uint64_t lo = t & (runCap - 1);
+        uint64_t anchor = t - lo;
+        for (int m = 0; m < 4; ++m)
+            anchor = depositZeroBit(anchor, lows[m]);
+        const uint64_t run = std::min(runCap - lo, e - t);
+        const uint64_t start = anchor + lo;
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            double *p[16];
+            for (int ks = 0; ks < 4; ++ks)
+                for (int bs = 0; bs < 4; ++bs)
+                    p[ks * 4 + bs] =
+                        d + 2 * (i + ketOff[ks] + braOff[bs]) * k;
+            for (uint64_t pr = 0; pr < nPairs; ++pr) {
+                const double *cp = pack + pr * 32;
+                const __m256d keep = _mm256_loadu_pd(cp);
+                const __m256d mixF = _mm256_loadu_pd(cp + 4);
+                const __m256d vgA = _mm256_loadu_pd(cp + 8);
+                const __m256d keepA = _mm256_loadu_pd(cp + 12);
+                const __m256d vcA = _mm256_loadu_pd(cp + 16);
+                const __m256d vgB = _mm256_loadu_pd(cp + 20);
+                const __m256d keepB = _mm256_loadu_pd(cp + 24);
+                const __m256d vcB = _mm256_loadu_pd(cp + 28);
+                __m256d v[16];
+                for (int j = 0; j < 16; ++j)
+                    v[j] = _mm256_loadu_pd(p[j] + 4 * pr);
+                // Depolarizing: same add order as the scalar trace sum.
+                const __m256d mix = _mm256_mul_pd(
+                    mixF,
+                    _mm256_add_pd(
+                        _mm256_add_pd(_mm256_add_pd(v[0], v[5]), v[10]),
+                        v[15]));
+                for (int s = 0; s < 16; ++s)
+                    v[s] = _mm256_mul_pd(v[s], keep);
+                v[0] = _mm256_add_pd(v[0], mix);
+                v[5] = _mm256_add_pd(v[5], mix);
+                v[10] = _mm256_add_pd(v[10], mix);
+                v[15] = _mm256_add_pd(v[15], mix);
+                // Thermal relaxation on qubit A (sub-bit 0).
+                for (int kB2 = 0; kB2 < 2; ++kB2)
+                    for (int bB2 = 0; bB2 < 2; ++bB2) {
+                        const int base = 2 * kB2 * 4 + 2 * bB2;
+                        v[base] = _mm256_add_pd(
+                            v[base], _mm256_mul_pd(vgA, v[base + 5]));
+                        v[base + 5] = _mm256_mul_pd(v[base + 5], keepA);
+                        v[base + 4] = _mm256_mul_pd(v[base + 4], vcA);
+                        v[base + 1] = _mm256_mul_pd(v[base + 1], vcA);
+                    }
+                // Thermal relaxation on qubit B (sub-bit 1).
+                for (int kA2 = 0; kA2 < 2; ++kA2)
+                    for (int bA2 = 0; bA2 < 2; ++bA2) {
+                        const int base = kA2 * 4 + bA2;
+                        v[base] = _mm256_add_pd(
+                            v[base], _mm256_mul_pd(vgB, v[base + 10]));
+                        v[base + 10] =
+                            _mm256_mul_pd(v[base + 10], keepB);
+                        v[base + 8] = _mm256_mul_pd(v[base + 8], vcB);
+                        v[base + 2] = _mm256_mul_pd(v[base + 2], vcB);
+                    }
+                for (int j = 0; j < 16; ++j)
+                    _mm256_storeu_pd(p[j] + 4 * pr, v[j]);
+            }
+            if (k & 1) {
+                const uint64_t m = k - 1;
+                Complex v[16];
+                for (int j = 0; j < 16; ++j)
+                    v[j] = reinterpret_cast<Complex *>(p[j])[m];
+                Complex mix = 0.25 * lambda[m] *
+                              (v[0] + v[5] + v[10] + v[15]);
+                const double keepS = 1.0 - lambda[m];
+                for (int s = 0; s < 16; ++s)
+                    v[s] *= keepS;
+                v[0] += mix;
+                v[5] += mix;
+                v[10] += mix;
+                v[15] += mix;
+                const double gAm = gA[m], cAm = cA[m];
+                const double keepAS = 1.0 - gAm;
+                for (int kB2 = 0; kB2 < 2; ++kB2)
+                    for (int bB2 = 0; bB2 < 2; ++bB2) {
+                        const int base = 2 * kB2 * 4 + 2 * bB2;
+                        v[base] += gAm * v[base + 5];
+                        v[base + 5] *= keepAS;
+                        v[base + 4] *= cAm;
+                        v[base + 1] *= cAm;
+                    }
+                const double gBm = gB[m], cBm = cB[m];
+                const double keepBS = 1.0 - gBm;
+                for (int kA2 = 0; kA2 < 2; ++kA2)
+                    for (int bA2 = 0; bA2 < 2; ++bA2) {
+                        const int base = kA2 * 4 + bA2;
+                        v[base] += gBm * v[base + 10];
+                        v[base + 10] *= keepBS;
+                        v[base + 8] *= cBm;
+                        v[base + 2] *= cBm;
+                    }
+                for (int j = 0; j < 16; ++j)
+                    reinterpret_cast<Complex *>(p[j])[m] = v[j];
+            }
+        }
+        t += run;
+    }
+}
+
+#endif // EQC_KERNEL_X86_DISPATCH
+
+void
+batchedSuperopMat1PerMemberRange(Complex *data, uint64_t k, uint64_t b,
+                                 uint64_t e, const Complex *s,
+                                 const double *pack, uint64_t kBit,
+                                 uint64_t bBit)
+{
+#ifdef EQC_KERNEL_X86_DISPATCH
+    if (pack) {
+        batchedSuperopMat1PerMemberRangeAvx2(data, k, b, e, s, pack,
+                                             kBit, bBit);
+        return;
+    }
+#endif
+    (void)pack;
+    const uint64_t lows[2] = {kBit - 1, bBit - 1};
+    forAnchorRuns<2>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        for (uint64_t r = 0; r < run; ++r) {
+            const uint64_t i = start + r;
+            Complex *p0 = data + i * k;
+            Complex *p1 = data + (i + kBit) * k;
+            Complex *p2 = data + (i + bBit) * k;
+            Complex *p3 = data + (i + kBit + bBit) * k;
+            for (uint64_t m = 0; m < k; ++m) {
+                const Complex *mm = s + 16 * m;
+                const Complex v0 = p0[m], v1 = p1[m];
+                const Complex v2 = p2[m], v3 = p3[m];
+                p0[m] = mm[0] * v0 + mm[1] * v1 + mm[2] * v2 + mm[3] * v3;
+                p1[m] = mm[4] * v0 + mm[5] * v1 + mm[6] * v2 + mm[7] * v3;
+                p2[m] =
+                    mm[8] * v0 + mm[9] * v1 + mm[10] * v2 + mm[11] * v3;
+                p3[m] = mm[12] * v0 + mm[13] * v1 + mm[14] * v2 +
+                        mm[15] * v3;
+            }
+        }
+    });
+}
+
+void
+batchedDepolThermal2qPerMemberRange(Complex *data, uint64_t k, uint64_t b,
+                                    uint64_t e, const double *lambda,
+                                    const double *gA, const double *cA,
+                                    const double *gB, const double *cB,
+                                    const double *pack, uint64_t kA,
+                                    uint64_t kB, uint64_t bA, uint64_t bB)
+{
+#ifdef EQC_KERNEL_X86_DISPATCH
+    if (pack) {
+        batchedDepolThermal2qPerMemberRangeAvx2(data, k, b, e, lambda,
+                                                gA, cA, gB, cB, pack,
+                                                kA, kB, bA, bB);
+        return;
+    }
+#endif
+    (void)pack;
+    uint64_t ketOff[4], braOff[4];
+    for (int j = 0; j < 4; ++j) {
+        ketOff[j] = (j & 1 ? kA : 0) | (j & 2 ? kB : 0);
+        braOff[j] = (j & 1 ? bA : 0) | (j & 2 ? bB : 0);
+    }
+    const uint64_t lows[4] = {
+        std::min(kA, kB) - 1, std::max(kA, kB) - 1,
+        std::min(bA, bB) - 1, std::max(bA, bB) - 1};
+    forAnchorRuns<4>(b, e, lows, [&](uint64_t start, uint64_t run) {
+        Complex *p[16];
+        Complex v[16];
+        for (uint64_t x = 0; x < run; ++x) {
+            const uint64_t i = start + x;
+            for (int ks = 0; ks < 4; ++ks)
+                for (int bs = 0; bs < 4; ++bs)
+                    p[ks * 4 + bs] =
+                        data + (i + ketOff[ks] + braOff[bs]) * k;
+            for (uint64_t m = 0; m < k; ++m) {
+                for (int j = 0; j < 16; ++j)
+                    v[j] = p[j][m];
+                // Depolarizing.
+                Complex mix = 0.25 * lambda[m] *
+                              (v[0] + v[5] + v[10] + v[15]);
+                const double keep = 1.0 - lambda[m];
+                for (int s = 0; s < 16; ++s)
+                    v[s] *= keep;
+                v[0] += mix;
+                v[5] += mix;
+                v[10] += mix;
+                v[15] += mix;
+                // Thermal relaxation on qubit A (sub-bit 0).
+                const double gAm = gA[m], cAm = cA[m];
+                const double keepA = 1.0 - gAm;
+                for (int kB2 = 0; kB2 < 2; ++kB2)
+                    for (int bB2 = 0; bB2 < 2; ++bB2) {
+                        const int base = 2 * kB2 * 4 + 2 * bB2;
+                        v[base] += gAm * v[base + 5];
+                        v[base + 5] *= keepA;
+                        v[base + 4] *= cAm;
+                        v[base + 1] *= cAm;
+                    }
+                // Thermal relaxation on qubit B (sub-bit 1).
+                const double gBm = gB[m], cBm = cB[m];
+                const double keepB = 1.0 - gBm;
+                for (int kA2 = 0; kA2 < 2; ++kA2)
+                    for (int bA2 = 0; bA2 < 2; ++bA2) {
+                        const int base = kA2 * 4 + bA2;
+                        v[base] += gBm * v[base + 10];
+                        v[base + 10] *= keepB;
+                        v[base + 8] *= cBm;
+                        v[base + 2] *= cBm;
+                    }
+                for (int j = 0; j < 16; ++j)
+                    p[j][m] = v[j];
+            }
+        }
+    });
+}
+
+} // namespace
+
+TaskPool *
+BatchedDensityMatrix::pool() const
+{
+    if (!pool_)
+        pool_ = &TaskPool::shared();
+    return pool_;
+}
+
+BatchedDensityMatrix::BatchedDensityMatrix(int numQubits, int batch)
+    : numQubits_(numQubits), batch_(batch),
+      data_((uint64_t{1} << (2 * numQubits)) *
+                static_cast<uint64_t>(batch),
+            Complex(0, 0))
+{
+    if (numQubits < 1 || numQubits > 13)
+        fatal("BatchedDensityMatrix: qubit count out of range [1,13]");
+    if (batch < 1)
+        fatal("BatchedDensityMatrix: batch must be >= 1");
+    for (int m = 0; m < batch; ++m)
+        data_[m] = 1.0;
+}
+
+void
+BatchedDensityMatrix::applyGate1(const Complex *u, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("BatchedDensityMatrix::applyGate1: qubit out of range");
+    Complex dg[2];
+    PermPhase pp;
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 2;
+    Complex *data = data_.data();
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    switch (classifyGate(u, 2, dg, pp)) {
+      case GateKind::Diagonal: {
+        const Complex d0 = dg[0], d1 = dg[1];
+        shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+            batchedSuperopDiag1Range(data, k, b, e, d0, d1, kBit, bBit);
+        });
+        break;
+      }
+      case GateKind::PermPhase: {
+        const Complex p0 = pp.phase[0], p1 = pp.phase[1];
+        const bool unit = pp.unitPhases;
+        shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+            batchedSuperopPerm1Range(data, k, b, e, p0, p1, unit, kBit,
+                                     bBit);
+        });
+        break;
+      }
+      case GateKind::General:
+        shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+            batchedSuperop1Range(data, k, b, e, u, kBit, bBit);
+        });
+        break;
+    }
+}
+
+void
+BatchedDensityMatrix::applyDiag1(const Complex *d, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("BatchedDensityMatrix::applyDiag1: qubit out of range");
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 2;
+    Complex *data = data_.data();
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    const Complex d0 = d[0], d1 = d[1];
+    shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        batchedSuperopDiag1Range(data, k, b, e, d0, d1, kBit, bBit);
+    });
+}
+
+void
+BatchedDensityMatrix::applyGate2(const Complex *u, int q0, int q1)
+{
+    if (q0 < 0 || q1 < 0 || q0 >= numQubits_ || q1 >= numQubits_ ||
+        q0 == q1) {
+        panic("BatchedDensityMatrix::applyGate2: invalid qubits");
+    }
+    Complex dg[4];
+    PermPhase pp;
+    const uint64_t mk0 = uint64_t{1} << q0;
+    const uint64_t mk1 = uint64_t{1} << q1;
+    const uint64_t mb0 = uint64_t{1} << (q0 + numQubits_);
+    const uint64_t mb1 = uint64_t{1} << (q1 + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 4;
+    Complex *data = data_.data();
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    switch (classifyGate(u, 4, dg, pp)) {
+      case GateKind::Diagonal:
+        shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+            batchedSuperopDiag2Range(data, k, b, e, dg, mk0, mk1, mb0,
+                                     mb1);
+        });
+        break;
+      case GateKind::PermPhase:
+        shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+            batchedSuperopPerm2Range(data, k, b, e, pp, mk0, mk1, mb0,
+                                     mb1);
+        });
+        break;
+      case GateKind::General:
+        shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+            batchedSuperop2Range(data, k, b, e, u, mk0, mk1, mb0, mb1);
+        });
+        break;
+    }
+}
+
+void
+BatchedDensityMatrix::applyDiag2(const Complex *d, int q0, int q1)
+{
+    if (q0 < 0 || q1 < 0 || q0 >= numQubits_ || q1 >= numQubits_ ||
+        q0 == q1) {
+        panic("BatchedDensityMatrix::applyDiag2: invalid qubits");
+    }
+    const uint64_t mk0 = uint64_t{1} << q0;
+    const uint64_t mk1 = uint64_t{1} << q1;
+    const uint64_t mb0 = uint64_t{1} << (q0 + numQubits_);
+    const uint64_t mb1 = uint64_t{1} << (q1 + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 4;
+    Complex *data = data_.data();
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        batchedSuperopDiag2Range(data, k, b, e, d, mk0, mk1, mb0, mb1);
+    });
+}
+
+void
+BatchedDensityMatrix::applyPermPhase2PerMember(const PermPhase *pp,
+                                               int q0, int q1)
+{
+    if (q0 < 0 || q1 < 0 || q0 >= numQubits_ || q1 >= numQubits_ ||
+        q0 == q1) {
+        panic("applyPermPhase2PerMember: invalid qubits");
+    }
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    for (uint64_t m = 1; m < k; ++m)
+        for (int r = 0; r < 4; ++r)
+            if (pp[m].perm[r] != pp[0].perm[r])
+                panic("applyPermPhase2PerMember: permutations differ");
+    std::vector<Complex> f(16 * k);
+    std::vector<unsigned char> unit(k);
+    for (uint64_t m = 0; m < k; ++m) {
+        unit[m] = pp[m].unitPhases ? 1 : 0;
+        for (int r = 0; r < 4; ++r)
+            for (int s = 0; s < 4; ++s)
+                f[m * 16 + r * 4 + s] =
+                    pp[m].phase[r] * std::conj(pp[m].phase[s]);
+    }
+    const uint64_t mk0 = uint64_t{1} << q0;
+    const uint64_t mk1 = uint64_t{1} << q1;
+    const uint64_t mb0 = uint64_t{1} << (q0 + numQubits_);
+    const uint64_t mb1 = uint64_t{1} << (q1 + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 4;
+    Complex *data = data_.data();
+    const PermPhase pp0 = pp[0];
+    const Complex *fp = f.data();
+    const unsigned char *up = unit.data();
+    shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        batchedPerm2PerMemberRange(data, k, b, e, pp0, fp, up, mk0, mk1,
+                                   mb0, mb1);
+    });
+}
+
+void
+BatchedDensityMatrix::applyChannelSuperop1PerMember(const Complex *s,
+                                                    int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("applyChannelSuperop1PerMember: qubit out of range");
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    const double *pack = nullptr;
+#ifdef EQC_KERNEL_X86_DISPATCH
+    if (k >= 2 && cpuHasAvx2Fma()) {
+        // Pack the member pair's coefficients per 128-bit lane:
+        // pack[(pair * 16 + j) * 8] = [re_m, re_m, re_m1, re_m1,
+        //                              im_m, im_m, im_m1, im_m1].
+        const uint64_t nPairs = k >> 1;
+        pack_.resize(nPairs * 128);
+        for (uint64_t p = 0; p < nPairs; ++p) {
+            const Complex *sa = s + 16 * (2 * p);
+            const Complex *sb = s + 16 * (2 * p + 1);
+            for (int j = 0; j < 16; ++j) {
+                double *out = pack_.data() + (p * 16 + j) * 8;
+                out[0] = out[1] = sa[j].real();
+                out[2] = out[3] = sb[j].real();
+                out[4] = out[5] = sa[j].imag();
+                out[6] = out[7] = sb[j].imag();
+            }
+        }
+        pack = pack_.data();
+    }
+#endif
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 2;
+    Complex *data = data_.data();
+    shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        batchedSuperopMat1PerMemberRange(data, k, b, e, s, pack, kBit,
+                                         bBit);
+    });
+}
+
+void
+BatchedDensityMatrix::applyThermalRelaxationPerMember(
+    const double *gamma, const double *coherence, int qubit)
+{
+    if (qubit < 0 || qubit >= numQubits_)
+        panic("applyThermalRelaxationPerMember: qubit out of range");
+    const uint64_t kBit = uint64_t{1} << qubit;
+    const uint64_t bBit = uint64_t{1} << (qubit + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 2;
+    Complex *data = data_.data();
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        batchedThermalPerMemberRange(data, k, b, e, gamma, coherence,
+                                     kBit, bBit);
+    });
+}
+
+void
+BatchedDensityMatrix::applyDepolThermal2qPerMember(
+    const double *lambda, int qubitA, const double *gammaA,
+    const double *coherenceA, int qubitB, const double *gammaB,
+    const double *coherenceB)
+{
+    if (qubitA < 0 || qubitB < 0 || qubitA >= numQubits_ ||
+        qubitB >= numQubits_ || qubitA == qubitB) {
+        panic("applyDepolThermal2qPerMember: invalid qubits");
+    }
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    const double *pack = nullptr;
+#ifdef EQC_KERNEL_X86_DISPATCH
+    if (k >= 2 && cpuHasAvx2Fma()) {
+        // 8 broadcast slots per pair, each [x_m, x_m, x_m1, x_m1]:
+        // keep, 0.25*lambda, gA, 1-gA, cA, gB, 1-gB, cB.
+        const uint64_t nPairs = k >> 1;
+        pack_.resize(nPairs * 32);
+        for (uint64_t p = 0; p < nPairs; ++p) {
+            double *out = pack_.data() + p * 32;
+            const uint64_t m0 = 2 * p, m1 = 2 * p + 1;
+            const double sl[8][2] = {
+                {1.0 - lambda[m0], 1.0 - lambda[m1]},
+                {0.25 * lambda[m0], 0.25 * lambda[m1]},
+                {gammaA[m0], gammaA[m1]},
+                {1.0 - gammaA[m0], 1.0 - gammaA[m1]},
+                {coherenceA[m0], coherenceA[m1]},
+                {gammaB[m0], gammaB[m1]},
+                {1.0 - gammaB[m0], 1.0 - gammaB[m1]},
+                {coherenceB[m0], coherenceB[m1]},
+            };
+            for (int j = 0; j < 8; ++j) {
+                out[j * 4 + 0] = out[j * 4 + 1] = sl[j][0];
+                out[j * 4 + 2] = out[j * 4 + 3] = sl[j][1];
+            }
+        }
+        pack = pack_.data();
+    }
+#endif
+    const uint64_t kA = uint64_t{1} << qubitA;
+    const uint64_t kB = uint64_t{1} << qubitB;
+    const uint64_t bA = uint64_t{1} << (qubitA + numQubits_);
+    const uint64_t bB = uint64_t{1} << (qubitB + numQubits_);
+    const uint64_t nBlocks = (uint64_t{1} << (2 * numQubits_)) >> 4;
+    Complex *data = data_.data();
+    shardBlocks(pool(), nBlocks, [=](uint64_t b, uint64_t e) {
+        batchedDepolThermal2qPerMemberRange(data, k, b, e, lambda,
+                                            gammaA, coherenceA, gammaB,
+                                            coherenceB, pack, kA, kB,
+                                            bA, bB);
+    });
+}
+
+void
+BatchedDensityMatrix::probabilities(int member,
+                                    std::vector<double> &out) const
+{
+    const uint64_t d = dim();
+    const uint64_t k = static_cast<uint64_t>(batch_);
+    out.resize(d);
+    for (uint64_t b = 0; b < d; ++b)
+        out[b] = std::max(0.0, data_[(b + d * b) * k + member].real());
+}
+
+} // namespace detail
+} // namespace eqc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Batched density-matrix state for the ensemble member sweep.
+ *
+ * EQC's dispatch loop runs the *same* fused circuit on every ensemble
+ * member; members differ only in their noise contexts. Executing them
+ * one at a time re-walks the gate stream (fusion dispatch, gate
+ * classification, anchor enumeration) k times over k small states.
+ * BatchedDensityMatrix instead holds k member density matrices in a
+ * structure-of-arrays layout,
+ *
+ *     data[stateIndex * k + member]
+ *
+ * i.e. the k member values of each vectorized-rho element are adjacent
+ * in memory. The batched kernels walk the block/anchor structure ONCE
+ * and loop members innermost over contiguous lanes — shared-unitary
+ * ops (same gate for every member) amortize their coefficients too,
+ * per-member ops (noise superoperators, thermal factors, ZZ-folded CX
+ * phases) take operand arrays indexed by member.
+ *
+ * Bit-identity contract: every batched kernel applies the exact
+ * per-element arithmetic of its scalar counterpart in kernel.cc /
+ * density_matrix.cc (same formulas, same evaluation order), so a
+ * batched sweep produces results bit-identical to k sequential
+ * DensityMatrix executions — for any thread count, and regardless of
+ * which SIMD variant either side dispatched to (see
+ * quantum/simd_dispatch.h for why the AVX2 paths are exact).
+ */
+
+#ifndef EQC_QUANTUM_KERNEL_BATCHED_H
+#define EQC_QUANTUM_KERNEL_BATCHED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quantum/kernel.h"
+#include "quantum/types.h"
+
+namespace eqc {
+
+class TaskPool;
+
+namespace detail {
+
+/** k density matrices advancing together through one fused program. */
+class BatchedDensityMatrix
+{
+  public:
+    /**
+     * All-members |0><0| initial state.
+     *
+     * @param numQubits width of each member's density matrix
+     * @param batch member count k (>= 1)
+     */
+    BatchedDensityMatrix(int numQubits, int batch);
+
+    int numQubits() const { return numQubits_; }
+    int batch() const { return batch_; }
+    uint64_t dim() const { return uint64_t{1} << numQubits_; }
+
+    /// @name Shared-unitary applies (same operator for every member)
+    /// Classification mirrors DensityMatrix::applyGate1/2 exactly.
+    /// @{
+    void applyGate1(const Complex *u, int qubit);
+    void applyDiag1(const Complex *d, int qubit);
+    void applyGate2(const Complex *u, int q0, int q1);
+    void applyDiag2(const Complex *d, int q0, int q1);
+    /// @}
+
+    /// @name Per-member applies (operands indexed by member)
+    /// @{
+
+    /**
+     * 2q permutation-phase unitary with a per-member phase vector (the
+     * CX path: each member folds its own residual-ZZ diagonal into the
+     * shared CX entries, which scales phases but never the perm). Each
+     * member's PermPhase must have been produced by classifyGate on
+     * that member's folded matrix, so unit-phase members take the
+     * scalar kernel's copy path (multiplying by an exact 1 is not a
+     * bitwise no-op for signed zeros).
+     */
+    void applyPermPhase2PerMember(const PermPhase *pp, int q0, int q1);
+
+    /**
+     * Per-member 4x4 channel superoperators; @p s holds batch()
+     * row-major matrices, member-major (member m at s + 16 * m).
+     */
+    void applyChannelSuperop1PerMember(const Complex *s, int qubit);
+
+    /** Per-member thermal relaxation (gamma/coherence per member). */
+    void applyThermalRelaxationPerMember(const double *gamma,
+                                         const double *coherence,
+                                         int qubit);
+
+    /** Per-member composed depolarizing + 2q thermal pass. */
+    void applyDepolThermal2qPerMember(const double *lambda, int qubitA,
+                                      const double *gammaA,
+                                      const double *coherenceA,
+                                      int qubitB, const double *gammaB,
+                                      const double *coherenceB);
+    /// @}
+
+    /** Outcome distribution of one member (diagonal, clamped at 0). */
+    void probabilities(int member, std::vector<double> &out) const;
+
+    /** Member @p member's element <row| rho |col>. */
+    Complex element(int member, uint64_t row, uint64_t col) const
+    {
+        return data_[(row + dim() * col) *
+                         static_cast<uint64_t>(batch_) +
+                     static_cast<uint64_t>(member)];
+    }
+
+    /**
+     * Pool used for block-parallel apply (null: the shared pool).
+     * Results are bit-identical for every pool size — blocks are
+     * disjoint — so this only trades wall-clock time.
+     */
+    void setTaskPool(TaskPool *pool) { pool_ = pool; }
+
+  private:
+    TaskPool *pool() const;
+
+    int numQubits_;
+    int batch_;
+    CVector data_;
+    mutable TaskPool *pool_ = nullptr;
+    /** Reusable prepack scratch for the AVX2 member-pair variants. */
+    mutable std::vector<double> pack_;
+};
+
+} // namespace detail
+} // namespace eqc
+
+#endif // EQC_QUANTUM_KERNEL_BATCHED_H

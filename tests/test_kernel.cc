@@ -12,9 +12,12 @@
 
 #include "common/rng.h"
 #include "common/task_pool.h"
+#include "quantum/density_matrix.h"
 #include "quantum/gates.h"
 #include "quantum/kernel.h"
+#include "quantum/kernel_batched.h"
 #include "quantum/kraus.h"
+#include "quantum/simd_dispatch.h"
 
 namespace eqc {
 namespace {
@@ -391,6 +394,179 @@ TEST(Kernel, BlockParallelApplyIsBitIdenticalAcrossPoolSizes)
         for (std::size_t i = 0; identical && i < results[0].size(); ++i)
             identical = results[0][i] == results[p][i];
         EXPECT_TRUE(identical) << "pool size " << poolSizes[p];
+    }
+}
+
+/**
+ * Run @p apply twice on the same random state — dispatched, then with
+ * the SIMD kill switch forcing the scalar path — and require bitwise
+ * equality. On builds/machines without the AVX2 variants both runs are
+ * scalar and the check is vacuous (still green).
+ */
+template <typename Fn>
+void
+expectSimdMatchesScalar(uint64_t dim, uint64_t seed, Fn &&apply)
+{
+    CVector fast = randomState(dim, seed);
+    CVector scalar = fast;
+    apply(fast);
+    detail::simdDispatchForcedOff() = true;
+    apply(scalar);
+    detail::simdDispatchForcedOff() = false;
+    bool identical = true;
+    for (std::size_t i = 0; identical && i < fast.size(); ++i)
+        identical = fast[i] == scalar[i];
+    EXPECT_TRUE(identical);
+}
+
+TEST(Kernel, SimdGate2BitIdenticalToScalar)
+{
+    const uint64_t dim = uint64_t{1} << 10;
+    CMatrix u = randomMatrix(4, 401);
+    // Includes qubit-0/1 pairs: short anchor runs take the scalar
+    // fallback inside the dispatched build, which must also match.
+    for (auto [a, b] : {std::pair<int, int>{2, 7}, {0, 3}, {5, 1},
+                        {8, 9}, {9, 2}})
+        expectSimdMatchesScalar(dim, 403 + a + 11 * b, [&](CVector &v) {
+            detail::applyGate2(v.data(), dim, flat(u).data(), a, b,
+                               nullptr);
+        });
+}
+
+TEST(Kernel, SimdSuperopsBitIdenticalToScalar)
+{
+    const int n = 5;
+    const uint64_t full = uint64_t{1} << (2 * n);
+    CMatrix u1 = randomMatrix(2, 419);
+    CMatrix u2 = randomMatrix(4, 421);
+    const Complex d2[2] = {Complex(0.6, 0.8), Complex(-0.8, 0.6)};
+    const Complex d4[4] = {Complex(1, 0), Complex(0.6, 0.8),
+                           Complex(-1, 0), Complex(0.8, -0.6)};
+    KrausChannel ch = thermalRelaxation(80.0, 60.0, 1.5);
+    for (int q = 0; q < n; ++q) {
+        expectSimdMatchesScalar(full, 431 + q, [&](CVector &v) {
+            detail::applySuperop1(v.data(), n, flat(u1).data(), q,
+                                  nullptr);
+        });
+        expectSimdMatchesScalar(full, 433 + q, [&](CVector &v) {
+            detail::applySuperopDiag1(v.data(), n, d2, q, nullptr);
+        });
+        expectSimdMatchesScalar(full, 439 + q, [&](CVector &v) {
+            detail::applySuperopMat1(v.data(), n,
+                                     ch.superopMatrix().data(), q,
+                                     nullptr);
+        });
+    }
+    for (auto [a, b] :
+         {std::pair<int, int>{0, 1}, {2, 4}, {3, 0}, {1, 3}}) {
+        expectSimdMatchesScalar(full, 443 + a + 7 * b, [&](CVector &v) {
+            detail::applySuperop2(v.data(), n, flat(u2).data(), a, b,
+                                  nullptr);
+        });
+        expectSimdMatchesScalar(full, 449 + a + 7 * b, [&](CVector &v) {
+            detail::applySuperopDiag2(v.data(), n, d4, a, b, nullptr);
+        });
+    }
+}
+
+TEST(Kernel, SimdDepolThermal2qBitIdenticalToScalar)
+{
+    const int n = 5;
+    CMatrix u = randomMatrix(4, 457);
+    for (auto [a, b] :
+         {std::pair<int, int>{2, 4}, {0, 3}, {1, 0}, {3, 2}}) {
+        DensityMatrix fast(n);
+        DensityMatrix scalar(n);
+        fast.applyGate2(flat(u).data(), a, b);
+        scalar.applyGate2(flat(u).data(), a, b);
+        fast.applyDepolThermal2q(0.01, a, 0.002, 0.998, b, 0.003,
+                                 0.997);
+        detail::simdDispatchForcedOff() = true;
+        scalar.applyDepolThermal2q(0.01, a, 0.002, 0.998, b, 0.003,
+                                   0.997);
+        detail::simdDispatchForcedOff() = false;
+        bool identical = true;
+        for (uint64_t r = 0; identical && r < fast.dim(); ++r)
+            for (uint64_t c = 0; identical && c < fast.dim(); ++c)
+                identical = fast.element(r, c) == scalar.element(r, c);
+        EXPECT_TRUE(identical);
+    }
+}
+
+TEST(Kernel, BatchedSweepBitIdenticalToSequentialAcrossPools)
+{
+    // n = 9: the shared-gate block counts clear the parallel threshold,
+    // so pools with >1 thread really shard the batched kernels. Every
+    // member's batched state must match its own sequential
+    // DensityMatrix replay bitwise, for every pool size.
+    const int n = 9;
+    const int k = 3;
+    CMatrix u1 = randomMatrix(2, 461);
+    CMatrix u2 = randomMatrix(4, 463);
+    const Complex d4[4] = {Complex(1, 0), Complex(0.6, 0.8),
+                           Complex(-1, 0), Complex(0.8, -0.6)};
+
+    // Per-member operands: channel superops, thermal factors, and a
+    // per-member ZZ-phased CX (member 0 keeps unit phases to exercise
+    // the copy path).
+    std::vector<Complex> sBuf(16 * k);
+    double gamma[k], coh[k], lam[k], gB[k], cB[k];
+    std::vector<Complex> ppMats(16 * k);
+    detail::PermPhase pp[k];
+    CMatrix cx = gateMatrix(GateType::CX);
+    for (int m = 0; m < k; ++m) {
+        KrausChannel ch = depolarizing1q(0.05 + 0.04 * m);
+        std::copy_n(ch.superopMatrix().data(), 16, sBuf.begin() + 16 * m);
+        gamma[m] = 0.001 + 0.001 * m;
+        coh[m] = 0.999 - 0.001 * m;
+        lam[m] = 0.01 + 0.005 * m;
+        gB[m] = 0.002 + 0.001 * m;
+        cB[m] = 0.998 - 0.001 * m;
+        const double th = m == 0 ? 0.0 : 0.1 * m;
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                ppMats[16 * m + r * 4 + c] =
+                    std::polar(1.0, th * r) * cx(r, c);
+        Complex diag[4];
+        ASSERT_EQ(detail::classifyGate(ppMats.data() + 16 * m, 4, diag,
+                                       pp[m]),
+                  detail::GateKind::PermPhase);
+    }
+
+    std::vector<DensityMatrix> seq;
+    for (int m = 0; m < k; ++m) {
+        seq.emplace_back(n);
+        DensityMatrix &dm = seq.back();
+        dm.applyGate1(flat(u1).data(), 4);
+        dm.applyGate2(flat(u2).data(), 2, 7);
+        dm.applyDiag2(d4, 1, 6);
+        dm.applyChannelSuperop1(sBuf.data() + 16 * m, 3);
+        dm.applyThermalRelaxation(5, gamma[m], coh[m]);
+        dm.applyDepolThermal2q(lam[m], 0, gamma[m], coh[m], 8, gB[m],
+                               cB[m]);
+        dm.applyGate2(ppMats.data() + 16 * m, 2, 7);
+    }
+
+    for (int poolSize : {1, 2, 4}) {
+        TaskPool pool(poolSize);
+        detail::BatchedDensityMatrix bdm(n, k);
+        bdm.setTaskPool(&pool);
+        bdm.applyGate1(flat(u1).data(), 4);
+        bdm.applyGate2(flat(u2).data(), 2, 7);
+        bdm.applyDiag2(d4, 1, 6);
+        bdm.applyChannelSuperop1PerMember(sBuf.data(), 3);
+        bdm.applyThermalRelaxationPerMember(gamma, coh, 5);
+        bdm.applyDepolThermal2qPerMember(lam, 0, gamma, coh, 8, gB, cB);
+        bdm.applyPermPhase2PerMember(pp, 2, 7);
+        for (int m = 0; m < k; ++m) {
+            bool identical = true;
+            for (uint64_t r = 0; identical && r < bdm.dim(); ++r)
+                for (uint64_t c = 0; identical && c < bdm.dim(); ++c)
+                    identical =
+                        bdm.element(m, r, c) == seq[m].element(r, c);
+            EXPECT_TRUE(identical)
+                << "member " << m << " pool " << poolSize;
+        }
     }
 }
 
